@@ -1,0 +1,59 @@
+// Experiment E8 (part): FFT / spectrum microbenchmarks for the
+// frequency-domain display path.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "freq/fft.h"
+#include "freq/spectrum.h"
+
+namespace {
+
+std::vector<double> MakeTone(size_t n) {
+  std::vector<double> samples(n);
+  for (size_t i = 0; i < n; ++i) {
+    samples[i] = std::sin(2.0 * std::numbers::pi * 0.1 * static_cast<double>(i)) +
+                 0.25 * std::sin(2.0 * std::numbers::pi * 0.31 * static_cast<double>(i));
+  }
+  return samples;
+}
+
+void BM_Fft(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<gscope::Complex> base(n);
+  auto tone = MakeTone(n);
+  for (size_t i = 0; i < n; ++i) {
+    base[i] = gscope::Complex{tone[i], 0.0};
+  }
+  for (auto _ : state) {
+    std::vector<gscope::Complex> data = base;
+    gscope::Fft(&data);
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Fft)->RangeMultiplier(4)->Range(64, 4096)->Complexity(benchmark::oNLogN);
+
+void BM_ComputeSpectrum(benchmark::State& state) {
+  auto samples = MakeTone(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto spectrum = gscope::ComputeSpectrum(samples, 100.0);
+    benchmark::DoNotOptimize(spectrum);
+  }
+}
+BENCHMARK(BM_ComputeSpectrum)->Arg(128)->Arg(512)->Arg(2048);
+
+// The actual display path: one spectrum per repaint of a 512-column trace at
+// 10 Hz repaint must be far under 100 ms.
+void BM_SpectrumAtDisplayRate(benchmark::State& state) {
+  auto samples = MakeTone(512);
+  for (auto _ : state) {
+    auto spectrum = gscope::ComputeSpectrum(samples, 100.0);
+    benchmark::DoNotOptimize(spectrum.PeakHz());
+  }
+}
+BENCHMARK(BM_SpectrumAtDisplayRate);
+
+}  // namespace

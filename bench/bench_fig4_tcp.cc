@@ -1,0 +1,37 @@
+// Experiment E2 - Figure 4: "A snapshot of the GtkScope widget showing TCP
+// behavior."
+//
+// Paper: elephants stepped 8 -> 16 roughly halfway through the x-axis; the
+// CWND signal of one long-lived TCP flow repeatedly collapses to 1 (the
+// lowest value on the graph corresponds to CWND = 1, each such event is a
+// retransmission timeout).
+#include <cstdio>
+
+#include "fig_experiment.h"
+
+int main() {
+  std::printf("E2 / Figure 4: TCP elephants through a droptail router\n\n");
+  gscope_bench::FigResult result =
+      gscope_bench::RunFigExperiment(/*ecn=*/false, "fig4_tcp.ppm");
+
+  gscope_bench::PrintSeries("CWND series", result.cwnd_series, 50);
+  gscope_bench::PrintSeries("elephants series", result.elephant_series, 50);
+
+  std::printf("\n--- Figure 4 shape checks ---\n");
+  std::printf("retransmission timeouts:   %lld   (paper: TCP hits CWND=1 'several times')\n",
+              (long long)result.timeouts);
+  std::printf("pixels at CWND floor:      %lld\n", (long long)result.cwnd_floor_hits);
+  std::printf("min CWND (segments):       %.2f   (paper: 1)\n", result.min_cwnd);
+  std::printf("fast retransmits:          %lld\n", (long long)result.fast_retransmits);
+  std::printf("router drops:              %lld   (droptail: losses, no marks)\n",
+              (long long)result.router_drops);
+  std::printf("router ECN marks:          %lld\n", (long long)result.router_marks);
+  std::printf("elephants first half:      %.0f -> second half: %.0f (paper: 8 -> 16)\n",
+              result.elephant_series.front(), result.elephant_series.back());
+
+  bool shape_ok = result.timeouts > 0 && result.min_cwnd <= 1.5 &&
+                  result.elephant_series.front() == 8.0 &&
+                  result.elephant_series.back() == 16.0;
+  std::printf("\nfigure-4 shape reproduced: %s\n", shape_ok ? "YES" : "NO");
+  return shape_ok ? 0 : 1;
+}

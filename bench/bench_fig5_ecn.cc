@@ -1,0 +1,40 @@
+// Experiment E3 - Figure 5: "A snapshot of the GtkScope widget showing ECN
+// behavior."
+//
+// Paper: same experiment as Figure 4 but with ECN flows through a RED/ECN
+// router.  "The graphs show that while ECN does not hit this value [CWND=1],
+// TCP hits it several times ... this experiment indicates that ECN can
+// potentially improve flow throughput."
+#include <cstdio>
+
+#include "fig_experiment.h"
+
+int main() {
+  std::printf("E3 / Figure 5: ECN elephants through a RED/ECN router\n\n");
+  gscope_bench::FigResult ecn = gscope_bench::RunFigExperiment(/*ecn=*/true, "fig5_ecn.ppm");
+
+  gscope_bench::PrintSeries("CWND series", ecn.cwnd_series, 50);
+
+  std::printf("\nre-running the Figure 4 baseline for the comparison row...\n");
+  gscope_bench::FigResult tcp = gscope_bench::RunFigExperiment(/*ecn=*/false, "");
+
+  std::printf("\n--- Figure 5 vs Figure 4 ---\n");
+  std::printf("%-28s %10s %10s\n", "", "TCP(Fig4)", "ECN(Fig5)");
+  std::printf("%-28s %10lld %10lld\n", "timeouts", (long long)tcp.timeouts,
+              (long long)ecn.timeouts);
+  std::printf("%-28s %10.2f %10.2f\n", "min CWND (segments)", tcp.min_cwnd, ecn.min_cwnd);
+  std::printf("%-28s %10lld %10lld\n", "CWND-floor pixels", (long long)tcp.cwnd_floor_hits,
+              (long long)ecn.cwnd_floor_hits);
+  std::printf("%-28s %10lld %10lld\n", "router drops", (long long)tcp.router_drops,
+              (long long)ecn.router_drops);
+  std::printf("%-28s %10lld %10lld\n", "router ECN marks", (long long)tcp.router_marks,
+              (long long)ecn.router_marks);
+  std::printf("%-28s %10lld %10lld\n", "ECN window reductions",
+              (long long)tcp.ecn_reductions, (long long)ecn.ecn_reductions);
+
+  bool shape_ok = ecn.timeouts < tcp.timeouts && tcp.timeouts > 0 &&
+                  ecn.router_marks > 0 && ecn.min_cwnd > tcp.min_cwnd;
+  std::printf("\nfigure-5 shape reproduced (ECN avoids TCP's timeouts): %s\n",
+              shape_ok ? "YES" : "NO");
+  return shape_ok ? 0 : 1;
+}

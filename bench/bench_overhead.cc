@@ -1,0 +1,173 @@
+// Experiment E1 - Section 4.6, "Scope Overhead".
+//
+// Paper methodology: "we use a CPU load program that runs in a tight loop at
+// a low priority and measures the number of loop iterations it can perform
+// at any given period.  The ratio of the iteration count when running gscope
+// versus on an idle system gives an estimate of the gscope overhead."
+//
+// Paper results (600 MHz Pentium III):
+//   - < 2% CPU overhead polling at 10 ms granularity
+//   - < 1% at 50 ms granularity
+//   - +0.02 to 0.05% per additional displayed signal
+//   - polling granularity has a much larger effect than signal count
+//
+// This bench reproduces the method on the host CPU.  Absolute numbers will
+// be far smaller on modern hardware; the *ordering* must hold: overhead(10ms)
+// > overhead(50ms), and per-signal increments orders of magnitude below the
+// polling-period effect.
+#include <sched.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gscope.h"
+#include "load/load_meter.h"
+
+namespace {
+
+constexpr int64_t kMeasureMs = 1000;
+constexpr int kRepeats = 5;
+
+// The paper's ratio method assumes the load program and the scope contend
+// for ONE processor (a 600 MHz P-III).  On a multicore host the spinner
+// would land on an idle core and measure nothing, so pin the whole process
+// to a single CPU.
+void PinToOneCpu() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  // The last CPU tends to carry less unrelated host load than CPU 0.
+  long cpus = sysconf(_SC_NPROCESSORS_ONLN);
+  CPU_SET(cpus > 0 ? static_cast<int>(cpus - 1) : 0, &set);
+  if (sched_setaffinity(0, sizeof(set), &set) != 0) {
+    std::printf("warning: could not pin to one CPU; numbers will be noisy\n");
+  }
+}
+
+// Measures spinner throughput while the given scope setup polls for
+// kMeasureMs on a real-clock loop.  signals == 0 means "no scope" baseline.
+gscope::LoadResult MeasureWithScope(int signals, int64_t period_ms, int canvas_renders_hz) {
+  gscope::MainLoop loop;
+  gscope::Scope scope(&loop, {.name = "overhead", .width = 512, .height = 256});
+
+  // Polled integers, like the paper's "simple application that polls and
+  // displays several different integer values."
+  std::vector<int32_t> values(static_cast<size_t>(signals > 0 ? signals : 1), 0);
+  for (int i = 0; i < signals; ++i) {
+    scope.AddSignal({.name = "sig" + std::to_string(i), .source = &values[static_cast<size_t>(i)]});
+  }
+
+  gscope::Canvas canvas(560, 320);
+  gscope::ScopeView view(&scope);
+  if (signals > 0) {
+    scope.SetPollingMode(period_ms);
+    scope.StartPolling();
+    // A display repaint path, so "displaying" is part of the cost as in the
+    // paper's GUI.  Repaint at a screen-like rate, independent of polling.
+    if (canvas_renders_hz > 0) {
+      loop.AddTimeoutMs(1000 / canvas_renders_hz, [&view, &canvas, &values]() {
+        for (size_t i = 0; i < values.size(); ++i) {
+          values[i] = (values[i] + static_cast<int32_t>(i) + 1) % 100;
+        }
+        view.Render(&canvas);
+        return true;
+      });
+    }
+  }
+
+  gscope::BackgroundSpinner spinner;
+  spinner.Start();
+  loop.RunForMs(kMeasureMs);
+  return spinner.Stop();
+}
+
+}  // namespace
+
+// Best-of-N spin rate: the max across repetitions approximates the run with
+// the least interference from unrelated host load, while still paying the
+// scope's own periodic cost (which is present in every window).
+// One table row: alternates idle-baseline and loaded windows kRepeats times
+// and takes the best (least-interfered) rate of each.  Alternation plus
+// best-of filters both slow drift and transient host load.
+double MeasureOverhead(int signals, int64_t period_ms, int repaint_hz, double* loaded_rate) {
+  double baseline = 0.0;
+  double loaded = 0.0;
+  for (int i = 0; i < kRepeats; ++i) {
+    baseline = std::max(baseline, MeasureWithScope(0, 0, 0).IterationsPerSecond());
+    loaded = std::max(loaded,
+                      MeasureWithScope(signals, period_ms, repaint_hz).IterationsPerSecond());
+  }
+  if (loaded_rate != nullptr) {
+    *loaded_rate = loaded;
+  }
+  if (baseline <= 0.0) {
+    return 0.0;
+  }
+  double ratio = 1.0 - loaded / baseline;
+  return ratio < 0.0 ? 0.0 : ratio;
+}
+
+int main() {
+  std::printf("E1 / Section 4.6: gscope CPU overhead via the load-program ratio method\n");
+  std::printf("measure window: %lld ms per configuration, per-row idle baselines\n\n",
+              (long long)kMeasureMs);
+  PinToOneCpu();
+
+  std::printf("--- polling period sweep (8 signals, 10 Hz repaint) ---\n");
+  std::printf("%-12s %-14s %-10s %s\n", "period(ms)", "iters/s", "overhead", "paper");
+  struct PeriodRow {
+    int64_t period_ms;
+    const char* paper;
+  };
+  const PeriodRow period_rows[] = {
+      {10, "< 2%"},
+      {20, "-"},
+      {50, "< 1%"},
+      {100, "-"},
+  };
+  double overhead_10 = 0.0;
+  double overhead_50 = 0.0;
+  for (const auto& row : period_rows) {
+    double rate = 0.0;
+    double overhead = MeasureOverhead(8, row.period_ms, 10, &rate);
+    if (row.period_ms == 10) {
+      overhead_10 = overhead;
+    }
+    if (row.period_ms == 50) {
+      overhead_50 = overhead;
+    }
+    std::printf("%-12lld %-14.3g %-9.3f%% %s\n", (long long)row.period_ms, rate,
+                overhead * 100.0, row.paper);
+  }
+
+  std::printf("\n--- signal count sweep (10 ms period, 10 Hz repaint) ---\n");
+  std::printf("%-10s %-14s %-10s\n", "signals", "iters/s", "overhead");
+  double overhead_1sig = -1.0;
+  double overhead_64sig = -1.0;
+  for (int signals : {1, 2, 4, 8, 16, 32, 64}) {
+    double rate = 0.0;
+    double overhead = MeasureOverhead(signals, 10, 10, &rate);
+    if (signals == 1) {
+      overhead_1sig = overhead;
+    }
+    if (signals == 64) {
+      overhead_64sig = overhead;
+    }
+    std::printf("%-10d %-14.3g %-9.3f%%\n", signals, rate, overhead * 100.0);
+  }
+  double per_signal = (overhead_64sig - overhead_1sig) / 63.0;
+
+  std::printf("\n--- summary vs. paper ---\n");
+  std::printf("overhead @10ms: %.3f%%   (paper: < 2%% on 600 MHz P-III)\n", overhead_10 * 100);
+  std::printf("overhead @50ms: %.3f%%   (paper: < 1%%)\n", overhead_50 * 100);
+  std::printf("per-signal increment: %.4f%%/signal (paper: 0.02-0.05%%; on a modern\n"
+              "  CPU this is below the noise floor of the ratio method)\n",
+              per_signal * 100);
+  std::printf("shape check: overhead(10ms) >= overhead(50ms): %s\n",
+              overhead_10 >= overhead_50 ? "yes" : "NO (noise - rerun)");
+  std::printf("shape check: period effect dominates signal count: %s\n",
+              (overhead_10 - overhead_50) > per_signal * 10 ? "yes" : "marginal");
+  return 0;
+}

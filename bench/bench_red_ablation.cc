@@ -1,0 +1,66 @@
+// Ablation: RED/ECN configuration vs. droptail at identical load.
+//
+// DESIGN.md calls out the queue discipline as the design choice behind the
+// Figure 4/5 contrast.  This bench sweeps it: droptail (the Figure 4
+// router) and RED/ECN at several (min,max) threshold pairs, all with the
+// same 8 -> 16 elephants workload, printing where the timeout/throughput
+// crossover falls.
+#include <cstdio>
+
+#include "netsim/mxtraf.h"
+
+namespace {
+
+struct Row {
+  const char* label;
+  bool red;
+  double min_th;
+  double max_th;
+};
+
+void RunRow(const Row& row) {
+  gscope::Simulator sim;
+  gscope::MxtrafConfig config;
+  if (row.red) {
+    config.EnableEcnRed();
+    config.forward.queue.red.min_threshold = row.min_th;
+    config.forward.queue.red.max_threshold = row.max_th;
+  }
+  gscope::Mxtraf traf(&sim, config);
+  traf.SetElephants(8);
+  sim.RunForMs(10'000);
+  traf.SetElephants(16);
+  sim.RunForMs(10'000);
+
+  const gscope::QueueStats& q = traf.bottleneck_stats();
+  double goodput_mbps = static_cast<double>(traf.TotalBytesAcked()) * 8.0 / 20.0 / 1e6;
+  std::printf("%-18s %9lld %9lld %9lld %9lld %10.3f\n", row.label,
+              (long long)traf.TotalTimeouts(), (long long)(q.dropped_tail + q.dropped_red),
+              (long long)q.marked_ecn, (long long)traf.TotalFastRetransmits(), goodput_mbps);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: router queue discipline under the Figures 4/5 workload\n");
+  std::printf("(8 elephants for 10 s, then 16 for 10 s; 2 Mbit/s bottleneck)\n\n");
+  std::printf("%-18s %9s %9s %9s %9s %10s\n", "discipline", "timeouts", "drops", "marks",
+              "fast-rtx", "goodput(Mb/s)");
+
+  const Row rows[] = {
+      {"droptail", false, 0, 0},
+      {"red/ecn 2/6", true, 2, 6},
+      {"red/ecn 4/12", true, 4, 12},
+      {"red/ecn 8/20", true, 8, 20},
+      {"red/ecn 12/28", true, 12, 28},
+  };
+  for (const Row& row : rows) {
+    RunRow(row);
+  }
+
+  std::printf("\nreading: droptail converts congestion into drops -> timeouts; RED/ECN\n"
+              "with sane thresholds converts it into marks -> no timeouts.  Thresholds\n"
+              "near the physical limit (12/28 vs. limit 30) leave no headroom for\n"
+              "bursts and drift back toward droptail behaviour.\n");
+  return 0;
+}

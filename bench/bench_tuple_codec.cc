@@ -1,0 +1,64 @@
+// Experiment E8 (part): microbenchmarks of the Section 3.3 tuple codec -
+// the backbone of streaming, recording and replay.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/tuple.h"
+
+namespace {
+
+void BM_FormatTuple_ThreeField(benchmark::State& state) {
+  gscope::Tuple t{123456, 42.518273, "CWND"};
+  for (auto _ : state) {
+    std::string wire = gscope::FormatTuple(t);
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_FormatTuple_ThreeField);
+
+void BM_FormatTuple_TwoField(benchmark::State& state) {
+  gscope::Tuple t{123456, 42.518273, ""};
+  for (auto _ : state) {
+    std::string wire = gscope::FormatTuple(t);
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_FormatTuple_TwoField);
+
+void BM_ParseTuple(benchmark::State& state) {
+  std::string line = "123456 42.518273 CWND";
+  for (auto _ : state) {
+    auto t = gscope::ParseTuple(line);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_ParseTuple);
+
+void BM_ParseTuple_Malformed(benchmark::State& state) {
+  std::string line = "this line is certainly not a tuple at all";
+  for (auto _ : state) {
+    auto t = gscope::ParseTuple(line);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_ParseTuple_Malformed);
+
+void BM_RoundTrip_Stream(benchmark::State& state) {
+  // Simulated server inner loop: format at the client, parse at the server.
+  std::vector<gscope::Tuple> batch;
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back({i * 10, i * 1.5, "sig" + std::to_string(i % 8)});
+  }
+  for (auto _ : state) {
+    for (const auto& t : batch) {
+      auto parsed = gscope::ParseTuple(gscope::FormatTuple(t));
+      benchmark::DoNotOptimize(parsed);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_RoundTrip_Stream);
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Shared harness for the Figures 4/5 experiment (Section 2).
+//
+// Emulated WAN (nistnet-analogue router), mxtraf elephants stepped 8 -> 16
+// halfway through the window, the CWND of one arbitrarily chosen long-lived
+// flow plotted at 50 ms per pixel on a GtkScope-equivalent.
+#ifndef GSCOPE_BENCH_FIG_EXPERIMENT_H_
+#define GSCOPE_BENCH_FIG_EXPERIMENT_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gscope.h"
+#include "netsim/mxtraf.h"
+
+namespace gscope_bench {
+
+struct FigResult {
+  std::vector<double> cwnd_series;      // one point per 50 ms pixel
+  std::vector<double> elephant_series;  // the second signal of the figures
+  int64_t timeouts = 0;
+  int64_t fast_retransmits = 0;
+  int64_t ecn_reductions = 0;
+  int64_t router_drops = 0;
+  int64_t router_marks = 0;
+  double min_cwnd = 1e9;
+  int64_t cwnd_floor_hits = 0;  // pixels at cwnd <= 1.5 ("lowest value" events)
+};
+
+inline FigResult RunFigExperiment(bool ecn, const std::string& ppm_path,
+                                  int ticks = 400, int64_t period_ms = 50) {
+  gscope::SimClock clock;
+  gscope::MainLoop loop(&clock);
+  gscope::Scope scope(&loop,
+                      {.name = ecn ? "GtkScope: ECN" : "GtkScope: TCP", .width = ticks + 20,
+                       .height = 240});
+
+  gscope::Simulator sim;
+  gscope::MxtrafConfig config;
+  if (ecn) {
+    config.EnableEcnRed();
+  }
+  gscope::Mxtraf traf(&sim, config);
+  traf.SetElephants(8);
+
+  gscope::SignalId ele_sig = scope.AddSignal({
+      .name = "elephants",
+      .source = gscope::MakeFunc([&traf]() { return static_cast<double>(traf.elephants()); }),
+      .min = 0,
+      .max = 40,
+  });
+  gscope::SignalId cwnd_sig = scope.AddSignal({
+      .name = "CWND",
+      .source = gscope::MakeFunc([&traf]() { return traf.CwndSegments(0); }),
+      .min = 0,
+      .max = 40,
+  });
+  scope.SetPollingMode(period_ms);
+
+  FigResult result;
+  for (int i = 0; i < ticks; ++i) {
+    if (i == ticks / 2) {
+      traf.SetElephants(16);  // the mid-window step of the figures
+    }
+    sim.RunForMs(period_ms);
+    clock.AdvanceMs(period_ms);
+    scope.TickOnce();
+    double cwnd = scope.LatestValue(cwnd_sig).value_or(0.0);
+    result.cwnd_series.push_back(cwnd);
+    result.elephant_series.push_back(scope.LatestValue(ele_sig).value_or(0.0));
+    if (cwnd > 0.0) {
+      result.min_cwnd = std::min(result.min_cwnd, cwnd);
+    }
+    if (cwnd <= 1.5) {
+      ++result.cwnd_floor_hits;
+    }
+  }
+
+  result.timeouts = traf.TotalTimeouts();
+  result.fast_retransmits = traf.TotalFastRetransmits();
+  result.ecn_reductions = traf.TotalEcnReductions();
+  result.router_drops =
+      traf.bottleneck_stats().dropped_tail + traf.bottleneck_stats().dropped_red;
+  result.router_marks = traf.bottleneck_stats().marked_ecn;
+
+  if (!ppm_path.empty()) {
+    gscope::ScopeView view(&scope);
+    if (view.RenderToPpm(ppm_path, ticks + 80, 320)) {
+      std::printf("wrote scope snapshot: %s\n", ppm_path.c_str());
+    }
+  }
+  std::fputs(gscope::RenderAscii(scope, {.columns = 72, .rows = 14}).c_str(), stdout);
+  return result;
+}
+
+inline void PrintSeries(const char* label, const std::vector<double>& series,
+                        int64_t period_ms) {
+  std::printf("%s (one point per %lld ms pixel):\n", label, (long long)period_ms);
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (i % 20 == 0) {
+      std::printf("t=%6.1fs ", static_cast<double>(i) * static_cast<double>(period_ms) / 1000.0);
+    }
+    std::printf("%5.1f", series[i]);
+    if (i % 20 == 19 || i + 1 == series.size()) {
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace gscope_bench
+
+#endif  // GSCOPE_BENCH_FIG_EXPERIMENT_H_

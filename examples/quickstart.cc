@@ -1,0 +1,124 @@
+// Quickstart: the Figure 6 sample program, line for line.
+//
+// The paper's fragment:
+//
+//     scope = gtk_scope_new(name, width, height);
+//     gtk_scope_signal_new(scope, elephants_sig);
+//     gtk_scope_set_polling_mode(scope, 50);     /* 50 ms */
+//     gtk_scope_start_polling(scope);
+//     g_io_add_watch(..., G_IO_IN, read_program, fd);
+//     gtk_main();
+//
+// Here the "control connection" is a pipe we feed from a timer (so the demo
+// is self-contained), the elephants variable is an INTEGER signal, and a FUNC
+// signal shows the paper's get_cwnd-style accessor.  The scope renders ASCII
+// frames to stdout and writes a final PPM screenshot.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "gscope.h"
+
+namespace {
+
+int g_elephants = 8;  // the polled word of memory (INTEGER signal)
+
+// The paper's FUNC example: a function of (arg1, arg2) returning the sample.
+double GetCwnd(void* arg1, void* arg2) {
+  (void)arg2;
+  int fd = *static_cast<int*>(arg1);
+  // Stand-in for reading TCP_INFO off a socket: a sawtooth keyed by time.
+  static double cwnd = 1.0;
+  cwnd = cwnd >= 32.0 ? 1.0 : cwnd * 1.3 + 0.2;
+  return cwnd + (fd % 3);
+}
+
+}  // namespace
+
+int main() {
+  gscope::MainLoop loop;  // gtk_main()'s event loop
+
+  // scope = gtk_scope_new(name, width, height);
+  gscope::Scope scope(&loop, {.name = "quickstart", .width = 200, .height = 120});
+
+  // gtk_scope_signal_new(scope, elephants_sig);  -- INTEGER signal
+  gscope::SignalId elephants_sig = scope.AddSignal({
+      .name = "elephants",
+      .source = &g_elephants,
+      .min = 0,
+      .max = 40,
+  });
+
+  // The CWND FUNC signal from Section 3.1.
+  static int fd_for_cwnd = 7;
+  gscope::SignalId cwnd_sig = scope.AddSignal({
+      .name = "Cwnd",
+      .source = gscope::MakeFunc(&GetCwnd, &fd_for_cwnd, nullptr),
+      .min = 0,
+      .max = 40,
+  });
+
+  // gtk_scope_set_polling_mode(scope, 50);  /* sampling period is 50 ms */
+  scope.SetPollingMode(50);
+  // gtk_scope_start_polling(scope);
+  scope.StartPolling();
+
+  // g_io_add_watch(..., G_IO_IN, read_program, fd): the I/O-driven control
+  // channel.  A pipe stands in for the client connection; a timer writes
+  // control updates into it.
+  int control_pipe[2];
+  if (pipe(control_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  loop.AddIoWatch(control_pipe[0], gscope::IoCondition::kIn,
+                  [](int fd, gscope::IoCondition) {
+                    // read_program(): non-blocking read, update the signal
+                    // variable when control data arrives.
+                    int value = 0;
+                    if (read(fd, &value, sizeof(value)) == sizeof(value) &&
+                        value != g_elephants) {
+                      std::printf("control: elephants %d -> %d\n", g_elephants, value);
+                      g_elephants = value;
+                    }
+                    return true;
+                  });
+
+  // The "client": every 400 ms send a new elephants count.
+  int step = 0;
+  loop.AddTimeoutMs(400, [&step, &control_pipe]() {
+    int value = (step % 2 == 0) ? 16 : 8;
+    ++step;
+    ssize_t rc = write(control_pipe[1], &value, sizeof(value));
+    (void)rc;
+    return true;
+  });
+
+  // Print a live ASCII frame twice a second, quit after 3 seconds.
+  loop.AddTimeoutMs(500, [&scope]() {
+    std::fputs(gscope::RenderAscii(scope, {.columns = 64, .rows = 12}).c_str(), stdout);
+    return true;
+  });
+  loop.AddTimeoutMs(3000, [&loop]() {
+    loop.Quit();
+    return false;
+  });
+
+  loop.Run();  // gtk_main();
+
+  // Programmatic "screenshot" of the widget (Figure 1 analogue).
+  gscope::ScopeView view(&scope);
+  const char* out = "quickstart.ppm";
+  if (view.RenderToPpm(out, 320, 220)) {
+    std::printf("wrote %s\n", out);
+  }
+  std::printf("ticks=%lld samples=%lld elephants=%0.0f cwnd=%.2f\n",
+              static_cast<long long>(scope.counters().ticks),
+              static_cast<long long>(scope.counters().samples),
+              scope.LatestValue(elephants_sig).value_or(-1),
+              scope.LatestValue(cwnd_sig).value_or(-1));
+  close(control_pipe[0]);
+  close(control_pipe[1]);
+  return 0;
+}

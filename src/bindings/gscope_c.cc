@@ -1,0 +1,264 @@
+#include "bindings/gscope_c.h"
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/scope.h"
+#include "render/ascii.h"
+#include "render/scope_view.h"
+#include "runtime/clock.h"
+#include "runtime/event_loop.h"
+
+struct gscope_ctx {
+  std::unique_ptr<gscope::SimClock> sim_clock;  // null when using the real clock
+  std::unique_ptr<gscope::MainLoop> loop;
+  std::unique_ptr<gscope::Scope> scope;
+};
+
+namespace {
+
+constexpr int kErrBadArg = -1;
+constexpr int kErrFailed = -2;
+
+bool Valid(gscope_ctx* ctx) { return ctx != nullptr && ctx->scope != nullptr; }
+
+int AddSignal(gscope_ctx* ctx, const char* name, gscope::SignalSource source, double min,
+              double max) {
+  if (!Valid(ctx) || name == nullptr) {
+    return kErrBadArg;
+  }
+  gscope::SignalSpec spec;
+  spec.name = name;
+  spec.source = std::move(source);
+  if (max > min) {
+    spec.min = min;
+    spec.max = max;
+  }
+  gscope::SignalId id = ctx->scope->AddSignal(spec);
+  return id == 0 ? kErrFailed : id;
+}
+
+}  // namespace
+
+extern "C" {
+
+gscope_ctx* gscope_create(const char* name, int width, int height, int use_sim_clock) {
+  if (name == nullptr) {
+    return nullptr;
+  }
+  auto ctx = std::make_unique<gscope_ctx>();
+  if (use_sim_clock != 0) {
+    ctx->sim_clock = std::make_unique<gscope::SimClock>();
+  }
+  ctx->loop = std::make_unique<gscope::MainLoop>(ctx->sim_clock.get());
+  ctx->scope = std::make_unique<gscope::Scope>(
+      ctx->loop.get(), gscope::ScopeOptions{.name = name, .width = width, .height = height});
+  return ctx.release();
+}
+
+void gscope_destroy(gscope_ctx* ctx) {
+  delete ctx;
+}
+
+int gscope_signal_int32(gscope_ctx* ctx, const char* name, const int32_t* storage, double min,
+                        double max) {
+  if (storage == nullptr) {
+    return kErrBadArg;
+  }
+  return AddSignal(ctx, name, storage, min, max);
+}
+
+int gscope_signal_double(gscope_ctx* ctx, const char* name, const double* storage, double min,
+                         double max) {
+  if (storage == nullptr) {
+    return kErrBadArg;
+  }
+  return AddSignal(ctx, name, storage, min, max);
+}
+
+int gscope_signal_func(gscope_ctx* ctx, const char* name, gscope_sample_fn fn, void* arg1,
+                       void* arg2, double min, double max) {
+  if (fn == nullptr) {
+    return kErrBadArg;
+  }
+  return AddSignal(ctx, name, gscope::MakeFunc(fn, arg1, arg2), min, max);
+}
+
+int gscope_signal_buffer(gscope_ctx* ctx, const char* name, double min, double max) {
+  return AddSignal(ctx, name, gscope::BufferSource{}, min, max);
+}
+
+int gscope_remove_signal(gscope_ctx* ctx, int signal_id) {
+  if (!Valid(ctx)) {
+    return kErrBadArg;
+  }
+  return ctx->scope->RemoveSignal(signal_id) ? 0 : kErrFailed;
+}
+
+int gscope_find_signal(gscope_ctx* ctx, const char* name) {
+  if (!Valid(ctx) || name == nullptr) {
+    return 0;
+  }
+  return ctx->scope->FindSignal(name);
+}
+
+int gscope_set_hidden(gscope_ctx* ctx, int signal_id, int hidden) {
+  if (!Valid(ctx)) {
+    return kErrBadArg;
+  }
+  return ctx->scope->SetHidden(signal_id, hidden != 0) ? 0 : kErrFailed;
+}
+
+int gscope_set_filter_alpha(gscope_ctx* ctx, int signal_id, double alpha) {
+  if (!Valid(ctx)) {
+    return kErrBadArg;
+  }
+  return ctx->scope->SetFilterAlpha(signal_id, alpha) ? 0 : kErrFailed;
+}
+
+int gscope_set_range(gscope_ctx* ctx, int signal_id, double min, double max) {
+  if (!Valid(ctx)) {
+    return kErrBadArg;
+  }
+  return ctx->scope->SetRange(signal_id, min, max) ? 0 : kErrFailed;
+}
+
+int gscope_value(gscope_ctx* ctx, int signal_id, double* out) {
+  if (!Valid(ctx) || out == nullptr) {
+    return kErrBadArg;
+  }
+  auto value = ctx->scope->LatestValue(signal_id);
+  if (!value.has_value()) {
+    return kErrFailed;
+  }
+  *out = *value;
+  return 0;
+}
+
+int gscope_set_polling_mode(gscope_ctx* ctx, int64_t period_ms) {
+  if (!Valid(ctx)) {
+    return kErrBadArg;
+  }
+  return ctx->scope->SetPollingMode(period_ms) ? 0 : kErrFailed;
+}
+
+int gscope_set_playback_mode(gscope_ctx* ctx, const char* path, int64_t period_ms) {
+  if (!Valid(ctx) || path == nullptr) {
+    return kErrBadArg;
+  }
+  return ctx->scope->SetPlaybackMode(path, period_ms) ? 0 : kErrFailed;
+}
+
+int gscope_start_polling(gscope_ctx* ctx) {
+  if (!Valid(ctx)) {
+    return kErrBadArg;
+  }
+  return ctx->scope->StartPolling() ? 0 : kErrFailed;
+}
+
+void gscope_stop_polling(gscope_ctx* ctx) {
+  if (Valid(ctx)) {
+    ctx->scope->StopPolling();
+  }
+}
+
+int gscope_push(gscope_ctx* ctx, const char* signal_name, int64_t time_ms, double value) {
+  if (!Valid(ctx)) {
+    return kErrBadArg;
+  }
+  return ctx->scope->PushBuffered(signal_name == nullptr ? "" : signal_name, time_ms, value)
+             ? 1
+             : 0;
+}
+
+int gscope_set_zoom(gscope_ctx* ctx, double zoom) {
+  if (!Valid(ctx) || zoom <= 0.0) {
+    return kErrBadArg;
+  }
+  ctx->scope->SetZoom(zoom);
+  return 0;
+}
+
+int gscope_set_bias(gscope_ctx* ctx, double bias) {
+  if (!Valid(ctx)) {
+    return kErrBadArg;
+  }
+  ctx->scope->SetBias(bias);
+  return 0;
+}
+
+int gscope_set_delay_ms(gscope_ctx* ctx, int64_t delay_ms) {
+  if (!Valid(ctx) || delay_ms < 0) {
+    return kErrBadArg;
+  }
+  ctx->scope->SetDelayMs(delay_ms);
+  return 0;
+}
+
+int gscope_set_domain(gscope_ctx* ctx, int domain) {
+  if (!Valid(ctx) || (domain != 0 && domain != 1)) {
+    return kErrBadArg;
+  }
+  ctx->scope->SetDomain(domain == 0 ? gscope::DisplayDomain::kTime
+                                    : gscope::DisplayDomain::kFrequency);
+  return 0;
+}
+
+void gscope_run_for_ms(gscope_ctx* ctx, int64_t ms) {
+  if (Valid(ctx) && ms > 0) {
+    ctx->loop->RunForMs(ms);
+  }
+}
+
+void gscope_tick(gscope_ctx* ctx) {
+  if (Valid(ctx)) {
+    ctx->scope->TickOnce();
+  }
+}
+
+int gscope_start_recording(gscope_ctx* ctx, const char* path) {
+  if (!Valid(ctx) || path == nullptr) {
+    return kErrBadArg;
+  }
+  return ctx->scope->StartRecording(path) ? 0 : kErrFailed;
+}
+
+void gscope_stop_recording(gscope_ctx* ctx) {
+  if (Valid(ctx)) {
+    ctx->scope->StopRecording();
+  }
+}
+
+int gscope_render_ppm(gscope_ctx* ctx, const char* path, int canvas_w, int canvas_h) {
+  if (!Valid(ctx) || path == nullptr || canvas_w <= 0 || canvas_h <= 0) {
+    return kErrBadArg;
+  }
+  gscope::ScopeView view(ctx->scope.get());
+  return view.RenderToPpm(path, canvas_w, canvas_h) ? 0 : kErrFailed;
+}
+
+int gscope_render_ascii(gscope_ctx* ctx, char* buf, int len) {
+  if (!Valid(ctx) || buf == nullptr || len <= 0) {
+    return kErrBadArg;
+  }
+  std::string frame = gscope::RenderAscii(*ctx->scope);
+  size_t copy = std::min(static_cast<size_t>(len - 1), frame.size());
+  std::memcpy(buf, frame.data(), copy);
+  buf[copy] = '\0';
+  return static_cast<int>(frame.size());
+}
+
+int64_t gscope_ticks(gscope_ctx* ctx) {
+  return Valid(ctx) ? ctx->scope->counters().ticks : -1;
+}
+
+int64_t gscope_lost_ticks(gscope_ctx* ctx) {
+  return Valid(ctx) ? ctx->scope->counters().lost_ticks : -1;
+}
+
+int64_t gscope_now_ms(gscope_ctx* ctx) {
+  return Valid(ctx) ? ctx->scope->NowMs() : -1;
+}
+
+}  // extern "C"

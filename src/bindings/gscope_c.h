@@ -1,0 +1,100 @@
+/* C bindings for the gscope library (the Section 6 future-work item:
+ * language bindings).  A flat, opaque-handle C ABI over MainLoop + Scope so
+ * any FFI-capable language (Python ctypes, Lua, Rust, ...) can embed a
+ * scope.  All functions return 0 on success and a negative value on error,
+ * unless documented otherwise.  The API is not thread-safe; drive it from
+ * one thread, like the single-threaded usage of Section 4.3. */
+#ifndef GSCOPE_BINDINGS_GSCOPE_C_H_
+#define GSCOPE_BINDINGS_GSCOPE_C_H_
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* An opaque context bundling one event loop and one scope. */
+typedef struct gscope_ctx gscope_ctx;
+
+/* The FUNC signal shape from the paper: sample = fn(arg1, arg2). */
+typedef double (*gscope_sample_fn)(void* arg1, void* arg2);
+
+/* -- lifecycle ----------------------------------------------------------- */
+
+/* Creates a scope named `name` with a `width`-column trace.  NULL on
+ * failure.  `use_sim_clock` != 0 selects a simulated clock advanced only by
+ * gscope_run_for_ms (deterministic embedding); 0 selects the real clock. */
+gscope_ctx* gscope_create(const char* name, int width, int height, int use_sim_clock);
+void gscope_destroy(gscope_ctx* ctx);
+
+/* -- signals (Section 3.1) ------------------------------------------------ */
+
+/* Each returns the signal id (> 0) or a negative error. */
+int gscope_signal_int32(gscope_ctx* ctx, const char* name, const int32_t* storage,
+                        double min, double max);
+int gscope_signal_double(gscope_ctx* ctx, const char* name, const double* storage,
+                         double min, double max);
+int gscope_signal_func(gscope_ctx* ctx, const char* name, gscope_sample_fn fn, void* arg1,
+                       void* arg2, double min, double max);
+int gscope_signal_buffer(gscope_ctx* ctx, const char* name, double min, double max);
+
+int gscope_remove_signal(gscope_ctx* ctx, int signal_id);
+/* Id for a name, 0 if unknown. */
+int gscope_find_signal(gscope_ctx* ctx, const char* name);
+
+/* Per-signal parameters (the Figure 2 window). */
+int gscope_set_hidden(gscope_ctx* ctx, int signal_id, int hidden);
+int gscope_set_filter_alpha(gscope_ctx* ctx, int signal_id, double alpha);
+int gscope_set_range(gscope_ctx* ctx, int signal_id, double min, double max);
+
+/* The Value button: latest displayed value into *out.  -1 if none yet. */
+int gscope_value(gscope_ctx* ctx, int signal_id, double* out);
+
+/* -- acquisition ----------------------------------------------------------- */
+
+int gscope_set_polling_mode(gscope_ctx* ctx, int64_t period_ms);
+int gscope_set_playback_mode(gscope_ctx* ctx, const char* path, int64_t period_ms);
+int gscope_start_polling(gscope_ctx* ctx);
+void gscope_stop_polling(gscope_ctx* ctx);
+
+/* Push one timestamped sample for a BUFFER signal ("" = first buffer
+ * signal).  Returns 1 if accepted, 0 if dropped late, negative on error. */
+int gscope_push(gscope_ctx* ctx, const char* signal_name, int64_t time_ms, double value);
+
+/* -- display parameters ----------------------------------------------------- */
+
+int gscope_set_zoom(gscope_ctx* ctx, double zoom);
+int gscope_set_bias(gscope_ctx* ctx, double bias);
+int gscope_set_delay_ms(gscope_ctx* ctx, int64_t delay_ms);
+/* domain: 0 = time, 1 = frequency. */
+int gscope_set_domain(gscope_ctx* ctx, int domain);
+
+/* -- running ----------------------------------------------------------------- */
+
+/* Runs the loop for `ms` (virtual ms under a sim clock, real otherwise). */
+void gscope_run_for_ms(gscope_ctx* ctx, int64_t ms);
+/* One synchronous poll tick (TickOnce). */
+void gscope_tick(gscope_ctx* ctx);
+
+/* -- recording and output ---------------------------------------------------- */
+
+int gscope_start_recording(gscope_ctx* ctx, const char* path);
+void gscope_stop_recording(gscope_ctx* ctx);
+
+/* Renders the widget view to a PPM file. */
+int gscope_render_ppm(gscope_ctx* ctx, const char* path, int canvas_w, int canvas_h);
+/* ASCII view into `buf` (NUL-terminated, truncated to `len`).  Returns the
+ * untruncated length, or negative on error. */
+int gscope_render_ascii(gscope_ctx* ctx, char* buf, int len);
+
+/* -- introspection ------------------------------------------------------------ */
+
+int64_t gscope_ticks(gscope_ctx* ctx);
+int64_t gscope_lost_ticks(gscope_ctx* ctx);
+int64_t gscope_now_ms(gscope_ctx* ctx);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* GSCOPE_BINDINGS_GSCOPE_C_H_ */

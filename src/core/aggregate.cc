@@ -1,0 +1,89 @@
+#include "core/aggregate.h"
+
+namespace gscope {
+
+const char* AggregateKindName(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kMaximum:
+      return "Maximum";
+    case AggregateKind::kMinimum:
+      return "Minimum";
+    case AggregateKind::kSum:
+      return "Sum";
+    case AggregateKind::kRate:
+      return "Rate";
+    case AggregateKind::kAverage:
+      return "Average";
+    case AggregateKind::kEvents:
+      return "Events";
+    case AggregateKind::kAnyEvent:
+      return "AnyEvent";
+    case AggregateKind::kLast:
+      return "Last";
+  }
+  return "?";
+}
+
+void EventAggregator::Push(double sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    if (sample < min_) {
+      min_ = sample;
+    }
+    if (sample > max_) {
+      max_ = sample;
+    }
+  }
+  sum_ += sample;
+  last_ = sample;
+  count_ += 1;
+}
+
+double EventAggregator::Drain(Nanos interval_ns, double hold) {
+  std::lock_guard<std::mutex> lock(mu_);
+  double value = AggregateLocked(interval_ns, hold);
+  ResetLocked();
+  return value;
+}
+
+int64_t EventAggregator::pending_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double EventAggregator::AggregateLocked(Nanos interval_ns, double hold) const {
+  switch (kind_) {
+    case AggregateKind::kMaximum:
+      return count_ == 0 ? hold : max_;
+    case AggregateKind::kMinimum:
+      return count_ == 0 ? hold : min_;
+    case AggregateKind::kSum:
+      return sum_;
+    case AggregateKind::kRate: {
+      double seconds = NanosToSeconds(interval_ns);
+      return seconds <= 0.0 ? 0.0 : sum_ / seconds;
+    }
+    case AggregateKind::kAverage:
+      return count_ == 0 ? hold : sum_ / static_cast<double>(count_);
+    case AggregateKind::kEvents:
+      return static_cast<double>(count_);
+    case AggregateKind::kAnyEvent:
+      return count_ > 0 ? 1.0 : 0.0;
+    case AggregateKind::kLast:
+      return count_ == 0 ? hold : last_;
+  }
+  return hold;
+}
+
+void EventAggregator::ResetLocked() {
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  // last_ intentionally survives as the natural hold state.
+}
+
+}  // namespace gscope

@@ -1,0 +1,71 @@
+// Event aggregation between polling intervals (Section 4.2).
+//
+// The paper's aggregation functions, each illustrated with a network example:
+//   Maximum / Minimum  - max/min sample, e.g. latency
+//   Sum                - sum of sample values, e.g. bytes received
+//   Rate               - sum / polling period, e.g. bandwidth in bytes/sec
+//   Average            - sum / number of events, e.g. bytes per packet
+//   Events             - number of events, e.g. number of packets
+//   AnyEvent           - did an event occur, e.g. any packet arrived?
+//
+// An EventAggregator is shared between the event producer (which may live on
+// another thread) and the scope, which drains one aggregate value per polling
+// interval.  Push() is thread-safe.
+#ifndef GSCOPE_CORE_AGGREGATE_H_
+#define GSCOPE_CORE_AGGREGATE_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "runtime/clock.h"
+
+namespace gscope {
+
+enum class AggregateKind : uint8_t {
+  kMaximum,
+  kMinimum,
+  kSum,
+  kRate,
+  kAverage,
+  kEvents,
+  kAnyEvent,
+  kLast,  // extension: most recent sample (pure sample-and-hold drain)
+};
+
+const char* AggregateKindName(AggregateKind kind);
+
+class EventAggregator {
+ public:
+  explicit EventAggregator(AggregateKind kind) : kind_(kind) {}
+
+  AggregateKind kind() const { return kind_; }
+
+  // Records one event sample.  Thread-safe.
+  void Push(double sample);
+
+  // Returns the aggregate over the events pushed since the previous Drain and
+  // resets the interval.  `interval_ns` is the polling period, used by kRate
+  // (per-second rate).  If no event arrived, returns the provided `hold`
+  // value for value-like aggregates and the natural zero for counting ones.
+  // Thread-safe.
+  double Drain(Nanos interval_ns, double hold = 0.0);
+
+  // Events accumulated in the current (undrained) interval.
+  int64_t pending_events() const;
+
+ private:
+  double AggregateLocked(Nanos interval_ns, double hold) const;
+  void ResetLocked();
+
+  const AggregateKind kind_;
+  mutable std::mutex mu_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double last_ = 0.0;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_CORE_AGGREGATE_H_

@@ -1,0 +1,66 @@
+#include "core/envelope.h"
+
+#include <algorithm>
+
+namespace gscope {
+
+Envelope::Envelope(size_t width)
+    : lo_(width == 0 ? 1 : width, 0.0),
+      hi_(width == 0 ? 1 : width, 0.0),
+      coverage_(width == 0 ? 1 : width, 0) {}
+
+void Envelope::AddSweep(const std::vector<double>& sweep) {
+  size_t n = std::min(sweep.size(), lo_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (coverage_[i] == 0) {
+      lo_[i] = sweep[i];
+      hi_[i] = sweep[i];
+    } else {
+      lo_[i] = std::min(lo_[i], sweep[i]);
+      hi_[i] = std::max(hi_[i], sweep[i]);
+    }
+    ++coverage_[i];
+  }
+  if (n > 0) {
+    ++sweeps_;
+  }
+}
+
+void Envelope::AddSweeps(const std::vector<double>& samples, const TriggerConfig& config) {
+  for (const Sweep& sweep : ExtractSweeps(samples, lo_.size(), config)) {
+    if (sweep.triggered) {
+      AddSweep(sweep.samples);
+    }
+  }
+}
+
+double Envelope::LowAt(size_t column) const {
+  return column < lo_.size() ? lo_[column] : 0.0;
+}
+
+double Envelope::HighAt(size_t column) const {
+  return column < hi_.size() ? hi_[column] : 0.0;
+}
+
+int64_t Envelope::CoverageAt(size_t column) const {
+  return column < coverage_.size() ? coverage_[column] : 0;
+}
+
+void Envelope::Reset() {
+  std::fill(lo_.begin(), lo_.end(), 0.0);
+  std::fill(hi_.begin(), hi_.end(), 0.0);
+  std::fill(coverage_.begin(), coverage_.end(), 0);
+  sweeps_ = 0;
+}
+
+double Envelope::MaxSpread() const {
+  double spread = 0.0;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (coverage_[i] > 0) {
+      spread = std::max(spread, hi_[i] - lo_[i]);
+    }
+  }
+  return spread;
+}
+
+}  // namespace gscope

@@ -1,0 +1,54 @@
+// Waveform envelope generation (the paper's Section 6 future work, paired
+// with trigger support).
+//
+// An Envelope accumulates per-column min/max bounds across successive
+// trigger-aligned sweeps of a repeating waveform - the "envelope" display
+// mode of a digital oscilloscope, which reveals jitter, noise bands and
+// worst-case excursions that a single sweep hides.
+#ifndef GSCOPE_CORE_ENVELOPE_H_
+#define GSCOPE_CORE_ENVELOPE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/trigger.h"
+
+namespace gscope {
+
+class Envelope {
+ public:
+  // `width` is the sweep width in samples (display columns).
+  explicit Envelope(size_t width);
+
+  size_t width() const { return lo_.size(); }
+
+  // Folds one sweep into the envelope.  Sweeps shorter than the width
+  // contribute only their prefix; longer ones are truncated.
+  void AddSweep(const std::vector<double>& sweep);
+
+  // Folds every triggered sweep extracted from a sample stream.
+  void AddSweeps(const std::vector<double>& samples, const TriggerConfig& config);
+
+  // Per-column bounds; meaningful only for columns with coverage.
+  double LowAt(size_t column) const;
+  double HighAt(size_t column) const;
+  // Number of sweeps that covered this column.
+  int64_t CoverageAt(size_t column) const;
+
+  int64_t sweeps() const { return sweeps_; }
+  void Reset();
+
+  // Peak-to-peak spread of the widest column (the jitter band).
+  double MaxSpread() const;
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  std::vector<int64_t> coverage_;
+  int64_t sweeps_ = 0;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_CORE_ENVELOPE_H_

@@ -1,0 +1,58 @@
+#include "core/file_probe.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace gscope {
+
+FileProbe::FileProbe(std::string path, FileProbeOptions options)
+    : path_(std::move(path)), options_(options), last_(options.fallback) {}
+
+double FileProbe::Read() {
+  ++reads_;
+  std::ifstream in(path_);
+  bool ok = in.is_open();
+  std::string line;
+  if (ok) {
+    for (int i = 0; i <= options_.skip_lines; ++i) {
+      if (!std::getline(in, line)) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  double value = 0.0;
+  if (ok) {
+    std::istringstream tokens(line);
+    std::string token;
+    int index = 0;
+    ok = false;
+    while (tokens >> token) {
+      if (index == options_.field) {
+        char* end = nullptr;
+        value = std::strtod(token.c_str(), &end);
+        // Accept numeric prefixes ("1.23%", "45kB"): strtod must consume
+        // at least one character.
+        ok = end != token.c_str();
+        break;
+      }
+      ++index;
+    }
+  }
+
+  if (!ok) {
+    ++errors_;
+    return options_.hold_on_error && have_last_ ? last_ : options_.fallback;
+  }
+  last_ = value;
+  have_last_ = true;
+  return value;
+}
+
+SignalSource MakeFileProbeSource(const std::string& path, FileProbeOptions options) {
+  auto probe = std::make_shared<FileProbe>(path, options);
+  return FuncSource{[probe]() { return probe->Read(); }};
+}
+
+}  // namespace gscope

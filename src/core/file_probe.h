@@ -1,0 +1,61 @@
+// FileProbe: a FUNC-signal helper that polls a numeric value out of a file.
+//
+// The paper compares gscope to gstripchart, "the Gnome stripchart program,
+// that charts various user-specified parameters as a function of time such
+// as CPU load and network traffic levels.  The gstripchart program
+// periodically reads data from a file, extracts a value and displays these
+// values."  FileProbe brings that capability into gscope's programmatic
+// model: each Read() reopens the file, extracts the `field`-th whitespace-
+// separated numeric token (0-based, after skipping `skip_lines` lines) and
+// returns it - ideal for /proc/loadavg-style pseudo-files.  Wrap it in
+// MakeFunc to use it as a scope signal.
+#ifndef GSCOPE_CORE_FILE_PROBE_H_
+#define GSCOPE_CORE_FILE_PROBE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/signal_spec.h"
+
+namespace gscope {
+
+struct FileProbeOptions {
+  // Lines to skip before tokenizing.
+  int skip_lines = 0;
+  // Which whitespace-separated token on that line to parse (0-based).
+  int field = 0;
+  // Returned when the file is missing/unparseable; the previous good value
+  // is held instead when `hold_on_error` is set.
+  double fallback = 0.0;
+  bool hold_on_error = true;
+};
+
+class FileProbe {
+ public:
+  FileProbe(std::string path, FileProbeOptions options = {});
+
+  // Reads the current value (reopens the file, like gstripchart).
+  double Read();
+
+  const std::string& path() const { return path_; }
+  int64_t reads() const { return reads_; }
+  int64_t errors() const { return errors_; }
+  double last() const { return last_; }
+
+ private:
+  std::string path_;
+  FileProbeOptions options_;
+  double last_;
+  bool have_last_ = false;
+  int64_t reads_ = 0;
+  int64_t errors_ = 0;
+};
+
+// Convenience: a FUNC SignalSource polling `path` (shared ownership keeps
+// the probe alive as long as the signal).
+SignalSource MakeFileProbeSource(const std::string& path, FileProbeOptions options = {});
+
+}  // namespace gscope
+
+#endif  // GSCOPE_CORE_FILE_PROBE_H_

@@ -1,0 +1,30 @@
+#include "core/filter.h"
+
+namespace gscope {
+
+void LowPassFilter::set_alpha(double alpha) {
+  if (alpha < 0.0) {
+    alpha = 0.0;
+  } else if (alpha > 1.0) {
+    alpha = 1.0;
+  }
+  alpha_ = alpha;
+}
+
+double LowPassFilter::Apply(double x) {
+  if (!primed_) {
+    // Seed with the first sample so the filter does not ramp up from zero.
+    y_ = x;
+    primed_ = true;
+    return y_;
+  }
+  y_ = alpha_ * y_ + (1.0 - alpha_) * x;
+  return y_;
+}
+
+void LowPassFilter::Reset() {
+  primed_ = false;
+  y_ = 0.0;
+}
+
+}  // namespace gscope

@@ -1,0 +1,38 @@
+// Per-signal low-pass filter (Section 3.1).
+//
+// The paper: "The low-pass filter uses the following equation to filter the
+// signal: y_i = alpha * y_{i-1} + (1 - alpha) * x_i.  The alpha filter
+// parameter ranges from the default value of zero (unfiltered signal) to one."
+#ifndef GSCOPE_CORE_FILTER_H_
+#define GSCOPE_CORE_FILTER_H_
+
+namespace gscope {
+
+class LowPassFilter {
+ public:
+  LowPassFilter() = default;
+  explicit LowPassFilter(double alpha) { set_alpha(alpha); }
+
+  // Alpha is clamped to [0, 1].  alpha == 0 passes the signal through;
+  // alpha == 1 holds the first sample forever.
+  void set_alpha(double alpha);
+  double alpha() const { return alpha_; }
+
+  // Feeds one sample; returns the filtered value.
+  double Apply(double x);
+
+  // Forgets history; the next sample passes through as-is.
+  void Reset();
+
+  bool primed() const { return primed_; }
+  double last() const { return y_; }
+
+ private:
+  double alpha_ = 0.0;
+  double y_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_CORE_FILTER_H_

@@ -1,0 +1,123 @@
+#include "core/params.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gscope {
+namespace {
+
+double ReadStorage(const ParamStorage& storage) {
+  struct Visitor {
+    double operator()(const int32_t* p) const { return static_cast<double>(*p); }
+    double operator()(const bool* p) const { return *p ? 1.0 : 0.0; }
+    double operator()(const float* p) const { return static_cast<double>(*p); }
+    double operator()(const double* p) const { return *p; }
+  };
+  return std::visit(Visitor{}, storage);
+}
+
+void WriteStorage(const ParamStorage& storage, double value) {
+  struct Visitor {
+    double value;
+    void operator()(int32_t* p) const { *p = static_cast<int32_t>(std::llround(value)); }
+    void operator()(bool* p) const { *p = value != 0.0; }
+    void operator()(float* p) const { *p = static_cast<float>(value); }
+    void operator()(double* p) const { *p = value; }
+  };
+  std::visit(Visitor{value}, storage);
+}
+
+}  // namespace
+
+bool ParamRegistry::Add(ParamSpec spec) {
+  if (spec.name.empty()) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (FindLocked(spec.name) != nullptr) {
+    return false;
+  }
+  params_.push_back(std::move(spec));
+  return true;
+}
+
+bool ParamRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find_if(params_.begin(), params_.end(),
+                         [&name](const ParamSpec& p) { return p.name == name; });
+  if (it == params_.end()) {
+    return false;
+  }
+  params_.erase(it);
+  return true;
+}
+
+std::optional<double> ParamRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ParamSpec* spec = FindLocked(name);
+  if (spec == nullptr) {
+    return std::nullopt;
+  }
+  return ReadStorage(spec->storage);
+}
+
+bool ParamRegistry::Set(const std::string& name, double value) {
+  std::function<void(double)> on_change;
+  double applied = value;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const ParamSpec* spec = FindLocked(name);
+    if (spec == nullptr) {
+      return false;
+    }
+    if (spec->max > spec->min) {
+      applied = std::clamp(value, spec->min, spec->max);
+    }
+    WriteStorage(spec->storage, applied);
+    on_change = spec->on_change;
+  }
+  if (on_change) {
+    on_change(applied);
+  }
+  return true;
+}
+
+std::vector<std::string> ParamRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(params_.size());
+  for (const auto& p : params_) {
+    names.push_back(p.name);
+  }
+  return names;
+}
+
+size_t ParamRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return params_.size();
+}
+
+bool ParamRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindLocked(name) != nullptr;
+}
+
+std::optional<std::pair<double, double>> ParamRegistry::RangeOf(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ParamSpec* spec = FindLocked(name);
+  if (spec == nullptr || spec->max <= spec->min) {
+    return std::nullopt;
+  }
+  return std::make_pair(spec->min, spec->max);
+}
+
+const ParamSpec* ParamRegistry::FindLocked(const std::string& name) const {
+  for (const auto& p : params_) {
+    if (p.name == name) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace gscope

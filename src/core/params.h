@@ -1,0 +1,73 @@
+// Control-parameter interface (Section 3.2, Figure 3).
+//
+// "Application or control parameters ... can be read and modified by the
+// gscope library using the GtkScopeParameter structure.  These parameters are
+// not displayed but generally used to modify application behavior. ...  while
+// signals can only be read, application parameters can be read and written."
+//
+// Parameters are application-wide (not per scope), so the registry is a
+// standalone object an application shares between its scopes and its logic.
+// Writes go straight into application-owned storage, optionally clamped to a
+// [min, max] range and reported to an on-change callback - the programmatic
+// equivalent of typing into the Figure 3 window.
+#ifndef GSCOPE_CORE_PARAMS_H_
+#define GSCOPE_CORE_PARAMS_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace gscope {
+
+// Application-owned storage the parameter reads/writes through.
+using ParamStorage = std::variant<int32_t*, bool*, float*, double*>;
+
+struct ParamSpec {
+  std::string name;
+  ParamStorage storage;
+  // Writes are clamped to [min, max] when max > min (otherwise unclamped).
+  double min = 0.0;
+  double max = 0.0;
+  // Invoked after a successful Set with the new value.
+  std::function<void(double)> on_change;
+};
+
+class ParamRegistry {
+ public:
+  ParamRegistry() = default;
+  ParamRegistry(const ParamRegistry&) = delete;
+  ParamRegistry& operator=(const ParamRegistry&) = delete;
+
+  // Registers a parameter.  Returns false on duplicate or empty name.
+  bool Add(ParamSpec spec);
+  bool Remove(const std::string& name);
+
+  // Reads the current value; nullopt for unknown names.  Thread-safe.
+  std::optional<double> Get(const std::string& name) const;
+
+  // Writes (with clamping) into the application's storage and fires the
+  // on-change callback.  Integral storage rounds to nearest.  Thread-safe.
+  bool Set(const std::string& name, double value);
+
+  // Registered names in registration order (for rendering Figure 3).
+  std::vector<std::string> Names() const;
+  size_t size() const;
+  bool Contains(const std::string& name) const;
+
+  // The clamping range for a name, if constrained.
+  std::optional<std::pair<double, double>> RangeOf(const std::string& name) const;
+
+ private:
+  const ParamSpec* FindLocked(const std::string& name) const;
+
+  mutable std::mutex mu_;
+  std::vector<ParamSpec> params_;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_CORE_PARAMS_H_

@@ -1,0 +1,57 @@
+#include "core/sample_buffer.h"
+
+#include <algorithm>
+
+namespace gscope {
+
+bool SampleBuffer::Push(const Tuple& sample, int64_t now_ms, int64_t delay_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sample.time_ms + delay_ms < now_ms) {
+    ++stats_.dropped_late;
+    return false;
+  }
+  // Streams are expected in increasing time order, so the common case is an
+  // append; tolerate mild reordering across producers with a bounded search.
+  if (samples_.empty() || samples_.back().time_ms <= sample.time_ms) {
+    samples_.push_back(sample);
+  } else {
+    auto it = std::upper_bound(
+        samples_.begin(), samples_.end(), sample,
+        [](const Tuple& a, const Tuple& b) { return a.time_ms < b.time_ms; });
+    samples_.insert(it, sample);
+  }
+  ++stats_.pushed;
+  if (samples_.size() > max_samples_) {
+    samples_.pop_front();
+    ++stats_.dropped_overflow;
+  }
+  return true;
+}
+
+std::vector<Tuple> SampleBuffer::DrainDisplayable(int64_t now_ms, int64_t delay_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Tuple> out;
+  while (!samples_.empty() && samples_.front().time_ms + delay_ms <= now_ms) {
+    out.push_back(std::move(samples_.front()));
+    samples_.pop_front();
+  }
+  stats_.drained += static_cast<int64_t>(out.size());
+  return out;
+}
+
+size_t SampleBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+SampleBuffer::Stats SampleBuffer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SampleBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.clear();
+}
+
+}  // namespace gscope

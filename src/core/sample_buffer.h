@@ -1,0 +1,60 @@
+// Scope-wide buffer for BUFFER signals (Sections 3.1, 4.4).
+//
+// "In buffered mode, applications enqueue signal samples with timestamps into
+// a buffer and gscope displays these samples with a user-specified delay."
+// A sample stamped t becomes displayable at wall time t + delay.  "Data
+// arriving at the server after this delay is not buffered but dropped
+// immediately" - i.e. a sample that shows up when its display time has
+// already passed is rejected as late.
+//
+// Push() is thread-safe: producer threads, netlink-style event readers or the
+// stream server push; the scope drains on its polling tick.
+#ifndef GSCOPE_CORE_SAMPLE_BUFFER_H_
+#define GSCOPE_CORE_SAMPLE_BUFFER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/tuple.h"
+
+namespace gscope {
+
+class SampleBuffer {
+ public:
+  struct Stats {
+    int64_t pushed = 0;
+    int64_t dropped_late = 0;
+    int64_t dropped_overflow = 0;
+    int64_t drained = 0;
+  };
+
+  // `max_samples` bounds memory; the oldest samples are evicted on overflow.
+  explicit SampleBuffer(size_t max_samples = 1 << 16) : max_samples_(max_samples) {}
+
+  // Enqueues one timestamped sample.  `now_ms` is the current scope time and
+  // `delay_ms` the configured display delay: a sample whose display time
+  // (time_ms + delay_ms) is already in the past is dropped and false is
+  // returned.  Thread-safe.
+  bool Push(const Tuple& sample, int64_t now_ms, int64_t delay_ms);
+
+  // Removes and returns every sample that has become displayable, i.e. with
+  // time_ms + delay_ms <= now_ms, in time order.  Thread-safe.
+  std::vector<Tuple> DrainDisplayable(int64_t now_ms, int64_t delay_ms);
+
+  size_t size() const;
+  Stats stats() const;
+  void Clear();
+
+ private:
+  const size_t max_samples_;
+  mutable std::mutex mu_;
+  std::deque<Tuple> samples_;  // kept sorted by time_ms
+  Stats stats_;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_CORE_SAMPLE_BUFFER_H_

@@ -1,0 +1,45 @@
+// Sample-and-hold helper (Section 4.2).
+//
+// "Applications can be designed so that certain events change a state and
+// then the state is held until the next event changes the state.  Between
+// event arrivals, polling can detect the previous event by monitoring the
+// held state."  SampleAndHold is that held word of memory, made thread-safe
+// so an event thread can update it while the scope polls it.  It also counts
+// updates so tests can verify whether the polling frequency was sufficient
+// to observe every event (the paper's back-to-back arrival caveat).
+#ifndef GSCOPE_CORE_SAMPLE_HOLD_H_
+#define GSCOPE_CORE_SAMPLE_HOLD_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gscope {
+
+class SampleAndHold {
+ public:
+  explicit SampleAndHold(double initial = 0.0) : value_(initial) {}
+
+  // Called by the event source: latches the new state.
+  void Update(double value) {
+    value_.store(value, std::memory_order_relaxed);
+    updates_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Called by the scope's poll: reads the held state.
+  double Read() const {
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  int64_t updates() const { return updates_.load(std::memory_order_relaxed); }
+  int64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_;
+  std::atomic<int64_t> updates_{0};
+  mutable std::atomic<int64_t> reads_{0};
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_CORE_SAMPLE_HOLD_H_

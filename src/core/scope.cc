@@ -1,0 +1,446 @@
+#include "core/scope.h"
+
+#include <algorithm>
+
+namespace gscope {
+namespace {
+
+// Default per-signal palette, applied in AddSignal order.  Mirrors the look
+// of the paper's screenshots (distinct saturated colours on black).
+constexpr Rgb kPalette[] = {
+    {0x00, 0xff, 0x00},  // green
+    {0xff, 0x40, 0x40},  // red
+    {0x40, 0x80, 0xff},  // blue
+    {0xff, 0xff, 0x00},  // yellow
+    {0x00, 0xff, 0xff},  // cyan
+    {0xff, 0x00, 0xff},  // magenta
+    {0xff, 0x80, 0x00},  // orange
+    {0xff, 0xff, 0xff},  // white
+};
+constexpr int kPaletteSize = static_cast<int>(sizeof(kPalette) / sizeof(kPalette[0]));
+
+}  // namespace
+
+Scope::Scope(MainLoop* loop, ScopeOptions options)
+    : loop_(loop),
+      options_(std::move(options)),
+      buffer_(options_.buffer_capacity) {
+  if (options_.width <= 0) {
+    options_.width = 512;
+  }
+  if (options_.height <= 0) {
+    options_.height = 256;
+  }
+}
+
+Scope::~Scope() { StopPolling(); }
+
+SignalId Scope::AddSignal(const SignalSpec& spec) {
+  if (spec.name.empty() || FindSignal(spec.name) != 0) {
+    return 0;
+  }
+  if (spec.max <= spec.min) {
+    return 0;
+  }
+  auto state = std::make_unique<SignalState>(
+      SignalState{spec, LowPassFilter(spec.filter_alpha), Trace(static_cast<size_t>(options_.width))});
+  if (!state->spec.color.has_value()) {
+    state->spec.color = kPalette[next_color_ % kPaletteSize];
+    ++next_color_;
+  }
+  SignalId id = next_signal_id_++;
+  signals_[id] = std::move(state);
+  return id;
+}
+
+bool Scope::RemoveSignal(SignalId id) { return signals_.erase(id) > 0; }
+
+SignalId Scope::FindSignal(const std::string& name) const {
+  for (const auto& [id, state] : signals_) {
+    if (state->spec.name == name) {
+      return id;
+    }
+  }
+  return 0;
+}
+
+std::vector<SignalId> Scope::SignalIds() const {
+  std::vector<SignalId> ids;
+  ids.reserve(signals_.size());
+  for (const auto& [id, state] : signals_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+bool Scope::SetHidden(SignalId id, bool hidden) {
+  SignalState* s = Find(id);
+  if (s == nullptr) {
+    return false;
+  }
+  s->spec.hidden = hidden;
+  return true;
+}
+
+bool Scope::ToggleHidden(SignalId id) {
+  SignalState* s = Find(id);
+  if (s == nullptr) {
+    return false;
+  }
+  s->spec.hidden = !s->spec.hidden;
+  return true;
+}
+
+bool Scope::SetFilterAlpha(SignalId id, double alpha) {
+  SignalState* s = Find(id);
+  if (s == nullptr || alpha < 0.0 || alpha > 1.0) {
+    return false;
+  }
+  s->spec.filter_alpha = alpha;
+  s->filter.set_alpha(alpha);
+  return true;
+}
+
+bool Scope::SetRange(SignalId id, double min, double max) {
+  SignalState* s = Find(id);
+  if (s == nullptr || max <= min) {
+    return false;
+  }
+  s->spec.min = min;
+  s->spec.max = max;
+  return true;
+}
+
+bool Scope::SetColor(SignalId id, Rgb color) {
+  SignalState* s = Find(id);
+  if (s == nullptr) {
+    return false;
+  }
+  s->spec.color = color;
+  return true;
+}
+
+bool Scope::SetLineMode(SignalId id, LineMode mode) {
+  SignalState* s = Find(id);
+  if (s == nullptr) {
+    return false;
+  }
+  s->spec.line = mode;
+  return true;
+}
+
+const SignalSpec* Scope::SpecFor(SignalId id) const {
+  const SignalState* s = Find(id);
+  return s == nullptr ? nullptr : &s->spec;
+}
+
+const Trace* Scope::TraceFor(SignalId id) const {
+  const SignalState* s = Find(id);
+  return s == nullptr ? nullptr : &s->trace;
+}
+
+std::optional<double> Scope::LatestValue(SignalId id) const {
+  const SignalState* s = Find(id);
+  if (s == nullptr || !s->has_value) {
+    return std::nullopt;
+  }
+  return s->latest_display;
+}
+
+std::optional<double> Scope::LatestRaw(SignalId id) const {
+  const SignalState* s = Find(id);
+  if (s == nullptr || !s->has_value) {
+    return std::nullopt;
+  }
+  return s->latest_raw;
+}
+
+double Scope::NormalizeValue(SignalId id, double value) const {
+  const SignalState* s = Find(id);
+  if (s == nullptr) {
+    return 0.0;
+  }
+  double span = s->spec.max - s->spec.min;
+  double ruler = (value - s->spec.min) / span * 100.0;
+  return ruler * zoom_ + bias_;
+}
+
+bool Scope::SetPollingMode(int64_t period_ms) {
+  if (period_ms <= 0) {
+    return false;
+  }
+  mode_ = AcquisitionMode::kPolling;
+  period_ms_ = period_ms;
+  if (IsRunning()) {
+    loop_->SetTimeoutPeriodNs(poll_source_, MillisToNanos(period_ms_));
+  }
+  return true;
+}
+
+bool Scope::SetPlaybackMode(const std::string& path, int64_t period_ms) {
+  if (period_ms <= 0) {
+    return false;
+  }
+  if (!playback_.Open(path)) {
+    return false;
+  }
+  mode_ = AcquisitionMode::kPlayback;
+  period_ms_ = period_ms;
+  playback_pending_.reset();
+  playback_time_ms_ = 0;
+  counters_.playback_done = false;
+  if (IsRunning()) {
+    loop_->SetTimeoutPeriodNs(poll_source_, MillisToNanos(period_ms_));
+  }
+  return true;
+}
+
+bool Scope::StartPolling() {
+  if (IsRunning()) {
+    return true;
+  }
+  poll_source_ = loop_->AddTimeoutNs(MillisToNanos(period_ms_),
+                                     [this](const TimeoutTick& tick) { return OnPollTick(tick); });
+  if (poll_source_ == 0) {
+    return false;
+  }
+  if (!started_) {
+    start_ns_ = loop_->clock()->NowNs();
+    started_ = true;
+  }
+  return true;
+}
+
+void Scope::StopPolling() {
+  if (poll_source_ != 0) {
+    loop_->Remove(poll_source_);
+    poll_source_ = 0;
+  }
+}
+
+bool Scope::SetPollingPeriodMs(int64_t period_ms) {
+  if (period_ms <= 0) {
+    return false;
+  }
+  period_ms_ = period_ms;
+  if (IsRunning()) {
+    return loop_->SetTimeoutPeriodNs(poll_source_, MillisToNanos(period_ms_));
+  }
+  return true;
+}
+
+void Scope::SetZoom(double zoom) {
+  if (zoom > 0.0) {
+    zoom_ = zoom;
+  }
+}
+
+void Scope::SetBias(double bias) { bias_ = bias; }
+
+void Scope::SetDelayMs(int64_t delay_ms) {
+  if (delay_ms >= 0) {
+    delay_ms_ = delay_ms;
+  }
+}
+
+bool Scope::PushBuffered(const std::string& signal_name, int64_t time_ms, double value) {
+  return buffer_.Push(Tuple{time_ms, value, signal_name}, NowMs(), delay_ms_);
+}
+
+bool Scope::StartRecording(const std::string& path) {
+  if (!recorder_.Open(path)) {
+    return false;
+  }
+  recorder_.Comment("gscope recording: scope '" + options_.name + "', period " +
+                    std::to_string(period_ms_) + " ms");
+  return true;
+}
+
+void Scope::StopRecording() { recorder_.Close(); }
+
+const TimerStats* Scope::poll_stats() const {
+  return poll_source_ == 0 ? nullptr : loop_->StatsFor(poll_source_);
+}
+
+int64_t Scope::NowMs() const {
+  if (!started_) {
+    return 0;
+  }
+  return static_cast<int64_t>(NanosToMillis(loop_->clock()->NowNs() - start_ns_));
+}
+
+void Scope::TickOnce(int64_t lost) {
+  if (!started_) {
+    start_ns_ = loop_->clock()->NowNs();
+    started_ = true;
+  }
+  TimeoutTick tick{0, loop_->clock()->NowNs(), lost};
+  OnPollTick(tick);
+}
+
+bool Scope::OnPollTick(const TimeoutTick& tick) {
+  counters_.ticks += 1;
+  counters_.lost_ticks += tick.lost;
+
+  if (mode_ == AcquisitionMode::kPlayback) {
+    bool more = SamplePlayback(tick.lost);
+    if (!more) {
+      counters_.playback_done = true;
+      poll_source_ = 0;   // returning false removes the source
+      return false;
+    }
+    return true;
+  }
+
+  SamplePolling(NowMs(), tick.lost);
+  return true;
+}
+
+void Scope::SamplePolling(int64_t now_ms, int64_t lost) {
+  // First route freshly displayable buffered samples to their signals.
+  RouteBuffered(buffer_.DrainDisplayable(now_ms, delay_ms_));
+
+  for (auto& [id, state] : signals_) {
+    double raw = SampleSource(*state);
+    CommitSample(*state, raw, lost, now_ms);
+  }
+}
+
+bool Scope::SamplePlayback(int64_t lost) {
+  playback_time_ms_ += period_ms_ * (lost + 1);
+
+  // Pull every tuple whose time has been reached; the last one per signal
+  // wins the column (sample-and-hold at the display period).
+  bool saw_any = playback_pending_.has_value();
+  std::vector<Tuple> due;
+  while (true) {
+    if (!playback_pending_.has_value()) {
+      playback_pending_ = playback_.Next();
+      if (!playback_pending_.has_value()) {
+        break;  // end of file
+      }
+      saw_any = true;
+    }
+    if (playback_pending_->time_ms > playback_time_ms_) {
+      break;
+    }
+    due.push_back(std::move(*playback_pending_));
+    playback_pending_.reset();
+  }
+
+  if (due.empty() && !saw_any && !playback_pending_.has_value()) {
+    // End of file with nothing left to display: stop without emitting an
+    // extra hold column (the trace must end at the last recorded sample).
+    return false;
+  }
+
+  for (const Tuple& t : due) {
+    SignalId id = t.name.empty() ? (signals_.empty() ? 0 : signals_.begin()->first)
+                                 : FindSignal(t.name);
+    if (id == 0 && options_.auto_create_playback_signals) {
+      // Named tuples create a matching signal; the two-field single-signal
+      // form creates one default signal when the scope has none.
+      SignalSpec spec;
+      spec.name = t.name.empty() ? "signal" : t.name;
+      spec.source = BufferSource{};
+      id = AddSignal(spec);
+    }
+    SignalState* s = Find(id);
+    if (s == nullptr) {
+      counters_.buffered_unmatched += 1;
+      continue;
+    }
+    s->buffered_hold = t.value;
+    s->buffered_primed = true;
+    counters_.buffered_routed += 1;
+  }
+
+  for (auto& [id, state] : signals_) {
+    if (!state->buffered_primed) {
+      continue;  // no data for this signal yet
+    }
+    CommitSample(*state, state->buffered_hold, lost, playback_time_ms_);
+  }
+
+  // Keep ticking while the file has data or a pending tuple exists.
+  return saw_any || playback_pending_.has_value();
+}
+
+void Scope::RouteBuffered(const std::vector<Tuple>& tuples) {
+  for (const Tuple& t : tuples) {
+    SignalState* s = nullptr;
+    if (t.name.empty()) {
+      // Single-signal special case: time-value tuples go to the sole
+      // BUFFER signal.
+      s = FirstBufferSignal();
+    } else {
+      s = Find(FindSignal(t.name));
+    }
+    if (s == nullptr || s->spec.type() != SignalType::kBuffer) {
+      counters_.buffered_unmatched += 1;
+      continue;
+    }
+    s->buffered_hold = t.value;
+    s->buffered_primed = true;
+    counters_.buffered_routed += 1;
+  }
+}
+
+double Scope::SampleSource(SignalState& state) {
+  struct Visitor {
+    SignalState& state;
+    Nanos period_ns;
+    double operator()(const int32_t* p) const { return static_cast<double>(*p); }
+    double operator()(const bool* p) const { return *p ? 1.0 : 0.0; }
+    double operator()(const int16_t* p) const { return static_cast<double>(*p); }
+    double operator()(const float* p) const { return static_cast<double>(*p); }
+    double operator()(const double* p) const { return *p; }
+    double operator()(const FuncSource& f) const { return f.fn ? f.fn() : 0.0; }
+    double operator()(const EventSource& e) const {
+      if (!e.aggregator) {
+        return 0.0;
+      }
+      double hold = state.has_value ? state.latest_raw : 0.0;
+      return e.aggregator->Drain(period_ns, hold);
+    }
+    double operator()(const BufferSource&) const {
+      return state.buffered_primed ? state.buffered_hold
+                                   : (state.has_value ? state.latest_raw : 0.0);
+    }
+  };
+  return std::visit(Visitor{state, MillisToNanos(period_ms_)}, state.spec.source);
+}
+
+void Scope::CommitSample(SignalState& state, double raw, int64_t lost, int64_t now_ms) {
+  double display = state.filter.Apply(raw);
+  state.latest_raw = raw;
+  state.latest_display = display;
+  state.has_value = true;
+  state.trace.PushWithLoss(display, lost);
+  counters_.samples += 1;
+  if (recorder_.is_open()) {
+    // Raw values are recorded; the filter is a display-side parameter.
+    recorder_.Write(Tuple{now_ms, raw, signals_.size() == 1 ? std::string() : state.spec.name});
+  }
+}
+
+Scope::SignalState* Scope::Find(SignalId id) {
+  auto it = signals_.find(id);
+  return it == signals_.end() ? nullptr : it->second.get();
+}
+
+const Scope::SignalState* Scope::Find(SignalId id) const {
+  auto it = signals_.find(id);
+  return it == signals_.end() ? nullptr : it->second.get();
+}
+
+Scope::SignalState* Scope::FirstBufferSignal() {
+  for (auto& [id, state] : signals_) {
+    if (state->spec.type() == SignalType::kBuffer) {
+      return state.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace gscope

@@ -1,0 +1,224 @@
+// Scope: the GtkScope analogue (Sections 2 and 3).
+//
+// A Scope owns a set of signals, samples them on a polling period through the
+// main loop's timeout mechanism, and retains one Trace (pixel-column ring)
+// per signal for display.  Every action that the paper's GUI offers has a
+// method here ("a programmatic interface for every action that can be
+// performed from the GUI"):
+//
+//   GUI element (Figures 1-2)      method
+//   -------------------------      -----------------------------------
+//   sampling period widget         SetPollingMode / SetPollingPeriodMs
+//   zoom / bias widgets            SetZoom / SetBias
+//   delay widget                   SetDelayMs
+//   left-click on signal name      ToggleHidden / SetHidden
+//   right-click parameter window   SetRange / SetColor / SetLineMode /
+//                                  SetFilterAlpha
+//   Value button                   LatestValue
+//   record                         StartRecording / StopRecording
+//   playback                       SetPlaybackMode
+//   time/frequency selector        SetDomain
+//
+// Acquisition modes (Section 3.1): polling (sample the live program) and
+// playback (replay a tuple file).  Both display one sampling point per pixel
+// column per polling period.  Lost polling timeouts advance the traces by the
+// number of missed columns (Section 4.5).
+//
+// Threading: all Scope methods must run on the loop thread, except
+// PushBuffered which is thread-safe (this is the paper's GTK-lock
+// discipline; cross-thread calls go through MainLoop::Invoke).
+#ifndef GSCOPE_CORE_SCOPE_H_
+#define GSCOPE_CORE_SCOPE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/filter.h"
+#include "core/sample_buffer.h"
+#include "core/signal_spec.h"
+#include "core/trace.h"
+#include "core/tuple_io.h"
+#include "core/value.h"
+#include "runtime/event_loop.h"
+
+namespace gscope {
+
+enum class AcquisitionMode : uint8_t { kPolling, kPlayback };
+enum class DisplayDomain : uint8_t { kTime, kFrequency };
+
+struct ScopeOptions {
+  std::string name = "scope";
+  // Canvas geometry; width is also the number of trace columns retained.
+  int width = 512;
+  int height = 256;
+  // Playback: auto-create signals for tuple names not seen before.
+  bool auto_create_playback_signals = true;
+  // Capacity of the scope-wide buffer for BUFFER signals.
+  size_t buffer_capacity = 1 << 16;
+};
+
+class Scope {
+ public:
+  // `loop` is not owned and must outlive the scope.
+  explicit Scope(MainLoop* loop, ScopeOptions options = {});
+  ~Scope();
+
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+  const std::string& name() const { return options_.name; }
+  int width() const { return options_.width; }
+  int height() const { return options_.height; }
+  MainLoop* loop() const { return loop_; }
+
+  // -- Signals (gtk_scope_signal_new / dynamic addition and removal) -------
+
+  // Adds a signal; returns its id (0 on invalid spec, e.g. duplicate name).
+  SignalId AddSignal(const SignalSpec& spec);
+  bool RemoveSignal(SignalId id);
+  // Id for a name, 0 if unknown.
+  SignalId FindSignal(const std::string& name) const;
+  std::vector<SignalId> SignalIds() const;
+  size_t signal_count() const { return signals_.size(); }
+
+  // -- Per-signal parameters (Figure 2 window) ------------------------------
+
+  bool SetHidden(SignalId id, bool hidden);
+  bool ToggleHidden(SignalId id);
+  bool SetFilterAlpha(SignalId id, double alpha);
+  bool SetRange(SignalId id, double min, double max);
+  bool SetColor(SignalId id, Rgb color);
+  bool SetLineMode(SignalId id, LineMode mode);
+
+  // Current (possibly GUI-modified) spec; null for unknown ids.
+  const SignalSpec* SpecFor(SignalId id) const;
+  const Trace* TraceFor(SignalId id) const;
+  // The Value button: most recent displayed (filtered) value.
+  std::optional<double> LatestValue(SignalId id) const;
+  // Most recent raw (pre-filter) sample.
+  std::optional<double> LatestRaw(SignalId id) const;
+
+  // Maps a signal value to the 0..100 y ruler using the signal's min/max and
+  // the scope zoom/bias: ruler = ((v - min) / (max - min) * 100) * zoom + bias.
+  double NormalizeValue(SignalId id, double value) const;
+
+  // -- Acquisition ----------------------------------------------------------
+
+  // gtk_scope_set_polling_mode(scope, period_ms).
+  bool SetPollingMode(int64_t period_ms);
+  // Playback from a recorded tuple file at the given display period.
+  bool SetPlaybackMode(const std::string& path, int64_t period_ms);
+  AcquisitionMode mode() const { return mode_; }
+
+  // gtk_scope_start_polling / stop.  Start installs the timeout source.
+  bool StartPolling();
+  void StopPolling();
+  bool IsRunning() const { return poll_source_ != 0; }
+
+  int64_t polling_period_ms() const { return period_ms_; }
+  // Adjusts the period while running (the sampling-period widget).
+  bool SetPollingPeriodMs(int64_t period_ms);
+
+  // -- Display parameters ---------------------------------------------------
+
+  void SetZoom(double zoom);
+  double zoom() const { return zoom_; }
+  void SetBias(double bias);
+  double bias() const { return bias_; }
+  void SetDelayMs(int64_t delay_ms);
+  int64_t delay_ms() const { return delay_ms_; }
+  void SetDomain(DisplayDomain domain) { domain_ = domain; }
+  DisplayDomain domain() const { return domain_; }
+
+  // -- Buffered data (BUFFER signals) ---------------------------------------
+
+  // Thread-safe push of a timestamped sample for `signal_name` (empty name =
+  // the single-signal special case, routed to the first BUFFER signal).
+  // Returns false if the sample was late and dropped.
+  bool PushBuffered(const std::string& signal_name, int64_t time_ms, double value);
+  SampleBuffer& buffer() { return buffer_; }
+
+  // -- Recording ------------------------------------------------------------
+
+  bool StartRecording(const std::string& path);
+  void StopRecording();
+  bool IsRecording() const { return recorder_.is_open(); }
+
+  // -- Introspection ---------------------------------------------------------
+
+  struct Counters {
+    int64_t ticks = 0;          // poll callbacks dispatched
+    int64_t lost_ticks = 0;     // missed periods compensated (Section 4.5)
+    int64_t samples = 0;        // sampling points taken
+    int64_t buffered_routed = 0;
+    int64_t buffered_unmatched = 0;
+    bool playback_done = false;
+  };
+  const Counters& counters() const { return counters_; }
+  const TimerStats* poll_stats() const;
+
+  // Milliseconds of scope time since StartPolling (0 when never started).
+  int64_t NowMs() const;
+
+  // Runs one poll tick synchronously, as if the timeout fired with `lost`
+  // missed periods.  Drives tests and simulation-fed scopes deterministically.
+  void TickOnce(int64_t lost = 0);
+
+ private:
+  struct SignalState {
+    SignalSpec spec;
+    LowPassFilter filter;
+    Trace trace;
+    double latest_raw = 0.0;
+    double latest_display = 0.0;
+    bool has_value = false;
+    // Sample-and-hold state for BUFFER signals between drains.
+    double buffered_hold = 0.0;
+    bool buffered_primed = false;
+  };
+
+  bool OnPollTick(const TimeoutTick& tick);
+  void SamplePolling(int64_t now_ms, int64_t lost);
+  bool SamplePlayback(int64_t lost);
+  void RouteBuffered(const std::vector<Tuple>& tuples);
+  double SampleSource(SignalState& state);
+  void CommitSample(SignalState& state, double raw, int64_t lost, int64_t now_ms);
+  SignalState* Find(SignalId id);
+  const SignalState* Find(SignalId id) const;
+  SignalState* FirstBufferSignal();
+
+  MainLoop* loop_;
+  ScopeOptions options_;
+
+  std::map<SignalId, std::unique_ptr<SignalState>> signals_;
+  SignalId next_signal_id_ = 1;
+  int next_color_ = 0;
+
+  AcquisitionMode mode_ = AcquisitionMode::kPolling;
+  int64_t period_ms_ = 50;  // the paper's example default
+  SourceId poll_source_ = 0;
+  Nanos start_ns_ = 0;
+  bool started_ = false;
+
+  double zoom_ = 1.0;
+  double bias_ = 0.0;
+  int64_t delay_ms_ = 0;
+  DisplayDomain domain_ = DisplayDomain::kTime;
+
+  SampleBuffer buffer_;
+
+  TupleReader playback_;
+  std::optional<Tuple> playback_pending_;
+  int64_t playback_time_ms_ = 0;
+
+  TupleWriter recorder_;
+  Counters counters_;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_CORE_SCOPE_H_

@@ -1,0 +1,43 @@
+#include "core/scope_set.h"
+
+#include <algorithm>
+
+namespace gscope {
+
+Scope* ScopeSet::CreateScope(ScopeOptions options) {
+  if (FindScope(options.name) != nullptr) {
+    return nullptr;
+  }
+  scopes_.push_back(std::make_unique<Scope>(loop_, std::move(options)));
+  return scopes_.back().get();
+}
+
+bool ScopeSet::RemoveScope(Scope* scope) {
+  auto it = std::find_if(scopes_.begin(), scopes_.end(),
+                         [scope](const std::unique_ptr<Scope>& s) { return s.get() == scope; });
+  if (it == scopes_.end()) {
+    return false;
+  }
+  scopes_.erase(it);
+  return true;
+}
+
+Scope* ScopeSet::FindScope(const std::string& name) {
+  for (const auto& s : scopes_) {
+    if (s->name() == name) {
+      return s.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<Scope*> ScopeSet::scopes() {
+  std::vector<Scope*> out;
+  out.reserve(scopes_.size());
+  for (const auto& s : scopes_) {
+    out.push_back(s.get());
+  }
+  return out;
+}
+
+}  // namespace gscope

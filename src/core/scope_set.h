@@ -1,0 +1,52 @@
+// ScopeSet: multiple scopes plus the application-wide control parameters.
+//
+// "Some of the key features of gscope are: support for multiple scopes and
+// signals, dynamic addition and removal of scopes and signals ..." (Section
+// 1) and "control parameters that are application-wide and not specific to
+// each GtkScope widget" (Section 2).  A ScopeSet bundles a shared main loop,
+// any number of scopes, and the one ParamRegistry.
+#ifndef GSCOPE_CORE_SCOPE_SET_H_
+#define GSCOPE_CORE_SCOPE_SET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "core/scope.h"
+#include "runtime/event_loop.h"
+
+namespace gscope {
+
+class ScopeSet {
+ public:
+  // `loop` is not owned and must outlive the set.
+  explicit ScopeSet(MainLoop* loop) : loop_(loop) {}
+
+  ScopeSet(const ScopeSet&) = delete;
+  ScopeSet& operator=(const ScopeSet&) = delete;
+
+  // Creates a scope owned by the set.  Names must be unique within the set.
+  // Returns nullptr on duplicates.
+  Scope* CreateScope(ScopeOptions options = {});
+
+  // Destroys a scope (stops its polling).  Returns false if not a member.
+  bool RemoveScope(Scope* scope);
+
+  Scope* FindScope(const std::string& name);
+  std::vector<Scope*> scopes();
+  size_t size() const { return scopes_.size(); }
+
+  MainLoop* loop() const { return loop_; }
+  ParamRegistry& params() { return params_; }
+  const ParamRegistry& params() const { return params_; }
+
+ private:
+  MainLoop* loop_;
+  std::vector<std::unique_ptr<Scope>> scopes_;
+  ParamRegistry params_;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_CORE_SCOPE_SET_H_

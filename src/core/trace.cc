@@ -1,0 +1,77 @@
+#include "core/trace.h"
+
+namespace gscope {
+namespace {
+const TracePoint kInvalidPoint{};
+}  // namespace
+
+Trace::Trace(size_t capacity) : points_(capacity == 0 ? 1 : capacity) {}
+
+void Trace::Push(double value) { PushPoint(value, /*synthesized=*/false); }
+
+void Trace::PushWithLoss(double value, int64_t columns) {
+  // Missed ticks hold the previous value; cap at capacity since older
+  // columns would be overwritten anyway.
+  int64_t cap = static_cast<int64_t>(points_.size());
+  if (columns > cap) {
+    columns = cap;
+  }
+  double hold = valid_count_ > 0 ? latest() : value;
+  for (int64_t i = 0; i < columns; ++i) {
+    PushPoint(hold, /*synthesized=*/true);
+  }
+  PushPoint(value, /*synthesized=*/false);
+}
+
+void Trace::Reset() {
+  for (auto& p : points_) {
+    p = TracePoint{};
+  }
+  head_ = 0;
+  valid_count_ = 0;
+}
+
+const TracePoint& Trace::At(size_t age) const {
+  if (age >= valid_count_) {
+    return kInvalidPoint;
+  }
+  size_t idx = (head_ + points_.size() - 1 - age) % points_.size();
+  return points_[idx];
+}
+
+std::vector<TracePoint> Trace::Snapshot() const {
+  std::vector<TracePoint> out;
+  out.reserve(valid_count_);
+  for (size_t i = valid_count_; i > 0; --i) {
+    out.push_back(At(i - 1));
+  }
+  return out;
+}
+
+std::vector<double> Trace::Values() const {
+  std::vector<double> out;
+  out.reserve(valid_count_);
+  for (size_t i = valid_count_; i > 0; --i) {
+    const TracePoint& p = At(i - 1);
+    if (p.valid) {
+      out.push_back(p.value);
+    }
+  }
+  return out;
+}
+
+double Trace::latest() const { return valid_count_ > 0 ? At(0).value : 0.0; }
+
+void Trace::PushPoint(double value, bool synthesized) {
+  points_[head_] = TracePoint{value, true, synthesized};
+  head_ = (head_ + 1) % points_.size();
+  if (valid_count_ < points_.size()) {
+    ++valid_count_;
+  }
+  ++total_pushed_;
+  if (synthesized) {
+    ++synthesized_count_;
+  }
+}
+
+}  // namespace gscope

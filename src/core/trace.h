@@ -1,0 +1,74 @@
+// Per-signal trace: the ring of displayed sampling points.
+//
+// The scope displays one point per pixel column per polling period (Section
+// 3.1: "data is displayed one pixel apart each polling period").  A Trace is
+// that pixel-column ring.  Lost polling timeouts advance the ring by the
+// number of missed columns (Section 4.5) with hold points so the x-axis stays
+// truthful; those points are flagged `synthesized`.
+#ifndef GSCOPE_CORE_TRACE_H_
+#define GSCOPE_CORE_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gscope {
+
+struct TracePoint {
+  double value = 0.0;
+  // False until the column has been written at least once.
+  bool valid = false;
+  // True when the column was filled in for a lost timeout rather than
+  // an actual sample.
+  bool synthesized = false;
+};
+
+class Trace {
+ public:
+  // `capacity` is the number of pixel columns retained (canvas width).
+  explicit Trace(size_t capacity);
+
+  size_t capacity() const { return points_.size(); }
+
+  // Appends a real sample, advancing the ring one column.
+  void Push(double value);
+
+  // Appends `columns` hold points (repeating the last value) for lost ticks,
+  // then the real sample.  Equivalent to Push when columns == 0.
+  void PushWithLoss(double value, int64_t columns);
+
+  // Clears all columns (mode switches, zoom-to-fresh restarts).
+  void Reset();
+
+  // Newest-first access: At(0) is the most recent column, At(1) the one
+  // before it, ...  Returns an invalid point beyond the written range.
+  const TracePoint& At(size_t age) const;
+
+  // Oldest-to-newest copy of the valid window (for rendering / FFT).
+  std::vector<TracePoint> Snapshot() const;
+  // Same, values only, invalid columns skipped.
+  std::vector<double> Values() const;
+
+  // Number of valid columns (<= capacity).
+  size_t size() const { return valid_count_; }
+  bool empty() const { return valid_count_ == 0; }
+
+  // Total samples ever pushed, including synthesized hold points.
+  int64_t total_pushed() const { return total_pushed_; }
+  int64_t synthesized_count() const { return synthesized_count_; }
+
+  double latest() const;
+
+ private:
+  void PushPoint(double value, bool synthesized);
+
+  std::vector<TracePoint> points_;
+  size_t head_ = 0;  // next write position
+  size_t valid_count_ = 0;
+  int64_t total_pushed_ = 0;
+  int64_t synthesized_count_ = 0;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_CORE_TRACE_H_

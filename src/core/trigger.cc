@@ -1,0 +1,119 @@
+#include "core/trigger.h"
+
+namespace gscope {
+
+Trigger::Trigger(TriggerConfig config) : config_(config) {}
+
+bool Trigger::CrossedLevel(double sample) const {
+  if (!has_prev_) {
+    return false;
+  }
+  if (config_.edge == TriggerEdge::kRising) {
+    return prev_ < config_.level && sample >= config_.level;
+  }
+  return prev_ > config_.level && sample <= config_.level;
+}
+
+bool Trigger::RetreatedPastHysteresis(double sample) const {
+  if (config_.edge == TriggerEdge::kRising) {
+    return sample < config_.level - config_.hysteresis;
+  }
+  return sample > config_.level + config_.hysteresis;
+}
+
+bool Trigger::Feed(double sample) {
+  ++since_fire_;
+  bool fired = false;
+
+  if (!armed_ && RetreatedPastHysteresis(sample)) {
+    armed_ = true;
+  }
+
+  bool single_blocked = config_.mode == TriggerMode::kSingle && single_done_;
+  if (armed_ && !single_blocked && since_fire_ > config_.holdoff && CrossedLevel(sample)) {
+    fired = true;
+    armed_ = false;
+    since_fire_ = 0;
+    ever_fired_ = true;
+    ++fires_;
+    if (config_.mode == TriggerMode::kSingle) {
+      single_done_ = true;
+    }
+  }
+
+  prev_ = sample;
+  has_prev_ = true;
+  return fired;
+}
+
+void Trigger::Rearm() {
+  single_done_ = false;
+  armed_ = true;
+  since_fire_ = config_.holdoff + 1;
+}
+
+std::vector<Sweep> ExtractSweeps(const std::vector<double>& samples, size_t width,
+                                 const TriggerConfig& config) {
+  std::vector<Sweep> sweeps;
+  if (width == 0 || samples.empty()) {
+    return sweeps;
+  }
+
+  Trigger trigger(config);
+  size_t free_run_start = 0;
+  size_t capture_until = 0;  // end (exclusive) of the sweep being captured
+  size_t capture_start = 0;
+  bool capturing = false;
+
+  for (size_t i = 0; i < samples.size(); ++i) {
+    bool fired = trigger.Feed(samples[i]);
+    if (fired && !capturing) {
+      capturing = true;
+      capture_start = i;
+      capture_until = i + width;
+    }
+    if (capturing && i + 1 == capture_until) {
+      Sweep sweep;
+      sweep.start_index = capture_start;
+      sweep.triggered = true;
+      sweep.samples.assign(samples.begin() + static_cast<long>(capture_start),
+                           samples.begin() + static_cast<long>(capture_until));
+      sweeps.push_back(std::move(sweep));
+      capturing = false;
+      free_run_start = capture_until;
+      if (config.mode == TriggerMode::kSingle) {
+        break;
+      }
+    }
+    // Auto mode: if we drift a full width with no trigger, emit a free-run
+    // sweep so the display still updates.
+    if (config.mode == TriggerMode::kAuto && !capturing &&
+        i + 1 >= free_run_start + width) {
+      Sweep sweep;
+      sweep.start_index = free_run_start;
+      sweep.triggered = false;
+      sweep.samples.assign(samples.begin() + static_cast<long>(free_run_start),
+                           samples.begin() + static_cast<long>(free_run_start + width));
+      sweeps.push_back(std::move(sweep));
+      free_run_start += width;
+    }
+  }
+  return sweeps;
+}
+
+std::optional<Sweep> LatestSweep(const std::vector<double>& samples, size_t width,
+                                 const TriggerConfig& config) {
+  std::vector<Sweep> sweeps = ExtractSweeps(samples, width, config);
+  if (sweeps.empty()) {
+    return std::nullopt;
+  }
+  // Prefer the most recent *triggered* sweep; fall back to the last one.
+  for (auto it = sweeps.rbegin(); it != sweeps.rend(); ++it) {
+    if (it->triggered) {
+      return *it;
+    }
+  }
+  return sweeps.back();
+}
+
+}  // namespace gscope

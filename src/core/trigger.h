@@ -1,0 +1,97 @@
+// Oscilloscope-style triggers (the paper's Section 6 future work).
+//
+// "Gscope currently does not have support for repeating waveforms.  Thus,
+// many oscilloscope features such as triggers that stabilize repeating
+// waveforms or waveform envelop generation are not implemented in gscope."
+//
+// This module implements them.  A Trigger detects threshold crossings
+// (rising or falling edge, with hysteresis and holdoff, like a real scope's
+// trigger controls); TriggeredSweeps splits a signal trace into sweeps
+// aligned at the trigger point so a repeating waveform draws in a stable
+// position instead of scrolling.
+#ifndef GSCOPE_CORE_TRIGGER_H_
+#define GSCOPE_CORE_TRIGGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/trace.h"
+
+namespace gscope {
+
+enum class TriggerEdge : uint8_t { kRising, kFalling };
+
+enum class TriggerMode : uint8_t {
+  kAuto,    // free-run when no trigger fires (always shows something)
+  kNormal,  // only update the sweep on a trigger
+  kSingle,  // arm once, capture one sweep, then hold
+};
+
+struct TriggerConfig {
+  TriggerEdge edge = TriggerEdge::kRising;
+  double level = 50.0;
+  // Hysteresis band: the signal must retreat past level -/+ hysteresis
+  // before the trigger re-arms (suppresses noise double-fires).
+  double hysteresis = 1.0;
+  // Minimum samples between consecutive trigger firings.
+  size_t holdoff = 0;
+  TriggerMode mode = TriggerMode::kAuto;
+};
+
+// Streaming edge detector.  Feed samples in time order; Fire() reports
+// whether the just-fed sample triggered.
+class Trigger {
+ public:
+  explicit Trigger(TriggerConfig config = {});
+
+  const TriggerConfig& config() const { return config_; }
+  void set_level(double level) { config_.level = level; }
+  void set_edge(TriggerEdge edge) { config_.edge = edge; }
+  void set_mode(TriggerMode mode) { config_.mode = mode; }
+
+  // Processes one sample; returns true if this sample fired the trigger.
+  bool Feed(double sample);
+
+  // Re-arms a kSingle trigger (and resets holdoff/arming state).
+  void Rearm();
+
+  int64_t fires() const { return fires_; }
+  bool armed() const { return armed_; }
+
+ private:
+  bool CrossedLevel(double sample) const;
+  bool RetreatedPastHysteresis(double sample) const;
+
+  TriggerConfig config_;
+  bool has_prev_ = false;
+  double prev_ = 0.0;
+  bool armed_ = true;       // hysteresis arming
+  bool single_done_ = false;
+  size_t since_fire_ = 0;
+  bool ever_fired_ = false;
+  int64_t fires_ = 0;
+};
+
+// One display sweep: `width` samples starting at a trigger point.
+struct Sweep {
+  std::vector<double> samples;
+  // Index into the source sample stream where the sweep starts.
+  size_t start_index = 0;
+  bool triggered = false;  // false for kAuto free-run sweeps
+};
+
+// Splits a time-ordered sample vector (e.g. Trace::Values()) into
+// trigger-aligned sweeps of `width` samples, applying the trigger config.
+// kAuto emits a free-run sweep when no trigger fires within a width.
+std::vector<Sweep> ExtractSweeps(const std::vector<double>& samples, size_t width,
+                                 const TriggerConfig& config);
+
+// The most recent stable sweep for display, or nullopt when none complete.
+std::optional<Sweep> LatestSweep(const std::vector<double>& samples, size_t width,
+                                 const TriggerConfig& config);
+
+}  // namespace gscope
+
+#endif  // GSCOPE_CORE_TRIGGER_H_

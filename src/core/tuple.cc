@@ -1,0 +1,118 @@
+#include "core/tuple.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gscope {
+namespace {
+
+std::string_view TrimLeft(std::string_view s) {
+  size_t i = 0;
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r')) {
+    ++i;
+  }
+  return s.substr(i);
+}
+
+std::string_view TrimRight(std::string_view s) {
+  size_t n = s.size();
+  while (n > 0 && (s[n - 1] == ' ' || s[n - 1] == '\t' || s[n - 1] == '\r' || s[n - 1] == '\n')) {
+    --n;
+  }
+  return s.substr(0, n);
+}
+
+// Takes the next whitespace-delimited token off the front of `s`.
+std::string_view NextToken(std::string_view* s) {
+  *s = TrimLeft(*s);
+  size_t end = 0;
+  while (end < s->size() && !std::isspace(static_cast<unsigned char>((*s)[end]))) {
+    ++end;
+  }
+  std::string_view token = s->substr(0, end);
+  *s = s->substr(end);
+  return token;
+}
+
+bool ParseInt64(std::string_view token, int64_t* out) {
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), *out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+bool ParseDouble(std::string_view token, double* out) {
+  // std::from_chars<double> is available in libstdc++ 11+, but strtod keeps
+  // us portable; token is bounded so copy to a small buffer.
+  if (token.empty() || token.size() >= 64) {
+    return false;
+  }
+  char buf[64];
+  token.copy(buf, token.size());
+  buf[token.size()] = '\0';
+  char* end = nullptr;
+  *out = std::strtod(buf, &end);
+  return end == buf + token.size();
+}
+
+}  // namespace
+
+std::string FormatTuple(const Tuple& tuple) {
+  char buf[128];
+  int n;
+  if (tuple.name.empty()) {
+    n = std::snprintf(buf, sizeof(buf), "%lld %.17g\n", static_cast<long long>(tuple.time_ms),
+                      tuple.value);
+  } else {
+    n = std::snprintf(buf, sizeof(buf), "%lld %.17g %s\n", static_cast<long long>(tuple.time_ms),
+                      tuple.value, tuple.name.c_str());
+  }
+  if (n < 0) {
+    return {};
+  }
+  if (static_cast<size_t>(n) < sizeof(buf)) {
+    return std::string(buf, static_cast<size_t>(n));
+  }
+  // Name too long for the stack buffer; build it the slow way.
+  std::string out = std::to_string(tuple.time_ms);
+  char vbuf[40];
+  std::snprintf(vbuf, sizeof(vbuf), " %.17g ", tuple.value);
+  out += vbuf;
+  out += tuple.name;
+  out += '\n';
+  return out;
+}
+
+bool IsIgnorableLine(std::string_view line) {
+  std::string_view s = TrimLeft(line);
+  s = TrimRight(s);
+  return s.empty() || s.front() == '#';
+}
+
+std::optional<Tuple> ParseTuple(std::string_view line) {
+  if (IsIgnorableLine(line)) {
+    return std::nullopt;
+  }
+  std::string_view rest = TrimRight(line);
+
+  std::string_view time_tok = NextToken(&rest);
+  std::string_view value_tok = NextToken(&rest);
+  std::string_view name_tok = NextToken(&rest);
+  std::string_view extra = TrimLeft(rest);
+
+  if (time_tok.empty() || value_tok.empty() || !extra.empty()) {
+    return std::nullopt;
+  }
+
+  Tuple tuple;
+  if (!ParseInt64(time_tok, &tuple.time_ms)) {
+    return std::nullopt;
+  }
+  if (!ParseDouble(value_tok, &tuple.value)) {
+    return std::nullopt;
+  }
+  tuple.name.assign(name_tok.begin(), name_tok.end());
+  return tuple;
+}
+
+}  // namespace gscope

@@ -1,0 +1,45 @@
+// The textual tuple format of Section 3.3.
+//
+// "Each tuple consists of three quantities: time, value and signal name ...
+// As a special case, if there is only one signal, then the third quantity may
+// not exist.  In that case, signals are simply time-value tuples.  When
+// signals are streamed or replayed from a recorded file, the time field of
+// successive tuples is in increasing time order and its value is in
+// milliseconds."
+//
+// Wire form, one tuple per newline-terminated line:
+//     <time_ms> <value> [<name>]
+// Blank lines and lines starting with '#' are ignored (comments in recorded
+// files).  Names may not contain whitespace.
+#ifndef GSCOPE_CORE_TUPLE_H_
+#define GSCOPE_CORE_TUPLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gscope {
+
+struct Tuple {
+  int64_t time_ms = 0;
+  double value = 0.0;
+  // Empty for the two-field single-signal form.
+  std::string name;
+
+  friend bool operator==(const Tuple&, const Tuple&) = default;
+};
+
+// Serializes one tuple, newline-terminated.  Omits the name when empty.
+std::string FormatTuple(const Tuple& tuple);
+
+// Parses one line.  Returns nullopt for malformed lines (missing fields,
+// non-numeric time/value, trailing junk).  Comment/blank lines are
+// distinguished from malformed ones by IsIgnorableLine.
+std::optional<Tuple> ParseTuple(std::string_view line);
+
+bool IsIgnorableLine(std::string_view line);
+
+}  // namespace gscope
+
+#endif  // GSCOPE_CORE_TUPLE_H_

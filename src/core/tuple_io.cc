@@ -1,0 +1,80 @@
+#include "core/tuple_io.h"
+
+namespace gscope {
+
+bool TupleWriter::Open(const std::string& path) {
+  Close();
+  out_.open(path, std::ios::out | std::ios::trunc);
+  last_time_ms_ = INT64_MIN;
+  written_ = 0;
+  rejected_ = 0;
+  return out_.is_open();
+}
+
+void TupleWriter::Close() {
+  if (out_.is_open()) {
+    out_.close();
+  }
+}
+
+void TupleWriter::Comment(const std::string& text) {
+  if (out_.is_open()) {
+    out_ << "# " << text << '\n';
+  }
+}
+
+bool TupleWriter::Write(const Tuple& tuple) {
+  if (!out_.is_open() || tuple.time_ms < last_time_ms_) {
+    ++rejected_;
+    return false;
+  }
+  out_ << FormatTuple(tuple);
+  last_time_ms_ = tuple.time_ms;
+  ++written_;
+  return true;
+}
+
+bool TupleReader::Open(const std::string& path) {
+  if (in_.is_open()) {
+    in_.close();
+  }
+  in_.clear();
+  in_.open(path, std::ios::in);
+  last_time_ms_ = INT64_MIN;
+  parsed_ = 0;
+  malformed_ = 0;
+  out_of_order_ = 0;
+  return in_.is_open();
+}
+
+std::optional<Tuple> TupleReader::Next() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (IsIgnorableLine(line)) {
+      continue;
+    }
+    std::optional<Tuple> tuple = ParseTuple(line);
+    if (!tuple.has_value()) {
+      ++malformed_;
+      continue;
+    }
+    if (tuple->time_ms < last_time_ms_) {
+      ++out_of_order_;
+      continue;
+    }
+    last_time_ms_ = tuple->time_ms;
+    ++parsed_;
+    return tuple;
+  }
+  return std::nullopt;
+}
+
+std::vector<Tuple> TupleReader::ReadAll() {
+  std::vector<Tuple> out;
+  while (auto tuple = Next()) {
+    out.push_back(std::move(*tuple));
+  }
+  return out;
+}
+
+}  // namespace gscope

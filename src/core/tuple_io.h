@@ -1,0 +1,75 @@
+// Recording and replaying tuple streams (Sections 3.1, 3.3).
+//
+// TupleWriter records signal data ("the polled data can be recorded to a
+// file"); TupleReader replays it in playback mode.  Both enforce the format's
+// invariant that successive tuple times are non-decreasing.
+#ifndef GSCOPE_CORE_TUPLE_IO_H_
+#define GSCOPE_CORE_TUPLE_IO_H_
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/tuple.h"
+
+namespace gscope {
+
+class TupleWriter {
+ public:
+  TupleWriter() = default;
+
+  // Opens `path` for writing (truncates).  Returns false on failure.
+  bool Open(const std::string& path);
+  bool is_open() const { return out_.is_open(); }
+  void Close();
+
+  // Writes a leading comment line (e.g. recording metadata).
+  void Comment(const std::string& text);
+
+  // Appends one tuple.  Returns false (and writes nothing) if the time would
+  // go backwards relative to the last written tuple, or if closed.
+  bool Write(const Tuple& tuple);
+
+  int64_t written() const { return written_; }
+  int64_t rejected() const { return rejected_; }
+
+ private:
+  std::ofstream out_;
+  int64_t last_time_ms_ = INT64_MIN;
+  int64_t written_ = 0;
+  int64_t rejected_ = 0;
+};
+
+class TupleReader {
+ public:
+  TupleReader() = default;
+
+  // Opens `path` for reading.  Returns false on failure.
+  bool Open(const std::string& path);
+  bool is_open() const { return in_.is_open(); }
+
+  // Reads the next well-formed tuple.  Skips comment/blank lines.  Malformed
+  // lines and time-order violations are counted and skipped (a replay should
+  // survive a slightly damaged recording).  Returns nullopt at end of file.
+  std::optional<Tuple> Next();
+
+  // Reads every remaining tuple.
+  std::vector<Tuple> ReadAll();
+
+  int64_t parsed() const { return parsed_; }
+  int64_t malformed() const { return malformed_; }
+  int64_t out_of_order() const { return out_of_order_; }
+
+ private:
+  std::ifstream in_;
+  int64_t last_time_ms_ = INT64_MIN;
+  int64_t parsed_ = 0;
+  int64_t malformed_ = 0;
+  int64_t out_of_order_ = 0;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_CORE_TUPLE_IO_H_

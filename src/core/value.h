@@ -1,0 +1,66 @@
+// Basic value and display types shared across the gscope core.
+#ifndef GSCOPE_CORE_VALUE_H_
+#define GSCOPE_CORE_VALUE_H_
+
+#include <cstdint>
+
+namespace gscope {
+
+// Identifies a signal within a Scope.  0 is never valid.
+using SignalId = int;
+
+// How a signal's sample stream is drawn (the "line mode" of GtkScopeSig).
+enum class LineMode : uint8_t {
+  kLine,    // connect successive samples
+  kPoints,  // one pixel per sample
+  kSteps,   // sample-and-hold staircase
+};
+
+// 24-bit colour, used by SignalSpec and the software renderer.
+struct Rgb {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+
+  friend bool operator==(const Rgb&, const Rgb&) = default;
+};
+
+// The signal acquisition types of Section 3.1.
+enum class SignalType : uint8_t {
+  kInteger,
+  kBoolean,
+  kShort,
+  kFloat,
+  kDouble,  // extension: the paper's FLOAT generalized
+  kFunc,
+  kEvent,   // extension: event-aggregated source (Section 4.2)
+  kBuffer,
+};
+
+const char* SignalTypeName(SignalType type);
+
+inline const char* SignalTypeName(SignalType type) {
+  switch (type) {
+    case SignalType::kInteger:
+      return "INTEGER";
+    case SignalType::kBoolean:
+      return "BOOLEAN";
+    case SignalType::kShort:
+      return "SHORT";
+    case SignalType::kFloat:
+      return "FLOAT";
+    case SignalType::kDouble:
+      return "DOUBLE";
+    case SignalType::kFunc:
+      return "FUNC";
+    case SignalType::kEvent:
+      return "EVENT";
+    case SignalType::kBuffer:
+      return "BUFFER";
+  }
+  return "?";
+}
+
+}  // namespace gscope
+
+#endif  // GSCOPE_CORE_VALUE_H_

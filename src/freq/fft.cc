@@ -1,0 +1,72 @@
+#include "freq/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace gscope {
+
+bool IsPowerOfTwo(size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+bool Fft(std::vector<Complex>* data, bool inverse) {
+  const size_t n = data->size();
+  if (!IsPowerOfTwo(n)) {
+    return false;
+  }
+  std::vector<Complex>& a = *data;
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap(a[i], a[j]);
+    }
+  }
+
+  // Butterflies.
+  const double sign = inverse ? 1.0 : -1.0;
+  for (size_t len = 2; len <= n; len <<= 1) {
+    double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    Complex wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        Complex u = a[i + k];
+        Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (Complex& x : a) {
+      x /= static_cast<double>(n);
+    }
+  }
+  return true;
+}
+
+std::vector<Complex> FftReal(const std::vector<double>& input) {
+  size_t n = input.empty() ? 1 : NextPowerOfTwo(input.size());
+  std::vector<Complex> data(n, Complex{0.0, 0.0});
+  for (size_t i = 0; i < input.size(); ++i) {
+    data[i] = Complex{input[i], 0.0};
+  }
+  Fft(&data);
+  return data;
+}
+
+}  // namespace gscope

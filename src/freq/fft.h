@@ -1,0 +1,33 @@
+// Radix-2 complex FFT for the frequency-domain display (Section 3.1:
+// "Polled signals can be displayed in the time or frequency domain").
+//
+// No external dependencies: an iterative in-place Cooley-Tukey transform over
+// power-of-two sizes, plus helpers to pad arbitrary-length signal traces.
+#ifndef GSCOPE_FREQ_FFT_H_
+#define GSCOPE_FREQ_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace gscope {
+
+using Complex = std::complex<double>;
+
+// True if n is a power of two (n >= 1).
+bool IsPowerOfTwo(size_t n);
+
+// Smallest power of two >= n (n >= 1).
+size_t NextPowerOfTwo(size_t n);
+
+// In-place FFT; `data.size()` must be a power of two.  Returns false (and
+// leaves data untouched) otherwise.  `inverse` applies the 1/N-scaled
+// inverse transform.
+bool Fft(std::vector<Complex>* data, bool inverse = false);
+
+// Convenience: real input, zero-padded to the next power of two.
+std::vector<Complex> FftReal(const std::vector<double>& input);
+
+}  // namespace gscope
+
+#endif  // GSCOPE_FREQ_FFT_H_

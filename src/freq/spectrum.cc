@@ -1,0 +1,67 @@
+#include "freq/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "freq/fft.h"
+
+namespace gscope {
+namespace {
+constexpr double kDbFloor = -120.0;
+}  // namespace
+
+size_t Spectrum::PeakBin() const {
+  if (power_db.empty()) {
+    return 0;
+  }
+  size_t start = power_db.size() > 1 ? 1 : 0;  // skip DC
+  size_t best = start;
+  for (size_t i = start; i < power_db.size(); ++i) {
+    if (power_db[i] > power_db[best]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+Spectrum ComputeSpectrum(const std::vector<double>& samples, double sample_rate_hz,
+                         const SpectrumOptions& options) {
+  Spectrum spectrum;
+  if (samples.size() < 2 || sample_rate_hz <= 0.0) {
+    return spectrum;
+  }
+
+  std::vector<double> x = samples;
+  if (options.remove_dc) {
+    double mean = 0.0;
+    for (double v : x) {
+      mean += v;
+    }
+    mean /= static_cast<double>(x.size());
+    for (double& v : x) {
+      v -= mean;
+    }
+  }
+  x = ApplyWindow(x, options.window);
+
+  std::vector<Complex> bins = FftReal(x);
+  size_t n = bins.size();
+  size_t half = n / 2;
+
+  // Coherent gain normalization so a full-scale sine reads ~0 dBFS.
+  double gain = WindowSum(options.window, samples.size()) / 2.0;
+  if (gain <= 0.0) {
+    gain = 1.0;
+  }
+
+  spectrum.power_db.resize(half + 1);
+  for (size_t i = 0; i <= half; ++i) {
+    double mag = std::abs(bins[i]) / gain;
+    spectrum.power_db[i] = mag <= 0.0 ? kDbFloor : std::max(kDbFloor, 20.0 * std::log10(mag));
+  }
+  // Zero padding stretches the bin grid: bin_hz reflects the padded length.
+  spectrum.bin_hz = sample_rate_hz / static_cast<double>(n);
+  return spectrum;
+}
+
+}  // namespace gscope

@@ -1,0 +1,37 @@
+// Power spectrum of a signal trace, for the frequency-domain display.
+#ifndef GSCOPE_FREQ_SPECTRUM_H_
+#define GSCOPE_FREQ_SPECTRUM_H_
+
+#include <vector>
+
+#include "freq/window.h"
+
+namespace gscope {
+
+struct SpectrumOptions {
+  WindowKind window = WindowKind::kHann;
+  // Remove the mean before transforming so the DC bin does not dominate the
+  // display (software signals usually have large offsets).
+  bool remove_dc = true;
+};
+
+struct Spectrum {
+  // Per-bin power in dB relative to full scale, bins 0..N/2 (inclusive).
+  std::vector<double> power_db;
+  // Bin width in Hz, given the sample rate the caller supplied.
+  double bin_hz = 0.0;
+
+  // Index of the strongest bin (excluding DC when it was removed).
+  size_t PeakBin() const;
+  double PeakHz() const { return static_cast<double>(PeakBin()) * bin_hz; }
+};
+
+// Computes the one-sided power spectrum of `samples` taken at
+// `sample_rate_hz`.  Pads to the next power of two.  Returns an empty
+// spectrum for fewer than two samples.
+Spectrum ComputeSpectrum(const std::vector<double>& samples, double sample_rate_hz,
+                         const SpectrumOptions& options = {});
+
+}  // namespace gscope
+
+#endif  // GSCOPE_FREQ_SPECTRUM_H_

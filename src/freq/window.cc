@@ -1,0 +1,43 @@
+#include "freq/window.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace gscope {
+
+double WindowCoefficient(WindowKind kind, size_t i, size_t n) {
+  if (n <= 1) {
+    return 1.0;
+  }
+  double x = static_cast<double>(i) / static_cast<double>(n - 1);
+  switch (kind) {
+    case WindowKind::kRectangular:
+      return 1.0;
+    case WindowKind::kHann:
+      return 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * x);
+    case WindowKind::kHamming:
+      return 0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * x);
+    case WindowKind::kBlackman:
+      return 0.42 - 0.5 * std::cos(2.0 * std::numbers::pi * x) +
+             0.08 * std::cos(4.0 * std::numbers::pi * x);
+  }
+  return 1.0;
+}
+
+std::vector<double> ApplyWindow(const std::vector<double>& input, WindowKind kind) {
+  std::vector<double> out(input.size());
+  for (size_t i = 0; i < input.size(); ++i) {
+    out[i] = input[i] * WindowCoefficient(kind, i, input.size());
+  }
+  return out;
+}
+
+double WindowSum(WindowKind kind, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += WindowCoefficient(kind, i, n);
+  }
+  return sum;
+}
+
+}  // namespace gscope

@@ -1,0 +1,29 @@
+// Window functions applied before the FFT to reduce spectral leakage.
+#ifndef GSCOPE_FREQ_WINDOW_H_
+#define GSCOPE_FREQ_WINDOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gscope {
+
+enum class WindowKind : uint8_t {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+};
+
+// Window coefficient w[i] for a window of length n (0 <= i < n).
+double WindowCoefficient(WindowKind kind, size_t i, size_t n);
+
+// Returns input .* window.
+std::vector<double> ApplyWindow(const std::vector<double>& input, WindowKind kind);
+
+// Sum of coefficients (for amplitude normalization).
+double WindowSum(WindowKind kind, size_t n);
+
+}  // namespace gscope
+
+#endif  // GSCOPE_FREQ_WINDOW_H_

@@ -1,0 +1,48 @@
+// Umbrella header for the gscope library.
+//
+// A reproduction of: Goel & Walpole, "Gscope: A Visualization Tool for
+// Time-Sensitive Software", FREENIX/USENIX 2002.  See DESIGN.md for the
+// module inventory and EXPERIMENTS.md for the reproduced evaluation.
+#ifndef GSCOPE_GSCOPE_H_
+#define GSCOPE_GSCOPE_H_
+
+// Event loop substrate (glib analogue).
+#include "runtime/clock.h"
+#include "runtime/event_loop.h"
+#include "runtime/timer_stats.h"
+
+// The scope library proper.
+#include "core/aggregate.h"
+#include "core/file_probe.h"
+#include "core/filter.h"
+#include "core/params.h"
+#include "core/sample_buffer.h"
+#include "core/envelope.h"
+#include "core/sample_hold.h"
+#include "core/scope.h"
+#include "core/scope_set.h"
+#include "core/signal_spec.h"
+#include "core/trace.h"
+#include "core/trigger.h"
+#include "core/tuple.h"
+#include "core/tuple_io.h"
+#include "core/value.h"
+
+// Headless GUI substrate.
+#include "render/ascii.h"
+#include "render/canvas.h"
+#include "render/color.h"
+#include "render/export.h"
+#include "render/scope_view.h"
+
+// Frequency-domain display.
+#include "freq/fft.h"
+#include "freq/spectrum.h"
+#include "freq/window.h"
+
+// Distributed visualization.
+#include "net/socket.h"
+#include "net/stream_client.h"
+#include "net/stream_server.h"
+
+#endif  // GSCOPE_GSCOPE_H_

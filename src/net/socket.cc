@@ -1,0 +1,146 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace gscope {
+namespace {
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Socket::Release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::Listen(uint16_t port, uint16_t* bound_port) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Socket{};
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, 16) != 0 || !SetNonBlocking(fd)) {
+    close(fd);
+    return Socket{};
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+      *bound_port = ntohs(actual.sin_port);
+    }
+  }
+  return Socket{fd};
+}
+
+Socket Socket::Connect(uint16_t port) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Socket{};
+  }
+  if (!SetNonBlocking(fd)) {
+    close(fd);
+    return Socket{};
+  }
+  sockaddr_in addr = LoopbackAddr(port);
+  int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    close(fd);
+    return Socket{};
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket{fd};
+}
+
+Socket Socket::Accept() {
+  if (!valid()) {
+    return Socket{};
+  }
+  int fd = accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    return Socket{};
+  }
+  if (!SetNonBlocking(fd)) {
+    close(fd);
+    return Socket{};
+  }
+  return Socket{fd};
+}
+
+IoResult Socket::Read(void* buf, size_t len) {
+  if (!valid()) {
+    return IoResult{IoResult::Status::kError, 0};
+  }
+  ssize_t n = read(fd_, buf, len);
+  if (n > 0) {
+    return IoResult{IoResult::Status::kOk, static_cast<size_t>(n)};
+  }
+  if (n == 0) {
+    return IoResult{IoResult::Status::kEof, 0};
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK) {
+    return IoResult{IoResult::Status::kWouldBlock, 0};
+  }
+  return IoResult{IoResult::Status::kError, 0};
+}
+
+IoResult Socket::Write(const void* buf, size_t len) {
+  if (!valid()) {
+    return IoResult{IoResult::Status::kError, 0};
+  }
+  ssize_t n = write(fd_, buf, len);
+  if (n >= 0) {
+    return IoResult{IoResult::Status::kOk, static_cast<size_t>(n)};
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK) {
+    return IoResult{IoResult::Status::kWouldBlock, 0};
+  }
+  return IoResult{IoResult::Status::kError, 0};
+}
+
+}  // namespace gscope

@@ -1,0 +1,62 @@
+// RAII non-blocking TCP sockets for the gscope client/server library.
+//
+// Section 4.4: the distributed library is single-threaded and I/O driven, so
+// every socket here is non-blocking and meant to be driven by MainLoop fd
+// watches.  Only loopback/IPv4 addressing is needed for the reproduction.
+#ifndef GSCOPE_NET_SOCKET_H_
+#define GSCOPE_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gscope {
+
+// Result of a non-blocking read/write.
+struct IoResult {
+  enum class Status { kOk, kWouldBlock, kEof, kError };
+  Status status = Status::kError;
+  size_t bytes = 0;
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Releases ownership of the fd without closing it.
+  int Release();
+  void Close();
+
+  // Creates a non-blocking listening socket on 127.0.0.1:`port` (0 picks an
+  // ephemeral port, reported through `bound_port`).  Invalid on failure.
+  static Socket Listen(uint16_t port, uint16_t* bound_port = nullptr);
+
+  // Starts a non-blocking connect to 127.0.0.1:`port`.  The connection may
+  // still be in progress when this returns; wait for writability.
+  static Socket Connect(uint16_t port);
+
+  // Accepts one pending connection (non-blocking).  Invalid if none pending.
+  Socket Accept();
+
+  IoResult Read(void* buf, size_t len);
+  IoResult Write(const void* buf, size_t len);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_NET_SOCKET_H_

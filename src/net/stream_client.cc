@@ -1,0 +1,76 @@
+#include "net/stream_client.h"
+
+namespace gscope {
+
+StreamClient::StreamClient(MainLoop* loop, size_t max_buffer)
+    : loop_(loop), max_buffer_(max_buffer) {}
+
+StreamClient::~StreamClient() { Close(); }
+
+bool StreamClient::Connect(uint16_t port) {
+  Close();
+  socket_ = Socket::Connect(port);
+  return socket_.valid();
+}
+
+void StreamClient::Close() {
+  if (write_watch_ != 0) {
+    loop_->Remove(write_watch_);
+    write_watch_ = 0;
+  }
+  socket_.Close();
+  out_buffer_.clear();
+  out_offset_ = 0;
+}
+
+bool StreamClient::SendTuple(const Tuple& tuple) {
+  if (!socket_.valid()) {
+    stats_.tuples_dropped += 1;
+    return false;
+  }
+  std::string wire = FormatTuple(tuple);
+  if (pending_bytes() + wire.size() > max_buffer_) {
+    stats_.tuples_dropped += 1;
+    return false;
+  }
+  out_buffer_.append(wire);
+  stats_.tuples_sent += 1;
+  EnsureWriteWatch();
+  return true;
+}
+
+void StreamClient::EnsureWriteWatch() {
+  if (write_watch_ != 0 || !socket_.valid()) {
+    return;
+  }
+  write_watch_ = loop_->AddIoWatch(socket_.fd(), IoCondition::kOut,
+                                   [this](int, IoCondition) { return OnWritable(); });
+}
+
+bool StreamClient::OnWritable() {
+  while (out_offset_ < out_buffer_.size()) {
+    IoResult r = socket_.Write(out_buffer_.data() + out_offset_,
+                               out_buffer_.size() - out_offset_);
+    if (r.status == IoResult::Status::kOk) {
+      out_offset_ += r.bytes;
+      stats_.bytes_sent += static_cast<int64_t>(r.bytes);
+      continue;
+    }
+    if (r.status == IoResult::Status::kWouldBlock) {
+      return true;  // keep the watch; try again when writable
+    }
+    // Error: the connection is gone.
+    socket_.Close();
+    out_buffer_.clear();
+    out_offset_ = 0;
+    write_watch_ = 0;
+    return false;
+  }
+  // Fully drained: compact and remove the watch until more data arrives.
+  out_buffer_.clear();
+  out_offset_ = 0;
+  write_watch_ = 0;
+  return false;
+}
+
+}  // namespace gscope

@@ -1,0 +1,64 @@
+// Gscope stream client (Section 4.4).
+//
+// "Clients use the gscope client API to connect to a server ... Clients
+// asynchronously send BUFFER signal data in tuple format."  The client is
+// single-threaded and I/O driven: SendTuple appends to an output buffer that
+// drains through a writability watch, so the application never blocks.
+#ifndef GSCOPE_NET_STREAM_CLIENT_H_
+#define GSCOPE_NET_STREAM_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/tuple.h"
+#include "net/socket.h"
+#include "runtime/event_loop.h"
+
+namespace gscope {
+
+class StreamClient {
+ public:
+  struct Stats {
+    int64_t tuples_sent = 0;
+    int64_t bytes_sent = 0;
+    int64_t tuples_dropped = 0;  // output buffer overflow
+  };
+
+  // `loop` is not owned.  `max_buffer` bounds the unsent byte backlog; when
+  // the server is slower than the producer, the newest tuples are dropped
+  // (visualization data is disposable, blocking the app is not acceptable).
+  explicit StreamClient(MainLoop* loop, size_t max_buffer = 1 << 20);
+  ~StreamClient();
+
+  StreamClient(const StreamClient&) = delete;
+  StreamClient& operator=(const StreamClient&) = delete;
+
+  // Starts a non-blocking connect to 127.0.0.1:`port`.
+  bool Connect(uint16_t port);
+  void Close();
+  bool connected() const { return socket_.valid(); }
+
+  // Queues one tuple for asynchronous delivery.  Returns false if the
+  // client is disconnected or the backlog is full.
+  bool SendTuple(const Tuple& tuple);
+
+  // Unsent bytes currently queued.
+  size_t pending_bytes() const { return out_buffer_.size() - out_offset_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  bool OnWritable();
+  void EnsureWriteWatch();
+
+  MainLoop* loop_;
+  size_t max_buffer_;
+  Socket socket_;
+  SourceId write_watch_ = 0;
+  std::string out_buffer_;
+  size_t out_offset_ = 0;
+  Stats stats_;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_NET_STREAM_CLIENT_H_

@@ -1,0 +1,167 @@
+#include "net/stream_server.h"
+
+#include <algorithm>
+
+#include "core/tuple.h"
+
+namespace gscope {
+
+StreamServer::StreamServer(MainLoop* loop, Scope* scope, StreamServerOptions options)
+    : loop_(loop), options_(options) {
+  if (scope != nullptr) {
+    scopes_.push_back(scope);
+  }
+}
+
+bool StreamServer::AddScope(Scope* scope) {
+  if (scope == nullptr ||
+      std::find(scopes_.begin(), scopes_.end(), scope) != scopes_.end()) {
+    return false;
+  }
+  scopes_.push_back(scope);
+  return true;
+}
+
+bool StreamServer::RemoveScope(Scope* scope) {
+  auto it = std::find(scopes_.begin(), scopes_.end(), scope);
+  if (it == scopes_.end()) {
+    return false;
+  }
+  scopes_.erase(it);
+  return true;
+}
+
+StreamServer::~StreamServer() { Close(); }
+
+bool StreamServer::Listen(uint16_t port) {
+  Close();
+  listener_ = Socket::Listen(port, &port_);
+  if (!listener_.valid()) {
+    return false;
+  }
+  accept_watch_ = loop_->AddIoWatch(listener_.fd(), IoCondition::kIn,
+                                    [this](int, IoCondition) { return OnAcceptReady(); });
+  return accept_watch_ != 0;
+}
+
+void StreamServer::Close() {
+  if (accept_watch_ != 0) {
+    loop_->Remove(accept_watch_);
+    accept_watch_ = 0;
+  }
+  listener_.Close();
+  for (auto& [key, client] : clients_) {
+    if (client->watch != 0) {
+      loop_->Remove(client->watch);
+    }
+  }
+  clients_.clear();
+  port_ = 0;
+}
+
+bool StreamServer::OnAcceptReady() {
+  while (true) {
+    Socket conn = listener_.Accept();
+    if (!conn.valid()) {
+      break;
+    }
+    if (clients_.size() >= options_.max_clients) {
+      stats_.refused += 1;
+      continue;  // RAII closes the connection
+    }
+    auto client = std::make_unique<Client>();
+    client->socket = std::move(conn);
+    int key = next_client_key_++;
+    int fd = client->socket.fd();
+    client->watch = loop_->AddIoWatch(
+        fd, IoCondition::kIn, [this, key](int, IoCondition cond) { return OnClientReady(key, cond); });
+    if (client->watch == 0) {
+      continue;
+    }
+    clients_[key] = std::move(client);
+    stats_.connections += 1;
+  }
+  return true;
+}
+
+bool StreamServer::OnClientReady(int client_key, IoCondition cond) {
+  auto it = clients_.find(client_key);
+  if (it == clients_.end()) {
+    return false;
+  }
+  Client& client = *it->second;
+
+  if (Has(cond, IoCondition::kErr)) {
+    DropClient(client_key);
+    return false;
+  }
+
+  char buf[4096];
+  while (true) {
+    IoResult r = client.socket.Read(buf, sizeof(buf));
+    if (r.status == IoResult::Status::kOk) {
+      stats_.bytes += static_cast<int64_t>(r.bytes);
+      ProcessData(client, buf, r.bytes);
+      continue;
+    }
+    if (r.status == IoResult::Status::kWouldBlock) {
+      return true;
+    }
+    // EOF or error: flush any final unterminated line, then drop.
+    if (!client.line_buffer.empty()) {
+      HandleLine(client.line_buffer);
+      client.line_buffer.clear();
+    }
+    DropClient(client_key);
+    return false;
+  }
+}
+
+void StreamServer::ProcessData(Client& client, const char* data, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    if (data[i] == '\n') {
+      HandleLine(client.line_buffer);
+      client.line_buffer.clear();
+    } else {
+      client.line_buffer.push_back(data[i]);
+    }
+  }
+}
+
+void StreamServer::HandleLine(const std::string& line) {
+  if (IsIgnorableLine(line)) {
+    return;
+  }
+  std::optional<Tuple> tuple = ParseTuple(line);
+  if (!tuple.has_value()) {
+    stats_.parse_errors += 1;
+    return;
+  }
+  stats_.tuples += 1;
+  for (Scope* scope : scopes_) {
+    if (options_.auto_create_signals && !tuple->name.empty() &&
+        scope->FindSignal(tuple->name) == 0) {
+      SignalSpec spec;
+      spec.name = tuple->name;
+      spec.source = BufferSource{};
+      scope->AddSignal(spec);
+    }
+    if (!scope->PushBuffered(tuple->name, tuple->time_ms, tuple->value)) {
+      stats_.dropped_late += 1;
+    }
+  }
+}
+
+void StreamServer::DropClient(int client_key) {
+  auto it = clients_.find(client_key);
+  if (it == clients_.end()) {
+    return;
+  }
+  if (it->second->watch != 0) {
+    loop_->Remove(it->second->watch);
+  }
+  clients_.erase(it);
+  stats_.disconnections += 1;
+}
+
+}  // namespace gscope

@@ -1,0 +1,98 @@
+// Gscope stream server (Section 4.4).
+//
+// "Clients asynchronously send BUFFER signal data in tuple format to the
+// server.  The server receives data from one or more clients asynchronously
+// and buffers the data.  It then displays these BUFFER signals to one or
+// more scopes with a user-specified delay.  Data arriving at the server
+// after this delay is not buffered but dropped immediately."
+//
+// Single-threaded and I/O driven: a listen watch accepts clients, per-client
+// watches parse newline-delimited tuples and push them into the target
+// scope's sample buffer (which applies the delay/late-drop policy).
+#ifndef GSCOPE_NET_STREAM_SERVER_H_
+#define GSCOPE_NET_STREAM_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scope.h"
+#include "net/socket.h"
+#include "runtime/event_loop.h"
+
+namespace gscope {
+
+struct StreamServerOptions {
+  // Create a BUFFER signal on the scope the first time a new tuple name
+  // appears (remote signals are not known in advance).
+  bool auto_create_signals = true;
+  // Cap on concurrent clients; further connections are refused.
+  size_t max_clients = 32;
+};
+
+class StreamServer {
+ public:
+  struct Stats {
+    int64_t connections = 0;
+    int64_t disconnections = 0;
+    int64_t refused = 0;
+    int64_t tuples = 0;
+    int64_t parse_errors = 0;
+    int64_t dropped_late = 0;
+    int64_t bytes = 0;
+  };
+
+  // `loop` and `scope` are not owned and must outlive the server.  `scope`
+  // is the first display target; AddScope attaches more ("displays these
+  // BUFFER signals to one or more scopes").
+  StreamServer(MainLoop* loop, Scope* scope, StreamServerOptions options = {});
+  ~StreamServer();
+
+  // Fans incoming tuples out to an additional scope.  Returns false for
+  // null/duplicate scopes.  Scopes must outlive the server.
+  bool AddScope(Scope* scope);
+  bool RemoveScope(Scope* scope);
+  size_t scope_count() const { return scopes_.size(); }
+
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting.
+  bool Listen(uint16_t port);
+  uint16_t port() const { return port_; }
+  void Close();
+
+  size_t client_count() const { return clients_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Client {
+    Socket socket;
+    SourceId watch = 0;
+    std::string line_buffer;
+  };
+
+  bool OnAcceptReady();
+  bool OnClientReady(int client_key, IoCondition cond);
+  void ProcessData(Client& client, const char* data, size_t len);
+  void HandleLine(const std::string& line);
+  void DropClient(int client_key);
+
+  MainLoop* loop_;
+  std::vector<Scope*> scopes_;  // display targets; scopes_[0] is the primary
+  StreamServerOptions options_;
+
+  Socket listener_;
+  SourceId accept_watch_ = 0;
+  uint16_t port_ = 0;
+
+  std::map<int, std::unique_ptr<Client>> clients_;
+  int next_client_key_ = 1;
+  Stats stats_;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_NET_STREAM_SERVER_H_

@@ -1,0 +1,49 @@
+#include "netsim/link.h"
+
+#include <cmath>
+#include <utility>
+
+namespace gscope {
+
+Link::Link(Simulator* sim, LinkConfig config, Sink sink, uint64_t seed)
+    : sim_(sim), config_(config), sink_(std::move(sink)), queue_(config.queue, seed) {}
+
+bool Link::Send(Packet packet) {
+  if (!queue_.Enqueue(std::move(packet))) {
+    return false;
+  }
+  if (!transmitting_) {
+    StartTransmission();
+  }
+  return true;
+}
+
+SimTime Link::SerializationTime(const Packet& packet) const {
+  double bits = static_cast<double>(packet.size_bytes()) * 8.0;
+  double us = bits / config_.bandwidth_bps * kMicrosPerSecond;
+  SimTime t = static_cast<SimTime>(std::llround(us));
+  return t < 1 ? 1 : t;
+}
+
+void Link::StartTransmission() {
+  std::optional<Packet> packet = queue_.Dequeue();
+  if (!packet.has_value()) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  SimTime tx = SerializationTime(*packet);
+  // Serialization finishes at now + tx; the packet then propagates.
+  Packet moved = std::move(*packet);
+  sim_->ScheduleAfter(tx, [this, moved = std::move(moved)]() mutable {
+    sim_->ScheduleAfter(config_.propagation_us, [this, moved = std::move(moved)]() mutable {
+      ++delivered_;
+      if (sink_) {
+        sink_(std::move(moved));
+      }
+    });
+    StartTransmission();
+  });
+}
+
+}  // namespace gscope

@@ -1,0 +1,56 @@
+// A bandwidth/delay-constrained link with a router queue at its head.
+//
+// This is the nistnet analogue: "we use a Linux router between a client and
+// a server machine and use nistnet to add delay and bandwidth constraints at
+// the router."  Packets enter the queue, are serialized at the configured
+// bandwidth, and arrive at the sink after the propagation delay.
+#ifndef GSCOPE_NETSIM_LINK_H_
+#define GSCOPE_NETSIM_LINK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "netsim/packet.h"
+#include "netsim/queue.h"
+#include "netsim/simulator.h"
+
+namespace gscope {
+
+struct LinkConfig {
+  double bandwidth_bps = 4'000'000.0;  // bits per second
+  SimTime propagation_us = 25'000;     // one-way propagation delay
+  QueueConfig queue;
+};
+
+class Link {
+ public:
+  using Sink = std::function<void(Packet)>;
+
+  // `sim` is not owned.  `sink` receives packets after queueing,
+  // serialization and propagation.
+  Link(Simulator* sim, LinkConfig config, Sink sink, uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Offers a packet to the link; the queue may drop or ECN-mark it.
+  // Returns false when the packet was dropped.
+  bool Send(Packet packet);
+
+  const QueueStats& queue_stats() const { return queue_.stats(); }
+  int queue_depth() const { return queue_.depth(); }
+  double average_queue_depth() const { return queue_.average_depth(); }
+  int64_t delivered() const { return delivered_; }
+
+ private:
+  void StartTransmission();
+  SimTime SerializationTime(const Packet& packet) const;
+
+  Simulator* sim_;
+  LinkConfig config_;
+  Sink sink_;
+  RouterQueue queue_;
+  bool transmitting_ = false;
+  int64_t delivered_ = 0;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_NETSIM_LINK_H_

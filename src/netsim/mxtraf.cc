@@ -1,0 +1,164 @@
+#include "netsim/mxtraf.h"
+
+namespace gscope {
+
+Mxtraf::Mxtraf(Simulator* sim, MxtrafConfig config)
+    : sim_(sim),
+      config_(config),
+      forward_(sim, config.forward, [this](Packet p) { RouteForward(std::move(p)); },
+               config.seed),
+      reverse_(sim, config.reverse, [this](Packet p) { RouteReverse(std::move(p)); },
+               config.seed ^ 0x5555555555555555ull) {}
+
+void Mxtraf::RouteForward(Packet packet) {
+  if (udp_flow_id_ != 0 && packet.flow_id == udp_flow_id_) {
+    ++udp_delivered_;  // datagrams sink at the client; nothing to ack
+    return;
+  }
+  auto it = flows_.find(packet.flow_id);
+  if (it != flows_.end() && it->second.receiver != nullptr) {
+    it->second.receiver->OnData(packet);
+  }
+}
+
+void Mxtraf::RouteReverse(Packet packet) {
+  auto it = flows_.find(packet.flow_id);
+  if (it != flows_.end() && it->second.sender != nullptr) {
+    it->second.sender->OnAck(packet);
+  }
+}
+
+int Mxtraf::CreateFlow(bool elephant, int64_t bytes) {
+  int id = next_flow_id_++;
+  TcpConfig tcp = config_.tcp;
+  tcp.bytes_to_send = bytes;
+
+  Flow flow;
+  flow.elephant = elephant;
+  flow.sender = std::make_unique<TcpSender>(
+      sim_, id, tcp, [this](Packet p) { forward_.Send(std::move(p)); });
+  flow.receiver = std::make_unique<TcpReceiver>(
+      sim_, id, [this](Packet p) { reverse_.Send(std::move(p)); });
+
+  TcpSender* sender = flow.sender.get();
+  flows_[id] = std::move(flow);
+  sender->Start(static_cast<SimTime>(id % 16) * config_.start_stagger_us);
+  return id;
+}
+
+void Mxtraf::SetElephants(int count) {
+  if (count < 0) {
+    count = 0;
+  }
+  while (active_elephants_ < count) {
+    elephant_ids_.push_back(CreateFlow(/*elephant=*/true, /*bytes=*/0));
+    ++active_elephants_;
+  }
+  while (active_elephants_ > count) {
+    // Stop the most recently started elephant still active.
+    for (auto it = elephant_ids_.rbegin(); it != elephant_ids_.rend(); ++it) {
+      Flow& flow = flows_[*it];
+      if (flow.sender->active()) {
+        flow.sender->Stop();
+        break;
+      }
+    }
+    --active_elephants_;
+  }
+}
+
+void Mxtraf::SpawnMouse(int64_t bytes) {
+  if (bytes > 0) {
+    CreateFlow(/*elephant=*/false, bytes);
+  }
+}
+
+void Mxtraf::SetUdpRate(double rate_bps) {
+  if (rate_bps <= 0.0) {
+    if (udp_ != nullptr) {
+      udp_->Stop();
+    }
+    return;
+  }
+  if (udp_ == nullptr) {
+    udp_flow_id_ = next_flow_id_++;
+    udp_ = std::make_unique<UdpSource>(sim_, udp_flow_id_, UdpConfig{.rate_bps = rate_bps},
+                                       [this](Packet p) { forward_.Send(std::move(p)); });
+    udp_->Start();
+  } else {
+    udp_->SetRate(rate_bps);
+    if (!udp_->active()) {
+      udp_->Start();
+    }
+  }
+}
+
+double Mxtraf::udp_rate_bps() const { return udp_ == nullptr ? 0.0 : udp_->rate_bps(); }
+
+const UdpSourceStats* Mxtraf::udp_stats() const {
+  return udp_ == nullptr ? nullptr : &udp_->stats();
+}
+
+int Mxtraf::mice_active() const {
+  int count = 0;
+  for (const auto& [id, flow] : flows_) {
+    if (!flow.elephant && flow.sender->active() && !flow.sender->done()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+const TcpSender* Mxtraf::ElephantSender(int index) const {
+  int seen = 0;
+  for (int id : elephant_ids_) {
+    auto it = flows_.find(id);
+    if (it == flows_.end() || !it->second.sender->active()) {
+      continue;
+    }
+    if (seen == index) {
+      return it->second.sender.get();
+    }
+    ++seen;
+  }
+  return nullptr;
+}
+
+double Mxtraf::CwndSegments(int index) const {
+  const TcpSender* sender = ElephantSender(index);
+  return sender == nullptr ? 0.0 : sender->cwnd_segments();
+}
+
+int64_t Mxtraf::TotalTimeouts() const {
+  int64_t total = 0;
+  for (const auto& [id, flow] : flows_) {
+    total += flow.sender->stats().timeouts;
+  }
+  return total;
+}
+
+int64_t Mxtraf::TotalFastRetransmits() const {
+  int64_t total = 0;
+  for (const auto& [id, flow] : flows_) {
+    total += flow.sender->stats().fast_retransmits;
+  }
+  return total;
+}
+
+int64_t Mxtraf::TotalEcnReductions() const {
+  int64_t total = 0;
+  for (const auto& [id, flow] : flows_) {
+    total += flow.sender->stats().ecn_reductions;
+  }
+  return total;
+}
+
+int64_t Mxtraf::TotalBytesAcked() const {
+  int64_t total = 0;
+  for (const auto& [id, flow] : flows_) {
+    total += flow.sender->stats().bytes_acked;
+  }
+  return total;
+}
+
+}  // namespace gscope

@@ -1,0 +1,124 @@
+// Mxtraf analogue: the network traffic generator of Section 2.
+//
+// "With Mxtraf, a small number of hosts can be used to saturate a network
+// with a tunable mix of TCP and UDP traffic ... we use mxtraf to generate
+// varying number of long-lived flows (called elephants) that transfer data
+// from the server to the client."
+//
+// This module wires TcpSender/TcpReceiver pairs through a shared bottleneck
+// link (the nistnet router) plus an uncongested reverse path for ACKs, and
+// exposes the run-time knob the experiment turns: the number of elephants.
+// Short-lived "mice" flows are also supported for stress mixes.
+#ifndef GSCOPE_NETSIM_MXTRAF_H_
+#define GSCOPE_NETSIM_MXTRAF_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "netsim/link.h"
+#include "netsim/tcp.h"
+#include "netsim/udp.h"
+
+namespace gscope {
+
+struct MxtrafConfig {
+  LinkConfig forward;  // server -> client bottleneck (data direction)
+  LinkConfig reverse;  // client -> server (ACKs), uncongested
+  TcpConfig tcp;       // applied to every flow (ecn on/off selects Fig 4 vs 5)
+  // New flows start staggered by this much to avoid phase effects.
+  SimTime start_stagger_us = 5'000;
+  uint64_t seed = 0x243f6a8885a308d3ull;
+
+  MxtrafConfig() {
+    // Defaults model the paper's emulated WAN: a couple of Mbit/s, 100 ms
+    // RTT, a modest router queue.  Chosen so that 16 elephants drive the
+    // per-flow share low enough for the Figure 4 timeout behaviour while an
+    // ECN/RED variant has the headroom to avoid loss entirely (Figure 5).
+    forward.bandwidth_bps = 2'000'000.0;
+    forward.propagation_us = 50'000;
+    forward.queue.limit_packets = 30;
+    reverse.bandwidth_bps = 100'000'000.0;
+    reverse.propagation_us = 50'000;
+    reverse.queue.limit_packets = 1000;
+  }
+
+  // RED thresholds matched to the default queue, for the ECN variant.
+  void EnableEcnRed() {
+    tcp.ecn = true;
+    forward.queue.red.enabled = true;
+    forward.queue.red.min_threshold = 4.0;
+    forward.queue.red.max_threshold = 12.0;
+    forward.queue.red.max_probability = 0.1;
+    forward.queue.red.ecn = true;
+  }
+};
+
+class Mxtraf {
+ public:
+  Mxtraf(Simulator* sim, MxtrafConfig config);
+
+  Mxtraf(const Mxtraf&) = delete;
+  Mxtraf& operator=(const Mxtraf&) = delete;
+
+  // Sets the number of concurrently active long-lived flows.  Growing the
+  // count starts fresh flows; shrinking stops the newest ones.  This is the
+  // "elephants" control parameter changed 8 -> 16 mid-run in Figures 4/5.
+  void SetElephants(int count);
+  int elephants() const { return active_elephants_; }
+
+  // Starts one short-lived flow that stops after `bytes`.
+  void SpawnMouse(int64_t bytes);
+  int mice_active() const;
+
+  // Unresponsive background UDP load sharing the bottleneck ("a tunable mix
+  // of TCP and UDP traffic").  Rate 0 stops it.
+  void SetUdpRate(double rate_bps);
+  double udp_rate_bps() const;
+  int64_t udp_delivered() const { return udp_delivered_; }
+  const UdpSourceStats* udp_stats() const;
+
+  // The i-th currently active elephant's sender (0-based); null out of range.
+  const TcpSender* ElephantSender(int index) const;
+  // Congestion window (segments) of the i-th active elephant; 0 if none.
+  double CwndSegments(int index) const;
+
+  // Aggregates over every flow ever created.
+  int64_t TotalTimeouts() const;
+  int64_t TotalFastRetransmits() const;
+  int64_t TotalEcnReductions() const;
+  int64_t TotalBytesAcked() const;
+
+  const QueueStats& bottleneck_stats() const { return forward_.queue_stats(); }
+  int bottleneck_depth() const { return forward_.queue_depth(); }
+
+ private:
+  struct Flow {
+    std::unique_ptr<TcpSender> sender;
+    std::unique_ptr<TcpReceiver> receiver;
+    bool elephant = false;
+  };
+
+  void RouteForward(Packet packet);
+  void RouteReverse(Packet packet);
+  int CreateFlow(bool elephant, int64_t bytes);
+
+  Simulator* sim_;
+  MxtrafConfig config_;
+  Link forward_;
+  Link reverse_;
+
+  std::map<int, Flow> flows_;  // by flow id
+  std::vector<int> elephant_ids_;  // creation order
+  int active_elephants_ = 0;
+  int next_flow_id_ = 1;
+
+  std::unique_ptr<UdpSource> udp_;
+  int udp_flow_id_ = 0;
+  int64_t udp_delivered_ = 0;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_NETSIM_MXTRAF_H_

@@ -1,0 +1,51 @@
+// Packets exchanged by the simulated TCP endpoints.
+#ifndef GSCOPE_NETSIM_PACKET_H_
+#define GSCOPE_NETSIM_PACKET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/simulator.h"
+
+namespace gscope {
+
+// A contiguous [begin, end) byte range (SACK block).
+struct SeqRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+
+  bool Contains(int64_t seq) const { return seq >= begin && seq < end; }
+  friend bool operator==(const SeqRange&, const SeqRange&) = default;
+};
+
+struct Packet {
+  int flow_id = 0;
+
+  // Data segments: [seq, seq + payload) bytes.  ACKs: payload == 0.
+  int64_t seq = 0;
+  int payload = 0;
+  int header = 40;  // TCP/IP header bytes, counted against link bandwidth
+
+  bool is_ack = false;
+  int64_t ack = 0;  // cumulative ack (next expected byte)
+  std::vector<SeqRange> sack;
+
+  // ECN machinery: capable transport, congestion-experienced mark (set by a
+  // RED queue), and the receiver's ECN-echo on ACKs.
+  bool ecn_capable = false;
+  bool ecn_ce = false;
+  bool ecn_echo = false;
+  // Sender -> receiver: congestion window reduced; stop echoing ECE.
+  bool cwr = false;
+
+  // Sender timestamp for RTT sampling; negative when the segment is a
+  // retransmission (Karn's rule: do not sample RTT from retransmits).
+  SimTime send_time_us = 0;
+  bool retransmit = false;
+
+  int size_bytes() const { return payload + header; }
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_NETSIM_PACKET_H_

@@ -1,0 +1,72 @@
+#include "netsim/queue.h"
+
+#include <algorithm>
+
+namespace gscope {
+
+RouterQueue::RouterQueue(QueueConfig config, uint64_t seed)
+    : config_(config), rng_state_(seed == 0 ? 1 : seed) {}
+
+double RouterQueue::NextRandom() {
+  // xorshift64*: deterministic, good enough for RED's marking decision.
+  uint64_t x = rng_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  rng_state_ = x;
+  return static_cast<double>((x * 0x2545f4914f6cdd1dull) >> 11) /
+         static_cast<double>(1ull << 53);
+}
+
+bool RouterQueue::Enqueue(Packet packet) {
+  // Update the EWMA of the instantaneous depth (RED's congestion estimator).
+  avg_depth_ = (1.0 - config_.red.weight) * avg_depth_ +
+               config_.red.weight * static_cast<double>(queue_.size());
+
+  if (config_.red.enabled) {
+    if (avg_depth_ >= config_.red.max_threshold) {
+      // Hard congestion: mark if possible, else drop.
+      if (config_.red.ecn && packet.ecn_capable) {
+        packet.ecn_ce = true;
+        ++stats_.marked_ecn;
+      } else {
+        ++stats_.dropped_red;
+        return false;
+      }
+    } else if (avg_depth_ > config_.red.min_threshold) {
+      double fraction = (avg_depth_ - config_.red.min_threshold) /
+                        (config_.red.max_threshold - config_.red.min_threshold);
+      double p = fraction * config_.red.max_probability;
+      if (NextRandom() < p) {
+        if (config_.red.ecn && packet.ecn_capable) {
+          packet.ecn_ce = true;
+          ++stats_.marked_ecn;
+        } else {
+          ++stats_.dropped_red;
+          return false;
+        }
+      }
+    }
+  }
+
+  if (static_cast<int>(queue_.size()) >= config_.limit_packets) {
+    ++stats_.dropped_tail;
+    return false;
+  }
+  queue_.push_back(std::move(packet));
+  ++stats_.enqueued;
+  stats_.max_depth = std::max(stats_.max_depth, static_cast<int>(queue_.size()));
+  return true;
+}
+
+std::optional<Packet> RouterQueue::Dequeue() {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  Packet packet = std::move(queue_.front());
+  queue_.pop_front();
+  ++stats_.dequeued;
+  return packet;
+}
+
+}  // namespace gscope

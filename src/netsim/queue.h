@@ -1,0 +1,71 @@
+// Router queue disciplines: droptail and RED with ECN marking.
+//
+// The paper's experiment compares standard TCP (droptail losses, hence
+// timeouts) against ECN flows [8] (RED marks instead of drops).  This module
+// is the router side of that comparison, standing in for the nistnet router.
+#ifndef GSCOPE_NETSIM_QUEUE_H_
+#define GSCOPE_NETSIM_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "netsim/packet.h"
+
+namespace gscope {
+
+struct RedConfig {
+  bool enabled = false;
+  double min_threshold = 5.0;   // packets
+  double max_threshold = 15.0;  // packets
+  double max_probability = 0.1;
+  double weight = 0.2;  // EWMA weight for the average queue size
+  // Mark ECN-capable packets instead of dropping them.
+  bool ecn = true;
+};
+
+struct QueueConfig {
+  int limit_packets = 50;
+  RedConfig red;
+};
+
+struct QueueStats {
+  int64_t enqueued = 0;
+  int64_t dropped_tail = 0;
+  int64_t dropped_red = 0;
+  int64_t marked_ecn = 0;
+  int64_t dequeued = 0;
+  int max_depth = 0;
+};
+
+// Deterministic router queue.  RED uses a seeded xorshift PRNG so experiment
+// runs are reproducible.
+class RouterQueue {
+ public:
+  explicit RouterQueue(QueueConfig config, uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Attempts to enqueue.  May mark the packet (ECN) or refuse it.
+  // Returns true if the packet was queued.
+  bool Enqueue(Packet packet);
+
+  // Removes the packet at the head, if any.
+  std::optional<Packet> Dequeue();
+
+  int depth() const { return static_cast<int>(queue_.size()); }
+  bool empty() const { return queue_.empty(); }
+  const QueueStats& stats() const { return stats_; }
+  double average_depth() const { return avg_depth_; }
+
+ private:
+  double NextRandom();  // uniform [0, 1)
+
+  QueueConfig config_;
+  std::deque<Packet> queue_;
+  QueueStats stats_;
+  double avg_depth_ = 0.0;
+  uint64_t rng_state_;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_NETSIM_QUEUE_H_

@@ -1,0 +1,68 @@
+#include "netsim/simulator.h"
+
+namespace gscope {
+
+EventId Simulator::ScheduleAt(SimTime t_us, EventFn fn) {
+  if (!fn) {
+    return 0;
+  }
+  if (t_us < now_us_) {
+    t_us = now_us_;
+  }
+  EventId id = next_id_++;
+  heap_.push(Event{t_us, next_seq_++, id});
+  handlers_[id] = std::move(fn);
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  auto it = handlers_.find(id);
+  if (it == handlers_.end()) {
+    return false;
+  }
+  handlers_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulator::Step() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    auto cancelled = cancelled_.find(ev.id);
+    if (cancelled != cancelled_.end()) {
+      cancelled_.erase(cancelled);
+      continue;
+    }
+    auto it = handlers_.find(ev.id);
+    if (it == handlers_.end()) {
+      continue;
+    }
+    EventFn fn = std::move(it->second);
+    handlers_.erase(it);
+    now_us_ = ev.time;
+    ++events_processed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::RunUntil(SimTime t_us) {
+  while (!heap_.empty() && heap_.top().time <= t_us) {
+    Step();
+  }
+  if (t_us > now_us_) {
+    now_us_ = t_us;
+  }
+}
+
+void Simulator::RunUntilIdle(int64_t max_events) {
+  for (int64_t i = 0; i < max_events; ++i) {
+    if (!Step()) {
+      return;
+    }
+  }
+}
+
+}  // namespace gscope

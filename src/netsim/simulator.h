@@ -1,0 +1,83 @@
+// Discrete-event simulation core for the netsim substrate.
+//
+// The paper's Figures 4/5 experiment ran on a real testbed (client, nistnet
+// router, server).  We reproduce it with a deterministic discrete-event
+// simulator: microsecond virtual time, an event heap, and cancellable events
+// (TCP retransmission timers need cancellation).
+#ifndef GSCOPE_NETSIM_SIMULATOR_H_
+#define GSCOPE_NETSIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gscope {
+
+using SimTime = int64_t;  // microseconds of virtual time
+using EventId = int64_t;  // 0 is never valid
+
+constexpr SimTime kMicrosPerMilli = 1000;
+constexpr SimTime kMicrosPerSecond = 1'000'000;
+
+class Simulator {
+ public:
+  using EventFn = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now_us() const { return now_us_; }
+  double now_ms() const { return static_cast<double>(now_us_) / kMicrosPerMilli; }
+
+  // Schedules `fn` at absolute virtual time `t_us` (clamped to now).
+  EventId ScheduleAt(SimTime t_us, EventFn fn);
+  EventId ScheduleAfter(SimTime delta_us, EventFn fn) {
+    return ScheduleAt(now_us_ + (delta_us < 0 ? 0 : delta_us), std::move(fn));
+  }
+
+  // Cancels a pending event.  Returns false if already fired or unknown.
+  bool Cancel(EventId id);
+
+  // Runs the next event.  Returns false when the heap is empty.
+  bool Step();
+
+  // Runs all events with time <= t_us, then advances the clock to t_us.
+  void RunUntil(SimTime t_us);
+  void RunForMs(int64_t ms) { RunUntil(now_us_ + ms * kMicrosPerMilli); }
+
+  // Runs until the heap is empty or `max_events` were processed.
+  void RunUntilIdle(int64_t max_events = 1'000'000);
+
+  int64_t events_processed() const { return events_processed_; }
+  size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    int64_t seq;  // FIFO tie-break for same-time events
+    EventId id;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_us_ = 0;
+  int64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+  std::unordered_map<EventId, EventFn> handlers_;
+  std::unordered_set<EventId> cancelled_;
+  int64_t events_processed_ = 0;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_NETSIM_SIMULATOR_H_

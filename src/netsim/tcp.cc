@@ -1,0 +1,394 @@
+#include "netsim/tcp.h"
+
+#include <algorithm>
+
+namespace gscope {
+namespace {
+
+// Merges `range` into the sorted, disjoint set `ranges`.
+void MergeRange(std::vector<SeqRange>* ranges, SeqRange range) {
+  if (range.end <= range.begin) {
+    return;
+  }
+  std::vector<SeqRange> out;
+  out.reserve(ranges->size() + 1);
+  bool inserted = false;
+  for (const SeqRange& r : *ranges) {
+    if (r.end < range.begin) {
+      out.push_back(r);
+    } else if (r.begin > range.end) {
+      if (!inserted) {
+        out.push_back(range);
+        inserted = true;
+      }
+      out.push_back(r);
+    } else {
+      range.begin = std::min(range.begin, r.begin);
+      range.end = std::max(range.end, r.end);
+    }
+  }
+  if (!inserted) {
+    out.push_back(range);
+  }
+  *ranges = std::move(out);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpSender
+// ---------------------------------------------------------------------------
+
+TcpSender::TcpSender(Simulator* sim, int flow_id, TcpConfig config, Output output)
+    : sim_(sim),
+      flow_id_(flow_id),
+      config_(config),
+      output_(std::move(output)),
+      rto_us_(config.initial_rto_us) {
+  cwnd_ = static_cast<double>(config_.initial_cwnd_segments) * config_.mss;
+  ssthresh_ = 64 * 1024.0 * 16;  // effectively unbounded until the first loss
+}
+
+TcpSender::~TcpSender() { Stop(); }
+
+void TcpSender::Start(SimTime delay_us) {
+  if (active_) {
+    return;
+  }
+  active_ = true;
+  sim_->ScheduleAfter(delay_us, [this]() {
+    if (active_) {
+      MaybeSendData();
+    }
+  });
+}
+
+void TcpSender::Stop() {
+  active_ = false;
+  CancelRtoTimer();
+}
+
+bool TcpSender::done() const {
+  return config_.bytes_to_send > 0 && snd_una_ >= config_.bytes_to_send;
+}
+
+void TcpSender::RecordCwnd() {
+  stats_.min_cwnd_segments = std::min(stats_.min_cwnd_segments, cwnd_segments());
+}
+
+void TcpSender::MaybeSendData() {
+  if (!active_) {
+    return;
+  }
+  while (bytes_in_flight() + config_.mss <= static_cast<int64_t>(cwnd_)) {
+    if (config_.bytes_to_send > 0 && snd_nxt_ >= config_.bytes_to_send) {
+      break;  // application has no more data
+    }
+    SendSegment(snd_nxt_, /*retransmit=*/false);
+    snd_nxt_ += config_.mss;
+  }
+}
+
+void TcpSender::SendSegment(int64_t seq, bool retransmit) {
+  Packet packet;
+  packet.flow_id = flow_id_;
+  packet.seq = seq;
+  packet.payload = config_.mss;
+  packet.ecn_capable = config_.ecn;
+  packet.send_time_us = sim_->now_us();
+  packet.retransmit = retransmit;
+  if (send_cwr_flag_) {
+    packet.cwr = true;
+    send_cwr_flag_ = false;
+  }
+
+  auto [it, fresh] = outstanding_.try_emplace(seq);
+  it->second.send_time_us = sim_->now_us();
+  if (retransmit || !fresh) {
+    it->second.retransmitted = true;
+  }
+
+  ++stats_.segments_sent;
+  if (retransmit) {
+    ++stats_.retransmits;
+  }
+  if (rto_event_ == 0) {
+    ArmRtoTimer();
+  }
+  output_(std::move(packet));
+}
+
+void TcpSender::OnAck(const Packet& ack) {
+  if (!active_ && done()) {
+    return;
+  }
+
+  if (config_.sack) {
+    MergeSack(ack.sack);
+  }
+  if (ack.ecn_echo && config_.ecn) {
+    ApplyEcnEcho();
+  }
+
+  if (ack.ack > snd_una_) {
+    // New data acknowledged.
+    int64_t newly_acked = ack.ack - snd_una_;
+    stats_.bytes_acked += newly_acked;
+
+    // RTT sample from the segment that triggered this ack (Karn's rule:
+    // never sample retransmitted segments).
+    auto it = outstanding_.find(ack.ack - config_.mss);
+    if (it != outstanding_.end() && !it->second.retransmitted) {
+      SampleRtt(sim_->now_us() - it->second.send_time_us);
+    }
+    outstanding_.erase(outstanding_.begin(), outstanding_.lower_bound(ack.ack));
+    snd_una_ = ack.ack;
+    if (snd_nxt_ < snd_una_) {
+      snd_nxt_ = snd_una_;
+    }
+    dup_acks_ = 0;
+
+    if (cwr_active_ && snd_una_ >= cwr_end_seq_) {
+      cwr_active_ = false;
+    }
+
+    if (in_recovery_) {
+      if (snd_una_ >= recover_) {
+        ExitRecovery();
+      } else {
+        // NewReno partial ack: the ack itself proves the segment at snd_una
+        // is missing; retransmit it (or the first SACK hole beyond it).
+        int64_t hole = !IsSacked(snd_una_) ? snd_una_ : NextHole(snd_una_);
+        if (hole >= 0 && hole < recover_) {
+          SendSegment(hole, /*retransmit=*/true);
+        }
+      }
+    } else {
+      // Normal growth: slow start below ssthresh, else congestion avoidance.
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += config_.mss;
+      } else {
+        cwnd_ += static_cast<double>(config_.mss) * config_.mss / cwnd_;
+      }
+    }
+
+    // Progress resets the RTO timer and the Karn backoff on forward motion.
+    CancelRtoTimer();
+    if (bytes_in_flight() > 0 || (config_.bytes_to_send == 0 || snd_nxt_ < config_.bytes_to_send)) {
+      ArmRtoTimer();
+    }
+  } else if (ack.ack == snd_una_ && bytes_in_flight() > 0) {
+    // Duplicate ack.
+    ++dup_acks_;
+    if (in_recovery_) {
+      // Window inflation while the hole persists.
+      cwnd_ += config_.mss;
+      int64_t hole = config_.sack ? NextHole(recovery_retrans_next_) : -1;
+      if (hole >= 0 && hole < recover_) {
+        SendSegment(hole, /*retransmit=*/true);
+        recovery_retrans_next_ = hole + config_.mss;
+      }
+    } else if (dup_acks_ == config_.dupack_threshold && snd_una_ >= recover_) {
+      // NewReno guard: do not re-enter recovery for dupacks generated by the
+      // same window of data that an earlier recovery already handled.
+      EnterRecovery();
+    }
+  }
+
+  RecordCwnd();
+  if (active_ && !done()) {
+    MaybeSendData();
+  } else if (done()) {
+    Stop();
+  }
+}
+
+void TcpSender::EnterRecovery() {
+  in_recovery_ = true;
+  recover_ = snd_nxt_;
+  ++stats_.fast_retransmits;
+  double flight = static_cast<double>(bytes_in_flight());
+  ssthresh_ = std::max(flight / 2.0, 2.0 * config_.mss);
+  cwnd_ = ssthresh_ + config_.dupack_threshold * config_.mss;
+  recovery_retrans_next_ = snd_una_ + config_.mss;
+  SendSegment(snd_una_, /*retransmit=*/true);
+  RecordCwnd();
+}
+
+void TcpSender::ExitRecovery() {
+  in_recovery_ = false;
+  cwnd_ = ssthresh_;  // deflate
+  dup_acks_ = 0;
+  RecordCwnd();
+}
+
+void TcpSender::ApplyEcnEcho() {
+  if (cwr_active_) {
+    return;  // at most one reduction per window of data
+  }
+  cwr_active_ = true;
+  cwr_end_seq_ = snd_nxt_;
+  send_cwr_flag_ = true;
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * config_.mss);
+  cwnd_ = ssthresh_;
+  ++stats_.ecn_reductions;
+  RecordCwnd();
+}
+
+void TcpSender::OnRto() {
+  rto_event_ = 0;
+  if (!active_) {
+    return;
+  }
+  ++stats_.timeouts;
+
+  // The Figure 4 behaviour: the window collapses to one segment.
+  ssthresh_ = std::max(static_cast<double>(bytes_in_flight()) / 2.0, 2.0 * config_.mss);
+  cwnd_ = static_cast<double>(config_.mss);
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  recover_ = snd_nxt_;  // RFC 6582: no fast retransmit for this window
+  sacked_.clear();  // conservative: rebuild the scoreboard
+  RecordCwnd();
+
+  // Karn: back off the timer exponentially until a fresh sample arrives.
+  ++rto_backoff_;
+  rto_us_ = std::min(rto_us_ * 2, config_.max_rto_us);
+
+  SendSegment(snd_una_, /*retransmit=*/true);
+  ArmRtoTimer();
+}
+
+void TcpSender::ArmRtoTimer() {
+  CancelRtoTimer();
+  rto_event_ = sim_->ScheduleAfter(rto_us_, [this]() { OnRto(); });
+}
+
+void TcpSender::CancelRtoTimer() {
+  if (rto_event_ != 0) {
+    sim_->Cancel(rto_event_);
+    rto_event_ = 0;
+  }
+}
+
+void TcpSender::SampleRtt(SimTime rtt_us) {
+  ++stats_.rtt_samples;
+  if (srtt_us_ == 0) {
+    srtt_us_ = rtt_us;
+    rttvar_us_ = rtt_us / 2;
+  } else {
+    SimTime err = rtt_us - srtt_us_;
+    srtt_us_ += err / 8;
+    rttvar_us_ += ((err < 0 ? -err : err) - rttvar_us_) / 4;
+  }
+  rto_backoff_ = 0;
+  rto_us_ = std::clamp(srtt_us_ + 4 * rttvar_us_, config_.min_rto_us, config_.max_rto_us);
+}
+
+bool TcpSender::IsSacked(int64_t seq) const {
+  for (const SeqRange& r : sacked_) {
+    if (r.Contains(seq)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void TcpSender::MergeSack(const std::vector<SeqRange>& blocks) {
+  for (const SeqRange& b : blocks) {
+    MergeRange(&sacked_, b);
+  }
+  // Discard ranges below snd_una (already cumulatively acked).
+  while (!sacked_.empty() && sacked_.front().end <= snd_una_) {
+    sacked_.erase(sacked_.begin());
+  }
+}
+
+int64_t TcpSender::SackedBytesAbove(int64_t seq) const {
+  int64_t total = 0;
+  for (const SeqRange& r : sacked_) {
+    if (r.end > seq) {
+      total += r.end - std::max(r.begin, seq);
+    }
+  }
+  return total;
+}
+
+bool TcpSender::IsLost(int64_t seq) const {
+  // SACK loss detection: a segment is presumed lost only when at least
+  // dupack_threshold segments above it have been SACKed.  Without this rule
+  // every in-flight segment looks like a hole and recovery retransmits live
+  // data, which snowballs (each spurious retransmit begets a dupack).
+  return SackedBytesAbove(seq + config_.mss) >=
+         static_cast<int64_t>(config_.dupack_threshold) * config_.mss;
+}
+
+int64_t TcpSender::NextHole(int64_t from) const {
+  int64_t seq = std::max(from, snd_una_);
+  while (seq < snd_nxt_) {
+    if (!IsSacked(seq) && IsLost(seq)) {
+      return seq;
+    }
+    seq += config_.mss;
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// TcpReceiver
+// ---------------------------------------------------------------------------
+
+TcpReceiver::TcpReceiver(Simulator* sim, int flow_id, Output output)
+    : sim_(sim), flow_id_(flow_id), output_(std::move(output)) {}
+
+void TcpReceiver::OnData(const Packet& packet) {
+  ++stats_.segments_received;
+
+  if (packet.ecn_ce) {
+    ++stats_.ce_marks_seen;
+    ecn_echo_ = true;
+  }
+  if (packet.cwr) {
+    ecn_echo_ = false;
+  }
+
+  SeqRange range{packet.seq, packet.seq + packet.payload};
+  if (range.end <= rcv_next_) {
+    // Pure duplicate; still ack so the sender sees progress.
+    SendAck();
+    return;
+  }
+
+  if (range.begin <= rcv_next_) {
+    // In-order (possibly overlapping): advance and drain the OOO store.
+    rcv_next_ = std::max(rcv_next_, range.end);
+    while (!out_of_order_.empty() && out_of_order_.front().begin <= rcv_next_) {
+      rcv_next_ = std::max(rcv_next_, out_of_order_.front().end);
+      out_of_order_.erase(out_of_order_.begin());
+    }
+  } else {
+    ++stats_.out_of_order;
+    MergeRange(&out_of_order_, range);
+  }
+  stats_.bytes_delivered = rcv_next_;
+
+  SendAck();
+}
+
+void TcpReceiver::SendAck() {
+  Packet ack;
+  ack.flow_id = flow_id_;
+  ack.is_ack = true;
+  ack.payload = 0;
+  ack.ack = rcv_next_;
+  ack.ecn_echo = ecn_echo_;
+  ack.send_time_us = sim_->now_us();
+  // Up to three SACK blocks, newest-first is not tracked; first three suffice.
+  for (size_t i = 0; i < out_of_order_.size() && i < 3; ++i) {
+    ack.sack.push_back(out_of_order_[i]);
+  }
+  ++stats_.acks_sent;
+  output_(std::move(ack));
+}
+
+}  // namespace gscope

@@ -1,0 +1,170 @@
+// Simulated TCP endpoints: Reno congestion control with fast retransmit /
+// NewReno recovery, SACK-assisted retransmission, Jacobson/Karn RTO
+// estimation with exponential backoff, and ECN response.
+//
+// This is the congestion-control substrate behind Figures 4 and 5.  The
+// qualitative behaviours the reproduction relies on:
+//   * on a retransmission timeout the congestion window collapses to one
+//     segment ("Both TCP and ECN reduce the congestion window to one upon a
+//     timeout" - Section 2), which is the CWND floor visible in Figure 4;
+//   * an ECN-capable flow through a RED/ECN queue receives marks instead of
+//     drops, halves its window without losing packets and therefore avoids
+//     timeouts (Figure 5).
+#ifndef GSCOPE_NETSIM_TCP_H_
+#define GSCOPE_NETSIM_TCP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "netsim/packet.h"
+#include "netsim/simulator.h"
+
+namespace gscope {
+
+struct TcpConfig {
+  int mss = 1460;
+  int initial_cwnd_segments = 2;
+  int dupack_threshold = 3;
+  bool sack = true;
+  bool ecn = false;
+  SimTime min_rto_us = 200'000;     // Linux's 200 ms floor
+  SimTime initial_rto_us = 1'000'000;
+  SimTime max_rto_us = 60'000'000;
+  // 0 = unlimited (elephant); otherwise stop after this many bytes (mouse).
+  int64_t bytes_to_send = 0;
+};
+
+struct TcpSenderStats {
+  int64_t segments_sent = 0;
+  int64_t retransmits = 0;
+  int64_t fast_retransmits = 0;
+  int64_t timeouts = 0;         // RTO firings: the cwnd=1 events of Figure 4
+  int64_t ecn_reductions = 0;   // window halvings from ECE, no loss involved
+  int64_t bytes_acked = 0;
+  int64_t rtt_samples = 0;
+  double min_cwnd_segments = 1e9;  // smallest cwnd ever reached (after start)
+};
+
+class TcpSender {
+ public:
+  using Output = std::function<void(Packet)>;
+
+  TcpSender(Simulator* sim, int flow_id, TcpConfig config, Output output);
+  ~TcpSender();
+
+  TcpSender(const TcpSender&) = delete;
+  TcpSender& operator=(const TcpSender&) = delete;
+
+  // Begins transmitting after `delay_us` of virtual time.
+  void Start(SimTime delay_us = 0);
+  // Stops transmitting and cancels the retransmission timer.
+  void Stop();
+  bool active() const { return active_; }
+
+  void OnAck(const Packet& ack);
+
+  int flow_id() const { return flow_id_; }
+  double cwnd_segments() const { return cwnd_ / static_cast<double>(config_.mss); }
+  double ssthresh_segments() const { return ssthresh_ / static_cast<double>(config_.mss); }
+  bool in_recovery() const { return in_recovery_; }
+  SimTime rto_us() const { return rto_us_; }
+  double srtt_ms() const { return srtt_us_ / 1000.0; }
+  int64_t bytes_in_flight() const { return snd_nxt_ - snd_una_; }
+  bool done() const;
+  const TcpSenderStats& stats() const { return stats_; }
+
+ private:
+  struct SegmentInfo {
+    SimTime send_time_us = 0;
+    bool retransmitted = false;
+  };
+
+  void MaybeSendData();
+  void SendSegment(int64_t seq, bool retransmit);
+  void EnterRecovery();
+  void ExitRecovery();
+  void OnRto();
+  void ArmRtoTimer();
+  void CancelRtoTimer();
+  void SampleRtt(SimTime rtt_us);
+  void ApplyEcnEcho();
+  bool IsSacked(int64_t seq) const;
+  int64_t SackedBytesAbove(int64_t seq) const;
+  bool IsLost(int64_t seq) const;
+  void MergeSack(const std::vector<SeqRange>& blocks);
+  int64_t NextHole(int64_t from) const;
+  void RecordCwnd();
+
+  Simulator* sim_;
+  const int flow_id_;
+  TcpConfig config_;
+  Output output_;
+
+  bool active_ = false;
+  double cwnd_ = 0.0;      // bytes
+  double ssthresh_ = 0.0;  // bytes
+  int64_t snd_una_ = 0;
+  int64_t snd_nxt_ = 0;
+  int dup_acks_ = 0;
+
+  bool in_recovery_ = false;
+  int64_t recover_ = 0;
+  int64_t recovery_retrans_next_ = 0;
+
+  bool cwr_active_ = false;   // ECN window reduction in progress
+  int64_t cwr_end_seq_ = 0;   // reduction ends when snd_una passes this
+  bool send_cwr_flag_ = false;
+
+  SimTime srtt_us_ = 0;
+  SimTime rttvar_us_ = 0;
+  SimTime rto_us_;
+  int rto_backoff_ = 0;
+  EventId rto_event_ = 0;
+
+  std::map<int64_t, SegmentInfo> outstanding_;
+  std::vector<SeqRange> sacked_;
+
+  TcpSenderStats stats_;
+};
+
+struct TcpReceiverStats {
+  int64_t segments_received = 0;
+  int64_t bytes_delivered = 0;   // in-order bytes handed to the "application"
+  int64_t out_of_order = 0;
+  int64_t acks_sent = 0;
+  int64_t ce_marks_seen = 0;
+};
+
+class TcpReceiver {
+ public:
+  using Output = std::function<void(Packet)>;
+
+  TcpReceiver(Simulator* sim, int flow_id, Output output);
+
+  TcpReceiver(const TcpReceiver&) = delete;
+  TcpReceiver& operator=(const TcpReceiver&) = delete;
+
+  void OnData(const Packet& packet);
+
+  int64_t rcv_next() const { return rcv_next_; }
+  const TcpReceiverStats& stats() const { return stats_; }
+
+ private:
+  void SendAck();
+
+  Simulator* sim_;
+  const int flow_id_;
+  Output output_;
+
+  int64_t rcv_next_ = 0;
+  std::vector<SeqRange> out_of_order_;  // merged, sorted
+  bool ecn_echo_ = false;  // latched CE until the sender's CWR arrives
+
+  TcpReceiverStats stats_;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_NETSIM_TCP_H_

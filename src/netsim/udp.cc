@@ -1,0 +1,64 @@
+#include "netsim/udp.h"
+
+#include <cmath>
+
+namespace gscope {
+
+UdpSource::UdpSource(Simulator* sim, int flow_id, UdpConfig config, Output output)
+    : sim_(sim), flow_id_(flow_id), config_(config), output_(std::move(output)) {}
+
+UdpSource::~UdpSource() { Stop(); }
+
+SimTime UdpSource::InterPacketGap() const {
+  if (config_.rate_bps <= 0.0) {
+    return kMicrosPerSecond;  // effectively paused
+  }
+  double bits = static_cast<double>(config_.payload) * 8.0;
+  SimTime gap = static_cast<SimTime>(std::llround(bits / config_.rate_bps * kMicrosPerSecond));
+  return gap < 1 ? 1 : gap;
+}
+
+void UdpSource::Start(SimTime delay_us) {
+  if (active_) {
+    return;
+  }
+  active_ = true;
+  pending_ = sim_->ScheduleAfter(delay_us, [this]() { SendNext(); });
+}
+
+void UdpSource::Stop() {
+  active_ = false;
+  if (pending_ != 0) {
+    sim_->Cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void UdpSource::SetRate(double rate_bps) {
+  config_.rate_bps = rate_bps < 0.0 ? 0.0 : rate_bps;
+  if (active_) {
+    // Re-pace from now at the new rate.
+    if (pending_ != 0) {
+      sim_->Cancel(pending_);
+    }
+    pending_ = sim_->ScheduleAfter(InterPacketGap(), [this]() { SendNext(); });
+  }
+}
+
+void UdpSource::SendNext() {
+  pending_ = 0;
+  if (!active_) {
+    return;
+  }
+  Packet packet;
+  packet.flow_id = flow_id_;
+  packet.payload = config_.payload;
+  packet.header = 28;  // UDP/IP
+  packet.send_time_us = sim_->now_us();
+  ++stats_.datagrams_sent;
+  stats_.bytes_sent += config_.payload;
+  output_(std::move(packet));
+  pending_ = sim_->ScheduleAfter(InterPacketGap(), [this]() { SendNext(); });
+}
+
+}  // namespace gscope

@@ -1,0 +1,64 @@
+// Constant-bit-rate UDP traffic source.
+//
+// Mxtraf "can be used to saturate a network with a tunable mix of TCP and
+// UDP traffic" (Section 2).  A UdpSource emits fixed-size datagrams at a
+// configured rate with no congestion response - the unresponsive background
+// load that TCP flows must share a bottleneck with.
+#ifndef GSCOPE_NETSIM_UDP_H_
+#define GSCOPE_NETSIM_UDP_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "netsim/packet.h"
+#include "netsim/simulator.h"
+
+namespace gscope {
+
+struct UdpConfig {
+  double rate_bps = 500'000.0;  // payload bit-rate
+  int payload = 1000;           // bytes per datagram
+};
+
+struct UdpSourceStats {
+  int64_t datagrams_sent = 0;
+  int64_t bytes_sent = 0;
+};
+
+class UdpSource {
+ public:
+  using Output = std::function<void(Packet)>;
+
+  UdpSource(Simulator* sim, int flow_id, UdpConfig config, Output output);
+  ~UdpSource();
+
+  UdpSource(const UdpSource&) = delete;
+  UdpSource& operator=(const UdpSource&) = delete;
+
+  void Start(SimTime delay_us = 0);
+  void Stop();
+  bool active() const { return active_; }
+
+  // Adjusts the send rate while running (re-paces from now).
+  void SetRate(double rate_bps);
+  double rate_bps() const { return config_.rate_bps; }
+
+  int flow_id() const { return flow_id_; }
+  const UdpSourceStats& stats() const { return stats_; }
+
+ private:
+  void SendNext();
+  SimTime InterPacketGap() const;
+
+  Simulator* sim_;
+  const int flow_id_;
+  UdpConfig config_;
+  Output output_;
+  bool active_ = false;
+  EventId pending_ = 0;
+  UdpSourceStats stats_;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_NETSIM_UDP_H_

@@ -1,0 +1,76 @@
+#include "render/ascii.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace gscope {
+
+std::string RenderAscii(const Scope& scope, const AsciiViewOptions& options) {
+  int cols = std::max(8, options.columns);
+  int rows = std::max(4, options.rows);
+
+  std::vector<std::string> grid(static_cast<size_t>(rows), std::string(static_cast<size_t>(cols), ' '));
+
+  int index = 0;
+  std::vector<SignalId> ids = scope.SignalIds();
+  for (SignalId id : ids) {
+    ++index;
+    const SignalSpec* spec = scope.SpecFor(id);
+    const Trace* trace = scope.TraceFor(id);
+    if (spec == nullptr || trace == nullptr || spec->hidden) {
+      continue;
+    }
+    char glyph = index <= 9 ? static_cast<char>('0' + index) : '*';
+    size_t columns = std::min<size_t>(trace->size(), static_cast<size_t>(cols));
+    for (size_t age = 0; age < columns; ++age) {
+      const TracePoint& p = trace->At(age);
+      if (!p.valid) {
+        continue;
+      }
+      int x = cols - 1 - static_cast<int>(age);
+      double ruler = std::clamp(scope.NormalizeValue(id, p.value), 0.0, 100.0);
+      int y = rows - 1 - static_cast<int>(std::lround(ruler / 100.0 * (rows - 1)));
+      char& cell = grid[static_cast<size_t>(y)][static_cast<size_t>(x)];
+      cell = (cell == ' ' || cell == glyph) ? glyph : '#';
+    }
+  }
+
+  std::ostringstream out;
+  out << "+" << std::string(static_cast<size_t>(cols), '-') << "+  " << scope.name() << " (period "
+      << scope.polling_period_ms() << " ms)\n";
+  for (int y = 0; y < rows; ++y) {
+    int ruler = static_cast<int>(std::lround(100.0 * (rows - 1 - y) / (rows - 1)));
+    char label[8];
+    std::snprintf(label, sizeof(label), "%3d", ruler);
+    out << "|" << grid[static_cast<size_t>(y)] << "| " << label << "\n";
+  }
+  out << "+" << std::string(static_cast<size_t>(cols), '-') << "+\n";
+
+  if (options.legend) {
+    index = 0;
+    for (SignalId id : ids) {
+      ++index;
+      const SignalSpec* spec = scope.SpecFor(id);
+      if (spec == nullptr) {
+        continue;
+      }
+      auto value = scope.LatestValue(id);
+      out << "  [" << (index <= 9 ? static_cast<char>('0' + index) : '*') << "] " << spec->name;
+      if (spec->hidden) {
+        out << " (hidden)";
+      }
+      if (value.has_value()) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), " = %.3f", *value);
+        out << buf;
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace gscope

@@ -1,0 +1,23 @@
+// ASCII scope view, for live terminal demos (examples print these frames).
+#ifndef GSCOPE_RENDER_ASCII_H_
+#define GSCOPE_RENDER_ASCII_H_
+
+#include <string>
+
+#include "core/scope.h"
+
+namespace gscope {
+
+struct AsciiViewOptions {
+  int columns = 72;  // sample columns (newest at the right)
+  int rows = 16;     // vertical resolution over the 0..100 ruler
+  bool legend = true;
+};
+
+// Renders the scope's visible traces as text.  Each signal is drawn with the
+// digit of its 1-based display index; overlapping signals show '#'.
+std::string RenderAscii(const Scope& scope, const AsciiViewOptions& options = {});
+
+}  // namespace gscope
+
+#endif  // GSCOPE_RENDER_ASCII_H_

@@ -1,0 +1,144 @@
+#include "render/canvas.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "render/font5x7.h"
+
+namespace gscope {
+
+Canvas::Canvas(int width, int height)
+    : width_(std::max(1, width)),
+      height_(std::max(1, height)),
+      data_(static_cast<size_t>(width_) * static_cast<size_t>(height_) * 3, 0) {}
+
+void Canvas::Clear(Rgb color) {
+  for (size_t i = 0; i + 2 < data_.size(); i += 3) {
+    data_[i] = color.r;
+    data_[i + 1] = color.g;
+    data_[i + 2] = color.b;
+  }
+}
+
+void Canvas::SetPixel(int x, int y, Rgb color) {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) {
+    return;
+  }
+  size_t i = (static_cast<size_t>(y) * static_cast<size_t>(width_) + static_cast<size_t>(x)) * 3;
+  data_[i] = color.r;
+  data_[i + 1] = color.g;
+  data_[i + 2] = color.b;
+}
+
+Rgb Canvas::GetPixel(int x, int y) const {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) {
+    return Rgb{};
+  }
+  size_t i = (static_cast<size_t>(y) * static_cast<size_t>(width_) + static_cast<size_t>(x)) * 3;
+  return Rgb{data_[i], data_[i + 1], data_[i + 2]};
+}
+
+void Canvas::DrawLine(int x0, int y0, int x1, int y1, Rgb color) {
+  // Bresenham, all octants.
+  int dx = std::abs(x1 - x0);
+  int dy = -std::abs(y1 - y0);
+  int sx = x0 < x1 ? 1 : -1;
+  int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  while (true) {
+    SetPixel(x0, y0, color);
+    if (x0 == x1 && y0 == y1) {
+      break;
+    }
+    int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void Canvas::DrawRect(int x, int y, int w, int h, Rgb color) {
+  if (w <= 0 || h <= 0) {
+    return;
+  }
+  DrawLine(x, y, x + w - 1, y, color);
+  DrawLine(x, y + h - 1, x + w - 1, y + h - 1, color);
+  DrawLine(x, y, x, y + h - 1, color);
+  DrawLine(x + w - 1, y, x + w - 1, y + h - 1, color);
+}
+
+void Canvas::FillRect(int x, int y, int w, int h, Rgb color) {
+  for (int yy = y; yy < y + h; ++yy) {
+    for (int xx = x; xx < x + w; ++xx) {
+      SetPixel(xx, yy, color);
+    }
+  }
+}
+
+void Canvas::DrawText(int x, int y, const std::string& text, Rgb color) {
+  int cx = x;
+  for (char ch : text) {
+    int code = static_cast<unsigned char>(ch);
+    if (code < kFontFirstChar || code > kFontLastChar) {
+      code = '?';
+    }
+    const uint8_t* glyph = kFont5x7[code - kFontFirstChar];
+    for (int col = 0; col < kFontWidth; ++col) {
+      uint8_t bits = glyph[col];
+      for (int row = 0; row < kFontHeight; ++row) {
+        if (bits & (1u << row)) {
+          SetPixel(cx + col, y + row, color);
+        }
+      }
+    }
+    cx += kFontWidth + 1;
+  }
+}
+
+int Canvas::TextWidth(const std::string& text) {
+  return static_cast<int>(text.size()) * (kFontWidth + 1);
+}
+
+bool Canvas::WritePpm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return false;
+  }
+  out << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+  out.write(reinterpret_cast<const char*>(data_.data()), static_cast<std::streamsize>(data_.size()));
+  return out.good();
+}
+
+bool Canvas::WritePgm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return false;
+  }
+  out << "P5\n" << width_ << ' ' << height_ << "\n255\n";
+  std::vector<uint8_t> luma(static_cast<size_t>(width_) * static_cast<size_t>(height_));
+  for (size_t i = 0; i < luma.size(); ++i) {
+    // Integer Rec.601 luma.
+    luma[i] = static_cast<uint8_t>(
+        (299 * data_[i * 3] + 587 * data_[i * 3 + 1] + 114 * data_[i * 3 + 2]) / 1000);
+  }
+  out.write(reinterpret_cast<const char*>(luma.data()), static_cast<std::streamsize>(luma.size()));
+  return out.good();
+}
+
+int64_t Canvas::CountPixels(Rgb color) const {
+  int64_t count = 0;
+  for (size_t i = 0; i + 2 < data_.size(); i += 3) {
+    if (data_[i] == color.r && data_[i + 1] == color.g && data_[i + 2] == color.b) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace gscope

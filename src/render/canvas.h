@@ -1,0 +1,56 @@
+// Software RGB framebuffer: the GtkScope canvas substitute.
+//
+// The paper draws the scope on a Gnome canvas; we reproduce the pixel
+// semantics headlessly.  The canvas supports the primitives the scope view
+// needs (pixels, Bresenham lines, rectangles, 5x7 text) and exports binary
+// PPM/PGM so "screenshots" (Figures 1, 4, 5) can be regenerated from benches.
+#ifndef GSCOPE_RENDER_CANVAS_H_
+#define GSCOPE_RENDER_CANVAS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+
+namespace gscope {
+
+class Canvas {
+ public:
+  Canvas(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  void Clear(Rgb color);
+
+  // Out-of-bounds writes are clipped silently.
+  void SetPixel(int x, int y, Rgb color);
+  Rgb GetPixel(int x, int y) const;  // black when out of bounds
+
+  void DrawLine(int x0, int y0, int x1, int y1, Rgb color);
+  void DrawRect(int x, int y, int w, int h, Rgb color);
+  void FillRect(int x, int y, int w, int h, Rgb color);
+
+  // 5x7 text, 6-pixel advance.  Characters outside 0x20..0x7e render as '?'.
+  void DrawText(int x, int y, const std::string& text, Rgb color);
+  static int TextWidth(const std::string& text);
+
+  // Binary PPM (P6) / PGM (P5, luma).  Returns false on I/O failure.
+  bool WritePpm(const std::string& path) const;
+  bool WritePgm(const std::string& path) const;
+
+  // Number of pixels exactly matching `color` (test helper).
+  int64_t CountPixels(Rgb color) const;
+
+  const std::vector<uint8_t>& data() const { return data_; }
+
+ private:
+  int width_;
+  int height_;
+  std::vector<uint8_t> data_;  // RGB, row-major
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_RENDER_CANVAS_H_

@@ -1,0 +1,164 @@
+#include "render/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace gscope {
+namespace {
+
+std::string Num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+struct Column {
+  std::string name;
+  std::vector<TracePoint> points;  // oldest first
+};
+
+std::vector<Column> CollectColumns(const Scope& scope, size_t* max_len) {
+  std::vector<Column> columns;
+  *max_len = 0;
+  for (SignalId id : scope.SignalIds()) {
+    const SignalSpec* spec = scope.SpecFor(id);
+    const Trace* trace = scope.TraceFor(id);
+    if (spec == nullptr || trace == nullptr) {
+      continue;
+    }
+    columns.push_back(Column{spec->name, trace->Snapshot()});
+    *max_len = std::max(*max_len, columns.back().points.size());
+  }
+  return columns;
+}
+
+}  // namespace
+
+TraceStats ComputeTraceStats(const Trace& trace) {
+  TraceStats stats;
+  std::vector<double> values = trace.Values();
+  stats.points = values.size();
+  if (values.empty()) {
+    return stats;
+  }
+  stats.min = values[0];
+  stats.max = values[0];
+  double sum = 0.0;
+  for (double v : values) {
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+    sum += v;
+  }
+  stats.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) {
+    var += (v - stats.mean) * (v - stats.mean);
+  }
+  stats.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return stats;
+}
+
+std::string ExportCsv(const Scope& scope) {
+  size_t max_len = 0;
+  std::vector<Column> columns = CollectColumns(scope, &max_len);
+
+  std::ostringstream out;
+  out << "time_ms";
+  for (const Column& c : columns) {
+    out << ',' << c.name;
+  }
+  out << '\n';
+
+  int64_t period = scope.polling_period_ms();
+  for (size_t row = 0; row < max_len; ++row) {
+    // Row 0 is the oldest column; the newest sample sits at offset 0.
+    int64_t offset = -static_cast<int64_t>(max_len - 1 - row) * period;
+    out << offset;
+    for (const Column& c : columns) {
+      out << ',';
+      // Right-align shorter traces (their newest sample is also "now").
+      size_t pad = max_len - c.points.size();
+      if (row >= pad && c.points[row - pad].valid) {
+        out << Num(c.points[row - pad].value);
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string ExportGnuplot(const Scope& scope) {
+  size_t max_len = 0;
+  std::vector<Column> columns = CollectColumns(scope, &max_len);
+
+  std::ostringstream out;
+  out << "# gscope export: scope '" << scope.name() << "'\n";
+  out << "set title '" << scope.name() << "'\n";
+  out << "set xlabel 'time (s)'\nset ylabel 'value'\nset grid\n";
+  out << "$data << EOD\n";
+  double period_s = static_cast<double>(scope.polling_period_ms()) / 1000.0;
+  for (size_t row = 0; row < max_len; ++row) {
+    out << Num(-static_cast<double>(max_len - 1 - row) * period_s);
+    for (const Column& c : columns) {
+      size_t pad = max_len - c.points.size();
+      out << ' ';
+      if (row >= pad && c.points[row - pad].valid) {
+        out << Num(c.points[row - pad].value);
+      } else {
+        out << "NaN";
+      }
+    }
+    out << '\n';
+  }
+  out << "EOD\n";
+  out << "plot";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) {
+      out << ',';
+    }
+    out << " $data using 1:" << (i + 2) << " with lines title '" << columns[i].name << "'";
+  }
+  out << '\n';
+  return out.str();
+}
+
+std::string ExportTextReport(const Scope& scope) {
+  std::ostringstream out;
+  out << "gscope report: " << scope.name() << "\n";
+  out << "  mode=" << (scope.mode() == AcquisitionMode::kPolling ? "polling" : "playback")
+      << " period=" << scope.polling_period_ms() << "ms delay=" << scope.delay_ms()
+      << "ms zoom=" << scope.zoom() << " bias=" << scope.bias() << "\n";
+  out << "  ticks=" << scope.counters().ticks << " lost=" << scope.counters().lost_ticks
+      << " samples=" << scope.counters().samples << "\n\n";
+  char line[200];
+  std::snprintf(line, sizeof(line), "  %-16s %8s %10s %10s %10s %10s\n", "signal", "points",
+                "min", "max", "mean", "stddev");
+  out << line;
+  for (SignalId id : scope.SignalIds()) {
+    const SignalSpec* spec = scope.SpecFor(id);
+    const Trace* trace = scope.TraceFor(id);
+    if (spec == nullptr || trace == nullptr) {
+      continue;
+    }
+    TraceStats stats = ComputeTraceStats(*trace);
+    std::snprintf(line, sizeof(line), "  %-16s %8zu %10.4g %10.4g %10.4g %10.4g\n",
+                  spec->name.c_str(), stats.points, stats.min, stats.max, stats.mean,
+                  stats.stddev);
+    out << line;
+  }
+  return out.str();
+}
+
+bool WriteStringToFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return false;
+  }
+  out << content;
+  return out.good();
+}
+
+}  // namespace gscope

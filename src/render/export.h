@@ -1,0 +1,45 @@
+// Printing/export of recorded data (the paper's Section 6 future work:
+// "Gscope does not currently support printing of recorded data").
+//
+// Three printable forms:
+//   * CSV - one row per column, one column per signal (spreadsheet import),
+//   * gnuplot - a self-contained script + inline data that replots a scope,
+//   * text report - a human-readable summary with per-signal statistics.
+#ifndef GSCOPE_RENDER_EXPORT_H_
+#define GSCOPE_RENDER_EXPORT_H_
+
+#include <string>
+
+#include "core/scope.h"
+
+namespace gscope {
+
+// Per-signal summary statistics over the displayed trace.
+struct TraceStats {
+  size_t points = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+TraceStats ComputeTraceStats(const Trace& trace);
+
+// CSV of every signal's trace, oldest row first.  Column 0 is the time
+// offset in ms relative to the newest sample (negative going back).
+// Signals with shorter traces leave cells empty.
+std::string ExportCsv(const Scope& scope);
+
+// A gnuplot script (with inline `$data` block) that reproduces the scope's
+// time-domain view.  Feed to `gnuplot -p`.
+std::string ExportGnuplot(const Scope& scope);
+
+// Human-readable report: widget states plus per-signal statistics.
+std::string ExportTextReport(const Scope& scope);
+
+// Writes any of the above to a file.  Returns false on I/O error.
+bool WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace gscope
+
+#endif  // GSCOPE_RENDER_EXPORT_H_

@@ -1,0 +1,330 @@
+#include "render/scope_view.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "freq/spectrum.h"
+#include "render/color.h"
+
+namespace gscope {
+namespace {
+
+std::string FormatDouble(double v, int precision = 2) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+const char* LineModeName(LineMode mode) {
+  switch (mode) {
+    case LineMode::kLine:
+      return "line";
+    case LineMode::kPoints:
+      return "points";
+    case LineMode::kSteps:
+      return "steps";
+  }
+  return "?";
+}
+
+const char* DomainName(DisplayDomain domain) {
+  return domain == DisplayDomain::kTime ? "time" : "freq";
+}
+
+constexpr double kSpectrumDbRange = 80.0;  // display floor: -80 dBFS
+
+}  // namespace
+
+ScopeView::ScopeView(const Scope* scope, ScopeViewOptions options)
+    : scope_(scope), options_(options) {}
+
+ScopeView::PlotArea ScopeView::ComputePlotArea(const Canvas& canvas) const {
+  PlotArea area;
+  area.x0 = options_.margin_left;
+  area.y0 = options_.margin_top;
+  int legend = options_.draw_legend
+                   ? options_.legend_height * static_cast<int>(scope_->signal_count())
+                   : 0;
+  area.w = std::max(1, canvas.width() - options_.margin_left - options_.margin_right);
+  area.h = std::max(1, canvas.height() - options_.margin_top - options_.margin_bottom - legend);
+  return area;
+}
+
+void ScopeView::Render(Canvas* canvas) const {
+  canvas->Clear(kBlack);
+  PlotArea area = ComputePlotArea(*canvas);
+  DrawGridAndRulers(canvas, area);
+  if (scope_->domain() == DisplayDomain::kFrequency) {
+    DrawSpectra(canvas, area);
+  } else {
+    DrawTraces(canvas, area);
+  }
+  DrawChrome(canvas, area);
+  if (options_.draw_legend) {
+    DrawLegend(canvas, area);
+  }
+}
+
+bool ScopeView::RenderToPpm(const std::string& path, int canvas_width, int canvas_height) const {
+  Canvas canvas(canvas_width, canvas_height);
+  Render(&canvas);
+  return canvas.WritePpm(path);
+}
+
+void ScopeView::DrawChrome(Canvas* canvas, const PlotArea& area) const {
+  // Title bar: scope name plus the widget states of Figure 1.
+  std::string title = scope_->name() + "  [" + DomainName(scope_->domain()) + "]  period=" +
+                      std::to_string(scope_->polling_period_ms()) + "ms delay=" +
+                      std::to_string(scope_->delay_ms()) + "ms zoom=" +
+                      FormatDouble(scope_->zoom(), 1) + " bias=" +
+                      FormatDouble(scope_->bias(), 0);
+  canvas->DrawText(2, 3, title, kWhite);
+  canvas->DrawRect(area.x0 - 1, area.y0 - 1, area.w + 2, area.h + 2, kGray);
+}
+
+void ScopeView::DrawGridAndRulers(Canvas* canvas, const PlotArea& area) const {
+  // Horizontal grid: y ruler has a scale from 0 to 100.
+  for (int units = 0; units <= 100; units += options_.grid_step_y) {
+    int y = ValueToY(area, units);
+    for (int x = area.x0; x < area.x0 + area.w; x += 2) {
+      canvas->SetPixel(x, y, kDimGray);
+    }
+    canvas->DrawText(2, y - 3, std::to_string(units), kGray);
+  }
+  // Vertical grid: x ruler is sized in seconds; newest data at the right.
+  double ms_per_pixel = static_cast<double>(scope_->polling_period_ms());
+  for (int gx = 0; gx <= area.w; gx += options_.grid_step_x) {
+    int x = area.x0 + area.w - 1 - gx;
+    if (x < area.x0) {
+      break;
+    }
+    for (int y = area.y0; y < area.y0 + area.h; y += 2) {
+      canvas->SetPixel(x, y, kDimGray);
+    }
+    double seconds = gx * ms_per_pixel / 1000.0;
+    std::string label = gx == 0 ? "0" : "-" + FormatDouble(seconds, 1) + "s";
+    canvas->DrawText(x - Canvas::TextWidth(label) / 2, area.y0 + area.h + 4, label, kGray);
+  }
+}
+
+int ScopeView::ValueToY(const PlotArea& area, double ruler_units) const {
+  // Ruler 0 at the bottom, 100 at the top; values beyond are clipped later
+  // by pixel clipping.
+  double frac = ruler_units / 100.0;
+  return area.y0 + area.h - 1 - static_cast<int>(std::lround(frac * (area.h - 1)));
+}
+
+void ScopeView::DrawTraces(Canvas* canvas, const PlotArea& area) const {
+  for (SignalId id : scope_->SignalIds()) {
+    const SignalSpec* spec = scope_->SpecFor(id);
+    const Trace* trace = scope_->TraceFor(id);
+    if (spec == nullptr || trace == nullptr || spec->hidden || trace->empty()) {
+      continue;
+    }
+    Rgb color = spec->color.value_or(kGreen);
+    // Data is displayed one pixel apart each polling period: age a maps to
+    // the column a pixels left of the right edge.
+    size_t columns = std::min<size_t>(trace->size(), static_cast<size_t>(area.w));
+    int prev_x = 0;
+    int prev_y = 0;
+    bool have_prev = false;
+    for (size_t age = 0; age < columns; ++age) {
+      const TracePoint& p = trace->At(age);
+      if (!p.valid) {
+        have_prev = false;
+        continue;
+      }
+      int x = area.x0 + area.w - 1 - static_cast<int>(age);
+      double ruler = scope_->NormalizeValue(id, p.value);
+      ruler = std::clamp(ruler, -5.0, 105.0);
+      int y = ValueToY(area, ruler);
+      y = std::clamp(y, area.y0, area.y0 + area.h - 1);
+      switch (spec->line) {
+        case LineMode::kPoints:
+          canvas->SetPixel(x, y, color);
+          break;
+        case LineMode::kSteps:
+          if (have_prev) {
+            canvas->DrawLine(x, prev_y, prev_x, prev_y, color);
+            canvas->DrawLine(x, prev_y, x, y, color);
+          } else {
+            canvas->SetPixel(x, y, color);
+          }
+          break;
+        case LineMode::kLine:
+          if (have_prev) {
+            canvas->DrawLine(x, y, prev_x, prev_y, color);
+          } else {
+            canvas->SetPixel(x, y, color);
+          }
+          break;
+      }
+      prev_x = x;
+      prev_y = y;
+      have_prev = true;
+    }
+  }
+}
+
+void ScopeView::DrawSpectra(Canvas* canvas, const PlotArea& area) const {
+  double sample_rate_hz = 1000.0 / static_cast<double>(scope_->polling_period_ms());
+  for (SignalId id : scope_->SignalIds()) {
+    const SignalSpec* spec = scope_->SpecFor(id);
+    const Trace* trace = scope_->TraceFor(id);
+    if (spec == nullptr || trace == nullptr || spec->hidden || trace->size() < 8) {
+      continue;
+    }
+    Rgb color = spec->color.value_or(kGreen);
+    Spectrum spectrum = ComputeSpectrum(trace->Values(), sample_rate_hz);
+    if (spectrum.power_db.empty()) {
+      continue;
+    }
+    size_t bins = spectrum.power_db.size();
+    int prev_x = 0;
+    int prev_y = 0;
+    bool have_prev = false;
+    for (size_t i = 0; i < bins; ++i) {
+      int x = area.x0 + static_cast<int>(static_cast<double>(i) / (bins - 1) * (area.w - 1));
+      // Map [-range, 0] dB onto the 0..100 ruler.
+      double ruler = (spectrum.power_db[i] + kSpectrumDbRange) / kSpectrumDbRange * 100.0;
+      ruler = std::clamp(ruler, 0.0, 100.0);
+      int y = ValueToY(area, ruler);
+      if (have_prev) {
+        canvas->DrawLine(x, y, prev_x, prev_y, color);
+      } else {
+        canvas->SetPixel(x, y, color);
+      }
+      prev_x = x;
+      prev_y = y;
+      have_prev = true;
+    }
+  }
+}
+
+void ScopeView::DrawLegend(Canvas* canvas, const PlotArea& area) const {
+  int y = area.y0 + area.h + options_.margin_bottom;
+  for (SignalId id : scope_->SignalIds()) {
+    const SignalSpec* spec = scope_->SpecFor(id);
+    if (spec == nullptr) {
+      continue;
+    }
+    Rgb color = spec->color.value_or(kGreen);
+    canvas->FillRect(4, y + 1, 8, 8, color);
+    std::string text = spec->name;
+    if (spec->hidden) {
+      text += " (hidden)";
+    }
+    auto value = scope_->LatestValue(id);
+    if (value.has_value()) {
+      text += "  = " + FormatDouble(*value);
+    }
+    canvas->DrawText(16, y + 1, text, kWhite);
+    y += options_.legend_height;
+  }
+}
+
+bool ScopeView::RenderTriggered(Canvas* canvas, SignalId id, const TriggerConfig& trigger) const {
+  const SignalSpec* spec = scope_->SpecFor(id);
+  const Trace* trace = scope_->TraceFor(id);
+  if (spec == nullptr || trace == nullptr || trace->empty()) {
+    return false;
+  }
+  canvas->Clear(kBlack);
+  PlotArea area = ComputePlotArea(*canvas);
+  DrawGridAndRulers(canvas, area);
+
+  std::vector<double> samples = trace->Values();
+  // The sweep can be at most half the captured history (otherwise no
+  // complete trigger-to-trigger window exists yet) and at most the plot.
+  size_t width = std::min(static_cast<size_t>(area.w),
+                          std::max<size_t>(8, samples.size() / 2));
+  std::optional<Sweep> sweep = LatestSweep(samples, width, trigger);
+  if (!sweep.has_value() || !sweep->triggered) {
+    DrawChrome(canvas, area);
+    return false;
+  }
+
+  // Envelope band (dim) behind the live sweep.
+  Envelope envelope(width);
+  envelope.AddSweeps(samples, trigger);
+  for (size_t col = 0; col < width; ++col) {
+    if (envelope.CoverageAt(col) < 2) {
+      continue;
+    }
+    int x = area.x0 + static_cast<int>(col);
+    double lo = std::clamp(scope_->NormalizeValue(id, envelope.LowAt(col)), 0.0, 100.0);
+    double hi = std::clamp(scope_->NormalizeValue(id, envelope.HighAt(col)), 0.0, 100.0);
+    canvas->DrawLine(x, ValueToY(area, lo), x, ValueToY(area, hi), kDimGray);
+  }
+
+  // The stabilized sweep, left-aligned at the trigger point.
+  Rgb color = spec->color.value_or(kGreen);
+  int prev_x = 0;
+  int prev_y = 0;
+  bool have_prev = false;
+  for (size_t i = 0; i < sweep->samples.size(); ++i) {
+    int x = area.x0 + static_cast<int>(i);
+    double ruler = std::clamp(scope_->NormalizeValue(id, sweep->samples[i]), 0.0, 100.0);
+    int y = ValueToY(area, ruler);
+    if (have_prev) {
+      canvas->DrawLine(x, y, prev_x, prev_y, color);
+    } else {
+      canvas->SetPixel(x, y, color);
+    }
+    prev_x = x;
+    prev_y = y;
+    have_prev = true;
+  }
+
+  // Trigger level marker on the left edge.
+  double level_ruler = std::clamp(scope_->NormalizeValue(id, trigger.level), 0.0, 100.0);
+  int level_y = ValueToY(area, level_ruler);
+  canvas->DrawText(area.x0 + 2, level_y - 3, "T>", kYellow);
+
+  DrawChrome(canvas, area);
+  canvas->DrawText(2, canvas->height() - 10,
+                   "triggered: " + spec->name + " sweeps=" + std::to_string(envelope.sweeps()),
+                   kWhite);
+  return true;
+}
+
+std::string ScopeView::SignalParamsTable() const {
+  std::ostringstream out;
+  out << "signal          type     min      max      line    hidden  alpha  value\n";
+  for (SignalId id : scope_->SignalIds()) {
+    const SignalSpec* spec = scope_->SpecFor(id);
+    if (spec == nullptr) {
+      continue;
+    }
+    auto value = scope_->LatestValue(id);
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-15s %-8s %-8.6g %-8.6g %-7s %-7s %-6.3g %s\n",
+                  spec->name.c_str(), SignalTypeName(spec->type()), spec->min, spec->max,
+                  LineModeName(spec->line), spec->hidden ? "yes" : "no", spec->filter_alpha,
+                  value.has_value() ? FormatDouble(*value).c_str() : "-");
+    out << line;
+  }
+  return out.str();
+}
+
+std::string ScopeView::ControlParamsTable(const ParamRegistry& params) {
+  std::ostringstream out;
+  out << "parameter       value      range\n";
+  for (const std::string& name : params.Names()) {
+    auto value = params.Get(name);
+    auto range = params.RangeOf(name);
+    char line[160];
+    std::string range_str = range.has_value()
+                                ? "[" + FormatDouble(range->first) + ", " +
+                                      FormatDouble(range->second) + "]"
+                                : "(unbounded)";
+    std::snprintf(line, sizeof(line), "%-15s %-10s %s\n", name.c_str(),
+                  value.has_value() ? FormatDouble(*value).c_str() : "-", range_str.c_str());
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace gscope

@@ -1,0 +1,80 @@
+// ScopeView: paints a Scope as the Figure 1 widget, headlessly.
+//
+// Layout mirrors the GtkScope widget: a title bar with the widget states
+// (mode, sampling period, delay, zoom, bias), the canvas with grid, an
+// x-axis ruler sized in seconds and a y-axis ruler from 0 to 100, and a
+// signal legend with the per-signal Value readout.  It also produces the
+// textual equivalents of the Figure 2 (signal parameters) and Figure 3
+// (control parameters) windows.
+#ifndef GSCOPE_RENDER_SCOPE_VIEW_H_
+#define GSCOPE_RENDER_SCOPE_VIEW_H_
+
+#include <string>
+
+#include "core/envelope.h"
+#include "core/params.h"
+#include "core/scope.h"
+#include "core/trigger.h"
+#include "render/canvas.h"
+
+namespace gscope {
+
+struct ScopeViewOptions {
+  int margin_left = 34;    // y ruler labels
+  int margin_right = 8;
+  int margin_top = 14;     // title bar
+  int margin_bottom = 16;  // x ruler labels
+  int legend_height = 12;  // per-signal legend rows
+  int grid_step_x = 50;    // pixels between vertical grid lines
+  int grid_step_y = 25;    // y-ruler units between horizontal grid lines
+  bool draw_legend = true;
+};
+
+class ScopeView {
+ public:
+  explicit ScopeView(const Scope* scope, ScopeViewOptions options = {});
+
+  // Full widget render.  The canvas should be at least
+  // scope->width() + margins wide; the plot area is clipped to fit.
+  void Render(Canvas* canvas) const;
+
+  // Renders and writes a PPM "screenshot" in one call.
+  bool RenderToPpm(const std::string& path, int canvas_width, int canvas_height) const;
+
+  // Section 6 extension: renders a trigger-stabilized view of one signal.
+  // The newest trigger-aligned sweep is drawn in the signal's colour on top
+  // of the min/max envelope band accumulated over every sweep in the trace
+  // (drawn dimmed).  A repeating waveform therefore draws at a fixed phase
+  // regardless of when the frame is taken.  Returns false when the signal
+  // is unknown or no sweep triggered yet.
+  bool RenderTriggered(Canvas* canvas, SignalId id, const TriggerConfig& trigger) const;
+
+  // Figure 2 analogue: one row per signal with its parameters.
+  std::string SignalParamsTable() const;
+
+  // Figure 3 analogue: one row per control parameter.
+  static std::string ControlParamsTable(const ParamRegistry& params);
+
+ private:
+  struct PlotArea {
+    int x0 = 0;
+    int y0 = 0;
+    int w = 0;
+    int h = 0;
+  };
+
+  PlotArea ComputePlotArea(const Canvas& canvas) const;
+  void DrawChrome(Canvas* canvas, const PlotArea& area) const;
+  void DrawGridAndRulers(Canvas* canvas, const PlotArea& area) const;
+  void DrawTraces(Canvas* canvas, const PlotArea& area) const;
+  void DrawSpectra(Canvas* canvas, const PlotArea& area) const;
+  void DrawLegend(Canvas* canvas, const PlotArea& area) const;
+  int ValueToY(const PlotArea& area, double ruler_units) const;
+
+  const Scope* scope_;
+  ScopeViewOptions options_;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_RENDER_SCOPE_VIEW_H_

@@ -1,0 +1,82 @@
+// Clock abstraction for the gscope event loop.
+//
+// The paper's gscope polls through the GTK timeout mechanism, which is driven
+// by wall-clock time (select() timeouts).  To make the library testable and to
+// let the network simulator reuse the same scope machinery deterministically,
+// every time-dependent component takes a Clock.  SteadyClock is the production
+// clock (monotonic); SimClock is a manually advanced clock for tests and
+// simulation-driven scopes.
+#ifndef GSCOPE_RUNTIME_CLOCK_H_
+#define GSCOPE_RUNTIME_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gscope {
+
+// Nanoseconds since an arbitrary, clock-private epoch.
+using Nanos = int64_t;
+
+constexpr Nanos kNanosPerMilli = 1'000'000;
+constexpr Nanos kNanosPerSecond = 1'000'000'000;
+
+constexpr Nanos MillisToNanos(int64_t ms) { return ms * kNanosPerMilli; }
+constexpr double NanosToMillis(Nanos ns) { return static_cast<double>(ns) / kNanosPerMilli; }
+constexpr double NanosToSeconds(Nanos ns) { return static_cast<double>(ns) / kNanosPerSecond; }
+
+// Monotonic time source.  Implementations must be monotone non-decreasing.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Current time in nanoseconds since the clock's epoch.
+  virtual Nanos NowNs() = 0;
+
+  // Convenience: current time in (fractional) milliseconds.
+  double NowMs() { return NanosToMillis(NowNs()); }
+};
+
+// Production clock backed by std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  Nanos NowNs() override {
+    auto d = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+  }
+
+  // Process-wide instance, convenient as a default.
+  static SteadyClock* Instance() {
+    static SteadyClock clock;
+    return &clock;
+  }
+};
+
+// Manually advanced clock for deterministic tests and simulations.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(Nanos start_ns = 0) : now_ns_(start_ns) {}
+
+  Nanos NowNs() override { return now_ns_; }
+
+  // Advances time by `delta_ns` (must be non-negative).
+  void AdvanceNs(Nanos delta_ns) {
+    if (delta_ns > 0) {
+      now_ns_ += delta_ns;
+    }
+  }
+  void AdvanceMs(int64_t ms) { AdvanceNs(MillisToNanos(ms)); }
+
+  // Jumps directly to `t_ns` if it is in the future; no-op otherwise.
+  void SetNs(Nanos t_ns) {
+    if (t_ns > now_ns_) {
+      now_ns_ = t_ns;
+    }
+  }
+
+ private:
+  Nanos now_ns_;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_RUNTIME_CLOCK_H_

@@ -1,0 +1,159 @@
+// A glib-style main loop: the substrate gscope polls and dispatches through.
+//
+// The paper implements gscope on top of the GTK/glib event loop: polling uses
+// the GTK timeout mechanism (select()-based), I/O-driven applications register
+// GIOChannel watches, and "all events, GUI as well as application events, are
+// handled by the same mechanism" (Section 4.3/4.5).  This module reproduces
+// that substrate without GTK:
+//
+//   * timeout sources with per-source lost-timeout accounting (Section 4.5),
+//   * idle sources,
+//   * fd watches over poll(2)  (GIOChannel / g_io_add_watch analogue),
+//   * a thread-safe Invoke() for cross-thread calls (the "acquire the global
+//     GTK lock" discipline of Section 4.3 becomes "post a closure"),
+//   * Run()/Quit()/Iterate() in the gtk_main() style.
+//
+// The loop is driven by a Clock.  With a SteadyClock it blocks in poll(2)
+// until the next deadline; with a SimClock it advances virtual time to the
+// next deadline, which makes scope behaviour fully deterministic in tests.
+#ifndef GSCOPE_RUNTIME_EVENT_LOOP_H_
+#define GSCOPE_RUNTIME_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/clock.h"
+#include "runtime/timer_stats.h"
+
+namespace gscope {
+
+// I/O conditions, mirroring G_IO_IN / G_IO_OUT / G_IO_HUP / G_IO_ERR.
+enum class IoCondition : uint8_t {
+  kIn = 1 << 0,
+  kOut = 1 << 1,
+  kHup = 1 << 2,
+  kErr = 1 << 3,
+};
+
+inline IoCondition operator|(IoCondition a, IoCondition b) {
+  return static_cast<IoCondition>(static_cast<uint8_t>(a) | static_cast<uint8_t>(b));
+}
+inline bool Has(IoCondition set, IoCondition bit) {
+  return (static_cast<uint8_t>(set) & static_cast<uint8_t>(bit)) != 0;
+}
+
+// Source identifiers, as returned by the Add* calls.  0 is never a valid id.
+using SourceId = int;
+
+class MainLoop {
+ public:
+  // Return true to keep the source installed, false to remove it (glib style).
+  using TimeoutFn = std::function<bool(const TimeoutTick&)>;
+  using IdleFn = std::function<bool()>;
+  using IoFn = std::function<bool(int fd, IoCondition cond)>;
+
+  // `clock` defaults to the process steady clock; not owned.
+  explicit MainLoop(Clock* clock = nullptr);
+  ~MainLoop();
+
+  MainLoop(const MainLoop&) = delete;
+  MainLoop& operator=(const MainLoop&) = delete;
+
+  Clock* clock() const { return clock_; }
+
+  // -- Sources -------------------------------------------------------------
+
+  // Calls `fn` every `period_ns`, first at now + period.  Missed periods are
+  // counted (not replayed): the callback is invoked once with tick.lost set.
+  SourceId AddTimeoutNs(Nanos period_ns, TimeoutFn fn);
+  SourceId AddTimeoutMs(int64_t period_ms, TimeoutFn fn) {
+    return AddTimeoutNs(MillisToNanos(period_ms), fn);
+  }
+  // Convenience for callbacks that do not care about tick metadata.
+  SourceId AddTimeoutMs(int64_t period_ms, std::function<bool()> fn) {
+    return AddTimeoutNs(MillisToNanos(period_ms), [fn](const TimeoutTick&) { return fn(); });
+  }
+
+  // Runs whenever no timeout is due and no fd is ready.
+  SourceId AddIdle(IdleFn fn);
+
+  // Watches `fd` for `cond`; `fn` runs with the ready subset.
+  SourceId AddIoWatch(int fd, IoCondition cond, IoFn fn);
+
+  // Removes any kind of source.  Safe to call from inside its own callback.
+  // Returns false if the id is unknown (already removed).
+  bool Remove(SourceId id);
+
+  // Changes a timeout source's period in place, preserving its stats.  The
+  // next deadline is rescheduled to now + new period.  This is the sampling
+  // period widget of Figure 1.  Returns false for unknown/non-timeout ids.
+  bool SetTimeoutPeriodNs(SourceId id, Nanos period_ns);
+
+  // Per-source accounting (lost timeouts, dispatch latency).  Null if gone.
+  const TimerStats* StatsFor(SourceId id) const;
+
+  // -- Running -------------------------------------------------------------
+
+  // Dispatches until Quit().  Equivalent of gtk_main().
+  void Run();
+  void Quit();
+
+  // Runs a single iteration: dispatch due timers, ready fds, thread-posted
+  // closures, idles.  If `may_block` and nothing is ready, blocks (real
+  // clock) or advances virtual time (SimClock) to the next deadline.
+  // Returns true if anything was dispatched.
+  bool Iterate(bool may_block);
+
+  // Runs for `duration_ns` of clock time, then returns.  With a SimClock this
+  // is a deterministic fast-forward; with a real clock it is a bounded Run().
+  void RunForNs(Nanos duration_ns);
+  void RunForMs(int64_t ms) { RunForNs(MillisToNanos(ms)); }
+
+  // -- Cross-thread --------------------------------------------------------
+
+  // Enqueues `fn` to run on the loop thread and wakes the loop.  This is the
+  // supported way for a signal-producing thread to touch scope state
+  // (Section 4.3's GTK-lock discipline).  Thread-safe.
+  void Invoke(std::function<void()> fn);
+
+  // Number of sources currently installed (for tests/diagnostics).
+  size_t source_count() const;
+
+ private:
+  struct TimeoutSource;
+  struct IdleSource;
+  struct IoSource;
+
+  bool DispatchTimers(Nanos now, bool* any_pending, Nanos* next_deadline);
+  bool DispatchIdles();
+  bool DrainInvokeQueue();
+  int PollFds(Nanos timeout_ns);
+  void Wakeup();
+
+  Clock* clock_;
+  std::atomic<bool> quit_{false};
+
+  SourceId next_id_ = 1;
+  std::map<SourceId, std::unique_ptr<TimeoutSource>> timeouts_;
+  std::map<SourceId, std::unique_ptr<IdleSource>> idles_;
+  std::map<SourceId, std::unique_ptr<IoSource>> io_watches_;
+
+  // Ids removed while dispatching; applied after the dispatch pass.
+  std::vector<SourceId> pending_removals_;
+  bool dispatching_ = false;
+
+  mutable std::mutex invoke_mu_;
+  std::vector<std::function<void()>> invoke_queue_;
+
+  // Self-pipe used to interrupt poll(2) from Invoke().
+  int wake_pipe_[2] = {-1, -1};
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_RUNTIME_EVENT_LOOP_H_

@@ -1,0 +1,59 @@
+// Per-timeout-source accounting.
+//
+// Section 4.5 of the paper: "scheduling latencies in the kernel can induce
+// loss in polling timeouts under heavy loads.  To handle this problem, Gscope
+// keeps track of lost timeouts and advances the scope refresh appropriately."
+// TimerStats is that bookkeeping, exposed so callers (and the granularity
+// bench, experiment E6) can observe it.
+#ifndef GSCOPE_RUNTIME_TIMER_STATS_H_
+#define GSCOPE_RUNTIME_TIMER_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "runtime/clock.h"
+
+namespace gscope {
+
+struct TimerStats {
+  // Number of times the callback actually ran.
+  int64_t fired = 0;
+  // Number of whole periods that elapsed without a callback (missed ticks).
+  int64_t lost = 0;
+  // Latency between the scheduled deadline and the actual dispatch.
+  Nanos total_latency_ns = 0;
+  Nanos max_latency_ns = 0;
+
+  void RecordDispatch(Nanos latency_ns, int64_t lost_ticks) {
+    fired += 1;
+    lost += lost_ticks;
+    total_latency_ns += latency_ns;
+    max_latency_ns = std::max(max_latency_ns, latency_ns);
+  }
+
+  double MeanLatencyNs() const {
+    return fired == 0 ? 0.0 : static_cast<double>(total_latency_ns) / static_cast<double>(fired);
+  }
+
+  // Fraction of scheduled ticks that were missed.
+  double LossRatio() const {
+    int64_t scheduled = fired + lost;
+    return scheduled == 0 ? 0.0 : static_cast<double>(lost) / static_cast<double>(scheduled);
+  }
+};
+
+// Information handed to a timeout callback on each dispatch.
+struct TimeoutTick {
+  // The deadline this dispatch was scheduled for.
+  Nanos scheduled_ns = 0;
+  // The time the dispatch actually happened.
+  Nanos actual_ns = 0;
+  // Whole periods missed since the previous dispatch (0 when on time).  A
+  // scope uses this to advance its refresh by `lost + 1` columns so the
+  // x-axis stays truthful under load.
+  int64_t lost = 0;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_RUNTIME_TIMER_STATS_H_

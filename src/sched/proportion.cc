@@ -1,0 +1,112 @@
+#include "sched/proportion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace gscope {
+namespace {
+// Controller gains: brisk tracking without oscillation for demo waveforms.
+constexpr double kProportionalGain = 0.5;
+constexpr double kIntegralGain = 0.1;
+}  // namespace
+
+int ProportionScheduler::AddProcess(const ProcessSpec& spec) {
+  int id = next_id_++;
+  Process p;
+  p.spec = spec;
+  p.next_update_ms = now_ms_;
+  processes_[id] = std::move(p);
+  return id;
+}
+
+bool ProportionScheduler::RemoveProcess(int id) { return processes_.erase(id) > 0; }
+
+std::vector<int> ProportionScheduler::ProcessIds() const {
+  std::vector<int> ids;
+  ids.reserve(processes_.size());
+  for (const auto& [id, p] : processes_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+const ProcessSpec* ProportionScheduler::SpecFor(int id) const {
+  auto it = processes_.find(id);
+  return it == processes_.end() ? nullptr : &it->second.spec;
+}
+
+double ProportionScheduler::DemandAt(const Process& p, double t_ms) const {
+  double phase = p.spec.demand_phase;
+  if (p.spec.demand_period_ms > 0.0) {
+    phase += 2.0 * std::numbers::pi * t_ms / p.spec.demand_period_ms;
+  }
+  double demand = p.spec.base_demand + p.spec.demand_amplitude * std::sin(phase);
+  return std::clamp(demand, 0.0, 1.0);
+}
+
+void ProportionScheduler::Step(double dt_ms) {
+  if (dt_ms <= 0.0) {
+    return;
+  }
+  now_ms_ += dt_ms;
+  bool changed = false;
+  for (auto& [id, p] : processes_) {
+    // Proportions are assigned at the granularity of the process period
+    // (Section 4.2); between periods the assignment is held.
+    while (p.next_update_ms <= now_ms_) {
+      double demand = DemandAt(p, p.next_update_ms);
+      p.error = demand - p.proportion;
+      p.integral += p.error * (p.spec.period_ms / 1000.0);
+      p.integral = std::clamp(p.integral, -1.0, 1.0);
+      p.proportion += kProportionalGain * p.error + kIntegralGain * p.integral;
+      p.proportion = std::clamp(p.proportion, 0.0, 1.0);
+      p.next_update_ms += std::max(1.0, p.spec.period_ms);
+      changed = true;
+    }
+  }
+  if (changed) {
+    Normalize();
+  }
+}
+
+void ProportionScheduler::Normalize() {
+  double total = 0.0;
+  for (const auto& [id, p] : processes_) {
+    total += p.proportion;
+  }
+  if (total <= kSaturation || total <= 0.0) {
+    return;
+  }
+  // Overload: squeeze everyone proportionally (the real-rate allocator's
+  // pressure-sharing behaviour under saturation).
+  double scale = kSaturation / total;
+  for (auto& [id, p] : processes_) {
+    p.proportion *= scale;
+  }
+}
+
+double ProportionScheduler::ProportionOf(int id) const {
+  auto it = processes_.find(id);
+  return it == processes_.end() ? 0.0 : it->second.proportion;
+}
+
+double ProportionScheduler::DemandOf(int id) const {
+  auto it = processes_.find(id);
+  return it == processes_.end() ? 0.0 : DemandAt(it->second, now_ms_);
+}
+
+double ProportionScheduler::ErrorOf(int id) const {
+  auto it = processes_.find(id);
+  return it == processes_.end() ? 0.0 : it->second.error;
+}
+
+double ProportionScheduler::TotalAllocated() const {
+  double total = 0.0;
+  for (const auto& [id, p] : processes_) {
+    total += p.proportion;
+  }
+  return total;
+}
+
+}  // namespace gscope

@@ -1,0 +1,88 @@
+// Real-rate proportion-period scheduler simulation.
+//
+// The paper uses gscope "to view dynamically changing process proportions as
+// assigned by a CPU proportion-period scheduler [19].  Here, the number of
+// signals depends on the number of running processes" (Section 1), and notes
+// that the scope polling period is set to the process period because "the
+// signal is held between process periods" (Section 4.2).
+//
+// [19] is Steere et al.'s feedback-driven real-rate allocator: each process
+// exposes a progress metric (e.g. fill level of a producer/consumer buffer)
+// and a controller adjusts its CPU proportion to keep progress on target.
+// This simulation reproduces those dynamics: deterministic time-varying
+// demand per process, a proportional-integral controller per process, and
+// saturation-aware normalization when total demand exceeds the CPU.
+#ifndef GSCOPE_SCHED_PROPORTION_H_
+#define GSCOPE_SCHED_PROPORTION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gscope {
+
+struct ProcessSpec {
+  std::string name;
+  // Scheduling period; proportions are re-evaluated once per period.
+  double period_ms = 50.0;
+  // Demand waveform: base CPU fraction plus a sinusoidal component
+  // (deterministic, so tests and demos are reproducible).
+  double base_demand = 0.2;       // 0..1
+  double demand_amplitude = 0.1;  // 0..1
+  double demand_period_ms = 4000.0;
+  double demand_phase = 0.0;  // radians
+};
+
+class ProportionScheduler {
+ public:
+  ProportionScheduler() = default;
+
+  // Adds a process; returns its id (never 0).  Dynamic addition mirrors the
+  // dynamic signal count of the paper's scheduler demo.
+  int AddProcess(const ProcessSpec& spec);
+  bool RemoveProcess(int id);
+  size_t process_count() const { return processes_.size(); }
+  std::vector<int> ProcessIds() const;
+  const ProcessSpec* SpecFor(int id) const;
+
+  // Advances simulated time by `dt_ms`, re-running the allocator for every
+  // process whose period elapsed.
+  void Step(double dt_ms);
+
+  // Currently assigned CPU proportion (0..1) - the signal the paper plots.
+  double ProportionOf(int id) const;
+  // The process's instantaneous demand (0..1), i.e. the target.
+  double DemandOf(int id) const;
+  // Progress error the controller is driving to zero.
+  double ErrorOf(int id) const;
+
+  // Sum of all proportions after normalization (<= saturation limit).
+  double TotalAllocated() const;
+
+  double now_ms() const { return now_ms_; }
+
+  // The allocator never hands out more than this total fraction (the paper's
+  // scheduler reserves slack for best-effort work).
+  static constexpr double kSaturation = 0.9;
+
+ private:
+  struct Process {
+    ProcessSpec spec;
+    double proportion = 0.0;
+    double integral = 0.0;
+    double error = 0.0;
+    double next_update_ms = 0.0;
+  };
+
+  double DemandAt(const Process& p, double t_ms) const;
+  void Normalize();
+
+  std::map<int, Process> processes_;
+  int next_id_ = 1;
+  double now_ms_ = 0.0;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_SCHED_PROPORTION_H_

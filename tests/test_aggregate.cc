@@ -1,0 +1,170 @@
+#include "core/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace gscope {
+namespace {
+
+constexpr Nanos kInterval = MillisToNanos(100);  // 0.1 s polling period
+
+TEST(AggregateTest, MaximumOfInterval) {
+  EventAggregator agg(AggregateKind::kMaximum);
+  agg.Push(3.0);
+  agg.Push(9.0);
+  agg.Push(5.0);
+  EXPECT_DOUBLE_EQ(agg.Drain(kInterval), 9.0);
+}
+
+TEST(AggregateTest, MinimumOfInterval) {
+  EventAggregator agg(AggregateKind::kMinimum);
+  agg.Push(3.0);
+  agg.Push(-2.0);
+  agg.Push(5.0);
+  EXPECT_DOUBLE_EQ(agg.Drain(kInterval), -2.0);
+}
+
+TEST(AggregateTest, SumBytesReceived) {
+  EventAggregator agg(AggregateKind::kSum);
+  agg.Push(1500.0);
+  agg.Push(500.0);
+  agg.Push(40.0);
+  EXPECT_DOUBLE_EQ(agg.Drain(kInterval), 2040.0);
+}
+
+TEST(AggregateTest, RateIsSumPerSecond) {
+  // Paper: "Ratio of the sum of sample values to the polling period, e.g.,
+  // bandwidth in bytes per second."
+  EventAggregator agg(AggregateKind::kRate);
+  agg.Push(1000.0);
+  agg.Push(1000.0);
+  EXPECT_DOUBLE_EQ(agg.Drain(kInterval), 2000.0 / 0.1);
+}
+
+TEST(AggregateTest, AverageBytesPerPacket) {
+  EventAggregator agg(AggregateKind::kAverage);
+  agg.Push(100.0);
+  agg.Push(300.0);
+  EXPECT_DOUBLE_EQ(agg.Drain(kInterval), 200.0);
+}
+
+TEST(AggregateTest, EventsCountsPackets) {
+  EventAggregator agg(AggregateKind::kEvents);
+  for (int i = 0; i < 7; ++i) {
+    agg.Push(123.0);
+  }
+  EXPECT_DOUBLE_EQ(agg.Drain(kInterval), 7.0);
+}
+
+TEST(AggregateTest, AnyEventBoolean) {
+  EventAggregator agg(AggregateKind::kAnyEvent);
+  EXPECT_DOUBLE_EQ(agg.Drain(kInterval), 0.0);
+  agg.Push(0.0);
+  EXPECT_DOUBLE_EQ(agg.Drain(kInterval), 1.0);
+  EXPECT_DOUBLE_EQ(agg.Drain(kInterval), 0.0);
+}
+
+TEST(AggregateTest, LastHoldsMostRecent) {
+  EventAggregator agg(AggregateKind::kLast);
+  agg.Push(1.0);
+  agg.Push(2.0);
+  EXPECT_DOUBLE_EQ(agg.Drain(kInterval), 2.0);
+  // No new events: Last naturally holds.
+  EXPECT_DOUBLE_EQ(agg.Drain(kInterval, 2.0), 2.0);
+}
+
+TEST(AggregateTest, DrainResetsInterval) {
+  EventAggregator agg(AggregateKind::kSum);
+  agg.Push(5.0);
+  EXPECT_DOUBLE_EQ(agg.Drain(kInterval), 5.0);
+  EXPECT_DOUBLE_EQ(agg.Drain(kInterval), 0.0);
+}
+
+TEST(AggregateTest, EmptyIntervalUsesHoldForValueAggregates) {
+  EventAggregator max_agg(AggregateKind::kMaximum);
+  EXPECT_DOUBLE_EQ(max_agg.Drain(kInterval, 42.0), 42.0);
+  EventAggregator avg_agg(AggregateKind::kAverage);
+  EXPECT_DOUBLE_EQ(avg_agg.Drain(kInterval, 7.0), 7.0);
+}
+
+TEST(AggregateTest, EmptyIntervalZeroForCountingAggregates) {
+  EventAggregator events(AggregateKind::kEvents);
+  EXPECT_DOUBLE_EQ(events.Drain(kInterval, 99.0), 0.0);
+  EventAggregator sum(AggregateKind::kSum);
+  EXPECT_DOUBLE_EQ(sum.Drain(kInterval, 99.0), 0.0);
+}
+
+TEST(AggregateTest, PendingEventsVisible) {
+  EventAggregator agg(AggregateKind::kEvents);
+  agg.Push(1.0);
+  agg.Push(1.0);
+  EXPECT_EQ(agg.pending_events(), 2);
+  agg.Drain(kInterval);
+  EXPECT_EQ(agg.pending_events(), 0);
+}
+
+TEST(AggregateTest, ThreadSafePushes) {
+  EventAggregator agg(AggregateKind::kEvents);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&agg]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        agg.Push(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_DOUBLE_EQ(agg.Drain(kInterval), kThreads * kPerThread);
+}
+
+TEST(AggregateTest, KindNames) {
+  EXPECT_STREQ(AggregateKindName(AggregateKind::kMaximum), "Maximum");
+  EXPECT_STREQ(AggregateKindName(AggregateKind::kRate), "Rate");
+  EXPECT_STREQ(AggregateKindName(AggregateKind::kAnyEvent), "AnyEvent");
+}
+
+// Property: for every kind, draining twice without pushes gives the kind's
+// identity (hold for value kinds, zero for counting kinds).
+class AggregateIdentityProperty : public ::testing::TestWithParam<AggregateKind> {};
+
+TEST_P(AggregateIdentityProperty, DoubleDrainStable) {
+  EventAggregator agg(GetParam());
+  agg.Push(10.0);
+  agg.Drain(kInterval);
+  double first = agg.Drain(kInterval, 10.0);
+  double second = agg.Drain(kInterval, 10.0);
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+// Property: aggregates are order-insensitive for commutative kinds.
+TEST_P(AggregateIdentityProperty, OrderInsensitive) {
+  AggregateKind kind = GetParam();
+  if (kind == AggregateKind::kLast) {
+    return;  // Last is inherently order-sensitive
+  }
+  EventAggregator forward(kind);
+  EventAggregator backward(kind);
+  std::vector<double> samples = {5.0, -3.0, 12.0, 0.5};
+  for (double s : samples) {
+    forward.Push(s);
+  }
+  for (auto it = samples.rbegin(); it != samples.rend(); ++it) {
+    backward.Push(*it);
+  }
+  EXPECT_DOUBLE_EQ(forward.Drain(kInterval), backward.Drain(kInterval));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, AggregateIdentityProperty,
+                         ::testing::Values(AggregateKind::kMaximum, AggregateKind::kMinimum,
+                                           AggregateKind::kSum, AggregateKind::kRate,
+                                           AggregateKind::kAverage, AggregateKind::kEvents,
+                                           AggregateKind::kAnyEvent, AggregateKind::kLast));
+
+}  // namespace
+}  // namespace gscope

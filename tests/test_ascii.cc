@@ -1,0 +1,101 @@
+#include "render/ascii.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/clock.h"
+
+namespace gscope {
+namespace {
+
+class AsciiTest : public ::testing::Test {
+ protected:
+  AsciiTest() : loop_(&clock_), scope_(&loop_, {.name = "ascii", .width = 32}) {}
+
+  SimClock clock_;
+  MainLoop loop_;
+  Scope scope_;
+};
+
+TEST_F(AsciiTest, EmptyScopeRendersFrame) {
+  std::string out = RenderAscii(scope_);
+  EXPECT_NE(out.find("ascii"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);  // top ruler label
+}
+
+TEST_F(AsciiTest, SignalDrawnWithIndexDigit) {
+  int32_t x = 50;
+  scope_.AddSignal({.name = "a", .source = &x});
+  scope_.TickOnce();
+  scope_.TickOnce();
+  std::string out = RenderAscii(scope_);
+  EXPECT_NE(out.find('1'), std::string::npos);
+  EXPECT_NE(out.find("[1] a"), std::string::npos);
+}
+
+TEST_F(AsciiTest, HiddenSignalNotDrawnButListed) {
+  int32_t x = 50;
+  SignalId id = scope_.AddSignal({.name = "a", .source = &x});
+  scope_.TickOnce();
+  scope_.SetHidden(id, true);
+  std::string out = RenderAscii(scope_, {.columns = 20, .rows = 8});
+  // The plot body must not contain the glyph; the legend mentions hidden.
+  EXPECT_NE(out.find("(hidden)"), std::string::npos);
+  size_t legend_start = out.find("  [");
+  std::string body = out.substr(0, legend_start);
+  // Strip the ruler column labels ("100", " 50"...) which contain digits:
+  // check only between the border pipes.
+  bool glyph_in_plot = false;
+  size_t pos = 0;
+  while ((pos = body.find('|', pos)) != std::string::npos) {
+    size_t end = body.find('|', pos + 1);
+    if (end == std::string::npos) {
+      break;
+    }
+    if (body.substr(pos + 1, end - pos - 1).find('1') != std::string::npos) {
+      glyph_in_plot = true;
+    }
+    pos = end + 1;
+  }
+  EXPECT_FALSE(glyph_in_plot);
+}
+
+TEST_F(AsciiTest, ValueShownInLegend) {
+  int32_t x = 37;
+  scope_.AddSignal({.name = "v", .source = &x});
+  scope_.TickOnce();
+  std::string out = RenderAscii(scope_);
+  EXPECT_NE(out.find("= 37.000"), std::string::npos);
+}
+
+TEST_F(AsciiTest, LegendOptional) {
+  int32_t x = 5;
+  scope_.AddSignal({.name = "v", .source = &x});
+  scope_.TickOnce();
+  std::string out = RenderAscii(scope_, {.columns = 20, .rows = 6, .legend = false});
+  EXPECT_EQ(out.find("[1]"), std::string::npos);
+}
+
+TEST_F(AsciiTest, OverlapMarkedWithHash) {
+  int32_t x = 50;
+  int32_t y = 50;
+  scope_.AddSignal({.name = "a", .source = &x});
+  scope_.AddSignal({.name = "b", .source = &y});
+  scope_.TickOnce();
+  std::string out = RenderAscii(scope_);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST_F(AsciiTest, DimensionsRespected) {
+  std::string out = RenderAscii(scope_, {.columns = 20, .rows = 5, .legend = false});
+  int lines = 0;
+  for (char c : out) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  EXPECT_EQ(lines, 5 + 2);  // rows + top/bottom borders
+}
+
+}  // namespace
+}  // namespace gscope

@@ -1,0 +1,189 @@
+// Tests of the C bindings (Section 6 future work: language bindings).  The
+// entire surface is exercised through the C ABI only.
+#include "bindings/gscope_c.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+double SampleFn(void* arg1, void* arg2) {
+  double base = *static_cast<double*>(arg1);
+  double scale = arg2 != nullptr ? *static_cast<double*>(arg2) : 1.0;
+  return base * scale;
+}
+
+class CApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ctx_ = gscope_create("c-api", 64, 64, /*use_sim_clock=*/1);
+    ASSERT_NE(ctx_, nullptr);
+  }
+  void TearDown() override { gscope_destroy(ctx_); }
+
+  gscope_ctx* ctx_ = nullptr;
+};
+
+TEST_F(CApiTest, CreateRejectsNullName) {
+  EXPECT_EQ(gscope_create(nullptr, 10, 10, 0), nullptr);
+}
+
+TEST_F(CApiTest, DestroyNullIsSafe) {
+  gscope_destroy(nullptr);
+}
+
+TEST_F(CApiTest, Int32SignalPolling) {
+  int32_t value = 7;
+  int sig = gscope_signal_int32(ctx_, "v", &value, 0, 100);
+  ASSERT_GT(sig, 0);
+  ASSERT_EQ(gscope_set_polling_mode(ctx_, 10), 0);
+  ASSERT_EQ(gscope_start_polling(ctx_), 0);
+  gscope_run_for_ms(ctx_, 100);
+  double out = -1;
+  ASSERT_EQ(gscope_value(ctx_, sig, &out), 0);
+  EXPECT_DOUBLE_EQ(out, 7.0);
+  value = 21;
+  gscope_run_for_ms(ctx_, 50);
+  ASSERT_EQ(gscope_value(ctx_, sig, &out), 0);
+  EXPECT_DOUBLE_EQ(out, 21.0);
+  EXPECT_GT(gscope_ticks(ctx_), 10);
+}
+
+TEST_F(CApiTest, FuncSignalWithTwoArgs) {
+  double base = 5.0;
+  double scale = 3.0;
+  int sig = gscope_signal_func(ctx_, "f", &SampleFn, &base, &scale, 0, 100);
+  ASSERT_GT(sig, 0);
+  gscope_tick(ctx_);
+  double out = 0;
+  ASSERT_EQ(gscope_value(ctx_, sig, &out), 0);
+  EXPECT_DOUBLE_EQ(out, 15.0);
+}
+
+TEST_F(CApiTest, BufferSignalPush) {
+  int sig = gscope_signal_buffer(ctx_, "stream", 0, 100);
+  ASSERT_GT(sig, 0);
+  ASSERT_EQ(gscope_set_polling_mode(ctx_, 10), 0);
+  ASSERT_EQ(gscope_start_polling(ctx_), 0);
+  EXPECT_EQ(gscope_push(ctx_, "stream", gscope_now_ms(ctx_), 42.0), 1);
+  gscope_run_for_ms(ctx_, 50);
+  double out = 0;
+  ASSERT_EQ(gscope_value(ctx_, sig, &out), 0);
+  EXPECT_DOUBLE_EQ(out, 42.0);
+}
+
+TEST_F(CApiTest, LateBufferPushDropped) {
+  ASSERT_GT(gscope_signal_buffer(ctx_, "s", 0, 100), 0);
+  ASSERT_EQ(gscope_set_delay_ms(ctx_, 10), 0);
+  ASSERT_EQ(gscope_set_polling_mode(ctx_, 10), 0);
+  ASSERT_EQ(gscope_start_polling(ctx_), 0);
+  gscope_run_for_ms(ctx_, 500);
+  EXPECT_EQ(gscope_push(ctx_, "s", gscope_now_ms(ctx_) - 400, 1.0), 0);
+}
+
+TEST_F(CApiTest, ErrorPaths) {
+  EXPECT_LT(gscope_signal_int32(ctx_, "x", nullptr, 0, 100), 0);
+  EXPECT_LT(gscope_signal_func(ctx_, "x", nullptr, nullptr, nullptr, 0, 100), 0);
+  EXPECT_LT(gscope_set_polling_mode(ctx_, 0), 0);
+  EXPECT_LT(gscope_set_playback_mode(ctx_, "/nonexistent", 10), 0);
+  EXPECT_LT(gscope_set_zoom(ctx_, -1.0), 0);
+  EXPECT_LT(gscope_set_delay_ms(ctx_, -5), 0);
+  EXPECT_LT(gscope_set_domain(ctx_, 7), 0);
+  double out = 0;
+  EXPECT_LT(gscope_value(ctx_, 999, &out), 0);
+  EXPECT_LT(gscope_value(ctx_, 1, nullptr), 0);
+  EXPECT_LT(gscope_remove_signal(ctx_, 999), 0);
+  EXPECT_LT(gscope_start_recording(ctx_, "/nonexistent/dir/x.dat"), 0);
+}
+
+TEST_F(CApiTest, DuplicateSignalNameFails) {
+  int32_t v = 0;
+  EXPECT_GT(gscope_signal_int32(ctx_, "v", &v, 0, 100), 0);
+  EXPECT_LT(gscope_signal_int32(ctx_, "v", &v, 0, 100), 0);
+}
+
+TEST_F(CApiTest, FindAndRemove) {
+  int32_t v = 0;
+  int sig = gscope_signal_int32(ctx_, "v", &v, 0, 100);
+  EXPECT_EQ(gscope_find_signal(ctx_, "v"), sig);
+  EXPECT_EQ(gscope_remove_signal(ctx_, sig), 0);
+  EXPECT_EQ(gscope_find_signal(ctx_, "v"), 0);
+}
+
+TEST_F(CApiTest, ParameterSetters) {
+  int32_t v = 0;
+  int sig = gscope_signal_int32(ctx_, "v", &v, 0, 100);
+  EXPECT_EQ(gscope_set_hidden(ctx_, sig, 1), 0);
+  EXPECT_EQ(gscope_set_filter_alpha(ctx_, sig, 0.5), 0);
+  EXPECT_LT(gscope_set_filter_alpha(ctx_, sig, 2.0), 0);
+  EXPECT_EQ(gscope_set_range(ctx_, sig, -1, 1), 0);
+  EXPECT_LT(gscope_set_range(ctx_, sig, 1, 1), 0);
+  EXPECT_EQ(gscope_set_zoom(ctx_, 2.0), 0);
+  EXPECT_EQ(gscope_set_bias(ctx_, 5.0), 0);
+  EXPECT_EQ(gscope_set_domain(ctx_, 1), 0);
+  EXPECT_EQ(gscope_set_domain(ctx_, 0), 0);
+}
+
+TEST_F(CApiTest, RecordThenPlaybackThroughCApi) {
+  std::string path = ::testing::TempDir() + "c_api_rec.dat";
+  int32_t v = 0;
+  ASSERT_GT(gscope_signal_int32(ctx_, "v", &v, 0, 100), 0);
+  ASSERT_EQ(gscope_set_polling_mode(ctx_, 10), 0);
+  ASSERT_EQ(gscope_start_recording(ctx_, path.c_str()), 0);
+  ASSERT_EQ(gscope_start_polling(ctx_), 0);
+  for (int i = 0; i < 10; ++i) {
+    v = i * 2;
+    gscope_run_for_ms(ctx_, 10);
+  }
+  gscope_stop_recording(ctx_);
+  gscope_stop_polling(ctx_);
+
+  gscope_ctx* replay = gscope_create("replay", 64, 64, 1);
+  ASSERT_NE(replay, nullptr);
+  int sig = gscope_signal_buffer(replay, "v", 0, 100);
+  ASSERT_GT(sig, 0);
+  ASSERT_EQ(gscope_set_playback_mode(replay, path.c_str(), 10), 0);
+  ASSERT_EQ(gscope_start_polling(replay), 0);
+  gscope_run_for_ms(replay, 5000);
+  double out = -1;
+  ASSERT_EQ(gscope_value(replay, sig, &out), 0);
+  EXPECT_DOUBLE_EQ(out, 18.0);
+  gscope_destroy(replay);
+  std::remove(path.c_str());
+}
+
+TEST_F(CApiTest, RenderPpmAndAscii) {
+  std::string path = ::testing::TempDir() + "c_api.ppm";
+  int32_t v = 40;
+  gscope_signal_int32(ctx_, "v", &v, 0, 100);
+  gscope_tick(ctx_);
+  EXPECT_EQ(gscope_render_ppm(ctx_, path.c_str(), 200, 150), 0);
+  FILE* f = fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  fclose(f);
+  std::remove(path.c_str());
+
+  char buf[4096];
+  int n = gscope_render_ascii(ctx_, buf, sizeof(buf));
+  EXPECT_GT(n, 0);
+  EXPECT_NE(std::string(buf).find("c-api"), std::string::npos);
+}
+
+TEST_F(CApiTest, AsciiTruncationReportsFullLength) {
+  char tiny[8];
+  int n = gscope_render_ascii(ctx_, tiny, sizeof(tiny));
+  EXPECT_GT(n, 8);
+  EXPECT_EQ(tiny[7], '\0');
+}
+
+TEST_F(CApiTest, IntrospectionOnFreshContext) {
+  EXPECT_EQ(gscope_ticks(ctx_), 0);
+  EXPECT_EQ(gscope_lost_ticks(ctx_), 0);
+  EXPECT_EQ(gscope_now_ms(ctx_), 0);
+  EXPECT_EQ(gscope_ticks(nullptr), -1);
+}
+
+}  // namespace

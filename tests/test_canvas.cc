@@ -1,0 +1,192 @@
+#include "render/canvas.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "render/color.h"
+
+namespace gscope {
+namespace {
+
+TEST(CanvasTest, StartsBlack) {
+  Canvas canvas(10, 10);
+  EXPECT_EQ(canvas.GetPixel(5, 5), kBlack);
+  EXPECT_EQ(canvas.CountPixels(kBlack), 100);
+}
+
+TEST(CanvasTest, SetGetPixel) {
+  Canvas canvas(10, 10);
+  canvas.SetPixel(3, 4, kGreen);
+  EXPECT_EQ(canvas.GetPixel(3, 4), kGreen);
+  EXPECT_EQ(canvas.GetPixel(4, 3), kBlack);
+}
+
+TEST(CanvasTest, OutOfBoundsClippedSilently) {
+  Canvas canvas(10, 10);
+  canvas.SetPixel(-1, 0, kGreen);
+  canvas.SetPixel(0, -1, kGreen);
+  canvas.SetPixel(10, 0, kGreen);
+  canvas.SetPixel(0, 10, kGreen);
+  EXPECT_EQ(canvas.CountPixels(kGreen), 0);
+  EXPECT_EQ(canvas.GetPixel(-5, -5), kBlack);
+}
+
+TEST(CanvasTest, ClearFills) {
+  Canvas canvas(4, 4);
+  canvas.Clear(kRed);
+  EXPECT_EQ(canvas.CountPixels(kRed), 16);
+}
+
+TEST(CanvasTest, HorizontalLine) {
+  Canvas canvas(10, 10);
+  canvas.DrawLine(1, 5, 8, 5, kWhite);
+  EXPECT_EQ(canvas.CountPixels(kWhite), 8);
+  for (int x = 1; x <= 8; ++x) {
+    EXPECT_EQ(canvas.GetPixel(x, 5), kWhite);
+  }
+}
+
+TEST(CanvasTest, VerticalLine) {
+  Canvas canvas(10, 10);
+  canvas.DrawLine(2, 1, 2, 8, kWhite);
+  EXPECT_EQ(canvas.CountPixels(kWhite), 8);
+}
+
+TEST(CanvasTest, DiagonalLine) {
+  Canvas canvas(10, 10);
+  canvas.DrawLine(0, 0, 9, 9, kWhite);
+  EXPECT_EQ(canvas.CountPixels(kWhite), 10);
+  EXPECT_EQ(canvas.GetPixel(0, 0), kWhite);
+  EXPECT_EQ(canvas.GetPixel(9, 9), kWhite);
+  EXPECT_EQ(canvas.GetPixel(5, 5), kWhite);
+}
+
+TEST(CanvasTest, LineEndpointsSwapped) {
+  Canvas a(10, 10);
+  Canvas b(10, 10);
+  a.DrawLine(1, 2, 8, 7, kWhite);
+  b.DrawLine(8, 7, 1, 2, kWhite);
+  EXPECT_EQ(a.CountPixels(kWhite), b.CountPixels(kWhite));
+}
+
+TEST(CanvasTest, LineClipsOffCanvas) {
+  Canvas canvas(10, 10);
+  canvas.DrawLine(-5, -5, 14, 14, kWhite);  // must not crash; draws in-range part
+  EXPECT_GT(canvas.CountPixels(kWhite), 0);
+}
+
+TEST(CanvasTest, RectOutline) {
+  Canvas canvas(10, 10);
+  canvas.DrawRect(2, 2, 5, 4, kWhite);
+  // Perimeter of a 5x4 rect: 2*5 + 2*4 - 4 corners counted once.
+  EXPECT_EQ(canvas.CountPixels(kWhite), 2 * 5 + 2 * 4 - 4);
+  EXPECT_EQ(canvas.GetPixel(2, 2), kWhite);
+  EXPECT_EQ(canvas.GetPixel(6, 5), kWhite);
+  EXPECT_EQ(canvas.GetPixel(3, 3), kBlack);  // interior untouched
+}
+
+TEST(CanvasTest, FillRect) {
+  Canvas canvas(10, 10);
+  canvas.FillRect(1, 1, 3, 3, kBlue);
+  EXPECT_EQ(canvas.CountPixels(kBlue), 9);
+}
+
+TEST(CanvasTest, DegenerateRects) {
+  Canvas canvas(10, 10);
+  canvas.DrawRect(1, 1, 0, 5, kWhite);
+  canvas.DrawRect(1, 1, 5, 0, kWhite);
+  canvas.FillRect(1, 1, 0, 0, kWhite);
+  EXPECT_EQ(canvas.CountPixels(kWhite), 0);
+}
+
+TEST(CanvasTest, TextDrawsPixels) {
+  Canvas canvas(64, 16);
+  canvas.DrawText(1, 1, "A", kWhite);
+  EXPECT_GT(canvas.CountPixels(kWhite), 5);
+}
+
+TEST(CanvasTest, TextWidth) {
+  EXPECT_EQ(Canvas::TextWidth(""), 0);
+  EXPECT_EQ(Canvas::TextWidth("abc"), 18);
+}
+
+TEST(CanvasTest, UnprintableRendersAsQuestionMark) {
+  Canvas a(16, 16);
+  Canvas b(16, 16);
+  a.DrawText(1, 1, "\x01", kWhite);
+  b.DrawText(1, 1, "?", kWhite);
+  EXPECT_EQ(a.CountPixels(kWhite), b.CountPixels(kWhite));
+}
+
+TEST(CanvasTest, MinimumSizeClamped) {
+  Canvas canvas(0, -3);
+  EXPECT_EQ(canvas.width(), 1);
+  EXPECT_EQ(canvas.height(), 1);
+}
+
+class CanvasFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "canvas_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".img";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CanvasFileTest, WritePpmFormat) {
+  Canvas canvas(4, 2);
+  canvas.SetPixel(0, 0, Rgb{1, 2, 3});
+  ASSERT_TRUE(canvas.WritePpm(path_));
+
+  std::ifstream in(path_, std::ios::binary);
+  std::string magic;
+  int w = 0;
+  int h = 0;
+  int maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 4);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  char rgb[3];
+  in.read(rgb, 3);
+  EXPECT_EQ(rgb[0], 1);
+  EXPECT_EQ(rgb[1], 2);
+  EXPECT_EQ(rgb[2], 3);
+  // Payload size: 4*2*3 bytes.
+  in.seekg(0, std::ios::end);
+  std::ifstream in2(path_, std::ios::binary);
+  std::string all((std::istreambuf_iterator<char>(in2)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(all.size(), std::string("P6\n4 2\n255\n").size() + 24);
+}
+
+TEST_F(CanvasFileTest, WritePgmLuma) {
+  Canvas canvas(2, 1);
+  canvas.SetPixel(0, 0, kWhite);
+  ASSERT_TRUE(canvas.WritePgm(path_));
+  std::ifstream in(path_, std::ios::binary);
+  std::string magic;
+  int w = 0;
+  int h = 0;
+  int maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  in.get();
+  char luma[2];
+  in.read(luma, 2);
+  EXPECT_EQ(static_cast<unsigned char>(luma[0]), 255);
+  EXPECT_EQ(static_cast<unsigned char>(luma[1]), 0);
+}
+
+TEST_F(CanvasFileTest, WriteToBadPathFails) {
+  Canvas canvas(2, 2);
+  EXPECT_FALSE(canvas.WritePpm("/nonexistent/dir/x.ppm"));
+  EXPECT_FALSE(canvas.WritePgm("/nonexistent/dir/x.pgm"));
+}
+
+}  // namespace
+}  // namespace gscope

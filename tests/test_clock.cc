@@ -1,0 +1,59 @@
+#include "runtime/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace gscope {
+namespace {
+
+TEST(SteadyClockTest, Monotonic) {
+  SteadyClock clock;
+  Nanos a = clock.NowNs();
+  Nanos b = clock.NowNs();
+  EXPECT_GE(b, a);
+}
+
+TEST(SteadyClockTest, InstanceIsSingleton) {
+  EXPECT_EQ(SteadyClock::Instance(), SteadyClock::Instance());
+}
+
+TEST(SimClockTest, StartsAtGivenTime) {
+  SimClock clock(1234);
+  EXPECT_EQ(clock.NowNs(), 1234);
+}
+
+TEST(SimClockTest, AdvanceMovesForward) {
+  SimClock clock;
+  clock.AdvanceNs(500);
+  EXPECT_EQ(clock.NowNs(), 500);
+  clock.AdvanceMs(2);
+  EXPECT_EQ(clock.NowNs(), 500 + 2 * kNanosPerMilli);
+}
+
+TEST(SimClockTest, NegativeAdvanceIgnored) {
+  SimClock clock(100);
+  clock.AdvanceNs(-50);
+  EXPECT_EQ(clock.NowNs(), 100);
+}
+
+TEST(SimClockTest, SetNsOnlyMovesForward) {
+  SimClock clock(1000);
+  clock.SetNs(500);
+  EXPECT_EQ(clock.NowNs(), 1000);
+  clock.SetNs(2000);
+  EXPECT_EQ(clock.NowNs(), 2000);
+}
+
+TEST(ClockConversionTest, MillisToNanosRoundTrip) {
+  EXPECT_EQ(MillisToNanos(50), 50 * kNanosPerMilli);
+  EXPECT_DOUBLE_EQ(NanosToMillis(MillisToNanos(50)), 50.0);
+  EXPECT_DOUBLE_EQ(NanosToSeconds(kNanosPerSecond), 1.0);
+}
+
+TEST(SimClockTest, NowMsReflectsNanos) {
+  SimClock clock;
+  clock.AdvanceMs(1500);
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 1500.0);
+}
+
+}  // namespace
+}  // namespace gscope

@@ -1,0 +1,146 @@
+#include "core/envelope.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace gscope {
+namespace {
+
+TEST(EnvelopeTest, EmptyEnvelope) {
+  Envelope env(8);
+  EXPECT_EQ(env.width(), 8u);
+  EXPECT_EQ(env.sweeps(), 0);
+  EXPECT_EQ(env.CoverageAt(0), 0);
+  EXPECT_DOUBLE_EQ(env.MaxSpread(), 0.0);
+}
+
+TEST(EnvelopeTest, SingleSweepBoundsEqualSamples) {
+  Envelope env(4);
+  env.AddSweep({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(env.sweeps(), 1);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(env.LowAt(i), static_cast<double>(i + 1));
+    EXPECT_DOUBLE_EQ(env.HighAt(i), static_cast<double>(i + 1));
+    EXPECT_EQ(env.CoverageAt(i), 1);
+  }
+  EXPECT_DOUBLE_EQ(env.MaxSpread(), 0.0);
+}
+
+TEST(EnvelopeTest, BoundsGrowAcrossSweeps) {
+  Envelope env(3);
+  env.AddSweep({1.0, 5.0, 3.0});
+  env.AddSweep({2.0, 4.0, 9.0});
+  env.AddSweep({0.0, 6.0, 3.0});
+  EXPECT_DOUBLE_EQ(env.LowAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(env.HighAt(0), 2.0);
+  EXPECT_DOUBLE_EQ(env.LowAt(1), 4.0);
+  EXPECT_DOUBLE_EQ(env.HighAt(1), 6.0);
+  EXPECT_DOUBLE_EQ(env.LowAt(2), 3.0);
+  EXPECT_DOUBLE_EQ(env.HighAt(2), 9.0);
+  EXPECT_DOUBLE_EQ(env.MaxSpread(), 6.0);  // column 2: 9 - 3
+}
+
+TEST(EnvelopeTest, ShortSweepCoversPrefixOnly) {
+  Envelope env(4);
+  env.AddSweep({1.0, 2.0});
+  EXPECT_EQ(env.CoverageAt(0), 1);
+  EXPECT_EQ(env.CoverageAt(1), 1);
+  EXPECT_EQ(env.CoverageAt(2), 0);
+}
+
+TEST(EnvelopeTest, LongSweepTruncated) {
+  Envelope env(2);
+  env.AddSweep({1.0, 2.0, 99.0});
+  EXPECT_EQ(env.CoverageAt(1), 1);
+  EXPECT_DOUBLE_EQ(env.HighAt(1), 2.0);
+}
+
+TEST(EnvelopeTest, EmptySweepIgnored) {
+  Envelope env(4);
+  env.AddSweep({});
+  EXPECT_EQ(env.sweeps(), 0);
+}
+
+TEST(EnvelopeTest, ResetClears) {
+  Envelope env(2);
+  env.AddSweep({5.0, 5.0});
+  env.Reset();
+  EXPECT_EQ(env.sweeps(), 0);
+  EXPECT_EQ(env.CoverageAt(0), 0);
+}
+
+TEST(EnvelopeTest, ZeroWidthClamped) {
+  Envelope env(0);
+  EXPECT_EQ(env.width(), 1u);
+}
+
+TEST(EnvelopeTest, JitteryWaveBandWidthReflectsJitter) {
+  // A sine with phase jitter produces a wide envelope; a clean sine a thin
+  // one.  The jitter band is exactly what envelope mode exists to show.
+  auto make_wave = [](double jitter) {
+    std::vector<double> wave;
+    uint64_t rng = 99;
+    auto next = [&rng]() {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      return static_cast<double>(rng >> 40) / static_cast<double>(1 << 24) - 0.5;
+    };
+    for (int cycle = 0; cycle < 30; ++cycle) {
+      double phase = jitter * next();
+      for (int i = 0; i < 50; ++i) {
+        wave.push_back(50.0 +
+                       40.0 * std::sin(2.0 * std::numbers::pi * i / 50.0 + phase));
+      }
+    }
+    return wave;
+  };
+
+  TriggerConfig config{.edge = TriggerEdge::kRising, .level = 50.0, .hysteresis = 4.0,
+                       .mode = TriggerMode::kNormal};
+
+  Envelope clean(40);
+  clean.AddSweeps(make_wave(0.0), config);
+  Envelope jittery(40);
+  jittery.AddSweeps(make_wave(0.6), config);
+
+  ASSERT_GT(clean.sweeps(), 5);
+  ASSERT_GT(jittery.sweeps(), 5);
+  EXPECT_LT(clean.MaxSpread(), 1.0);
+  EXPECT_GT(jittery.MaxSpread(), clean.MaxSpread() * 3);
+}
+
+TEST(EnvelopeTest, AddSweepsUsesOnlyTriggeredSweeps) {
+  std::vector<double> flat(200, 10.0);
+  Envelope env(20);
+  env.AddSweeps(flat, TriggerConfig{.level = 50.0, .mode = TriggerMode::kAuto});
+  // Auto free-run sweeps are not triggered; the envelope stays empty.
+  EXPECT_EQ(env.sweeps(), 0);
+}
+
+// Property: bounds always bracket every contributing sample.
+class EnvelopeBoundProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnvelopeBoundProperty, LowLeHigh) {
+  int sweeps = GetParam();
+  Envelope env(16);
+  uint64_t rng = static_cast<uint64_t>(sweeps) * 2654435761u + 1;
+  for (int s = 0; s < sweeps; ++s) {
+    std::vector<double> sweep(16);
+    for (auto& v : sweep) {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      v = static_cast<double>(static_cast<int64_t>(rng >> 33)) / (1ll << 24);
+    }
+    env.AddSweep(sweep);
+  }
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_LE(env.LowAt(i), env.HighAt(i));
+    EXPECT_EQ(env.CoverageAt(i), sweeps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, EnvelopeBoundProperty, ::testing::Values(1, 2, 5, 20, 100));
+
+}  // namespace
+}  // namespace gscope

@@ -1,0 +1,165 @@
+#include "render/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "runtime/clock.h"
+
+namespace gscope {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  ExportTest() : loop_(&clock_), scope_(&loop_, {.name = "exp", .width = 32}) {}
+
+  void FillTwoSignals(int ticks) {
+    a_ = 0;
+    b_ = 0;
+    scope_.AddSignal({.name = "alpha", .source = &a_});
+    scope_.AddSignal({.name = "beta", .source = &b_});
+    scope_.SetPollingMode(10);
+    for (int i = 0; i < ticks; ++i) {
+      a_ = i;
+      b_ = 100 - i;
+      scope_.TickOnce();
+    }
+  }
+
+  SimClock clock_;
+  MainLoop loop_;
+  Scope scope_;
+  int32_t a_ = 0;
+  int32_t b_ = 0;
+};
+
+TEST_F(ExportTest, TraceStatsBasics) {
+  Trace trace(8);
+  trace.Push(1.0);
+  trace.Push(3.0);
+  trace.Push(5.0);
+  TraceStats stats = ComputeTraceStats(trace);
+  EXPECT_EQ(stats.points, 3u);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 5.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+  EXPECT_NEAR(stats.stddev, std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST_F(ExportTest, TraceStatsEmpty) {
+  Trace trace(4);
+  TraceStats stats = ComputeTraceStats(trace);
+  EXPECT_EQ(stats.points, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+TEST_F(ExportTest, CsvHasHeaderAndRows) {
+  FillTwoSignals(5);
+  std::string csv = ExportCsv(scope_);
+  std::istringstream in(csv);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "time_ms,alpha,beta");
+  int rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 5);
+}
+
+TEST_F(ExportTest, CsvNewestRowIsTimeZero) {
+  FillTwoSignals(4);
+  std::string csv = ExportCsv(scope_);
+  // Last data row starts with offset 0 and carries the latest values.
+  size_t last_newline = csv.find_last_of('\n', csv.size() - 2);
+  std::string last_row = csv.substr(last_newline + 1);
+  EXPECT_EQ(last_row.rfind("0,", 0), 0u);
+  EXPECT_NE(last_row.find("3"), std::string::npos);   // a = 3 on the last tick
+  EXPECT_NE(last_row.find("97"), std::string::npos);  // b = 97
+}
+
+TEST_F(ExportTest, CsvTimeStepMatchesPeriod) {
+  FillTwoSignals(3);
+  std::string csv = ExportCsv(scope_);
+  std::istringstream in(csv);
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);
+  EXPECT_EQ(line.rfind("-20,", 0), 0u);  // oldest of 3 rows at 10 ms period
+  std::getline(in, line);
+  EXPECT_EQ(line.rfind("-10,", 0), 0u);
+}
+
+TEST_F(ExportTest, CsvEmptyScope) {
+  std::string csv = ExportCsv(scope_);
+  EXPECT_EQ(csv, "time_ms\n");
+}
+
+TEST_F(ExportTest, GnuplotContainsScriptAndData) {
+  FillTwoSignals(4);
+  std::string script = ExportGnuplot(scope_);
+  EXPECT_NE(script.find("$data << EOD"), std::string::npos);
+  EXPECT_NE(script.find("EOD"), std::string::npos);
+  EXPECT_NE(script.find("plot"), std::string::npos);
+  EXPECT_NE(script.find("title 'alpha'"), std::string::npos);
+  EXPECT_NE(script.find("title 'beta'"), std::string::npos);
+  EXPECT_NE(script.find("using 1:2"), std::string::npos);
+  EXPECT_NE(script.find("using 1:3"), std::string::npos);
+}
+
+TEST_F(ExportTest, TextReportListsSignalsAndStats) {
+  FillTwoSignals(10);
+  std::string report = ExportTextReport(scope_);
+  EXPECT_NE(report.find("gscope report: exp"), std::string::npos);
+  EXPECT_NE(report.find("period=10ms"), std::string::npos);
+  EXPECT_NE(report.find("alpha"), std::string::npos);
+  EXPECT_NE(report.find("beta"), std::string::npos);
+  // alpha ranges 0..9.
+  EXPECT_NE(report.find("9"), std::string::npos);
+}
+
+TEST_F(ExportTest, WriteStringToFileRoundTrip) {
+  std::string path = ::testing::TempDir() + "export_test.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld\n"));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST_F(ExportTest, WriteStringToFileBadPath) {
+  EXPECT_FALSE(WriteStringToFile("/nonexistent/dir/file.txt", "x"));
+}
+
+TEST_F(ExportTest, ShorterTraceRightAligned) {
+  // A signal added late has fewer columns; its values must align to the
+  // newest rows, not the oldest.
+  int32_t late = 0;
+  scope_.AddSignal({.name = "early", .source = &a_});
+  scope_.SetPollingMode(10);
+  a_ = 1;
+  scope_.TickOnce();
+  scope_.TickOnce();
+  scope_.AddSignal({.name = "late", .source = &late});
+  late = 42;
+  scope_.TickOnce();
+  std::string csv = ExportCsv(scope_);
+  std::istringstream in(csv);
+  std::string header;
+  std::string row1;
+  std::string row2;
+  std::string row3;
+  std::getline(in, header);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  std::getline(in, row3);
+  EXPECT_EQ(row1.substr(row1.find_last_of(',')), ",");   // late empty on oldest row
+  EXPECT_EQ(row3.substr(row3.find_last_of(',')), ",42");  // present on newest
+}
+
+}  // namespace
+}  // namespace gscope

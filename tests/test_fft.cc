@@ -1,0 +1,137 @@
+#include "freq/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace gscope {
+namespace {
+
+TEST(FftTest, PowerOfTwoHelpers) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(1000));
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+}
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<Complex> data(3, Complex{1.0, 0.0});
+  EXPECT_FALSE(Fft(&data));
+}
+
+TEST(FftTest, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> data(8, Complex{0.0, 0.0});
+  data[0] = Complex{1.0, 0.0};
+  ASSERT_TRUE(Fft(&data));
+  for (const Complex& bin : data) {
+    EXPECT_NEAR(std::abs(bin), 1.0, 1e-12);
+  }
+}
+
+TEST(FftTest, DcGivesSingleBin) {
+  std::vector<Complex> data(8, Complex{2.0, 0.0});
+  ASSERT_TRUE(Fft(&data));
+  EXPECT_NEAR(std::abs(data[0]), 16.0, 1e-12);
+  for (size_t i = 1; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(data[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, SinePeaksAtItsBin) {
+  constexpr size_t kN = 64;
+  constexpr int kBin = 5;
+  std::vector<Complex> data(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    double t = static_cast<double>(i) / kN;
+    data[i] = Complex{std::sin(2.0 * std::numbers::pi * kBin * t), 0.0};
+  }
+  ASSERT_TRUE(Fft(&data));
+  // A pure sine concentrates energy at bins kBin and kN - kBin.
+  EXPECT_NEAR(std::abs(data[kBin]), kN / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[kN - kBin]), kN / 2.0, 1e-9);
+  for (size_t i = 0; i < kN; ++i) {
+    if (i != kBin && i != kN - kBin) {
+      EXPECT_NEAR(std::abs(data[i]), 0.0, 1e-9) << "bin " << i;
+    }
+  }
+}
+
+TEST(FftTest, InverseRoundTrip) {
+  std::vector<Complex> original = {
+      {1.0, 0.5}, {-2.0, 0.0}, {3.25, -1.0}, {0.0, 0.0},
+      {4.0, 4.0}, {-1.5, 2.5}, {0.125, 0.0}, {7.0, -3.0},
+  };
+  std::vector<Complex> data = original;
+  ASSERT_TRUE(Fft(&data));
+  ASSERT_TRUE(Fft(&data, /*inverse=*/true));
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-12);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-12);
+  }
+}
+
+TEST(FftTest, LinearityHolds) {
+  std::vector<Complex> a = {{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  std::vector<Complex> b = {{-1, 0}, {0, 0}, {5, 0}, {2, 0}};
+  std::vector<Complex> sum(4);
+  for (size_t i = 0; i < 4; ++i) {
+    sum[i] = a[i] + b[i];
+  }
+  ASSERT_TRUE(Fft(&a));
+  ASSERT_TRUE(Fft(&b));
+  ASSERT_TRUE(Fft(&sum));
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(sum[i] - (a[i] + b[i])), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, FftRealZeroPads) {
+  std::vector<double> input(5, 1.0);
+  auto bins = FftReal(input);
+  EXPECT_EQ(bins.size(), 8u);
+  EXPECT_NEAR(bins[0].real(), 5.0, 1e-12);  // DC = sum of inputs
+}
+
+TEST(FftTest, FftRealEmptyInput) {
+  auto bins = FftReal({});
+  EXPECT_EQ(bins.size(), 1u);
+}
+
+// Parseval's theorem: sum |x|^2 == (1/N) sum |X|^2, swept over sizes.
+class FftParsevalProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FftParsevalProperty, EnergyConserved) {
+  size_t n = GetParam();
+  std::vector<Complex> data(n);
+  // Deterministic pseudo-random input.
+  uint64_t state = 12345;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(static_cast<int64_t>(state >> 33)) / (1ll << 30);
+  };
+  double time_energy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = Complex{next(), next()};
+    time_energy += std::norm(data[i]);
+  }
+  ASSERT_TRUE(Fft(&data));
+  double freq_energy = 0.0;
+  for (const Complex& bin : data) {
+    freq_energy += std::norm(bin);
+  }
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-6 * std::max(1.0, time_energy));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftParsevalProperty,
+                         ::testing::Values(2, 4, 8, 16, 64, 256, 1024));
+
+}  // namespace
+}  // namespace gscope

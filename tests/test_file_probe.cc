@@ -1,0 +1,117 @@
+#include "core/file_probe.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/scope.h"
+#include "runtime/clock.h"
+
+namespace gscope {
+namespace {
+
+class FileProbeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "probe_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_, std::ios::trunc);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(FileProbeTest, ReadsFirstNumber) {
+  WriteFile("3.14 other stuff\n");
+  FileProbe probe(path_);
+  EXPECT_DOUBLE_EQ(probe.Read(), 3.14);
+  EXPECT_EQ(probe.errors(), 0);
+}
+
+TEST_F(FileProbeTest, FieldSelection) {
+  WriteFile("0.52 0.44 0.41 3/189 12021\n");  // /proc/loadavg shape
+  FileProbe probe(path_, {.field = 2});
+  EXPECT_DOUBLE_EQ(probe.Read(), 0.41);
+}
+
+TEST_F(FileProbeTest, SkipLines) {
+  WriteFile("header line\nvalue: 42\n");
+  FileProbe probe(path_, {.skip_lines = 1, .field = 1});
+  EXPECT_DOUBLE_EQ(probe.Read(), 42.0);
+}
+
+TEST_F(FileProbeTest, NumericPrefixAccepted) {
+  WriteFile("85% used\n");
+  FileProbe probe(path_);
+  EXPECT_DOUBLE_EQ(probe.Read(), 85.0);
+}
+
+TEST_F(FileProbeTest, RereadsChangingFile) {
+  WriteFile("1\n");
+  FileProbe probe(path_);
+  EXPECT_DOUBLE_EQ(probe.Read(), 1.0);
+  WriteFile("2\n");
+  EXPECT_DOUBLE_EQ(probe.Read(), 2.0);
+  EXPECT_EQ(probe.reads(), 2);
+}
+
+TEST_F(FileProbeTest, MissingFileUsesFallback) {
+  FileProbe probe("/nonexistent/never", {.fallback = -1.0});
+  EXPECT_DOUBLE_EQ(probe.Read(), -1.0);
+  EXPECT_EQ(probe.errors(), 1);
+}
+
+TEST_F(FileProbeTest, HoldOnErrorKeepsLastGoodValue) {
+  WriteFile("7.5\n");
+  FileProbe probe(path_);
+  EXPECT_DOUBLE_EQ(probe.Read(), 7.5);
+  std::remove(path_.c_str());
+  EXPECT_DOUBLE_EQ(probe.Read(), 7.5);  // held
+  EXPECT_EQ(probe.errors(), 1);
+}
+
+TEST_F(FileProbeTest, NoHoldReturnsFallback) {
+  WriteFile("7.5\n");
+  FileProbe probe(path_, {.fallback = 0.0, .hold_on_error = false});
+  probe.Read();
+  std::remove(path_.c_str());
+  EXPECT_DOUBLE_EQ(probe.Read(), 0.0);
+}
+
+TEST_F(FileProbeTest, NonNumericFieldIsError) {
+  WriteFile("abc def\n");
+  FileProbe probe(path_, {.fallback = 9.0, .hold_on_error = false});
+  EXPECT_DOUBLE_EQ(probe.Read(), 9.0);
+  EXPECT_EQ(probe.errors(), 1);
+}
+
+TEST_F(FileProbeTest, FieldBeyondLineIsError) {
+  WriteFile("1 2\n");
+  FileProbe probe(path_, {.field = 5, .fallback = -2.0, .hold_on_error = false});
+  EXPECT_DOUBLE_EQ(probe.Read(), -2.0);
+}
+
+TEST_F(FileProbeTest, AsScopeSignal) {
+  // The gstripchart use case end to end: a scope polls the file.
+  WriteFile("10\n");
+  SimClock clock;
+  MainLoop loop(&clock);
+  Scope scope(&loop, {.name = "probe", .width = 32});
+  SignalId id = scope.AddSignal({.name = "loadavg", .source = MakeFileProbeSource(path_)});
+  scope.SetPollingMode(10);
+  scope.StartPolling();
+  loop.RunForMs(50);
+  EXPECT_DOUBLE_EQ(scope.LatestValue(id).value_or(-1), 10.0);
+  WriteFile("20\n");
+  loop.RunForMs(50);
+  EXPECT_DOUBLE_EQ(scope.LatestValue(id).value_or(-1), 20.0);
+}
+
+}  // namespace
+}  // namespace gscope

@@ -1,0 +1,121 @@
+#include "core/filter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gscope {
+namespace {
+
+TEST(FilterTest, DefaultAlphaPassesThrough) {
+  LowPassFilter filter;
+  EXPECT_DOUBLE_EQ(filter.Apply(3.5), 3.5);
+  EXPECT_DOUBLE_EQ(filter.Apply(-1.0), -1.0);
+  EXPECT_DOUBLE_EQ(filter.Apply(100.0), 100.0);
+}
+
+TEST(FilterTest, FirstSampleSeedsState) {
+  LowPassFilter filter(0.9);
+  EXPECT_DOUBLE_EQ(filter.Apply(10.0), 10.0);  // no zero-ramp artifact
+}
+
+TEST(FilterTest, PaperEquation) {
+  // y_i = alpha * y_{i-1} + (1 - alpha) * x_i
+  LowPassFilter filter(0.5);
+  EXPECT_DOUBLE_EQ(filter.Apply(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(filter.Apply(20.0), 0.5 * 10.0 + 0.5 * 20.0);
+  EXPECT_DOUBLE_EQ(filter.Apply(0.0), 0.5 * 15.0 + 0.5 * 0.0);
+}
+
+TEST(FilterTest, AlphaOneHoldsFirstSample) {
+  LowPassFilter filter(1.0);
+  EXPECT_DOUBLE_EQ(filter.Apply(7.0), 7.0);
+  EXPECT_DOUBLE_EQ(filter.Apply(100.0), 7.0);
+  EXPECT_DOUBLE_EQ(filter.Apply(-100.0), 7.0);
+}
+
+TEST(FilterTest, AlphaClamped) {
+  LowPassFilter filter(2.0);
+  EXPECT_DOUBLE_EQ(filter.alpha(), 1.0);
+  filter.set_alpha(-1.0);
+  EXPECT_DOUBLE_EQ(filter.alpha(), 0.0);
+}
+
+TEST(FilterTest, ResetForgetsHistory) {
+  LowPassFilter filter(0.5);
+  filter.Apply(10.0);
+  filter.Apply(20.0);
+  filter.Reset();
+  EXPECT_FALSE(filter.primed());
+  EXPECT_DOUBLE_EQ(filter.Apply(100.0), 100.0);
+}
+
+TEST(FilterTest, ConvergesToConstantInput) {
+  LowPassFilter filter(0.8);
+  filter.Apply(0.0);
+  double y = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    y = filter.Apply(50.0);
+  }
+  EXPECT_NEAR(y, 50.0, 1e-6);
+}
+
+TEST(FilterTest, SmoothsStepMonotonically) {
+  LowPassFilter filter(0.7);
+  filter.Apply(0.0);
+  double prev = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    double y = filter.Apply(100.0);
+    EXPECT_GT(y, prev);
+    EXPECT_LE(y, 100.0);
+    prev = y;
+  }
+}
+
+// Property sweep: for any alpha in [0,1], output stays within the input's
+// min/max envelope (a low-pass filter cannot overshoot).
+class FilterEnvelopeProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(FilterEnvelopeProperty, OutputInsideInputEnvelope) {
+  double alpha = GetParam();
+  LowPassFilter filter(alpha);
+  std::vector<double> input = {3.0, -7.0, 12.5, 0.0, 42.0, -42.0, 1.0};
+  double lo = -42.0;
+  double hi = 42.0;
+  for (double x : input) {
+    double y = filter.Apply(x);
+    EXPECT_GE(y, lo - 1e-12);
+    EXPECT_LE(y, hi + 1e-12);
+  }
+}
+
+TEST_P(FilterEnvelopeProperty, HigherAlphaSmoothsMore) {
+  double alpha = GetParam();
+  if (alpha >= 1.0) {
+    return;  // degenerate: output frozen
+  }
+  // Feed an alternating signal; measure total variation of the output.
+  LowPassFilter filter(alpha);
+  LowPassFilter heavier(std::min(1.0, alpha + 0.25));
+  double tv_light = 0.0;
+  double tv_heavy = 0.0;
+  double prev_light = filter.Apply(0.0);
+  double prev_heavy = heavier.Apply(0.0);
+  for (int i = 1; i < 100; ++i) {
+    double x = (i % 2 == 0) ? 10.0 : -10.0;
+    double yl = filter.Apply(x);
+    double yh = heavier.Apply(x);
+    tv_light += std::fabs(yl - prev_light);
+    tv_heavy += std::fabs(yh - prev_heavy);
+    prev_light = yl;
+    prev_heavy = yh;
+  }
+  EXPECT_LE(tv_heavy, tv_light + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, FilterEnvelopeProperty,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0));
+
+}  // namespace
+}  // namespace gscope

@@ -1,0 +1,72 @@
+#include "load/load_meter.h"
+
+#include <gtest/gtest.h>
+
+namespace gscope {
+namespace {
+
+TEST(LoadMeterTest, SpinForCountsIterations) {
+  LoadResult result = SpinFor(MillisToNanos(20));
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_GT(result.seconds, 0.015);
+  EXPECT_GT(result.IterationsPerSecond(), 0.0);
+}
+
+TEST(LoadMeterTest, BackgroundSpinnerStartStop) {
+  BackgroundSpinner spinner;
+  EXPECT_FALSE(spinner.running());
+  spinner.Start();
+  EXPECT_TRUE(spinner.running());
+  // Let it spin a little.
+  LoadResult empty = SpinFor(MillisToNanos(10));
+  (void)empty;
+  LoadResult result = spinner.Stop();
+  EXPECT_FALSE(spinner.running());
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+TEST(LoadMeterTest, StopWithoutStartIsEmpty) {
+  BackgroundSpinner spinner;
+  LoadResult result = spinner.Stop();
+  EXPECT_EQ(result.iterations, 0);
+}
+
+TEST(LoadMeterTest, RestartableSpinner) {
+  BackgroundSpinner spinner;
+  spinner.Start();
+  SpinFor(MillisToNanos(5));
+  LoadResult first = spinner.Stop();
+  spinner.Start();
+  SpinFor(MillisToNanos(5));
+  LoadResult second = spinner.Stop();
+  EXPECT_GT(first.iterations, 0);
+  EXPECT_GT(second.iterations, 0);
+}
+
+TEST(LoadMeterTest, OverheadRatioBasics) {
+  LoadResult baseline{.iterations = 1000, .seconds = 1.0};
+  LoadResult loaded{.iterations = 980, .seconds = 1.0};
+  EXPECT_NEAR(OverheadRatio(baseline, loaded), 0.02, 1e-9);
+}
+
+TEST(LoadMeterTest, OverheadRatioClampsNoise) {
+  LoadResult baseline{.iterations = 1000, .seconds = 1.0};
+  LoadResult faster{.iterations = 1010, .seconds = 1.0};
+  EXPECT_DOUBLE_EQ(OverheadRatio(baseline, faster), 0.0);
+}
+
+TEST(LoadMeterTest, OverheadRatioZeroBaseline) {
+  LoadResult baseline{};
+  LoadResult loaded{.iterations = 10, .seconds = 1.0};
+  EXPECT_DOUBLE_EQ(OverheadRatio(baseline, loaded), 0.0);
+}
+
+TEST(LoadMeterTest, RatesNormalizeDuration) {
+  LoadResult a{.iterations = 1000, .seconds = 1.0};
+  LoadResult b{.iterations = 2000, .seconds = 2.0};
+  EXPECT_DOUBLE_EQ(OverheadRatio(a, b), 0.0);  // same rate, no overhead
+}
+
+}  // namespace
+}  // namespace gscope

@@ -1,0 +1,157 @@
+#include "netsim/mxtraf.h"
+
+#include <gtest/gtest.h>
+
+namespace gscope {
+namespace {
+
+MxtrafConfig TcpDroptailConfig() {
+  MxtrafConfig config;  // defaults: droptail bottleneck, no ECN
+  return config;
+}
+
+MxtrafConfig EcnRedConfig() {
+  MxtrafConfig config;
+  config.EnableEcnRed();
+  return config;
+}
+
+TEST(MxtrafTest, ElephantsKnobGrowsAndShrinks) {
+  Simulator sim;
+  Mxtraf traf(&sim, TcpDroptailConfig());
+  EXPECT_EQ(traf.elephants(), 0);
+  traf.SetElephants(8);
+  EXPECT_EQ(traf.elephants(), 8);
+  sim.RunForMs(100);
+  traf.SetElephants(16);
+  EXPECT_EQ(traf.elephants(), 16);
+  traf.SetElephants(4);
+  EXPECT_EQ(traf.elephants(), 4);
+  traf.SetElephants(-3);
+  EXPECT_EQ(traf.elephants(), 0);
+}
+
+TEST(MxtrafTest, ElephantSenderAccessors) {
+  Simulator sim;
+  Mxtraf traf(&sim, TcpDroptailConfig());
+  traf.SetElephants(3);
+  sim.RunForMs(200);
+  EXPECT_NE(traf.ElephantSender(0), nullptr);
+  EXPECT_NE(traf.ElephantSender(2), nullptr);
+  EXPECT_EQ(traf.ElephantSender(3), nullptr);
+  EXPECT_GT(traf.CwndSegments(0), 0.0);
+  EXPECT_DOUBLE_EQ(traf.CwndSegments(99), 0.0);
+}
+
+TEST(MxtrafTest, FlowsShareBottleneckAndMakeProgress) {
+  Simulator sim;
+  Mxtraf traf(&sim, TcpDroptailConfig());
+  traf.SetElephants(4);
+  sim.RunForMs(3000);
+  EXPECT_GT(traf.TotalBytesAcked(), 4 * 50 * 1460);
+  for (int i = 0; i < 4; ++i) {
+    const TcpSender* sender = traf.ElephantSender(i);
+    ASSERT_NE(sender, nullptr);
+    EXPECT_GT(sender->stats().bytes_acked, 0) << "flow " << i;
+  }
+}
+
+TEST(MxtrafTest, CongestionCausesLossWithDroptail) {
+  Simulator sim;
+  Mxtraf traf(&sim, TcpDroptailConfig());
+  traf.SetElephants(16);
+  sim.RunForMs(10'000);
+  const QueueStats& stats = traf.bottleneck_stats();
+  EXPECT_GT(stats.dropped_tail, 0);
+  EXPECT_GT(traf.TotalFastRetransmits() + traf.TotalTimeouts(), 0);
+}
+
+TEST(MxtrafTest, Figure4Shape_TcpTimeouts) {
+  // With many TCP flows through a droptail queue, some flows experience
+  // retransmission timeouts (CWND collapses to 1) - the Figure 4 behaviour.
+  Simulator sim;
+  Mxtraf traf(&sim, TcpDroptailConfig());
+  traf.SetElephants(8);
+  sim.RunForMs(15'000);
+  traf.SetElephants(16);
+  sim.RunForMs(15'000);
+  EXPECT_GT(traf.TotalTimeouts(), 0);
+}
+
+TEST(MxtrafTest, Figure5Shape_EcnAvoidsTimeouts) {
+  // Same load with ECN+RED: marks replace drops, (almost) no timeouts -
+  // the Figure 5 behaviour.  Run both and compare.
+  Simulator tcp_sim;
+  Mxtraf tcp(&tcp_sim, TcpDroptailConfig());
+  tcp.SetElephants(8);
+  tcp_sim.RunForMs(15'000);
+  tcp.SetElephants(16);
+  tcp_sim.RunForMs(15'000);
+
+  Simulator ecn_sim;
+  Mxtraf ecn(&ecn_sim, EcnRedConfig());
+  ecn.SetElephants(8);
+  ecn_sim.RunForMs(15'000);
+  ecn.SetElephants(16);
+  ecn_sim.RunForMs(15'000);
+
+  EXPECT_GT(ecn.TotalEcnReductions(), 0);
+  EXPECT_GT(ecn.bottleneck_stats().marked_ecn, 0);
+  // The paper's claim: ECN avoids the timeouts TCP suffers.
+  EXPECT_LT(ecn.TotalTimeouts(), tcp.TotalTimeouts());
+}
+
+TEST(MxtrafTest, StoppedElephantStopsSending) {
+  Simulator sim;
+  Mxtraf traf(&sim, TcpDroptailConfig());
+  traf.SetElephants(2);
+  sim.RunForMs(500);
+  traf.SetElephants(1);
+  const TcpSender* remaining = traf.ElephantSender(0);
+  ASSERT_NE(remaining, nullptr);
+  EXPECT_TRUE(remaining->active());
+  EXPECT_EQ(traf.ElephantSender(1), nullptr);
+}
+
+TEST(MxtrafTest, MiceCompleteAndRetire) {
+  Simulator sim;
+  Mxtraf traf(&sim, TcpDroptailConfig());
+  traf.SpawnMouse(10 * 1460);
+  traf.SpawnMouse(5 * 1460);
+  EXPECT_EQ(traf.mice_active(), 2);
+  sim.RunForMs(5000);
+  EXPECT_EQ(traf.mice_active(), 0);
+  EXPECT_GE(traf.TotalBytesAcked(), 15 * 1460);
+}
+
+TEST(MxtrafTest, DeterministicAcrossRuns) {
+  auto run = []() {
+    Simulator sim;
+    Mxtraf traf(&sim, TcpDroptailConfig());
+    traf.SetElephants(6);
+    sim.RunForMs(5000);
+    return std::make_tuple(traf.TotalBytesAcked(), traf.TotalTimeouts(),
+                           traf.bottleneck_stats().dropped_tail);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(MxtrafTest, FairnessRoughlyHolds) {
+  // Long-run AIMD fairness: no flow should starve entirely.
+  Simulator sim;
+  Mxtraf traf(&sim, TcpDroptailConfig());
+  traf.SetElephants(4);
+  sim.RunForMs(20'000);
+  int64_t min_bytes = INT64_MAX;
+  int64_t max_bytes = 0;
+  for (int i = 0; i < 4; ++i) {
+    int64_t bytes = traf.ElephantSender(i)->stats().bytes_acked;
+    min_bytes = std::min(min_bytes, bytes);
+    max_bytes = std::max(max_bytes, bytes);
+  }
+  EXPECT_GT(min_bytes, 0);
+  EXPECT_LT(max_bytes, min_bytes * 50);  // loose bound: no starvation
+}
+
+}  // namespace
+}  // namespace gscope

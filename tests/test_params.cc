@@ -1,0 +1,156 @@
+#include "core/params.h"
+
+#include <gtest/gtest.h>
+
+namespace gscope {
+namespace {
+
+TEST(ParamsTest, AddAndGet) {
+  ParamRegistry registry;
+  int32_t elephants = 8;
+  EXPECT_TRUE(registry.Add({.name = "elephants", .storage = &elephants}));
+  auto v = registry.Get("elephants");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(*v, 8.0);
+}
+
+TEST(ParamsTest, SetWritesApplicationStorage) {
+  // Section 3.2: "while signals can only be read, application parameters can
+  // be read and written also."
+  ParamRegistry registry;
+  int32_t elephants = 8;
+  registry.Add({.name = "elephants", .storage = &elephants});
+  EXPECT_TRUE(registry.Set("elephants", 16.0));
+  EXPECT_EQ(elephants, 16);
+}
+
+TEST(ParamsTest, DuplicateNameRejected) {
+  ParamRegistry registry;
+  int32_t a = 0;
+  int32_t b = 0;
+  EXPECT_TRUE(registry.Add({.name = "x", .storage = &a}));
+  EXPECT_FALSE(registry.Add({.name = "x", .storage = &b}));
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ParamsTest, EmptyNameRejected) {
+  ParamRegistry registry;
+  int32_t a = 0;
+  EXPECT_FALSE(registry.Add({.name = "", .storage = &a}));
+}
+
+TEST(ParamsTest, UnknownNameFails) {
+  ParamRegistry registry;
+  EXPECT_FALSE(registry.Get("nope").has_value());
+  EXPECT_FALSE(registry.Set("nope", 1.0));
+  EXPECT_FALSE(registry.Remove("nope"));
+}
+
+TEST(ParamsTest, ClampToRange) {
+  ParamRegistry registry;
+  double rate = 1.0;
+  registry.Add({.name = "rate", .storage = &rate, .min = 0.0, .max = 10.0});
+  registry.Set("rate", 99.0);
+  EXPECT_DOUBLE_EQ(rate, 10.0);
+  registry.Set("rate", -5.0);
+  EXPECT_DOUBLE_EQ(rate, 0.0);
+}
+
+TEST(ParamsTest, NoClampWhenRangeUnset) {
+  ParamRegistry registry;
+  double v = 0.0;
+  registry.Add({.name = "v", .storage = &v});
+  registry.Set("v", 1e9);
+  EXPECT_DOUBLE_EQ(v, 1e9);
+  EXPECT_FALSE(registry.RangeOf("v").has_value());
+}
+
+TEST(ParamsTest, IntegerStorageRounds) {
+  ParamRegistry registry;
+  int32_t n = 0;
+  registry.Add({.name = "n", .storage = &n});
+  registry.Set("n", 3.7);
+  EXPECT_EQ(n, 4);
+  registry.Set("n", -2.5);
+  EXPECT_EQ(n, -3);  // llround away from zero
+}
+
+TEST(ParamsTest, BoolStorage) {
+  ParamRegistry registry;
+  bool flag = false;
+  registry.Add({.name = "flag", .storage = &flag});
+  registry.Set("flag", 1.0);
+  EXPECT_TRUE(flag);
+  registry.Set("flag", 0.0);
+  EXPECT_FALSE(flag);
+  flag = true;
+  EXPECT_DOUBLE_EQ(*registry.Get("flag"), 1.0);
+}
+
+TEST(ParamsTest, FloatStorage) {
+  ParamRegistry registry;
+  float f = 0.0f;
+  registry.Add({.name = "f", .storage = &f});
+  registry.Set("f", 2.5);
+  EXPECT_FLOAT_EQ(f, 2.5f);
+}
+
+TEST(ParamsTest, OnChangeCallbackFires) {
+  ParamRegistry registry;
+  double v = 0.0;
+  double observed = -1.0;
+  registry.Add({.name = "v",
+                .storage = &v,
+                .min = 0.0,
+                .max = 5.0,
+                .on_change = [&observed](double nv) { observed = nv; }});
+  registry.Set("v", 100.0);
+  EXPECT_DOUBLE_EQ(observed, 5.0);  // callback sees the clamped value
+}
+
+TEST(ParamsTest, ExternalWritesVisibleThroughGet) {
+  // The application owns the storage; gscope reads it live.
+  ParamRegistry registry;
+  int32_t n = 1;
+  registry.Add({.name = "n", .storage = &n});
+  n = 77;
+  EXPECT_DOUBLE_EQ(*registry.Get("n"), 77.0);
+}
+
+TEST(ParamsTest, NamesInRegistrationOrder) {
+  ParamRegistry registry;
+  int32_t a = 0;
+  double b = 0;
+  bool c = false;
+  registry.Add({.name = "zeta", .storage = &a});
+  registry.Add({.name = "alpha", .storage = &b});
+  registry.Add({.name = "mid", .storage = &c});
+  auto names = registry.Names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "zeta");
+  EXPECT_EQ(names[1], "alpha");
+  EXPECT_EQ(names[2], "mid");
+}
+
+TEST(ParamsTest, RemoveWorks) {
+  ParamRegistry registry;
+  int32_t a = 0;
+  registry.Add({.name = "a", .storage = &a});
+  EXPECT_TRUE(registry.Contains("a"));
+  EXPECT_TRUE(registry.Remove("a"));
+  EXPECT_FALSE(registry.Contains("a"));
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ParamsTest, RangeOfReportsBounds) {
+  ParamRegistry registry;
+  double v = 0;
+  registry.Add({.name = "v", .storage = &v, .min = -1.0, .max = 1.0});
+  auto range = registry.RangeOf("v");
+  ASSERT_TRUE(range.has_value());
+  EXPECT_DOUBLE_EQ(range->first, -1.0);
+  EXPECT_DOUBLE_EQ(range->second, 1.0);
+}
+
+}  // namespace
+}  // namespace gscope

@@ -1,0 +1,160 @@
+#include "netsim/queue.h"
+
+#include <gtest/gtest.h>
+
+namespace gscope {
+namespace {
+
+Packet DataPacket(bool ecn_capable = false) {
+  Packet p;
+  p.payload = 1460;
+  p.ecn_capable = ecn_capable;
+  return p;
+}
+
+TEST(QueueTest, FifoOrder) {
+  RouterQueue queue({.limit_packets = 10});
+  for (int i = 0; i < 3; ++i) {
+    Packet p = DataPacket();
+    p.seq = i;
+    EXPECT_TRUE(queue.Enqueue(p));
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto p = queue.Dequeue();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->seq, i);
+  }
+  EXPECT_FALSE(queue.Dequeue().has_value());
+}
+
+TEST(QueueTest, DroptailAtLimit) {
+  RouterQueue queue({.limit_packets = 5});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(queue.Enqueue(DataPacket()));
+  }
+  EXPECT_FALSE(queue.Enqueue(DataPacket()));
+  EXPECT_EQ(queue.stats().dropped_tail, 1);
+  EXPECT_EQ(queue.depth(), 5);
+  EXPECT_EQ(queue.stats().max_depth, 5);
+}
+
+TEST(QueueTest, RedMarksEcnCapablePackets) {
+  QueueConfig config;
+  config.limit_packets = 100;
+  config.red.enabled = true;
+  config.red.min_threshold = 2.0;
+  config.red.max_threshold = 6.0;
+  config.red.max_probability = 1.0;  // deterministic marking once above min
+  config.red.weight = 1.0;           // avg == instantaneous
+  RouterQueue queue(config);
+
+  int marked = 0;
+  for (int i = 0; i < 20; ++i) {
+    Packet p = DataPacket(/*ecn_capable=*/true);
+    if (queue.Enqueue(p)) {
+      // Peek via dequeue later; count marks from stats instead.
+    }
+  }
+  marked = static_cast<int>(queue.stats().marked_ecn);
+  EXPECT_GT(marked, 0);
+  EXPECT_EQ(queue.stats().dropped_red, 0);  // capable packets marked, not dropped
+}
+
+TEST(QueueTest, RedDropsNonEcnPackets) {
+  QueueConfig config;
+  config.limit_packets = 100;
+  config.red.enabled = true;
+  config.red.min_threshold = 2.0;
+  config.red.max_threshold = 6.0;
+  config.red.max_probability = 1.0;
+  config.red.weight = 1.0;
+  RouterQueue queue(config);
+
+  for (int i = 0; i < 20; ++i) {
+    queue.Enqueue(DataPacket(/*ecn_capable=*/false));
+  }
+  EXPECT_GT(queue.stats().dropped_red, 0);
+  EXPECT_EQ(queue.stats().marked_ecn, 0);
+}
+
+TEST(QueueTest, MarkedPacketCarriesCeBit) {
+  QueueConfig config;
+  config.limit_packets = 100;
+  config.red.enabled = true;
+  config.red.min_threshold = 0.5;
+  config.red.max_threshold = 1.0;  // everything above one packet marks
+  config.red.max_probability = 1.0;
+  config.red.weight = 1.0;
+  RouterQueue queue(config);
+
+  queue.Enqueue(DataPacket(true));
+  queue.Enqueue(DataPacket(true));
+  queue.Enqueue(DataPacket(true));
+  bool saw_ce = false;
+  while (auto p = queue.Dequeue()) {
+    if (p->ecn_ce) {
+      saw_ce = true;
+    }
+  }
+  EXPECT_TRUE(saw_ce);
+}
+
+TEST(QueueTest, BelowMinThresholdNeverMarks) {
+  QueueConfig config;
+  config.limit_packets = 100;
+  config.red.enabled = true;
+  config.red.min_threshold = 50.0;
+  config.red.max_threshold = 80.0;
+  config.red.weight = 1.0;
+  RouterQueue queue(config);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(queue.Enqueue(DataPacket(true)));
+  }
+  EXPECT_EQ(queue.stats().marked_ecn, 0);
+  EXPECT_EQ(queue.stats().dropped_red, 0);
+}
+
+TEST(QueueTest, DeterministicWithSameSeed) {
+  QueueConfig config;
+  config.limit_packets = 30;
+  config.red.enabled = true;
+  config.red.min_threshold = 3.0;
+  config.red.max_threshold = 10.0;
+  config.red.max_probability = 0.3;
+  RouterQueue a(config, 42);
+  RouterQueue b(config, 42);
+  for (int i = 0; i < 100; ++i) {
+    Packet p = DataPacket(false);
+    EXPECT_EQ(a.Enqueue(p), b.Enqueue(p));
+    if (i % 3 == 0) {
+      a.Dequeue();
+      b.Dequeue();
+    }
+  }
+  EXPECT_EQ(a.stats().dropped_red, b.stats().dropped_red);
+}
+
+TEST(QueueTest, AverageTracksDepthWithUnitWeight) {
+  QueueConfig config;
+  config.limit_packets = 10;
+  config.red.weight = 1.0;
+  RouterQueue queue(config);
+  queue.Enqueue(DataPacket());
+  queue.Enqueue(DataPacket());
+  queue.Enqueue(DataPacket());
+  // avg is computed before each insertion: after three, avg == 2.
+  EXPECT_DOUBLE_EQ(queue.average_depth(), 2.0);
+}
+
+TEST(QueueTest, StatsCountEnqueueDequeue) {
+  RouterQueue queue({.limit_packets = 10});
+  queue.Enqueue(DataPacket());
+  queue.Enqueue(DataPacket());
+  queue.Dequeue();
+  EXPECT_EQ(queue.stats().enqueued, 2);
+  EXPECT_EQ(queue.stats().dequeued, 1);
+  EXPECT_EQ(queue.depth(), 1);
+}
+
+}  // namespace
+}  // namespace gscope

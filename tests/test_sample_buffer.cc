@@ -1,0 +1,151 @@
+#include "core/sample_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace gscope {
+namespace {
+
+TEST(SampleBufferTest, PushAndDrainInOrder) {
+  SampleBuffer buffer;
+  EXPECT_TRUE(buffer.Push({10, 1.0, "a"}, /*now_ms=*/0, /*delay_ms=*/100));
+  EXPECT_TRUE(buffer.Push({20, 2.0, "a"}, 0, 100));
+  auto drained = buffer.DrainDisplayable(/*now_ms=*/120, /*delay_ms=*/100);
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_DOUBLE_EQ(drained[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(drained[1].value, 2.0);
+}
+
+TEST(SampleBufferTest, DelayGatesDisplay) {
+  // A sample stamped t displays at t + delay, not before.
+  SampleBuffer buffer;
+  buffer.Push({50, 1.0, "a"}, 0, 100);
+  EXPECT_TRUE(buffer.DrainDisplayable(149, 100).empty());
+  EXPECT_EQ(buffer.DrainDisplayable(150, 100).size(), 1u);
+}
+
+TEST(SampleBufferTest, LateArrivalsDroppedImmediately) {
+  // Section 4.4: "Data arriving at the server after this delay is not
+  // buffered but dropped immediately."
+  SampleBuffer buffer;
+  EXPECT_FALSE(buffer.Push({10, 1.0, "a"}, /*now_ms=*/200, /*delay_ms=*/100));
+  EXPECT_EQ(buffer.stats().dropped_late, 1);
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(SampleBufferTest, ExactDeadlineAccepted) {
+  SampleBuffer buffer;
+  // time + delay == now: displayable right now, not late.
+  EXPECT_TRUE(buffer.Push({100, 1.0, "a"}, /*now_ms=*/200, /*delay_ms=*/100));
+  EXPECT_EQ(buffer.DrainDisplayable(200, 100).size(), 1u);
+}
+
+TEST(SampleBufferTest, ZeroDelayImmediateDisplay) {
+  SampleBuffer buffer;
+  EXPECT_TRUE(buffer.Push({100, 1.0, "a"}, 100, 0));
+  EXPECT_EQ(buffer.DrainDisplayable(100, 0).size(), 1u);
+}
+
+TEST(SampleBufferTest, MildReorderingSorted) {
+  SampleBuffer buffer;
+  buffer.Push({30, 3.0, "a"}, 0, 1000);
+  buffer.Push({10, 1.0, "b"}, 0, 1000);
+  buffer.Push({20, 2.0, "c"}, 0, 1000);
+  auto drained = buffer.DrainDisplayable(2000, 1000);
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0].name, "b");
+  EXPECT_EQ(drained[1].name, "c");
+  EXPECT_EQ(drained[2].name, "a");
+}
+
+TEST(SampleBufferTest, OverflowEvictsOldest) {
+  SampleBuffer buffer(/*max_samples=*/3);
+  for (int i = 0; i < 5; ++i) {
+    buffer.Push({i * 10, static_cast<double>(i), "a"}, 0, 10000);
+  }
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.stats().dropped_overflow, 2);
+  auto drained = buffer.DrainDisplayable(100000, 10000);
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_DOUBLE_EQ(drained[0].value, 2.0);
+}
+
+TEST(SampleBufferTest, PartialDrainLeavesFuture) {
+  SampleBuffer buffer;
+  buffer.Push({10, 1.0, "a"}, 0, 50);
+  buffer.Push({100, 2.0, "a"}, 0, 50);
+  auto drained = buffer.DrainDisplayable(/*now_ms=*/60, /*delay_ms=*/50);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_DOUBLE_EQ(drained[0].value, 1.0);
+  EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(SampleBufferTest, StatsAccumulate) {
+  SampleBuffer buffer;
+  buffer.Push({10, 1.0, "a"}, 0, 100);
+  buffer.Push({0, 2.0, "a"}, 500, 100);  // late
+  buffer.DrainDisplayable(500, 100);
+  auto stats = buffer.stats();
+  EXPECT_EQ(stats.pushed, 1);
+  EXPECT_EQ(stats.dropped_late, 1);
+  EXPECT_EQ(stats.drained, 1);
+}
+
+TEST(SampleBufferTest, ClearEmpties) {
+  SampleBuffer buffer;
+  buffer.Push({10, 1.0, "a"}, 0, 100);
+  buffer.Clear();
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_TRUE(buffer.DrainDisplayable(10000, 0).empty());
+}
+
+TEST(SampleBufferTest, ConcurrentProducers) {
+  SampleBuffer buffer(1 << 20);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&buffer, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        buffer.Push({i, static_cast<double>(t), "s"}, 0, 1 << 20);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(buffer.size(), static_cast<size_t>(kThreads * kPerThread));
+  // Drained output must be time-sorted regardless of interleaving.
+  auto drained = buffer.DrainDisplayable(1 << 21, 1 << 20);
+  for (size_t i = 1; i < drained.size(); ++i) {
+    EXPECT_LE(drained[i - 1].time_ms, drained[i].time_ms);
+  }
+}
+
+// Property: at any (delay, now), every drained tuple satisfies
+// time + delay <= now and every retained tuple satisfies time + delay > now.
+class DrainBoundaryProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DrainBoundaryProperty, BoundaryRespected) {
+  auto [delay_ms, now_ms] = GetParam();
+  SampleBuffer buffer;
+  for (int t = 0; t <= 200; t += 7) {
+    buffer.Push({t, 1.0, "s"}, 0, 10000);
+  }
+  auto drained = buffer.DrainDisplayable(now_ms, delay_ms);
+  for (const Tuple& t : drained) {
+    EXPECT_LE(t.time_ms + delay_ms, now_ms);
+  }
+  auto rest = buffer.DrainDisplayable(100000, 0);
+  for (const Tuple& t : rest) {
+    EXPECT_GT(t.time_ms + delay_ms, now_ms);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DrainBoundaryProperty,
+                         ::testing::Combine(::testing::Values(0, 10, 50, 100),
+                                            ::testing::Values(0, 25, 60, 150, 500)));
+
+}  // namespace
+}  // namespace gscope

@@ -1,0 +1,134 @@
+#include "sched/proportion.h"
+
+#include <gtest/gtest.h>
+
+namespace gscope {
+namespace {
+
+TEST(SchedTest, AddRemoveProcesses) {
+  ProportionScheduler sched;
+  int a = sched.AddProcess({.name = "mpeg"});
+  int b = sched.AddProcess({.name = "audio"});
+  EXPECT_NE(a, 0);
+  EXPECT_NE(b, 0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(sched.process_count(), 2u);
+  EXPECT_TRUE(sched.RemoveProcess(a));
+  EXPECT_FALSE(sched.RemoveProcess(a));
+  EXPECT_EQ(sched.process_count(), 1u);
+}
+
+TEST(SchedTest, ProportionConvergesToConstantDemand) {
+  ProportionScheduler sched;
+  int id = sched.AddProcess(
+      {.name = "p", .period_ms = 50, .base_demand = 0.3, .demand_amplitude = 0.0});
+  for (int i = 0; i < 100; ++i) {
+    sched.Step(50);
+  }
+  EXPECT_NEAR(sched.ProportionOf(id), 0.3, 0.05);
+}
+
+TEST(SchedTest, ProportionTracksVaryingDemand) {
+  ProportionScheduler sched;
+  int id = sched.AddProcess({.name = "p",
+                             .period_ms = 20,
+                             .base_demand = 0.4,
+                             .demand_amplitude = 0.2,
+                             .demand_period_ms = 2000});
+  // After settling, the proportion should swing with the demand.
+  double min_prop = 1.0;
+  double max_prop = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    sched.Step(20);
+    if (i > 100) {
+      min_prop = std::min(min_prop, sched.ProportionOf(id));
+      max_prop = std::max(max_prop, sched.ProportionOf(id));
+    }
+  }
+  EXPECT_LT(min_prop, 0.35);
+  EXPECT_GT(max_prop, 0.45);
+}
+
+TEST(SchedTest, SaturationNormalizesTotals) {
+  ProportionScheduler sched;
+  for (int i = 0; i < 5; ++i) {
+    sched.AddProcess({.name = "hog" + std::to_string(i),
+                      .period_ms = 20,
+                      .base_demand = 0.5,
+                      .demand_amplitude = 0.0});
+  }
+  for (int i = 0; i < 200; ++i) {
+    sched.Step(20);
+  }
+  EXPECT_LE(sched.TotalAllocated(), ProportionScheduler::kSaturation + 1e-9);
+  // Everyone still gets something.
+  for (int id : sched.ProcessIds()) {
+    EXPECT_GT(sched.ProportionOf(id), 0.05);
+  }
+}
+
+TEST(SchedTest, ProportionsHeldBetweenPeriods) {
+  // Section 4.2: proportions are assigned at process-period granularity and
+  // held in between - sub-period steps must not change the assignment.
+  ProportionScheduler sched;
+  int id = sched.AddProcess(
+      {.name = "p", .period_ms = 100, .base_demand = 0.3, .demand_amplitude = 0.1});
+  sched.Step(100);  // crosses the first period boundary
+  double assigned = sched.ProportionOf(id);
+  sched.Step(10);
+  sched.Step(10);
+  sched.Step(10);
+  EXPECT_DOUBLE_EQ(sched.ProportionOf(id), assigned);
+  sched.Step(70);  // crosses the next boundary
+  // (may or may not change value, but the boundary was processed)
+  EXPECT_GE(sched.now_ms(), 200.0);
+}
+
+TEST(SchedTest, UnknownIdsReturnZero) {
+  ProportionScheduler sched;
+  EXPECT_DOUBLE_EQ(sched.ProportionOf(42), 0.0);
+  EXPECT_DOUBLE_EQ(sched.DemandOf(42), 0.0);
+  EXPECT_DOUBLE_EQ(sched.ErrorOf(42), 0.0);
+  EXPECT_EQ(sched.SpecFor(42), nullptr);
+}
+
+TEST(SchedTest, DemandWaveformDeterministic) {
+  ProportionScheduler a;
+  ProportionScheduler b;
+  ProcessSpec spec{.name = "p", .period_ms = 20, .base_demand = 0.4, .demand_amplitude = 0.2};
+  int ida = a.AddProcess(spec);
+  int idb = b.AddProcess(spec);
+  for (int i = 0; i < 100; ++i) {
+    a.Step(20);
+    b.Step(20);
+    EXPECT_DOUBLE_EQ(a.ProportionOf(ida), b.ProportionOf(idb));
+  }
+}
+
+TEST(SchedTest, DynamicAddChangesAllocation) {
+  ProportionScheduler sched;
+  int first = sched.AddProcess(
+      {.name = "a", .period_ms = 20, .base_demand = 0.6, .demand_amplitude = 0.0});
+  for (int i = 0; i < 100; ++i) {
+    sched.Step(20);
+  }
+  double before = sched.ProportionOf(first);
+  // A second heavy process forces the allocator to squeeze the first.
+  sched.AddProcess({.name = "b", .period_ms = 20, .base_demand = 0.6, .demand_amplitude = 0.0});
+  for (int i = 0; i < 200; ++i) {
+    sched.Step(20);
+  }
+  EXPECT_LT(sched.ProportionOf(first), before);
+  EXPECT_LE(sched.TotalAllocated(), ProportionScheduler::kSaturation + 1e-9);
+}
+
+TEST(SchedTest, ZeroAndNegativeStepsIgnored) {
+  ProportionScheduler sched;
+  sched.AddProcess({.name = "p"});
+  sched.Step(0);
+  sched.Step(-5);
+  EXPECT_DOUBLE_EQ(sched.now_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace gscope

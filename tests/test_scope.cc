@@ -1,0 +1,308 @@
+#include "core/scope.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/clock.h"
+
+namespace gscope {
+namespace {
+
+class ScopeTest : public ::testing::Test {
+ protected:
+  ScopeTest() : loop_(&clock_), scope_(&loop_, ScopeOptions{.name = "test", .width = 64}) {}
+
+  SimClock clock_;
+  MainLoop loop_;
+  Scope scope_;
+};
+
+TEST_F(ScopeTest, AddSignalAssignsIdsAndPalette) {
+  int32_t x = 0;
+  SignalId a = scope_.AddSignal({.name = "a", .source = &x});
+  SignalId b = scope_.AddSignal({.name = "b", .source = &x});
+  EXPECT_NE(a, 0);
+  EXPECT_NE(b, 0);
+  EXPECT_NE(a, b);
+  ASSERT_NE(scope_.SpecFor(a), nullptr);
+  ASSERT_TRUE(scope_.SpecFor(a)->color.has_value());
+  EXPECT_NE(*scope_.SpecFor(a)->color, *scope_.SpecFor(b)->color);
+}
+
+TEST_F(ScopeTest, DuplicateNameRejected) {
+  int32_t x = 0;
+  EXPECT_NE(scope_.AddSignal({.name = "a", .source = &x}), 0);
+  EXPECT_EQ(scope_.AddSignal({.name = "a", .source = &x}), 0);
+}
+
+TEST_F(ScopeTest, InvalidSpecsRejected) {
+  int32_t x = 0;
+  EXPECT_EQ(scope_.AddSignal({.name = "", .source = &x}), 0);
+  EXPECT_EQ(scope_.AddSignal({.name = "bad", .source = &x, .min = 10.0, .max = 10.0}), 0);
+  EXPECT_EQ(scope_.AddSignal({.name = "bad2", .source = &x, .min = 10.0, .max = 5.0}), 0);
+}
+
+TEST_F(ScopeTest, RemoveSignal) {
+  int32_t x = 0;
+  SignalId id = scope_.AddSignal({.name = "a", .source = &x});
+  EXPECT_EQ(scope_.signal_count(), 1u);
+  EXPECT_TRUE(scope_.RemoveSignal(id));
+  EXPECT_EQ(scope_.signal_count(), 0u);
+  EXPECT_FALSE(scope_.RemoveSignal(id));
+  EXPECT_EQ(scope_.FindSignal("a"), 0);
+}
+
+TEST_F(ScopeTest, FindSignalByName) {
+  int32_t x = 0;
+  SignalId id = scope_.AddSignal({.name = "cwnd", .source = &x});
+  EXPECT_EQ(scope_.FindSignal("cwnd"), id);
+  EXPECT_EQ(scope_.FindSignal("nope"), 0);
+}
+
+TEST_F(ScopeTest, PollsIntegerSignal) {
+  // The paper's simplest case: "a signal consists of a signal name and a
+  // word of memory whose value is polled and displayed."
+  int32_t elephants = 8;
+  SignalId id = scope_.AddSignal({.name = "elephants", .source = &elephants, .max = 40.0});
+  scope_.SetPollingMode(50);
+  ASSERT_TRUE(scope_.StartPolling());
+  loop_.RunForMs(100);
+  EXPECT_DOUBLE_EQ(scope_.LatestValue(id).value_or(-1), 8.0);
+  elephants = 16;
+  loop_.RunForMs(100);
+  EXPECT_DOUBLE_EQ(scope_.LatestValue(id).value_or(-1), 16.0);
+}
+
+TEST_F(ScopeTest, PollsAllWordTypes) {
+  int32_t i = -3;
+  bool b = true;
+  int16_t s = 7;
+  float f = 2.5f;
+  double d = 9.75;
+  SignalId ii = scope_.AddSignal({.name = "int", .source = &i, .min = -100});
+  SignalId bi = scope_.AddSignal({.name = "bool", .source = &b});
+  SignalId si = scope_.AddSignal({.name = "short", .source = &s});
+  SignalId fi = scope_.AddSignal({.name = "float", .source = &f});
+  SignalId di = scope_.AddSignal({.name = "double", .source = &d});
+  scope_.TickOnce();
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(ii), -3.0);
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(bi), 1.0);
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(si), 7.0);
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(fi), 2.5);
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(di), 9.75);
+  EXPECT_EQ(scope_.SpecFor(ii)->type(), SignalType::kInteger);
+  EXPECT_EQ(scope_.SpecFor(bi)->type(), SignalType::kBoolean);
+  EXPECT_EQ(scope_.SpecFor(si)->type(), SignalType::kShort);
+  EXPECT_EQ(scope_.SpecFor(fi)->type(), SignalType::kFloat);
+  EXPECT_EQ(scope_.SpecFor(di)->type(), SignalType::kDouble);
+}
+
+TEST_F(ScopeTest, FuncSignalModern) {
+  int calls = 0;
+  SignalId id = scope_.AddSignal(
+      {.name = "fn", .source = MakeFunc([&calls]() { return static_cast<double>(++calls); })});
+  scope_.TickOnce();
+  scope_.TickOnce();
+  EXPECT_EQ(calls, 2);
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(id), 2.0);
+}
+
+double LegacyGetCwnd(void* arg1, void* arg2) {
+  int fd = *static_cast<int*>(arg1);
+  (void)arg2;
+  return fd * 2.0;
+}
+
+TEST_F(ScopeTest, FuncSignalLegacyTwoArgStyle) {
+  // The paper's FUNC form: function invoked with arg1/arg2.
+  int fd = 21;
+  SignalId id =
+      scope_.AddSignal({.name = "Cwnd", .source = MakeFunc(&LegacyGetCwnd, &fd, nullptr)});
+  scope_.TickOnce();
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(id), 42.0);
+}
+
+TEST_F(ScopeTest, EventSignalAggregates) {
+  auto agg = std::make_shared<EventAggregator>(AggregateKind::kMaximum);
+  SignalId id = scope_.AddSignal({.name = "lat", .source = EventSource{agg}});
+  agg->Push(5.0);
+  agg->Push(11.0);
+  scope_.TickOnce();
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(id), 11.0);
+  // No events in the next interval: holds the previous value.
+  scope_.TickOnce();
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(id), 11.0);
+}
+
+TEST_F(ScopeTest, FilterAppliedToDisplayNotRaw) {
+  int32_t x = 0;
+  SignalId id = scope_.AddSignal({.name = "f", .source = &x, .filter_alpha = 0.5});
+  x = 10;
+  scope_.TickOnce();
+  x = 20;
+  scope_.TickOnce();
+  EXPECT_DOUBLE_EQ(*scope_.LatestRaw(id), 20.0);
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(id), 15.0);
+}
+
+TEST_F(ScopeTest, GuiEquivalentSetters) {
+  int32_t x = 0;
+  SignalId id = scope_.AddSignal({.name = "a", .source = &x});
+  EXPECT_TRUE(scope_.SetHidden(id, true));
+  EXPECT_TRUE(scope_.SpecFor(id)->hidden);
+  EXPECT_TRUE(scope_.ToggleHidden(id));
+  EXPECT_FALSE(scope_.SpecFor(id)->hidden);
+  EXPECT_TRUE(scope_.SetRange(id, -10.0, 10.0));
+  EXPECT_DOUBLE_EQ(scope_.SpecFor(id)->min, -10.0);
+  EXPECT_FALSE(scope_.SetRange(id, 5.0, 5.0));
+  EXPECT_TRUE(scope_.SetColor(id, Rgb{1, 2, 3}));
+  EXPECT_EQ(*scope_.SpecFor(id)->color, (Rgb{1, 2, 3}));
+  EXPECT_TRUE(scope_.SetLineMode(id, LineMode::kSteps));
+  EXPECT_EQ(scope_.SpecFor(id)->line, LineMode::kSteps);
+  EXPECT_TRUE(scope_.SetFilterAlpha(id, 0.3));
+  EXPECT_FALSE(scope_.SetFilterAlpha(id, 1.5));
+  // Unknown ids fail.
+  EXPECT_FALSE(scope_.SetHidden(999, true));
+  EXPECT_FALSE(scope_.SetColor(999, Rgb{}));
+}
+
+TEST_F(ScopeTest, NormalizeValueMapsMinMaxToRuler) {
+  int32_t x = 0;
+  SignalId id = scope_.AddSignal({.name = "a", .source = &x, .min = 0.0, .max = 40.0});
+  EXPECT_DOUBLE_EQ(scope_.NormalizeValue(id, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(scope_.NormalizeValue(id, 40.0), 100.0);
+  EXPECT_DOUBLE_EQ(scope_.NormalizeValue(id, 20.0), 50.0);
+}
+
+TEST_F(ScopeTest, ZoomAndBiasTransformRuler) {
+  int32_t x = 0;
+  SignalId id = scope_.AddSignal({.name = "a", .source = &x});
+  scope_.SetZoom(2.0);
+  scope_.SetBias(10.0);
+  EXPECT_DOUBLE_EQ(scope_.NormalizeValue(id, 50.0), 50.0 * 2.0 + 10.0);
+  scope_.SetZoom(-1.0);  // rejected
+  EXPECT_DOUBLE_EQ(scope_.zoom(), 2.0);
+}
+
+TEST_F(ScopeTest, TraceAdvancesOnePixelPerTick) {
+  int32_t x = 1;
+  SignalId id = scope_.AddSignal({.name = "a", .source = &x});
+  scope_.SetPollingMode(10);
+  scope_.StartPolling();
+  loop_.RunForMs(100);
+  const Trace* trace = scope_.TraceFor(id);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_GE(trace->size(), 9u);
+  EXPECT_LE(trace->size(), 10u);
+}
+
+TEST_F(ScopeTest, LostTicksAdvanceTrace) {
+  int32_t x = 5;
+  SignalId id = scope_.AddSignal({.name = "a", .source = &x});
+  scope_.TickOnce(0);
+  x = 9;
+  scope_.TickOnce(3);  // three missed polls
+  const Trace* trace = scope_.TraceFor(id);
+  EXPECT_EQ(trace->size(), 5u);  // 1 + (3 hold + 1 real)
+  EXPECT_EQ(trace->synthesized_count(), 3);
+  EXPECT_DOUBLE_EQ(trace->At(0).value, 9.0);
+  EXPECT_DOUBLE_EQ(trace->At(1).value, 5.0);  // hold of previous value
+  EXPECT_EQ(scope_.counters().lost_ticks, 3);
+}
+
+TEST_F(ScopeTest, StartStopPolling) {
+  int32_t x = 0;
+  scope_.AddSignal({.name = "a", .source = &x});
+  EXPECT_FALSE(scope_.IsRunning());
+  scope_.SetPollingMode(10);
+  EXPECT_TRUE(scope_.StartPolling());
+  EXPECT_TRUE(scope_.IsRunning());
+  EXPECT_TRUE(scope_.StartPolling());  // idempotent
+  loop_.RunForMs(50);
+  int64_t ticks = scope_.counters().ticks;
+  EXPECT_GT(ticks, 0);
+  scope_.StopPolling();
+  EXPECT_FALSE(scope_.IsRunning());
+  loop_.RunForMs(50);
+  EXPECT_EQ(scope_.counters().ticks, ticks);
+}
+
+TEST_F(ScopeTest, ChangePollingPeriodWhileRunning) {
+  int32_t x = 0;
+  scope_.AddSignal({.name = "a", .source = &x});
+  scope_.SetPollingMode(10);
+  scope_.StartPolling();
+  loop_.RunForMs(50);
+  EXPECT_TRUE(scope_.SetPollingPeriodMs(25));
+  EXPECT_EQ(scope_.polling_period_ms(), 25);
+  int64_t before = scope_.counters().ticks;
+  loop_.RunForMs(100);
+  int64_t delta = scope_.counters().ticks - before;
+  EXPECT_GE(delta, 3);
+  EXPECT_LE(delta, 5);
+}
+
+TEST_F(ScopeTest, InvalidModesRejected) {
+  EXPECT_FALSE(scope_.SetPollingMode(0));
+  EXPECT_FALSE(scope_.SetPollingMode(-5));
+  EXPECT_FALSE(scope_.SetPollingPeriodMs(0));
+  EXPECT_FALSE(scope_.SetPlaybackMode("/nonexistent/file", 10));
+}
+
+TEST_F(ScopeTest, HiddenSignalsStillSampled) {
+  int32_t x = 3;
+  SignalId id = scope_.AddSignal({.name = "a", .source = &x, .hidden = true});
+  scope_.TickOnce();
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(id), 3.0);  // Value button still live
+}
+
+TEST_F(ScopeTest, CountersTrackSamples) {
+  int32_t x = 0;
+  scope_.AddSignal({.name = "a", .source = &x});
+  scope_.AddSignal({.name = "b", .source = &x});
+  scope_.TickOnce();
+  scope_.TickOnce();
+  EXPECT_EQ(scope_.counters().ticks, 2);
+  EXPECT_EQ(scope_.counters().samples, 4);
+}
+
+TEST_F(ScopeTest, PollStatsAvailableWhileRunning) {
+  int32_t x = 0;
+  scope_.AddSignal({.name = "a", .source = &x});
+  EXPECT_EQ(scope_.poll_stats(), nullptr);
+  scope_.SetPollingMode(10);
+  scope_.StartPolling();
+  loop_.RunForMs(50);
+  const TimerStats* stats = scope_.poll_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GE(stats->fired, 4);
+}
+
+TEST_F(ScopeTest, DelaySetterValidation) {
+  scope_.SetDelayMs(100);
+  EXPECT_EQ(scope_.delay_ms(), 100);
+  scope_.SetDelayMs(-1);
+  EXPECT_EQ(scope_.delay_ms(), 100);
+}
+
+TEST_F(ScopeTest, DomainSwitch) {
+  EXPECT_EQ(scope_.domain(), DisplayDomain::kTime);
+  scope_.SetDomain(DisplayDomain::kFrequency);
+  EXPECT_EQ(scope_.domain(), DisplayDomain::kFrequency);
+}
+
+TEST_F(ScopeTest, DynamicAddRemoveWhileRunning) {
+  // "dynamic addition and removal of scopes and signals" (Section 1).
+  int32_t x = 1;
+  scope_.SetPollingMode(10);
+  scope_.StartPolling();
+  loop_.RunForMs(30);
+  SignalId id = scope_.AddSignal({.name = "late", .source = &x});
+  loop_.RunForMs(30);
+  EXPECT_TRUE(scope_.LatestValue(id).has_value());
+  EXPECT_TRUE(scope_.RemoveSignal(id));
+  loop_.RunForMs(30);  // must not crash sampling a removed signal
+  EXPECT_EQ(scope_.FindSignal("late"), 0);
+}
+
+}  // namespace
+}  // namespace gscope

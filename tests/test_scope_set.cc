@@ -1,0 +1,89 @@
+#include "core/scope_set.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/clock.h"
+
+namespace gscope {
+namespace {
+
+TEST(ScopeSetTest, CreateAndFind) {
+  SimClock clock;
+  MainLoop loop(&clock);
+  ScopeSet set(&loop);
+  Scope* a = set.CreateScope({.name = "a"});
+  Scope* b = set.CreateScope({.name = "b"});
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.FindScope("a"), a);
+  EXPECT_EQ(set.FindScope("missing"), nullptr);
+}
+
+TEST(ScopeSetTest, DuplicateNameRejected) {
+  SimClock clock;
+  MainLoop loop(&clock);
+  ScopeSet set(&loop);
+  EXPECT_NE(set.CreateScope({.name = "a"}), nullptr);
+  EXPECT_EQ(set.CreateScope({.name = "a"}), nullptr);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(ScopeSetTest, RemoveScopeStopsIt) {
+  SimClock clock;
+  MainLoop loop(&clock);
+  ScopeSet set(&loop);
+  Scope* a = set.CreateScope({.name = "a"});
+  int32_t x = 0;
+  a->AddSignal({.name = "x", .source = &x});
+  a->SetPollingMode(10);
+  a->StartPolling();
+  EXPECT_EQ(loop.source_count(), 1u);
+  EXPECT_TRUE(set.RemoveScope(a));
+  EXPECT_EQ(loop.source_count(), 0u);  // polling source removed by dtor
+  EXPECT_FALSE(set.RemoveScope(a));
+}
+
+TEST(ScopeSetTest, ScopesShareTheLoop) {
+  SimClock clock;
+  MainLoop loop(&clock);
+  ScopeSet set(&loop);
+  Scope* a = set.CreateScope({.name = "a"});
+  Scope* b = set.CreateScope({.name = "b"});
+  int32_t x = 1;
+  SignalId ida = a->AddSignal({.name = "x", .source = &x});
+  SignalId idb = b->AddSignal({.name = "x", .source = &x});
+  a->SetPollingMode(10);
+  b->SetPollingMode(20);
+  a->StartPolling();
+  b->StartPolling();
+  loop.RunForMs(100);
+  EXPECT_TRUE(a->LatestValue(ida).has_value());
+  EXPECT_TRUE(b->LatestValue(idb).has_value());
+  EXPECT_GT(a->counters().ticks, b->counters().ticks);
+}
+
+TEST(ScopeSetTest, SharedControlParams) {
+  SimClock clock;
+  MainLoop loop(&clock);
+  ScopeSet set(&loop);
+  int32_t elephants = 8;
+  set.params().Add({.name = "elephants", .storage = &elephants, .min = 0, .max = 40});
+  EXPECT_TRUE(set.params().Set("elephants", 16));
+  EXPECT_EQ(elephants, 16);
+}
+
+TEST(ScopeSetTest, ScopesListed) {
+  SimClock clock;
+  MainLoop loop(&clock);
+  ScopeSet set(&loop);
+  set.CreateScope({.name = "a"});
+  set.CreateScope({.name = "b"});
+  auto scopes = set.scopes();
+  ASSERT_EQ(scopes.size(), 2u);
+  EXPECT_EQ(scopes[0]->name(), "a");
+  EXPECT_EQ(scopes[1]->name(), "b");
+}
+
+}  // namespace
+}  // namespace gscope

@@ -1,0 +1,138 @@
+#include "netsim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gscope {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now_us(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(300, [&order]() { order.push_back(3); });
+  sim.ScheduleAt(100, [&order]() { order.push_back(1); });
+  sim.ScheduleAt(200, [&order]() { order.push_back(2); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now_us(), 300);
+}
+
+TEST(SimulatorTest, SameTimeEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAt(100, [&order, i]() { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, ScheduleAfterRelative) {
+  Simulator sim;
+  sim.ScheduleAt(50, []() {});
+  sim.Step();
+  EXPECT_EQ(sim.now_us(), 50);
+  SimTime fired_at = -1;
+  sim.ScheduleAfter(25, [&]() { fired_at = sim.now_us(); });
+  sim.Step();
+  EXPECT_EQ(fired_at, 75);
+}
+
+TEST(SimulatorTest, PastTimesClampToNow) {
+  Simulator sim;
+  sim.ScheduleAt(100, []() {});
+  sim.Step();
+  SimTime fired_at = -1;
+  sim.ScheduleAt(10, [&]() { fired_at = sim.now_us(); });
+  sim.Step();
+  EXPECT_EQ(fired_at, 100);  // not in the past
+}
+
+TEST(SimulatorTest, CancelPreventsDispatch) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.ScheduleAt(100, [&fired]() { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.RunUntilIdle();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(sim.Cancel(id));  // second cancel fails
+}
+
+TEST(SimulatorTest, CancelAfterFireFails) {
+  Simulator sim;
+  EventId id = sim.ScheduleAt(10, []() {});
+  sim.RunUntilIdle();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(100, [&fired]() { ++fired; });
+  sim.ScheduleAt(200, [&fired]() { ++fired; });
+  sim.ScheduleAt(300, [&fired]() { ++fired; });
+  sim.RunUntil(200);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now_us(), 200);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithNoEvents) {
+  Simulator sim;
+  sim.RunUntil(5000);
+  EXPECT_EQ(sim.now_us(), 5000);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  std::function<void()> chain = [&]() {
+    times.push_back(sim.now_us());
+    if (times.size() < 5) {
+      sim.ScheduleAfter(10, chain);
+    }
+  };
+  sim.ScheduleAt(0, chain);
+  sim.RunUntilIdle();
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_EQ(times.back(), 40);
+}
+
+TEST(SimulatorTest, RunForMsConverts) {
+  Simulator sim;
+  sim.RunForMs(3);
+  EXPECT_EQ(sim.now_us(), 3000);
+}
+
+TEST(SimulatorTest, EventsProcessedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(i, []() {});
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.events_processed(), 10);
+}
+
+TEST(SimulatorTest, RunUntilIdleRespectsBudget) {
+  Simulator sim;
+  std::function<void()> forever = [&]() { sim.ScheduleAfter(1, forever); };
+  sim.ScheduleAt(0, forever);
+  sim.RunUntilIdle(/*max_events=*/100);
+  EXPECT_EQ(sim.events_processed(), 100);
+}
+
+TEST(SimulatorTest, NullHandlerRejected) {
+  Simulator sim;
+  EXPECT_EQ(sim.ScheduleAt(10, Simulator::EventFn{}), 0);
+}
+
+}  // namespace
+}  // namespace gscope

@@ -1,0 +1,94 @@
+#include "freq/spectrum.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace gscope {
+namespace {
+
+std::vector<double> Tone(double freq_hz, double sample_rate_hz, size_t n, double amplitude = 1.0,
+                         double offset = 0.0) {
+  std::vector<double> samples(n);
+  for (size_t i = 0; i < n; ++i) {
+    double t = static_cast<double>(i) / sample_rate_hz;
+    samples[i] = offset + amplitude * std::sin(2.0 * std::numbers::pi * freq_hz * t);
+  }
+  return samples;
+}
+
+TEST(SpectrumTest, EmptyForTooFewSamples) {
+  EXPECT_TRUE(ComputeSpectrum({}, 100.0).power_db.empty());
+  EXPECT_TRUE(ComputeSpectrum({1.0}, 100.0).power_db.empty());
+  EXPECT_TRUE(ComputeSpectrum({1.0, 2.0}, 0.0).power_db.empty());
+}
+
+TEST(SpectrumTest, PeakAtToneFrequency) {
+  // 100 Hz sampling (the paper's 10 ms maximum polling rate), 10 Hz tone.
+  auto spectrum = ComputeSpectrum(Tone(10.0, 100.0, 256), 100.0);
+  ASSERT_FALSE(spectrum.power_db.empty());
+  EXPECT_NEAR(spectrum.PeakHz(), 10.0, spectrum.bin_hz * 1.5);
+}
+
+TEST(SpectrumTest, BinWidthReflectsPaddedLength) {
+  auto spectrum = ComputeSpectrum(Tone(5.0, 100.0, 200), 100.0);
+  // 200 pads to 256: bin width 100/256.
+  EXPECT_NEAR(spectrum.bin_hz, 100.0 / 256.0, 1e-12);
+  EXPECT_EQ(spectrum.power_db.size(), 129u);
+}
+
+TEST(SpectrumTest, DcRemovalSuppressesOffset) {
+  auto with_offset = ComputeSpectrum(Tone(10.0, 100.0, 256, 1.0, /*offset=*/50.0), 100.0);
+  // Despite a huge DC offset, the peak is still the tone.
+  EXPECT_NEAR(with_offset.PeakHz(), 10.0, with_offset.bin_hz * 1.5);
+
+  SpectrumOptions keep_dc;
+  keep_dc.remove_dc = false;
+  auto raw = ComputeSpectrum(Tone(10.0, 100.0, 256, 1.0, 50.0), 100.0, keep_dc);
+  EXPECT_GT(raw.power_db[0], raw.power_db[26]);  // DC dominates when kept
+}
+
+TEST(SpectrumTest, FullScaleSineNearZeroDb) {
+  auto spectrum = ComputeSpectrum(Tone(12.5, 100.0, 256), 100.0);
+  size_t peak = spectrum.PeakBin();
+  EXPECT_GT(spectrum.power_db[peak], -3.0);
+  EXPECT_LT(spectrum.power_db[peak], 3.0);
+}
+
+TEST(SpectrumTest, QuieterToneLowerDb) {
+  auto loud = ComputeSpectrum(Tone(10.0, 100.0, 256, 1.0), 100.0);
+  auto quiet = ComputeSpectrum(Tone(10.0, 100.0, 256, 0.1), 100.0);
+  EXPECT_NEAR(loud.power_db[loud.PeakBin()] - quiet.power_db[quiet.PeakBin()], 20.0, 1.0);
+}
+
+TEST(SpectrumTest, TwoTonesBothVisible) {
+  auto a = Tone(10.0, 100.0, 512);
+  auto b = Tone(30.0, 100.0, 512, 0.5);
+  std::vector<double> mix(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    mix[i] = a[i] + b[i];
+  }
+  auto spectrum = ComputeSpectrum(mix, 100.0);
+  size_t bin10 = static_cast<size_t>(std::lround(10.0 / spectrum.bin_hz));
+  size_t bin30 = static_cast<size_t>(std::lround(30.0 / spectrum.bin_hz));
+  // Both peaks stand at least 20 dB above a quiet bin.
+  size_t quiet_bin = static_cast<size_t>(std::lround(45.0 / spectrum.bin_hz));
+  EXPECT_GT(spectrum.power_db[bin10], spectrum.power_db[quiet_bin] + 20.0);
+  EXPECT_GT(spectrum.power_db[bin30], spectrum.power_db[quiet_bin] + 20.0);
+}
+
+// Property: the detected peak matches the synthesized tone across the band.
+class SpectrumPeakProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpectrumPeakProperty, PeakTracksTone) {
+  double freq = GetParam();
+  auto spectrum = ComputeSpectrum(Tone(freq, 100.0, 512), 100.0);
+  EXPECT_NEAR(spectrum.PeakHz(), freq, spectrum.bin_hz * 2.0) << "tone " << freq;
+}
+
+INSTANTIATE_TEST_SUITE_P(ToneSweep, SpectrumPeakProperty,
+                         ::testing::Values(2.0, 5.0, 10.0, 17.3, 25.0, 33.3, 45.0));
+
+}  // namespace
+}  // namespace gscope

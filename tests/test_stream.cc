@@ -1,0 +1,222 @@
+// End-to-end tests of the Section 4.4 client/server library, running client,
+// server and scope on one real-clock main loop (single-threaded, I/O driven,
+// exactly the paper's structure).
+#include <gtest/gtest.h>
+
+#include "core/scope.h"
+#include "net/stream_client.h"
+#include "net/stream_server.h"
+#include "runtime/event_loop.h"
+
+namespace gscope {
+namespace {
+
+class StreamTest : public ::testing::Test {
+ protected:
+  StreamTest() : scope_(&loop_, {.name = "remote", .width = 64}) {
+    scope_.SetPollingMode(5);
+  }
+
+  // Runs the loop until `pred` holds or the budget expires.
+  bool RunUntil(const std::function<bool()>& pred, int max_ms = 2000) {
+    for (int i = 0; i < max_ms; ++i) {
+      if (pred()) {
+        return true;
+      }
+      loop_.RunForMs(1);
+    }
+    return pred();
+  }
+
+  MainLoop loop_;  // real clock: sockets need real readiness
+  Scope scope_;
+};
+
+TEST_F(StreamTest, ListenOnEphemeralPort) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  EXPECT_GT(server.port(), 0);
+}
+
+TEST_F(StreamTest, ClientConnectsAndServerAccepts) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  StreamClient client(&loop_);
+  ASSERT_TRUE(client.Connect(server.port()));
+  EXPECT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+  EXPECT_EQ(server.stats().connections, 1);
+}
+
+TEST_F(StreamTest, TuplesFlowIntoScopeSignal) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  StreamClient client(&loop_);
+  ASSERT_TRUE(client.Connect(server.port()));
+
+  scope_.StartPolling();
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+
+  // Stamp with the scope's own clock (the paper assumes correlatable time).
+  client.SendTuple({scope_.NowMs(), 42.0, "remote_cwnd"});
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 1; }));
+
+  // Auto-created BUFFER signal carries the value after a poll.
+  ASSERT_TRUE(RunUntil([&]() { return scope_.FindSignal("remote_cwnd") != 0; }));
+  SignalId id = scope_.FindSignal("remote_cwnd");
+  ASSERT_TRUE(RunUntil([&]() { return scope_.LatestValue(id).has_value(); }));
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(id), 42.0);
+}
+
+TEST_F(StreamTest, MultipleClientsOneScope) {
+  // "The server receives data from one or more clients asynchronously."
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  StreamClient a(&loop_);
+  StreamClient b(&loop_);
+  ASSERT_TRUE(a.Connect(server.port()));
+  ASSERT_TRUE(b.Connect(server.port()));
+  scope_.StartPolling();
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 2; }));
+
+  a.SendTuple({scope_.NowMs(), 1.0, "client_a"});
+  b.SendTuple({scope_.NowMs(), 2.0, "client_b"});
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 2; }));
+  ASSERT_TRUE(RunUntil([&]() {
+    SignalId ia = scope_.FindSignal("client_a");
+    SignalId ib = scope_.FindSignal("client_b");
+    return ia != 0 && ib != 0 && scope_.LatestValue(ia).has_value() &&
+           scope_.LatestValue(ib).has_value();
+  }));
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(scope_.FindSignal("client_a")), 1.0);
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(scope_.FindSignal("client_b")), 2.0);
+}
+
+TEST_F(StreamTest, LateTuplesDroppedByDelayPolicy) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  StreamClient client(&loop_);
+  ASSERT_TRUE(client.Connect(server.port()));
+  scope_.SetDelayMs(10);
+  scope_.StartPolling();
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+  loop_.RunForMs(100);
+
+  // A tuple stamped far in the past misses its display deadline.
+  client.SendTuple({scope_.NowMs() - 500, 9.0, "late"});
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 1; }));
+  EXPECT_TRUE(RunUntil([&]() { return server.stats().dropped_late >= 1; }));
+}
+
+TEST_F(StreamTest, MalformedLinesCounted) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  Socket raw = Socket::Connect(server.port());
+  ASSERT_TRUE(raw.valid());
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+  const std::string junk = "this is not a tuple\n12 ok_missing_value\n";
+  raw.Write(junk.data(), junk.size());
+  EXPECT_TRUE(RunUntil([&]() { return server.stats().parse_errors >= 2; }));
+  EXPECT_EQ(server.stats().tuples, 0);
+}
+
+TEST_F(StreamTest, ClientDisconnectHandled) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  {
+    StreamClient client(&loop_);
+    ASSERT_TRUE(client.Connect(server.port()));
+    ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+    client.SendTuple({0, 1.0, "x"});
+    RunUntil([&]() { return server.stats().tuples >= 1; });
+  }  // client closes
+  EXPECT_TRUE(RunUntil([&]() { return server.client_count() == 0; }));
+  EXPECT_EQ(server.stats().disconnections, 1);
+}
+
+TEST_F(StreamTest, PartialLinesReassembled) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  Socket raw = Socket::Connect(server.port());
+  ASSERT_TRUE(raw.valid());
+  scope_.StartPolling();
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+  // Send one tuple split across three writes.
+  std::string part1 = "12";
+  std::string part2 = "3 7.5 spl";
+  std::string part3 = "it\n";
+  raw.Write(part1.data(), part1.size());
+  loop_.RunForMs(5);
+  raw.Write(part2.data(), part2.size());
+  loop_.RunForMs(5);
+  raw.Write(part3.data(), part3.size());
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 1; }));
+  EXPECT_NE(scope_.FindSignal("split"), 0);
+}
+
+TEST_F(StreamTest, ClientStatsTrackSends) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  StreamClient client(&loop_);
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(client.SendTuple({i, static_cast<double>(i), "s"}));
+  }
+  EXPECT_EQ(client.stats().tuples_sent, 10);
+  EXPECT_TRUE(RunUntil([&]() { return server.stats().tuples >= 10; }));
+  EXPECT_GT(client.stats().bytes_sent, 0);
+  EXPECT_EQ(client.pending_bytes(), 0u);
+}
+
+TEST_F(StreamTest, SendWithoutConnectFails) {
+  StreamClient client(&loop_);
+  EXPECT_FALSE(client.SendTuple({0, 1.0, "x"}));
+  EXPECT_EQ(client.stats().tuples_dropped, 1);
+}
+
+TEST_F(StreamTest, ServerCloseStopsAccepting) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  uint16_t port = server.port();
+  server.Close();
+  StreamClient client(&loop_);
+  client.Connect(port);
+  loop_.RunForMs(50);
+  EXPECT_EQ(server.client_count(), 0u);
+}
+
+
+TEST_F(StreamTest, FanOutToMultipleScopes) {
+  // "It then displays these BUFFER signals to one or more scopes."
+  Scope second(&loop_, {.name = "second", .width = 64});
+  second.SetPollingMode(5);
+  StreamServer server(&loop_, &scope_);
+  EXPECT_TRUE(server.AddScope(&second));
+  EXPECT_FALSE(server.AddScope(&second));  // duplicate
+  EXPECT_FALSE(server.AddScope(nullptr));
+  EXPECT_EQ(server.scope_count(), 2u);
+
+  ASSERT_TRUE(server.Listen(0));
+  StreamClient client(&loop_);
+  ASSERT_TRUE(client.Connect(server.port()));
+  scope_.StartPolling();
+  second.StartPolling();
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+
+  client.SendTuple({scope_.NowMs(), 7.0, "shared"});
+  ASSERT_TRUE(RunUntil([&]() {
+    SignalId a = scope_.FindSignal("shared");
+    SignalId b = second.FindSignal("shared");
+    return a != 0 && b != 0 && scope_.LatestValue(a).has_value() &&
+           second.LatestValue(b).has_value();
+  }));
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(scope_.FindSignal("shared")), 7.0);
+  EXPECT_DOUBLE_EQ(*second.LatestValue(second.FindSignal("shared")), 7.0);
+
+  EXPECT_TRUE(server.RemoveScope(&second));
+  EXPECT_FALSE(server.RemoveScope(&second));
+  EXPECT_EQ(server.scope_count(), 1u);
+}
+
+}  // namespace
+}  // namespace gscope

@@ -1,0 +1,150 @@
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace gscope {
+namespace {
+
+TEST(TraceTest, EmptyAtStart) {
+  Trace trace(8);
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.capacity(), 8u);
+  EXPECT_FALSE(trace.At(0).valid);
+}
+
+TEST(TraceTest, PushNewestFirstAccess) {
+  Trace trace(8);
+  trace.Push(1.0);
+  trace.Push(2.0);
+  trace.Push(3.0);
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.At(0).value, 3.0);
+  EXPECT_DOUBLE_EQ(trace.At(1).value, 2.0);
+  EXPECT_DOUBLE_EQ(trace.At(2).value, 1.0);
+  EXPECT_FALSE(trace.At(3).valid);
+}
+
+TEST(TraceTest, WrapsAtCapacity) {
+  Trace trace(4);
+  for (int i = 1; i <= 6; ++i) {
+    trace.Push(i);
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_DOUBLE_EQ(trace.At(0).value, 6.0);
+  EXPECT_DOUBLE_EQ(trace.At(3).value, 3.0);
+}
+
+TEST(TraceTest, LatestValue) {
+  Trace trace(4);
+  EXPECT_DOUBLE_EQ(trace.latest(), 0.0);
+  trace.Push(9.0);
+  EXPECT_DOUBLE_EQ(trace.latest(), 9.0);
+}
+
+TEST(TraceTest, PushWithLossInsertsHoldColumns) {
+  // Section 4.5: lost timeouts advance the refresh; missing columns repeat
+  // the previous value and are flagged synthesized.
+  Trace trace(8);
+  trace.Push(10.0);
+  trace.PushWithLoss(20.0, 2);
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_DOUBLE_EQ(trace.At(0).value, 20.0);
+  EXPECT_FALSE(trace.At(0).synthesized);
+  EXPECT_DOUBLE_EQ(trace.At(1).value, 10.0);
+  EXPECT_TRUE(trace.At(1).synthesized);
+  EXPECT_DOUBLE_EQ(trace.At(2).value, 10.0);
+  EXPECT_TRUE(trace.At(2).synthesized);
+  EXPECT_DOUBLE_EQ(trace.At(3).value, 10.0);
+  EXPECT_FALSE(trace.At(3).synthesized);
+}
+
+TEST(TraceTest, PushWithLossOnEmptyHoldsNewValue) {
+  Trace trace(8);
+  trace.PushWithLoss(5.0, 3);
+  EXPECT_EQ(trace.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(trace.At(i).value, 5.0);
+  }
+}
+
+TEST(TraceTest, LossLargerThanCapacityIsCapped) {
+  Trace trace(4);
+  trace.Push(1.0);
+  trace.PushWithLoss(2.0, 1000);
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_DOUBLE_EQ(trace.At(0).value, 2.0);
+  EXPECT_TRUE(trace.At(1).synthesized);
+}
+
+TEST(TraceTest, SynthesizedCountTracksLoss) {
+  Trace trace(16);
+  trace.Push(1.0);
+  trace.PushWithLoss(2.0, 3);
+  trace.PushWithLoss(3.0, 2);
+  EXPECT_EQ(trace.synthesized_count(), 5);
+  EXPECT_EQ(trace.total_pushed(), 8);  // 1 + (3 hold + 1) + (2 hold + 1)
+}
+
+TEST(TraceTest, ResetClears) {
+  Trace trace(4);
+  trace.Push(1.0);
+  trace.Push(2.0);
+  trace.Reset();
+  EXPECT_TRUE(trace.empty());
+  EXPECT_FALSE(trace.At(0).valid);
+}
+
+TEST(TraceTest, SnapshotOldestToNewest) {
+  Trace trace(4);
+  trace.Push(1.0);
+  trace.Push(2.0);
+  trace.Push(3.0);
+  auto snapshot = trace.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_DOUBLE_EQ(snapshot[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot[2].value, 3.0);
+}
+
+TEST(TraceTest, ValuesSkipsNothingWhenAllValid) {
+  Trace trace(4);
+  trace.Push(1.0);
+  trace.Push(2.0);
+  auto values = trace.Values();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], 1.0);
+  EXPECT_DOUBLE_EQ(values[1], 2.0);
+}
+
+TEST(TraceTest, ZeroCapacityClampedToOne) {
+  Trace trace(0);
+  EXPECT_EQ(trace.capacity(), 1u);
+  trace.Push(5.0);
+  EXPECT_DOUBLE_EQ(trace.latest(), 5.0);
+}
+
+// Property: after any sequence of pushes, size() <= capacity and At(0) is
+// always the most recently pushed value.
+class TraceRingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceRingProperty, InvariantsHold) {
+  int capacity = GetParam();
+  Trace trace(static_cast<size_t>(capacity));
+  for (int i = 0; i < capacity * 3 + 7; ++i) {
+    double v = i * 1.5;
+    if (i % 5 == 4) {
+      trace.PushWithLoss(v, i % 3);
+    } else {
+      trace.Push(v);
+    }
+    EXPECT_LE(trace.size(), trace.capacity());
+    EXPECT_DOUBLE_EQ(trace.At(0).value, v);
+    EXPECT_FALSE(trace.At(0).synthesized);
+    EXPECT_DOUBLE_EQ(trace.latest(), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, TraceRingProperty, ::testing::Values(1, 2, 3, 8, 64, 512));
+
+}  // namespace
+}  // namespace gscope

@@ -1,0 +1,127 @@
+#include "core/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace gscope {
+namespace {
+
+TEST(TupleTest, FormatThreeFields) {
+  Tuple t{1500, 42.5, "CWND"};
+  EXPECT_EQ(FormatTuple(t), "1500 42.5 CWND\n");
+}
+
+TEST(TupleTest, FormatTwoFieldsWhenNameEmpty) {
+  // Section 3.3: "if there is only one signal, then the third quantity may
+  // not exist.  In that case, signals are simply time-value tuples."
+  Tuple t{1500, 42.5, ""};
+  EXPECT_EQ(FormatTuple(t), "1500 42.5\n");
+}
+
+TEST(TupleTest, ParseThreeFields) {
+  auto t = ParseTuple("1500 42.5 CWND");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->time_ms, 1500);
+  EXPECT_DOUBLE_EQ(t->value, 42.5);
+  EXPECT_EQ(t->name, "CWND");
+}
+
+TEST(TupleTest, ParseTwoFields) {
+  auto t = ParseTuple("99 -7");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->time_ms, 99);
+  EXPECT_DOUBLE_EQ(t->value, -7.0);
+  EXPECT_TRUE(t->name.empty());
+}
+
+TEST(TupleTest, ParseToleratesWhitespace) {
+  auto t = ParseTuple("  12\t 3.5   sig  \r");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->time_ms, 12);
+  EXPECT_DOUBLE_EQ(t->value, 3.5);
+  EXPECT_EQ(t->name, "sig");
+}
+
+TEST(TupleTest, ParseScientificNotation) {
+  auto t = ParseTuple("5 1.5e3 bw");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(t->value, 1500.0);
+}
+
+TEST(TupleTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseTuple("justonefield").has_value());
+  EXPECT_FALSE(ParseTuple("abc 1.0 name").has_value());
+  EXPECT_FALSE(ParseTuple("10 notanumber name").has_value());
+  EXPECT_FALSE(ParseTuple("10").has_value());
+  EXPECT_FALSE(ParseTuple("10 1.0 name extra").has_value());
+  EXPECT_FALSE(ParseTuple("1.5 2.0 frac_time").has_value());  // time must be integral
+}
+
+TEST(TupleTest, ParseRejectsEmptyAndComments) {
+  EXPECT_FALSE(ParseTuple("").has_value());
+  EXPECT_FALSE(ParseTuple("   ").has_value());
+  EXPECT_FALSE(ParseTuple("# comment line").has_value());
+}
+
+TEST(TupleTest, IsIgnorableLine) {
+  EXPECT_TRUE(IsIgnorableLine(""));
+  EXPECT_TRUE(IsIgnorableLine("   \t"));
+  EXPECT_TRUE(IsIgnorableLine("# anything"));
+  EXPECT_TRUE(IsIgnorableLine("  # indented comment"));
+  EXPECT_FALSE(IsIgnorableLine("1 2 x"));
+  EXPECT_FALSE(IsIgnorableLine("garbage"));
+}
+
+TEST(TupleTest, NegativeTimeParses) {
+  // Relative times before a reference point are legal in the codec; order
+  // enforcement happens in TupleReader/Writer.
+  auto t = ParseTuple("-5 1.0 x");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->time_ms, -5);
+}
+
+TEST(TupleTest, LongNameRoundTrip) {
+  Tuple t{1, 2.0, std::string(300, 'n')};
+  std::string wire = FormatTuple(t);
+  auto parsed = ParseTuple(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, t);
+}
+
+TEST(TupleTest, EqualityOperator) {
+  Tuple a{1, 2.0, "x"};
+  Tuple b{1, 2.0, "x"};
+  Tuple c{1, 2.5, "x"};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+// Property: format -> parse is the identity for representable tuples.
+struct RoundTripCase {
+  int64_t time_ms;
+  double value;
+  const char* name;
+};
+
+class TupleRoundTripProperty : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(TupleRoundTripProperty, FormatParseIdentity) {
+  const RoundTripCase& c = GetParam();
+  Tuple t{c.time_ms, c.value, c.name};
+  auto parsed = ParseTuple(FormatTuple(t));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->time_ms, t.time_ms);
+  EXPECT_DOUBLE_EQ(parsed->value, t.value);
+  EXPECT_EQ(parsed->name, t.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TupleRoundTripProperty,
+    ::testing::Values(RoundTripCase{0, 0.0, ""}, RoundTripCase{1, -1.0, "a"},
+                      RoundTripCase{9223372036854775807LL, 1e300, "big"},
+                      RoundTripCase{-42, 3.141592653589793, "pi"},
+                      RoundTripCase{1000, 0.1 + 0.2, "float_dust"},
+                      RoundTripCase{77, -0.0, "negzero"},
+                      RoundTripCase{123456789, 6.02214076e23, "avogadro"}));
+
+}  // namespace
+}  // namespace gscope

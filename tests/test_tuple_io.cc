@@ -1,0 +1,162 @@
+#include "core/tuple_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace gscope {
+namespace {
+
+class TupleIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "tuple_io_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".dat";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(TupleIoTest, WriteThenReadBack) {
+  TupleWriter writer;
+  ASSERT_TRUE(writer.Open(path_));
+  writer.Comment("test recording");
+  EXPECT_TRUE(writer.Write({0, 1.0, "a"}));
+  EXPECT_TRUE(writer.Write({10, 2.0, "b"}));
+  EXPECT_TRUE(writer.Write({20, 3.0, "a"}));
+  writer.Close();
+  EXPECT_EQ(writer.written(), 3);
+
+  TupleReader reader;
+  ASSERT_TRUE(reader.Open(path_));
+  auto all = reader.ReadAll();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], (Tuple{0, 1.0, "a"}));
+  EXPECT_EQ(all[2], (Tuple{20, 3.0, "a"}));
+  EXPECT_EQ(reader.malformed(), 0);
+}
+
+TEST_F(TupleIoTest, WriterRejectsTimeGoingBackwards) {
+  TupleWriter writer;
+  ASSERT_TRUE(writer.Open(path_));
+  EXPECT_TRUE(writer.Write({100, 1.0, "x"}));
+  EXPECT_FALSE(writer.Write({50, 2.0, "x"}));
+  EXPECT_TRUE(writer.Write({100, 3.0, "x"}));  // equal time is legal
+  EXPECT_EQ(writer.written(), 2);
+  EXPECT_EQ(writer.rejected(), 1);
+}
+
+TEST_F(TupleIoTest, WriterClosedRejects) {
+  TupleWriter writer;
+  EXPECT_FALSE(writer.Write({0, 1.0, ""}));
+  EXPECT_EQ(writer.rejected(), 1);
+}
+
+TEST_F(TupleIoTest, ReaderSkipsCommentsAndBlankLines) {
+  std::ofstream out(path_);
+  out << "# header\n\n10 1.0 a\n\n# middle\n20 2.0 b\n";
+  out.close();
+
+  TupleReader reader;
+  ASSERT_TRUE(reader.Open(path_));
+  auto all = reader.ReadAll();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(reader.malformed(), 0);
+}
+
+TEST_F(TupleIoTest, ReaderCountsMalformedAndContinues) {
+  std::ofstream out(path_);
+  out << "10 1.0 a\nthis is garbage\n20 2.0 b\nxx yy zz\n30 3.0 c\n";
+  out.close();
+
+  TupleReader reader;
+  ASSERT_TRUE(reader.Open(path_));
+  auto all = reader.ReadAll();
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_EQ(reader.malformed(), 2);
+}
+
+TEST_F(TupleIoTest, ReaderSkipsOutOfOrderTuples) {
+  std::ofstream out(path_);
+  out << "10 1.0 a\n5 9.0 late\n20 2.0 b\n";
+  out.close();
+
+  TupleReader reader;
+  ASSERT_TRUE(reader.Open(path_));
+  auto all = reader.ReadAll();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].name, "a");
+  EXPECT_EQ(all[1].name, "b");
+  EXPECT_EQ(reader.out_of_order(), 1);
+}
+
+TEST_F(TupleIoTest, OpenMissingFileFails) {
+  TupleReader reader;
+  EXPECT_FALSE(reader.Open("/nonexistent/dir/file.dat"));
+  TupleWriter writer;
+  EXPECT_FALSE(writer.Open("/nonexistent/dir/file.dat"));
+}
+
+TEST_F(TupleIoTest, NextReturnsNulloptAtEof) {
+  std::ofstream out(path_);
+  out << "1 1.0 a\n";
+  out.close();
+
+  TupleReader reader;
+  ASSERT_TRUE(reader.Open(path_));
+  EXPECT_TRUE(reader.Next().has_value());
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_FALSE(reader.Next().has_value());  // stays at EOF
+}
+
+TEST_F(TupleIoTest, TwoFieldFormRoundTrips) {
+  TupleWriter writer;
+  ASSERT_TRUE(writer.Open(path_));
+  writer.Write({5, 7.5, ""});
+  writer.Close();
+
+  TupleReader reader;
+  ASSERT_TRUE(reader.Open(path_));
+  auto t = reader.Next();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->name.empty());
+  EXPECT_DOUBLE_EQ(t->value, 7.5);
+}
+
+TEST_F(TupleIoTest, ReopenResetsCounters) {
+  std::ofstream out(path_);
+  out << "1 1.0\nbad\n";
+  out.close();
+
+  TupleReader reader;
+  ASSERT_TRUE(reader.Open(path_));
+  reader.ReadAll();
+  EXPECT_EQ(reader.malformed(), 1);
+  ASSERT_TRUE(reader.Open(path_));
+  EXPECT_EQ(reader.malformed(), 0);
+  EXPECT_EQ(reader.parsed(), 0);
+  EXPECT_EQ(reader.ReadAll().size(), 1u);
+}
+
+TEST_F(TupleIoTest, LargeRecordingRoundTrips) {
+  TupleWriter writer;
+  ASSERT_TRUE(writer.Open(path_));
+  constexpr int kCount = 5000;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(writer.Write({i, i * 0.5, i % 2 == 0 ? "even" : "odd"}));
+  }
+  writer.Close();
+
+  TupleReader reader;
+  ASSERT_TRUE(reader.Open(path_));
+  auto all = reader.ReadAll();
+  ASSERT_EQ(all.size(), static_cast<size_t>(kCount));
+  EXPECT_EQ(all[4999].time_ms, 4999);
+  EXPECT_DOUBLE_EQ(all[4999].value, 4999 * 0.5);
+}
+
+}  // namespace
+}  // namespace gscope

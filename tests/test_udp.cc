@@ -1,0 +1,107 @@
+#include "netsim/udp.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/mxtraf.h"
+
+namespace gscope {
+namespace {
+
+TEST(UdpTest, PacesAtConfiguredRate) {
+  Simulator sim;
+  int64_t delivered = 0;
+  UdpSource source(&sim, 1, {.rate_bps = 800'000.0, .payload = 1000},
+                   [&delivered](Packet) { ++delivered; });
+  source.Start();
+  sim.RunForMs(1000);
+  // 800 kbit/s at 8000 bits per datagram = 100 datagrams/s.
+  EXPECT_NEAR(static_cast<double>(delivered), 100.0, 2.0);
+  EXPECT_EQ(source.stats().datagrams_sent, delivered);
+  EXPECT_EQ(source.stats().bytes_sent, delivered * 1000);
+}
+
+TEST(UdpTest, StopHaltsTraffic) {
+  Simulator sim;
+  int64_t delivered = 0;
+  UdpSource source(&sim, 1, {}, [&delivered](Packet) { ++delivered; });
+  source.Start();
+  sim.RunForMs(100);
+  int64_t before = delivered;
+  EXPECT_GT(before, 0);
+  source.Stop();
+  sim.RunForMs(500);
+  EXPECT_EQ(delivered, before);
+}
+
+TEST(UdpTest, SetRateRepaces) {
+  Simulator sim;
+  int64_t delivered = 0;
+  UdpSource source(&sim, 1, {.rate_bps = 80'000.0, .payload = 1000},
+                   [&delivered](Packet) { ++delivered; });
+  source.Start();
+  sim.RunForMs(1000);  // ~10 datagrams
+  int64_t slow = delivered;
+  source.SetRate(800'000.0);
+  sim.RunForMs(1000);  // ~100 more
+  int64_t fast = delivered - slow;
+  EXPECT_GT(fast, slow * 5);
+}
+
+TEST(UdpTest, PacketsCarryUdpHeader) {
+  Simulator sim;
+  Packet seen;
+  UdpSource source(&sim, 7, {}, [&seen](Packet p) { seen = p; });
+  source.Start();
+  sim.RunForMs(100);
+  EXPECT_EQ(seen.flow_id, 7);
+  EXPECT_EQ(seen.header, 28);
+  EXPECT_FALSE(seen.is_ack);
+}
+
+TEST(UdpTest, MxtrafUdpMixSqueezesTcp) {
+  // The mxtraf pitch: "saturate a network with a tunable mix of TCP and UDP
+  // traffic."  Unresponsive UDP load must reduce TCP goodput.
+  auto run = [](double udp_bps) {
+    Simulator sim;
+    Mxtraf traf(&sim, MxtrafConfig{});
+    traf.SetElephants(2);
+    if (udp_bps > 0) {
+      traf.SetUdpRate(udp_bps);
+    }
+    sim.RunForMs(10'000);
+    return traf.TotalBytesAcked();
+  };
+  int64_t without_udp = run(0);
+  int64_t with_udp = run(1'500'000.0);  // 75% of the 2 Mbit/s bottleneck
+  EXPECT_LT(with_udp, without_udp * 3 / 4);
+}
+
+TEST(UdpTest, MxtrafUdpDeliveredCounted) {
+  Simulator sim;
+  Mxtraf traf(&sim, MxtrafConfig{});
+  traf.SetUdpRate(400'000.0);
+  sim.RunForMs(1000);
+  EXPECT_GT(traf.udp_delivered(), 0);
+  ASSERT_NE(traf.udp_stats(), nullptr);
+  EXPECT_GE(traf.udp_stats()->datagrams_sent, traf.udp_delivered());
+  EXPECT_DOUBLE_EQ(traf.udp_rate_bps(), 400'000.0);
+}
+
+TEST(UdpTest, MxtrafUdpRateZeroStops) {
+  Simulator sim;
+  Mxtraf traf(&sim, MxtrafConfig{});
+  traf.SetUdpRate(400'000.0);
+  sim.RunForMs(500);
+  int64_t before = traf.udp_delivered();
+  traf.SetUdpRate(0.0);
+  sim.RunForMs(1000);
+  // In-flight datagrams may still land; no new ones are sent.
+  EXPECT_LE(traf.udp_delivered() - before, 3);
+  // And it restarts.
+  traf.SetUdpRate(400'000.0);
+  sim.RunForMs(500);
+  EXPECT_GT(traf.udp_delivered(), before + 10);
+}
+
+}  // namespace
+}  // namespace gscope

@@ -1,0 +1,83 @@
+#include "freq/window.h"
+
+#include <gtest/gtest.h>
+
+namespace gscope {
+namespace {
+
+TEST(WindowTest, RectangularIsUnity) {
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(WindowCoefficient(WindowKind::kRectangular, i, 16), 1.0);
+  }
+}
+
+TEST(WindowTest, HannEndpointsAreZero) {
+  EXPECT_NEAR(WindowCoefficient(WindowKind::kHann, 0, 32), 0.0, 1e-12);
+  EXPECT_NEAR(WindowCoefficient(WindowKind::kHann, 31, 32), 0.0, 1e-12);
+}
+
+TEST(WindowTest, HannPeaksAtCenter) {
+  EXPECT_NEAR(WindowCoefficient(WindowKind::kHann, 16, 33), 1.0, 1e-12);
+}
+
+TEST(WindowTest, HammingEndpointsNonZero) {
+  double w0 = WindowCoefficient(WindowKind::kHamming, 0, 32);
+  EXPECT_NEAR(w0, 0.08, 1e-9);
+}
+
+TEST(WindowTest, BlackmanEndpointsNearZero) {
+  EXPECT_NEAR(WindowCoefficient(WindowKind::kBlackman, 0, 32), 0.0, 1e-9);
+}
+
+TEST(WindowTest, DegenerateLengths) {
+  EXPECT_DOUBLE_EQ(WindowCoefficient(WindowKind::kHann, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(WindowCoefficient(WindowKind::kHann, 0, 1), 1.0);
+}
+
+TEST(WindowTest, ApplyWindowMultiplies) {
+  std::vector<double> input = {2.0, 2.0, 2.0, 2.0};
+  auto out = ApplyWindow(input, WindowKind::kHann);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_NEAR(out[0], 0.0, 1e-12);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(out[i], input[i] * WindowCoefficient(WindowKind::kHann, i, 4));
+  }
+}
+
+TEST(WindowTest, WindowSumMatchesManualSum) {
+  double manual = 0.0;
+  for (size_t i = 0; i < 64; ++i) {
+    manual += WindowCoefficient(WindowKind::kHamming, i, 64);
+  }
+  EXPECT_DOUBLE_EQ(WindowSum(WindowKind::kHamming, 64), manual);
+}
+
+// Property: every window coefficient lies in [0, 1] for all kinds and sizes.
+class WindowRangeProperty
+    : public ::testing::TestWithParam<std::tuple<WindowKind, size_t>> {};
+
+TEST_P(WindowRangeProperty, CoefficientsInUnitRange) {
+  auto [kind, n] = GetParam();
+  for (size_t i = 0; i < n; ++i) {
+    double w = WindowCoefficient(kind, i, n);
+    EXPECT_GE(w, -1e-12);
+    EXPECT_LE(w, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(WindowRangeProperty, SymmetricAroundCenter) {
+  auto [kind, n] = GetParam();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(WindowCoefficient(kind, i, n), WindowCoefficient(kind, n - 1 - i, n), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WindowRangeProperty,
+    ::testing::Combine(::testing::Values(WindowKind::kRectangular, WindowKind::kHann,
+                                         WindowKind::kHamming, WindowKind::kBlackman),
+                       ::testing::Values(size_t{2}, size_t{3}, size_t{16}, size_t{65},
+                                         size_t{256})));
+
+}  // namespace
+}  // namespace gscope
