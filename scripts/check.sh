@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a Release-mode bench smoke, so the ingest fast paths
+# cannot silently rot.  Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+echo "--- bench smoke: tuple codec ---"
+"$build_dir/bench_tuple_codec" --benchmark_min_time=0.05
+
+echo "--- bench smoke: net stream ---"
+"$build_dir/bench_net_stream"
+
+echo "check.sh: OK"

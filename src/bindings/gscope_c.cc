@@ -167,9 +167,16 @@ int gscope_push(gscope_ctx* ctx, const char* signal_name, int64_t time_ms, doubl
   if (!Valid(ctx)) {
     return kErrBadArg;
   }
-  return ctx->scope->PushBuffered(signal_name == nullptr ? "" : signal_name, time_ms, value)
-             ? 1
-             : 0;
+  std::string_view name = signal_name == nullptr ? std::string_view() : signal_name;
+  return ctx->scope->PushBuffered(name, time_ms, value) ? 1 : 0;
+}
+
+int gscope_push_id(gscope_ctx* ctx, int signal_id, int64_t time_ms, double value) {
+  if (!Valid(ctx) || signal_id <= 0) {
+    return kErrBadArg;
+  }
+  return ctx->scope->PushBuffered(static_cast<gscope::SignalId>(signal_id), time_ms, value) ? 1
+                                                                                            : 0;
 }
 
 int gscope_set_zoom(gscope_ctx* ctx, double zoom) {

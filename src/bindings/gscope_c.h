@@ -61,6 +61,10 @@ void gscope_stop_polling(gscope_ctx* ctx);
  * signal).  Returns 1 if accepted, 0 if dropped late, negative on error. */
 int gscope_push(gscope_ctx* ctx, const char* signal_name, int64_t time_ms, double value);
 
+/* Allocation-free fast path: push by the id returned from
+ * gscope_signal_buffer / gscope_find_signal.  Same return convention. */
+int gscope_push_id(gscope_ctx* ctx, int signal_id, int64_t time_ms, double value);
+
 /* -- display parameters ----------------------------------------------------- */
 
 int gscope_set_zoom(gscope_ctx* ctx, double zoom);

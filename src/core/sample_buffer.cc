@@ -1,57 +1,331 @@
 #include "core/sample_buffer.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace gscope {
+namespace {
 
-bool SampleBuffer::Push(const Tuple& sample, int64_t now_ms, int64_t delay_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (sample.time_ms + delay_ms < now_ms) {
-    ++stats_.dropped_late;
+// Below this capacity a single shard keeps overflow eviction globally
+// oldest-first (and the sharding would not buy contention relief anyway).
+constexpr size_t kShardingThreshold = 4096;
+constexpr size_t kDefaultShards = 8;
+constexpr size_t kMaxShards = kDefaultShards;
+
+size_t PickShardCount(size_t max_samples) {
+  return max_samples < kShardingThreshold ? 1 : kDefaultShards;
+}
+
+}  // namespace
+
+SampleBuffer::SampleBuffer(size_t max_samples)
+    : max_samples_(max_samples == 0 ? 1 : max_samples) {
+  shards_ = std::vector<Shard>(PickShardCount(max_samples_));
+  fair_share_ = std::max<size_t>(16, max_samples_ / shards_.size());
+}
+
+void SampleBuffer::AppendLocked(Shard& shard, const Sample& sample, uint64_t seq,
+                                int64_t* total_delta) {
+  if (shard.count == shard.ring.size()) {
+    if (shard.ring.size() < max_samples_) {
+      // Grow geometrically up to the full buffer capacity (any one signal
+      // may use all of it) and re-linearize; warm-up only, never steady
+      // state.
+      size_t new_size = std::min(max_samples_, std::max<size_t>(16, shard.ring.size() * 2));
+      std::vector<Sample> bigger(new_size);
+      for (size_t i = 0; i < shard.count; ++i) {
+        bigger[i] = shard.ring[(shard.head + i) % shard.ring.size()];
+      }
+      shard.ring.swap(bigger);
+      shard.head = 0;
+    } else {
+      // The shard alone holds the whole capacity: evict its (= the global)
+      // oldest in place.
+      shard.head = (shard.head + 1) % shard.ring.size();
+      --shard.count;
+      ++shard.stats.dropped_overflow;
+      --*total_delta;
+      // min_time_ms may now be stale (too small); that only costs a wasted
+      // drain scan, never a missed sample.
+    }
+  }
+  Sample& slot = shard.ring[(shard.head + shard.count) % shard.ring.size()];
+  slot = sample;
+  slot.seq = seq;
+  ++shard.count;
+  shard.min_time_ms = std::min(shard.min_time_ms, sample.time_ms);
+  ++shard.stats.pushed;
+  ++*total_delta;
+}
+
+bool SampleBuffer::EvictGlobalOldest() {
+  // Pick the shard whose oldest entry is globally oldest by (time, arrival)
+  // — the closest shard-local analogue of the sorted deque's pop_front.
+  size_t victim = shards_.size();
+  int64_t best_time = 0;
+  uint64_t best_seq = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.count == 0) {
+      continue;
+    }
+    const Sample& head = shard.ring[shard.head];
+    if (victim == shards_.size() || head.time_ms < best_time ||
+        (head.time_ms == best_time && head.seq < best_seq)) {
+      victim = s;
+      best_time = head.time_ms;
+      best_seq = head.seq;
+    }
+  }
+  if (victim == shards_.size()) {
     return false;
   }
-  // Streams are expected in increasing time order, so the common case is an
-  // append; tolerate mild reordering across producers with a bounded search.
-  if (samples_.empty() || samples_.back().time_ms <= sample.time_ms) {
-    samples_.push_back(sample);
-  } else {
-    auto it = std::upper_bound(
-        samples_.begin(), samples_.end(), sample,
-        [](const Tuple& a, const Tuple& b) { return a.time_ms < b.time_ms; });
-    samples_.insert(it, sample);
+  Shard& shard = shards_[victim];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.count == 0) {
+    return true;  // raced with a drain; caller re-checks the total
   }
-  ++stats_.pushed;
-  if (samples_.size() > max_samples_) {
-    samples_.pop_front();
-    ++stats_.dropped_overflow;
-  }
+  shard.head = (shard.head + 1) % shard.ring.size();
+  --shard.count;
+  ++shard.stats.dropped_overflow;
+  total_count_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
-std::vector<Tuple> SampleBuffer::DrainDisplayable(int64_t now_ms, int64_t delay_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<Tuple> out;
-  while (!samples_.empty() && samples_.front().time_ms + delay_ms <= now_ms) {
-    out.push_back(std::move(samples_.front()));
-    samples_.pop_front();
+void SampleBuffer::TrimToCapacity() {
+  while (total_count_.load(std::memory_order_relaxed) > static_cast<int64_t>(max_samples_)) {
+    if (!EvictGlobalOldest()) {
+      break;
+    }
   }
-  stats_.drained += static_cast<int64_t>(out.size());
+}
+
+bool SampleBuffer::Push(SampleKey key, int64_t time_ms, double value, int64_t now_ms,
+                        int64_t delay_ms) {
+  Shard& shard = ShardFor(key);
+  int64_t delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (time_ms + delay_ms < now_ms) {
+      ++shard.stats.dropped_late;
+      return false;
+    }
+    Sample sample{time_ms, value, key, 0};
+    AppendLocked(shard, sample, next_seq_.fetch_add(1, std::memory_order_relaxed), &delta);
+  }
+  if (delta != 0) {
+    total_count_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  TrimToCapacity();
+  return true;
+}
+
+size_t SampleBuffer::PushBatch(const Sample* samples, size_t count, int64_t now_ms,
+                               int64_t delay_ms) {
+  if (count == 0) {
+    return 0;
+  }
+  uint64_t seq0 = next_seq_.fetch_add(count, std::memory_order_relaxed);
+  size_t shard_count = shards_.size();
+  size_t accepted = 0;
+  // Which shards the batch actually touches (often one): lock and scan only
+  // those, one locked pass per touched shard instead of `count` lock
+  // round-trips.
+  uint32_t touched = 0;
+  for (size_t i = 0; i < count; ++i) {
+    touched |= 1u << (samples[i].key % shard_count);
+  }
+  for (size_t s = 0; s < shard_count; ++s) {
+    if ((touched & (1u << s)) == 0) {
+      continue;
+    }
+    Shard& shard = shards_[s];
+    int64_t delta = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (size_t i = 0; i < count; ++i) {
+        const Sample& in = samples[i];
+        if (in.key % shard_count != s) {
+          continue;
+        }
+        if (in.time_ms + delay_ms < now_ms) {
+          ++shard.stats.dropped_late;
+          continue;
+        }
+        AppendLocked(shard, in, seq0 + i, &delta);
+        ++accepted;
+      }
+    }
+    if (delta != 0) {
+      total_count_.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+  TrimToCapacity();
+  return accepted;
+}
+
+size_t SampleBuffer::DrainDisplayableInto(int64_t now_ms, int64_t delay_ms,
+                                          std::vector<Sample>* out) {
+  // One drain at a time (the scope's polling tick); producers keep pushing
+  // concurrently under the shard locks.
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  size_t before = out->size();
+  // Each shard contributes one run of samples in push order; a run is
+  // already (time, seq)-sorted whenever its producers stamped in
+  // non-decreasing time order (the common streaming case).
+  size_t run_begin[kMaxShards];
+  size_t run_end[kMaxShards];
+  size_t runs = 0;
+  bool runs_sorted = true;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.count == 0 || shard.min_time_ms + delay_ms > now_ms) {
+      continue;  // nothing displayable in this shard
+    }
+    size_t cap = shard.ring.size();
+    shard.retained_scratch.clear();
+    int64_t new_min = std::numeric_limits<int64_t>::max();
+    int64_t prev_time = std::numeric_limits<int64_t>::min();
+    size_t moved = 0;
+    for (size_t i = 0; i < shard.count; ++i) {
+      const Sample& s = shard.ring[(shard.head + i) % cap];
+      if (s.time_ms + delay_ms <= now_ms) {
+        runs_sorted = runs_sorted && s.time_ms >= prev_time;
+        prev_time = s.time_ms;
+        out->push_back(s);
+        ++moved;
+      } else {
+        shard.retained_scratch.push_back(s);
+        new_min = std::min(new_min, s.time_ms);
+      }
+    }
+    if (moved == 0) {
+      shard.min_time_ms = new_min;  // stale min from an eviction; refresh
+      continue;
+    }
+    run_begin[runs] = out->size() - moved;
+    run_end[runs] = out->size();
+    ++runs;
+    std::copy(shard.retained_scratch.begin(), shard.retained_scratch.end(), shard.ring.begin());
+    shard.head = 0;
+    shard.count = shard.retained_scratch.size();
+    shard.min_time_ms = new_min;
+    shard.stats.drained += static_cast<int64_t>(moved);
+    total_count_.fetch_sub(static_cast<int64_t>(moved), std::memory_order_relaxed);
+    if (shard.count == 0 && shard.ring.size() > fair_share_) {
+      // A hot key grew this ring toward the full buffer capacity; now that
+      // the shard is empty, release the hoard so the worst-case retained
+      // memory stays near max_samples rather than shards * max_samples.  A
+      // shard oscillating within its fair share never reallocates.
+      shard.ring.clear();
+      shard.ring.shrink_to_fit();
+    }
+  }
+  auto less = [](const Sample& a, const Sample& b) {
+    return a.time_ms != b.time_ms ? a.time_ms < b.time_ms : a.seq < b.seq;
+  };
+  if (runs > 1 && runs_sorted) {
+    // Merge the sorted runs (cheaper and more cache-friendly than a full
+    // sort) through the reusable scratch.
+    merge_scratch_.clear();
+    Sample* base = out->data();
+    while (true) {
+      size_t best = runs;
+      for (size_t r = 0; r < runs; ++r) {
+        if (run_begin[r] < run_end[r] &&
+            (best == runs || less(base[run_begin[r]], base[run_begin[best]]))) {
+          best = r;
+        }
+      }
+      if (best == runs) {
+        break;
+      }
+      merge_scratch_.push_back(base[run_begin[best]++]);
+    }
+    std::copy(merge_scratch_.begin(), merge_scratch_.end(),
+              out->begin() + static_cast<ptrdiff_t>(before));
+  } else if (!runs_sorted) {
+    std::sort(out->begin() + static_cast<ptrdiff_t>(before), out->end(), less);
+  }
+  return out->size() - before;
+}
+
+bool SampleBuffer::Push(const Tuple& sample, int64_t now_ms, int64_t delay_ms) {
+  SampleKey key = kUnnamedSampleKey;
+  if (!sample.name.empty()) {
+    std::lock_guard<std::mutex> lock(intern_mu_);
+    auto it = name_to_key_.find(sample.name);
+    if (it != name_to_key_.end()) {
+      key = it->second;
+    } else {
+      key = kShimNameKeyBit | static_cast<SampleKey>(key_to_name_.size());
+      key_to_name_.push_back(sample.name);
+      name_to_key_.emplace(sample.name, key);
+    }
+  }
+  return Push(key, sample.time_ms, sample.value, now_ms, delay_ms);
+}
+
+std::vector<Tuple> SampleBuffer::DrainDisplayable(int64_t now_ms, int64_t delay_ms) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  shim_scratch_.clear();
+  DrainDisplayableInto(now_ms, delay_ms, &shim_scratch_);
+  std::vector<Tuple> out;
+  out.reserve(shim_scratch_.size());
+  for (const Sample& s : shim_scratch_) {
+    Tuple t;
+    t.time_ms = s.time_ms;
+    t.value = s.value;
+    if ((s.key & kShimNameKeyBit) != 0) {
+      size_t index = static_cast<size_t>(s.key & ~kShimNameKeyBit);
+      if (index < key_to_name_.size()) {
+        t.name = key_to_name_[index];
+      }
+    }
+    out.push_back(std::move(t));
+  }
   return out;
 }
 
+std::string SampleBuffer::NameOf(SampleKey key) const {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  if ((key & kShimNameKeyBit) == 0 || key == kUnmatchedSampleKey) {
+    return {};
+  }
+  size_t index = static_cast<size_t>(key & ~kShimNameKeyBit);
+  return index < key_to_name_.size() ? key_to_name_[index] : std::string();
+}
+
 size_t SampleBuffer::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return samples_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.count;
+  }
+  return total;
 }
 
 SampleBuffer::Stats SampleBuffer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.pushed += shard.stats.pushed;
+    total.dropped_late += shard.stats.dropped_late;
+    total.dropped_overflow += shard.stats.dropped_overflow;
+    total.drained += shard.stats.drained;
+  }
+  return total;
 }
 
 void SampleBuffer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  samples_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total_count_.fetch_sub(static_cast<int64_t>(shard.count), std::memory_order_relaxed);
+    shard.head = 0;
+    shard.count = 0;
+    shard.min_time_ms = std::numeric_limits<int64_t>::max();
+  }
 }
 
 }  // namespace gscope

@@ -7,20 +7,56 @@
 // immediately" - i.e. a sample that shows up when its display time has
 // already passed is rejected as late.
 //
+// Layout: a set of bounded rings (shards), each with its own lock, holding
+// plain-old-data Samples keyed by an integer SampleKey (the scope's SignalId,
+// or an interned name id for the legacy string API).  Steady-state ingest is
+// zero-allocation and O(1) per sample: Push appends to a ring (evicting the
+// oldest entry of that shard on overflow), and the scope drains per tick in
+// one batch into a reusable scratch vector, sorted by (time, push order).
+//
 // Push() is thread-safe: producer threads, netlink-style event readers or the
 // stream server push; the scope drains on its polling tick.
 #ifndef GSCOPE_CORE_SAMPLE_BUFFER_H_
 #define GSCOPE_CORE_SAMPLE_BUFFER_H_
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/string_index.h"
 #include "core/tuple.h"
 
 namespace gscope {
+
+// Integer routing key for buffered samples.  The scope pushes its SignalId;
+// the sentinels preserve the name API's routing special cases.
+using SampleKey = uint64_t;
+// The single-signal special case: a two-field tuple with no name, routed to
+// the first BUFFER signal at drain time.
+inline constexpr SampleKey kUnnamedSampleKey = 0;
+// An explicitly-unknown id (PushBuffered(0, ...)); counted as unmatched
+// when the scope routes the drained batch.
+inline constexpr SampleKey kUnmatchedSampleKey = ~SampleKey{0};
+// Keys with this bit carry an interned *pending name* instead of a SignalId:
+// the name did not resolve at push time, so the scope re-resolves it at
+// drain time (a signal added within the delay window still gets the data).
+inline constexpr SampleKey kPendingNameKeyBit = SampleKey{1} << 62;
+// Keys with this bit were interned by the buffer's own Tuple shim (the
+// legacy Push(Tuple) API).  Kept disjoint from SignalIds and the scope's
+// pending keyspace so a Tuple pushed straight into scope.buffer() routes by
+// name at drain time instead of masquerading as an id.
+inline constexpr SampleKey kShimNameKeyBit = SampleKey{1} << 61;
+
+// One buffered sample: POD, no heap ownership.
+struct Sample {
+  int64_t time_ms = 0;
+  double value = 0.0;
+  SampleKey key = kUnnamedSampleKey;
+  // Global push order; ties on time_ms drain in arrival order.
+  uint64_t seq = 0;
+};
 
 class SampleBuffer {
  public:
@@ -31,28 +67,95 @@ class SampleBuffer {
     int64_t drained = 0;
   };
 
-  // `max_samples` bounds memory; the oldest samples are evicted on overflow.
-  explicit SampleBuffer(size_t max_samples = 1 << 16) : max_samples_(max_samples) {}
+  // `max_samples` bounds the total retained samples across all shards; any
+  // single signal may use the full capacity (shard rings grow on demand up
+  // to it).  On overflow the globally oldest sample — smallest (time,
+  // arrival) among the shard heads — is evicted, like the sorted deque this
+  // replaces.  Under concurrent pushes the bound is approximate by at most
+  // the number of in-flight pushers.
+  explicit SampleBuffer(size_t max_samples = 1 << 16);
 
-  // Enqueues one timestamped sample.  `now_ms` is the current scope time and
-  // `delay_ms` the configured display delay: a sample whose display time
-  // (time_ms + delay_ms) is already in the past is dropped and false is
-  // returned.  Thread-safe.
+  // -- id fast path (zero allocation, zero scans) ---------------------------
+
+  // Enqueues one timestamped sample for `key`.  `now_ms` is the current
+  // scope time and `delay_ms` the configured display delay: a sample whose
+  // display time (time_ms + delay_ms) is already in the past is dropped and
+  // false is returned.  Thread-safe.
+  bool Push(SampleKey key, int64_t time_ms, double value, int64_t now_ms, int64_t delay_ms);
+
+  // Batched ingest: pushes `count` keyed samples under one lock acquisition
+  // per shard and one arrival-order reservation (the stream server calls
+  // this once per read chunk).  Each sample is subject to the same
+  // late-drop/overflow rules as Push; `seq` fields are assigned here.
+  // Returns the number accepted (rejects are late drops).  Thread-safe.
+  size_t PushBatch(const Sample* samples, size_t count, int64_t now_ms, int64_t delay_ms);
+
+  // Appends every sample that has become displayable (time_ms + delay_ms <=
+  // now_ms) to `*out`, sorted by (time_ms, push order), and removes them from
+  // the buffer.  `out` is a caller-owned scratch vector: reusing it makes
+  // steady-state drains allocation-free.  Returns the number appended.
+  // Thread-safe.
+  size_t DrainDisplayableInto(int64_t now_ms, int64_t delay_ms, std::vector<Sample>* out);
+
+  // -- name-keyed shim (legacy API; interns names on first use) -------------
+
   bool Push(const Tuple& sample, int64_t now_ms, int64_t delay_ms);
-
-  // Removes and returns every sample that has become displayable, i.e. with
-  // time_ms + delay_ms <= now_ms, in time order.  Thread-safe.
   std::vector<Tuple> DrainDisplayable(int64_t now_ms, int64_t delay_ms);
+
+  // Name for a kShimNameKeyBit key interned by the Tuple shim ("" for any
+  // other key, e.g. a scope SignalId or the unnamed sentinel).
+  std::string NameOf(SampleKey key) const;
 
   size_t size() const;
   Stats stats() const;
   void Clear();
+  size_t shard_count() const { return shards_.size(); }
 
  private:
-  const size_t max_samples_;
-  mutable std::mutex mu_;
-  std::deque<Tuple> samples_;  // kept sorted by time_ms
-  Stats stats_;
+  // Per-shard bounded ring with its own lock; keys hash to a fixed shard so
+  // per-key FIFO order is preserved within a shard.
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Sample> ring;  // circular, capacity() slots
+    size_t head = 0;           // oldest entry
+    size_t count = 0;
+    // Smallest time_ms currently in the ring (INT64_MAX when empty): lets an
+    // idle drain tick skip the shard with one comparison.
+    int64_t min_time_ms = INT64_MAX;
+    Stats stats;
+    std::vector<Sample> retained_scratch;  // drain-time compaction, reused
+  };
+
+  Shard& ShardFor(SampleKey key) { return shards_[key % shards_.size()]; }
+  // Appends under the shard's lock, growing the ring (up to max_samples_)
+  // or evicting the shard's oldest when it cannot grow.  Accumulates the
+  // retained-count change into *total_delta; the caller applies it to
+  // total_count_ once per locked section (one atomic op per batch, not per
+  // sample).
+  void AppendLocked(Shard& shard, const Sample& sample, uint64_t seq, int64_t* total_delta);
+  // Evicts the globally oldest head across shards; false if all empty.
+  bool EvictGlobalOldest();
+  void TrimToCapacity();
+
+  size_t max_samples_;
+  // Per-shard capacity a ring may keep while empty (max_samples_/shards);
+  // beyond it an emptied ring is released back to the allocator.
+  size_t fair_share_;
+  std::vector<Shard> shards_;
+  // Total retained samples; mutated under shard locks, read for the
+  // capacity trim.
+  std::atomic<int64_t> total_count_{0};
+  std::atomic<uint64_t> next_seq_{0};
+  // Serializes drains; run-merge scratch below is only touched under it.
+  std::mutex drain_mu_;
+  std::vector<Sample> merge_scratch_;
+
+  // Name interning for the Tuple shim.  Interned keys are tagged with
+  // kShimNameKeyBit, keeping them disjoint from caller key spaces.
+  mutable std::mutex intern_mu_;
+  StringKeyedMap<SampleKey> name_to_key_;
+  std::vector<std::string> key_to_name_;  // [key & ~kShimNameKeyBit]
+  std::vector<Sample> shim_scratch_;      // guarded by intern_mu_
 };
 
 }  // namespace gscope

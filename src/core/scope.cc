@@ -1,6 +1,7 @@
 #include "core/scope.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace gscope {
 namespace {
@@ -42,33 +43,66 @@ SignalId Scope::AddSignal(const SignalSpec& spec) {
   if (spec.max <= spec.min) {
     return 0;
   }
-  auto state = std::make_unique<SignalState>(
-      SignalState{spec, LowPassFilter(spec.filter_alpha), Trace(static_cast<size_t>(options_.width))});
-  if (!state->spec.color.has_value()) {
-    state->spec.color = kPalette[next_color_ % kPaletteSize];
+  SignalState state{0, spec, LowPassFilter(spec.filter_alpha),
+                    Trace(static_cast<size_t>(options_.width))};
+  if (!state.spec.color.has_value()) {
+    state.spec.color = kPalette[next_color_ % kPaletteSize];
     ++next_color_;
   }
   SignalId id = next_signal_id_++;
-  signals_[id] = std::move(state);
+  state.id = id;
+  {
+    std::unique_lock<std::shared_mutex> lock(name_mu_);
+    signals_.push_back(std::move(state));
+    if (id_to_index_.size() <= static_cast<size_t>(id)) {
+      id_to_index_.resize(static_cast<size_t>(id) + 1, 0);
+    }
+    id_to_index_[static_cast<size_t>(id)] = static_cast<uint32_t>(signals_.size());
+    name_index_.emplace(spec.name, id);
+    ++signals_epoch_;
+  }
   return id;
 }
 
-bool Scope::RemoveSignal(SignalId id) { return signals_.erase(id) > 0; }
-
-SignalId Scope::FindSignal(const std::string& name) const {
-  for (const auto& [id, state] : signals_) {
-    if (state->spec.name == name) {
-      return id;
-    }
+bool Scope::RemoveSignal(SignalId id) {
+  SignalState* state = Find(id);
+  if (state == nullptr) {
+    return false;
   }
-  return 0;
+  std::unique_lock<std::shared_mutex> lock(name_mu_);
+  size_t index = static_cast<size_t>(state - signals_.data());
+  name_index_.erase(state->spec.name);
+  id_to_index_[static_cast<size_t>(id)] = 0;
+  signals_.erase(signals_.begin() + static_cast<ptrdiff_t>(index));
+  for (size_t i = index; i < signals_.size(); ++i) {
+    id_to_index_[static_cast<size_t>(signals_[i].id)] = static_cast<uint32_t>(i + 1);
+  }
+  ++signals_epoch_;
+  return true;
+}
+
+SignalId Scope::FindSignal(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(name_mu_);
+  auto it = name_index_.find(name);
+  return it == name_index_.end() ? 0 : it->second;
+}
+
+SignalId Scope::FindOrAddBufferSignal(std::string_view name) {
+  SignalId id = FindSignal(name);
+  if (id != 0 || name.empty()) {
+    return id;
+  }
+  SignalSpec spec;
+  spec.name.assign(name);
+  spec.source = BufferSource{};
+  return AddSignal(spec);
 }
 
 std::vector<SignalId> Scope::SignalIds() const {
   std::vector<SignalId> ids;
   ids.reserve(signals_.size());
-  for (const auto& [id, state] : signals_) {
-    ids.push_back(id);
+  for (const SignalState& state : signals_) {
+    ids.push_back(state.id);
   }
   return ids;
 }
@@ -243,8 +277,45 @@ void Scope::SetDelayMs(int64_t delay_ms) {
   }
 }
 
-bool Scope::PushBuffered(const std::string& signal_name, int64_t time_ms, double value) {
-  return buffer_.Push(Tuple{time_ms, value, signal_name}, NowMs(), delay_ms_);
+bool Scope::PushBuffered(SignalId id, int64_t time_ms, double value) {
+  SampleKey key = id == 0 ? kUnmatchedSampleKey : static_cast<SampleKey>(id);
+  return buffer_.Push(key, time_ms, value, NowMs(), delay_ms_);
+}
+
+size_t Scope::PushBufferedBatch(const Sample* samples, size_t count) {
+  return buffer_.PushBatch(samples, count, NowMs(), delay_ms_);
+}
+
+bool Scope::PushBuffered(std::string_view signal_name, int64_t time_ms, double value) {
+  SampleKey key;
+  if (signal_name.empty()) {
+    key = kUnnamedSampleKey;
+  } else {
+    SignalId id = FindSignal(signal_name);
+    if (id != 0) {
+      key = static_cast<SampleKey>(id);
+    } else {
+      // Unknown name: intern it into the pending keyspace so routing can
+      // re-resolve at drain time — a signal added within the delay window
+      // still receives the sample, matching the old drain-time resolution.
+      std::unique_lock<std::shared_mutex> lock(name_mu_);
+      auto it = pending_names_.find(signal_name);
+      uint64_t index;
+      if (it != pending_names_.end()) {
+        index = it->second;
+      } else if (pending_names_rev_.size() < 4096) {
+        index = pending_names_rev_.size();
+        pending_names_rev_.emplace_back(signal_name);
+        pending_names_.emplace(std::string(signal_name), index);
+      } else {
+        // Bound the interner against a stream of endless distinct unknown
+        // names; beyond the cap they become plain unmatched samples.
+        return buffer_.Push(kUnmatchedSampleKey, time_ms, value, NowMs(), delay_ms_);
+      }
+      key = kPendingNameKeyBit | index;
+    }
+  }
+  return buffer_.Push(key, time_ms, value, NowMs(), delay_ms_);
 }
 
 bool Scope::StartRecording(const std::string& path) {
@@ -297,12 +368,16 @@ bool Scope::OnPollTick(const TimeoutTick& tick) {
 }
 
 void Scope::SamplePolling(int64_t now_ms, int64_t lost) {
-  // First route freshly displayable buffered samples to their signals.
-  RouteBuffered(buffer_.DrainDisplayable(now_ms, delay_ms_));
+  // First route freshly displayable buffered samples to their signals.  The
+  // scratch vector is reused across ticks: steady-state drains allocate
+  // nothing.
+  drain_scratch_.clear();
+  buffer_.DrainDisplayableInto(now_ms, delay_ms_, &drain_scratch_);
+  RouteBuffered(drain_scratch_);
 
-  for (auto& [id, state] : signals_) {
-    double raw = SampleSource(*state);
-    CommitSample(*state, raw, lost, now_ms);
+  for (SignalState& state : signals_) {
+    double raw = SampleSource(state);
+    CommitSample(state, raw, lost, now_ms);
   }
 }
 
@@ -335,7 +410,7 @@ bool Scope::SamplePlayback(int64_t lost) {
   }
 
   for (const Tuple& t : due) {
-    SignalId id = t.name.empty() ? (signals_.empty() ? 0 : signals_.begin()->first)
+    SignalId id = t.name.empty() ? (signals_.empty() ? 0 : signals_.front().id)
                                  : FindSignal(t.name);
     if (id == 0 && options_.auto_create_playback_signals) {
       // Named tuples create a matching signal; the two-field single-signal
@@ -355,32 +430,48 @@ bool Scope::SamplePlayback(int64_t lost) {
     counters_.buffered_routed += 1;
   }
 
-  for (auto& [id, state] : signals_) {
-    if (!state->buffered_primed) {
+  for (SignalState& state : signals_) {
+    if (!state.buffered_primed) {
       continue;  // no data for this signal yet
     }
-    CommitSample(*state, state->buffered_hold, lost, playback_time_ms_);
+    CommitSample(state, state.buffered_hold, lost, playback_time_ms_);
   }
 
   // Keep ticking while the file has data or a pending tuple exists.
   return saw_any || playback_pending_.has_value();
 }
 
-void Scope::RouteBuffered(const std::vector<Tuple>& tuples) {
-  for (const Tuple& t : tuples) {
+void Scope::RouteBuffered(const std::vector<Sample>& samples) {
+  for (const Sample& sample : samples) {
     SignalState* s = nullptr;
-    if (t.name.empty()) {
+    if (sample.key == kUnnamedSampleKey) {
       // Single-signal special case: time-value tuples go to the sole
       // BUFFER signal.
       s = FirstBufferSignal();
+    } else if (sample.key == kUnmatchedSampleKey) {
+      // explicitly-unknown id; falls through to the unmatched counter
+    } else if ((sample.key & kPendingNameKeyBit) != 0) {
+      // Name unknown at push time: re-resolve now.
+      std::shared_lock<std::shared_mutex> lock(name_mu_);
+      uint64_t index = sample.key & ~kPendingNameKeyBit;
+      if (index < pending_names_rev_.size()) {
+        auto it = name_index_.find(pending_names_rev_[index]);
+        if (it != name_index_.end()) {
+          s = Find(it->second);
+        }
+      }
+    } else if ((sample.key & kShimNameKeyBit) != 0) {
+      // Pushed straight into buffer() through the legacy Tuple API: route
+      // by the interned name (cold path).
+      s = Find(FindSignal(buffer_.NameOf(sample.key)));
     } else {
-      s = Find(FindSignal(t.name));
+      s = Find(static_cast<SignalId>(sample.key));
     }
     if (s == nullptr || s->spec.type() != SignalType::kBuffer) {
       counters_.buffered_unmatched += 1;
       continue;
     }
-    s->buffered_hold = t.value;
+    s->buffered_hold = sample.value;
     s->buffered_primed = true;
     counters_.buffered_routed += 1;
   }
@@ -419,25 +510,33 @@ void Scope::CommitSample(SignalState& state, double raw, int64_t lost, int64_t n
   state.trace.PushWithLoss(display, lost);
   counters_.samples += 1;
   if (recorder_.is_open()) {
-    // Raw values are recorded; the filter is a display-side parameter.
-    recorder_.Write(Tuple{now_ms, raw, signals_.size() == 1 ? std::string() : state.spec.name});
+    // Raw values are recorded; the filter is a display-side parameter.  The
+    // writer formats into a reusable buffer (no per-sample allocation).
+    recorder_.Write(now_ms, raw,
+                    signals_.size() == 1 ? std::string_view() : std::string_view(state.spec.name));
   }
 }
 
 Scope::SignalState* Scope::Find(SignalId id) {
-  auto it = signals_.find(id);
-  return it == signals_.end() ? nullptr : it->second.get();
+  if (id <= 0 || static_cast<size_t>(id) >= id_to_index_.size()) {
+    return nullptr;
+  }
+  uint32_t index = id_to_index_[static_cast<size_t>(id)];
+  return index == 0 ? nullptr : &signals_[index - 1];
 }
 
 const Scope::SignalState* Scope::Find(SignalId id) const {
-  auto it = signals_.find(id);
-  return it == signals_.end() ? nullptr : it->second.get();
+  if (id <= 0 || static_cast<size_t>(id) >= id_to_index_.size()) {
+    return nullptr;
+  }
+  uint32_t index = id_to_index_[static_cast<size_t>(id)];
+  return index == 0 ? nullptr : &signals_[index - 1];
 }
 
 Scope::SignalState* Scope::FirstBufferSignal() {
-  for (auto& [id, state] : signals_) {
-    if (state->spec.type() == SignalType::kBuffer) {
-      return state.get();
+  for (SignalState& state : signals_) {
+    if (state.spec.type() == SignalType::kBuffer) {
+      return &state;
     }
   }
   return nullptr;

@@ -31,15 +31,17 @@
 #define GSCOPE_CORE_SCOPE_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/filter.h"
 #include "core/sample_buffer.h"
 #include "core/signal_spec.h"
+#include "core/string_index.h"
 #include "core/trace.h"
 #include "core/tuple_io.h"
 #include "core/value.h"
@@ -80,10 +82,16 @@ class Scope {
   // Adds a signal; returns its id (0 on invalid spec, e.g. duplicate name).
   SignalId AddSignal(const SignalSpec& spec);
   bool RemoveSignal(SignalId id);
-  // Id for a name, 0 if unknown.
-  SignalId FindSignal(const std::string& name) const;
+  // Id for a name, 0 if unknown.  O(1) through the interned name index.
+  SignalId FindSignal(std::string_view name) const;
+  // FindSignal, but creates a BUFFER signal named `name` when unknown (the
+  // stream server's auto-create, without a second index lookup).
+  SignalId FindOrAddBufferSignal(std::string_view name);
   std::vector<SignalId> SignalIds() const;
   size_t signal_count() const { return signals_.size(); }
+  // Bumped on every AddSignal/RemoveSignal; lets callers (e.g. the stream
+  // server's per-client name->id caches) cheaply detect staleness.
+  uint64_t signals_epoch() const { return signals_epoch_; }
 
   // -- Per-signal parameters (Figure 2 window) ------------------------------
 
@@ -94,7 +102,10 @@ class Scope {
   bool SetColor(SignalId id, Rgb color);
   bool SetLineMode(SignalId id, LineMode mode);
 
-  // Current (possibly GUI-modified) spec; null for unknown ids.
+  // Current (possibly GUI-modified) spec; null for unknown ids.  Signals
+  // live in dense storage: the returned pointers are invalidated by any
+  // subsequent AddSignal/RemoveSignal — re-fetch rather than caching them
+  // across signal-set mutations.
   const SignalSpec* SpecFor(SignalId id) const;
   const Trace* TraceFor(SignalId id) const;
   // The Value button: most recent displayed (filtered) value.
@@ -136,10 +147,22 @@ class Scope {
 
   // -- Buffered data (BUFFER signals) ---------------------------------------
 
-  // Thread-safe push of a timestamped sample for `signal_name` (empty name =
-  // the single-signal special case, routed to the first BUFFER signal).
-  // Returns false if the sample was late and dropped.
-  bool PushBuffered(const std::string& signal_name, int64_t time_ms, double value);
+  // Thread-safe, allocation-free push of a timestamped sample for the signal
+  // with id `id` (from FindSignal / AddSignal).  id 0 is accepted and counted
+  // as buffered_unmatched at drain time.  Returns false if the sample was
+  // late and dropped.  This is the steady-state ingest fast path.
+  bool PushBuffered(SignalId id, int64_t time_ms, double value);
+
+  // Batched fast path: pushes `count` pre-keyed samples (key = SignalId or
+  // the sample-buffer sentinels) with one scope-time read and one lock
+  // round-trip per buffer shard.  Returns the number accepted; rejects are
+  // late drops.  Thread-safe.
+  size_t PushBufferedBatch(const Sample* samples, size_t count);
+
+  // Name-keyed shim over the id fast path: resolves `signal_name` through
+  // the interned index (empty name = the single-signal special case, routed
+  // to the first BUFFER signal at drain time).  Thread-safe.
+  bool PushBuffered(std::string_view signal_name, int64_t time_ms, double value);
   SampleBuffer& buffer() { return buffer_; }
 
   // -- Recording ------------------------------------------------------------
@@ -170,6 +193,7 @@ class Scope {
 
  private:
   struct SignalState {
+    SignalId id = 0;
     SignalSpec spec;
     LowPassFilter filter;
     Trace trace;
@@ -184,7 +208,7 @@ class Scope {
   bool OnPollTick(const TimeoutTick& tick);
   void SamplePolling(int64_t now_ms, int64_t lost);
   bool SamplePlayback(int64_t lost);
-  void RouteBuffered(const std::vector<Tuple>& tuples);
+  void RouteBuffered(const std::vector<Sample>& samples);
   double SampleSource(SignalState& state);
   void CommitSample(SignalState& state, double raw, int64_t lost, int64_t now_ms);
   SignalState* Find(SignalId id);
@@ -194,9 +218,25 @@ class Scope {
   MainLoop* loop_;
   ScopeOptions options_;
 
-  std::map<SignalId, std::unique_ptr<SignalState>> signals_;
+  // Dense signal storage in id (= insertion) order: the per-tick sampling
+  // loop walks states contiguously instead of chasing map nodes.
+  std::vector<SignalState> signals_;
+  // id -> index into signals_, +1 (0 = unknown id).  Indexed by SignalId.
+  std::vector<uint32_t> id_to_index_;
+  // Interned name index; read by producer threads through the PushBuffered
+  // name shim, written by AddSignal/RemoveSignal on the loop thread.
+  StringKeyedMap<SignalId> name_index_;
+  // Names pushed before their signal exists, interned into the
+  // kPendingNameKeyBit keyspace and re-resolved at drain time.
+  StringKeyedMap<uint64_t> pending_names_;
+  std::vector<std::string> pending_names_rev_;
+  mutable std::shared_mutex name_mu_;
+  uint64_t signals_epoch_ = 0;
   SignalId next_signal_id_ = 1;
   int next_color_ = 0;
+
+  // Reused per-tick drain scratch (no steady-state allocation).
+  std::vector<Sample> drain_scratch_;
 
   AcquisitionMode mode_ = AcquisitionMode::kPolling;
   int64_t period_ms_ = 50;  // the paper's example default

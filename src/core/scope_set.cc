@@ -8,8 +8,11 @@ Scope* ScopeSet::CreateScope(ScopeOptions options) {
   if (FindScope(options.name) != nullptr) {
     return nullptr;
   }
+  std::string name = options.name;
   scopes_.push_back(std::make_unique<Scope>(loop_, std::move(options)));
-  return scopes_.back().get();
+  Scope* scope = scopes_.back().get();
+  name_index_.emplace(std::move(name), scope);
+  return scope;
 }
 
 bool ScopeSet::RemoveScope(Scope* scope) {
@@ -18,17 +21,14 @@ bool ScopeSet::RemoveScope(Scope* scope) {
   if (it == scopes_.end()) {
     return false;
   }
+  name_index_.erase((*it)->name());
   scopes_.erase(it);
   return true;
 }
 
-Scope* ScopeSet::FindScope(const std::string& name) {
-  for (const auto& s : scopes_) {
-    if (s->name() == name) {
-      return s.get();
-    }
-  }
-  return nullptr;
+Scope* ScopeSet::FindScope(std::string_view name) {
+  auto it = name_index_.find(name);
+  return it == name_index_.end() ? nullptr : it->second;
 }
 
 std::vector<Scope*> ScopeSet::scopes() {

@@ -10,10 +10,12 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/params.h"
 #include "core/scope.h"
+#include "core/string_index.h"
 #include "runtime/event_loop.h"
 
 namespace gscope {
@@ -33,7 +35,8 @@ class ScopeSet {
   // Destroys a scope (stops its polling).  Returns false if not a member.
   bool RemoveScope(Scope* scope);
 
-  Scope* FindScope(const std::string& name);
+  // O(1) through the set's name index.
+  Scope* FindScope(std::string_view name);
   std::vector<Scope*> scopes();
   size_t size() const { return scopes_.size(); }
 
@@ -44,6 +47,7 @@ class ScopeSet {
  private:
   MainLoop* loop_;
   std::vector<std::unique_ptr<Scope>> scopes_;
+  StringKeyedMap<Scope*> name_index_;
   ParamRegistry params_;
 };
 

@@ -1,0 +1,36 @@
+// Heterogeneous string hashing for the ingest-path name indexes.
+//
+// The streaming hot path looks names up from string_views that point into a
+// network read buffer; a transparent hash/equality lets those lookups hit a
+// std::unordered_map<std::string, ...> without materializing a temporary
+// std::string per lookup.
+#ifndef GSCOPE_CORE_STRING_INDEX_H_
+#define GSCOPE_CORE_STRING_INDEX_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace gscope {
+
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const char* s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+// unordered_map keyed by std::string with allocation-free string_view lookup.
+template <typename V>
+using StringKeyedMap = std::unordered_map<std::string, V, StringHash, std::equal_to<>>;
+
+}  // namespace gscope
+
+#endif  // GSCOPE_CORE_STRING_INDEX_H_

@@ -1,117 +1,133 @@
 #include "core/tuple.h"
 
-#include <cctype>
 #include <charconv>
-#include <cstdio>
+#include <cmath>
 #include <cstdlib>
 
 namespace gscope {
 namespace {
 
+// The format's whitespace set (tuple names may not contain whitespace).
+inline bool IsWs(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+
 std::string_view TrimLeft(std::string_view s) {
   size_t i = 0;
-  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r')) {
+  while (i < s.size() && IsWs(s[i])) {
     ++i;
   }
   return s.substr(i);
 }
 
-std::string_view TrimRight(std::string_view s) {
-  size_t n = s.size();
-  while (n > 0 && (s[n - 1] == ' ' || s[n - 1] == '\t' || s[n - 1] == '\r' || s[n - 1] == '\n')) {
-    --n;
-  }
-  return s.substr(0, n);
-}
-
-// Takes the next whitespace-delimited token off the front of `s`.
-std::string_view NextToken(std::string_view* s) {
-  *s = TrimLeft(*s);
-  size_t end = 0;
-  while (end < s->size() && !std::isspace(static_cast<unsigned char>((*s)[end]))) {
-    ++end;
-  }
-  std::string_view token = s->substr(0, end);
-  *s = s->substr(end);
-  return token;
-}
-
-bool ParseInt64(std::string_view token, int64_t* out) {
-  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), *out);
-  return ec == std::errc{} && ptr == token.data() + token.size();
-}
-
-bool ParseDouble(std::string_view token, double* out) {
-  // std::from_chars<double> is available in libstdc++ 11+, but strtod keeps
-  // us portable; token is bounded so copy to a small buffer.
-  if (token.empty() || token.size() >= 64) {
-    return false;
-  }
-  char buf[64];
-  token.copy(buf, token.size());
-  buf[token.size()] = '\0';
-  char* end = nullptr;
-  *out = std::strtod(buf, &end);
-  return end == buf + token.size();
-}
-
 }  // namespace
 
-std::string FormatTuple(const Tuple& tuple) {
-  char buf[128];
-  int n;
-  if (tuple.name.empty()) {
-    n = std::snprintf(buf, sizeof(buf), "%lld %.17g\n", static_cast<long long>(tuple.time_ms),
-                      tuple.value);
+void AppendTuple(std::string& out, int64_t time_ms, double value, std::string_view name) {
+  // <int64> <shortest round-trip double> [<name>]\n -- comfortably < 64 chars
+  // for the numeric part.
+  char buf[64];
+  auto [tp, tec] = std::to_chars(buf, buf + sizeof(buf), time_ms);
+  (void)tec;
+  *tp++ = ' ';
+  char* vp;
+  // Telemetry values are very often integral (counters, sizes, windows);
+  // small integral doubles have the integer digits as their shortest
+  // round-trip form, and integer formatting is several times cheaper.  The
+  // range check runs on the double first: casting NaN/out-of-range values
+  // to int64_t would be undefined behaviour (these comparisons are false
+  // for NaN, routing it to the general path).
+  // (!signbit also excludes every negative value and -0.0, so the cast
+  // operates on [0, 1e6) only.)
+  if (value < 1000000.0 && !std::signbit(value) &&
+      static_cast<double>(static_cast<int64_t>(value)) == value) {
+    auto [ip, iec] = std::to_chars(tp, buf + sizeof(buf), static_cast<int64_t>(value));
+    (void)iec;
+    vp = ip;
   } else {
-    n = std::snprintf(buf, sizeof(buf), "%lld %.17g %s\n", static_cast<long long>(tuple.time_ms),
-                      tuple.value, tuple.name.c_str());
+    auto [dp, dec] = std::to_chars(tp, buf + sizeof(buf), value);
+    (void)dec;
+    vp = dp;
   }
-  if (n < 0) {
-    return {};
+  out.append(buf, static_cast<size_t>(vp - buf));
+  if (!name.empty()) {
+    out.push_back(' ');
+    out.append(name);
   }
-  if (static_cast<size_t>(n) < sizeof(buf)) {
-    return std::string(buf, static_cast<size_t>(n));
-  }
-  // Name too long for the stack buffer; build it the slow way.
-  std::string out = std::to_string(tuple.time_ms);
-  char vbuf[40];
-  std::snprintf(vbuf, sizeof(vbuf), " %.17g ", tuple.value);
-  out += vbuf;
-  out += tuple.name;
-  out += '\n';
+  out.push_back('\n');
+}
+
+std::string FormatTuple(const Tuple& tuple) {
+  std::string out;
+  out.reserve(32 + tuple.name.size());
+  AppendTuple(out, tuple.time_ms, tuple.value, tuple.name);
   return out;
 }
 
 bool IsIgnorableLine(std::string_view line) {
   std::string_view s = TrimLeft(line);
-  s = TrimRight(s);
   return s.empty() || s.front() == '#';
 }
 
+std::optional<TupleView> ParseTupleView(std::string_view line) {
+  // Single forward pass (the streaming hot path).  Blank and '#' comment
+  // lines fall out as nullopt through token parsing; callers that need to
+  // distinguish them from malformed lines check IsIgnorableLine on failure.
+  const char* p = line.data();
+  const char* end = p + line.size();
+  auto skip_ws = [&p, end]() {
+    while (p < end && IsWs(*p)) {
+      ++p;
+    }
+  };
+
+  TupleView view;
+  skip_ws();
+  auto [tp, tec] = std::from_chars(p, end, view.time_ms);
+  if (tec != std::errc{} || tp == p || (tp < end && !IsWs(*tp))) {
+    return std::nullopt;
+  }
+  p = tp;
+
+  skip_ws();
+  if (p < end && *p == '+') {
+    ++p;  // from_chars rejects an explicit '+'; strtod (the previous
+          // implementation) accepted it
+  }
+  // Integer fast path first (the common case for telemetry values); fall
+  // back to the full double parse when a fraction/exponent follows.
+  int64_t integral;
+  auto [ip, iec] = std::from_chars(p, end, integral);
+  if (iec == std::errc{} && ip != p && (ip == end || IsWs(*ip))) {
+    view.value = static_cast<double>(integral);
+    p = ip;
+  } else {
+    auto [vp, vec] = std::from_chars(p, end, view.value);
+    if (vec != std::errc{} || vp == p || (vp < end && !IsWs(*vp))) {
+      return std::nullopt;
+    }
+    p = vp;
+  }
+
+  skip_ws();
+  const char* name_begin = p;
+  while (p < end && !IsWs(*p)) {
+    ++p;
+  }
+  view.name = std::string_view(name_begin, static_cast<size_t>(p - name_begin));
+  skip_ws();
+  if (p != end) {
+    return std::nullopt;  // trailing junk after the name
+  }
+  return view;
+}
+
 std::optional<Tuple> ParseTuple(std::string_view line) {
-  if (IsIgnorableLine(line)) {
+  std::optional<TupleView> view = ParseTupleView(line);
+  if (!view.has_value()) {
     return std::nullopt;
   }
-  std::string_view rest = TrimRight(line);
-
-  std::string_view time_tok = NextToken(&rest);
-  std::string_view value_tok = NextToken(&rest);
-  std::string_view name_tok = NextToken(&rest);
-  std::string_view extra = TrimLeft(rest);
-
-  if (time_tok.empty() || value_tok.empty() || !extra.empty()) {
-    return std::nullopt;
-  }
-
   Tuple tuple;
-  if (!ParseInt64(time_tok, &tuple.time_ms)) {
-    return std::nullopt;
-  }
-  if (!ParseDouble(value_tok, &tuple.value)) {
-    return std::nullopt;
-  }
-  tuple.name.assign(name_tok.begin(), name_tok.end());
+  tuple.time_ms = view->time_ms;
+  tuple.value = view->value;
+  tuple.name.assign(view->name.begin(), view->name.end());
   return tuple;
 }
 

@@ -30,13 +30,29 @@ struct Tuple {
   friend bool operator==(const Tuple&, const Tuple&) = default;
 };
 
+// Allocation-free view of one parsed tuple: `name` points into the parsed
+// line and is only valid while that buffer lives.
+struct TupleView {
+  int64_t time_ms = 0;
+  double value = 0.0;
+  std::string_view name;
+};
+
 // Serializes one tuple, newline-terminated.  Omits the name when empty.
 std::string FormatTuple(const Tuple& tuple);
+
+// Appends the wire form of one tuple to `out` without any intermediate
+// allocation (the streaming fast path; `out` amortizes to zero allocations
+// when reused).
+void AppendTuple(std::string& out, int64_t time_ms, double value, std::string_view name);
 
 // Parses one line.  Returns nullopt for malformed lines (missing fields,
 // non-numeric time/value, trailing junk).  Comment/blank lines are
 // distinguished from malformed ones by IsIgnorableLine.
 std::optional<Tuple> ParseTuple(std::string_view line);
+
+// Allocation-free variant: the returned view borrows `line`'s storage.
+std::optional<TupleView> ParseTupleView(std::string_view line);
 
 bool IsIgnorableLine(std::string_view line);
 

@@ -24,12 +24,18 @@ void TupleWriter::Comment(const std::string& text) {
 }
 
 bool TupleWriter::Write(const Tuple& tuple) {
-  if (!out_.is_open() || tuple.time_ms < last_time_ms_) {
+  return Write(tuple.time_ms, tuple.value, tuple.name);
+}
+
+bool TupleWriter::Write(int64_t time_ms, double value, std::string_view name) {
+  if (!out_.is_open() || time_ms < last_time_ms_) {
     ++rejected_;
     return false;
   }
-  out_ << FormatTuple(tuple);
-  last_time_ms_ = tuple.time_ms;
+  line_scratch_.clear();
+  AppendTuple(line_scratch_, time_ms, value, name);
+  out_.write(line_scratch_.data(), static_cast<std::streamsize>(line_scratch_.size()));
+  last_time_ms_ = time_ms;
   ++written_;
   return true;
 }

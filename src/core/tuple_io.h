@@ -10,6 +10,7 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/tuple.h"
@@ -32,11 +33,17 @@ class TupleWriter {
   // go backwards relative to the last written tuple, or if closed.
   bool Write(const Tuple& tuple);
 
+  // Same, without requiring a materialized Tuple: formats into a reusable
+  // member buffer, so steady-state recording allocates nothing per sample
+  // (the scope's CommitSample recorder path).
+  bool Write(int64_t time_ms, double value, std::string_view name);
+
   int64_t written() const { return written_; }
   int64_t rejected() const { return rejected_; }
 
  private:
   std::ofstream out_;
+  std::string line_scratch_;
   int64_t last_time_ms_ = INT64_MIN;
   int64_t written_ = 0;
   int64_t rejected_ = 0;

@@ -24,16 +24,24 @@ void StreamClient::Close() {
 }
 
 bool StreamClient::SendTuple(const Tuple& tuple) {
+  return Send(tuple.time_ms, tuple.value, tuple.name);
+}
+
+bool StreamClient::Send(int64_t time_ms, double value, std::string_view name) {
   if (!socket_.valid()) {
     stats_.tuples_dropped += 1;
     return false;
   }
-  std::string wire = FormatTuple(tuple);
-  if (pending_bytes() + wire.size() > max_buffer_) {
+  // Format in place at the end of the output buffer (its capacity is reused
+  // across drains, so steady-state sends do not allocate); roll back if the
+  // tuple would overflow the backlog cap.
+  size_t before = out_buffer_.size();
+  AppendTuple(out_buffer_, time_ms, value, name);
+  if (out_buffer_.size() - out_offset_ > max_buffer_) {
+    out_buffer_.resize(before);
     stats_.tuples_dropped += 1;
     return false;
   }
-  out_buffer_.append(wire);
   stats_.tuples_sent += 1;
   EnsureWriteWatch();
   return true;

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "core/tuple.h"
 #include "net/socket.h"
@@ -41,6 +42,10 @@ class StreamClient {
   // Queues one tuple for asynchronous delivery.  Returns false if the
   // client is disconnected or the backlog is full.
   bool SendTuple(const Tuple& tuple);
+
+  // Same without a materialized Tuple: formats directly into the output
+  // buffer, so steady-state sends perform no per-tuple allocation.
+  bool Send(int64_t time_ms, double value, std::string_view name);
 
   // Unsent bytes currently queued.
   size_t pending_bytes() const { return out_buffer_.size() - out_offset_; }

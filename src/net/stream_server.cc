@@ -1,6 +1,7 @@
 #include "net/stream_server.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "core/tuple.h"
 
@@ -19,6 +20,7 @@ bool StreamServer::AddScope(Scope* scope) {
     return false;
   }
   scopes_.push_back(scope);
+  scopes_epoch_ += 1;
   return true;
 }
 
@@ -27,8 +29,20 @@ bool StreamServer::RemoveScope(Scope* scope) {
   if (it == scopes_.end()) {
     return false;
   }
+  // RouteEpoch sums the scopes' signal epochs; compensate for the removed
+  // term so the total stays strictly increasing (a repeated epoch value
+  // would let a stale, wrongly-sized route entry survive).
+  scopes_epoch_ += scope->signals_epoch() + 1;
   scopes_.erase(it);
   return true;
+}
+
+uint64_t StreamServer::RouteEpoch() const {
+  uint64_t epoch = scopes_epoch_;
+  for (const Scope* scope : scopes_) {
+    epoch += scope->signals_epoch();
+  }
+  return epoch;
 }
 
 StreamServer::~StreamServer() { Close(); }
@@ -96,7 +110,7 @@ bool StreamServer::OnClientReady(int client_key, IoCondition cond) {
     return false;
   }
 
-  char buf[4096];
+  char buf[65536];
   while (true) {
     IoResult r = client.socket.Read(buf, sizeof(buf));
     if (r.status == IoResult::Status::kOk) {
@@ -108,9 +122,11 @@ bool StreamServer::OnClientReady(int client_key, IoCondition cond) {
       return true;
     }
     // EOF or error: flush any final unterminated line, then drop.
-    if (!client.line_buffer.empty()) {
-      HandleLine(client.line_buffer);
+    if (!client.discarding && !client.line_buffer.empty()) {
+      ingest_scratch_.resize(scopes_.size());
+      HandleLine(client, client.line_buffer);
       client.line_buffer.clear();
+      FlushIngest();
     }
     DropClient(client_key);
     return false;
@@ -118,37 +134,138 @@ bool StreamServer::OnClientReady(int client_key, IoCondition cond) {
 }
 
 void StreamServer::ProcessData(Client& client, const char* data, size_t len) {
-  for (size_t i = 0; i < len; ++i) {
-    if (data[i] == '\n') {
-      HandleLine(client.line_buffer);
-      client.line_buffer.clear();
-    } else {
-      client.line_buffer.push_back(data[i]);
+  ingest_scratch_.resize(scopes_.size());
+  size_t pos = 0;
+  while (pos < len) {
+    const char* nl =
+        static_cast<const char*>(std::memchr(data + pos, '\n', len - pos));
+    if (nl == nullptr) {
+      // No newline in the remainder: keep the tail for the next read.
+      size_t tail = len - pos;
+      if (client.discarding) {
+        break;
+      }
+      if (client.line_buffer.size() + tail > options_.max_line_bytes) {
+        stats_.parse_errors += 1;
+        client.line_buffer.clear();
+        client.discarding = true;  // resynchronize at the next newline
+        break;
+      }
+      client.line_buffer.append(data + pos, tail);
+      break;
     }
+    size_t line_end = static_cast<size_t>(nl - data);
+    if (client.discarding) {
+      client.discarding = false;  // the over-long line ends here
+    } else if (!client.line_buffer.empty()) {
+      // Split line: complete it in the side buffer (the only copied case).
+      if (client.line_buffer.size() + (line_end - pos) > options_.max_line_bytes) {
+        stats_.parse_errors += 1;
+      } else {
+        client.line_buffer.append(data + pos, line_end - pos);
+        HandleLine(client, client.line_buffer);
+      }
+      client.line_buffer.clear();
+    } else if (line_end - pos > options_.max_line_bytes) {
+      stats_.parse_errors += 1;
+    } else {
+      // Whole line inside the read buffer: parse in place.
+      HandleLine(client, std::string_view(data + pos, line_end - pos));
+    }
+    pos = line_end + 1;
+  }
+  FlushIngest();
+}
+
+void StreamServer::FlushIngest() {
+  for (size_t i = 0; i < scopes_.size() && i < ingest_scratch_.size(); ++i) {
+    std::vector<Sample>& batch = ingest_scratch_[i];
+    if (batch.empty()) {
+      continue;
+    }
+    size_t accepted = scopes_[i]->PushBufferedBatch(batch.data(), batch.size());
+    stats_.dropped_late += static_cast<int64_t>(batch.size() - accepted);
+    batch.clear();
   }
 }
 
-void StreamServer::HandleLine(const std::string& line) {
-  if (IsIgnorableLine(line)) {
-    return;
-  }
-  std::optional<Tuple> tuple = ParseTuple(line);
+void StreamServer::HandleLine(Client& client, std::string_view line) {
+  std::optional<TupleView> tuple = ParseTupleView(line);
   if (!tuple.has_value()) {
-    stats_.parse_errors += 1;
+    if (!IsIgnorableLine(line)) {
+      stats_.parse_errors += 1;
+    }
     return;
   }
   stats_.tuples += 1;
-  for (Scope* scope : scopes_) {
-    if (options_.auto_create_signals && !tuple->name.empty() &&
-        scope->FindSignal(tuple->name) == 0) {
-      SignalSpec spec;
-      spec.name = tuple->name;
-      spec.source = BufferSource{};
-      scope->AddSignal(spec);
+
+  if (tuple->name.empty()) {
+    // Two-field single-signal form: each scope routes it to its first
+    // BUFFER signal at drain time.
+    for (std::vector<Sample>& batch : ingest_scratch_) {
+      batch.push_back(Sample{tuple->time_ms, tuple->value, kUnnamedSampleKey, 0});
     }
-    if (!scope->PushBuffered(tuple->name, tuple->time_ms, tuple->value)) {
-      stats_.dropped_late += 1;
+    return;
+  }
+
+  uint64_t epoch = RouteEpoch();
+  if (client.routes_epoch != epoch) {
+    client.routes.clear();
+    client.last_route = nullptr;
+    client.routes_epoch = epoch;
+  }
+  const std::vector<SignalId>* ids_ptr = nullptr;
+  std::vector<SignalId> uncached_ids;
+  if (client.last_route != nullptr && client.last_name == tuple->name) {
+    ids_ptr = client.last_route;
+  } else {
+    auto route = client.routes.find(tuple->name);
+    if (route == client.routes.end()) {
+      // First time this client sends the name (or the cache was
+      // invalidated): resolve once per scope through the interned index.
+      std::vector<SignalId> ids;
+      ids.reserve(scopes_.size());
+      bool any_resolved = false;
+      for (Scope* scope : scopes_) {
+        SignalId id = options_.auto_create_signals ? scope->FindOrAddBufferSignal(tuple->name)
+                                                   : scope->FindSignal(tuple->name);
+        any_resolved = any_resolved || id != 0;
+        ids.push_back(id);
+      }
+      if (!any_resolved) {
+        // Nothing resolved (auto-create off, unknown everywhere): don't
+        // cache — a stream of endless distinct unknown names must not grow
+        // the cache without bound.  The per-line cost is one O(1) index
+        // miss per scope.
+        uncached_ids = std::move(ids);
+        ids_ptr = &uncached_ids;
+        client.last_route = nullptr;
+      } else {
+        // Auto-creation bumps the epoch; re-sync so this entry survives.
+        client.routes_epoch = RouteEpoch();
+        route = client.routes.emplace(std::string(tuple->name), std::move(ids)).first;
+      }
     }
+    if (ids_ptr == nullptr) {
+      client.last_name.assign(tuple->name);
+      client.last_route = &route->second;
+      ids_ptr = client.last_route;
+    }
+  }
+  const std::vector<SignalId>& ids = *ids_ptr;
+  for (size_t i = 0; i < scopes_.size(); ++i) {
+    if (ids[i] == 0) {
+      // Unknown name with auto-create off: go through the name shim so the
+      // scope can still resolve at drain time if the app adds the signal
+      // within the delay window (cold path; the cache re-resolves once the
+      // scope's signal epoch changes).
+      if (!scopes_[i]->PushBuffered(tuple->name, tuple->time_ms, tuple->value)) {
+        stats_.dropped_late += 1;
+      }
+      continue;
+    }
+    ingest_scratch_[i].push_back(
+        Sample{tuple->time_ms, tuple->value, static_cast<SampleKey>(ids[i]), 0});
   }
 }
 

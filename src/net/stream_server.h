@@ -9,6 +9,11 @@
 // Single-threaded and I/O driven: a listen watch accepts clients, per-client
 // watches parse newline-delimited tuples and push them into the target
 // scope's sample buffer (which applies the delay/late-drop policy).
+//
+// Ingest fast path: complete lines are framed with memchr and parsed in
+// place from the read buffer (no copy except for lines split across reads),
+// and each client caches name -> signal-id routes so steady-state tuples
+// reach the scopes' buffers with no allocation and no name scan.
 #ifndef GSCOPE_NET_STREAM_SERVER_H_
 #define GSCOPE_NET_STREAM_SERVER_H_
 
@@ -16,9 +21,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/scope.h"
+#include "core/string_index.h"
 #include "net/socket.h"
 #include "runtime/event_loop.h"
 
@@ -30,6 +37,10 @@ struct StreamServerOptions {
   bool auto_create_signals = true;
   // Cap on concurrent clients; further connections are refused.
   size_t max_clients = 32;
+  // Longest accepted tuple line.  A client that exceeds it (e.g. streams
+  // garbage with no newlines) has the line counted as one parse error and
+  // discarded; framing resynchronizes at the next newline.
+  size_t max_line_bytes = 4096;
 };
 
 class StreamServer {
@@ -71,14 +82,30 @@ class StreamServer {
   struct Client {
     Socket socket;
     SourceId watch = 0;
+    // Tail of a line split across reads (only split lines are ever copied).
     std::string line_buffer;
+    // An over-long line is being discarded until the next newline.
+    bool discarding = false;
+    // name -> per-scope routing keys, rebuilt when route_epoch changes.
+    StringKeyedMap<std::vector<SignalId>> routes;
+    uint64_t routes_epoch = 0;
+    // Streams repeat names in runs; memoizing the last hit skips the hash
+    // lookup for consecutive same-name tuples.  Points into `routes`.
+    const std::vector<SignalId>* last_route = nullptr;
+    std::string last_name;
   };
 
   bool OnAcceptReady();
   bool OnClientReady(int client_key, IoCondition cond);
   void ProcessData(Client& client, const char* data, size_t len);
-  void HandleLine(const std::string& line);
+  void HandleLine(Client& client, std::string_view line);
+  // Pushes the chunk's accumulated samples into every scope in one batch
+  // (one scope-time read and one lock round-trip per buffer shard).
+  void FlushIngest();
   void DropClient(int client_key);
+  // Changes whenever the scope list or any scope's signal table changes;
+  // stale per-client route caches are invalidated by comparison.
+  uint64_t RouteEpoch() const;
 
   MainLoop* loop_;
   std::vector<Scope*> scopes_;  // display targets; scopes_[0] is the primary
@@ -90,6 +117,10 @@ class StreamServer {
 
   std::map<int, std::unique_ptr<Client>> clients_;
   int next_client_key_ = 1;
+  uint64_t scopes_epoch_ = 0;
+  // Per-scope sample accumulators for the current read chunk (reused; no
+  // steady-state allocation).
+  std::vector<std::vector<Sample>> ingest_scratch_;
   Stats stats_;
 };
 

@@ -186,6 +186,64 @@ TEST_F(StreamTest, ServerCloseStopsAccepting) {
 }
 
 
+TEST_F(StreamTest, CrlfFramedLinesParse) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  Socket raw = Socket::Connect(server.port());
+  ASSERT_TRUE(raw.valid());
+  scope_.StartPolling();
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+  const std::string wire = "10 1.5 crlf\r\n20 2.5 crlf\r\n";
+  raw.Write(wire.data(), wire.size());
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 2; }));
+  EXPECT_EQ(server.stats().parse_errors, 0);
+  EXPECT_NE(scope_.FindSignal("crlf"), 0);
+}
+
+TEST_F(StreamTest, OverlongLineCappedAndResynchronized) {
+  // A client streaming garbage with no newline must not grow the line
+  // buffer without bound: the line is dropped as one parse error and
+  // framing resynchronizes at the next newline.
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  Socket raw = Socket::Connect(server.port());
+  ASSERT_TRUE(raw.valid());
+  scope_.StartPolling();
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+
+  // Feed 3 x 4 KiB of newline-free junk (crosses the 4 KiB cap mid-stream).
+  const std::string junk(4096, 'x');
+  for (int i = 0; i < 3; ++i) {
+    raw.Write(junk.data(), junk.size());
+    loop_.RunForMs(5);
+  }
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().parse_errors >= 1; }));
+  EXPECT_EQ(server.stats().parse_errors, 1);  // one error for the whole line
+  EXPECT_EQ(server.stats().tuples, 0);
+
+  // Terminate the junk line; the next well-formed line must parse again.
+  const std::string recovery = "\n42 7.0 recovered\n";
+  raw.Write(recovery.data(), recovery.size());
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 1; }));
+  EXPECT_NE(scope_.FindSignal("recovered"), 0);
+  EXPECT_EQ(server.stats().parse_errors, 1);
+}
+
+TEST_F(StreamTest, OverlongLineWithinOneChunkCounted) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  Socket raw = Socket::Connect(server.port());
+  ASSERT_TRUE(raw.valid());
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+  // One write holding an over-long line *and* its newline, then a valid
+  // tuple: the long line is one parse error, the tuple still parses.
+  std::string wire(5000, 'y');
+  wire += "\n1 2.0 ok\n";
+  raw.Write(wire.data(), wire.size());
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 1; }));
+  EXPECT_EQ(server.stats().parse_errors, 1);
+}
+
 TEST_F(StreamTest, FanOutToMultipleScopes) {
   // "It then displays these BUFFER signals to one or more scopes."
   Scope second(&loop_, {.name = "second", .width = 64});

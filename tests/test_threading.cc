@@ -132,11 +132,16 @@ TEST(ThreadingTest, EventAggregatorSharedAcrossThreads) {
   gui.join();
 
   // Every event lands in exactly one polling interval; the trace total
-  // equals the event count (no loss, no double count).
+  // equals the event count (no loss, no double count).  Lost polling ticks
+  // (common on a loaded host) fill the missed columns with synthesized hold
+  // points that repeat the drained sum — skip those, they are display
+  // artifacts, not re-counted events (Section 4.5).
   const Trace* trace = scope.TraceFor(id);
   double total = 0.0;
-  for (double v : trace->Values()) {
-    total += v;
+  for (const TracePoint& p : trace->Snapshot()) {
+    if (p.valid && !p.synthesized) {
+      total += p.value;
+    }
   }
   // The last interval may still be undrained at Quit; allow it to be held.
   EXPECT_GE(total, kEvents * 0.99);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace gscope {
 namespace {
 
@@ -15,6 +18,35 @@ TEST(TupleTest, FormatTwoFieldsWhenNameEmpty) {
   // not exist.  In that case, signals are simply time-value tuples."
   Tuple t{1500, 42.5, ""};
   EXPECT_EQ(FormatTuple(t), "1500 42.5\n");
+}
+
+TEST(TupleTest, FormatNonFiniteAndExtremeValues) {
+  // The integral fast path must not cast NaN/out-of-range doubles (UB);
+  // these route through the general formatter and round-trip.
+  auto roundtrip = [](double v) {
+    auto t = ParseTuple(FormatTuple(Tuple{1, v, "x"}));
+    ASSERT_TRUE(t.has_value());
+    if (std::isnan(v)) {
+      EXPECT_TRUE(std::isnan(t->value));
+    } else {
+      EXPECT_DOUBLE_EQ(t->value, v);
+    }
+  };
+  roundtrip(std::numeric_limits<double>::quiet_NaN());
+  roundtrip(std::numeric_limits<double>::infinity());
+  roundtrip(-std::numeric_limits<double>::infinity());
+  roundtrip(1e300);
+  roundtrip(-1e300);
+  roundtrip(9.2233720368547758e18);  // just above int64 range
+  roundtrip(123456.0);
+  roundtrip(-123456.0);
+  roundtrip(-0.0);
+}
+
+TEST(TupleTest, FormatIntegralValuesUseIntegerDigits) {
+  EXPECT_EQ(FormatTuple(Tuple{1, 42.0, ""}), "1 42\n");
+  EXPECT_EQ(FormatTuple(Tuple{1, 0.0, ""}), "1 0\n");
+  EXPECT_EQ(FormatTuple(Tuple{1, -3.0, ""}), "1 -3\n");
 }
 
 TEST(TupleTest, ParseThreeFields) {
