@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus a Release-mode bench smoke, so the ingest fast paths
-# cannot silently rot.  Usage: scripts/check.sh [build-dir]
+# Tier-1 verify plus Release-mode bench smokes and a TSan pass over the
+# sharded fan-out, so the ingest fast paths cannot silently rot.
+# Usage: scripts/check.sh [build-dir]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -15,5 +16,42 @@ echo "--- bench smoke: tuple codec ---"
 
 echo "--- bench smoke: net stream ---"
 "$build_dir/bench_net_stream"
+
+echo "--- bench smoke: fan-out (reduced tuple count) ---"
+"$build_dir/bench_fanout" 5000
+
+# Every other bench target gets a ~1s smoke: it must start and not crash.
+# Long-running experiment mains are cut off by timeout (exit 124 = alive).
+echo "--- bench smoke: all remaining targets (~1s each) ---"
+for bench in "$build_dir"/bench_*; do
+  [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  case "$name" in
+    bench_tuple_codec|bench_net_stream|bench_fanout) continue ;;
+  esac
+  args=()
+  case "$name" in
+    bench_fft|bench_scope_micro) args=(--benchmark_min_time=0.05) ;;
+  esac
+  rc=0
+  timeout --signal=KILL 1 "$bench" "${args[@]}" > /dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 0 ] && [ "$rc" -ne 124 ] && [ "$rc" -ne 137 ]; then
+    echo "bench smoke FAILED: $name (exit $rc)"
+    exit 1
+  fi
+  echo "ok: $name"
+done
+
+echo "--- TSan: sharded fan-out race check ---"
+tsan_dir="$repo_root/build-tsan"
+cmake -B "$tsan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread" -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+  > /dev/null
+# Only the new sharded fan-out tests run under TSan: test_threading's own
+# harness reads scope state cross-thread by design (the paper's sampled-
+# variable model) and is expected to trip the sanitizer.
+cmake --build "$tsan_dir" -j --target test_ingest_router test_ingest_fast_path
+"$tsan_dir/test_ingest_router"
+"$tsan_dir/test_ingest_fast_path"
 
 echo "check.sh: OK"

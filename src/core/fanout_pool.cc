@@ -1,0 +1,77 @@
+#include "core/fanout_pool.h"
+
+namespace gscope {
+
+FanoutPool::FanoutPool(size_t workers) {
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this]() { WorkerMain(); });
+  }
+}
+
+FanoutPool::~FanoutPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void FanoutPool::Run(size_t tasks, const std::function<void(size_t)>& fn) {
+  if (tasks == 0) {
+    return;
+  }
+  if (threads_.empty() || tasks == 1) {
+    for (size_t i = 0; i < tasks; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  total_ = tasks;
+  next_ = 0;
+  active_ = 0;
+  ++generation_;
+  work_cv_.notify_all();
+  // The caller claims tasks alongside the workers instead of just waiting.
+  while (next_ < total_) {
+    size_t index = next_++;
+    lock.unlock();
+    fn(index);
+    lock.lock();
+  }
+  done_cv_.wait(lock, [this]() { return active_ == 0; });
+  fn_ = nullptr;
+}
+
+void FanoutPool::WorkerMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen = 0;
+  while (true) {
+    work_cv_.wait(lock, [this, seen]() {
+      return stop_ || (generation_ != seen && fn_ != nullptr && next_ < total_);
+    });
+    if (stop_) {
+      return;
+    }
+    seen = generation_;
+    while (fn_ != nullptr && next_ < total_) {
+      size_t index = next_++;
+      ++active_;
+      const std::function<void(size_t)>& fn = *fn_;
+      lock.unlock();
+      fn(index);
+      lock.lock();
+      --active_;
+      if (active_ == 0 && next_ >= total_) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace gscope

@@ -1,0 +1,57 @@
+// A tiny persistent worker pool for sharded ingest fan-out.
+//
+// The router partitions its subscription list into K shards per flush and
+// runs them through Run(); with zero workers the shards execute inline on the
+// caller (the right choice on a single-core host, where extra threads only
+// add wake-up latency and CPU overhead).  With workers, the caller thread
+// participates too, so Run(K, fn) uses up to worker_count()+1 threads and
+// returns only when every shard has completed - the scope drains stay on the
+// loop thread, preserving the paper's GTK-lock discipline.
+#ifndef GSCOPE_CORE_FANOUT_POOL_H_
+#define GSCOPE_CORE_FANOUT_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gscope {
+
+class FanoutPool {
+ public:
+  // `workers` persistent threads; 0 runs every task inline in Run().
+  explicit FanoutPool(size_t workers = 0);
+  ~FanoutPool();
+
+  FanoutPool(const FanoutPool&) = delete;
+  FanoutPool& operator=(const FanoutPool&) = delete;
+
+  size_t worker_count() const { return threads_.size(); }
+
+  // Runs fn(0) .. fn(tasks-1), each exactly once, across the workers and the
+  // calling thread; blocks until all complete.  `fn` must be safe to invoke
+  // concurrently with itself for distinct task indexes.  Callers that reuse
+  // one std::function across Run() calls keep the steady state
+  // allocation-free.
+  void Run(size_t tasks, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerMain();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* fn_ = nullptr;  // valid while a job runs
+  size_t total_ = 0;   // tasks in the current job
+  size_t next_ = 0;    // next unclaimed task index
+  size_t active_ = 0;  // tasks currently executing on workers
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_CORE_FANOUT_POOL_H_

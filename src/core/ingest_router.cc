@@ -1,0 +1,302 @@
+#include "core/ingest_router.h"
+
+#include <thread>
+
+#include "core/scope.h"
+#include "core/tuple.h"
+
+namespace gscope {
+namespace {
+
+size_t PickWorkers(const IngestRouterOptions& options) {
+  if (options.worker_threads >= 0) {
+    return static_cast<size_t>(options.worker_threads);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  size_t by_host = hw > 1 ? static_cast<size_t>(hw - 1) : 0;
+  size_t by_shards = options.fanout_shards > 1 ? options.fanout_shards - 1 : 0;
+  return std::min(by_host, by_shards);
+}
+
+}  // namespace
+
+IngestRouter::IngestRouter(IngestRouterOptions options)
+    : options_(options),
+      table_(std::make_shared<RouteTable>()),
+      pool_(PickWorkers(options)) {
+  if (options_.fanout_shards == 0) {
+    options_.fanout_shards = 1;
+  }
+  fanout_job_ = [this](size_t shard) { FanoutShard(shard); };
+}
+
+IngestRouter::~IngestRouter() = default;
+
+bool IngestRouter::AddScope(Scope* scope) {
+  if (scope == nullptr || scope_index_.count(scope) != 0) {
+    return false;
+  }
+  scope_index_.emplace(scope, scopes_.size());
+  scopes_.push_back(scope);
+  scopes_epoch_ += 1;
+  // The slot count changed: the table snapshot's stride is stale.  Force a
+  // resync even mid-batch (Append and Flush both check), so no span is ever
+  // built with a slot index the captured table cannot translate.
+  epoch_valid_ = false;
+  return true;
+}
+
+bool IngestRouter::RemoveScope(Scope* scope) {
+  auto it = scope_index_.find(scope);
+  if (it == scope_index_.end()) {
+    return false;
+  }
+  size_t index = it->second;
+  scope_index_.erase(it);
+  // RouteEpoch sums the scopes' signal epochs; fold the removed term into the
+  // local epoch so the total stays strictly increasing (a repeated value
+  // would let a stale table snapshot survive).
+  scopes_epoch_ += scope->signals_epoch() + 1;
+  scopes_[index] = scopes_.back();
+  scopes_.pop_back();
+  if (index < scopes_.size()) {
+    scope_index_[scopes_[index]] = index;
+  }
+  epoch_valid_ = false;
+  return true;
+}
+
+uint64_t IngestRouter::RouteEpoch() const {
+  uint64_t epoch = scopes_epoch_;
+  for (const Scope* scope : scopes_) {
+    epoch += scope->signals_epoch();
+  }
+  return epoch;
+}
+
+std::shared_ptr<IngestBlock> IngestRouter::AcquireBlock() {
+  for (const std::shared_ptr<IngestBlock>& pooled : block_pool_) {
+    // use_count 1 = only the pool holds it: every span that referenced it
+    // has been drained, so the sample storage can be reused in place.
+    if (pooled.use_count() == 1) {
+      pooled->Clear();
+      return pooled;
+    }
+  }
+  auto fresh = std::make_shared<IngestBlock>();
+  if (block_pool_.size() < options_.block_pool) {
+    block_pool_.push_back(fresh);
+  }
+  return fresh;
+}
+
+void IngestRouter::EnsureBatch() {
+  if (block_ == nullptr) {
+    block_ = AcquireBlock();
+    SyncRoutes();
+  }
+}
+
+void IngestRouter::SyncRoutes() {
+  uint64_t epoch = RouteEpoch();
+  if (epoch_valid_ && epoch == synced_epoch_) {
+    return;
+  }
+  RebuildTable();
+  synced_epoch_ = epoch;
+  epoch_valid_ = true;
+  memo_valid_ = false;
+}
+
+void IngestRouter::RebuildTable() {
+  staged_ids_.assign(route_names_.size() * scopes_.size(), 0);
+  for (size_t r = 0; r < route_names_.size(); ++r) {
+    bool unresolved = scopes_.empty();
+    for (size_t s = 0; s < scopes_.size(); ++s) {
+      // Resolution only: a removed signal is not eagerly recreated here.  If
+      // auto-create is on, the route is re-resolved (and the signal added
+      // back) the next time a tuple actually uses the name.
+      SignalId id = scopes_[s]->FindSignal(route_names_[r]);
+      staged_ids_[r * scopes_.size() + s] = id;
+      unresolved = unresolved || id == 0;
+    }
+    route_unresolved_[r] = unresolved ? 1 : 0;
+  }
+  table_dirty_ = true;
+}
+
+bool IngestRouter::ResolveNewRoute(std::string_view name, uint32_t* route) {
+  resolve_scratch_.clear();
+  bool any_resolved = false;
+  bool unresolved = scopes_.empty();
+  for (Scope* scope : scopes_) {
+    SignalId id = options_.auto_create_signals ? scope->FindOrAddBufferSignal(name)
+                                               : scope->FindSignal(name);
+    any_resolved = any_resolved || id != 0;
+    unresolved = unresolved || id == 0;
+    resolve_scratch_.push_back(id);
+  }
+  if (!any_resolved) {
+    // Nothing resolved anywhere (auto-create off, unknown everywhere): do
+    // not create a route - a stream of endless distinct unknown names must
+    // not grow the table without bound.  The caller falls back to the
+    // per-scope name shim (bounded by the scopes' pending-name caps).
+    return false;
+  }
+  *route = static_cast<uint32_t>(route_names_.size());
+  route_names_.emplace_back(name);
+  name_to_route_.emplace(std::string(name), *route);
+  route_unresolved_.push_back(unresolved ? 1 : 0);
+  staged_ids_.insert(staged_ids_.end(), resolve_scratch_.begin(), resolve_scratch_.end());
+  table_dirty_ = true;
+  // Auto-creation bumped the scopes' signal epochs; re-sync so this staging
+  // survives until the topology actually changes again.
+  synced_epoch_ = RouteEpoch();
+  return true;
+}
+
+void IngestRouter::ReResolveRoute(uint32_t route) {
+  const std::string& name = route_names_[route];
+  bool unresolved = scopes_.empty();
+  for (size_t s = 0; s < scopes_.size(); ++s) {
+    SignalId& id = staged_ids_[static_cast<size_t>(route) * scopes_.size() + s];
+    if (id == 0) {
+      id = scopes_[s]->FindOrAddBufferSignal(name);
+    }
+    unresolved = unresolved || id == 0;
+  }
+  route_unresolved_[route] = unresolved ? 1 : 0;
+  table_dirty_ = true;
+  synced_epoch_ = RouteEpoch();
+}
+
+void IngestRouter::ShimPushUnresolved(uint32_t route, int64_t time_ms, double value) {
+  const std::string& name = route_names_[route];
+  for (size_t s = 0; s < scopes_.size(); ++s) {
+    if (staged_ids_[static_cast<size_t>(route) * scopes_.size() + s] != 0) {
+      continue;  // this slot is served through the span
+    }
+    // Unknown name with auto-create off: go through the name shim so the
+    // scope can still resolve at drain time if the app adds the signal
+    // within the delay window.
+    if (!scopes_[s]->PushBuffered(name, time_ms, value)) {
+      shim_dropped_late_ += 1;
+    }
+  }
+}
+
+void IngestRouter::ShimPushAll(std::string_view name, int64_t time_ms, double value) {
+  for (Scope* scope : scopes_) {
+    if (!scope->PushBuffered(name, time_ms, value)) {
+      shim_dropped_late_ += 1;
+    }
+  }
+}
+
+void IngestRouter::Append(std::string_view name, int64_t time_ms, double value) {
+  EnsureBatch();
+  if (!epoch_valid_) {
+    SyncRoutes();  // scope list changed mid-batch: re-snapshot before routing
+  }
+  if (name.empty()) {
+    block_->Append(time_ms, value, kUnnamedRouteKey);
+    return;
+  }
+  uint32_t route;
+  if (memo_valid_ && name == memo_name_) {
+    route = memo_route_;
+  } else {
+    auto it = name_to_route_.find(name);
+    if (it != name_to_route_.end()) {
+      route = it->second;
+    } else if (!ResolveNewRoute(name, &route)) {
+      ShimPushAll(name, time_ms, value);
+      return;
+    }
+    memo_name_.assign(name);
+    memo_route_ = route;
+    memo_valid_ = true;
+  }
+  if (route_unresolved_[route] != 0) {
+    if (options_.auto_create_signals && !scopes_.empty()) {
+      // A signal disappeared (or a scope arrived) since this route was
+      // built: recreate the missing BUFFER signals once, then return to the
+      // pure span path.  (With no scopes there is nothing to create and the
+      // rebuild would otherwise repeat per tuple.)
+      ReResolveRoute(route);
+    }
+    if (route_unresolved_[route] != 0) {
+      ShimPushUnresolved(route, time_ms, value);
+      block_->has_unresolved = true;
+    }
+  }
+  block_->Append(time_ms, value, route);
+}
+
+void IngestRouter::AppendTupleLine(std::string_view line, int64_t* tuples,
+                                   int64_t* parse_errors) {
+  std::optional<TupleView> tuple = ParseTupleView(line);
+  if (!tuple.has_value()) {
+    if (!IsIgnorableLine(line)) {
+      *parse_errors += 1;
+    }
+    return;
+  }
+  *tuples += 1;
+  Append(tuple->name, tuple->time_ms, tuple->value);
+}
+
+void IngestRouter::FanoutShard(size_t shard) {
+  const size_t n = flush_block_->samples.size();
+  int64_t dropped = 0;
+  for (size_t i = shard; i < scopes_.size(); i += flush_shards_) {
+    IngestSpan span{flush_block_, flush_table_, 0, static_cast<uint32_t>(n),
+                    static_cast<uint32_t>(i)};
+    size_t accepted = scopes_[i]->PushIngestSpan(span, flush_now_ms_[i]);
+    dropped += static_cast<int64_t>(n - accepted);
+  }
+  shard_dropped_late_[shard] = dropped;
+}
+
+IngestRouter::FlushStats IngestRouter::Flush() {
+  FlushStats out;
+  out.dropped_late = shim_dropped_late_;
+  shim_dropped_late_ = 0;
+  if (block_ == nullptr || block_->empty() || scopes_.empty()) {
+    block_.reset();  // an unused block returns to the pool via its refcount
+    return out;
+  }
+  if (!epoch_valid_) {
+    // A scope was added/removed after the last Append: re-stage so the
+    // published table's stride matches the slots handed out below.
+    SyncRoutes();
+  }
+  if (table_dirty_) {
+    // Publish one immutable snapshot for this flush; spans in flight keep
+    // whatever snapshot they were handed.
+    auto table = std::make_shared<RouteTable>();
+    table->num_slots = static_cast<uint32_t>(scopes_.size());
+    table->ids = staged_ids_;
+    table_ = std::move(table);
+    table_dirty_ = false;
+  }
+  flush_block_ = std::move(block_);
+  flush_table_ = table_;
+  flush_shards_ = pool_.worker_count() > 0
+                      ? std::min(options_.fanout_shards, scopes_.size())
+                      : 1;
+  shard_dropped_late_.assign(flush_shards_, 0);
+  flush_now_ms_.resize(scopes_.size());
+  for (size_t i = 0; i < scopes_.size(); ++i) {
+    flush_now_ms_[i] = scopes_[i]->NowMs();
+  }
+  pool_.Run(flush_shards_, fanout_job_);
+  for (int64_t dropped : shard_dropped_late_) {
+    out.dropped_late += dropped;
+  }
+  flush_block_.reset();
+  flush_table_.reset();
+  return out;
+}
+
+}  // namespace gscope

@@ -1,0 +1,162 @@
+// IngestRouter: epoch-invalidated routing table + sharded span fan-out.
+//
+// Owned by an ingest front-end (the TCP stream server, the UDP datagram
+// server), this is the single place where tuple names meet scope signal
+// tables.  It replaces the per-client name -> per-scope-SignalId route caches
+// with ONE server-wide table shared by every client, and replaces per-scope
+// sample copies with span hand-offs into the scopes' IngestSpanQueues:
+//
+//   Append("cwnd", t, v)   O(1): memoized/interned name -> route index,
+//                          sample appended once to the shared block
+//   Flush()                O(scopes): each scope gets one IngestSpan,
+//                          partitioned into K shards run on a FanoutPool
+//
+// Invalidation: RouteEpoch() = local scope-list epoch + the sum of every
+// scope's signals_epoch().  When it moves, the immutable RouteTable snapshot
+// is rebuilt lazily at the next batch; queued spans keep their old snapshot
+// (stale ids resolve to unmatched at drain, never to a wrong signal).
+//
+// Threading: Append/Flush/AddScope/RemoveScope run on the loop thread.  The
+// fan-out shards call Scope::PushIngestSpan, which is thread-safe; the
+// scopes' drains stay on the loop thread (the paper's GTK-lock discipline).
+#ifndef GSCOPE_CORE_INGEST_ROUTER_H_
+#define GSCOPE_CORE_INGEST_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fanout_pool.h"
+#include "core/ingest_bus.h"
+#include "core/string_index.h"
+
+namespace gscope {
+
+class Scope;
+
+struct IngestRouterOptions {
+  // Create a BUFFER signal on every scope the first time a new tuple name
+  // appears (remote signals are not known in advance).
+  bool auto_create_signals = true;
+  // Upper bound on parallel fan-out shards per flush (each shard serves a
+  // strided subset of the scopes).
+  size_t fanout_shards = 4;
+  // Worker threads for the fan-out pool.  -1 picks hardware_concurrency()-1
+  // capped at fanout_shards-1 (0 on a single-core host: inline fan-out beats
+  // cross-thread wake-ups there); 0 forces inline.
+  int worker_threads = -1;
+  // Parsed blocks kept for reuse; beyond this, in-flight batches allocate.
+  size_t block_pool = 32;
+};
+
+class IngestRouter {
+ public:
+  explicit IngestRouter(IngestRouterOptions options = {});
+  ~IngestRouter();
+
+  IngestRouter(const IngestRouter&) = delete;
+  IngestRouter& operator=(const IngestRouter&) = delete;
+
+  // O(1) membership (the old O(N) std::find scans fold into scope_index_).
+  // Scopes are not owned and must outlive the router.  Removal swaps with
+  // the last slot; slot order is a table-internal detail.
+  bool AddScope(Scope* scope);
+  bool RemoveScope(Scope* scope);
+  bool HasScope(Scope* scope) const { return scope_index_.count(scope) != 0; }
+  size_t scope_count() const { return scopes_.size(); }
+  const std::vector<Scope*>& scopes() const { return scopes_; }
+
+  // Appends one parsed tuple to the current batch, resolving `name` through
+  // the routing table (empty name = the two-field single-signal form).
+  // Steady state is O(1) and allocation-free regardless of scope count.
+  void Append(std::string_view name, int64_t time_ms, double value);
+
+  // Parses one wire line (`<time_ms> <value> [<name>]`) and appends it on
+  // success: the shared ingest entry point for the TCP and UDP front-ends.
+  // Bumps the caller's tuple counter on success and its parse-error counter
+  // on malformed (non-ignorable) lines, so the accounting cannot diverge
+  // between transports.
+  void AppendTupleLine(std::string_view line, int64_t* tuples, int64_t* parse_errors);
+
+  struct FlushStats {
+    // Samples rejected as late across all scopes (span-level and shim-level).
+    int64_t dropped_late = 0;
+  };
+  // Hands the accumulated batch to every scope as a span, sharded across the
+  // fan-out pool, and starts a fresh batch.  Blocks until all shards finish.
+  FlushStats Flush();
+
+  // Diagnostics / tests.
+  size_t route_count() const { return route_names_.size(); }
+  uint64_t route_epoch() const { return RouteEpoch(); }
+  size_t pending_batch_samples() const { return block_ ? block_->samples.size() : 0; }
+  size_t fanout_worker_count() const { return pool_.worker_count(); }
+
+ private:
+  uint64_t RouteEpoch() const;
+  void EnsureBatch();
+  void SyncRoutes();           // rebuild the table snapshot if the epoch moved
+  void RebuildTable();         // re-resolve every known route (FindSignal only)
+  bool ResolveNewRoute(std::string_view name, uint32_t* route);
+  void ReResolveRoute(uint32_t route);  // auto-create missing slots for one route
+  void ShimPushUnresolved(uint32_t route, int64_t time_ms, double value);
+  void ShimPushAll(std::string_view name, int64_t time_ms, double value);
+  std::shared_ptr<IngestBlock> AcquireBlock();
+  void FanoutShard(size_t shard);
+
+  IngestRouterOptions options_;
+
+  std::vector<Scope*> scopes_;
+  std::unordered_map<Scope*, size_t> scope_index_;
+  // Bumped on scope add/remove; removal also folds in the removed scope's
+  // signal epoch so the RouteEpoch sum stays strictly increasing.
+  uint64_t scopes_epoch_ = 0;
+  uint64_t synced_epoch_ = 0;
+  bool epoch_valid_ = false;
+
+  // name -> route index; indexes are stable for the router's lifetime.
+  StringKeyedMap<uint32_t> name_to_route_;
+  std::vector<std::string> route_names_;
+  // Route has at least one slot with id 0 (auto-create off, or a signal was
+  // removed): per-sample cold path until re-resolved.
+  std::vector<uint8_t> route_unresolved_;
+  // Authoritative routing ids, route-major with stride scopes_.size(),
+  // mutated in place as names resolve.  Snapshotted into an immutable
+  // RouteTable at most once per flush (when dirty), so discovering N names
+  // costs O(N x scopes) appends plus one copy per flush instead of a full
+  // table copy per name.
+  std::vector<SignalId> staged_ids_;
+  bool table_dirty_ = false;
+  std::shared_ptr<const RouteTable> table_;  // last published snapshot
+
+  // Streams repeat names in runs; memoizing the last hit skips the hash
+  // lookup for consecutive same-name tuples.
+  std::string memo_name_;
+  uint32_t memo_route_ = 0;
+  bool memo_valid_ = false;
+
+  // Batch state.
+  std::vector<std::shared_ptr<IngestBlock>> block_pool_;
+  std::shared_ptr<IngestBlock> block_;  // active batch; null between batches
+  int64_t shim_dropped_late_ = 0;
+
+  // Flush state, held in members so the reusable fan-out job closure stays
+  // allocation-free across flushes.
+  FanoutPool pool_;
+  std::function<void(size_t)> fanout_job_;
+  std::shared_ptr<const IngestBlock> flush_block_;
+  std::shared_ptr<const RouteTable> flush_table_;
+  size_t flush_shards_ = 0;
+  std::vector<int64_t> shard_dropped_late_;
+  // Per-scope "now", captured on the loop thread at flush: the late-drop
+  // verdict must not depend on fan-out worker scheduling latency.
+  std::vector<int64_t> flush_now_ms_;
+  std::vector<SignalId> resolve_scratch_;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_CORE_INGEST_ROUTER_H_

@@ -25,7 +25,8 @@ constexpr int kPaletteSize = static_cast<int>(sizeof(kPalette) / sizeof(kPalette
 Scope::Scope(MainLoop* loop, ScopeOptions options)
     : loop_(loop),
       options_(std::move(options)),
-      buffer_(options_.buffer_capacity) {
+      buffer_(options_.buffer_capacity),
+      ingest_spans_(options_.buffer_capacity) {
   if (options_.width <= 0) {
     options_.width = 512;
   }
@@ -238,9 +239,9 @@ bool Scope::StartPolling() {
   if (poll_source_ == 0) {
     return false;
   }
-  if (!started_) {
-    start_ns_ = loop_->clock()->NowNs();
-    started_ = true;
+  if (!started_.load(std::memory_order_relaxed)) {
+    start_ns_.store(loop_->clock()->NowNs(), std::memory_order_relaxed);
+    started_.store(true, std::memory_order_release);
   }
   return true;
 }
@@ -273,17 +274,79 @@ void Scope::SetBias(double bias) { bias_ = bias; }
 
 void Scope::SetDelayMs(int64_t delay_ms) {
   if (delay_ms >= 0) {
-    delay_ms_ = delay_ms;
+    delay_ms_.store(delay_ms, std::memory_order_relaxed);
   }
 }
 
 bool Scope::PushBuffered(SignalId id, int64_t time_ms, double value) {
   SampleKey key = id == 0 ? kUnmatchedSampleKey : static_cast<SampleKey>(id);
-  return buffer_.Push(key, time_ms, value, NowMs(), delay_ms_);
+  return buffer_.Push(key, time_ms, value, NowMs(), delay_ms());
 }
 
 size_t Scope::PushBufferedBatch(const Sample* samples, size_t count) {
-  return buffer_.PushBatch(samples, count, NowMs(), delay_ms_);
+  return buffer_.PushBatch(samples, count, NowMs(), delay_ms());
+}
+
+size_t Scope::PushIngestSpan(const IngestSpan& span, int64_t now_ms) {
+  size_t n = span.size();
+  if (n == 0) {
+    return 0;
+  }
+  int64_t delay = delay_ms();
+  switch (ingest_spans_.Push(span, now_ms, delay)) {
+    case IngestSpanQueue::PushVerdict::kQueued:
+      return n;
+    case IngestSpanQueue::PushVerdict::kAllLate: {
+      // Samples whose slot id is 0 were delivered (and, if late, counted)
+      // through the name shim already — they are not this span's to drop.
+      // The common all-resolved case skips the scan: whole-span drop stays
+      // O(1).
+      size_t shim_served = 0;
+      if (span.block->has_unresolved) {
+        SampleKey key;
+        for (uint32_t i = span.begin; i < span.end; ++i) {
+          if (!TranslateSpanKey(span, span.block->samples[i], &key)) {
+            ++shim_served;
+          }
+        }
+      }
+      ingest_spans_.CountLateDrops(static_cast<int64_t>(n - shim_served));
+      return shim_served;
+    }
+    case IngestSpanQueue::PushVerdict::kMixed:
+      break;
+  }
+  // The span straddles the late-drop deadline: translate and push per sample
+  // through the regular buffer, which applies the per-sample policy.
+  size_t accepted = 0;
+  const IngestBlock& block = *span.block;
+  for (uint32_t i = span.begin; i < span.end; ++i) {
+    const Sample& sample = block.samples[i];
+    SampleKey key;
+    if (!TranslateSpanKey(span, sample, &key)) {
+      // Delivered out-of-band through the name shim (or unroutable by
+      // design): not this span's sample to accept or drop.
+      ++accepted;
+      continue;
+    }
+    if (buffer_.Push(key, sample.time_ms, sample.value, now_ms, delay)) {
+      ++accepted;
+    }
+  }
+  return accepted;
+}
+
+bool Scope::TranslateSpanKey(const IngestSpan& span, const Sample& sample, SampleKey* key) {
+  if (sample.key == kUnnamedRouteKey) {
+    *key = kUnnamedSampleKey;
+    return true;
+  }
+  SignalId id = span.table->IdFor(sample.key, span.slot);
+  if (id == 0) {
+    return false;  // delivered out-of-band through the name shim
+  }
+  *key = static_cast<SampleKey>(id);
+  return true;
 }
 
 bool Scope::PushBuffered(std::string_view signal_name, int64_t time_ms, double value) {
@@ -310,12 +373,12 @@ bool Scope::PushBuffered(std::string_view signal_name, int64_t time_ms, double v
       } else {
         // Bound the interner against a stream of endless distinct unknown
         // names; beyond the cap they become plain unmatched samples.
-        return buffer_.Push(kUnmatchedSampleKey, time_ms, value, NowMs(), delay_ms_);
+        return buffer_.Push(kUnmatchedSampleKey, time_ms, value, NowMs(), delay_ms());
       }
       key = kPendingNameKeyBit | index;
     }
   }
-  return buffer_.Push(key, time_ms, value, NowMs(), delay_ms_);
+  return buffer_.Push(key, time_ms, value, NowMs(), delay_ms());
 }
 
 bool Scope::StartRecording(const std::string& path) {
@@ -334,16 +397,17 @@ const TimerStats* Scope::poll_stats() const {
 }
 
 int64_t Scope::NowMs() const {
-  if (!started_) {
+  if (!started_.load(std::memory_order_acquire)) {
     return 0;
   }
-  return static_cast<int64_t>(NanosToMillis(loop_->clock()->NowNs() - start_ns_));
+  return static_cast<int64_t>(
+      NanosToMillis(loop_->clock()->NowNs() - start_ns_.load(std::memory_order_relaxed)));
 }
 
 void Scope::TickOnce(int64_t lost) {
-  if (!started_) {
-    start_ns_ = loop_->clock()->NowNs();
-    started_ = true;
+  if (!started_.load(std::memory_order_relaxed)) {
+    start_ns_.store(loop_->clock()->NowNs(), std::memory_order_relaxed);
+    started_.store(true, std::memory_order_release);
   }
   TimeoutTick tick{0, loop_->clock()->NowNs(), lost};
   OnPollTick(tick);
@@ -372,13 +436,88 @@ void Scope::SamplePolling(int64_t now_ms, int64_t lost) {
   // scratch vector is reused across ticks: steady-state drains allocate
   // nothing.
   drain_scratch_.clear();
-  buffer_.DrainDisplayableInto(now_ms, delay_ms_, &drain_scratch_);
+  buffer_.DrainDisplayableInto(now_ms, delay_ms(), &drain_scratch_);
   RouteBuffered(drain_scratch_);
+  // Then spans handed over by an ingest router (routed second: they carry
+  // the newest network batches).
+  DrainIngestSpans(now_ms);
 
   for (SignalState& state : signals_) {
     double raw = SampleSource(state);
     CommitSample(state, raw, lost, now_ms);
   }
+}
+
+void Scope::DrainIngestSpans(int64_t now_ms) {
+  if (ingest_spans_.span_count() == 0) {
+    return;
+  }
+  int64_t delay = delay_ms();
+  span_scratch_.clear();
+  ingest_spans_.CollectDisplayable(now_ms, delay, &span_scratch_);
+  for (const IngestSpan& span : span_scratch_) {
+    const IngestBlock& block = *span.block;
+    const bool whole = block.max_time_ms + delay <= now_ms;
+    if (block.time_ordered && whole) {
+      // Common case: whole span displayable, stamps in order - route
+      // straight out of the shared block.
+      for (uint32_t i = span.begin; i < span.end; ++i) {
+        RouteSpanSample(span, block.samples[i]);
+      }
+      continue;
+    }
+    // Straddling and/or reordered: route the displayable part now (in time
+    // order, so sample-and-hold ends on the newest value), funnel the rest
+    // into the regular buffer so it drains time-sorted on a later tick.
+    span_sort_scratch_.clear();
+    for (uint32_t i = span.begin; i < span.end; ++i) {
+      const Sample& sample = block.samples[i];
+      if (whole || sample.time_ms + delay <= now_ms) {
+        if (block.time_ordered) {
+          RouteSpanSample(span, sample);
+        } else {
+          span_sort_scratch_.push_back(sample);
+        }
+        continue;
+      }
+      SampleKey key;
+      if (!TranslateSpanKey(span, sample, &key)) {
+        continue;  // delivered out-of-band through the name shim
+      }
+      buffer_.Push(key, sample.time_ms, sample.value, now_ms, delay);
+    }
+    if (!span_sort_scratch_.empty()) {
+      std::stable_sort(span_sort_scratch_.begin(), span_sort_scratch_.end(),
+                       [](const Sample& a, const Sample& b) { return a.time_ms < b.time_ms; });
+      for (const Sample& sample : span_sort_scratch_) {
+        RouteSpanSample(span, sample);
+      }
+    }
+  }
+  // Release the block references promptly so the router can recycle them.
+  span_scratch_.clear();
+}
+
+void Scope::RouteSpanSample(const IngestSpan& span, const Sample& sample) {
+  SignalState* s = nullptr;
+  if (sample.key == kUnnamedRouteKey) {
+    // Single-signal special case: time-value tuples go to the sole BUFFER
+    // signal.
+    s = FirstBufferSignal();
+  } else {
+    SignalId id = span.table->IdFor(sample.key, span.slot);
+    if (id == 0) {
+      return;  // delivered out-of-band through the name shim, or unroutable
+    }
+    s = Find(id);
+  }
+  if (s == nullptr || s->spec.type() != SignalType::kBuffer) {
+    counters_.buffered_unmatched += 1;
+    return;
+  }
+  s->buffered_hold = sample.value;
+  s->buffered_primed = true;
+  counters_.buffered_routed += 1;
 }
 
 bool Scope::SamplePlayback(int64_t lost) {

@@ -30,6 +30,7 @@
 #ifndef GSCOPE_CORE_SCOPE_H_
 #define GSCOPE_CORE_SCOPE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -39,6 +40,7 @@
 #include <vector>
 
 #include "core/filter.h"
+#include "core/ingest_bus.h"
 #include "core/sample_buffer.h"
 #include "core/signal_spec.h"
 #include "core/string_index.h"
@@ -141,7 +143,7 @@ class Scope {
   void SetBias(double bias);
   double bias() const { return bias_; }
   void SetDelayMs(int64_t delay_ms);
-  int64_t delay_ms() const { return delay_ms_; }
+  int64_t delay_ms() const { return delay_ms_.load(std::memory_order_relaxed); }
   void SetDomain(DisplayDomain domain) { domain_ = domain; }
   DisplayDomain domain() const { return domain_; }
 
@@ -164,6 +166,21 @@ class Scope {
   // to the first BUFFER signal at drain time).  Thread-safe.
   bool PushBuffered(std::string_view signal_name, int64_t time_ms, double value);
   SampleBuffer& buffer() { return buffer_; }
+
+  // O(1) span hand-off from an IngestRouter: the scope keeps a reference to
+  // the shared parsed block instead of copying its samples, and translates
+  // route keys to its own signals at drain time.  A span whose newest sample
+  // already missed the display deadline is dropped whole; a span straddling
+  // the deadline degrades to per-sample pushes through the regular buffer.
+  // Returns the number of samples not rejected as late.  Thread-safe (the
+  // router's fan-out workers call this).  `now_ms` is the scope time the
+  // late-drop verdict is judged against; the router captures it on the loop
+  // thread at flush so worker scheduling latency cannot turn an on-time
+  // batch late.
+  size_t PushIngestSpan(const IngestSpan& span, int64_t now_ms);
+  size_t PushIngestSpan(const IngestSpan& span) { return PushIngestSpan(span, NowMs()); }
+  IngestSpanQueue::Stats ingest_span_stats() const { return ingest_spans_.stats(); }
+  size_t pending_ingest_samples() const { return ingest_spans_.queued_samples(); }
 
   // -- Recording ------------------------------------------------------------
 
@@ -209,6 +226,11 @@ class Scope {
   void SamplePolling(int64_t now_ms, int64_t lost);
   bool SamplePlayback(int64_t lost);
   void RouteBuffered(const std::vector<Sample>& samples);
+  void DrainIngestSpans(int64_t now_ms);
+  void RouteSpanSample(const IngestSpan& span, const Sample& sample);
+  // False for samples the name shim delivered out-of-band (slot id 0);
+  // otherwise sets *key to this scope's SampleKey for the sample.
+  static bool TranslateSpanKey(const IngestSpan& span, const Sample& sample, SampleKey* key);
   double SampleSource(SignalState& state);
   void CommitSample(SignalState& state, double raw, int64_t lost, int64_t now_ms);
   SignalState* Find(SignalId id);
@@ -237,19 +259,26 @@ class Scope {
 
   // Reused per-tick drain scratch (no steady-state allocation).
   std::vector<Sample> drain_scratch_;
+  std::vector<IngestSpan> span_scratch_;
+  // Re-sorting scratch for spans whose producer stamps ran backwards.
+  std::vector<Sample> span_sort_scratch_;
 
   AcquisitionMode mode_ = AcquisitionMode::kPolling;
   int64_t period_ms_ = 50;  // the paper's example default
   SourceId poll_source_ = 0;
-  Nanos start_ns_ = 0;
-  bool started_ = false;
+  // Read by producer-thread pushes through NowMs(); written on the loop
+  // thread when polling starts.
+  std::atomic<Nanos> start_ns_{0};
+  std::atomic<bool> started_{false};
 
   double zoom_ = 1.0;
   double bias_ = 0.0;
-  int64_t delay_ms_ = 0;
+  // Read by producer-thread pushes, written by SetDelayMs on the loop thread.
+  std::atomic<int64_t> delay_ms_{0};
   DisplayDomain domain_ = DisplayDomain::kTime;
 
   SampleBuffer buffer_;
+  IngestSpanQueue ingest_spans_;
 
   TupleReader playback_;
   std::optional<Tuple> playback_pending_;

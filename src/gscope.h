@@ -18,6 +18,9 @@
 #include "core/params.h"
 #include "core/sample_buffer.h"
 #include "core/envelope.h"
+#include "core/fanout_pool.h"
+#include "core/ingest_bus.h"
+#include "core/ingest_router.h"
 #include "core/sample_hold.h"
 #include "core/scope.h"
 #include "core/scope_set.h"
@@ -41,6 +44,7 @@
 #include "freq/window.h"
 
 // Distributed visualization.
+#include "net/datagram_server.h"
 #include "net/socket.h"
 #include "net/stream_client.h"
 #include "net/stream_server.h"

@@ -1,0 +1,104 @@
+#include "net/datagram_server.h"
+
+#include <cstring>
+
+namespace gscope {
+
+DatagramServer::DatagramServer(MainLoop* loop, Scope* scope, DatagramServerOptions options)
+    : loop_(loop),
+      options_(options),
+      router_({.auto_create_signals = options.auto_create_signals,
+               .fanout_shards = options.fanout_shards,
+               .worker_threads = options.fanout_workers}) {
+  if (options_.max_datagram_bytes == 0) {
+    options_.max_datagram_bytes = 65536;
+  }
+  if (options_.max_datagrams_per_wakeup == 0) {
+    options_.max_datagrams_per_wakeup = 1;
+  }
+  if (scope != nullptr) {
+    router_.AddScope(scope);
+  }
+}
+
+DatagramServer::~DatagramServer() { Close(); }
+
+bool DatagramServer::AddScope(Scope* scope) { return router_.AddScope(scope); }
+
+bool DatagramServer::RemoveScope(Scope* scope) { return router_.RemoveScope(scope); }
+
+bool DatagramServer::Listen(uint16_t port) {
+  Close();
+  socket_ = Socket::BindDatagram(port, &port_);
+  if (!socket_.valid()) {
+    return false;
+  }
+  last_kernel_drop_counter_ = 0;  // fresh socket, fresh kernel counter
+  recv_buf_.resize(options_.max_datagram_bytes);
+  watch_ = loop_->AddIoWatch(socket_.fd(), IoCondition::kIn,
+                             [this](int, IoCondition) { return OnReadable(); });
+  return watch_ != 0;
+}
+
+void DatagramServer::Close() {
+  if (watch_ != 0) {
+    loop_->Remove(watch_);
+    watch_ = 0;
+  }
+  socket_.Close();
+  port_ = 0;
+}
+
+bool DatagramServer::OnReadable() {
+  // Drain the burst (bounded, so a flood cannot starve the loop), then
+  // flush once: every datagram in this readable round shares one parsed
+  // block and one span hand-off per scope.  Leftovers re-trigger the watch.
+  for (size_t i = 0; i < options_.max_datagrams_per_wakeup; ++i) {
+    Socket::DatagramResult r = socket_.ReadDatagram(recv_buf_.data(), recv_buf_.size());
+    if (r.status == IoResult::Status::kWouldBlock) {
+      break;
+    }
+    if (r.status != IoResult::Status::kOk) {
+      // Transient (e.g. ECONNREFUSED bounced back on loopback): keep the
+      // watch; UDP has no connection to drop.
+      break;
+    }
+    stats_.datagrams += 1;
+    stats_.bytes += static_cast<int64_t>(r.bytes);
+    if (r.kernel_drops > last_kernel_drop_counter_) {
+      stats_.kernel_drops += static_cast<int64_t>(r.kernel_drops - last_kernel_drop_counter_);
+      last_kernel_drop_counter_ = r.kernel_drops;
+    }
+    if (r.truncated) {
+      stats_.truncated_datagrams += 1;
+      continue;  // the cut line cannot be trusted; UDP cannot resync
+    }
+    HandleDatagram(recv_buf_.data(), r.bytes);
+  }
+  IngestRouter::FlushStats flushed = router_.Flush();
+  stats_.dropped_late += flushed.dropped_late;
+  return true;
+}
+
+void DatagramServer::HandleDatagram(const char* data, size_t len) {
+  size_t pos = 0;
+  while (pos < len) {
+    const char* nl = static_cast<const char*>(std::memchr(data + pos, '\n', len - pos));
+    if (nl == nullptr) {
+      // Final line without a newline: datagrams are self-contained, so
+      // parse it anyway and note the short framing.
+      stats_.short_datagrams += 1;
+      HandleLine(std::string_view(data + pos, len - pos));
+      return;
+    }
+    size_t line_end = static_cast<size_t>(nl - data);
+    HandleLine(std::string_view(data + pos, line_end - pos));
+    pos = line_end + 1;
+  }
+}
+
+void DatagramServer::HandleLine(std::string_view line) {
+  router_.AppendTupleLine(line, &stats_.tuples, &stats_.parse_errors);
+}
+
+}  // namespace gscope

@@ -1,0 +1,105 @@
+// UDP ingest listener for lossy high-rate telemetry.
+//
+// The TCP stream server (Section 4.4) gives reliable delivery but couples
+// the producer to the display host through backpressure: a stalled scope
+// host stalls the instrumented application.  The datagram server trades
+// reliability for isolation - producers fire-and-forget tuple lines over
+// UDP and the kernel sheds load by dropping datagrams when the display host
+// falls behind.  Dropped and malformed input is counted, never blocking.
+//
+// Wire format: each datagram carries one or more newline-delimited tuple
+// lines (`<time_ms> <value> [<name>]`).  Datagrams are self-contained -
+// there is no cross-datagram line reassembly, so a trailing line without a
+// terminating newline is still parsed (and counted as a short datagram).
+//
+// Routing and fan-out reuse the same sharded IngestRouter as the stream
+// server: each readable burst of datagrams is parsed once into a shared
+// block and every display scope receives an O(1) span.
+#ifndef GSCOPE_NET_DATAGRAM_SERVER_H_
+#define GSCOPE_NET_DATAGRAM_SERVER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/ingest_router.h"
+#include "core/scope.h"
+#include "net/socket.h"
+#include "runtime/event_loop.h"
+
+namespace gscope {
+
+struct DatagramServerOptions {
+  // Create a BUFFER signal on the scopes the first time a new name appears.
+  bool auto_create_signals = true;
+  // Receive buffer: datagrams longer than this are counted as truncated and
+  // discarded (UDP cannot resynchronize a cut line).
+  size_t max_datagram_bytes = 65536;
+  // Datagrams consumed per readable wake-up before control returns to the
+  // main loop: a flooding producer must not starve scope ticks (the kernel
+  // sheds the excess, which is the UDP contract).
+  size_t max_datagrams_per_wakeup = 1024;
+  // Fan-out sharding (see IngestRouterOptions).
+  size_t fanout_shards = 4;
+  int fanout_workers = -1;
+};
+
+class DatagramServer {
+ public:
+  struct Stats {
+    int64_t datagrams = 0;
+    int64_t bytes = 0;
+    int64_t tuples = 0;
+    int64_t parse_errors = 0;
+    int64_t dropped_late = 0;
+    // Datagrams longer than max_datagram_bytes (payload discarded).
+    int64_t truncated_datagrams = 0;
+    // Datagrams whose final line had no terminating newline (still parsed).
+    int64_t short_datagrams = 0;
+    // Datagrams the kernel dropped on the receive queue (SO_RXQ_OVFL);
+    // cumulative across rebinds, 0 where the platform lacks the counter.
+    int64_t kernel_drops = 0;
+  };
+
+  // `loop` and `scope` are not owned and must outlive the server.  `scope`
+  // may be null; AddScope attaches display targets.
+  DatagramServer(MainLoop* loop, Scope* scope, DatagramServerOptions options = {});
+  ~DatagramServer();
+
+  DatagramServer(const DatagramServer&) = delete;
+  DatagramServer& operator=(const DatagramServer&) = delete;
+
+  bool AddScope(Scope* scope);
+  bool RemoveScope(Scope* scope);
+  size_t scope_count() const { return router_.scope_count(); }
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts receiving.
+  bool Listen(uint16_t port);
+  uint16_t port() const { return port_; }
+  void Close();
+
+  const Stats& stats() const { return stats_; }
+  const IngestRouter& router() const { return router_; }
+
+ private:
+  bool OnReadable();
+  void HandleDatagram(const char* data, size_t len);
+  void HandleLine(std::string_view line);
+
+  MainLoop* loop_;
+  DatagramServerOptions options_;
+  IngestRouter router_;
+
+  Socket socket_;
+  SourceId watch_ = 0;
+  uint16_t port_ = 0;
+  std::vector<char> recv_buf_;
+  // SO_RXQ_OVFL reports a per-socket cumulative count; the delta against
+  // this keeps stats_.kernel_drops monotonic across Close()/Listen().
+  uint32_t last_kernel_drop_counter_ = 0;
+  Stats stats_;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_NET_DATAGRAM_SERVER_H_

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstring>
 #include <utility>
 
 namespace gscope {
@@ -110,6 +111,77 @@ Socket Socket::Accept() {
     return Socket{};
   }
   return Socket{fd};
+}
+
+Socket Socket::BindDatagram(uint16_t port, uint16_t* bound_port) {
+  int fd = socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Socket{};
+  }
+  sockaddr_in addr = LoopbackAddr(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 || !SetNonBlocking(fd)) {
+    close(fd);
+    return Socket{};
+  }
+#ifdef SO_RXQ_OVFL
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_RXQ_OVFL, &one, sizeof(one));
+#endif
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+      *bound_port = ntohs(actual.sin_port);
+    }
+  }
+  return Socket{fd};
+}
+
+Socket Socket::ConnectDatagram(uint16_t port) {
+  int fd = socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Socket{};
+  }
+  sockaddr_in addr = LoopbackAddr(port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      !SetNonBlocking(fd)) {
+    close(fd);
+    return Socket{};
+  }
+  return Socket{fd};
+}
+
+Socket::DatagramResult Socket::ReadDatagram(void* buf, size_t len) {
+  DatagramResult result;
+  if (!valid()) {
+    return result;
+  }
+  iovec iov{buf, len};
+  alignas(cmsghdr) char control[64];
+  msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = control;
+  msg.msg_controllen = sizeof(control);
+  ssize_t n = recvmsg(fd_, &msg, 0);
+  if (n < 0) {
+    result.status = (errno == EAGAIN || errno == EWOULDBLOCK) ? IoResult::Status::kWouldBlock
+                                                              : IoResult::Status::kError;
+    return result;
+  }
+  result.status = IoResult::Status::kOk;
+  result.bytes = static_cast<size_t>(n);
+  result.truncated = (msg.msg_flags & MSG_TRUNC) != 0;
+#ifdef SO_RXQ_OVFL
+  for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr; cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+    if (cmsg->cmsg_level == SOL_SOCKET && cmsg->cmsg_type == SO_RXQ_OVFL) {
+      uint32_t drops = 0;
+      std::memcpy(&drops, CMSG_DATA(cmsg), sizeof(drops));
+      result.kernel_drops = drops;
+    }
+  }
+#endif
+  return result;
 }
 
 IoResult Socket::Read(void* buf, size_t len) {

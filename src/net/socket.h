@@ -1,8 +1,10 @@
-// RAII non-blocking TCP sockets for the gscope client/server library.
+// RAII non-blocking TCP and UDP sockets for the gscope client/server library.
 //
 // Section 4.4: the distributed library is single-threaded and I/O driven, so
 // every socket here is non-blocking and meant to be driven by MainLoop fd
 // watches.  Only loopback/IPv4 addressing is needed for the reproduction.
+// The datagram variants serve the lossy high-rate telemetry path, where TCP
+// backpressure on the producer is unwanted.
 #ifndef GSCOPE_NET_SOCKET_H_
 #define GSCOPE_NET_SOCKET_H_
 
@@ -52,6 +54,31 @@ class Socket {
 
   IoResult Read(void* buf, size_t len);
   IoResult Write(const void* buf, size_t len);
+
+  // -- Datagram (UDP) --------------------------------------------------------
+
+  // Non-blocking datagram socket bound to 127.0.0.1:`port` (0 picks an
+  // ephemeral port).  Enables the kernel receive-drop counter (SO_RXQ_OVFL)
+  // where available so the server can report datagrams lost to queue
+  // overflow.
+  static Socket BindDatagram(uint16_t port, uint16_t* bound_port = nullptr);
+
+  // Non-blocking datagram socket connected to 127.0.0.1:`port`; Write()
+  // then sends one datagram per call.
+  static Socket ConnectDatagram(uint16_t port);
+
+  struct DatagramResult {
+    IoResult::Status status = IoResult::Status::kError;
+    size_t bytes = 0;
+    // The datagram was longer than `len` and its tail was discarded.
+    bool truncated = false;
+    // Cumulative count of datagrams the kernel dropped on this socket's
+    // receive queue (SO_RXQ_OVFL); 0 where unsupported.
+    uint32_t kernel_drops = 0;
+  };
+  // Receives one datagram (non-blocking).  Unlike Read, detects truncation
+  // and reports the kernel drop counter.
+  DatagramResult ReadDatagram(void* buf, size_t len);
 
  private:
   int fd_ = -1;

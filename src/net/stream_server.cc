@@ -1,49 +1,23 @@
 #include "net/stream_server.h"
 
-#include <algorithm>
 #include <cstring>
-
-#include "core/tuple.h"
 
 namespace gscope {
 
 StreamServer::StreamServer(MainLoop* loop, Scope* scope, StreamServerOptions options)
-    : loop_(loop), options_(options) {
+    : loop_(loop),
+      options_(options),
+      router_({.auto_create_signals = options.auto_create_signals,
+               .fanout_shards = options.fanout_shards,
+               .worker_threads = options.fanout_workers}) {
   if (scope != nullptr) {
-    scopes_.push_back(scope);
+    router_.AddScope(scope);
   }
 }
 
-bool StreamServer::AddScope(Scope* scope) {
-  if (scope == nullptr ||
-      std::find(scopes_.begin(), scopes_.end(), scope) != scopes_.end()) {
-    return false;
-  }
-  scopes_.push_back(scope);
-  scopes_epoch_ += 1;
-  return true;
-}
+bool StreamServer::AddScope(Scope* scope) { return router_.AddScope(scope); }
 
-bool StreamServer::RemoveScope(Scope* scope) {
-  auto it = std::find(scopes_.begin(), scopes_.end(), scope);
-  if (it == scopes_.end()) {
-    return false;
-  }
-  // RouteEpoch sums the scopes' signal epochs; compensate for the removed
-  // term so the total stays strictly increasing (a repeated epoch value
-  // would let a stale, wrongly-sized route entry survive).
-  scopes_epoch_ += scope->signals_epoch() + 1;
-  scopes_.erase(it);
-  return true;
-}
-
-uint64_t StreamServer::RouteEpoch() const {
-  uint64_t epoch = scopes_epoch_;
-  for (const Scope* scope : scopes_) {
-    epoch += scope->signals_epoch();
-  }
-  return epoch;
-}
+bool StreamServer::RemoveScope(Scope* scope) { return router_.RemoveScope(scope); }
 
 StreamServer::~StreamServer() { Close(); }
 
@@ -123,8 +97,7 @@ bool StreamServer::OnClientReady(int client_key, IoCondition cond) {
     }
     // EOF or error: flush any final unterminated line, then drop.
     if (!client.discarding && !client.line_buffer.empty()) {
-      ingest_scratch_.resize(scopes_.size());
-      HandleLine(client, client.line_buffer);
+      HandleLine(client.line_buffer);
       client.line_buffer.clear();
       FlushIngest();
     }
@@ -134,7 +107,6 @@ bool StreamServer::OnClientReady(int client_key, IoCondition cond) {
 }
 
 void StreamServer::ProcessData(Client& client, const char* data, size_t len) {
-  ingest_scratch_.resize(scopes_.size());
   size_t pos = 0;
   while (pos < len) {
     const char* nl =
@@ -163,14 +135,14 @@ void StreamServer::ProcessData(Client& client, const char* data, size_t len) {
         stats_.parse_errors += 1;
       } else {
         client.line_buffer.append(data + pos, line_end - pos);
-        HandleLine(client, client.line_buffer);
+        HandleLine(client.line_buffer);
       }
       client.line_buffer.clear();
     } else if (line_end - pos > options_.max_line_bytes) {
       stats_.parse_errors += 1;
     } else {
       // Whole line inside the read buffer: parse in place.
-      HandleLine(client, std::string_view(data + pos, line_end - pos));
+      HandleLine(std::string_view(data + pos, line_end - pos));
     }
     pos = line_end + 1;
   }
@@ -178,95 +150,12 @@ void StreamServer::ProcessData(Client& client, const char* data, size_t len) {
 }
 
 void StreamServer::FlushIngest() {
-  for (size_t i = 0; i < scopes_.size() && i < ingest_scratch_.size(); ++i) {
-    std::vector<Sample>& batch = ingest_scratch_[i];
-    if (batch.empty()) {
-      continue;
-    }
-    size_t accepted = scopes_[i]->PushBufferedBatch(batch.data(), batch.size());
-    stats_.dropped_late += static_cast<int64_t>(batch.size() - accepted);
-    batch.clear();
-  }
+  IngestRouter::FlushStats flushed = router_.Flush();
+  stats_.dropped_late += flushed.dropped_late;
 }
 
-void StreamServer::HandleLine(Client& client, std::string_view line) {
-  std::optional<TupleView> tuple = ParseTupleView(line);
-  if (!tuple.has_value()) {
-    if (!IsIgnorableLine(line)) {
-      stats_.parse_errors += 1;
-    }
-    return;
-  }
-  stats_.tuples += 1;
-
-  if (tuple->name.empty()) {
-    // Two-field single-signal form: each scope routes it to its first
-    // BUFFER signal at drain time.
-    for (std::vector<Sample>& batch : ingest_scratch_) {
-      batch.push_back(Sample{tuple->time_ms, tuple->value, kUnnamedSampleKey, 0});
-    }
-    return;
-  }
-
-  uint64_t epoch = RouteEpoch();
-  if (client.routes_epoch != epoch) {
-    client.routes.clear();
-    client.last_route = nullptr;
-    client.routes_epoch = epoch;
-  }
-  const std::vector<SignalId>* ids_ptr = nullptr;
-  std::vector<SignalId> uncached_ids;
-  if (client.last_route != nullptr && client.last_name == tuple->name) {
-    ids_ptr = client.last_route;
-  } else {
-    auto route = client.routes.find(tuple->name);
-    if (route == client.routes.end()) {
-      // First time this client sends the name (or the cache was
-      // invalidated): resolve once per scope through the interned index.
-      std::vector<SignalId> ids;
-      ids.reserve(scopes_.size());
-      bool any_resolved = false;
-      for (Scope* scope : scopes_) {
-        SignalId id = options_.auto_create_signals ? scope->FindOrAddBufferSignal(tuple->name)
-                                                   : scope->FindSignal(tuple->name);
-        any_resolved = any_resolved || id != 0;
-        ids.push_back(id);
-      }
-      if (!any_resolved) {
-        // Nothing resolved (auto-create off, unknown everywhere): don't
-        // cache — a stream of endless distinct unknown names must not grow
-        // the cache without bound.  The per-line cost is one O(1) index
-        // miss per scope.
-        uncached_ids = std::move(ids);
-        ids_ptr = &uncached_ids;
-        client.last_route = nullptr;
-      } else {
-        // Auto-creation bumps the epoch; re-sync so this entry survives.
-        client.routes_epoch = RouteEpoch();
-        route = client.routes.emplace(std::string(tuple->name), std::move(ids)).first;
-      }
-    }
-    if (ids_ptr == nullptr) {
-      client.last_name.assign(tuple->name);
-      client.last_route = &route->second;
-      ids_ptr = client.last_route;
-    }
-  }
-  const std::vector<SignalId>& ids = *ids_ptr;
-  for (size_t i = 0; i < scopes_.size(); ++i) {
-    if (ids[i] == 0) {
-      // Unknown name with auto-create off: go through the name shim so the
-      // scope can still resolve at drain time if the app adds the signal
-      // within the delay window (cold path; the cache re-resolves once the
-      // scope's signal epoch changes).
-      if (!scopes_[i]->PushBuffered(tuple->name, tuple->time_ms, tuple->value)) {
-        stats_.dropped_late += 1;
-      }
-      continue;
-    }
-    ingest_scratch_[i].push_back(
-        Sample{tuple->time_ms, tuple->value, static_cast<SampleKey>(ids[i]), 0});
-  }
+void StreamServer::HandleLine(std::string_view line) {
+  router_.AppendTupleLine(line, &stats_.tuples, &stats_.parse_errors);
 }
 
 void StreamServer::DropClient(int client_key) {

@@ -6,14 +6,20 @@
 // more scopes with a user-specified delay.  Data arriving at the server
 // after this delay is not buffered but dropped immediately."
 //
-// Single-threaded and I/O driven: a listen watch accepts clients, per-client
-// watches parse newline-delimited tuples and push them into the target
-// scope's sample buffer (which applies the delay/late-drop policy).
+// I/O driven: a listen watch accepts clients, per-client watches parse
+// newline-delimited tuples and push them into the display scopes' sample
+// buffers (which apply the delay/late-drop policy).  Parsing and routing
+// stay on the loop thread; with the default fanout_workers = -1 the router
+// may spawn up to fanout_shards-1 persistent fan-out worker threads on a
+// multi-core host (none on a single core) — set fanout_workers = 0 for a
+// strictly single-threaded server.
 //
 // Ingest fast path: complete lines are framed with memchr and parsed in
-// place from the read buffer (no copy except for lines split across reads),
-// and each client caches name -> signal-id routes so steady-state tuples
-// reach the scopes' buffers with no allocation and no name scan.
+// place from the read buffer (no copy except for lines split across reads).
+// Routing and fan-out go through a shared IngestRouter: each read chunk is
+// parsed once into a shared block and every scope receives an O(1) span, so
+// adding display targets does not multiply per-tuple work (see
+// core/ingest_bus.h).
 #ifndef GSCOPE_NET_STREAM_SERVER_H_
 #define GSCOPE_NET_STREAM_SERVER_H_
 
@@ -22,10 +28,9 @@
 #include <memory>
 #include <string>
 #include <string_view>
-#include <vector>
 
+#include "core/ingest_router.h"
 #include "core/scope.h"
-#include "core/string_index.h"
 #include "net/socket.h"
 #include "runtime/event_loop.h"
 
@@ -41,6 +46,10 @@ struct StreamServerOptions {
   // garbage with no newlines) has the line counted as one parse error and
   // discarded; framing resynchronizes at the next newline.
   size_t max_line_bytes = 4096;
+  // Fan-out sharding (see IngestRouterOptions): shards per flush and worker
+  // threads (-1 = auto: 0 on a single-core host).
+  size_t fanout_shards = 4;
+  int fanout_workers = -1;
 };
 
 class StreamServer {
@@ -61,11 +70,11 @@ class StreamServer {
   StreamServer(MainLoop* loop, Scope* scope, StreamServerOptions options = {});
   ~StreamServer();
 
-  // Fans incoming tuples out to an additional scope.  Returns false for
-  // null/duplicate scopes.  Scopes must outlive the server.
+  // Fans incoming tuples out to an additional scope.  O(1); returns false
+  // for null/duplicate scopes.  Scopes must outlive the server.
   bool AddScope(Scope* scope);
   bool RemoveScope(Scope* scope);
-  size_t scope_count() const { return scopes_.size(); }
+  size_t scope_count() const { return router_.scope_count(); }
 
   StreamServer(const StreamServer&) = delete;
   StreamServer& operator=(const StreamServer&) = delete;
@@ -77,6 +86,7 @@ class StreamServer {
 
   size_t client_count() const { return clients_.size(); }
   const Stats& stats() const { return stats_; }
+  const IngestRouter& router() const { return router_; }
 
  private:
   struct Client {
@@ -86,30 +96,19 @@ class StreamServer {
     std::string line_buffer;
     // An over-long line is being discarded until the next newline.
     bool discarding = false;
-    // name -> per-scope routing keys, rebuilt when route_epoch changes.
-    StringKeyedMap<std::vector<SignalId>> routes;
-    uint64_t routes_epoch = 0;
-    // Streams repeat names in runs; memoizing the last hit skips the hash
-    // lookup for consecutive same-name tuples.  Points into `routes`.
-    const std::vector<SignalId>* last_route = nullptr;
-    std::string last_name;
   };
 
   bool OnAcceptReady();
   bool OnClientReady(int client_key, IoCondition cond);
   void ProcessData(Client& client, const char* data, size_t len);
-  void HandleLine(Client& client, std::string_view line);
-  // Pushes the chunk's accumulated samples into every scope in one batch
-  // (one scope-time read and one lock round-trip per buffer shard).
+  void HandleLine(std::string_view line);
+  // Hands the chunk's shared batch to every scope (one O(1) span each).
   void FlushIngest();
   void DropClient(int client_key);
-  // Changes whenever the scope list or any scope's signal table changes;
-  // stale per-client route caches are invalidated by comparison.
-  uint64_t RouteEpoch() const;
 
   MainLoop* loop_;
-  std::vector<Scope*> scopes_;  // display targets; scopes_[0] is the primary
   StreamServerOptions options_;
+  IngestRouter router_;
 
   Socket listener_;
   SourceId accept_watch_ = 0;
@@ -117,10 +116,6 @@ class StreamServer {
 
   std::map<int, std::unique_ptr<Client>> clients_;
   int next_client_key_ = 1;
-  uint64_t scopes_epoch_ = 0;
-  // Per-scope sample accumulators for the current read chunk (reused; no
-  // steady-state allocation).
-  std::vector<std::vector<Sample>> ingest_scratch_;
   Stats stats_;
 };
 

@@ -9,6 +9,7 @@
 #ifndef GSCOPE_RUNTIME_CLOCK_H_
 #define GSCOPE_RUNTIME_CLOCK_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -51,30 +52,34 @@ class SteadyClock final : public Clock {
   }
 };
 
-// Manually advanced clock for deterministic tests and simulations.
+// Manually advanced clock for deterministic tests and simulations.  Reads
+// and advances are atomic: producer threads time-stamp pushes through
+// Scope::NowMs while the loop thread advances virtual time.
 class SimClock final : public Clock {
  public:
   explicit SimClock(Nanos start_ns = 0) : now_ns_(start_ns) {}
 
-  Nanos NowNs() override { return now_ns_; }
+  Nanos NowNs() override { return now_ns_.load(std::memory_order_relaxed); }
 
   // Advances time by `delta_ns` (must be non-negative).
   void AdvanceNs(Nanos delta_ns) {
     if (delta_ns > 0) {
-      now_ns_ += delta_ns;
+      now_ns_.fetch_add(delta_ns, std::memory_order_relaxed);
     }
   }
   void AdvanceMs(int64_t ms) { AdvanceNs(MillisToNanos(ms)); }
 
-  // Jumps directly to `t_ns` if it is in the future; no-op otherwise.
+  // Jumps directly to `t_ns` if it is in the future; no-op otherwise (the
+  // clock must stay monotone even when racing with AdvanceNs).
   void SetNs(Nanos t_ns) {
-    if (t_ns > now_ns_) {
-      now_ns_ = t_ns;
+    Nanos current = now_ns_.load(std::memory_order_relaxed);
+    while (t_ns > current &&
+           !now_ns_.compare_exchange_weak(current, t_ns, std::memory_order_relaxed)) {
     }
   }
 
  private:
-  Nanos now_ns_;
+  std::atomic<Nanos> now_ns_;
 };
 
 }  // namespace gscope

@@ -1,0 +1,185 @@
+// The UDP ingest listener: datagram framing, drop/short/truncation counters,
+// and fan-out through the shared ingest router.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "core/scope.h"
+#include "net/datagram_server.h"
+#include "net/socket.h"
+#include "runtime/event_loop.h"
+
+namespace gscope {
+namespace {
+
+class DatagramServerTest : public ::testing::Test {
+ protected:
+  DatagramServerTest() : scope_(&loop_, {.name = "udp", .width = 64}) {
+    scope_.SetPollingMode(5);
+  }
+
+  // Runs the loop until `pred` holds or the budget expires.
+  bool RunUntil(const std::function<bool()>& pred, int max_ms = 2000) {
+    for (int i = 0; i < max_ms; ++i) {
+      if (pred()) {
+        return true;
+      }
+      loop_.RunForMs(1);
+    }
+    return pred();
+  }
+
+  MainLoop loop_;  // real clock: sockets need real readiness
+  Scope scope_;
+};
+
+TEST_F(DatagramServerTest, ListenOnEphemeralPort) {
+  DatagramServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  EXPECT_GT(server.port(), 0);
+}
+
+TEST_F(DatagramServerTest, TuplesFlowIntoScopeSignal) {
+  DatagramServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+  Socket sender = Socket::ConnectDatagram(server.port());
+  ASSERT_TRUE(sender.valid());
+
+  std::string wire = std::to_string(scope_.NowMs() + 1) + " 42.0 udp_cwnd\n";
+  ASSERT_TRUE(sender.Write(wire.data(), wire.size()).ok());
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 1; }));
+  EXPECT_EQ(server.stats().datagrams, 1);
+  EXPECT_EQ(server.stats().parse_errors, 0);
+
+  ASSERT_TRUE(RunUntil([&]() { return scope_.FindSignal("udp_cwnd") != 0; }));
+  SignalId id = scope_.FindSignal("udp_cwnd");
+  ASSERT_TRUE(RunUntil([&]() { return scope_.LatestValue(id).has_value(); }));
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(id), 42.0);
+}
+
+TEST_F(DatagramServerTest, ManyTuplesPerDatagram) {
+  DatagramServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+  Socket sender = Socket::ConnectDatagram(server.port());
+  ASSERT_TRUE(sender.valid());
+
+  std::string wire;
+  int64_t now = scope_.NowMs();
+  for (int i = 0; i < 50; ++i) {
+    wire += std::to_string(now + 1) + " " + std::to_string(i) + ".5 batched\n";
+  }
+  ASSERT_TRUE(sender.Write(wire.data(), wire.size()).ok());
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 50; }));
+  EXPECT_EQ(server.stats().datagrams, 1);
+  EXPECT_EQ(server.stats().short_datagrams, 0);
+}
+
+TEST_F(DatagramServerTest, UnterminatedFinalLineParsedAndCounted) {
+  DatagramServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+  Socket sender = Socket::ConnectDatagram(server.port());
+  ASSERT_TRUE(sender.valid());
+
+  std::string wire = std::to_string(scope_.NowMs() + 1) + " 7.0 short_one";  // no '\n'
+  ASSERT_TRUE(sender.Write(wire.data(), wire.size()).ok());
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 1; }));
+  EXPECT_EQ(server.stats().short_datagrams, 1);
+  EXPECT_NE(scope_.FindSignal("short_one"), 0);
+}
+
+TEST_F(DatagramServerTest, MalformedLinesCounted) {
+  DatagramServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  Socket sender = Socket::ConnectDatagram(server.port());
+  ASSERT_TRUE(sender.valid());
+
+  const std::string junk = "this is not a tuple\n12 ok_missing_value\n";
+  ASSERT_TRUE(sender.Write(junk.data(), junk.size()).ok());
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().parse_errors >= 2; }));
+  EXPECT_EQ(server.stats().tuples, 0);
+}
+
+TEST_F(DatagramServerTest, OversizedDatagramCountedAsTruncatedAndDiscarded) {
+  DatagramServer server(&loop_, &scope_, {.max_datagram_bytes = 64});
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+  Socket sender = Socket::ConnectDatagram(server.port());
+  ASSERT_TRUE(sender.valid());
+
+  std::string big(500, 'x');
+  ASSERT_TRUE(sender.Write(big.data(), big.size()).ok());
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().truncated_datagrams >= 1; }));
+  EXPECT_EQ(server.stats().tuples, 0);
+  EXPECT_EQ(server.stats().parse_errors, 0);  // discarded, not misparsed
+
+  // A well-formed datagram afterwards still parses: UDP framing resyncs for
+  // free at the datagram boundary.
+  std::string good = std::to_string(scope_.NowMs() + 1) + " 1.0 after_trunc\n";
+  ASSERT_TRUE(sender.Write(good.data(), good.size()).ok());
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 1; }));
+}
+
+TEST_F(DatagramServerTest, FanOutToMultipleScopes) {
+  Scope second(&loop_, {.name = "second", .width = 64});
+  second.SetPollingMode(5);
+  DatagramServer server(&loop_, &scope_);
+  EXPECT_TRUE(server.AddScope(&second));
+  EXPECT_FALSE(server.AddScope(&second));  // duplicate
+  EXPECT_FALSE(server.AddScope(nullptr));
+  EXPECT_EQ(server.scope_count(), 2u);
+
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+  second.StartPolling();
+  Socket sender = Socket::ConnectDatagram(server.port());
+  ASSERT_TRUE(sender.valid());
+
+  std::string wire = std::to_string(scope_.NowMs() + 1) + " 7.0 shared\n";
+  ASSERT_TRUE(sender.Write(wire.data(), wire.size()).ok());
+  ASSERT_TRUE(RunUntil([&]() {
+    SignalId a = scope_.FindSignal("shared");
+    SignalId b = second.FindSignal("shared");
+    return a != 0 && b != 0 && scope_.LatestValue(a).has_value() &&
+           second.LatestValue(b).has_value();
+  }));
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(scope_.FindSignal("shared")), 7.0);
+  EXPECT_DOUBLE_EQ(*second.LatestValue(second.FindSignal("shared")), 7.0);
+
+  EXPECT_TRUE(server.RemoveScope(&second));
+  EXPECT_FALSE(server.RemoveScope(&second));
+  EXPECT_EQ(server.scope_count(), 1u);
+}
+
+TEST_F(DatagramServerTest, LateTuplesDroppedByDelayPolicy) {
+  DatagramServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.SetDelayMs(10);
+  scope_.StartPolling();
+  loop_.RunForMs(100);
+  Socket sender = Socket::ConnectDatagram(server.port());
+  ASSERT_TRUE(sender.valid());
+
+  std::string wire = std::to_string(scope_.NowMs() - 500) + " 9.0 late\n";
+  ASSERT_TRUE(sender.Write(wire.data(), wire.size()).ok());
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 1; }));
+  EXPECT_TRUE(RunUntil([&]() { return server.stats().dropped_late >= 1; }));
+}
+
+TEST_F(DatagramServerTest, CloseStopsReceiving) {
+  DatagramServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  uint16_t port = server.port();
+  server.Close();
+  Socket sender = Socket::ConnectDatagram(port);
+  std::string wire = "1 1.0 x\n";
+  sender.Write(wire.data(), wire.size());
+  loop_.RunForMs(50);
+  EXPECT_EQ(server.stats().datagrams, 0);
+}
+
+}  // namespace
+}  // namespace gscope

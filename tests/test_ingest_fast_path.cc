@@ -7,6 +7,7 @@
 #include <new>
 #include <vector>
 
+#include "core/ingest_router.h"
 #include "core/sample_buffer.h"
 #include "core/scope.h"
 #include "runtime/clock.h"
@@ -340,6 +341,47 @@ TEST_F(ScopeIngestTest, SteadyStateIdPathDoesNotAllocate) {
   }
   int64_t after = g_heap_allocs.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0) << "steady-state id-path ingest must not allocate";
+}
+
+TEST_F(ScopeIngestTest, MultiScopeSteadyStateFanoutDoesNotAllocate) {
+  // The sharded fan-out: one router feeding 4 scopes.  After warm-up (route
+  // table built, block pool and span queues at capacity), a steady stream of
+  // append -> flush -> drain cycles must not allocate, regardless of how
+  // many scopes subscribe.
+  IngestRouter router;
+  constexpr int kScopes = 4;
+  std::vector<std::unique_ptr<Scope>> scopes;
+  for (int i = 0; i < kScopes; ++i) {
+    scopes.push_back(std::make_unique<Scope>(
+        &loop_, ScopeOptions{.name = "fan" + std::to_string(i), .width = 64}));
+    scopes.back()->SetPollingMode(10);
+    scopes.back()->StartPolling();
+    ASSERT_TRUE(router.AddScope(scopes.back().get()));
+  }
+  auto round = [&]() {
+    int64_t now = scopes[0]->NowMs();
+    for (int i = 0; i < 256; ++i) {
+      router.Append("hot", now, static_cast<double>(i));
+    }
+    router.Flush();
+    clock_.AdvanceMs(5);
+    for (auto& scope : scopes) {
+      scope->TickOnce();
+    }
+  };
+  for (int warm = 0; warm < 5; ++warm) {
+    round();
+  }
+
+  int64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (int r = 0; r < 20; ++r) {
+    round();
+  }
+  int64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0) << "steady-state multi-scope fan-out must not allocate";
+  for (auto& scope : scopes) {
+    EXPECT_EQ(scope->counters().buffered_routed, 25 * 256);
+  }
 }
 
 TEST_F(ScopeIngestTest, SteadyStateBatchPathDoesNotAllocate) {

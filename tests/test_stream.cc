@@ -276,5 +276,66 @@ TEST_F(StreamTest, FanOutToMultipleScopes) {
   EXPECT_EQ(server.scope_count(), 1u);
 }
 
+TEST_F(StreamTest, ScopeAddedMidStreamReceivesSubsequentTuples) {
+  // Dynamic topology under load: the routing table must re-snapshot when a
+  // display target attaches mid-stream.
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  StreamClient client(&loop_);
+  ASSERT_TRUE(client.Connect(server.port()));
+  scope_.StartPolling();
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+
+  client.SendTuple({scope_.NowMs(), 1.0, "live"});
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 1; }));
+
+  Scope late_scope(&loop_, {.name = "late", .width = 64});
+  late_scope.SetPollingMode(5);
+  late_scope.StartPolling();
+  ASSERT_TRUE(server.AddScope(&late_scope));
+
+  client.SendTuple({scope_.NowMs(), 2.0, "live"});
+  ASSERT_TRUE(RunUntil([&]() {
+    SignalId id = late_scope.FindSignal("live");
+    return id != 0 && late_scope.LatestValue(id).has_value();
+  }));
+  EXPECT_DOUBLE_EQ(*late_scope.LatestValue(late_scope.FindSignal("live")), 2.0);
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(scope_.FindSignal("live")), 2.0);
+
+  // ... and detaches mid-stream without disturbing the remaining target.
+  ASSERT_TRUE(server.RemoveScope(&late_scope));
+  client.SendTuple({scope_.NowMs(), 3.0, "live"});
+  ASSERT_TRUE(RunUntil([&]() {
+    auto v = scope_.LatestValue(scope_.FindSignal("live"));
+    return v.has_value() && *v == 3.0;
+  }));
+  EXPECT_NE(late_scope.LatestValue(late_scope.FindSignal("live")).value_or(-1), 3.0);
+}
+
+TEST_F(StreamTest, RemovedSignalRecreatedOnNextTuple) {
+  // Epoch invalidation end-to-end: removing a signal mid-stream must not
+  // leave a stale route delivering to a dead id; with auto-create on, the
+  // next tuple recreates the signal.
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  StreamClient client(&loop_);
+  ASSERT_TRUE(client.Connect(server.port()));
+  scope_.StartPolling();
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+
+  client.SendTuple({scope_.NowMs(), 1.0, "flaky"});
+  ASSERT_TRUE(RunUntil([&]() { return scope_.FindSignal("flaky") != 0; }));
+  SignalId first = scope_.FindSignal("flaky");
+  ASSERT_TRUE(RunUntil([&]() { return scope_.LatestValue(first).has_value(); }));
+  ASSERT_TRUE(scope_.RemoveSignal(first));
+
+  client.SendTuple({scope_.NowMs(), 2.0, "flaky"});
+  ASSERT_TRUE(RunUntil([&]() { return scope_.FindSignal("flaky") != 0; }));
+  SignalId second = scope_.FindSignal("flaky");
+  EXPECT_NE(second, first);
+  ASSERT_TRUE(RunUntil([&]() { return scope_.LatestValue(second).has_value(); }));
+  EXPECT_DOUBLE_EQ(*scope_.LatestValue(second), 2.0);
+}
+
 }  // namespace
 }  // namespace gscope
