@@ -1,0 +1,178 @@
+// Control-channel subscriber scaling: ingest throughput with N remote scope
+// sessions attached over the wire (docs/protocol.md), comparing DISJOINT
+// glob subscriptions (each session matches 1/N of the signals; every
+// signal's route excludes N-1 session slots at build time) against
+// OVERLAPPING ones (every session subscribes '*', so filtering excludes
+// nothing and every tuple is echoed N ways).
+//
+// With route-build-time filtering the disjoint case should approach the
+// plain fan-out cost of a single interested scope per signal - the excluded
+// sessions pay nothing per sample - while the overlapping case additionally
+// measures the egress (echo serialization) path under full fan-out.
+//
+// Methodology matches bench_fanout (BENCH_fanout.json): loopback clients on
+// one I/O-driven loop, CPU-second rates as the primary metric.  Usage:
+//   bench_control_fanout [total_tuples]   (default 100000)
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gscope.h"
+
+namespace {
+
+double ProcessCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+struct RunResult {
+  int64_t tuples_received = 0;
+  int64_t tuples_echoed = 0;
+  int64_t echo_received = 0;  // across all subscribers
+  size_t excluded_slots = 0;
+  double seconds = 0.0;
+  double cpu_seconds = 0.0;
+  double tuples_per_cpu_sec() const {
+    return cpu_seconds > 0 ? tuples_received / cpu_seconds : 0;
+  }
+};
+
+// `signals` producer signal names; each subscriber subscribes either to its
+// own 1/N slice (disjoint) or to '*' (overlapping).
+RunResult RunControlFanout(int num_subscribers, bool disjoint, int clients,
+                           int tuples_per_client) {
+  gscope::MainLoop loop;
+  gscope::Scope display(&loop, {.name = "display", .width = 128});
+  display.SetPollingMode(5);
+  display.SetDelayMs(50);
+
+  gscope::StreamServer server(&loop, &display);
+  if (!server.Listen(0)) {
+    return {};
+  }
+  display.StartPolling();
+
+  std::vector<std::unique_ptr<gscope::ControlClient>> subs;
+  std::vector<int64_t> echo_counts(static_cast<size_t>(num_subscribers), 0);
+  for (int i = 0; i < num_subscribers; ++i) {
+    subs.push_back(std::make_unique<gscope::ControlClient>(&loop));
+    int64_t* count = &echo_counts[static_cast<size_t>(i)];
+    subs.back()->SetTupleCallback([count](const gscope::TupleView&) { *count += 1; });
+    if (!subs.back()->Connect(server.port())) {
+      return {};
+    }
+  }
+  // Let the handshakes resolve, then subscribe.
+  for (int i = 0; i < 50; ++i) {
+    loop.Iterate(false);
+  }
+  for (int i = 0; i < num_subscribers; ++i) {
+    if (disjoint) {
+      subs[static_cast<size_t>(i)]->Subscribe("sig" + std::to_string(i) + "_*");
+    } else {
+      subs[static_cast<size_t>(i)]->Subscribe("*");
+    }
+    subs[static_cast<size_t>(i)]->SetDelay(50);
+  }
+  for (int i = 0; i < 50; ++i) {
+    loop.Iterate(false);
+  }
+
+  std::vector<std::unique_ptr<gscope::StreamClient>> conns;
+  for (int c = 0; c < clients; ++c) {
+    conns.push_back(std::make_unique<gscope::StreamClient>(&loop, 16u << 20));
+    if (!conns.back()->Connect(server.port())) {
+      return {};
+    }
+  }
+
+  // One signal name per (client, subscriber-slice) pair so disjoint globs
+  // split the stream evenly.
+  std::vector<std::string> names;
+  for (int c = 0; c < clients; ++c) {
+    for (int s = 0; s < num_subscribers; ++s) {
+      names.push_back("sig" + std::to_string(s) + "_c" + std::to_string(c));
+    }
+  }
+
+  gscope::SteadyClock clock;
+  gscope::Nanos start = clock.NowNs();
+  double cpu_start = ProcessCpuSeconds();
+
+  constexpr int kBatch = 128;
+  int sent_rounds = 0;
+  size_t name_cursor = 0;
+  loop.AddIdle([&]() {
+    if (sent_rounds >= tuples_per_client) {
+      return false;
+    }
+    int batch = std::min(kBatch, tuples_per_client - sent_rounds);
+    int64_t now = display.NowMs();
+    for (int c = 0; c < clients; ++c) {
+      for (int b = 0; b < batch; ++b) {
+        const std::string& name = names[name_cursor++ % names.size()];
+        conns[static_cast<size_t>(c)]->Send(now, static_cast<double>(b), name);
+      }
+    }
+    sent_rounds += batch;
+    return true;
+  });
+
+  int64_t total_expected = static_cast<int64_t>(clients) * tuples_per_client;
+  gscope::Nanos deadline = clock.NowNs() + gscope::MillisToNanos(30'000);
+  while (clock.NowNs() < deadline) {
+    loop.Iterate(false);
+    if (sent_rounds >= tuples_per_client &&
+        server.stats().tuples + server.stats().parse_errors >= total_expected) {
+      break;
+    }
+  }
+  // Let the sessions' 50 ms display windows elapse so queued spans drain and
+  // the echo path is actually exercised (blocking poll: negligible CPU, so
+  // the CPU-second rate still reflects ingest + echo work).
+  loop.RunForMs(200);
+
+  RunResult result;
+  result.tuples_received = server.stats().tuples;
+  result.tuples_echoed = server.stats().tuples_echoed;
+  for (int64_t n : echo_counts) {
+    result.echo_received += n;
+  }
+  result.excluded_slots = server.router().excluded_route_slots();
+  result.seconds = gscope::NanosToSeconds(clock.NowNs() - start);
+  result.cpu_seconds = ProcessCpuSeconds() - cpu_start;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int total = 100'000;
+  if (argc > 1) {
+    total = std::atoi(argv[1]);
+    if (total <= 0) {
+      total = 100'000;
+    }
+  }
+  constexpr int kClients = 4;
+  std::printf("Control-channel subscriber scaling: %d clients, %d tuples total\n\n", kClients,
+              total);
+  std::printf("%-12s %-10s %-12s %-16s %-12s %-14s\n", "subscribers", "globs", "received",
+              "tuples/cpu-sec", "echoed", "excl. slots");
+  for (int subs : {1, 4, 16}) {
+    for (bool disjoint : {true, false}) {
+      RunResult r = RunControlFanout(subs, disjoint, kClients, total / kClients);
+      std::printf("%-12d %-10s %-12lld %-16.0f %-12lld %-14zu\n", subs,
+                  disjoint ? "disjoint" : "overlap", (long long)r.tuples_received,
+                  r.tuples_per_cpu_sec(), (long long)r.tuples_echoed, r.excluded_slots);
+    }
+  }
+  std::printf("\ndisjoint globs: route-build-time exclusion keeps non-matching sessions\n"
+              "off the per-sample path; overlap additionally measures N-way echo egress.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Remote scope control channel (docs/protocol.md): display targets attach
+// to a running gscope server over the wire, subscribe to signal subsets by
+// glob, pick their own display delay, and receive the matched tuples back
+// down the same connection - no process-local AddScope call anywhere.
+//
+// One process, one loop, real loopback sockets: a server with a local
+// display scope, two remote viewers with disjoint subscriptions, and a
+// producer streaming two signals.  Exits non-zero if the echo streams are
+// missing or not disjoint, so scripts/check.sh can use it as a smoke test.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gscope.h"
+
+int main() {
+  gscope::MainLoop loop;  // real clock: real sockets need real readiness
+
+  gscope::Scope display(&loop, {.name = "server-display", .width = 200, .height = 140});
+  display.SetPollingMode(10);
+
+  gscope::StreamServer server(&loop, &display);
+  if (!server.Listen(0)) {
+    std::fprintf(stderr, "listen failed\n");
+    return 1;
+  }
+  display.StartPolling();
+  std::printf("server listening on 127.0.0.1:%u\n", server.port());
+
+  // Two remote display targets: one watches TCP state with a snappy 20 ms
+  // delay, the other watches latency with a deliberate 150 ms delay.
+  gscope::ControlClient tcp_viewer(&loop);
+  gscope::ControlClient lat_viewer(&loop);
+  std::vector<std::pair<std::string, double>> tcp_seen, lat_seen;
+  tcp_viewer.SetTupleCallback([&](const gscope::TupleView& t) {
+    tcp_seen.emplace_back(std::string(t.name), t.value);
+  });
+  lat_viewer.SetTupleCallback([&](const gscope::TupleView& t) {
+    lat_seen.emplace_back(std::string(t.name), t.value);
+  });
+  tcp_viewer.SetReplyCallback([](std::string_view line) {
+    std::printf("  tcp_viewer <- %.*s\n", static_cast<int>(line.size()), line.data());
+  });
+  if (!tcp_viewer.Connect(server.port()) || !lat_viewer.Connect(server.port())) {
+    std::fprintf(stderr, "viewer connect failed\n");
+    return 1;
+  }
+
+  loop.AddTimeoutMs(30, [&]() {
+    if (tcp_viewer.connected() && tcp_viewer.stats().commands_sent == 0) {
+      tcp_viewer.Subscribe("tcp_*");
+      tcp_viewer.SetDelay(20);
+      tcp_viewer.RequestList();
+    }
+    if (lat_viewer.connected() && lat_viewer.stats().commands_sent == 0) {
+      lat_viewer.Subscribe("latency_ms");
+      lat_viewer.SetDelay(150);
+    }
+    return tcp_viewer.stats().commands_sent == 0 || lat_viewer.stats().commands_sent == 0;
+  });
+
+  // The producer: an instrumented application streaming two signals.
+  gscope::StreamClient producer(&loop);
+  if (!producer.Connect(server.port())) {
+    std::fprintf(stderr, "producer connect failed\n");
+    return 1;
+  }
+  int tick = 0;
+  loop.AddTimeoutMs(15, [&]() {
+    ++tick;
+    producer.Send(display.NowMs(), 32.0 + (tick % 16), "tcp_cwnd");
+    producer.Send(display.NowMs(), 20.0 + (tick % 25), "latency_ms");
+    return true;
+  });
+
+  loop.AddTimeoutMs(1500, [&loop]() {
+    loop.Quit();
+    return false;
+  });
+  loop.Run();
+
+  const auto& stats = server.stats();
+  std::printf("server: %lld tuples in, %lld echoed to %zu sessions, %lld parse errors\n",
+              static_cast<long long>(stats.tuples), static_cast<long long>(stats.tuples_echoed),
+              server.control_session_count(), static_cast<long long>(stats.parse_errors));
+  std::printf("tcp_viewer: %zu tuples; lat_viewer: %zu tuples\n", tcp_seen.size(),
+              lat_seen.size());
+  std::printf("router: %zu routes, %zu filter-excluded slots\n", server.router().route_count(),
+              server.router().excluded_route_slots());
+
+  // Smoke assertions: both subscriptions delivered, strictly disjoint.
+  bool ok = !tcp_seen.empty() && !lat_seen.empty() && stats.parse_errors == 0;
+  for (const auto& [name, value] : tcp_seen) {
+    ok = ok && name.rfind("tcp_", 0) == 0;
+  }
+  for (const auto& [name, value] : lat_seen) {
+    ok = ok && name == "latency_ms";
+  }
+  // Filtering happened at route-build time: each signal's route must carry
+  // an excluded slot for the non-matching session.
+  ok = ok && server.router().excluded_route_slots() >= 2;
+  if (!ok) {
+    std::fprintf(stderr, "SMOKE FAILED: echo streams missing or not disjoint\n");
+    return 1;
+  }
+  std::printf("ok: disjoint delayed echo streams verified\n");
+  return 0;
+}

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus Release-mode bench smokes and a TSan pass over the
-# sharded fan-out, so the ingest fast paths cannot silently rot.
+# Tier-1 verify plus Release-mode bench smokes, an ASan+UBSan pass over the
+# net/control tests with a control-channel smoke (subscribe, push, assert
+# echoed tuples), and a TSan pass over the sharded fan-out, so the ingest
+# fast paths and the new bidirectional control path cannot silently rot.
 # Usage: scripts/check.sh [build-dir]
 set -euo pipefail
 
@@ -41,6 +43,26 @@ for bench in "$build_dir"/bench_*; do
   fi
   echo "ok: $name"
 done
+
+echo "--- ASan+UBSan: net/control correctness ---"
+asan_dir="$repo_root/build-asan"
+cmake -B "$asan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+  > /dev/null
+cmake --build "$asan_dir" -j --target \
+  test_socket test_stream test_datagram_server test_control_channel \
+  test_signal_filter example_remote_control
+"$asan_dir/test_socket"
+"$asan_dir/test_stream"
+"$asan_dir/test_datagram_server"
+"$asan_dir/test_control_channel"
+"$asan_dir/test_signal_filter"
+
+echo "--- control-channel smoke (ASan+UBSan): subscribe, push, assert echo ---"
+# example_remote_control exits non-zero unless both subscribers received
+# disjoint delayed echo streams with zero parse errors.
+"$asan_dir/example_remote_control"
 
 echo "--- TSan: sharded fan-out race check ---"
 tsan_dir="$repo_root/build-tsan"

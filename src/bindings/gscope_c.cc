@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/scope.h"
+#include "net/control_client.h"
 #include "render/ascii.h"
 #include "render/scope_view.h"
 #include "runtime/clock.h"
@@ -14,6 +15,7 @@ struct gscope_ctx {
   std::unique_ptr<gscope::SimClock> sim_clock;  // null when using the real clock
   std::unique_ptr<gscope::MainLoop> loop;
   std::unique_ptr<gscope::Scope> scope;
+  std::unique_ptr<gscope::ControlClient> control;  // remote attachment, if any
 };
 
 namespace {
@@ -177,6 +179,55 @@ int gscope_push_id(gscope_ctx* ctx, int signal_id, int64_t time_ms, double value
   }
   return ctx->scope->PushBuffered(static_cast<gscope::SignalId>(signal_id), time_ms, value) ? 1
                                                                                             : 0;
+}
+
+int gscope_connect(gscope_ctx* ctx, uint16_t port) {
+  if (!Valid(ctx)) {
+    return kErrBadArg;
+  }
+  if (ctx->control == nullptr) {
+    ctx->control = std::make_unique<gscope::ControlClient>(ctx->loop.get());
+    gscope::Scope* scope = ctx->scope.get();
+    // Remote tuples are re-stamped on arrival: the server already applied
+    // the session delay, and the two processes' scope clocks need not share
+    // an origin.
+    ctx->control->SetTupleCallback([scope](const gscope::TupleView& tuple) {
+      gscope::SignalId id = scope->FindOrAddBufferSignal(tuple.name);
+      scope->PushBuffered(id, scope->NowMs(), tuple.value);
+    });
+  }
+  return ctx->control->Connect(port) ? 0 : kErrFailed;
+}
+
+void gscope_disconnect(gscope_ctx* ctx) {
+  if (Valid(ctx) && ctx->control != nullptr) {
+    ctx->control->Close();
+  }
+}
+
+int gscope_connected(gscope_ctx* ctx) {
+  return Valid(ctx) && ctx->control != nullptr && ctx->control->connected() ? 1 : 0;
+}
+
+int gscope_subscribe(gscope_ctx* ctx, const char* glob) {
+  if (!Valid(ctx) || ctx->control == nullptr || glob == nullptr || glob[0] == '\0') {
+    return kErrBadArg;
+  }
+  return ctx->control->Subscribe(glob) ? 0 : kErrFailed;
+}
+
+int gscope_unsubscribe(gscope_ctx* ctx, const char* glob) {
+  if (!Valid(ctx) || ctx->control == nullptr || glob == nullptr || glob[0] == '\0') {
+    return kErrBadArg;
+  }
+  return ctx->control->Unsubscribe(glob) ? 0 : kErrFailed;
+}
+
+int gscope_set_delay(gscope_ctx* ctx, int64_t delay_ms) {
+  if (!Valid(ctx) || ctx->control == nullptr || delay_ms < 0) {
+    return kErrBadArg;
+  }
+  return ctx->control->SetDelay(delay_ms) ? 0 : kErrFailed;
 }
 
 int gscope_set_zoom(gscope_ctx* ctx, double zoom) {

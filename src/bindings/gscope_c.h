@@ -65,6 +65,27 @@ int gscope_push(gscope_ctx* ctx, const char* signal_name, int64_t time_ms, doubl
  * gscope_signal_buffer / gscope_find_signal.  Same return convention. */
 int gscope_push_id(gscope_ctx* ctx, int signal_id, int64_t time_ms, double value);
 
+/* -- remote attachment (control channel, docs/protocol.md) ------------------ */
+
+/* Connects this scope to a gscope stream server on 127.0.0.1:`port` as a
+ * remote display target.  Received tuples are re-stamped to this scope's
+ * clock on arrival (the server's session delay has already been applied)
+ * and pushed into auto-created BUFFER signals.  Non-blocking: drive the
+ * loop (gscope_run_for_ms) to complete the handshake. */
+int gscope_connect(gscope_ctx* ctx, uint16_t port);
+void gscope_disconnect(gscope_ctx* ctx);
+/* 1 once the handshake completed, 0 while in flight or after failure. */
+int gscope_connected(gscope_ctx* ctx);
+
+/* Subscribes/unsubscribes this scope's remote session to signal names
+ * matching `glob` ('*' and '?').  Replies arrive asynchronously; these
+ * return 0 when the command was queued. */
+int gscope_subscribe(gscope_ctx* ctx, const char* glob);
+int gscope_unsubscribe(gscope_ctx* ctx, const char* glob);
+
+/* Sets the remote session's server-side late-drop delay. */
+int gscope_set_delay(gscope_ctx* ctx, int64_t delay_ms);
+
 /* -- display parameters ----------------------------------------------------- */
 
 int gscope_set_zoom(gscope_ctx* ctx, double zoom);

@@ -54,6 +54,11 @@ struct IngestBlock {
   // False in the common all-resolved case, which keeps whole-span late-drop
   // accounting O(1) - no per-sample scan for shim-served exclusions.
   bool has_unresolved = false;
+  // Some sample carries kUnnamedRouteKey.  Spans delivered to subscription-
+  // filtered scopes exclude unnamed samples (there is no name to match), and
+  // this flag keeps their late-drop accounting O(1) in the common named-only
+  // case, exactly like has_unresolved.
+  bool has_unnamed = false;
 
   void Clear() {
     samples.clear();
@@ -61,9 +66,11 @@ struct IngestBlock {
     max_time_ms = std::numeric_limits<int64_t>::min();
     time_ordered = true;
     has_unresolved = false;
+    has_unnamed = false;
   }
   void Append(int64_t time_ms, double value, SampleKey route_key) {
     time_ordered = time_ordered && (samples.empty() || time_ms >= max_time_ms);
+    has_unnamed = has_unnamed || route_key == kUnnamedRouteKey;
     samples.push_back(Sample{time_ms, value, route_key, 0});
     min_time_ms = std::min(min_time_ms, time_ms);
     max_time_ms = std::max(max_time_ms, time_ms);
@@ -78,10 +85,17 @@ struct IngestBlock {
 struct RouteTable {
   uint32_t num_slots = 0;
   std::vector<SignalId> ids;  // [route * num_slots + slot]
+  // Slots registered with a subscription filter.  A filtered slot's id-0
+  // entries mean "excluded by design", so its late-drop accounting must scan
+  // for them; unfiltered slots keep the O(1) whole-span count.
+  std::vector<uint8_t> slot_filtered;  // [slot]; empty = none filtered
 
   SignalId IdFor(SampleKey route, uint32_t slot) const {
     size_t index = static_cast<size_t>(route) * num_slots + slot;
     return index < ids.size() ? ids[index] : 0;
+  }
+  bool SlotFiltered(uint32_t slot) const {
+    return slot < slot_filtered.size() && slot_filtered[slot] != 0;
   }
 };
 
@@ -93,6 +107,10 @@ struct IngestSpan {
   uint32_t begin = 0;
   uint32_t end = 0;
   uint32_t slot = 0;
+  // False for subscription-filtered scopes: samples with kUnnamedRouteKey
+  // (the two-field single-signal form has no name to match a glob against)
+  // are not this scope's to display.
+  bool deliver_unnamed = true;
 
   size_t size() const { return end - begin; }
 };

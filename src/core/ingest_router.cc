@@ -32,12 +32,16 @@ IngestRouter::IngestRouter(IngestRouterOptions options)
 
 IngestRouter::~IngestRouter() = default;
 
-bool IngestRouter::AddScope(Scope* scope) {
+bool IngestRouter::AddScope(Scope* scope, const SignalFilter* filter) {
   if (scope == nullptr || scope_index_.count(scope) != 0) {
     return false;
   }
   scope_index_.emplace(scope, scopes_.size());
   scopes_.push_back(scope);
+  filters_.push_back(filter);
+  if (filter != nullptr) {
+    filtered_scopes_ += 1;
+  }
   scopes_epoch_ += 1;
   // The slot count changed: the table snapshot's stride is stale.  Force a
   // resync even mid-batch (Append and Flush both check), so no span is ever
@@ -53,12 +57,18 @@ bool IngestRouter::RemoveScope(Scope* scope) {
   }
   size_t index = it->second;
   scope_index_.erase(it);
-  // RouteEpoch sums the scopes' signal epochs; fold the removed term into the
-  // local epoch so the total stays strictly increasing (a repeated value
-  // would let a stale table snapshot survive).
+  // RouteEpoch sums the scopes' signal epochs (and their filters' epochs);
+  // fold the removed terms into the local epoch so the total stays strictly
+  // increasing (a repeated value would let a stale table snapshot survive).
   scopes_epoch_ += scope->signals_epoch() + 1;
+  if (filters_[index] != nullptr) {
+    scopes_epoch_ += filters_[index]->epoch();
+    filtered_scopes_ -= 1;
+  }
   scopes_[index] = scopes_.back();
+  filters_[index] = filters_.back();
   scopes_.pop_back();
+  filters_.pop_back();
   if (index < scopes_.size()) {
     scope_index_[scopes_[index]] = index;
   }
@@ -71,7 +81,16 @@ uint64_t IngestRouter::RouteEpoch() const {
   for (const Scope* scope : scopes_) {
     epoch += scope->signals_epoch();
   }
+  for (const SignalFilter* filter : filters_) {
+    if (filter != nullptr) {
+      epoch += filter->epoch();
+    }
+  }
   return epoch;
+}
+
+bool IngestRouter::SlotExcludes(size_t s, std::string_view name) const {
+  return filters_[s] != nullptr && !filters_[s]->Matches(name);
 }
 
 std::shared_ptr<IngestBlock> IngestRouter::AcquireBlock() {
@@ -110,9 +129,16 @@ void IngestRouter::SyncRoutes() {
 
 void IngestRouter::RebuildTable() {
   staged_ids_.assign(route_names_.size() * scopes_.size(), 0);
+  excluded_slots_ = 0;
   for (size_t r = 0; r < route_names_.size(); ++r) {
     bool unresolved = scopes_.empty();
     for (size_t s = 0; s < scopes_.size(); ++s) {
+      // A filter-excluded slot keeps id 0 by design: it is neither resolved
+      // nor unresolved, and the name is never even looked up for it.
+      if (SlotExcludes(s, route_names_[r])) {
+        excluded_slots_ += 1;
+        continue;
+      }
       // Resolution only: a removed signal is not eagerly recreated here.  If
       // auto-create is on, the route is re-resolved (and the signal added
       // back) the next time a tuple actually uses the name.
@@ -127,16 +153,25 @@ void IngestRouter::RebuildTable() {
 
 bool IngestRouter::ResolveNewRoute(std::string_view name, uint32_t* route) {
   resolve_scratch_.clear();
-  bool any_resolved = false;
+  // "Accepted" = resolved on some scope, or deliberately excluded by some
+  // scope's filter.  Either is a known decision worth memoizing in a route.
+  bool any_accepted = false;
   bool unresolved = scopes_.empty();
-  for (Scope* scope : scopes_) {
-    SignalId id = options_.auto_create_signals ? scope->FindOrAddBufferSignal(name)
-                                               : scope->FindSignal(name);
-    any_resolved = any_resolved || id != 0;
-    unresolved = unresolved || id == 0;
+  size_t excluded_here = 0;
+  for (size_t s = 0; s < scopes_.size(); ++s) {
+    SignalId id = 0;
+    if (SlotExcludes(s, name)) {
+      any_accepted = true;
+      excluded_here += 1;
+    } else {
+      id = options_.auto_create_signals ? scopes_[s]->FindOrAddBufferSignal(name)
+                                        : scopes_[s]->FindSignal(name);
+      any_accepted = any_accepted || id != 0;
+      unresolved = unresolved || id == 0;
+    }
     resolve_scratch_.push_back(id);
   }
-  if (!any_resolved) {
+  if (!any_accepted) {
     // Nothing resolved anywhere (auto-create off, unknown everywhere): do
     // not create a route - a stream of endless distinct unknown names must
     // not grow the table without bound.  The caller falls back to the
@@ -148,6 +183,7 @@ bool IngestRouter::ResolveNewRoute(std::string_view name, uint32_t* route) {
   name_to_route_.emplace(std::string(name), *route);
   route_unresolved_.push_back(unresolved ? 1 : 0);
   staged_ids_.insert(staged_ids_.end(), resolve_scratch_.begin(), resolve_scratch_.end());
+  excluded_slots_ += excluded_here;
   table_dirty_ = true;
   // Auto-creation bumped the scopes' signal epochs; re-sync so this staging
   // survives until the topology actually changes again.
@@ -159,6 +195,9 @@ void IngestRouter::ReResolveRoute(uint32_t route) {
   const std::string& name = route_names_[route];
   bool unresolved = scopes_.empty();
   for (size_t s = 0; s < scopes_.size(); ++s) {
+    if (SlotExcludes(s, name)) {
+      continue;  // excluded by design: id stays 0, nothing auto-created
+    }
     SignalId& id = staged_ids_[static_cast<size_t>(route) * scopes_.size() + s];
     if (id == 0) {
       id = scopes_[s]->FindOrAddBufferSignal(name);
@@ -176,6 +215,9 @@ void IngestRouter::ShimPushUnresolved(uint32_t route, int64_t time_ms, double va
     if (staged_ids_[static_cast<size_t>(route) * scopes_.size() + s] != 0) {
       continue;  // this slot is served through the span
     }
+    if (SlotExcludes(s, name)) {
+      continue;  // excluded by the slot's subscription filter
+    }
     // Unknown name with auto-create off: go through the name shim so the
     // scope can still resolve at drain time if the app adds the signal
     // within the delay window.
@@ -186,8 +228,11 @@ void IngestRouter::ShimPushUnresolved(uint32_t route, int64_t time_ms, double va
 }
 
 void IngestRouter::ShimPushAll(std::string_view name, int64_t time_ms, double value) {
-  for (Scope* scope : scopes_) {
-    if (!scope->PushBuffered(name, time_ms, value)) {
+  for (size_t s = 0; s < scopes_.size(); ++s) {
+    if (SlotExcludes(s, name)) {
+      continue;
+    }
+    if (!scopes_[s]->PushBuffered(name, time_ms, value)) {
       shim_dropped_late_ += 1;
     }
   }
@@ -251,7 +296,8 @@ void IngestRouter::FanoutShard(size_t shard) {
   int64_t dropped = 0;
   for (size_t i = shard; i < scopes_.size(); i += flush_shards_) {
     IngestSpan span{flush_block_, flush_table_, 0, static_cast<uint32_t>(n),
-                    static_cast<uint32_t>(i)};
+                    static_cast<uint32_t>(i),
+                    !flush_table_->SlotFiltered(static_cast<uint32_t>(i))};
     size_t accepted = scopes_[i]->PushIngestSpan(span, flush_now_ms_[i]);
     dropped += static_cast<int64_t>(n - accepted);
   }
@@ -277,6 +323,12 @@ IngestRouter::FlushStats IngestRouter::Flush() {
     auto table = std::make_shared<RouteTable>();
     table->num_slots = static_cast<uint32_t>(scopes_.size());
     table->ids = staged_ids_;
+    if (filtered_scopes_ > 0) {
+      table->slot_filtered.resize(scopes_.size());
+      for (size_t s = 0; s < scopes_.size(); ++s) {
+        table->slot_filtered[s] = filters_[s] != nullptr ? 1 : 0;
+      }
+    }
     table_ = std::move(table);
     table_dirty_ = false;
   }

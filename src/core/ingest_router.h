@@ -31,6 +31,7 @@
 
 #include "core/fanout_pool.h"
 #include "core/ingest_bus.h"
+#include "core/signal_filter.h"
 #include "core/string_index.h"
 
 namespace gscope {
@@ -63,7 +64,16 @@ class IngestRouter {
   // O(1) membership (the old O(N) std::find scans fold into scope_index_).
   // Scopes are not owned and must outlive the router.  Removal swaps with
   // the last slot; slot order is a table-internal detail.
-  bool AddScope(Scope* scope);
+  //
+  // With a non-null `filter` (not owned; must outlive the registration) the
+  // scope only receives signals whose name matches the filter: excluded
+  // names get id 0 in that scope's route-table slot at BUILD time - there is
+  // no per-sample pattern test anywhere on the ingest path - and unnamed
+  // (two-field) samples are withheld via the span's deliver_unnamed flag.
+  // The filter's epoch is folded into RouteEpoch(), so pattern changes
+  // invalidate the snapshot like any signal-table change.
+  bool AddScope(Scope* scope) { return AddScope(scope, nullptr); }
+  bool AddScope(Scope* scope, const SignalFilter* filter);
   bool RemoveScope(Scope* scope);
   bool HasScope(Scope* scope) const { return scope_index_.count(scope) != 0; }
   size_t scope_count() const { return scopes_.size(); }
@@ -94,9 +104,17 @@ class IngestRouter {
   uint64_t route_epoch() const { return RouteEpoch(); }
   size_t pending_batch_samples() const { return block_ ? block_->samples.size() : 0; }
   size_t fanout_worker_count() const { return pool_.worker_count(); }
+  // Route x scope-slot entries the current staged table excludes because the
+  // slot's subscription filter does not match the route's name.  This is the
+  // observable proof that filtering happened at route-build time: samples of
+  // an excluded signal never cost the filtered scope anything per sample.
+  size_t excluded_route_slots() const { return excluded_slots_; }
+  size_t filtered_scope_count() const { return filtered_scopes_; }
 
  private:
   uint64_t RouteEpoch() const;
+  // True when slot `s` must not receive signal `name` (filtered, no match).
+  bool SlotExcludes(size_t s, std::string_view name) const;
   void EnsureBatch();
   void SyncRoutes();           // rebuild the table snapshot if the epoch moved
   void RebuildTable();         // re-resolve every known route (FindSignal only)
@@ -110,6 +128,10 @@ class IngestRouter {
   IngestRouterOptions options_;
 
   std::vector<Scope*> scopes_;
+  // Parallel to scopes_: the slot's subscription filter, null = receive all.
+  // Read on the loop thread during table builds; the fan-out shards only
+  // null-test it (no pattern evaluation off the loop thread).
+  std::vector<const SignalFilter*> filters_;
   std::unordered_map<Scope*, size_t> scope_index_;
   // Bumped on scope add/remove; removal also folds in the removed scope's
   // signal epoch so the RouteEpoch sum stays strictly increasing.
@@ -129,6 +151,10 @@ class IngestRouter {
   // costs O(N x scopes) appends plus one copy per flush instead of a full
   // table copy per name.
   std::vector<SignalId> staged_ids_;
+  // Filter-excluded entries in staged_ids_ (diagnostics; recomputed with the
+  // table, incremented as new routes resolve).
+  size_t excluded_slots_ = 0;
+  size_t filtered_scopes_ = 0;
   bool table_dirty_ = false;
   std::shared_ptr<const RouteTable> table_;  // last published snapshot
 

@@ -302,7 +302,11 @@ size_t Scope::PushIngestSpan(const IngestSpan& span, int64_t now_ms) {
       // The common all-resolved case skips the scan: whole-span drop stays
       // O(1).
       size_t shim_served = 0;
-      if (span.block->has_unresolved) {
+      // Filtered slots (and withheld unnamed samples) also leave id-0
+      // entries that are not this span's to drop; they force the same scan.
+      if (span.block->has_unresolved ||
+          (span.block->has_unnamed && !span.deliver_unnamed) ||
+          span.table->SlotFiltered(span.slot)) {
         SampleKey key;
         for (uint32_t i = span.begin; i < span.end; ++i) {
           if (!TranslateSpanKey(span, span.block->samples[i], &key)) {
@@ -338,6 +342,9 @@ size_t Scope::PushIngestSpan(const IngestSpan& span, int64_t now_ms) {
 
 bool Scope::TranslateSpanKey(const IngestSpan& span, const Sample& sample, SampleKey* key) {
   if (sample.key == kUnnamedRouteKey) {
+    if (!span.deliver_unnamed) {
+      return false;  // withheld from subscription-filtered scopes
+    }
     *key = kUnnamedSampleKey;
     return true;
   }
@@ -394,6 +401,15 @@ void Scope::StopRecording() { recorder_.Close(); }
 
 const TimerStats* Scope::poll_stats() const {
   return poll_source_ == 0 ? nullptr : loop_->StatsFor(poll_source_);
+}
+
+void Scope::AdoptTimeBase(const Scope& reference) {
+  if (!reference.started_.load(std::memory_order_acquire)) {
+    return;
+  }
+  start_ns_.store(reference.start_ns_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  started_.store(true, std::memory_order_release);
 }
 
 int64_t Scope::NowMs() const {
@@ -501,6 +517,9 @@ void Scope::DrainIngestSpans(int64_t now_ms) {
 void Scope::RouteSpanSample(const IngestSpan& span, const Sample& sample) {
   SignalState* s = nullptr;
   if (sample.key == kUnnamedRouteKey) {
+    if (!span.deliver_unnamed) {
+      return;  // withheld from subscription-filtered scopes
+    }
     // Single-signal special case: time-value tuples go to the sole BUFFER
     // signal.
     s = FirstBufferSignal();
@@ -518,6 +537,9 @@ void Scope::RouteSpanSample(const IngestSpan& span, const Sample& sample) {
   s->buffered_hold = sample.value;
   s->buffered_primed = true;
   counters_.buffered_routed += 1;
+  if (buffered_tap_) {
+    buffered_tap_(s->spec.name, sample.time_ms, sample.value);
+  }
 }
 
 bool Scope::SamplePlayback(int64_t lost) {
@@ -613,6 +635,9 @@ void Scope::RouteBuffered(const std::vector<Sample>& samples) {
     s->buffered_hold = sample.value;
     s->buffered_primed = true;
     counters_.buffered_routed += 1;
+    if (buffered_tap_) {
+      buffered_tap_(s->spec.name, sample.time_ms, sample.value);
+    }
   }
 }
 

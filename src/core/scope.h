@@ -182,6 +182,21 @@ class Scope {
   IngestSpanQueue::Stats ingest_span_stats() const { return ingest_spans_.stats(); }
   size_t pending_ingest_samples() const { return ingest_spans_.queued_samples(); }
 
+  // Observer of every buffered sample the moment it routes to a signal at
+  // drain time (loop thread), before sample-and-hold decimates it to one
+  // value per tick.  This is the egress hook of the control channel: a
+  // remote scope session re-serializes each routed sample back to its
+  // client.  Null (default) disables the hook; the steady-state drain pays
+  // one null test per sample.
+  using BufferedTapFn = std::function<void(std::string_view name, int64_t time_ms, double value)>;
+  void SetBufferedTap(BufferedTapFn tap) { buffered_tap_ = std::move(tap); }
+
+  // Copies `reference`'s time origin so NowMs() values of the two scopes are
+  // directly comparable.  A remote scope session created mid-stream must
+  // judge producer timestamps on the server's existing axis, not restart at
+  // zero.  Call before StartPolling; no-op if the reference never started.
+  void AdoptTimeBase(const Scope& reference);
+
   // -- Recording ------------------------------------------------------------
 
   bool StartRecording(const std::string& path);
@@ -256,6 +271,8 @@ class Scope {
   uint64_t signals_epoch_ = 0;
   SignalId next_signal_id_ = 1;
   int next_color_ = 0;
+
+  BufferedTapFn buffered_tap_;
 
   // Reused per-tick drain scratch (no steady-state allocation).
   std::vector<Sample> drain_scratch_;

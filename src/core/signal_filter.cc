@@ -1,0 +1,61 @@
+#include "core/signal_filter.h"
+
+#include <algorithm>
+
+namespace gscope {
+
+bool GlobMatch(std::string_view pattern, std::string_view text) {
+  size_t p = 0, t = 0;
+  size_t star = std::string_view::npos;  // position of the last '*' seen
+  size_t star_t = 0;                     // text position that star matched to
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string_view::npos) {
+      // Mismatch after a star: let the star swallow one more character.
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+bool SignalFilter::Add(std::string_view glob) {
+  if (glob.empty() ||
+      std::find(patterns_.begin(), patterns_.end(), glob) != patterns_.end()) {
+    return false;
+  }
+  patterns_.emplace_back(glob);
+  ++epoch_;
+  return true;
+}
+
+bool SignalFilter::Remove(std::string_view glob) {
+  auto it = std::find(patterns_.begin(), patterns_.end(), glob);
+  if (it == patterns_.end()) {
+    return false;
+  }
+  patterns_.erase(it);
+  ++epoch_;
+  return true;
+}
+
+bool SignalFilter::Matches(std::string_view name) const {
+  for (const std::string& pattern : patterns_) {
+    if (GlobMatch(pattern, name)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gscope

@@ -1,0 +1,58 @@
+// Signal-name subscription filter for selective fan-out.
+//
+// A remote display target does not want every signal a server ingests: the
+// control channel (docs/protocol.md) lets it subscribe by glob pattern, and
+// the IngestRouter consults the registration's SignalFilter at route-build
+// time so non-matching signals are excluded from that scope's route-table
+// slots up front — never per sample.  The filter carries its own epoch;
+// the router folds it into RouteEpoch(), so a pattern change invalidates
+// the routing snapshot exactly like a signal-table change does.
+//
+// Threading: filters are read and mutated on the loop thread only (the
+// router rebuilds tables there; the control channel mutates patterns from
+// connection callbacks on the same loop).
+#ifndef GSCOPE_CORE_SIGNAL_FILTER_H_
+#define GSCOPE_CORE_SIGNAL_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gscope {
+
+// Shell-style glob over signal names: '*' matches any run (including empty),
+// '?' matches exactly one character, everything else matches literally.
+// Iterative with single-star backtracking: O(pattern x text) worst case,
+// O(pattern + text) for the typical prefix/suffix globs.
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
+// An any-of set of glob patterns.  Empty set matches nothing: a session that
+// has not subscribed receives no signals (subscribe-to-receive, the
+// publish/subscribe split of the streaming-telemetry collectors in
+// PAPERS.md).
+class SignalFilter {
+ public:
+  // False (and no epoch bump) if the pattern is already present or empty.
+  bool Add(std::string_view glob);
+  // False if the pattern was never added.
+  bool Remove(std::string_view glob);
+
+  bool Matches(std::string_view name) const;
+
+  const std::vector<std::string>& patterns() const { return patterns_; }
+  size_t pattern_count() const { return patterns_.size(); }
+  bool empty() const { return patterns_.empty(); }
+
+  // Bumped on every successful Add/Remove; summed into the router's
+  // RouteEpoch so pattern changes invalidate route snapshots.
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  std::vector<std::string> patterns_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_CORE_SIGNAL_FILTER_H_

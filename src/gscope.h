@@ -9,6 +9,7 @@
 // Event loop substrate (glib analogue).
 #include "runtime/clock.h"
 #include "runtime/event_loop.h"
+#include "runtime/framed_writer.h"
 #include "runtime/timer_stats.h"
 
 // The scope library proper.
@@ -24,6 +25,7 @@
 #include "core/sample_hold.h"
 #include "core/scope.h"
 #include "core/scope_set.h"
+#include "core/signal_filter.h"
 #include "core/signal_spec.h"
 #include "core/trace.h"
 #include "core/trigger.h"
@@ -44,7 +46,9 @@
 #include "freq/window.h"
 
 // Distributed visualization.
+#include "net/control_client.h"
 #include "net/datagram_server.h"
+#include "net/line_framer.h"
 #include "net/socket.h"
 #include "net/stream_client.h"
 #include "net/stream_server.h"

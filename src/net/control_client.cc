@@ -1,0 +1,209 @@
+#include "net/control_client.h"
+
+#include <charconv>
+
+namespace gscope {
+
+ControlClient::ControlClient(MainLoop* loop, ControlClientOptions options)
+    : loop_(loop),
+      options_(options),
+      writer_(loop, options.max_buffer),
+      framer_(options.max_line_bytes) {
+  writer_.SetErrorCallback([this]() { Disconnect(); });
+}
+
+ControlClient::~ControlClient() { Close(); }
+
+bool ControlClient::Connect(uint16_t port) {
+  Close();
+  socket_ = Socket::Connect(port);
+  if (!socket_.valid()) {
+    state_ = ConnectState::kFailed;
+    stats_.connect_failures += 1;
+    return false;
+  }
+  state_ = ConnectState::kConnecting;
+  connect_watch_ =
+      loop_->AddIoWatch(socket_.fd(), IoCondition::kOut | IoCondition::kErr,
+                        [this](int, IoCondition) { return OnConnectReady(); });
+  if (connect_watch_ == 0) {
+    socket_.Close();
+    state_ = ConnectState::kFailed;
+    stats_.connect_failures += 1;
+    return false;
+  }
+  return true;
+}
+
+void ControlClient::Close() {
+  if (connect_watch_ != 0) {
+    loop_->Remove(connect_watch_);
+    connect_watch_ = 0;
+  }
+  if (read_watch_ != 0) {
+    loop_->Remove(read_watch_);
+    read_watch_ = 0;
+  }
+  writer_.Reset();
+  framer_.Reset();
+  socket_.Close();
+  state_ = ConnectState::kDisconnected;
+  preconnect_frames_ = 0;
+}
+
+bool ControlClient::OnConnectReady() {
+  connect_watch_ = 0;
+  int error = socket_.PendingError();
+  if (error != 0) {
+    last_error_ = error;
+    state_ = ConnectState::kFailed;
+    stats_.connect_failures += 1;
+    // Frames queued behind the handshake never left the process: they
+    // resolve to dropped, so commands_sent/tuples_pushed vs frames_dropped
+    // reconcile for the caller.
+    stats_.frames_dropped += preconnect_frames_;
+    preconnect_frames_ = 0;
+    writer_.Reset();
+    socket_.Close();
+    if (on_connect_) {
+      on_connect_(false, error);
+    }
+    return false;
+  }
+  state_ = ConnectState::kConnected;
+  preconnect_frames_ = 0;
+  writer_.Attach(socket_.fd());  // flushes commands queued pre-connect
+  read_watch_ = loop_->AddIoWatch(socket_.fd(), IoCondition::kIn,
+                                  [this](int, IoCondition cond) { return OnReadable(cond); });
+  if (on_connect_) {
+    on_connect_(true, 0);
+  }
+  return false;  // one-shot
+}
+
+void ControlClient::Disconnect() {
+  if (read_watch_ != 0) {
+    loop_->Remove(read_watch_);
+    read_watch_ = 0;
+  }
+  writer_.Reset();
+  framer_.Reset();
+  socket_.Close();
+  state_ = ConnectState::kDisconnected;
+}
+
+bool ControlClient::OnReadable(IoCondition cond) {
+  if (Has(cond, IoCondition::kErr)) {
+    Disconnect();
+    return false;
+  }
+  char buf[65536];
+  while (true) {
+    IoResult r = socket_.Read(buf, sizeof(buf));
+    if (r.status == IoResult::Status::kOk) {
+      stats_.bytes_received += static_cast<int64_t>(r.bytes);
+      framer_.Consume(buf, r.bytes, &stats_.parse_errors,
+                      [this](std::string_view line) { HandleLine(line); });
+      continue;
+    }
+    if (r.status == IoResult::Status::kWouldBlock) {
+      return true;
+    }
+    framer_.FlushTail([this](std::string_view line) { HandleLine(line); });
+    read_watch_ = 0;  // returning false removes this watch
+    Disconnect();
+    return false;
+  }
+}
+
+void ControlClient::HandleLine(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') {
+    line.remove_suffix(1);
+  }
+  if (line.empty()) {
+    return;
+  }
+  char c = line.front();
+  if ((c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z')) {
+    if (line.rfind("OK", 0) == 0) {
+      stats_.replies_ok += 1;
+    } else if (line.rfind("ERR", 0) == 0) {
+      stats_.replies_err += 1;
+    } else if (line.rfind("INFO", 0) == 0) {
+      stats_.replies_info += 1;
+    } else {
+      stats_.parse_errors += 1;
+      return;
+    }
+    if (on_reply_) {
+      on_reply_(line);
+    }
+    return;
+  }
+  std::optional<TupleView> tuple = ParseTupleView(line);
+  if (!tuple.has_value()) {
+    if (!IsIgnorableLine(line)) {
+      stats_.parse_errors += 1;
+    }
+    return;
+  }
+  stats_.tuples_received += 1;
+  if (on_tuple_) {
+    on_tuple_(*tuple);
+  }
+}
+
+bool ControlClient::SendCommand(std::string_view verb, std::string_view arg) {
+  if (state_ != ConnectState::kConnected && state_ != ConnectState::kConnecting) {
+    stats_.frames_dropped += 1;
+    return false;
+  }
+  std::string& buf = writer_.BeginFrame();
+  buf.append(verb);
+  if (!arg.empty()) {
+    buf.push_back(' ');
+    buf.append(arg);
+  }
+  buf.push_back('\n');
+  if (!writer_.CommitFrame()) {
+    stats_.frames_dropped += 1;
+    return false;
+  }
+  if (state_ == ConnectState::kConnecting) {
+    preconnect_frames_ += 1;
+  }
+  stats_.commands_sent += 1;
+  return true;
+}
+
+bool ControlClient::Subscribe(std::string_view glob) { return SendCommand("SUB", glob); }
+
+bool ControlClient::Unsubscribe(std::string_view glob) { return SendCommand("UNSUB", glob); }
+
+bool ControlClient::SetDelay(int64_t delay_ms) {
+  char buf[24];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), delay_ms);
+  (void)ec;
+  return SendCommand("DELAY", std::string_view(buf, static_cast<size_t>(p - buf)));
+}
+
+bool ControlClient::RequestList() { return SendCommand("LIST", {}); }
+
+bool ControlClient::Send(int64_t time_ms, double value, std::string_view name) {
+  if (state_ != ConnectState::kConnected && state_ != ConnectState::kConnecting) {
+    stats_.frames_dropped += 1;
+    return false;
+  }
+  AppendTuple(writer_.BeginFrame(), time_ms, value, name);
+  if (!writer_.CommitFrame()) {
+    stats_.frames_dropped += 1;
+    return false;
+  }
+  if (state_ == ConnectState::kConnecting) {
+    preconnect_frames_ += 1;
+  }
+  stats_.tuples_pushed += 1;
+  return true;
+}
+
+}  // namespace gscope

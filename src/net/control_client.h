@@ -1,0 +1,123 @@
+// Client side of the remote scope control channel (docs/protocol.md).
+//
+// A display target uses this to attach to a gscope StreamServer over the
+// wire instead of a process-local AddScope call: it subscribes to signal
+// names by glob (SUB/UNSUB), sets its server-side late-drop delay (DELAY),
+// and receives the matched tuples streamed back down the same connection.
+// Incoming lines are demultiplexed by first byte: letters are control
+// replies (OK / ERR / INFO), everything else parses as a tuple line.
+//
+// The channel is bidirectional: Send() pushes tuples upstream on the same
+// connection, so one process can both produce signals and subscribe to
+// others' (or, for a loopback check, its own).
+//
+// Single-threaded and I/O driven, like StreamClient; the same non-blocking
+// connect discipline (completion via first writability + SO_ERROR) and the
+// same bounded whole-frame egress backlog apply.
+#ifndef GSCOPE_NET_CONTROL_CLIENT_H_
+#define GSCOPE_NET_CONTROL_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "core/tuple.h"
+#include "net/line_framer.h"
+#include "net/socket.h"
+#include "net/stream_client.h"  // ConnectState
+#include "runtime/event_loop.h"
+#include "runtime/framed_writer.h"
+
+namespace gscope {
+
+struct ControlClientOptions {
+  // Outgoing (commands + pushed tuples) backlog cap; whole frames are
+  // dropped on overflow.
+  size_t max_buffer = 1 << 20;
+  // Longest accepted incoming line (tuple or reply).
+  size_t max_line_bytes = 4096;
+};
+
+class ControlClient {
+ public:
+  struct Stats {
+    int64_t commands_sent = 0;
+    int64_t tuples_pushed = 0;
+    int64_t frames_dropped = 0;  // outgoing backlog overflow (whole frames)
+    int64_t tuples_received = 0;
+    int64_t replies_ok = 0;
+    int64_t replies_err = 0;
+    int64_t replies_info = 0;
+    int64_t parse_errors = 0;
+    int64_t bytes_received = 0;
+    int64_t connect_failures = 0;
+  };
+
+  using TupleFn = std::function<void(const TupleView& tuple)>;
+  using ReplyFn = std::function<void(std::string_view line)>;
+  using ConnectFn = std::function<void(bool ok, int error)>;
+
+  explicit ControlClient(MainLoop* loop, ControlClientOptions options = {});
+  ~ControlClient();
+
+  ControlClient(const ControlClient&) = delete;
+  ControlClient& operator=(const ControlClient&) = delete;
+
+  // Starts a non-blocking connect to 127.0.0.1:`port`; the outcome arrives
+  // through the connect callback / state().  Commands issued while the
+  // connect is in flight are queued and flushed on establishment.
+  bool Connect(uint16_t port);
+  void Close();
+
+  ConnectState state() const { return state_; }
+  bool connected() const { return state_ == ConnectState::kConnected; }
+  int last_error() const { return last_error_; }
+
+  // Control verbs; each returns false if the frame could not be queued
+  // (disconnected or backlog full).  Replies arrive asynchronously through
+  // the reply callback.
+  bool Subscribe(std::string_view glob);
+  bool Unsubscribe(std::string_view glob);
+  bool SetDelay(int64_t delay_ms);
+  bool RequestList();
+
+  // Pushes one tuple upstream on the same connection.
+  bool Send(int64_t time_ms, double value, std::string_view name);
+
+  // Received matched tuples.  The view borrows the read buffer: copy what
+  // must outlive the callback.
+  void SetTupleCallback(TupleFn fn) { on_tuple_ = std::move(fn); }
+  // OK / ERR / INFO lines, verbatim.
+  void SetReplyCallback(ReplyFn fn) { on_reply_ = std::move(fn); }
+  void SetConnectCallback(ConnectFn fn) { on_connect_ = std::move(fn); }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  bool OnConnectReady();
+  bool OnReadable(IoCondition cond);
+  void HandleLine(std::string_view line);
+  bool SendCommand(std::string_view verb, std::string_view arg);
+  void Disconnect();
+
+  MainLoop* loop_;
+  ControlClientOptions options_;
+  Socket socket_;
+  FramedWriter writer_;
+  LineFramer framer_;
+  SourceId connect_watch_ = 0;
+  SourceId read_watch_ = 0;
+  ConnectState state_ = ConnectState::kDisconnected;
+  int last_error_ = 0;
+  // Frames committed while kConnecting; folded into frames_dropped if the
+  // handshake fails (they never left the process).
+  int64_t preconnect_frames_ = 0;
+  TupleFn on_tuple_;
+  ReplyFn on_reply_;
+  ConnectFn on_connect_;
+  Stats stats_;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_NET_CONTROL_CLIENT_H_

@@ -65,8 +65,15 @@ bool DatagramServer::OnReadable() {
     }
     stats_.datagrams += 1;
     stats_.bytes += static_cast<int64_t>(r.bytes);
-    if (r.kernel_drops > last_kernel_drop_counter_) {
-      stats_.kernel_drops += static_cast<int64_t>(r.kernel_drops - last_kernel_drop_counter_);
+    if (r.has_kernel_drops) {
+      // The kernel counter is cumulative per socket (restarting at zero on
+      // every Listen(), which resets the baseline) and wraps at 2^32, so the
+      // unsigned difference is the exact drop count since the last reading.
+      // Only readings where the control message was actually present update
+      // the baseline: treating an absent counter as 0 would wrap the delta
+      // and march stats_.kernel_drops backwards or double-count on rebind.
+      stats_.kernel_drops +=
+          static_cast<int64_t>(r.kernel_drops - last_kernel_drop_counter_);
       last_kernel_drop_counter_ = r.kernel_drops;
     }
     if (r.truncated) {

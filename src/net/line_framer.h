@@ -1,0 +1,96 @@
+// Newline framing over a non-blocking byte stream, shared by the tuple
+// stream server and the control client (docs/protocol.md).
+//
+// Complete lines inside a read chunk are framed with memchr and handed to
+// the callback as views into the read buffer (no copy); only a line split
+// across reads is accumulated in the side buffer.  A line longer than
+// `max_line_bytes` (terminator excluded, a trailing '\r' included) is
+// counted exactly once as over-long and discarded; framing resynchronizes
+// at the next newline.  A line of exactly `max_line_bytes` parses, however
+// it is split across reads.
+#ifndef GSCOPE_NET_LINE_FRAMER_H_
+#define GSCOPE_NET_LINE_FRAMER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace gscope {
+
+class LineFramer {
+ public:
+  explicit LineFramer(size_t max_line_bytes)
+      : max_line_bytes_(max_line_bytes == 0 ? 1 : max_line_bytes) {}
+
+  // Frames one read chunk: fn(std::string_view line) per complete line (the
+  // terminating '\n' stripped, any '\r' left for the parser's whitespace
+  // handling), *overlong_lines incremented once per over-cap line.
+  template <typename Fn>
+  void Consume(const char* data, size_t len, int64_t* overlong_lines, Fn&& fn) {
+    size_t pos = 0;
+    while (pos < len) {
+      const char* nl = static_cast<const char*>(std::memchr(data + pos, '\n', len - pos));
+      if (nl == nullptr) {
+        // No newline in the remainder: keep the tail for the next read.
+        size_t tail = len - pos;
+        if (discarding_) {
+          break;
+        }
+        if (buffer_.size() + tail > max_line_bytes_) {
+          *overlong_lines += 1;
+          buffer_.clear();
+          discarding_ = true;  // resynchronize at the next newline
+          break;
+        }
+        buffer_.append(data + pos, tail);
+        break;
+      }
+      size_t line_end = static_cast<size_t>(nl - data);
+      if (discarding_) {
+        discarding_ = false;  // the over-long line ends here
+      } else if (!buffer_.empty()) {
+        // Split line: complete it in the side buffer (the only copied case).
+        if (buffer_.size() + (line_end - pos) > max_line_bytes_) {
+          *overlong_lines += 1;
+        } else {
+          buffer_.append(data + pos, line_end - pos);
+          fn(std::string_view(buffer_));
+        }
+        buffer_.clear();
+      } else if (line_end - pos > max_line_bytes_) {
+        *overlong_lines += 1;
+      } else {
+        // Whole line inside the read buffer: hand out a view in place.
+        fn(std::string_view(data + pos, line_end - pos));
+      }
+      pos = line_end + 1;
+    }
+  }
+
+  // EOF: delivers a final unterminated line, if any.
+  template <typename Fn>
+  void FlushTail(Fn&& fn) {
+    if (!discarding_ && !buffer_.empty()) {
+      fn(std::string_view(buffer_));
+    }
+    Reset();
+  }
+
+  void Reset() {
+    buffer_.clear();
+    discarding_ = false;
+  }
+
+  // A partial line is buffered or an over-long line is being discarded.
+  bool mid_line() const { return discarding_ || !buffer_.empty(); }
+
+ private:
+  size_t max_line_bytes_;
+  std::string buffer_;
+  bool discarding_ = false;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_NET_LINE_FRAMER_H_

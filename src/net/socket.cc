@@ -98,6 +98,18 @@ Socket Socket::Connect(uint16_t port) {
   return Socket{fd};
 }
 
+int Socket::PendingError() const {
+  if (!valid()) {
+    return EBADF;
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    return errno;
+  }
+  return err;
+}
+
 Socket Socket::Accept() {
   if (!valid()) {
     return Socket{};
@@ -178,6 +190,7 @@ Socket::DatagramResult Socket::ReadDatagram(void* buf, size_t len) {
       uint32_t drops = 0;
       std::memcpy(&drops, CMSG_DATA(cmsg), sizeof(drops));
       result.kernel_drops = drops;
+      result.has_kernel_drops = true;
     }
   }
 #endif
@@ -205,7 +218,12 @@ IoResult Socket::Write(const void* buf, size_t len) {
   if (!valid()) {
     return IoResult{IoResult::Status::kError, 0};
   }
-  ssize_t n = write(fd_, buf, len);
+  // MSG_NOSIGNAL: a reset peer yields EPIPE (kError) instead of a
+  // process-killing SIGPIPE.
+  ssize_t n = send(fd_, buf, len, MSG_NOSIGNAL);
+  if (n < 0 && errno == ENOTSOCK) {
+    n = write(fd_, buf, len);
+  }
   if (n >= 0) {
     return IoResult{IoResult::Status::kOk, static_cast<size_t>(n)};
   }

@@ -46,8 +46,15 @@ class Socket {
   static Socket Listen(uint16_t port, uint16_t* bound_port = nullptr);
 
   // Starts a non-blocking connect to 127.0.0.1:`port`.  The connection may
-  // still be in progress when this returns; wait for writability.
+  // still be in progress when this returns; wait for writability, then call
+  // PendingError() to learn whether the connect succeeded.
   static Socket Connect(uint16_t port);
+
+  // Drains and returns the socket's pending error (SO_ERROR): 0 when the
+  // socket is healthy (e.g. a non-blocking connect completed), the errno
+  // value otherwise (ECONNREFUSED, ETIMEDOUT, ...).  Returns EBADF on an
+  // invalid socket.
+  int PendingError() const;
 
   // Accepts one pending connection (non-blocking).  Invalid if none pending.
   Socket Accept();
@@ -73,8 +80,14 @@ class Socket {
     // The datagram was longer than `len` and its tail was discarded.
     bool truncated = false;
     // Cumulative count of datagrams the kernel dropped on this socket's
-    // receive queue (SO_RXQ_OVFL); 0 where unsupported.
+    // receive queue (SO_RXQ_OVFL); only meaningful when has_kernel_drops is
+    // set.  The counter is per-socket: it restarts at zero for every fresh
+    // Bind, and wraps at 2^32.
     uint32_t kernel_drops = 0;
+    // The SO_RXQ_OVFL control message was present on this receive.  Callers
+    // must not treat an absent counter as the value zero: conflating the two
+    // lets a later genuine reading double-count or march a delta backwards.
+    bool has_kernel_drops = false;
   };
   // Receives one datagram (non-blocking).  Unlike Read, detects truncation
   // and reports the kernel drop counter.

@@ -3,24 +3,82 @@
 namespace gscope {
 
 StreamClient::StreamClient(MainLoop* loop, size_t max_buffer)
-    : loop_(loop), max_buffer_(max_buffer) {}
+    : loop_(loop), writer_(loop, max_buffer) {
+  // A hard write error after establishment means the connection is gone; the
+  // writer has already dropped the backlog and detached.
+  writer_.SetErrorCallback([this]() {
+    socket_.Close();
+    state_ = ConnectState::kDisconnected;
+  });
+}
 
 StreamClient::~StreamClient() { Close(); }
 
 bool StreamClient::Connect(uint16_t port) {
   Close();
   socket_ = Socket::Connect(port);
-  return socket_.valid();
+  if (!socket_.valid()) {
+    state_ = ConnectState::kFailed;
+    stats_.connect_failures += 1;
+    return false;
+  }
+  state_ = ConnectState::kConnecting;
+  // The handshake outcome is signalled by the first writability event; the
+  // FramedWriter attaches only after SO_ERROR confirms establishment, so a
+  // refused connect never looks like a drained backlog.
+  connect_watch_ = loop_->AddIoWatch(
+      socket_.fd(), IoCondition::kOut | IoCondition::kErr,
+      [this](int, IoCondition cond) { return OnConnectReady(cond); });
+  if (connect_watch_ == 0) {
+    socket_.Close();
+    state_ = ConnectState::kFailed;
+    stats_.connect_failures += 1;
+    return false;
+  }
+  return true;
 }
 
 void StreamClient::Close() {
-  if (write_watch_ != 0) {
-    loop_->Remove(write_watch_);
-    write_watch_ = 0;
+  if (connect_watch_ != 0) {
+    loop_->Remove(connect_watch_);
+    connect_watch_ = 0;
   }
+  writer_.Reset();
   socket_.Close();
-  out_buffer_.clear();
-  out_offset_ = 0;
+  state_ = ConnectState::kDisconnected;
+  preconnect_tuples_ = 0;
+}
+
+bool StreamClient::OnConnectReady(IoCondition) {
+  // Both kOut and kErr resolve through SO_ERROR: poll(2) reports a failed
+  // non-blocking connect as writable-with-error, and reading the option
+  // also clears it.
+  connect_watch_ = 0;
+  ResolveConnect(socket_.PendingError());
+  return false;  // one-shot: the FramedWriter owns writability from here
+}
+
+void StreamClient::ResolveConnect(int error) {
+  if (error != 0) {
+    last_error_ = error;
+    state_ = ConnectState::kFailed;
+    stats_.connect_failures += 1;
+    stats_.tuples_dropped += preconnect_tuples_;
+    preconnect_tuples_ = 0;
+    writer_.Reset();
+    socket_.Close();
+    if (on_connect_) {
+      on_connect_(false, error);
+    }
+    return;
+  }
+  state_ = ConnectState::kConnected;
+  stats_.tuples_sent += preconnect_tuples_;
+  preconnect_tuples_ = 0;
+  writer_.Attach(socket_.fd());  // flushes anything queued pre-connect
+  if (on_connect_) {
+    on_connect_(true, 0);
+  }
 }
 
 bool StreamClient::SendTuple(const Tuple& tuple) {
@@ -28,57 +86,24 @@ bool StreamClient::SendTuple(const Tuple& tuple) {
 }
 
 bool StreamClient::Send(int64_t time_ms, double value, std::string_view name) {
-  if (!socket_.valid()) {
+  if (state_ != ConnectState::kConnected && state_ != ConnectState::kConnecting) {
     stats_.tuples_dropped += 1;
     return false;
   }
-  // Format in place at the end of the output buffer (its capacity is reused
-  // across drains, so steady-state sends do not allocate); roll back if the
-  // tuple would overflow the backlog cap.
-  size_t before = out_buffer_.size();
-  AppendTuple(out_buffer_, time_ms, value, name);
-  if (out_buffer_.size() - out_offset_ > max_buffer_) {
-    out_buffer_.resize(before);
+  // Format in place at the end of the output backlog (its capacity is reused
+  // across drains, so steady-state sends do not allocate); the writer rolls
+  // the whole frame back if it would overflow the cap.
+  AppendTuple(writer_.BeginFrame(), time_ms, value, name);
+  if (!writer_.CommitFrame()) {
     stats_.tuples_dropped += 1;
     return false;
   }
-  stats_.tuples_sent += 1;
-  EnsureWriteWatch();
+  if (state_ == ConnectState::kConnected) {
+    stats_.tuples_sent += 1;
+  } else {
+    preconnect_tuples_ += 1;
+  }
   return true;
-}
-
-void StreamClient::EnsureWriteWatch() {
-  if (write_watch_ != 0 || !socket_.valid()) {
-    return;
-  }
-  write_watch_ = loop_->AddIoWatch(socket_.fd(), IoCondition::kOut,
-                                   [this](int, IoCondition) { return OnWritable(); });
-}
-
-bool StreamClient::OnWritable() {
-  while (out_offset_ < out_buffer_.size()) {
-    IoResult r = socket_.Write(out_buffer_.data() + out_offset_,
-                               out_buffer_.size() - out_offset_);
-    if (r.status == IoResult::Status::kOk) {
-      out_offset_ += r.bytes;
-      stats_.bytes_sent += static_cast<int64_t>(r.bytes);
-      continue;
-    }
-    if (r.status == IoResult::Status::kWouldBlock) {
-      return true;  // keep the watch; try again when writable
-    }
-    // Error: the connection is gone.
-    socket_.Close();
-    out_buffer_.clear();
-    out_offset_ = 0;
-    write_watch_ = 0;
-    return false;
-  }
-  // Fully drained: compact and remove the watch until more data arrives.
-  out_buffer_.clear();
-  out_offset_ = 0;
-  write_watch_ = 0;
-  return false;
 }
 
 }  // namespace gscope

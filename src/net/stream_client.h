@@ -2,28 +2,55 @@
 //
 // "Clients use the gscope client API to connect to a server ... Clients
 // asynchronously send BUFFER signal data in tuple format."  The client is
-// single-threaded and I/O driven: SendTuple appends to an output buffer that
-// drains through a writability watch, so the application never blocks.
+// single-threaded and I/O driven: SendTuple appends one framed tuple line to
+// a bounded output backlog (FramedWriter) that drains through a writability
+// watch, so the application never blocks.  When the backlog cap would be
+// exceeded the newest tuple is rolled back whole - the server can never
+// observe a truncated line (see docs/protocol.md, "Backlog and drop
+// semantics").
+//
+// Connect() is non-blocking: the TCP handshake completes (or fails) later,
+// signalled by the first writability event on the socket.  The client reads
+// SO_ERROR there, so a refused or failed connect is surfaced through
+// state()/last_error() and the optional connect callback instead of being
+// silently swallowed.  Tuples sent while the connect is in flight are
+// queued; they count as sent only once the connection is established (and as
+// dropped if it fails).
 #ifndef GSCOPE_NET_STREAM_CLIENT_H_
 #define GSCOPE_NET_STREAM_CLIENT_H_
 
 #include <cstdint>
-#include <string>
+#include <functional>
 #include <string_view>
 
 #include "core/tuple.h"
 #include "net/socket.h"
 #include "runtime/event_loop.h"
+#include "runtime/framed_writer.h"
 
 namespace gscope {
+
+enum class ConnectState : uint8_t {
+  kDisconnected,  // never connected, or an established connection ended
+  kConnecting,    // non-blocking connect in flight
+  kConnected,     // handshake completed (SO_ERROR was 0)
+  kFailed,        // connect failed (last_error() holds the errno)
+};
 
 class StreamClient {
  public:
   struct Stats {
+    // Tuples committed to an ESTABLISHED connection's backlog.  Tuples
+    // queued while a connect is in flight count only once it completes.
     int64_t tuples_sent = 0;
     int64_t bytes_sent = 0;
-    int64_t tuples_dropped = 0;  // output buffer overflow
+    int64_t tuples_dropped = 0;  // backlog overflow, pre-connect failure
+    int64_t connect_failures = 0;
   };
+
+  // Invoked once per Connect() when the handshake resolves: ok = true with
+  // error 0, or ok = false with the SO_ERROR errno value.
+  using ConnectFn = std::function<void(bool ok, int error)>;
 
   // `loop` is not owned.  `max_buffer` bounds the unsent byte backlog; when
   // the server is slower than the producer, the newest tuples are dropped
@@ -34,13 +61,23 @@ class StreamClient {
   StreamClient(const StreamClient&) = delete;
   StreamClient& operator=(const StreamClient&) = delete;
 
-  // Starts a non-blocking connect to 127.0.0.1:`port`.
+  // Starts a non-blocking connect to 127.0.0.1:`port`.  True means the
+  // attempt is in flight (not that the connection is established); the
+  // outcome arrives through the connect callback / state().
   bool Connect(uint16_t port);
   void Close();
-  bool connected() const { return socket_.valid(); }
+
+  void SetConnectCallback(ConnectFn fn) { on_connect_ = std::move(fn); }
+
+  ConnectState state() const { return state_; }
+  // True only once the handshake has actually completed - never while the
+  // connect is still in flight or after it failed.
+  bool connected() const { return state_ == ConnectState::kConnected; }
+  // errno of the last failed connect (0 if none failed yet).
+  int last_error() const { return last_error_; }
 
   // Queues one tuple for asynchronous delivery.  Returns false if the
-  // client is disconnected or the backlog is full.
+  // client is disconnected/failed or the backlog is full.
   bool SendTuple(const Tuple& tuple);
 
   // Same without a materialized Tuple: formats directly into the output
@@ -48,20 +85,27 @@ class StreamClient {
   bool Send(int64_t time_ms, double value, std::string_view name);
 
   // Unsent bytes currently queued.
-  size_t pending_bytes() const { return out_buffer_.size() - out_offset_; }
-  const Stats& stats() const { return stats_; }
+  size_t pending_bytes() const { return writer_.pending_bytes(); }
+  const Stats& stats() const {
+    stats_.bytes_sent = writer_.stats().bytes_written;  // drains happen async
+    return stats_;
+  }
 
  private:
-  bool OnWritable();
-  void EnsureWriteWatch();
+  bool OnConnectReady(IoCondition cond);
+  void ResolveConnect(int error);
 
   MainLoop* loop_;
-  size_t max_buffer_;
   Socket socket_;
-  SourceId write_watch_ = 0;
-  std::string out_buffer_;
-  size_t out_offset_ = 0;
-  Stats stats_;
+  FramedWriter writer_;
+  SourceId connect_watch_ = 0;
+  ConnectState state_ = ConnectState::kDisconnected;
+  int last_error_ = 0;
+  // Tuples committed while state_ == kConnecting; folded into tuples_sent
+  // or tuples_dropped when the handshake resolves.
+  int64_t preconnect_tuples_ = 0;
+  ConnectFn on_connect_;
+  mutable Stats stats_;
 };
 
 }  // namespace gscope

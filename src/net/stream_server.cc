@@ -1,8 +1,32 @@
 #include "net/stream_server.h"
 
+#include <charconv>
 #include <cstring>
 
+#include "core/tuple.h"
+
 namespace gscope {
+namespace {
+
+bool IsAsciiLetter(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z');
+}
+
+// Pops the next space/tab-delimited token off `s` (empties `s` at the end).
+std::string_view NextToken(std::string_view& s) {
+  size_t begin = s.find_first_not_of(" \t");
+  if (begin == std::string_view::npos) {
+    s = {};
+    return {};
+  }
+  size_t end = s.find_first_of(" \t", begin);
+  std::string_view token = s.substr(begin, end == std::string_view::npos ? std::string_view::npos
+                                                                         : end - begin);
+  s = end == std::string_view::npos ? std::string_view{} : s.substr(end);
+  return token;
+}
+
+}  // namespace
 
 StreamServer::StreamServer(MainLoop* loop, Scope* scope, StreamServerOptions options)
     : loop_(loop),
@@ -10,6 +34,9 @@ StreamServer::StreamServer(MainLoop* loop, Scope* scope, StreamServerOptions opt
       router_({.auto_create_signals = options.auto_create_signals,
                .fanout_shards = options.fanout_shards,
                .worker_threads = options.fanout_workers}) {
+  if (options_.control_poll_period_ms <= 0) {
+    options_.control_poll_period_ms = 10;
+  }
   if (scope != nullptr) {
     router_.AddScope(scope);
   }
@@ -19,7 +46,10 @@ bool StreamServer::AddScope(Scope* scope) { return router_.AddScope(scope); }
 
 bool StreamServer::RemoveScope(Scope* scope) { return router_.RemoveScope(scope); }
 
-StreamServer::~StreamServer() { Close(); }
+StreamServer::~StreamServer() {
+  self_alias_.reset();  // invalidate deferred closures before teardown
+  Close();
+}
 
 bool StreamServer::Listen(uint16_t port) {
   Close();
@@ -42,9 +72,21 @@ void StreamServer::Close() {
     if (client->watch != 0) {
       loop_->Remove(client->watch);
     }
+    if (client->session != nullptr) {
+      // Unregister before the scope is destroyed with the client map.
+      router_.RemoveScope(client->session->scope.get());
+    }
   }
   clients_.clear();
   port_ = 0;
+}
+
+size_t StreamServer::control_session_count() const {
+  size_t n = 0;
+  for (const auto& [key, client] : clients_) {
+    n += client->session != nullptr ? 1 : 0;
+  }
+  return n;
 }
 
 bool StreamServer::OnAcceptReady() {
@@ -57,7 +99,7 @@ bool StreamServer::OnAcceptReady() {
       stats_.refused += 1;
       continue;  // RAII closes the connection
     }
-    auto client = std::make_unique<Client>();
+    auto client = std::make_unique<Client>(options_.max_line_bytes);
     client->socket = std::move(conn);
     int key = next_client_key_++;
     int fd = client->socket.fd();
@@ -89,63 +131,27 @@ bool StreamServer::OnClientReady(int client_key, IoCondition cond) {
     IoResult r = client.socket.Read(buf, sizeof(buf));
     if (r.status == IoResult::Status::kOk) {
       stats_.bytes += static_cast<int64_t>(r.bytes);
-      ProcessData(client, buf, r.bytes);
+      ProcessData(client_key, client, buf, r.bytes);
+      if (clients_.count(client_key) == 0) {
+        return false;  // a control failure dropped the client mid-chunk
+      }
       continue;
     }
     if (r.status == IoResult::Status::kWouldBlock) {
       return true;
     }
     // EOF or error: flush any final unterminated line, then drop.
-    if (!client.discarding && !client.line_buffer.empty()) {
-      HandleLine(client.line_buffer);
-      client.line_buffer.clear();
-      FlushIngest();
-    }
+    client.framer.FlushTail(
+        [&](std::string_view line) { HandleLine(client_key, client, line); });
+    FlushIngest();
     DropClient(client_key);
     return false;
   }
 }
 
-void StreamServer::ProcessData(Client& client, const char* data, size_t len) {
-  size_t pos = 0;
-  while (pos < len) {
-    const char* nl =
-        static_cast<const char*>(std::memchr(data + pos, '\n', len - pos));
-    if (nl == nullptr) {
-      // No newline in the remainder: keep the tail for the next read.
-      size_t tail = len - pos;
-      if (client.discarding) {
-        break;
-      }
-      if (client.line_buffer.size() + tail > options_.max_line_bytes) {
-        stats_.parse_errors += 1;
-        client.line_buffer.clear();
-        client.discarding = true;  // resynchronize at the next newline
-        break;
-      }
-      client.line_buffer.append(data + pos, tail);
-      break;
-    }
-    size_t line_end = static_cast<size_t>(nl - data);
-    if (client.discarding) {
-      client.discarding = false;  // the over-long line ends here
-    } else if (!client.line_buffer.empty()) {
-      // Split line: complete it in the side buffer (the only copied case).
-      if (client.line_buffer.size() + (line_end - pos) > options_.max_line_bytes) {
-        stats_.parse_errors += 1;
-      } else {
-        client.line_buffer.append(data + pos, line_end - pos);
-        HandleLine(client.line_buffer);
-      }
-      client.line_buffer.clear();
-    } else if (line_end - pos > options_.max_line_bytes) {
-      stats_.parse_errors += 1;
-    } else {
-      // Whole line inside the read buffer: parse in place.
-      HandleLine(std::string_view(data + pos, line_end - pos));
-    }
-    pos = line_end + 1;
-  }
+void StreamServer::ProcessData(int client_key, Client& client, const char* data, size_t len) {
+  client.framer.Consume(data, len, &stats_.parse_errors,
+                        [&](std::string_view line) { HandleLine(client_key, client, line); });
   FlushIngest();
 }
 
@@ -154,8 +160,158 @@ void StreamServer::FlushIngest() {
   stats_.dropped_late += flushed.dropped_late;
 }
 
-void StreamServer::HandleLine(std::string_view line) {
+void StreamServer::HandleLine(int client_key, Client& client, std::string_view line) {
+  // Tuple lines start with a timestamp; a leading letter means a control
+  // verb (tuple names sit in the third field, so the two grammars cannot
+  // collide — docs/protocol.md).
+  if (options_.enable_control && !line.empty() && IsAsciiLetter(line.front())) {
+    HandleControlLine(client_key, client, line);
+    return;
+  }
   router_.AppendTupleLine(line, &stats_.tuples, &stats_.parse_errors);
+}
+
+void StreamServer::HandleControlLine(int client_key, Client& client, std::string_view line) {
+  if (!line.empty() && line.back() == '\r') {
+    line.remove_suffix(1);  // CRLF framing
+  }
+  std::string_view rest = line;
+  std::string_view verb = NextToken(rest);
+
+  if (verb != "SUB" && verb != "UNSUB" && verb != "DELAY" && verb != "LIST") {
+    // Unknown verb: counted like any other malformed line so a garbage
+    // producer cannot hide behind the control grammar; an existing session
+    // additionally gets an ERR reply.
+    stats_.parse_errors += 1;
+    if (client.session != nullptr) {
+      stats_.control_errors += 1;
+      Reply(*client.session, "ERR unknown-verb");
+    }
+    return;
+  }
+
+  stats_.control_commands += 1;
+  std::string_view arg = NextToken(rest);
+  std::string_view excess = NextToken(rest);
+
+  // Validate the argument shape BEFORE creating a session: a structurally
+  // malformed command must not cost this connection a scope, a poll timer,
+  // and a router slot.  (The ERR reply still requires an existing session's
+  // writer; a malformed first command is only counted.)
+  std::string reject;
+  int64_t delay_ms = -1;
+  if (!excess.empty() || (verb == "LIST" && !arg.empty())) {
+    reject.append("ERR ").append(verb).append(" trailing-junk");
+  } else if ((verb == "SUB" || verb == "UNSUB") && arg.empty()) {
+    reject.append("ERR ").append(verb).append(" missing-pattern");
+  } else if (verb == "DELAY") {
+    auto [p, ec] = std::from_chars(arg.data(), arg.data() + arg.size(), delay_ms);
+    if (arg.empty() || ec != std::errc{} || p != arg.data() + arg.size() || delay_ms < 0) {
+      reject = "ERR DELAY bad-milliseconds";
+    }
+  }
+  if (!reject.empty()) {
+    stats_.control_errors += 1;
+    if (client.session != nullptr) {
+      Reply(*client.session, reject);
+    }
+    return;
+  }
+
+  ControlSession& session = EnsureSession(client_key, client);
+  std::string reply;
+  if (verb == "SUB") {
+    if (!session.filter.Add(arg)) {
+      reply.append("ERR SUB duplicate-pattern ").append(arg);
+    } else {
+      reply.append("OK SUB ").append(arg);
+    }
+  } else if (verb == "UNSUB") {
+    if (!session.filter.Remove(arg)) {
+      reply.append("ERR UNSUB unknown-pattern ").append(arg);
+    } else {
+      reply.append("OK UNSUB ").append(arg);
+    }
+  } else if (verb == "DELAY") {
+    session.scope->SetDelayMs(delay_ms);
+    reply.append("OK DELAY ").append(arg);
+  } else {  // LIST
+    // The count goes FIRST: if the egress backlog drops some of the INFO
+    // frames (whole-frame policy), the client can still tell the listing
+    // was incomplete.
+    reply.append("OK LIST ")
+        .append(std::to_string(session.filter.pattern_count()))
+        .append(" DELAY ")
+        .append(std::to_string(session.scope->delay_ms()));
+    Reply(session, reply);
+    for (const std::string& pattern : session.filter.patterns()) {
+      std::string info;
+      info.append("INFO SUB ").append(pattern);
+      Reply(session, info);
+    }
+    return;
+  }
+
+  if (reply.compare(0, 3, "ERR") == 0) {
+    stats_.control_errors += 1;
+  }
+  Reply(session, reply);
+}
+
+StreamServer::ControlSession& StreamServer::EnsureSession(int client_key, Client& client) {
+  if (client.session != nullptr) {
+    return *client.session;
+  }
+  auto session = std::make_unique<ControlSession>(loop_, options_.control_max_buffer);
+  session->scope = std::make_unique<Scope>(
+      loop_, ScopeOptions{.name = "control-" + std::to_string(client_key),
+                          .width = options_.control_scope_width,
+                          .height = options_.control_scope_height});
+  Scope* scope = session->scope.get();
+  FramedWriter* writer = &session->writer;
+  scope->SetPollingMode(options_.control_poll_period_ms);
+  // Judge producer timestamps on the server's existing display axis: a
+  // session created mid-stream must not restart scope time at zero.
+  if (!router_.scopes().empty()) {
+    scope->AdoptTimeBase(*router_.scopes().front());
+  }
+  // Egress: every sample routed to the session scope is re-serialized down
+  // the connection; on backlog overflow whole tuples are dropped.
+  scope->SetBufferedTap([this, writer](std::string_view name, int64_t time_ms, double value) {
+    AppendTuple(writer->BeginFrame(), time_ms, value, name);
+    if (writer->CommitFrame()) {
+      stats_.tuples_echoed += 1;
+    } else {
+      stats_.echo_dropped += 1;
+    }
+  });
+  // A dead egress fd means the connection is gone; drop the client from a
+  // fresh stack frame (the writer that saw the error is inside the session
+  // being destroyed).  The weak token keeps the deferred closure from
+  // touching a server destroyed before the invoke queue drains.
+  std::weak_ptr<StreamServer> weak_self = self_alias_;
+  session->writer.SetErrorCallback([this, client_key, weak_self]() {
+    loop_->Invoke([client_key, weak_self]() {
+      if (std::shared_ptr<StreamServer> server = weak_self.lock()) {
+        server->DropClient(client_key);
+      }
+    });
+  });
+  session->writer.Attach(client.socket.fd());
+  scope->StartPolling();
+  router_.AddScope(scope, &session->filter);
+  stats_.sessions_opened += 1;
+  client.session = std::move(session);
+  return *client.session;
+}
+
+void StreamServer::Reply(ControlSession& session, std::string_view line) {
+  std::string& buf = session.writer.BeginFrame();
+  buf.append(line);
+  buf.push_back('\n');
+  if (!session.writer.CommitFrame()) {
+    stats_.echo_dropped += 1;
+  }
 }
 
 void StreamServer::DropClient(int client_key) {
@@ -165,6 +321,11 @@ void StreamServer::DropClient(int client_key) {
   }
   if (it->second->watch != 0) {
     loop_->Remove(it->second->watch);
+  }
+  if (it->second->session != nullptr) {
+    // Unregister the session scope (epoch bump: routes re-snapshot) before
+    // its storage goes away with the client entry.
+    router_.RemoveScope(it->second->session->scope.get());
   }
   clients_.erase(it);
   stats_.disconnections += 1;

@@ -1,4 +1,4 @@
-// Gscope stream server (Section 4.4).
+// Gscope stream server (Section 4.4) with the remote scope control channel.
 //
 // "Clients asynchronously send BUFFER signal data in tuple format to the
 // server.  The server receives data from one or more clients asynchronously
@@ -6,13 +6,27 @@
 // more scopes with a user-specified delay.  Data arriving at the server
 // after this delay is not buffered but dropped immediately."
 //
+// Wire protocol (tuple lines AND the control verbs): docs/protocol.md.
+//
 // I/O driven: a listen watch accepts clients, per-client watches parse
-// newline-delimited tuples and push them into the display scopes' sample
+// newline-delimited lines and push tuples into the display scopes' sample
 // buffers (which apply the delay/late-drop policy).  Parsing and routing
 // stay on the loop thread; with the default fanout_workers = -1 the router
 // may spawn up to fanout_shards-1 persistent fan-out worker threads on a
 // multi-core host (none on a single core) — set fanout_workers = 0 for a
 // strictly single-threaded server.
+//
+// Control channel: a client line starting with a letter is a control verb
+// (SUB / UNSUB / DELAY / LIST).  The first recognized verb turns the
+// connection into a *remote scope session*: the server creates a dedicated
+// Scope, registers it with the IngestRouter under the session's
+// SignalFilter — so the route table excludes non-subscribed signals at
+// build time, never per sample — and streams every sample routed to that
+// scope back down the same connection in tuple format, through a bounded
+// FramedWriter (whole tuples are dropped on backlog overflow, never partial
+// lines).  Display targets thus attach over the network, with their own
+// glob subscriptions and late-drop delay, without any process-local
+// AddScope call.
 //
 // Ingest fast path: complete lines are framed with memchr and parsed in
 // place from the read buffer (no copy except for lines split across reads).
@@ -31,8 +45,11 @@
 
 #include "core/ingest_router.h"
 #include "core/scope.h"
+#include "core/signal_filter.h"
+#include "net/line_framer.h"
 #include "net/socket.h"
 #include "runtime/event_loop.h"
+#include "runtime/framed_writer.h"
 
 namespace gscope {
 
@@ -42,14 +59,28 @@ struct StreamServerOptions {
   bool auto_create_signals = true;
   // Cap on concurrent clients; further connections are refused.
   size_t max_clients = 32;
-  // Longest accepted tuple line.  A client that exceeds it (e.g. streams
-  // garbage with no newlines) has the line counted as one parse error and
-  // discarded; framing resynchronizes at the next newline.
+  // Longest accepted line.  A client that exceeds it (e.g. streams garbage
+  // with no newlines) has the line counted as one parse error and discarded;
+  // framing resynchronizes at the next newline.  A line of exactly this many
+  // bytes (newline excluded) parses, however it is split across reads.
   size_t max_line_bytes = 4096;
   // Fan-out sharding (see IngestRouterOptions): shards per flush and worker
   // threads (-1 = auto: 0 on a single-core host).
   size_t fanout_shards = 4;
   int fanout_workers = -1;
+  // Control channel (docs/protocol.md).  Off = every line is a tuple line,
+  // the pre-control behaviour.
+  bool enable_control = true;
+  // Per-session egress backlog cap; on overflow whole tuples are dropped
+  // (counted in stats().echo_dropped), never partial lines.
+  size_t control_max_buffer = 1 << 20;
+  // Polling period of the per-session scopes: the granularity at which
+  // matched tuples are drained and echoed to subscribers.
+  int64_t control_poll_period_ms = 10;
+  // Geometry of the per-session scopes (they render like any other scope
+  // should the operator want a server-side view of a session).
+  int control_scope_width = 128;
+  int control_scope_height = 64;
 };
 
 class StreamServer {
@@ -62,11 +93,23 @@ class StreamServer {
     int64_t parse_errors = 0;
     int64_t dropped_late = 0;
     int64_t bytes = 0;
+    // Control channel.
+    int64_t control_commands = 0;  // recognized verbs, accepted or rejected
+    // Rejected control interactions: recognized verbs that failed
+    // (malformed arguments - counted even before a session exists, when no
+    // ERR reply can be carried - or semantic failures like a duplicate
+    // pattern) plus unknown verbs on an existing session.  Unknown verbs
+    // without a session count only as parse_errors, like any garbage line.
+    int64_t control_errors = 0;
+    int64_t sessions_opened = 0;   // connections that became scope sessions
+    int64_t tuples_echoed = 0;     // tuples streamed back to subscribers
+    int64_t echo_dropped = 0;      // egress backlog overflow (whole tuples)
   };
 
   // `loop` and `scope` are not owned and must outlive the server.  `scope`
   // is the first display target; AddScope attaches more ("displays these
-  // BUFFER signals to one or more scopes").
+  // BUFFER signals to one or more scopes").  `scope` may be null for a
+  // control-only server whose display targets all attach over the wire.
   StreamServer(MainLoop* loop, Scope* scope, StreamServerOptions options = {});
   ~StreamServer();
 
@@ -85,23 +128,35 @@ class StreamServer {
   void Close();
 
   size_t client_count() const { return clients_.size(); }
+  // Connected clients currently holding a remote scope session.
+  size_t control_session_count() const;
   const Stats& stats() const { return stats_; }
   const IngestRouter& router() const { return router_; }
 
  private:
+  // One remote scope session: the server-side half of a control connection.
+  struct ControlSession {
+    ControlSession(MainLoop* loop, size_t max_buffer) : writer(loop, max_buffer) {}
+    SignalFilter filter;          // registered with the router; epoch-coupled
+    std::unique_ptr<Scope> scope; // the session's display target
+    FramedWriter writer;          // server -> client egress (replies + tuples)
+  };
+
   struct Client {
+    explicit Client(size_t max_line_bytes) : framer(max_line_bytes) {}
     Socket socket;
     SourceId watch = 0;
-    // Tail of a line split across reads (only split lines are ever copied).
-    std::string line_buffer;
-    // An over-long line is being discarded until the next newline.
-    bool discarding = false;
+    LineFramer framer;
+    std::unique_ptr<ControlSession> session;
   };
 
   bool OnAcceptReady();
   bool OnClientReady(int client_key, IoCondition cond);
-  void ProcessData(Client& client, const char* data, size_t len);
-  void HandleLine(std::string_view line);
+  void ProcessData(int client_key, Client& client, const char* data, size_t len);
+  void HandleLine(int client_key, Client& client, std::string_view line);
+  void HandleControlLine(int client_key, Client& client, std::string_view line);
+  ControlSession& EnsureSession(int client_key, Client& client);
+  void Reply(ControlSession& session, std::string_view line);
   // Hands the chunk's shared batch to every scope (one O(1) span each).
   void FlushIngest();
   void DropClient(int client_key);
@@ -116,6 +171,10 @@ class StreamServer {
 
   std::map<int, std::unique_ptr<Client>> clients_;
   int next_client_key_ = 1;
+  // Liveness token for closures deferred through MainLoop::Invoke (session
+  // egress errors): reset in the destructor, so a queued DropClient cannot
+  // run against a destroyed server.
+  std::shared_ptr<StreamServer> self_alias_{this, [](StreamServer*) {}};
   Stats stats_;
 };
 

@@ -1,0 +1,133 @@
+#include "runtime/framed_writer.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace gscope {
+
+FramedWriter::FramedWriter(MainLoop* loop, size_t max_buffer)
+    : loop_(loop), max_buffer_(max_buffer == 0 ? 1 : max_buffer) {}
+
+FramedWriter::~FramedWriter() { Detach(); }
+
+void FramedWriter::Attach(int fd) {
+  if (fd_ == fd) {
+    return;
+  }
+  Detach();
+  fd_ = fd;
+  if (pending_bytes() > 0) {
+    EnsureWatch();
+  }
+}
+
+void FramedWriter::Detach() {
+  if (watch_ != 0) {
+    loop_->Remove(watch_);
+    watch_ = 0;
+  }
+  fd_ = -1;
+}
+
+void FramedWriter::Reset() {
+  Detach();
+  buffer_.clear();
+  offset_ = 0;
+  frame_open_ = false;
+  frame_start_ = 0;
+}
+
+std::string& FramedWriter::BeginFrame() {
+  frame_start_ = buffer_.size();
+  frame_open_ = true;
+  return buffer_;
+}
+
+bool FramedWriter::CommitFrame() {
+  if (!frame_open_) {
+    return false;
+  }
+  frame_open_ = false;
+  if (buffer_.size() - offset_ > max_buffer_) {
+    // Whole-frame rollback: everything before frame_start_ was committed by
+    // earlier calls and stays byte-for-byte intact, so a drop can never
+    // leave a truncated frame on the wire.
+    buffer_.resize(frame_start_);
+    stats_.frames_dropped += 1;
+    return false;
+  }
+  stats_.frames_committed += 1;
+  if (fd_ >= 0) {
+    EnsureWatch();
+  }
+  return true;
+}
+
+void FramedWriter::RollbackFrame() {
+  if (frame_open_) {
+    buffer_.resize(frame_start_);
+    frame_open_ = false;
+  }
+}
+
+void FramedWriter::EnsureWatch() {
+  if (watch_ != 0 || fd_ < 0) {
+    return;
+  }
+  watch_ = loop_->AddIoWatch(fd_, IoCondition::kOut,
+                             [this](int, IoCondition) { return OnWritable(); });
+}
+
+bool FramedWriter::OnWritable() {
+  while (offset_ < buffer_.size()) {
+    // MSG_NOSIGNAL: writing to a peer that already reset the connection must
+    // surface as EPIPE (the error path below drops the session), not raise
+    // SIGPIPE and kill the whole process.  Non-socket fds (pipes in tests)
+    // fall back to plain write.
+    ssize_t n = ::send(fd_, buffer_.data() + offset_, buffer_.size() - offset_, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd_, buffer_.data() + offset_, buffer_.size() - offset_);
+    }
+    if (n >= 0) {
+      offset_ += static_cast<size_t>(n);
+      stats_.bytes_written += n;
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Compact the consumed prefix when it dominates the buffer, so a
+      // connection that drains steadily but never fully (offset_ chasing a
+      // backlog pinned near the cap) cannot grow the string without bound.
+      // Amortized O(1): each erase moves at most as many bytes as were
+      // just written.  No frame is ever open here (BeginFrame/CommitFrame
+      // pairs never span a loop iteration), but frame_start_ is kept
+      // coherent regardless.
+      if (offset_ >= 4096 && offset_ * 2 >= buffer_.size()) {
+        buffer_.erase(0, offset_);
+        if (frame_open_ && frame_start_ >= offset_) {
+          frame_start_ -= offset_;
+        }
+        offset_ = 0;
+      }
+      return true;  // keep the watch; try again when writable
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    // Hard error: the connection is gone.  Clean up before surfacing so the
+    // callback may destroy this writer's owner.
+    watch_ = 0;
+    Reset();
+    if (on_error_) {
+      on_error_();
+    }
+    return false;
+  }
+  // Fully drained: compact and drop the watch until more data is committed.
+  buffer_.clear();
+  offset_ = 0;
+  watch_ = 0;
+  return false;
+}
+
+}  // namespace gscope

@@ -1,0 +1,98 @@
+// Bounded, frame-preserving write buffer over a MainLoop writability watch.
+//
+// The server->client egress of the control channel and the StreamClient's
+// tuple upload share the same policy (docs/protocol.md, "Backlog and drop
+// semantics"): output is buffered and drained through a non-blocking fd
+// watch, the unsent backlog is capped, and when the cap would be exceeded
+// the frame being appended is rolled back WHOLE.  Bytes already committed
+// are never truncated, so the peer can never observe a torn line - a drop
+// decision taken while the kernel has consumed half a line (write offset
+// mid-frame) only ever discards complete not-yet-committed frames.
+//
+// Usage per frame:
+//   std::string& buf = writer.BeginFrame();
+//   AppendTuple(buf, ...);          // append the frame's bytes, no escaping
+//   if (!writer.CommitFrame()) ...  // false = over cap, frame rolled back
+//
+// The buffer may be filled before a connection exists (Attach later flushes
+// it: pre-connect sends queue) and survives Detach(fd-only) via Reset().
+// Single-threaded: all calls on the loop thread.
+#ifndef GSCOPE_RUNTIME_FRAMED_WRITER_H_
+#define GSCOPE_RUNTIME_FRAMED_WRITER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "runtime/event_loop.h"
+
+namespace gscope {
+
+class FramedWriter {
+ public:
+  struct Stats {
+    int64_t frames_committed = 0;
+    int64_t frames_dropped = 0;  // backlog cap: whole frames, never bytes
+    int64_t bytes_written = 0;
+  };
+
+  // Invoked (once) when a drain hits a hard write error; the writer has
+  // already detached from the fd and cleared its backlog.  The owner closes
+  // the socket / drops the session.
+  using ErrorFn = std::function<void()>;
+
+  // `loop` is not owned.  `max_buffer` caps the unsent byte backlog.
+  FramedWriter(MainLoop* loop, size_t max_buffer);
+  ~FramedWriter();
+
+  FramedWriter(const FramedWriter&) = delete;
+  FramedWriter& operator=(const FramedWriter&) = delete;
+
+  // Starts draining into `fd` (non-blocking; not owned).  Any bytes already
+  // committed while detached are scheduled immediately.
+  void Attach(int fd);
+  // Stops watching the fd.  Buffered-but-unsent bytes are kept (a later
+  // Attach resumes them); use Reset() to also discard them.
+  void Detach();
+  bool attached() const { return fd_ >= 0; }
+
+  void SetErrorCallback(ErrorFn fn) { on_error_ = std::move(fn); }
+
+  // Opens a frame and returns the buffer to append its bytes to.  Only the
+  // tail past the returned buffer's current size belongs to the new frame.
+  std::string& BeginFrame();
+  // Seals the open frame.  If the unsent backlog (including this frame)
+  // would exceed max_buffer, the frame is removed again - whole - and false
+  // is returned.  On success schedules the writability watch.
+  bool CommitFrame();
+  // Discards the open frame (error paths).
+  void RollbackFrame();
+
+  // Unsent bytes currently queued.
+  size_t pending_bytes() const { return buffer_.size() - offset_; }
+  const Stats& stats() const { return stats_; }
+
+  // Drops backlog and detaches.  Returns the number of committed-but-unsent
+  // whole frames discarded (partial head bytes of a frame the kernel already
+  // consumed count toward the frame they belong to).
+  void Reset();
+
+ private:
+  bool OnWritable();
+  void EnsureWatch();
+
+  MainLoop* loop_;
+  size_t max_buffer_;
+  int fd_ = -1;
+  SourceId watch_ = 0;
+  std::string buffer_;
+  size_t offset_ = 0;       // bytes already handed to the kernel
+  size_t frame_start_ = 0;  // BeginFrame position; npos-like 0 when closed
+  bool frame_open_ = false;
+  ErrorFn on_error_;
+  Stats stats_;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_RUNTIME_FRAMED_WRITER_H_

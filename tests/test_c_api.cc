@@ -8,6 +8,11 @@
 #include <cstdio>
 #include <string>
 
+#include "core/scope.h"
+#include "net/stream_client.h"
+#include "net/stream_server.h"
+#include "runtime/event_loop.h"
+
 namespace {
 
 double SampleFn(void* arg1, void* arg2) {
@@ -184,6 +189,70 @@ TEST_F(CApiTest, IntrospectionOnFreshContext) {
   EXPECT_EQ(gscope_lost_ticks(ctx_), 0);
   EXPECT_EQ(gscope_now_ms(ctx_), 0);
   EXPECT_EQ(gscope_ticks(nullptr), -1);
+}
+
+TEST_F(CApiTest, RemoteControlArgValidation) {
+  EXPECT_EQ(gscope_connect(nullptr, 1), -1);
+  // Control verbs before gscope_connect are invalid arguments.
+  EXPECT_EQ(gscope_subscribe(ctx_, "x_*"), -1);
+  EXPECT_EQ(gscope_unsubscribe(ctx_, "x_*"), -1);
+  EXPECT_EQ(gscope_set_delay(ctx_, 10), -1);
+  EXPECT_EQ(gscope_connected(ctx_), 0);
+  gscope_disconnect(ctx_);  // safe when never connected
+}
+
+TEST(CApiRemote, SubscribeReceivesMatchingSignals) {
+  // A real-clock C-API scope attaches to an in-process C++ server as a
+  // remote display target.  Both run on their own loops; the test pumps the
+  // two alternately, as two processes' schedulers would.
+  gscope::MainLoop server_loop;
+  gscope::Scope display(&server_loop, {.name = "server-display", .width = 64});
+  display.SetPollingMode(5);
+  gscope::StreamServer server(&server_loop, &display);
+  ASSERT_TRUE(server.Listen(0));
+  display.StartPolling();
+
+  gscope_ctx* ctx = gscope_create("c-remote", 64, 64, /*use_sim_clock=*/0);
+  ASSERT_NE(ctx, nullptr);
+  ASSERT_EQ(gscope_set_polling_mode(ctx, 5), 0);
+  ASSERT_EQ(gscope_start_polling(ctx), 0);
+  ASSERT_EQ(gscope_connect(ctx, server.port()), 0);
+
+  gscope::StreamClient producer(&server_loop);
+  ASSERT_TRUE(producer.Connect(server.port()));
+
+  auto pump = [&](int ms) {
+    for (int i = 0; i < ms; ++i) {
+      server_loop.RunForMs(1);
+      gscope_run_for_ms(ctx, 1);
+    }
+  };
+
+  pump(20);
+  ASSERT_EQ(gscope_connected(ctx), 1);
+  ASSERT_EQ(gscope_subscribe(ctx, "c_api_*"), 0);
+  ASSERT_EQ(gscope_set_delay(ctx, 50), 0);
+  pump(20);
+  ASSERT_EQ(server.control_session_count(), 1u);
+
+  int sig = 0;
+  for (int i = 0; i < 400 && sig == 0; ++i) {
+    producer.Send(display.NowMs(), 3.5, "c_api_metric");
+    producer.Send(display.NowMs(), 9.9, "other_metric");
+    pump(2);
+    sig = gscope_find_signal(ctx, "c_api_metric");
+  }
+  ASSERT_NE(sig, 0);  // matching signal auto-created from the echo stream
+  double out = -1.0;
+  for (int i = 0; i < 200 && gscope_value(ctx, sig, &out) != 0; ++i) {
+    pump(2);
+  }
+  EXPECT_DOUBLE_EQ(out, 3.5);
+  // The non-matching signal never crossed the wire.
+  EXPECT_EQ(gscope_find_signal(ctx, "other_metric"), 0);
+
+  gscope_disconnect(ctx);
+  gscope_destroy(ctx);
 }
 
 }  // namespace

@@ -1,0 +1,398 @@
+// End-to-end tests of the remote scope control channel (docs/protocol.md):
+// subscribe/unsubscribe by glob, per-session delay, tuple echo down the same
+// connection, and route-table-level exclusion of non-subscribed signals.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/scope.h"
+#include "net/control_client.h"
+#include "net/stream_client.h"
+#include "net/stream_server.h"
+#include "runtime/event_loop.h"
+
+namespace gscope {
+namespace {
+
+class ControlChannelTest : public ::testing::Test {
+ protected:
+  ControlChannelTest() : scope_(&loop_, {.name = "display", .width = 64}) {
+    scope_.SetPollingMode(5);
+  }
+
+  bool RunUntil(const std::function<bool()>& pred, int max_ms = 2000) {
+    for (int i = 0; i < max_ms; ++i) {
+      if (pred()) {
+        return true;
+      }
+      loop_.RunForMs(1);
+    }
+    return pred();
+  }
+
+  // Received (name, value) pairs, recorded off the borrowed TupleView.
+  struct Sink {
+    std::vector<std::pair<std::string, double>> tuples;
+    std::vector<std::string> replies;
+    void Wire(ControlClient& client) {
+      client.SetTupleCallback([this](const TupleView& t) {
+        tuples.emplace_back(std::string(t.name), t.value);
+      });
+      client.SetReplyCallback([this](std::string_view line) {
+        replies.emplace_back(line);
+      });
+    }
+    bool SawValue(double v) const {
+      for (const auto& [name, value] : tuples) {
+        if (value == v) {
+          return true;
+        }
+      }
+      return false;
+    }
+    bool SawName(const std::string& n) const {
+      for (const auto& [name, value] : tuples) {
+        if (name == n) {
+          return true;
+        }
+      }
+      return false;
+    }
+  };
+
+  MainLoop loop_;  // real clock: sockets need real readiness
+  Scope scope_;
+};
+
+TEST_F(ControlChannelTest, DisjointGlobsReceiveDisjointStreams) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  ControlClient a(&loop_), b(&loop_);
+  Sink sink_a, sink_b;
+  sink_a.Wire(a);
+  sink_b.Wire(b);
+  ASSERT_TRUE(a.Connect(server.port()));
+  ASSERT_TRUE(b.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return a.connected() && b.connected(); }));
+
+  a.Subscribe("tcp_*");
+  b.Subscribe("udp_*");
+  ASSERT_TRUE(RunUntil([&]() {
+    return a.stats().replies_ok >= 1 && b.stats().replies_ok >= 1;
+  }));
+  EXPECT_EQ(server.control_session_count(), 2u);
+  EXPECT_EQ(server.stats().sessions_opened, 2);
+
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+
+  ASSERT_TRUE(RunUntil([&]() {
+    producer.Send(scope_.NowMs(), 1.0, "tcp_cwnd");
+    producer.Send(scope_.NowMs(), 2.0, "udp_loss");
+    loop_.RunForMs(2);
+    return a.stats().tuples_received >= 3 && b.stats().tuples_received >= 3;
+  }));
+
+  // Strictly disjoint delivery.
+  EXPECT_TRUE(sink_a.SawName("tcp_cwnd"));
+  EXPECT_FALSE(sink_a.SawName("udp_loss"));
+  EXPECT_TRUE(sink_b.SawName("udp_loss"));
+  EXPECT_FALSE(sink_b.SawName("tcp_cwnd"));
+
+  // The exclusion happened at route-build time: each signal's route carries
+  // an excluded slot for the non-matching session (no per-sample filtering).
+  EXPECT_GE(server.router().excluded_route_slots(), 2u);
+  // The display scope (unfiltered) still auto-created both signals.
+  EXPECT_NE(scope_.FindSignal("tcp_cwnd"), 0);
+  EXPECT_NE(scope_.FindSignal("udp_loss"), 0);
+}
+
+TEST_F(ControlChannelTest, PerSessionDelayGovernsLateDropAndHold) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+  loop_.RunForMs(50);  // move scope time off zero so "stale" stamps exist
+
+  ControlClient fast(&loop_), slow(&loop_);
+  Sink sink_fast, sink_slow;
+  sink_fast.Wire(fast);
+  sink_slow.Wire(slow);
+  ASSERT_TRUE(fast.Connect(server.port()));
+  ASSERT_TRUE(slow.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return fast.connected() && slow.connected(); }));
+
+  fast.Subscribe("sig");
+  fast.SetDelay(0);
+  slow.Subscribe("sig");
+  slow.SetDelay(500);
+  ASSERT_TRUE(RunUntil([&]() {
+    return fast.stats().replies_ok >= 2 && slow.stats().replies_ok >= 2;
+  }));
+
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+
+  // Stale by 250 ms: already past the fast session's deadline (delay 0) but
+  // still inside the slow session's 500 ms window.
+  producer.Send(scope_.NowMs() - 250, 7.0, "sig");
+  ASSERT_TRUE(RunUntil([&]() { return sink_slow.SawValue(7.0); }));
+  EXPECT_FALSE(sink_fast.SawValue(7.0));
+
+  // A fresh tuple reaches the fast session (proving it is alive, not just
+  // dropping everything).
+  ASSERT_TRUE(RunUntil([&]() {
+    producer.Send(scope_.NowMs(), 8.0, "sig");
+    loop_.RunForMs(2);
+    return sink_fast.SawValue(8.0);
+  }));
+  EXPECT_FALSE(sink_fast.SawValue(7.0));
+}
+
+TEST_F(ControlChannelTest, UnsubTakesEffectMidStreamWithoutDroppingConnection) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  ControlClient a(&loop_);
+  Sink sink;
+  sink.Wire(a);
+  ASSERT_TRUE(a.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return a.connected(); }));
+  a.Subscribe("alpha");
+  a.Subscribe("beta");
+  ASSERT_TRUE(RunUntil([&]() { return a.stats().replies_ok >= 2; }));
+
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+
+  ASSERT_TRUE(RunUntil([&]() {
+    producer.Send(scope_.NowMs(), 1.0, "alpha");
+    producer.Send(scope_.NowMs(), 2.0, "beta");
+    loop_.RunForMs(2);
+    return sink.SawValue(1.0) && sink.SawValue(2.0);
+  }));
+
+  // Pattern change mid-stream: the route epoch moves and beta's slot is
+  // excluded at the next table build.
+  uint64_t epoch_before = server.router().route_epoch();
+  a.Unsubscribe("beta");
+  ASSERT_TRUE(RunUntil([&]() { return a.stats().replies_ok >= 3; }));
+  EXPECT_GT(server.router().route_epoch(), epoch_before);
+
+  ASSERT_TRUE(RunUntil([&]() {
+    producer.Send(scope_.NowMs(), 3.0, "beta");
+    producer.Send(scope_.NowMs(), 4.0, "alpha");
+    loop_.RunForMs(2);
+    return sink.SawValue(4.0);
+  }));
+  EXPECT_FALSE(sink.SawValue(3.0));  // beta stopped flowing
+  EXPECT_GE(server.router().excluded_route_slots(), 1u);
+
+  // The connection never dropped.
+  EXPECT_TRUE(a.connected());
+  EXPECT_EQ(server.stats().disconnections, 0);
+  EXPECT_EQ(server.control_session_count(), 1u);
+}
+
+TEST_F(ControlChannelTest, SameConnectionCanPushAndSubscribe) {
+  // The smoke scenario: one connection subscribes, pushes a matching tuple,
+  // and receives its own echo.
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  ControlClient self(&loop_);
+  Sink sink;
+  sink.Wire(self);
+  ASSERT_TRUE(self.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return self.connected(); }));
+  self.Subscribe("self_*");
+  ASSERT_TRUE(RunUntil([&]() { return self.stats().replies_ok >= 1; }));
+
+  ASSERT_TRUE(RunUntil([&]() {
+    self.Send(scope_.NowMs(), 42.0, "self_metric");
+    loop_.RunForMs(2);
+    return sink.SawValue(42.0);
+  }));
+  EXPECT_TRUE(sink.SawName("self_metric"));
+  EXPECT_GE(server.stats().tuples_echoed, 1);
+}
+
+TEST_F(ControlChannelTest, ListAndErrorReplies) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  ControlClient a(&loop_);
+  Sink sink;
+  sink.Wire(a);
+  ASSERT_TRUE(a.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return a.connected(); }));
+
+  a.Subscribe("tcp_*");
+  a.Subscribe("tcp_*");    // duplicate -> ERR
+  a.Unsubscribe("never");  // unknown -> ERR
+  a.SetDelay(250);
+  a.RequestList();
+  ASSERT_TRUE(RunUntil([&]() { return a.stats().replies_ok >= 3; }));
+  EXPECT_EQ(a.stats().replies_err, 2);
+  EXPECT_EQ(a.stats().replies_info, 1);  // one INFO SUB line from LIST
+
+  bool saw_list = false, saw_info = false;
+  for (const std::string& reply : sink.replies) {
+    saw_list = saw_list || reply == "OK LIST 1 DELAY 250";
+    saw_info = saw_info || reply == "INFO SUB tcp_*";
+  }
+  EXPECT_TRUE(saw_info);
+  EXPECT_TRUE(saw_list);
+  EXPECT_EQ(server.stats().control_errors, 2);
+  EXPECT_GE(server.stats().control_commands, 5);
+}
+
+TEST_F(ControlChannelTest, MalformedControlGrammar) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  Socket raw = Socket::Connect(server.port());
+  ASSERT_TRUE(raw.valid());
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+
+  // A structurally malformed FIRST command must not cost this connection a
+  // session (scope + poll timer + router slot); it is only counted.
+  const std::string bad_first = "DELAY abc\n";
+  raw.Write(bad_first.data(), bad_first.size());
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().control_errors >= 1; }));
+  EXPECT_EQ(server.control_session_count(), 0u);
+
+  // A valid command opens the session; malformed ones then draw ERR replies.
+  const std::string wire = "SUB keep_*\nSUB\nDELAY abc\nSUB x y\nLIST junk\nBOGUS\n";
+  raw.Write(wire.data(), wire.size());
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().control_errors >= 5; }));
+  EXPECT_EQ(server.stats().parse_errors, 1);  // the unknown verb only
+  EXPECT_EQ(server.stats().control_commands, 6);
+  EXPECT_EQ(server.control_session_count(), 1u);
+  EXPECT_EQ(server.stats().sessions_opened, 1);
+
+  std::string received;
+  ASSERT_TRUE(RunUntil([&]() {
+    char buf[1024];
+    IoResult r = raw.Read(buf, sizeof(buf));
+    if (r.status == IoResult::Status::kOk) {
+      received.append(buf, r.bytes);
+    }
+    return received.find("OK SUB keep_*\n") != std::string::npos &&
+           received.find("ERR SUB missing-pattern\n") != std::string::npos &&
+           received.find("ERR DELAY bad-milliseconds\n") != std::string::npos &&
+           received.find("ERR SUB trailing-junk\n") != std::string::npos &&
+           received.find("ERR LIST trailing-junk\n") != std::string::npos &&
+           received.find("ERR unknown-verb\n") != std::string::npos;
+  }));
+}
+
+TEST_F(ControlChannelTest, ControlDisabledTreatsVerbsAsGarbage) {
+  StreamServer server(&loop_, &scope_, {.enable_control = false});
+  ASSERT_TRUE(server.Listen(0));
+  Socket raw = Socket::Connect(server.port());
+  ASSERT_TRUE(raw.valid());
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+  const std::string wire = "SUB tcp_*\n";
+  raw.Write(wire.data(), wire.size());
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().parse_errors >= 1; }));
+  EXPECT_EQ(server.control_session_count(), 0u);
+  EXPECT_EQ(server.stats().control_commands, 0);
+}
+
+TEST_F(ControlChannelTest, SessionTornDownOnDisconnect) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+  {
+    ControlClient a(&loop_);
+    ASSERT_TRUE(a.Connect(server.port()));
+    ASSERT_TRUE(RunUntil([&]() { return a.connected(); }));
+    a.Subscribe("x_*");
+    ASSERT_TRUE(RunUntil([&]() { return a.stats().replies_ok >= 1; }));
+    EXPECT_EQ(server.scope_count(), 2u);  // display scope + session scope
+  }  // client closes
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 0; }));
+  EXPECT_EQ(server.scope_count(), 1u);  // session scope unregistered
+  EXPECT_EQ(server.control_session_count(), 0u);
+
+  // Ingest continues unharmed after the session teardown.
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  producer.Send(scope_.NowMs(), 5.0, "x_after");
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 1; }));
+  EXPECT_TRUE(RunUntil([&]() { return scope_.FindSignal("x_after") != 0; }));
+}
+
+TEST_F(ControlChannelTest, DeadSubscriberDropsSessionWithoutKillingServer) {
+  // A subscriber that vanishes without reading its echo stream leaves a
+  // reset connection; the server's next egress write must surface as an
+  // error that drops the session - not as a process-killing SIGPIPE.
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+  {
+    Socket raw = Socket::Connect(server.port());
+    ASSERT_TRUE(raw.valid());
+    ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+    const std::string sub = "SUB dead_*\n";
+    raw.Write(sub.data(), sub.size());
+    ASSERT_TRUE(RunUntil([&]() { return server.control_session_count() == 1; }));
+  }  // closed with the unread OK reply pending -> RST on Linux
+
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  ASSERT_TRUE(RunUntil([&]() {
+    producer.Send(scope_.NowMs(), 1.0, "dead_metric");
+    loop_.RunForMs(2);
+    return server.control_session_count() == 0;
+  }));
+  // The server survived and keeps ingesting.
+  ASSERT_TRUE(RunUntil([&]() {
+    producer.Send(scope_.NowMs(), 2.0, "alive_metric");
+    loop_.RunForMs(2);
+    return scope_.FindSignal("alive_metric") != 0;
+  }));
+}
+
+TEST_F(ControlChannelTest, ControlOnlyServerNeedsNoLocalScope) {
+  // The paper's multi-viewer service shape: every display target attaches
+  // over the wire; the server process owns no scope of its own.
+  StreamServer server(&loop_, nullptr);
+  ASSERT_TRUE(server.Listen(0));
+
+  ControlClient viewer(&loop_);
+  Sink sink;
+  sink.Wire(viewer);
+  ASSERT_TRUE(viewer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  viewer.Subscribe("*");
+  viewer.SetDelay(300);
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 2; }));
+
+  // With no reference scope the session's clock starts at zero when the
+  // session is created, and the producer's stamps must merely land inside
+  // the 300 ms display window; slowly advancing stamps stay within it.
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  int64_t stamp = 0;
+  ASSERT_TRUE(RunUntil([&]() {
+    producer.Send(stamp += 2, 11.0, "anything");
+    loop_.RunForMs(2);
+    return sink.SawValue(11.0);
+  }));
+}
+
+}  // namespace
+}  // namespace gscope

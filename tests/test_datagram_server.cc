@@ -169,6 +169,44 @@ TEST_F(DatagramServerTest, LateTuplesDroppedByDelayPolicy) {
   EXPECT_TRUE(RunUntil([&]() { return server.stats().dropped_late >= 1; }));
 }
 
+TEST_F(DatagramServerTest, KernelDropStatsMonotoneAcrossRebind) {
+  // SO_RXQ_OVFL is a cumulative per-socket counter that restarts at zero on
+  // every fresh bind.  The server's aggregate must stay monotone
+  // non-decreasing across Close()/re-Listen() - neither double-counting the
+  // old socket's total nor marching backwards when the new socket reports a
+  // smaller cumulative value.
+  DatagramServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  {
+    Socket sender = Socket::ConnectDatagram(server.port());
+    ASSERT_TRUE(sender.valid());
+    for (int i = 0; i < 20; ++i) {
+      std::string wire = std::to_string(i) + " 1.0 pre_rebind\n";
+      sender.Write(wire.data(), wire.size());
+    }
+  }
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().datagrams >= 20; }));
+  int64_t drops_before = server.stats().kernel_drops;
+  int64_t datagrams_before = server.stats().datagrams;
+  ASSERT_GE(drops_before, 0);
+
+  server.Close();
+  ASSERT_TRUE(server.Listen(0));
+  {
+    Socket sender = Socket::ConnectDatagram(server.port());
+    ASSERT_TRUE(sender.valid());
+    for (int i = 0; i < 20; ++i) {
+      std::string wire = std::to_string(i) + " 2.0 post_rebind\n";
+      sender.Write(wire.data(), wire.size());
+    }
+  }
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().datagrams >= datagrams_before + 20; }));
+  // Monotone: the fresh socket's from-zero counter must not be read as a
+  // delta against the old socket's baseline.
+  EXPECT_GE(server.stats().kernel_drops, drops_before);
+  EXPECT_EQ(server.stats().parse_errors, 0);
+}
+
 TEST_F(DatagramServerTest, CloseStopsReceiving) {
   DatagramServer server(&loop_, &scope_);
   ASSERT_TRUE(server.Listen(0));

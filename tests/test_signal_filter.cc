@@ -1,0 +1,212 @@
+// Unit tests for the control-channel building blocks: glob matching, the
+// subscription filter's epoch discipline, line framing boundaries, and the
+// framed writer's whole-frame backlog policy.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "core/signal_filter.h"
+#include "net/line_framer.h"
+#include "runtime/event_loop.h"
+#include "runtime/framed_writer.h"
+
+namespace gscope {
+namespace {
+
+TEST(GlobMatch, Literals) {
+  EXPECT_TRUE(GlobMatch("cwnd", "cwnd"));
+  EXPECT_FALSE(GlobMatch("cwnd", "cwnd2"));
+  EXPECT_FALSE(GlobMatch("cwnd2", "cwnd"));
+  EXPECT_TRUE(GlobMatch("", ""));
+  EXPECT_FALSE(GlobMatch("", "x"));
+}
+
+TEST(GlobMatch, Star) {
+  EXPECT_TRUE(GlobMatch("*", ""));
+  EXPECT_TRUE(GlobMatch("*", "anything"));
+  EXPECT_TRUE(GlobMatch("tcp_*", "tcp_cwnd"));
+  EXPECT_FALSE(GlobMatch("tcp_*", "udp_cwnd"));
+  EXPECT_TRUE(GlobMatch("*_cwnd", "tcp_cwnd"));
+  EXPECT_TRUE(GlobMatch("a*b*c", "a_x_b_y_c"));
+  EXPECT_FALSE(GlobMatch("a*b*c", "a_x_c_y_b"));
+  EXPECT_TRUE(GlobMatch("**", "x"));
+  // Backtracking: the first '*' must be able to re-expand.
+  EXPECT_TRUE(GlobMatch("*abc", "ababc"));
+}
+
+TEST(GlobMatch, QuestionMark) {
+  EXPECT_TRUE(GlobMatch("h?st", "host"));
+  EXPECT_FALSE(GlobMatch("h?st", "hst"));
+  EXPECT_TRUE(GlobMatch("conn_?", "conn_1"));
+  EXPECT_FALSE(GlobMatch("conn_?", "conn_12"));
+  EXPECT_TRUE(GlobMatch("?*", "x"));
+  EXPECT_FALSE(GlobMatch("?*", ""));
+}
+
+TEST(SignalFilter, EmptyMatchesNothing) {
+  SignalFilter filter;
+  EXPECT_FALSE(filter.Matches("anything"));
+  EXPECT_TRUE(filter.empty());
+}
+
+TEST(SignalFilter, AddRemoveBumpEpoch) {
+  SignalFilter filter;
+  uint64_t e0 = filter.epoch();
+  EXPECT_TRUE(filter.Add("tcp_*"));
+  EXPECT_GT(filter.epoch(), e0);
+  EXPECT_TRUE(filter.Matches("tcp_cwnd"));
+  EXPECT_FALSE(filter.Matches("udp_cwnd"));
+
+  // Duplicates and empty patterns change nothing.
+  uint64_t e1 = filter.epoch();
+  EXPECT_FALSE(filter.Add("tcp_*"));
+  EXPECT_FALSE(filter.Add(""));
+  EXPECT_EQ(filter.epoch(), e1);
+
+  EXPECT_TRUE(filter.Add("latency"));
+  EXPECT_TRUE(filter.Matches("latency"));
+  EXPECT_EQ(filter.pattern_count(), 2u);
+
+  EXPECT_TRUE(filter.Remove("tcp_*"));
+  EXPECT_FALSE(filter.Matches("tcp_cwnd"));
+  EXPECT_TRUE(filter.Matches("latency"));
+  EXPECT_FALSE(filter.Remove("tcp_*"));  // already gone
+}
+
+// -- LineFramer boundaries ---------------------------------------------------
+
+std::vector<std::string> Feed(LineFramer& framer, const std::vector<std::string>& chunks,
+                              int64_t* overlong) {
+  std::vector<std::string> lines;
+  for (const std::string& chunk : chunks) {
+    framer.Consume(chunk.data(), chunk.size(), overlong,
+                   [&](std::string_view line) { lines.emplace_back(line); });
+  }
+  return lines;
+}
+
+TEST(LineFramer, ExactMaxLineSplitAcrossReadsParses) {
+  // A line of exactly max_line_bytes must parse as ONE line no matter how it
+  // is split across reads.
+  const size_t kMax = 16;
+  std::string line(kMax, 'x');
+  for (size_t split = 1; split < kMax; ++split) {
+    LineFramer framer(kMax);
+    int64_t overlong = 0;
+    auto lines = Feed(framer, {line.substr(0, split), line.substr(split) + "\n"}, &overlong);
+    ASSERT_EQ(lines.size(), 1u) << "split at " << split;
+    EXPECT_EQ(lines[0], line);
+    EXPECT_EQ(overlong, 0) << "split at " << split;
+  }
+}
+
+TEST(LineFramer, MaxPlusOneCountsExactlyOneErrorAndResyncs) {
+  const size_t kMax = 16;
+  std::string line(kMax + 1, 'y');
+  for (size_t split = 1; split <= kMax; ++split) {
+    LineFramer framer(kMax);
+    int64_t overlong = 0;
+    auto lines =
+        Feed(framer, {line.substr(0, split), line.substr(split) + "\nok\n"}, &overlong);
+    EXPECT_EQ(overlong, 1) << "split at " << split;
+    ASSERT_EQ(lines.size(), 1u) << "split at " << split;
+    EXPECT_EQ(lines[0], "ok");  // resynchronized at the next newline
+  }
+}
+
+TEST(LineFramer, CrlfAtExactBoundary) {
+  // The '\r' counts toward the line length (the parser strips it as
+  // whitespace): content of max-1 plus '\r' is exactly at the cap.
+  const size_t kMax = 8;
+  LineFramer framer(kMax);
+  int64_t overlong = 0;
+  std::string at_cap = std::string(kMax - 1, 'a') + "\r\n";
+  std::string over_cap = std::string(kMax, 'b') + "\r\n";
+  auto lines = Feed(framer, {at_cap, over_cap, "ok\r\n"}, &overlong);
+  EXPECT_EQ(overlong, 1);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], std::string(kMax - 1, 'a') + "\r");
+  EXPECT_EQ(lines[1], "ok\r");
+}
+
+TEST(LineFramer, FlushTailDeliversUnterminatedLine) {
+  LineFramer framer(64);
+  int64_t overlong = 0;
+  std::string chunk = "done\nhalf";
+  std::vector<std::string> lines;
+  framer.Consume(chunk.data(), chunk.size(), &overlong,
+                 [&](std::string_view line) { lines.emplace_back(line); });
+  framer.FlushTail([&](std::string_view line) { lines.emplace_back(line); });
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "done");
+  EXPECT_EQ(lines[1], "half");
+}
+
+TEST(LineFramer, FlushTailSkipsDiscardedLine) {
+  LineFramer framer(4);
+  int64_t overlong = 0;
+  std::string chunk = "toolongline";  // over cap, no newline yet
+  framer.Consume(chunk.data(), chunk.size(), &overlong, [&](std::string_view) { FAIL(); });
+  EXPECT_EQ(overlong, 1);
+  framer.FlushTail([&](std::string_view) { FAIL(); });
+}
+
+// -- FramedWriter ------------------------------------------------------------
+
+TEST(FramedWriter, WholeFrameRollbackOnOverflow) {
+  MainLoop loop;
+  FramedWriter writer(&loop, 10);
+  writer.BeginFrame().append("12345\n");
+  EXPECT_TRUE(writer.CommitFrame());
+  // This frame would push the backlog to 12 > 10: rolled back whole.
+  writer.BeginFrame().append("67890\n");
+  EXPECT_FALSE(writer.CommitFrame());
+  EXPECT_EQ(writer.pending_bytes(), 6u);
+  EXPECT_EQ(writer.stats().frames_committed, 1);
+  EXPECT_EQ(writer.stats().frames_dropped, 1);
+  // A smaller frame still fits afterwards.
+  writer.BeginFrame().append("abc\n");
+  EXPECT_TRUE(writer.CommitFrame());
+  EXPECT_EQ(writer.pending_bytes(), 10u);
+}
+
+TEST(FramedWriter, DrainsThroughPipeAndPreservesFrames) {
+  MainLoop loop;
+  int fds[2];
+  ASSERT_EQ(pipe2(fds, O_NONBLOCK), 0);
+  FramedWriter writer(&loop, 1 << 16);
+  // Buffer frames before attaching: pre-connect queuing.
+  for (int i = 0; i < 100; ++i) {
+    writer.BeginFrame().append("frame-" + std::to_string(i) + "\n");
+    ASSERT_TRUE(writer.CommitFrame());
+  }
+  writer.Attach(fds[1]);
+  std::string received;
+  char buf[4096];
+  for (int iter = 0; iter < 200 && writer.pending_bytes() > 0; ++iter) {
+    loop.Iterate(false);
+    ssize_t n;
+    while ((n = read(fds[0], buf, sizeof(buf))) > 0) {
+      received.append(buf, static_cast<size_t>(n));
+    }
+  }
+  EXPECT_EQ(writer.pending_bytes(), 0u);
+  // Every committed frame arrived intact and in order.
+  size_t pos = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::string expect = "frame-" + std::to_string(i) + "\n";
+    ASSERT_EQ(received.compare(pos, expect.size(), expect), 0) << "frame " << i;
+    pos += expect.size();
+  }
+  EXPECT_EQ(pos, received.size());
+  writer.Detach();
+  close(fds[0]);
+  close(fds[1]);
+}
+
+}  // namespace
+}  // namespace gscope

@@ -3,6 +3,8 @@
 // exactly the paper's structure).
 #include <gtest/gtest.h>
 
+#include <cerrno>
+
 #include "core/scope.h"
 #include "net/stream_client.h"
 #include "net/stream_server.h"
@@ -174,6 +176,96 @@ TEST_F(StreamTest, SendWithoutConnectFails) {
   EXPECT_EQ(client.stats().tuples_dropped, 1);
 }
 
+TEST_F(StreamTest, RefusedConnectSurfacedNotSilentlyConnected) {
+  // Find a port with no listener: bind-then-close leaves it free.
+  uint16_t dead_port = 0;
+  { Socket probe = Socket::Listen(0, &dead_port); }
+
+  StreamClient client(&loop_);
+  bool resolved = false, ok = true;
+  int error = 0;
+  client.SetConnectCallback([&](bool success, int err) {
+    resolved = true;
+    ok = success;
+    error = err;
+  });
+  if (!client.Connect(dead_port)) {
+    // The kernel refused synchronously: still surfaced, never "connected".
+    EXPECT_EQ(client.state(), ConnectState::kFailed);
+    EXPECT_FALSE(client.connected());
+    return;
+  }
+  // connected() must not report true while the handshake is unresolved.
+  EXPECT_FALSE(client.connected());
+  EXPECT_EQ(client.state(), ConnectState::kConnecting);
+
+  // Tuples sent while connecting are queued, not counted as sent.
+  EXPECT_TRUE(client.SendTuple({0, 1.0, "x"}));
+  EXPECT_EQ(client.stats().tuples_sent, 0);
+
+  ASSERT_TRUE(RunUntil([&]() { return resolved; }));
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(error, ECONNREFUSED);
+  EXPECT_EQ(client.state(), ConnectState::kFailed);
+  EXPECT_FALSE(client.connected());
+  EXPECT_EQ(client.last_error(), ECONNREFUSED);
+  EXPECT_EQ(client.stats().connect_failures, 1);
+  // The queued tuple resolved to dropped, never to sent.
+  EXPECT_EQ(client.stats().tuples_sent, 0);
+  EXPECT_EQ(client.stats().tuples_dropped, 1);
+  // Further sends fail immediately.
+  EXPECT_FALSE(client.SendTuple({0, 2.0, "x"}));
+}
+
+TEST_F(StreamTest, SuccessfulConnectReportedAndPreconnectTuplesCounted) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  StreamClient client(&loop_);
+  bool resolved = false, ok = false;
+  client.SetConnectCallback([&](bool success, int) {
+    resolved = true;
+    ok = success;
+  });
+  ASSERT_TRUE(client.Connect(server.port()));
+  // Queue before the handshake resolves.
+  EXPECT_TRUE(client.SendTuple({1, 1.0, "pre"}));
+  EXPECT_TRUE(client.SendTuple({2, 2.0, "pre"}));
+  EXPECT_EQ(client.stats().tuples_sent, 0);
+
+  ASSERT_TRUE(RunUntil([&]() { return resolved && server.stats().tuples >= 2; }));
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(client.connected());
+  EXPECT_EQ(client.stats().tuples_sent, 2);
+  EXPECT_EQ(client.stats().tuples_dropped, 0);
+}
+
+TEST_F(StreamTest, BacklogOverflowDropsWholeTuplesOnly) {
+  // Fill a tiny backlog far past its cap while the loop is not running,
+  // then drain under load: whatever subset of tuples survives the drops,
+  // the server must see zero parse errors (no torn lines) and exactly the
+  // tuples the client counted as sent.
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  StreamClient client(&loop_, /*max_buffer=*/256);
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return client.connected(); }));
+
+  // Interleave bursts (overflowing the 256-byte cap) with partial drains so
+  // drop decisions happen while the write offset sits mid-backlog.
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      client.Send(round * 1000 + i, 1234.5678 + i, "overflow_signal_name");
+    }
+    loop_.RunForMs(1);
+  }
+  EXPECT_GT(client.stats().tuples_dropped, 0);  // the cap actually bit
+  ASSERT_TRUE(RunUntil([&]() { return client.pending_bytes() == 0; }));
+  ASSERT_TRUE(
+      RunUntil([&]() { return server.stats().tuples >= client.stats().tuples_sent; }));
+  EXPECT_EQ(server.stats().parse_errors, 0);
+  EXPECT_EQ(server.stats().tuples, client.stats().tuples_sent);
+}
+
 TEST_F(StreamTest, ServerCloseStopsAccepting) {
   StreamServer server(&loop_, &scope_);
   ASSERT_TRUE(server.Listen(0));
@@ -242,6 +334,85 @@ TEST_F(StreamTest, OverlongLineWithinOneChunkCounted) {
   raw.Write(wire.data(), wire.size());
   ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 1; }));
   EXPECT_EQ(server.stats().parse_errors, 1);
+}
+
+TEST_F(StreamTest, ExactMaxLineBytesSplitAcrossReadsParses) {
+  // A tuple line of exactly max_line_bytes, split across two reads, must
+  // reassemble and parse as ONE tuple; max_line_bytes + 1 must count exactly
+  // one parse error and resynchronize at the next newline.  Covered for
+  // plain LF and CRLF framing ('\r' counts toward the line length).
+  StreamServer server(&loop_, &scope_, {.max_line_bytes = 64});
+  ASSERT_TRUE(server.Listen(0));
+  Socket raw = Socket::Connect(server.port());
+  ASSERT_TRUE(raw.valid());
+  scope_.StartPolling();
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+
+  // Build "1 2 <name>" padded to exactly 64 bytes (newline excluded).
+  std::string line = "1 2 ";
+  line.append(64 - line.size(), 'a');
+  ASSERT_EQ(line.size(), 64u);
+  std::string padded_name = line.substr(4);
+  line.push_back('\n');
+
+  // Split mid-name across two writes with a pause so the server sees two
+  // reads.
+  raw.Write(line.data(), 40);
+  loop_.RunForMs(5);
+  raw.Write(line.data() + 40, line.size() - 40);
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 1; }));
+  EXPECT_EQ(server.stats().parse_errors, 0);
+  EXPECT_NE(scope_.FindSignal(padded_name), 0);
+
+  // CRLF variant: content + '\r' is exactly 64 bytes.
+  std::string crlf = "3 4 ";
+  crlf.append(64 - crlf.size() - 1, 'b');
+  crlf += "\r\n";
+  ASSERT_EQ(crlf.size(), 65u);  // 64 framed bytes + '\n'
+  std::string crlf_name = crlf.substr(4, crlf.size() - 6);
+  raw.Write(crlf.data(), 30);
+  loop_.RunForMs(5);
+  raw.Write(crlf.data() + 30, crlf.size() - 30);
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 2; }));
+  EXPECT_EQ(server.stats().parse_errors, 0);
+  EXPECT_NE(scope_.FindSignal(crlf_name), 0);
+}
+
+TEST_F(StreamTest, MaxLineBytesPlusOneIsExactlyOneErrorAndResyncs) {
+  StreamServer server(&loop_, &scope_, {.max_line_bytes = 64});
+  ASSERT_TRUE(server.Listen(0));
+  Socket raw = Socket::Connect(server.port());
+  ASSERT_TRUE(raw.valid());
+  scope_.StartPolling();
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+
+  // 65 framed bytes, split across reads: exactly one parse error.
+  std::string line = "1 2 ";
+  line.append(65 - line.size(), 'c');
+  line.push_back('\n');
+  raw.Write(line.data(), 40);
+  loop_.RunForMs(5);
+  raw.Write(line.data() + 40, line.size() - 40);
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().parse_errors >= 1; }));
+  EXPECT_EQ(server.stats().parse_errors, 1);
+  EXPECT_EQ(server.stats().tuples, 0);
+
+  // Framing resynchronized at that newline: the next tuple parses.
+  const std::string ok = "5 6 recovered_after_cap\n";
+  raw.Write(ok.data(), ok.size());
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 1; }));
+  EXPECT_EQ(server.stats().parse_errors, 1);
+
+  // CRLF variant of the over-cap line: 64 content bytes + '\r' = 65.
+  std::string crlf = "7 8 ";
+  crlf.append(64 - crlf.size(), 'd');
+  crlf += "\r\n";
+  raw.Write(crlf.data(), 30);
+  loop_.RunForMs(5);
+  raw.Write(crlf.data() + 30, crlf.size() - 30);
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().parse_errors >= 2; }));
+  EXPECT_EQ(server.stats().parse_errors, 2);
+  EXPECT_EQ(server.stats().tuples, 1);
 }
 
 TEST_F(StreamTest, FanOutToMultipleScopes) {
