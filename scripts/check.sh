@@ -22,6 +22,9 @@ echo "--- bench smoke: net stream ---"
 echo "--- bench smoke: fan-out (reduced tuple count) ---"
 "$build_dir/bench_fanout" 5000
 
+echo "--- bench smoke: backpressure sweep (reduced tuple count) ---"
+"$build_dir/bench_backpressure" 2000 > /dev/null
+
 # Every other bench target gets a ~1s smoke: it must start and not crash.
 # Long-running experiment mains are cut off by timeout (exit 124 = alive).
 echo "--- bench smoke: all remaining targets (~1s each) ---"
@@ -29,7 +32,7 @@ for bench in "$build_dir"/bench_*; do
   [ -x "$bench" ] || continue
   name="$(basename "$bench")"
   case "$name" in
-    bench_tuple_codec|bench_net_stream|bench_fanout) continue ;;
+    bench_tuple_codec|bench_net_stream|bench_fanout|bench_backpressure) continue ;;
   esac
   args=()
   case "$name" in
@@ -72,8 +75,21 @@ cmake -B "$tsan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 # Only the new sharded fan-out tests run under TSan: test_threading's own
 # harness reads scope state cross-thread by design (the paper's sampled-
 # variable model) and is expected to trip the sanitizer.
-cmake --build "$tsan_dir" -j --target test_ingest_router test_ingest_fast_path
+cmake --build "$tsan_dir" -j --target test_ingest_router test_ingest_fast_path \
+  test_stress_multiproducer
 "$tsan_dir/test_ingest_router"
 "$tsan_dir/test_ingest_fast_path"
+
+echo "--- TSan: multi-producer backpressure stress (thread-mode policies) ---"
+# The fork-based producers and the restart soak are excluded under TSan:
+# fork from an instrumented runtime is unreliable, and the sanitizer's
+# slowdown turns the soak's real-time schedule into noise.  The three
+# policy tests cover every thread interaction the harness has.
+"$tsan_dir/test_stress_multiproducer" \
+  --gtest_filter='StressMultiProducer.Drop*:StressMultiProducer.Block*'
+
+echo "--- soak: mixed schedules, all policies (Release, < 10 s) ---"
+GSCOPE_STRESS_SOAK=3 "$build_dir/test_stress_multiproducer" \
+  --gtest_filter='StressMultiProducer.Soak*'
 
 echo "check.sh: OK"

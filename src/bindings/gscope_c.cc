@@ -16,6 +16,12 @@ struct gscope_ctx {
   std::unique_ptr<gscope::MainLoop> loop;
   std::unique_ptr<gscope::Scope> scope;
   std::unique_ptr<gscope::ControlClient> control;  // remote attachment, if any
+  // Queue policy staged by gscope_set_queue_policy; applied to `control` on
+  // creation (and immediately when it already exists).
+  gscope::OverflowPolicy queue_policy = gscope::OverflowPolicy::kDropNewest;
+  int64_t block_deadline_ms = 5;
+  size_t queue_max_buffer = 1 << 20;
+  int sndbuf_bytes = 0;
 };
 
 namespace {
@@ -186,7 +192,12 @@ int gscope_connect(gscope_ctx* ctx, uint16_t port) {
     return kErrBadArg;
   }
   if (ctx->control == nullptr) {
-    ctx->control = std::make_unique<gscope::ControlClient>(ctx->loop.get());
+    gscope::ControlClientOptions options;
+    options.overflow_policy = ctx->queue_policy;
+    options.block_deadline_ms = ctx->block_deadline_ms;
+    options.max_buffer = ctx->queue_max_buffer;
+    options.sndbuf_bytes = ctx->sndbuf_bytes;
+    ctx->control = std::make_unique<gscope::ControlClient>(ctx->loop.get(), options);
     gscope::Scope* scope = ctx->scope.get();
     // Remote tuples are re-stamped on arrival: the server already applied
     // the session delay, and the two processes' scope clocks need not share
@@ -228,6 +239,61 @@ int gscope_set_delay(gscope_ctx* ctx, int64_t delay_ms) {
     return kErrBadArg;
   }
   return ctx->control->SetDelay(delay_ms) ? 0 : kErrFailed;
+}
+
+int gscope_send(gscope_ctx* ctx, int64_t time_ms, double value, const char* name) {
+  if (!Valid(ctx) || ctx->control == nullptr || name == nullptr || name[0] == '\0') {
+    return kErrBadArg;
+  }
+  return ctx->control->Send(time_ms, value, name) ? 1 : 0;
+}
+
+int gscope_set_queue_policy(gscope_ctx* ctx, int policy, int64_t block_deadline_ms) {
+  if (!Valid(ctx) || policy < GSCOPE_QUEUE_DROP_NEWEST || policy > GSCOPE_QUEUE_BLOCK ||
+      block_deadline_ms < 0) {
+    return kErrBadArg;
+  }
+  ctx->queue_policy = static_cast<gscope::OverflowPolicy>(policy);
+  ctx->block_deadline_ms = block_deadline_ms;
+  if (ctx->control != nullptr) {
+    ctx->control->SetQueuePolicy(ctx->queue_policy, block_deadline_ms);
+  }
+  return 0;
+}
+
+int gscope_set_queue_limit(gscope_ctx* ctx, int64_t max_buffer_bytes, int sndbuf_bytes) {
+  if (!Valid(ctx) || max_buffer_bytes <= 0 || sndbuf_bytes < 0) {
+    return kErrBadArg;
+  }
+  ctx->queue_max_buffer = static_cast<size_t>(max_buffer_bytes);
+  ctx->sndbuf_bytes = sndbuf_bytes;
+  if (ctx->control != nullptr) {
+    ctx->control->SetQueueLimit(ctx->queue_max_buffer, sndbuf_bytes);
+  }
+  return 0;
+}
+
+int gscope_client_stats(gscope_ctx* ctx, gscope_queue_stats* out) {
+  if (!Valid(ctx) || out == nullptr) {
+    return kErrBadArg;
+  }
+  *out = gscope_queue_stats{};
+  if (ctx->control == nullptr) {
+    return 0;
+  }
+  const gscope::ControlClient::Stats& s = ctx->control->stats();
+  out->tuples_pushed = s.tuples_pushed;
+  out->frames_dropped = s.frames_dropped;
+  out->frames_evicted = s.frames_evicted;
+  out->frames_abandoned = s.frames_abandoned;
+  out->bytes_sent = s.bytes_sent;
+  out->bytes_dropped = s.bytes_dropped;
+  out->block_time_ns = s.block_time_ns;
+  out->backlog_high_water = s.backlog_high_water;
+  out->pending_bytes = static_cast<int64_t>(ctx->control->pending_bytes());
+  out->tuples_received = s.tuples_received;
+  out->parse_errors = s.parse_errors;
+  return 0;
 }
 
 int gscope_set_zoom(gscope_ctx* ctx, double zoom) {

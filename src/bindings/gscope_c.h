@@ -86,6 +86,50 @@ int gscope_unsubscribe(gscope_ctx* ctx, const char* glob);
 /* Sets the remote session's server-side late-drop delay. */
 int gscope_set_delay(gscope_ctx* ctx, int64_t delay_ms);
 
+/* Pushes one tuple UPSTREAM over the control connection (the producer side
+ * of the wire protocol; the server ingests it like any tuple line).
+ * Returns 1 if queued, 0 if dropped by the overflow policy, negative on
+ * error (no connection attempt yet). */
+int gscope_send(gscope_ctx* ctx, int64_t time_ms, double value, const char* name);
+
+/* -- producer queue policy (docs/protocol.md, "Backlog and drop semantics") -- */
+
+#define GSCOPE_QUEUE_DROP_NEWEST 0 /* roll back the newest frame (default)  */
+#define GSCOPE_QUEUE_DROP_OLDEST 1 /* evict whole frames from the head      */
+#define GSCOPE_QUEUE_BLOCK 2       /* wait up to the deadline, then drop    */
+
+/* Selects how the upstream backlog handles overflow.  May be called before
+ * gscope_connect (applies on creation) or on a live connection.
+ * `block_deadline_ms` bounds each GSCOPE_QUEUE_BLOCK wait. */
+int gscope_set_queue_policy(gscope_ctx* ctx, int policy, int64_t block_deadline_ms);
+
+/* Caps the upstream backlog at `max_buffer_bytes` (applies immediately) and
+ * requests an SO_SNDBUF of `sndbuf_bytes` for the NEXT gscope_connect (0 =
+ * kernel default).  Small values surface backpressure in the queue-policy
+ * counters instead of hiding it in kernel buffering. */
+int gscope_set_queue_limit(gscope_ctx* ctx, int64_t max_buffer_bytes, int sndbuf_bytes);
+
+/* Counters for the remote connection's producer/consumer pipeline.  All
+ * fields are cumulative since gscope_connect except pending_bytes and
+ * backlog_high_water. */
+typedef struct gscope_queue_stats {
+  int64_t tuples_pushed;      /* committed to the upstream backlog          */
+  int64_t frames_dropped;     /* newest dropped whole at the cap            */
+  int64_t frames_evicted;     /* oldest evicted whole (drop-oldest)         */
+  int64_t frames_abandoned;   /* committed but unsent when connection died  */
+  int64_t bytes_sent;         /* bytes the kernel accepted so far           */
+  int64_t bytes_dropped;      /* bytes of dropped+evicted+abandoned frames  */
+  int64_t block_time_ns;      /* total GSCOPE_QUEUE_BLOCK wait time         */
+  int64_t backlog_high_water; /* max unsent backlog bytes observed          */
+  int64_t pending_bytes;      /* unsent backlog right now                   */
+  int64_t tuples_received;    /* tuples echoed down from the server         */
+  int64_t parse_errors;       /* malformed/overlong incoming lines          */
+} gscope_queue_stats;
+
+/* Fills *out; zeroes it if no connection was ever attempted (returns 0
+ * either way; negative only on bad arguments). */
+int gscope_client_stats(gscope_ctx* ctx, gscope_queue_stats* out);
+
 /* -- display parameters ----------------------------------------------------- */
 
 int gscope_set_zoom(gscope_ctx* ctx, double zoom);

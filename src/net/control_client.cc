@@ -9,6 +9,7 @@ ControlClient::ControlClient(MainLoop* loop, ControlClientOptions options)
       options_(options),
       writer_(loop, options.max_buffer),
       framer_(options.max_line_bytes) {
+  writer_.SetPolicy(options.overflow_policy, MillisToNanos(options.block_deadline_ms));
   writer_.SetErrorCallback([this]() { Disconnect(); });
 }
 
@@ -21,6 +22,9 @@ bool ControlClient::Connect(uint16_t port) {
     state_ = ConnectState::kFailed;
     stats_.connect_failures += 1;
     return false;
+  }
+  if (options_.sndbuf_bytes > 0) {
+    socket_.SetSendBufferBytes(options_.sndbuf_bytes);
   }
   state_ = ConnectState::kConnecting;
   connect_watch_ =
@@ -44,7 +48,14 @@ void ControlClient::Close() {
     loop_->Remove(read_watch_);
     read_watch_ = 0;
   }
-  writer_.Reset();
+  size_t discarded = writer_.Reset();
+  if (state_ == ConnectState::kConnecting) {
+    // Frames queued behind an unresolved handshake resolve to dropped (they
+    // never counted as pushed/sent); back the Reset()-side abandonment out
+    // so the delivered identity keeps holding.
+    stats_.frames_dropped += static_cast<int64_t>(discarded);
+    preconnect_discards_ += static_cast<int64_t>(discarded);
+  }
   framer_.Reset();
   socket_.Close();
   state_ = ConnectState::kDisconnected;
@@ -60,10 +71,11 @@ bool ControlClient::OnConnectReady() {
     stats_.connect_failures += 1;
     // Frames queued behind the handshake never left the process: they
     // resolve to dropped, so commands_sent/tuples_pushed vs frames_dropped
-    // reconcile for the caller.
+    // reconcile for the caller; the Reset()-side abandonment is backed out
+    // of the stats mapping to avoid double-booking the loss.
     stats_.frames_dropped += preconnect_frames_;
     preconnect_frames_ = 0;
-    writer_.Reset();
+    preconnect_discards_ += static_cast<int64_t>(writer_.Reset());
     socket_.Close();
     if (on_connect_) {
       on_connect_(false, error);

@@ -31,11 +31,20 @@
 namespace gscope {
 
 struct ControlClientOptions {
-  // Outgoing (commands + pushed tuples) backlog cap; whole frames are
-  // dropped on overflow.
+  // Outgoing (commands + pushed tuples) backlog cap; whole frames only on
+  // overflow, victim selected by `overflow_policy`.
   size_t max_buffer = 1 << 20;
   // Longest accepted incoming line (tuple or reply).
   size_t max_line_bytes = 4096;
+  // Overload behaviour for the outgoing backlog (see runtime/framed_writer.h):
+  // drop the newest frame (default), evict the oldest whole frames, or wait
+  // up to block_deadline_ms per commit before falling back to drop-newest.
+  OverflowPolicy overflow_policy = OverflowPolicy::kDropNewest;
+  int64_t block_deadline_ms = 5;
+  // SO_SNDBUF for the connection, 0 = kernel default.  Small values move
+  // backpressure out of kernel buffering into the bounded backlog above,
+  // where the overflow policy (and its counters) can see it.
+  int sndbuf_bytes = 0;
 };
 
 class ControlClient {
@@ -44,6 +53,14 @@ class ControlClient {
     int64_t commands_sent = 0;
     int64_t tuples_pushed = 0;
     int64_t frames_dropped = 0;  // outgoing backlog overflow (whole frames)
+    // Frames committed but later discarded: evicted by kDropOldest, or
+    // abandoned unsent at disconnect/close (see StreamClient::Stats).
+    int64_t frames_evicted = 0;
+    int64_t frames_abandoned = 0;
+    int64_t bytes_sent = 0;  // bytes the kernel accepted (drains are async)
+    int64_t bytes_dropped = 0;
+    int64_t block_time_ns = 0;
+    int64_t backlog_high_water = 0;
     int64_t tuples_received = 0;
     int64_t replies_ok = 0;
     int64_t replies_err = 0;
@@ -84,6 +101,23 @@ class ControlClient {
   // Pushes one tuple upstream on the same connection.
   bool Send(int64_t time_ms, double value, std::string_view name);
 
+  // Switches the outgoing backlog's overflow policy mid-stream.
+  void SetQueuePolicy(OverflowPolicy policy, int64_t block_deadline_ms = 5) {
+    writer_.SetPolicy(policy, MillisToNanos(block_deadline_ms));
+  }
+  OverflowPolicy queue_policy() const { return writer_.policy(); }
+
+  // Re-caps the outgoing backlog (live) and the kernel send buffer (next
+  // Connect; 0 leaves the kernel default).
+  void SetQueueLimit(size_t max_buffer, int sndbuf_bytes = 0) {
+    writer_.SetMaxBuffer(max_buffer);
+    options_.max_buffer = max_buffer;
+    options_.sndbuf_bytes = sndbuf_bytes;
+  }
+
+  // Unsent bytes currently queued toward the server.
+  size_t pending_bytes() const { return writer_.pending_bytes(); }
+
   // Received matched tuples.  The view borrows the read buffer: copy what
   // must outlive the callback.
   void SetTupleCallback(TupleFn fn) { on_tuple_ = std::move(fn); }
@@ -91,7 +125,20 @@ class ControlClient {
   void SetReplyCallback(ReplyFn fn) { on_reply_ = std::move(fn); }
   void SetConnectCallback(ConnectFn fn) { on_connect_ = std::move(fn); }
 
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const {
+    // Writer-side counters are folded in lazily: drains happen async.
+    const FramedWriter::Stats& w = writer_.stats();
+    stats_.frames_evicted = w.frames_evicted;
+    // Pre-connect discards are already in frames_dropped (see Close /
+    // OnConnectReady); they never counted as sent, so they are backed out
+    // of the abandoned mapping.
+    stats_.frames_abandoned = w.frames_abandoned - preconnect_discards_;
+    stats_.bytes_sent = w.bytes_written;
+    stats_.bytes_dropped = w.bytes_dropped;
+    stats_.block_time_ns = w.block_time_ns;
+    stats_.backlog_high_water = static_cast<int64_t>(w.high_water_bytes);
+    return stats_;
+  }
 
  private:
   bool OnConnectReady();
@@ -112,10 +159,13 @@ class ControlClient {
   // Frames committed while kConnecting; folded into frames_dropped if the
   // handshake fails (they never left the process).
   int64_t preconnect_frames_ = 0;
+  // Writer-side abandonments that were pre-connect discards (already in
+  // frames_dropped); subtracted in stats().
+  int64_t preconnect_discards_ = 0;
   TupleFn on_tuple_;
   ReplyFn on_reply_;
   ConnectFn on_connect_;
-  Stats stats_;
+  mutable Stats stats_;
 };
 
 }  // namespace gscope

@@ -98,6 +98,16 @@ Socket Socket::Connect(uint16_t port) {
   return Socket{fd};
 }
 
+bool Socket::SetSendBufferBytes(int bytes) {
+  return valid() && bytes > 0 &&
+         setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) == 0;
+}
+
+bool Socket::SetRecvBufferBytes(int bytes) {
+  return valid() && bytes > 0 &&
+         setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes)) == 0;
+}
+
 int Socket::PendingError() const {
   if (!valid()) {
     return EBADF;

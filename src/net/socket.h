@@ -50,6 +50,14 @@ class Socket {
   // PendingError() to learn whether the connect succeeded.
   static Socket Connect(uint16_t port);
 
+  // Shrinks/grows the kernel send/receive buffer (SO_SNDBUF / SO_RCVBUF).
+  // Small values move backpressure out of kernel buffering and into the
+  // application's bounded backlog, where drop policies can see it (the
+  // kernel clamps and roughly doubles the requested value).  False if the
+  // option could not be set.
+  bool SetSendBufferBytes(int bytes);
+  bool SetRecvBufferBytes(int bytes);
+
   // Drains and returns the socket's pending error (SO_ERROR): 0 when the
   // socket is healthy (e.g. a non-blocking connect completed), the errno
   // value otherwise (ECONNREFUSED, ETIMEDOUT, ...).  Returns EBADF on an

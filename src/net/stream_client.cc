@@ -2,8 +2,9 @@
 
 namespace gscope {
 
-StreamClient::StreamClient(MainLoop* loop, size_t max_buffer)
-    : loop_(loop), writer_(loop, max_buffer) {
+StreamClient::StreamClient(MainLoop* loop, Options options)
+    : loop_(loop), options_(options), writer_(loop, options.max_buffer) {
+  writer_.SetPolicy(options.overflow_policy, MillisToNanos(options.block_deadline_ms));
   // A hard write error after establishment means the connection is gone; the
   // writer has already dropped the backlog and detached.
   writer_.SetErrorCallback([this]() {
@@ -21,6 +22,9 @@ bool StreamClient::Connect(uint16_t port) {
     state_ = ConnectState::kFailed;
     stats_.connect_failures += 1;
     return false;
+  }
+  if (options_.sndbuf_bytes > 0) {
+    socket_.SetSendBufferBytes(options_.sndbuf_bytes);
   }
   state_ = ConnectState::kConnecting;
   // The handshake outcome is signalled by the first writability event; the
@@ -43,7 +47,14 @@ void StreamClient::Close() {
     loop_->Remove(connect_watch_);
     connect_watch_ = 0;
   }
-  writer_.Reset();
+  size_t discarded = writer_.Reset();
+  if (state_ == ConnectState::kConnecting) {
+    // Frames queued behind an unresolved handshake never counted as sent;
+    // they resolve to dropped, and the Reset()-side abandonment is backed
+    // out so delivered == sent - evicted - abandoned keeps holding.
+    stats_.tuples_dropped += static_cast<int64_t>(discarded);
+    preconnect_discards_ += static_cast<int64_t>(discarded);
+  }
   socket_.Close();
   state_ = ConnectState::kDisconnected;
   preconnect_tuples_ = 0;
@@ -65,7 +76,10 @@ void StreamClient::ResolveConnect(int error) {
     stats_.connect_failures += 1;
     stats_.tuples_dropped += preconnect_tuples_;
     preconnect_tuples_ = 0;
-    writer_.Reset();
+    // Already counted dropped above: back the Reset()-side abandonment out
+    // of the stats mapping (they were never sent, so counting them
+    // abandoned too would double-book the loss).
+    preconnect_discards_ += static_cast<int64_t>(writer_.Reset());
     socket_.Close();
     if (on_connect_) {
       on_connect_(false, error);

@@ -39,12 +39,36 @@ enum class ConnectState : uint8_t {
 
 class StreamClient {
  public:
+  struct Options {
+    // Bounds the unsent byte backlog.
+    size_t max_buffer = 1 << 20;
+    // What happens when a tuple would push the backlog past the cap: drop
+    // the newest (default - visualization data is disposable, blocking the
+    // app is not acceptable), evict the oldest whole frames to keep the
+    // newest, or wait for drainage up to block_deadline_ms per send.
+    OverflowPolicy overflow_policy = OverflowPolicy::kDropNewest;
+    int64_t block_deadline_ms = 5;  // kBlockWithDeadline budget per commit
+    // SO_SNDBUF for the connection, 0 = kernel default.  A small value
+    // moves backpressure from kernel buffering into this client's backlog,
+    // where the overflow policy (and its counters) can see it.
+    int sndbuf_bytes = 0;
+  };
+
   struct Stats {
     // Tuples committed to an ESTABLISHED connection's backlog.  Tuples
     // queued while a connect is in flight count only once it completes.
     int64_t tuples_sent = 0;
     int64_t bytes_sent = 0;
     int64_t tuples_dropped = 0;  // backlog overflow, pre-connect failure
+    // Committed (counted sent) but later discarded: evicted by kDropOldest,
+    // or abandoned unsent when the connection died / was closed.  Delivered
+    // tuples = tuples_sent - tuples_evicted - tuples_abandoned (minus any
+    // bytes the kernel had in flight when a connection was torn down).
+    int64_t tuples_evicted = 0;
+    int64_t tuples_abandoned = 0;
+    int64_t bytes_dropped = 0;       // bytes of dropped+evicted+abandoned tuples
+    int64_t block_time_ns = 0;       // kBlockWithDeadline waits
+    int64_t backlog_high_water = 0;  // max unsent backlog bytes observed
     int64_t connect_failures = 0;
   };
 
@@ -52,10 +76,11 @@ class StreamClient {
   // error 0, or ok = false with the SO_ERROR errno value.
   using ConnectFn = std::function<void(bool ok, int error)>;
 
-  // `loop` is not owned.  `max_buffer` bounds the unsent byte backlog; when
-  // the server is slower than the producer, the newest tuples are dropped
-  // (visualization data is disposable, blocking the app is not acceptable).
-  explicit StreamClient(MainLoop* loop, size_t max_buffer = 1 << 20);
+  // `loop` is not owned.
+  StreamClient(MainLoop* loop, Options options);
+  // Backwards-compatible shape: default options with `max_buffer`.
+  explicit StreamClient(MainLoop* loop, size_t max_buffer = 1 << 20)
+      : StreamClient(loop, Options{.max_buffer = max_buffer}) {}
   ~StreamClient();
 
   StreamClient(const StreamClient&) = delete;
@@ -84,10 +109,26 @@ class StreamClient {
   // buffer, so steady-state sends perform no per-tuple allocation.
   bool Send(int64_t time_ms, double value, std::string_view name);
 
+  // Switches the overflow policy mid-stream (between sends).
+  void SetQueuePolicy(OverflowPolicy policy, int64_t block_deadline_ms = 5) {
+    writer_.SetPolicy(policy, MillisToNanos(block_deadline_ms));
+  }
+  OverflowPolicy queue_policy() const { return writer_.policy(); }
+
   // Unsent bytes currently queued.
   size_t pending_bytes() const { return writer_.pending_bytes(); }
   const Stats& stats() const {
-    stats_.bytes_sent = writer_.stats().bytes_written;  // drains happen async
+    // Writer-side counters are folded in lazily: drains happen async.
+    const FramedWriter::Stats& w = writer_.stats();
+    stats_.bytes_sent = w.bytes_written;
+    stats_.tuples_evicted = w.frames_evicted;
+    // Pre-connect frames discarded by a failed/aborted handshake are
+    // already in tuples_dropped; they never counted as sent, so they are
+    // backed out of the abandoned mapping.
+    stats_.tuples_abandoned = w.frames_abandoned - preconnect_discards_;
+    stats_.bytes_dropped = w.bytes_dropped;
+    stats_.block_time_ns = w.block_time_ns;
+    stats_.backlog_high_water = static_cast<int64_t>(w.high_water_bytes);
     return stats_;
   }
 
@@ -96,6 +137,7 @@ class StreamClient {
   void ResolveConnect(int error);
 
   MainLoop* loop_;
+  Options options_;
   Socket socket_;
   FramedWriter writer_;
   SourceId connect_watch_ = 0;
@@ -104,6 +146,9 @@ class StreamClient {
   // Tuples committed while state_ == kConnecting; folded into tuples_sent
   // or tuples_dropped when the handshake resolves.
   int64_t preconnect_tuples_ = 0;
+  // Frames the writer counted abandoned that were pre-connect discards
+  // (already accounted as tuples_dropped); subtracted in stats().
+  int64_t preconnect_discards_ = 0;
   ConnectFn on_connect_;
   mutable Stats stats_;
 };

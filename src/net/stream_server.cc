@@ -99,6 +99,9 @@ bool StreamServer::OnAcceptReady() {
       stats_.refused += 1;
       continue;  // RAII closes the connection
     }
+    if (options_.client_rcvbuf_bytes > 0) {
+      conn.SetRecvBufferBytes(options_.client_rcvbuf_bytes);
+    }
     auto client = std::make_unique<Client>(options_.max_line_bytes);
     client->socket = std::move(conn);
     int key = next_client_key_++;
@@ -167,6 +170,12 @@ void StreamServer::HandleLine(int client_key, Client& client, std::string_view l
   if (options_.enable_control && !line.empty() && IsAsciiLetter(line.front())) {
     HandleControlLine(client_key, client, line);
     return;
+  }
+  if (ingest_tap_) {
+    // Diagnostic-only second parse; the router parses authoritatively below.
+    if (std::optional<TupleView> tuple = ParseTupleView(line); tuple.has_value()) {
+      ingest_tap_(*tuple);
+    }
   }
   router_.AppendTupleLine(line, &stats_.tuples, &stats_.parse_errors);
 }
@@ -275,15 +284,20 @@ StreamServer::ControlSession& StreamServer::EnsureSession(int client_key, Client
   if (!router_.scopes().empty()) {
     scope->AdoptTimeBase(*router_.scopes().front());
   }
+  session->writer.SetPolicy(options_.control_overflow_policy,
+                            MillisToNanos(options_.control_block_deadline_ms));
   // Egress: every sample routed to the session scope is re-serialized down
-  // the connection; on backlog overflow whole tuples are dropped.
+  // the connection; overload discards whole tuples only, victim per the
+  // configured policy (drop-oldest evictions surface as echo_evicted).
   scope->SetBufferedTap([this, writer](std::string_view name, int64_t time_ms, double value) {
+    int64_t evicted_before = writer->stats().frames_evicted;
     AppendTuple(writer->BeginFrame(), time_ms, value, name);
     if (writer->CommitFrame()) {
       stats_.tuples_echoed += 1;
     } else {
       stats_.echo_dropped += 1;
     }
+    stats_.echo_evicted += writer->stats().frames_evicted - evicted_before;
   });
   // A dead egress fd means the connection is gone; drop the client from a
   // fresh stack frame (the writer that saw the error is inside the session
@@ -306,12 +320,14 @@ StreamServer::ControlSession& StreamServer::EnsureSession(int client_key, Client
 }
 
 void StreamServer::Reply(ControlSession& session, std::string_view line) {
+  int64_t evicted_before = session.writer.stats().frames_evicted;
   std::string& buf = session.writer.BeginFrame();
   buf.append(line);
   buf.push_back('\n');
   if (!session.writer.CommitFrame()) {
     stats_.echo_dropped += 1;
   }
+  stats_.echo_evicted += session.writer.stats().frames_evicted - evicted_before;
 }
 
 void StreamServer::DropClient(int client_key) {

@@ -45,6 +45,7 @@
 
 #include "core/ingest_router.h"
 #include "core/scope.h"
+#include "core/tuple.h"
 #include "core/signal_filter.h"
 #include "net/line_framer.h"
 #include "net/socket.h"
@@ -71,9 +72,21 @@ struct StreamServerOptions {
   // Control channel (docs/protocol.md).  Off = every line is a tuple line,
   // the pre-control behaviour.
   bool enable_control = true;
-  // Per-session egress backlog cap; on overflow whole tuples are dropped
-  // (counted in stats().echo_dropped), never partial lines.
+  // Per-session egress backlog cap; overload discards whole tuples only,
+  // never partial lines.  The victim is chosen by control_overflow_policy:
+  // drop-newest (counted in echo_dropped, the default), or drop-oldest
+  // (evict from the backlog head, counted in echo_evicted, so a stalled
+  // viewer resumes at the newest data).  kBlockWithDeadline is accepted but
+  // blocks the server loop up to control_block_deadline_ms per frame - only
+  // sensible for single-viewer embeddings.
   size_t control_max_buffer = 1 << 20;
+  OverflowPolicy control_overflow_policy = OverflowPolicy::kDropNewest;
+  int64_t control_block_deadline_ms = 0;
+  // SO_RCVBUF applied to every accepted connection, 0 = kernel default.  A
+  // small value makes a deliberately slow/paused server exert backpressure
+  // on producers quickly (stress harnesses) instead of hiding behind kernel
+  // buffering.
+  int client_rcvbuf_bytes = 0;
   // Polling period of the per-session scopes: the granularity at which
   // matched tuples are drained and echoed to subscribers.
   int64_t control_poll_period_ms = 10;
@@ -103,8 +116,16 @@ class StreamServer {
     int64_t control_errors = 0;
     int64_t sessions_opened = 0;   // connections that became scope sessions
     int64_t tuples_echoed = 0;     // tuples streamed back to subscribers
-    int64_t echo_dropped = 0;      // egress backlog overflow (whole tuples)
+    int64_t echo_dropped = 0;      // egress overflow: newest frame dropped
+    int64_t echo_evicted = 0;      // egress overflow: oldest frames evicted
   };
+
+  // Observes every successfully parsed ingest tuple line, before routing and
+  // late-drop.  The view borrows the read buffer: copy what must outlive the
+  // call.  For harnesses/diagnostics; parsing is repeated for the tap, so
+  // leave it unset on hot production paths.
+  using IngestTapFn = std::function<void(const TupleView& tuple)>;
+  void SetIngestTap(IngestTapFn fn) { ingest_tap_ = std::move(fn); }
 
   // `loop` and `scope` are not owned and must outlive the server.  `scope`
   // is the first display target; AddScope attaches more ("displays these
@@ -171,6 +192,7 @@ class StreamServer {
 
   std::map<int, std::unique_ptr<Client>> clients_;
   int next_client_key_ = 1;
+  IngestTapFn ingest_tap_;
   // Liveness token for closures deferred through MainLoop::Invoke (session
   // egress errors): reset in the destructor, so a queued DropClient cannot
   // run against a destroyed server.

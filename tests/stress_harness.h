@@ -1,0 +1,131 @@
+// Deterministic multi-producer stress rig for the backpressure pipeline.
+//
+// Drives N producers (threads with StreamClient, or forked processes
+// through the C bindings) against a StreamServer whose reader is throttled
+// by a scripted schedule: drain for a while, pause (stop iterating the
+// server loop entirely, so kernel buffers fill and backpressure reaches the
+// producers' bounded backlogs), or restart (close the listener and every
+// connection, then re-listen on the same port - producers must notice and
+// reconnect).  Producer payloads are per-producer sequence numbers and
+// tuple timestamps come from a shared SimClock advanced in lockstep with
+// the schedule, so a run's data is reproducible from (seed, schedule,
+// policy) alone; thread interleavings may vary, but every invariant below
+// is interleaving-independent:
+//
+//   * zero torn frames: the server never counts a parse error, no matter
+//     where overload forced a drop decision,
+//   * exact accounting: attempted == sent + dropped per producer, and
+//     (without restarts) each producer's delivered tuple count equals
+//     sent - evicted - abandoned, byte-for-byte on the wire,
+//   * order: each producer's delivered sequence is strictly increasing
+//     (drops never reorder or duplicate),
+//   * drop-oldest keeps the newest: the last value delivered is the last
+//     value the producer committed,
+//   * block honors its deadline: total block time is bounded by
+//     attempts x deadline.
+//
+// The rig asserts nothing itself; it returns a Result whose Check* helpers
+// give the tests (and the soak loop in scripts/check.sh) one shared
+// implementation of the invariants.
+#ifndef GSCOPE_TESTS_STRESS_HARNESS_H_
+#define GSCOPE_TESTS_STRESS_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/framed_writer.h"
+
+namespace gscope {
+namespace stress {
+
+struct ScheduleStep {
+  enum class Kind {
+    kDrain,    // iterate the server loop for `ms` (normal reading)
+    kPause,    // real sleep without iterating: the server stops reading
+    kRestart,  // close listener + all connections, sleep `ms`, re-listen
+  };
+  Kind kind = Kind::kDrain;
+  int ms = 10;
+};
+
+struct Options {
+  int producers = 4;
+  int tuples_per_producer = 3000;
+  int burst = 128;  // max sends per producer loop turn (PRNG-jittered)
+  // Extra bytes appended to each signal name ("p<k>_xxx..."): fattens frames
+  // so a paused server overflows the bounded backlogs within a few thousand
+  // tuples instead of a few hundred thousand.
+  int payload_pad = 0;
+  OverflowPolicy policy = OverflowPolicy::kDropNewest;
+  size_t client_buffer = 8 << 10;
+  int64_t block_deadline_ms = 2;
+  // Tiny kernel buffers so a paused server exerts backpressure within a few
+  // hundred tuples instead of a few hundred kilobytes.
+  int sndbuf_bytes = 4096;
+  int server_rcvbuf_bytes = 4096;
+  // Cycled until every producer finished; must contain a kDrain step.
+  std::vector<ScheduleStep> schedule = {{ScheduleStep::Kind::kDrain, 10}};
+  uint32_t seed = 1;
+  // Fork producer processes driving the C bindings (gscope_connect /
+  // gscope_set_queue_policy / gscope_send / gscope_client_stats) instead of
+  // in-process StreamClient threads.  Restart steps are not supported here:
+  // children inherit the listener fd, which would confound the re-listen.
+  bool use_processes = false;
+  int settle_ms = 5000;  // cap on the final drain
+};
+
+struct ProducerReport {
+  int64_t attempted = 0;
+  int64_t sent = 0;       // committed to an established connection's backlog
+  int64_t dropped = 0;    // rejected at send time (overflow / disconnected)
+  int64_t evicted = 0;    // committed, later evicted whole (drop-oldest)
+  int64_t abandoned = 0;  // committed, unsent when the connection died
+  int64_t bytes_sent = 0;
+  int64_t bytes_dropped = 0;
+  int64_t block_time_ns = 0;
+  int64_t high_water = 0;
+  int64_t last_sent_value = -1;  // last sequence number that was committed
+  int reconnects = 0;
+  bool connected_ok = false;  // producer established at least once
+};
+
+struct Result {
+  bool ran = false;  // the rig itself completed (server up, producers ran)
+  std::string setup_error;
+  std::vector<ProducerReport> producers;
+  // Per producer, the values the server actually parsed, in arrival order.
+  std::vector<std::vector<int64_t>> received;
+  int64_t server_tuples = 0;
+  int64_t server_parse_errors = 0;
+  int64_t server_bytes = 0;
+  int restarts = 0;
+
+  int64_t TotalAttempted() const;
+  int64_t TotalDelivered() const;
+
+  // Each returns an empty string when the invariant holds, else a
+  // description of the violation.
+  std::string CheckNoTornFrames() const;
+  // attempted == sent + dropped, always.
+  std::string CheckSendAccounting() const;
+  // Per-producer delivered == sent - evicted - abandoned, and total bytes
+  // delivered == total bytes the clients wrote.  Valid only for schedules
+  // without restarts (a torn-down connection loses kernel-buffered bytes).
+  std::string CheckDeliveryExact() const;
+  // Delivered sequences strictly increasing per producer.
+  std::string CheckSequencesMonotone() const;
+  // Drop-oldest, no restarts: the newest committed value survived.
+  std::string CheckNewestPreserved() const;
+  // block_time <= attempts x deadline (with slop for clock granularity).
+  std::string CheckBlockDeadline(int64_t deadline_ms) const;
+  // Convenience: the checks valid for every policy and schedule.
+  std::string CheckCommon() const;
+};
+
+Result RunStress(const Options& options);
+
+}  // namespace stress
+}  // namespace gscope
+
+#endif  // GSCOPE_TESTS_STRESS_HARNESS_H_

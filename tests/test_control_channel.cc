@@ -3,6 +3,7 @@
 // connection, and route-table-level exclusion of non-subscribed signals.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <string>
 #include <vector>
@@ -363,6 +364,160 @@ TEST_F(ControlChannelTest, DeadSubscriberDropsSessionWithoutKillingServer) {
     loop_.RunForMs(2);
     return scope_.FindSignal("alive_metric") != 0;
   }));
+}
+
+TEST_F(ControlChannelTest, EgressOverflowDropsWholeFramesWithByteAccounting) {
+  // A subscriber that never reads while a producer floods: the session's
+  // tiny egress backlog must shed WHOLE frames (echo_dropped), and
+  // everything that does arrive must be complete lines.
+  StreamServer server(&loop_, &scope_, {.control_max_buffer = 512});
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  Socket raw = Socket::Connect(server.port());
+  ASSERT_TRUE(raw.valid());
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+  const std::string sub = "SUB flood_*\n";
+  raw.Write(sub.data(), sub.size());
+  ASSERT_TRUE(RunUntil([&]() { return server.control_session_count() == 1; }));
+
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  // Flood without ever reading `raw`: the kernel socket buffer plus the
+  // 512-byte session backlog overflow quickly.
+  ASSERT_TRUE(RunUntil([&]() {
+    for (int i = 0; i < 64; ++i) {
+      producer.Send(scope_.NowMs(), 1000.0 + i, "flood_metric");
+    }
+    loop_.RunForMs(2);
+    return server.stats().echo_dropped > 0;
+  }));
+  EXPECT_EQ(server.stats().echo_evicted, 0);  // default policy drops newest
+
+  // Now read everything that made it through: only complete lines.
+  std::string received;
+  for (int i = 0; i < 200; ++i) {
+    loop_.RunForMs(1);
+    char buf[4096];
+    IoResult r;
+    while ((r = raw.Read(buf, sizeof(buf))).status == IoResult::Status::kOk) {
+      received.append(buf, r.bytes);
+    }
+  }
+  ASSERT_FALSE(received.empty());
+  EXPECT_EQ(received.back(), '\n');  // no torn tail
+  for (size_t pos = 0, nl; (nl = received.find('\n', pos)) != std::string::npos; pos = nl + 1) {
+    std::string_view line(received.data() + pos, nl - pos);
+    if (line.rfind("OK", 0) == 0) {
+      continue;  // the SUB reply shares the backlog
+    }
+    EXPECT_TRUE(ParseTupleView(line).has_value()) << "torn echo line: " << line;
+  }
+}
+
+TEST_F(ControlChannelTest, EgressDropOldestEvictsStaleEchoKeepsNewest) {
+  // Same flood, drop-oldest egress: a stalled viewer loses the OLDEST echo
+  // frames (echo_evicted) and resumes at the newest data once it reads.
+  StreamServer server(&loop_, &scope_,
+                      {.control_max_buffer = 512,
+                       .control_overflow_policy = OverflowPolicy::kDropOldest});
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  Socket raw = Socket::Connect(server.port());
+  ASSERT_TRUE(raw.valid());
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+  const std::string sub = "SUB ev_*\n";
+  raw.Write(sub.data(), sub.size());
+  ASSERT_TRUE(RunUntil([&]() { return server.control_session_count() == 1; }));
+
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  double value = 0;
+  ASSERT_TRUE(RunUntil([&]() {
+    for (int i = 0; i < 64; ++i) {
+      producer.Send(scope_.NowMs(), ++value, "ev_metric");
+    }
+    loop_.RunForMs(2);
+    return server.stats().echo_evicted > 0;
+  }));
+  EXPECT_EQ(server.stats().echo_dropped, 0);  // eviction always made room
+
+  // Drain the viewer: the stream must resume at (or after) the newest data
+  // of the flood - the old backlog's head was what eviction shed.
+  double flood_end = value;
+  std::string received;
+  double last_echoed = -1;
+  ASSERT_TRUE(RunUntil([&]() {
+    producer.Send(scope_.NowMs(), ++value, "ev_metric");
+    loop_.RunForMs(1);
+    char buf[4096];
+    IoResult r;
+    while ((r = raw.Read(buf, sizeof(buf))).status == IoResult::Status::kOk) {
+      received.append(buf, r.bytes);
+    }
+    for (size_t pos = 0, nl; (nl = received.find('\n', pos)) != std::string::npos;
+         pos = nl + 1) {
+      auto view = ParseTupleView(std::string_view(received.data() + pos, nl - pos));
+      if (view.has_value()) {
+        last_echoed = std::max(last_echoed, view->value);
+      }
+    }
+    return last_echoed >= flood_end;
+  }));
+}
+
+TEST_F(ControlChannelTest, ReconnectAfterServerRestartResumesSubscription) {
+  // Groundwork for session resumption: a server restart must surface as a
+  // disconnect on the control client, and a fresh connect + re-SUB on the
+  // same port must resume tuple flow.
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  uint16_t port = server.port();
+  scope_.StartPolling();
+
+  ControlClient viewer(&loop_);
+  Sink sink;
+  sink.Wire(viewer);
+  ASSERT_TRUE(viewer.Connect(port));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  viewer.Subscribe("rc_*");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 1; }));
+
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(port));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  ASSERT_TRUE(RunUntil([&]() {
+    producer.Send(scope_.NowMs(), 1.0, "rc_before");
+    loop_.RunForMs(2);
+    return sink.SawValue(1.0);
+  }));
+
+  // Restart: every connection dies with the listener.
+  server.Close();
+  ASSERT_TRUE(RunUntil([&]() { return viewer.state() == ConnectState::kDisconnected; }));
+  EXPECT_FALSE(viewer.connected());
+  ASSERT_TRUE(server.Listen(port));
+  EXPECT_EQ(server.control_session_count(), 0u);  // the old session died
+
+  // Reconnect and re-subscribe; flow must resume on the same port.
+  ASSERT_TRUE(viewer.Connect(port));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  viewer.Subscribe("rc_*");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 2; }));
+
+  ASSERT_TRUE(producer.Connect(port));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  ASSERT_TRUE(RunUntil([&]() {
+    producer.Send(scope_.NowMs(), 2.0, "rc_after");
+    loop_.RunForMs(2);
+    return sink.SawValue(2.0);
+  }));
+  // Counters accumulate across the restart: one session per SUB round.
+  EXPECT_EQ(server.stats().sessions_opened, 2);
+  EXPECT_EQ(server.control_session_count(), 1u);
 }
 
 TEST_F(ControlChannelTest, ControlOnlyServerNeedsNoLocalScope) {

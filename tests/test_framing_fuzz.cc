@@ -1,0 +1,227 @@
+// Property/fuzz-style tests for net/line_framer.h and ParseTupleView, with
+// FIXED seeds (a table of them) so every run sees the same byte streams: no
+// wall-clock or entropy-derived nondeterminism.
+//
+// The central property is CHUNKING INVARIANCE: however a byte stream is
+// split across reads - including one byte at a time - the framer must
+// deliver exactly the same lines, count exactly the same number of overlong
+// lines, and the parser exactly the same tuples and errors as a single
+// whole-stream pass.  Mutated streams (flipped bytes, injected garbage,
+// overlong lines) additionally prove that framing RESYNCHRONIZES: damage is
+// confined to the lines it touches, with exact error accounting.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/tuple.h"
+#include "net/line_framer.h"
+
+namespace gscope {
+namespace {
+
+constexpr size_t kMaxLine = 96;  // small cap so overlong lines are easy to hit
+
+struct ParseOutcome {
+  std::vector<Tuple> tuples;
+  int64_t overlong = 0;
+  int64_t bad = 0;  // non-ignorable lines that failed to parse
+
+  bool operator==(const ParseOutcome& other) const = default;
+};
+
+// Feeds `stream` through a LineFramer in the given chunk sizes (cycled until
+// the stream is consumed), parsing each line the way StreamServer does.
+ParseOutcome RunFramer(const std::string& stream, const std::vector<size_t>& chunk_sizes,
+                       size_t max_line = kMaxLine) {
+  LineFramer framer(max_line);
+  ParseOutcome out;
+  auto handle = [&out](std::string_view line) {
+    std::optional<TupleView> view = ParseTupleView(line);
+    if (view.has_value()) {
+      out.tuples.push_back({view->time_ms, view->value, std::string(view->name)});
+    } else if (!IsIgnorableLine(line)) {
+      out.bad += 1;
+    }
+  };
+  size_t pos = 0;
+  size_t chunk_i = 0;
+  while (pos < stream.size()) {
+    size_t n = std::min(chunk_sizes[chunk_i++ % chunk_sizes.size()], stream.size() - pos);
+    n = std::max<size_t>(n, 1);
+    framer.Consume(stream.data() + pos, n, &out.overlong, handle);
+    pos += n;
+  }
+  framer.FlushTail(handle);
+  return out;
+}
+
+std::vector<size_t> RandomChunkSizes(std::mt19937& rng, size_t count) {
+  std::vector<size_t> sizes(count);
+  for (size_t& s : sizes) {
+    s = 1 + rng() % 17;
+  }
+  return sizes;
+}
+
+std::string RandomName(std::mt19937& rng, size_t max_len) {
+  static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyz_0123456789";
+  size_t len = 1 + rng() % max_len;
+  std::string name;
+  for (size_t i = 0; i < len; ++i) {
+    name.push_back(kAlpha[rng() % (sizeof(kAlpha) - 1)]);
+  }
+  return name;
+}
+
+double RandomValue(std::mt19937& rng) {
+  switch (rng() % 4) {
+    case 0:
+      return static_cast<double>(static_cast<int32_t>(rng()));
+    case 1:
+      return static_cast<double>(rng() % 1000);
+    case 2:
+      return static_cast<double>(static_cast<int32_t>(rng())) / 1024.0;
+    default:
+      return -static_cast<double>(rng() % 100000) * 1.5e-3;
+  }
+}
+
+std::string SerializeCorpus(std::mt19937& rng, int count, std::vector<Tuple>* originals) {
+  std::string stream;
+  int64_t t = 0;
+  for (int i = 0; i < count; ++i) {
+    t += static_cast<int64_t>(rng() % 50);
+    Tuple tuple{t, RandomValue(rng), rng() % 8 == 0 ? "" : RandomName(rng, 12)};
+    if (originals != nullptr) {
+      originals->push_back(tuple);
+    }
+    AppendTuple(stream, tuple.time_ms, tuple.value, tuple.name);
+  }
+  return stream;
+}
+
+// Damages a valid stream: byte flips, injected garbage lines, comments,
+// blanks, and overlong lines.  Deterministic per rng state.
+std::string Mutate(std::mt19937& rng, std::string stream) {
+  size_t flips = 1 + rng() % 24;
+  for (size_t i = 0; i < flips && !stream.empty(); ++i) {
+    stream[rng() % stream.size()] = static_cast<char>(rng() % 256);
+  }
+  auto insert_line = [&](const std::string& line) {
+    // Insert at a line boundary or mid-line alike: the framer must cope.
+    size_t at = rng() % (stream.size() + 1);
+    stream.insert(at, line);
+  };
+  if (rng() % 2 == 0) {
+    insert_line("# a comment line\n");
+  }
+  if (rng() % 2 == 0) {
+    insert_line("\n\n");
+  }
+  if (rng() % 2 == 0) {
+    insert_line("definitely not a tuple\n");
+  }
+  if (rng() % 2 == 0) {
+    insert_line("123 4.5 " + std::string(kMaxLine, 'x') + "\n");  // overlong
+  }
+  return stream;
+}
+
+TEST(FramingFuzz, ChunkingInvarianceOnCleanStreams) {
+  for (uint32_t seed : {1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u}) {
+    std::mt19937 rng(seed);
+    std::vector<Tuple> originals;
+    std::string stream = SerializeCorpus(rng, 300, &originals);
+
+    ParseOutcome whole = RunFramer(stream, {stream.size()});
+    ParseOutcome bytewise = RunFramer(stream, {1});
+    ParseOutcome random_chunks = RunFramer(stream, RandomChunkSizes(rng, 37));
+
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    // A clean stream round-trips exactly (to_chars shortest form): every
+    // tuple, no errors, independent of chunking.
+    EXPECT_EQ(whole.tuples, originals);
+    EXPECT_EQ(whole.overlong, 0);
+    EXPECT_EQ(whole.bad, 0);
+    EXPECT_TRUE(bytewise == whole);
+    EXPECT_TRUE(random_chunks == whole);
+  }
+}
+
+TEST(FramingFuzz, ChunkingInvarianceOnMutatedStreams) {
+  for (uint32_t seed : {101u, 202u, 303u, 404u, 505u, 606u, 707u, 808u, 909u, 1010u}) {
+    std::mt19937 rng(seed);
+    std::string stream = Mutate(rng, SerializeCorpus(rng, 200, nullptr));
+
+    ParseOutcome whole = RunFramer(stream, {stream.size()});
+    ParseOutcome bytewise = RunFramer(stream, {1});
+    ParseOutcome random_a = RunFramer(stream, RandomChunkSizes(rng, 41));
+    ParseOutcome random_b = RunFramer(stream, RandomChunkSizes(rng, 7));
+
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    // Where a read boundary falls must not change what parses, what counts
+    // as overlong, or what counts as malformed - byte-for-byte resync.
+    EXPECT_TRUE(bytewise == whole);
+    EXPECT_TRUE(random_a == whole);
+    EXPECT_TRUE(random_b == whole);
+    // Mutations must not be able to lose the stream entirely: damage is
+    // confined to the lines it touches.
+    EXPECT_GT(whole.tuples.size(), 0u);
+  }
+}
+
+TEST(FramingFuzz, OverlongLinesCountExactlyOnceAndResync) {
+  // Deterministic construction: good, overlong (split across reads), good.
+  std::string big(kMaxLine + 1, 'y');
+  std::string stream = "1 10 ok_before\n" + big + "\n2 20 ok_after\n";
+  for (size_t chunk : {size_t{1}, size_t{3}, kMaxLine, stream.size()}) {
+    ParseOutcome out = RunFramer(stream, {chunk});
+    SCOPED_TRACE("chunk " + std::to_string(chunk));
+    ASSERT_EQ(out.tuples.size(), 2u);
+    EXPECT_EQ(out.tuples[0].name, "ok_before");
+    EXPECT_EQ(out.tuples[1].name, "ok_after");
+    EXPECT_EQ(out.overlong, 1);  // exactly once, however it was split
+    EXPECT_EQ(out.bad, 0);
+  }
+  // A line of exactly kMaxLine bytes parses (boundary semantics).
+  std::string name(kMaxLine - 4, 'n');  // "1 2 " + name = kMaxLine bytes
+  std::string boundary = "1 2 " + name + "\n";
+  ASSERT_EQ(boundary.size() - 1, kMaxLine);
+  ParseOutcome out = RunFramer(boundary, {2});
+  EXPECT_EQ(out.tuples.size(), 1u);
+  EXPECT_EQ(out.overlong, 0);
+}
+
+TEST(FramingFuzz, ParseTupleViewTotalityOnMutatedLines) {
+  // The parser must be total: for any mutation of a valid line it either
+  // yields a tuple or rejects it, with ignorable lines never counted bad
+  // (the error accounting the servers rely on).  Exercised through the
+  // framer so views borrow from both the read buffer and the side buffer.
+  for (uint32_t seed : {7u, 77u, 777u}) {
+    std::mt19937 rng(seed);
+    std::string stream;
+    for (int i = 0; i < 400; ++i) {
+      std::string line = "12345 -6.75e2 some_signal";
+      size_t flips = rng() % 6;
+      for (size_t f = 0; f < flips; ++f) {
+        char c = static_cast<char>(rng() % 128);
+        // Keep the line count at exactly 400 so the accounting bound below
+        // stays exact; newline injection is covered by the mutated-stream
+        // invariance test.
+        line[rng() % line.size()] = c == '\n' ? 'x' : c;
+      }
+      stream.append(line).push_back('\n');
+    }
+    ParseOutcome whole = RunFramer(stream, {stream.size()});
+    ParseOutcome chunked = RunFramer(stream, RandomChunkSizes(rng, 11));
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    EXPECT_TRUE(chunked == whole);
+    // Every line is accounted exactly once: parsed, bad, or ignorable.
+    EXPECT_LE(whole.tuples.size() + static_cast<size_t>(whole.bad), 400u);
+  }
+}
+
+}  // namespace
+}  // namespace gscope

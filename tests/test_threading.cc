@@ -91,16 +91,20 @@ TEST(ThreadingTest, ProducerThreadsPushBufferedConcurrently) {
   scope.StartPolling();
 
   std::thread gui([&loop]() { loop.Run(); });
+  // Stamp slightly in the future: with delay 0, a producer preempted for a
+  // few ms between reading NowMs and routing would otherwise have its
+  // sample judged late and dropped - a scheduling artifact, not the
+  // thread-safety property under test.
   auto produce = [&scope](const char* name) {
     for (int i = 1; i <= 500; ++i) {
-      scope.PushBuffered(name, scope.NowMs(), static_cast<double>(i));
+      scope.PushBuffered(name, scope.NowMs() + 20, static_cast<double>(i));
     }
   };
   std::thread p1(produce, "a");
   std::thread p2(produce, "b");
   p1.join();
   p2.join();
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
   loop.Invoke([&loop]() { loop.Quit(); });
   gui.join();
 
