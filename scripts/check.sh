@@ -11,7 +11,11 @@ build_dir="${1:-$repo_root/build}"
 
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j
-ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+# Labeled split: the fast tests run fully parallel without a RUN_SERIAL
+# stress rig serializing the schedule around itself; the stress label runs
+# on its own right after (same coverage as one flat `ctest -j`).
+ctest --test-dir "$build_dir" --output-on-failure -L fast -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -L stress
 
 echo "--- bench smoke: tuple codec ---"
 "$build_dir/bench_tuple_codec" --benchmark_min_time=0.05
@@ -25,6 +29,11 @@ echo "--- bench smoke: fan-out (reduced tuple count) ---"
 echo "--- bench smoke: backpressure sweep (reduced tuple count) ---"
 "$build_dir/bench_backpressure" 2000 > /dev/null
 
+echo "--- bench smoke: drain coalescing (reduced tuple count, 1 round) ---"
+# Exits non-zero if any mode drops a sample or shows a wrong final hold;
+# the self-check is the point of the smoke, the numbers are not.
+"$build_dir/bench_drain" 5000 1
+
 # Every other bench target gets a ~1s smoke: it must start and not crash.
 # Long-running experiment mains are cut off by timeout (exit 124 = alive).
 echo "--- bench smoke: all remaining targets (~1s each) ---"
@@ -32,7 +41,7 @@ for bench in "$build_dir"/bench_*; do
   [ -x "$bench" ] || continue
   name="$(basename "$bench")"
   case "$name" in
-    bench_tuple_codec|bench_net_stream|bench_fanout|bench_backpressure) continue ;;
+    bench_tuple_codec|bench_net_stream|bench_fanout|bench_backpressure|bench_drain) continue ;;
   esac
   args=()
   case "$name" in
@@ -76,9 +85,12 @@ cmake -B "$tsan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 # harness reads scope state cross-thread by design (the paper's sampled-
 # variable model) and is expected to trip the sanitizer.
 cmake --build "$tsan_dir" -j --target test_ingest_router test_ingest_fast_path \
-  test_stress_multiproducer
+  test_drain_coalescing test_stress_multiproducer
 "$tsan_dir/test_ingest_router"
 "$tsan_dir/test_ingest_fast_path"
+
+echo "--- TSan: coalesced drain under concurrent producers ---"
+"$tsan_dir/test_drain_coalescing"
 
 echo "--- TSan: multi-producer backpressure stress (thread-mode policies) ---"
 # The fork-based producers and the restart soak are excluded under TSan:

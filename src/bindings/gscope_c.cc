@@ -373,6 +373,21 @@ int gscope_render_ascii(gscope_ctx* ctx, char* buf, int len) {
   return static_cast<int>(frame.size());
 }
 
+int gscope_drain_counters(gscope_ctx* ctx, gscope_drain_stats* out) {
+  if (!Valid(ctx) || out == nullptr) {
+    return kErrBadArg;
+  }
+  const gscope::Scope::Counters& c = ctx->scope->counters();
+  out->ticks = c.ticks;
+  out->lost_ticks = c.lost_ticks;
+  out->samples = c.samples;
+  out->buffered_routed = c.buffered_routed;
+  out->buffered_unmatched = c.buffered_unmatched;
+  out->samples_coalesced = c.samples_coalesced;
+  out->samples_retained = c.samples_retained;
+  return 0;
+}
+
 int64_t gscope_ticks(gscope_ctx* ctx) {
   return Valid(ctx) ? ctx->scope->counters().ticks : -1;
 }

@@ -130,6 +130,27 @@ typedef struct gscope_queue_stats {
  * either way; negative only on bad arguments). */
 int gscope_client_stats(gscope_ctx* ctx, gscope_queue_stats* out);
 
+/* -- drain counters (docs/perf.md, "drain coalescing") ---------------------- */
+
+/* Cumulative drain/routing counters of the embedded scope.  The coalescing
+ * pair quantifies the last-wins reduction: samples_coalesced were folded to
+ * one hold write per signal per poll tick (display-only signals),
+ * samples_retained were delivered one by one because an every-sample
+ * consumer (trigger/trace/aggregate/export sink, or an every-sample tap)
+ * was attached. */
+typedef struct gscope_drain_stats {
+  int64_t ticks;              /* poll callbacks dispatched                  */
+  int64_t lost_ticks;         /* missed periods compensated                 */
+  int64_t samples;            /* sampling points taken                      */
+  int64_t buffered_routed;    /* buffered samples attributed to a signal   */
+  int64_t buffered_unmatched; /* buffered samples with no matching signal   */
+  int64_t samples_coalesced;  /* folded away by the last-wins reduction     */
+  int64_t samples_retained;   /* delivered per-sample (history consumers)   */
+} gscope_drain_stats;
+
+/* Fills *out with the scope's counters.  Negative only on bad arguments. */
+int gscope_drain_counters(gscope_ctx* ctx, gscope_drain_stats* out);
+
 /* -- display parameters ----------------------------------------------------- */
 
 int gscope_set_zoom(gscope_ctx* ctx, double zoom);

@@ -39,7 +39,22 @@ inline constexpr SampleKey kUnnamedRouteKey = ~SampleKey{0};
 // (or kUnnamedRouteKey).  min/max bounds let consumers decide whole-span
 // late-drop and displayability in O(1).
 struct IngestBlock {
+  // Per-route last-wins summary: one entry per distinct route key appended
+  // to this block, holding the newest sample — (time, arrival)-max, i.e. the
+  // sample a stable sort by time would leave last — and how many samples the
+  // route contributed.  Built incrementally in O(1) per Append and shared by
+  // every scope, it is what lets a display-only drain run in O(live routes)
+  // instead of O(batch) per scope (core/sample_hold.h: between polls only
+  // the last value per signal is displayable).
+  struct RouteLast {
+    SampleKey route = 0;  // route index, or kUnnamedRouteKey
+    int64_t time_ms = 0;
+    double value = 0.0;
+    uint32_t count = 0;  // samples this route contributed to the block
+  };
+
   std::vector<Sample> samples;
+  std::vector<RouteLast> live;  // distinct routes, first-appearance order
   int64_t min_time_ms = std::numeric_limits<int64_t>::max();
   int64_t max_time_ms = std::numeric_limits<int64_t>::min();
   // Samples were appended in non-decreasing time order (the common
@@ -62,6 +77,16 @@ struct IngestBlock {
 
   void Clear() {
     samples.clear();
+    // Reset only the live slots (O(live), not O(routes ever seen)); the
+    // dense index keeps its warm capacity for the pooled-block reuse cycle.
+    for (const RouteLast& entry : live) {
+      if (entry.route == kUnnamedRouteKey) {
+        unnamed_slot = 0;
+      } else {
+        last_slot[static_cast<size_t>(entry.route)] = 0;
+      }
+    }
+    live.clear();
     min_time_ms = std::numeric_limits<int64_t>::max();
     max_time_ms = std::numeric_limits<int64_t>::min();
     time_ordered = true;
@@ -74,8 +99,38 @@ struct IngestBlock {
     samples.push_back(Sample{time_ms, value, route_key, 0});
     min_time_ms = std::min(min_time_ms, time_ms);
     max_time_ms = std::max(max_time_ms, time_ms);
+    uint32_t* slot;
+    if (route_key == kUnnamedRouteKey) {
+      slot = &unnamed_slot;
+    } else {
+      if (last_slot.size() <= static_cast<size_t>(route_key)) {
+        last_slot.resize(static_cast<size_t>(route_key) + 1, 0);
+      }
+      slot = &last_slot[static_cast<size_t>(route_key)];
+    }
+    if (*slot == 0) {
+      live.push_back(RouteLast{route_key, time_ms, value, 1});
+      *slot = static_cast<uint32_t>(live.size());
+    } else {
+      RouteLast& entry = live[*slot - 1];
+      entry.count += 1;
+      if (time_ms >= entry.time_ms) {  // >=: arrival order breaks time ties
+        entry.time_ms = time_ms;
+        entry.value = value;
+      }
+    }
   }
   bool empty() const { return samples.empty(); }
+
+  // Summary internals: route -> index+1 into `live` (0 = absent), dense by
+  // route index; the unnamed pseudo-route gets its own scalar.  A sibling
+  // of core/sample_buffer.h's LastWinsTable, kept separate on purpose: the
+  // block fold is keyed by unbounded SampleKeys with a sentinel
+  // (kUnnamedRouteKey would explode a dense index), and pooled-block reuse
+  // wants the explicit O(live) reset in Clear() rather than a generation
+  // stamp that would have to live across pool hand-offs.
+  std::vector<uint32_t> last_slot;
+  uint32_t unnamed_slot = 0;
 };
 
 // Immutable routing snapshot: per route index, one SignalId per scope slot.
@@ -89,6 +144,15 @@ struct RouteTable {
   // entries mean "excluded by design", so its late-drop accounting must scan
   // for them; unfiltered slots keep the O(1) whole-span count.
   std::vector<uint8_t> slot_filtered;  // [slot]; empty = none filtered
+  // Per route x slot: the slot's signal has an every-sample consumer
+  // (trigger/trace/aggregate/envelope/export sink, or an every-sample tap —
+  // Scope::SignalNeedsHistory), so its samples must be delivered one by one
+  // at drain time instead of coalescing to the block's last-wins entry.
+  // Computed at BUILD time (the scopes' consumer epochs are folded into
+  // RouteEpoch): attaching a trigger flips the bit at the next snapshot,
+  // never via a per-sample check.  Empty = no consumer anywhere, the common
+  // display-only case.
+  std::vector<uint8_t> needs_history;  // [route * num_slots + slot]; empty = none
 
   SignalId IdFor(SampleKey route, uint32_t slot) const {
     size_t index = static_cast<size_t>(route) * num_slots + slot;
@@ -96,6 +160,10 @@ struct RouteTable {
   }
   bool SlotFiltered(uint32_t slot) const {
     return slot < slot_filtered.size() && slot_filtered[slot] != 0;
+  }
+  bool SlotNeedsHistory(SampleKey route, uint32_t slot) const {
+    size_t index = static_cast<size_t>(route) * num_slots + slot;
+    return index < needs_history.size() && needs_history[index] != 0;
   }
 };
 

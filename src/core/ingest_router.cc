@@ -57,10 +57,11 @@ bool IngestRouter::RemoveScope(Scope* scope) {
   }
   size_t index = it->second;
   scope_index_.erase(it);
-  // RouteEpoch sums the scopes' signal epochs (and their filters' epochs);
-  // fold the removed terms into the local epoch so the total stays strictly
-  // increasing (a repeated value would let a stale table snapshot survive).
-  scopes_epoch_ += scope->signals_epoch() + 1;
+  // RouteEpoch sums the scopes' signal and consumer epochs (and their
+  // filters' epochs); fold the removed terms into the local epoch so the
+  // total stays strictly increasing (a repeated value would let a stale
+  // table snapshot survive).
+  scopes_epoch_ += scope->signals_epoch() + scope->consumers_epoch() + 1;
   if (filters_[index] != nullptr) {
     scopes_epoch_ += filters_[index]->epoch();
     filtered_scopes_ -= 1;
@@ -79,7 +80,7 @@ bool IngestRouter::RemoveScope(Scope* scope) {
 uint64_t IngestRouter::RouteEpoch() const {
   uint64_t epoch = scopes_epoch_;
   for (const Scope* scope : scopes_) {
-    epoch += scope->signals_epoch();
+    epoch += scope->signals_epoch() + scope->consumers_epoch();
   }
   for (const SignalFilter* filter : filters_) {
     if (filter != nullptr) {
@@ -129,6 +130,7 @@ void IngestRouter::SyncRoutes() {
 
 void IngestRouter::RebuildTable() {
   staged_ids_.assign(route_names_.size() * scopes_.size(), 0);
+  staged_history_.assign(route_names_.size() * scopes_.size(), 0);
   excluded_slots_ = 0;
   for (size_t r = 0; r < route_names_.size(); ++r) {
     bool unresolved = scopes_.empty();
@@ -144,6 +146,8 @@ void IngestRouter::RebuildTable() {
       // back) the next time a tuple actually uses the name.
       SignalId id = scopes_[s]->FindSignal(route_names_[r]);
       staged_ids_[r * scopes_.size() + s] = id;
+      staged_history_[r * scopes_.size() + s] =
+          (id != 0 && scopes_[s]->SignalNeedsHistory(id)) ? 1 : 0;
       unresolved = unresolved || id == 0;
     }
     route_unresolved_[r] = unresolved ? 1 : 0;
@@ -153,6 +157,7 @@ void IngestRouter::RebuildTable() {
 
 bool IngestRouter::ResolveNewRoute(std::string_view name, uint32_t* route) {
   resolve_scratch_.clear();
+  resolve_history_scratch_.clear();
   // "Accepted" = resolved on some scope, or deliberately excluded by some
   // scope's filter.  Either is a known decision worth memoizing in a route.
   bool any_accepted = false;
@@ -170,6 +175,8 @@ bool IngestRouter::ResolveNewRoute(std::string_view name, uint32_t* route) {
       unresolved = unresolved || id == 0;
     }
     resolve_scratch_.push_back(id);
+    resolve_history_scratch_.push_back(
+        (id != 0 && scopes_[s]->SignalNeedsHistory(id)) ? 1 : 0);
   }
   if (!any_accepted) {
     // Nothing resolved anywhere (auto-create off, unknown everywhere): do
@@ -183,6 +190,8 @@ bool IngestRouter::ResolveNewRoute(std::string_view name, uint32_t* route) {
   name_to_route_.emplace(std::string(name), *route);
   route_unresolved_.push_back(unresolved ? 1 : 0);
   staged_ids_.insert(staged_ids_.end(), resolve_scratch_.begin(), resolve_scratch_.end());
+  staged_history_.insert(staged_history_.end(), resolve_history_scratch_.begin(),
+                         resolve_history_scratch_.end());
   excluded_slots_ += excluded_here;
   table_dirty_ = true;
   // Auto-creation bumped the scopes' signal epochs; re-sync so this staging
@@ -201,6 +210,8 @@ void IngestRouter::ReResolveRoute(uint32_t route) {
     SignalId& id = staged_ids_[static_cast<size_t>(route) * scopes_.size() + s];
     if (id == 0) {
       id = scopes_[s]->FindOrAddBufferSignal(name);
+      staged_history_[static_cast<size_t>(route) * scopes_.size() + s] =
+          (id != 0 && scopes_[s]->SignalNeedsHistory(id)) ? 1 : 0;
     }
     unresolved = unresolved || id == 0;
   }
@@ -323,6 +334,13 @@ IngestRouter::FlushStats IngestRouter::Flush() {
     auto table = std::make_shared<RouteTable>();
     table->num_slots = static_cast<uint32_t>(scopes_.size());
     table->ids = staged_ids_;
+    // Publish the history bits only when some slot actually needs the
+    // per-sample path: an empty vector keeps the common display-only case
+    // on the pure O(live routes) fold with one emptiness test.
+    if (std::find(staged_history_.begin(), staged_history_.end(), uint8_t{1}) !=
+        staged_history_.end()) {
+      table->needs_history = staged_history_;
+    }
     if (filtered_scopes_ > 0) {
       table->slot_filtered.resize(scopes_.size());
       for (size_t s = 0; s < scopes_.size(); ++s) {

@@ -151,6 +151,11 @@ class IngestRouter {
   // costs O(N x scopes) appends plus one copy per flush instead of a full
   // table copy per name.
   std::vector<SignalId> staged_ids_;
+  // Parallel to staged_ids_: the slot's signal has an every-sample consumer
+  // (Scope::SignalNeedsHistory at build time).  Consumer epochs are part of
+  // RouteEpoch(), so attaching a trigger/trace/export flips the bit at the
+  // next snapshot without any per-sample check.
+  std::vector<uint8_t> staged_history_;
   // Filter-excluded entries in staged_ids_ (diagnostics; recomputed with the
   // table, incremented as new routes resolve).
   size_t excluded_slots_ = 0;
@@ -181,6 +186,7 @@ class IngestRouter {
   // verdict must not depend on fan-out worker scheduling latency.
   std::vector<int64_t> flush_now_ms_;
   std::vector<SignalId> resolve_scratch_;
+  std::vector<uint8_t> resolve_history_scratch_;
 };
 
 }  // namespace gscope

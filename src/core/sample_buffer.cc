@@ -18,6 +18,36 @@ size_t PickShardCount(size_t max_samples) {
 
 }  // namespace
 
+void LastWinsTable::Begin() {
+  entries_.clear();
+  ++gen_;
+  if (gen_ == 0) {
+    // Generation counter wrapped: stale slot_gen_ stamps could alias the new
+    // generation.  Reset once every 2^32 ticks — never in steady state.
+    std::fill(slot_gen_.begin(), slot_gen_.end(), 0u);
+    gen_ = 1;
+  }
+}
+
+void LastWinsTable::Fold(uint32_t index, int64_t time_ms, double value) {
+  if (slot_gen_.size() <= index) {
+    slot_gen_.resize(index + 1, 0u);
+    slot_pos_.resize(index + 1, 0u);
+  }
+  if (slot_gen_[index] != gen_) {
+    slot_gen_[index] = gen_;
+    slot_pos_[index] = static_cast<uint32_t>(entries_.size() + 1);
+    entries_.push_back(Entry{index, time_ms, value, 1});
+    return;
+  }
+  Entry& entry = entries_[slot_pos_[index] - 1];
+  entry.count += 1;
+  if (time_ms >= entry.time_ms) {  // >=: later arrival breaks time ties
+    entry.time_ms = time_ms;
+    entry.value = value;
+  }
+}
+
 SampleBuffer::SampleBuffer(size_t max_samples)
     : max_samples_(max_samples == 0 ? 1 : max_samples) {
   shards_ = std::vector<Shard>(PickShardCount(max_samples_));

@@ -58,6 +58,36 @@ struct Sample {
   uint64_t seq = 0;
 };
 
+// Dense drain-time last-wins fold (the sample-and-hold reduction,
+// core/sample_hold.h): between two polls only the newest sample per signal
+// is displayable, so a drain batch of N samples over K live signals only
+// needs K hold writes.  Generation-stamped so Begin() is O(1) — no per-tick
+// clearing — and steady-state Fold() is allocation-free once the dense index
+// has grown to the caller's key space (signal indexes, not hashes).
+class LastWinsTable {
+ public:
+  struct Entry {
+    uint32_t index = 0;   // caller's dense key (e.g. signal index)
+    int64_t time_ms = 0;  // newest (time, arrival)-max sample
+    double value = 0.0;
+    uint32_t count = 0;  // samples folded into this entry this generation
+  };
+
+  // Starts a new generation (one drain tick); previous entries are dropped.
+  void Begin();
+  // Folds one sample for `index`; newest (time, arrival) wins, ties go to
+  // the later call, matching a stable sort by time.
+  void Fold(uint32_t index, int64_t time_ms, double value);
+  // The winners of the current generation, in first-touch order.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<uint32_t> slot_gen_;  // index -> generation of last touch
+  std::vector<uint32_t> slot_pos_;  // index -> position+1 into entries_
+  std::vector<Entry> entries_;
+  uint32_t gen_ = 0;
+};
+
 class SampleBuffer {
  public:
   struct Stats {

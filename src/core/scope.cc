@@ -70,6 +70,12 @@ bool Scope::RemoveSignal(SignalId id) {
   if (state == nullptr) {
     return false;
   }
+  if (!state->sinks.empty()) {
+    // Sinks die with their signal; the consumer epoch moves so routers
+    // rebuild their needs_history bits.
+    total_sinks_ -= state->sinks.size();
+    ++consumers_epoch_;
+  }
   std::unique_lock<std::shared_mutex> lock(name_mu_);
   size_t index = static_cast<size_t>(state - signals_.data());
   name_index_.erase(state->spec.name);
@@ -188,6 +194,76 @@ std::optional<double> Scope::LatestRaw(SignalId id) const {
     return std::nullopt;
   }
   return s->latest_raw;
+}
+
+std::optional<int64_t> Scope::LatestBufferedTime(SignalId id) const {
+  const SignalState* s = Find(id);
+  if (s == nullptr || !s->buffered_primed) {
+    return std::nullopt;
+  }
+  return s->buffered_hold_time_ms;
+}
+
+void Scope::SetBufferedTap(BufferedTapFn tap, TapMode mode) {
+  buffered_tap_ = std::move(tap);
+  tap_mode_ = mode;
+  ++consumers_epoch_;
+}
+
+uint64_t Scope::AttachSampleSink(SignalId id, SampleSinkFn sink) {
+  SignalState* s = Find(id);
+  if (s == nullptr || sink == nullptr) {
+    return 0;
+  }
+  uint64_t handle = next_sink_handle_++;
+  s->sinks.push_back(SampleSink{handle, std::move(sink)});
+  total_sinks_ += 1;
+  ++consumers_epoch_;
+  return handle;
+}
+
+bool Scope::DetachSampleSink(uint64_t sink_handle) {
+  // Detach is rare (topology churn, not the drain path): a scan over the
+  // per-signal sink lists keeps dispatch O(sinks on the signal).
+  for (SignalState& state : signals_) {
+    for (size_t i = 0; i < state.sinks.size(); ++i) {
+      if (state.sinks[i].handle != sink_handle) {
+        continue;
+      }
+      state.sinks.erase(state.sinks.begin() + static_cast<ptrdiff_t>(i));
+      total_sinks_ -= 1;
+      ++consumers_epoch_;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t Scope::AttachExport(SignalId id, TupleWriter* writer) {
+  const SignalState* s = Find(id);
+  if (s == nullptr || writer == nullptr) {
+    return 0;
+  }
+  // The name is captured by value: SignalState storage moves on signal-set
+  // mutations, and the export must keep labeling tuples correctly.
+  std::string name = s->spec.name;
+  return AttachSampleSink(id, [writer, name = std::move(name)](int64_t time_ms, double value) {
+    writer->Write(time_ms, value, name);
+  });
+}
+
+bool Scope::SignalNeedsHistory(SignalId id) const {
+  const SignalState* s = Find(id);
+  if (s == nullptr) {
+    return false;
+  }
+  return !s->sinks.empty() || TapNeedsHistory();
+}
+
+void Scope::DispatchSinks(const SignalState& state, int64_t time_ms, double value) {
+  for (const SampleSink& sink : state.sinks) {
+    sink.fn(time_ms, value);
+  }
 }
 
 double Scope::NormalizeValue(SignalId id, double value) const {
@@ -474,9 +550,18 @@ void Scope::DrainIngestSpans(int64_t now_ms) {
   for (const IngestSpan& span : span_scratch_) {
     const IngestBlock& block = *span.block;
     const bool whole = block.max_time_ms + delay <= now_ms;
+    if (whole && options_.coalesce_display_only && span.begin == 0 &&
+        span.end == block.samples.size() && !block.live.empty()) {
+      // Whole-block span, fully displayable: fold display-only routes to
+      // one hold write each via the block's last-wins summary (handles
+      // reordered stamps too — the summary tracks the (time, arrival)-max
+      // sample), walking samples only for routes that need history.
+      DrainSpanCoalesced(span);
+      continue;
+    }
     if (block.time_ordered && whole) {
-      // Common case: whole span displayable, stamps in order - route
-      // straight out of the shared block.
+      // Whole span displayable, stamps in order, coalescing off or a
+      // partial-block span: route straight out of the shared block.
       for (uint32_t i = span.begin; i < span.end; ++i) {
         RouteSpanSample(span, block.samples[i]);
       }
@@ -514,6 +599,79 @@ void Scope::DrainIngestSpans(int64_t now_ms) {
   span_scratch_.clear();
 }
 
+void Scope::DrainSpanCoalesced(const IngestSpan& span) {
+  const IngestBlock& block = *span.block;
+  const RouteTable& table = *span.table;
+  // Pass 1, O(live routes): fold every display-only route into its hold.
+  // History routes (and unnamed samples, which have no per-route consumer
+  // bit) are left for the per-sample walk below.
+  size_t walk_routes = 0;
+  for (const IngestBlock::RouteLast& entry : block.live) {
+    if (entry.route == kUnnamedRouteKey) {
+      if (span.deliver_unnamed) {
+        ++walk_routes;
+      }
+      continue;
+    }
+    if (table.SlotNeedsHistory(entry.route, span.slot)) {
+      ++walk_routes;
+      continue;
+    }
+    SignalId id = table.IdFor(entry.route, span.slot);
+    if (id == 0) {
+      continue;  // shim-served out-of-band, or excluded by the slot's filter
+    }
+    SignalState* s = Find(id);
+    if (s == nullptr || s->spec.type() != SignalType::kBuffer) {
+      counters_.buffered_unmatched += entry.count;
+      continue;
+    }
+    s->buffered_hold = entry.value;
+    s->buffered_hold_time_ms = entry.time_ms;
+    s->buffered_primed = true;
+    counters_.buffered_routed += entry.count;
+    counters_.samples_coalesced += entry.count - 1;
+    if (buffered_tap_) {
+      // A kCoalesced tap observes the winner; an every-sample tap never
+      // reaches this fold (its slots carry needs_history in the table).
+      buffered_tap_(s->spec.name, entry.time_ms, entry.value);
+    }
+  }
+  if (walk_routes == 0) {
+    return;
+  }
+  // Pass 2, only when some live route needs history: deliver those samples
+  // one by one, in time order.  When EVERY live route takes the walk (e.g.
+  // an every-sample tap) the per-sample bit test is skipped entirely — the
+  // 100%-history drain must cost what it did before coalescing existed.
+  const bool walk_all = walk_routes == block.live.size();
+  auto needs_walk = [&](const Sample& sample) {
+    if (sample.key == kUnnamedRouteKey) {
+      return span.deliver_unnamed;
+    }
+    return table.SlotNeedsHistory(sample.key, span.slot);
+  };
+  if (block.time_ordered) {
+    for (uint32_t i = span.begin; i < span.end; ++i) {
+      if (walk_all || needs_walk(block.samples[i])) {
+        RouteSpanSample(span, block.samples[i]);
+      }
+    }
+    return;
+  }
+  span_sort_scratch_.clear();
+  for (uint32_t i = span.begin; i < span.end; ++i) {
+    if (walk_all || needs_walk(block.samples[i])) {
+      span_sort_scratch_.push_back(block.samples[i]);
+    }
+  }
+  std::stable_sort(span_sort_scratch_.begin(), span_sort_scratch_.end(),
+                   [](const Sample& a, const Sample& b) { return a.time_ms < b.time_ms; });
+  for (const Sample& sample : span_sort_scratch_) {
+    RouteSpanSample(span, sample);
+  }
+}
+
 void Scope::RouteSpanSample(const IngestSpan& span, const Sample& sample) {
   SignalState* s = nullptr;
   if (sample.key == kUnnamedRouteKey) {
@@ -535,8 +693,13 @@ void Scope::RouteSpanSample(const IngestSpan& span, const Sample& sample) {
     return;
   }
   s->buffered_hold = sample.value;
+  s->buffered_hold_time_ms = sample.time_ms;
   s->buffered_primed = true;
   counters_.buffered_routed += 1;
+  counters_.samples_retained += 1;
+  if (!s->sinks.empty()) {
+    DispatchSinks(*s, sample.time_ms, sample.value);
+  }
   if (buffered_tap_) {
     buffered_tap_(s->spec.name, sample.time_ms, sample.value);
   }
@@ -587,6 +750,7 @@ bool Scope::SamplePlayback(int64_t lost) {
       continue;
     }
     s->buffered_hold = t.value;
+    s->buffered_hold_time_ms = t.time_ms;
     s->buffered_primed = true;
     counters_.buffered_routed += 1;
   }
@@ -603,6 +767,10 @@ bool Scope::SamplePlayback(int64_t lost) {
 }
 
 void Scope::RouteBuffered(const std::vector<Sample>& samples) {
+  const bool coalesce = options_.coalesce_display_only;
+  if (coalesce) {
+    ring_lastwins_.Begin();
+  }
   for (const Sample& sample : samples) {
     SignalState* s = nullptr;
     if (sample.key == kUnnamedSampleKey) {
@@ -632,11 +800,43 @@ void Scope::RouteBuffered(const std::vector<Sample>& samples) {
       counters_.buffered_unmatched += 1;
       continue;
     }
+    if (coalesce && s->sinks.empty() && !TapNeedsHistory()) {
+      // Display-only: defer to the last-wins fold.  Samples arrive sorted
+      // by (time, push order), so the fold's winner is the sample the old
+      // per-sample walk would have left in the hold.
+      ring_lastwins_.Fold(static_cast<uint32_t>(s - signals_.data()), sample.time_ms,
+                          sample.value);
+      continue;
+    }
     s->buffered_hold = sample.value;
+    s->buffered_hold_time_ms = sample.time_ms;
     s->buffered_primed = true;
     counters_.buffered_routed += 1;
+    counters_.samples_retained += 1;
+    if (!s->sinks.empty()) {
+      DispatchSinks(*s, sample.time_ms, sample.value);
+    }
     if (buffered_tap_) {
       buffered_tap_(s->spec.name, sample.time_ms, sample.value);
+    }
+  }
+  if (!coalesce) {
+    return;
+  }
+  for (const LastWinsTable::Entry& entry : ring_lastwins_.entries()) {
+    SignalState& s = signals_[entry.index];
+    s.buffered_hold = entry.value;
+    s.buffered_hold_time_ms = entry.time_ms;
+    s.buffered_primed = true;
+    // The fold's losers still count as routed (they were accepted and
+    // attributed); samples_coalesced records how many skipped the
+    // per-sample walk.
+    counters_.buffered_routed += entry.count;
+    counters_.samples_coalesced += entry.count - 1;
+    if (buffered_tap_) {
+      // Only a kCoalesced tap can reach here: an every-sample tap keeps
+      // every signal on the per-sample path above.
+      buffered_tap_(s.spec.name, entry.time_ms, entry.value);
     }
   }
 }

@@ -39,12 +39,14 @@
 #include <string_view>
 #include <vector>
 
+#include "core/aggregate.h"
 #include "core/filter.h"
 #include "core/ingest_bus.h"
 #include "core/sample_buffer.h"
 #include "core/signal_spec.h"
 #include "core/string_index.h"
 #include "core/trace.h"
+#include "core/trigger.h"
 #include "core/tuple_io.h"
 #include "core/value.h"
 #include "runtime/event_loop.h"
@@ -63,6 +65,26 @@ struct ScopeOptions {
   bool auto_create_playback_signals = true;
   // Capacity of the scope-wide buffer for BUFFER signals.
   size_t buffer_capacity = 1 << 16;
+  // Last-wins drain coalescing (core/sample_hold.h): display-only BUFFER
+  // signals — no every-sample consumer attached — keep only the newest
+  // sample per drain tick, so a whole-span drain costs O(live signals)
+  // instead of O(batch).  Off = the pre-coalescing per-sample drain, kept as
+  // a kill switch and as the benchmark baseline (bench/bench_drain.cc).
+  bool coalesce_display_only = true;
+};
+
+// How a buffered tap (SetBufferedTap) interacts with drain coalescing.
+enum class TapMode : uint8_t {
+  // The tap is an every-sample consumer (e.g. the stream server's remote
+  // session echo): every signal of this scope needs the full history path.
+  kEverySample,
+  // The tap only wants what the display shows: for display-only signals it
+  // fires once per signal per drained span with that span's last-wins
+  // winner, and coalescing stays effective.  Signals that independently
+  // need history (a sample sink attached, or coalescing disabled) still
+  // deliver per sample to the tap — the tap never suppresses data a
+  // co-attached consumer forced onto the history path.
+  kCoalesced,
 };
 
 class Scope {
@@ -114,6 +136,9 @@ class Scope {
   std::optional<double> LatestValue(SignalId id) const;
   // Most recent raw (pre-filter) sample.
   std::optional<double> LatestRaw(SignalId id) const;
+  // Producer timestamp of the most recent buffered sample routed (or
+  // coalesced) to this signal; nullopt before any buffered data arrived.
+  std::optional<int64_t> LatestBufferedTime(SignalId id) const;
 
   // Maps a signal value to the 0..100 y ruler using the signal's min/max and
   // the scope zoom/bias: ruler = ((v - min) / (max - min) * 100) * zoom + bias.
@@ -182,14 +207,60 @@ class Scope {
   IngestSpanQueue::Stats ingest_span_stats() const { return ingest_spans_.stats(); }
   size_t pending_ingest_samples() const { return ingest_spans_.queued_samples(); }
 
-  // Observer of every buffered sample the moment it routes to a signal at
-  // drain time (loop thread), before sample-and-hold decimates it to one
-  // value per tick.  This is the egress hook of the control channel: a
+  // Observer of buffered samples as they route to signals at drain time
+  // (loop thread).  This is the egress hook of the control channel: a
   // remote scope session re-serializes each routed sample back to its
-  // client.  Null (default) disables the hook; the steady-state drain pays
-  // one null test per sample.
+  // client.  In kEverySample mode (the default) the tap is an every-sample
+  // consumer: it sees each sample before sample-and-hold decimates, and it
+  // disables drain coalescing for the whole scope.  In kCoalesced mode it
+  // fires once per display-only signal per drained span with the last-wins
+  // winner (see TapMode::kCoalesced for the sink-attached caveat).  Null
+  // (default) disables the hook.  Changing the tap bumps consumers_epoch().
   using BufferedTapFn = std::function<void(std::string_view name, int64_t time_ms, double value)>;
-  void SetBufferedTap(BufferedTapFn tap) { buffered_tap_ = std::move(tap); }
+  void SetBufferedTap(BufferedTapFn tap, TapMode mode = TapMode::kEverySample);
+
+  // -- Every-sample consumers (history sinks) -------------------------------
+
+  // A sample sink attached to a signal observes EVERY buffered sample routed
+  // to it, in time order, at drain time (loop thread) — the full-history
+  // path that triggers, high-rate traces, aggregates, envelopes and
+  // exporters need.  Signals without a sink are "display-only": between
+  // polls only their last value is displayable (core/sample_hold.h), so the
+  // drain coalesces their samples to one hold write per tick.  Attach and
+  // detach bump consumers_epoch(); routers fold that epoch into their route
+  // snapshots, so a mode flip takes effect at the next route-table build,
+  // never via a per-sample check.
+  using SampleSinkFn = std::function<void(int64_t time_ms, double value)>;
+  // Returns a detach handle, 0 for unknown signals.
+  uint64_t AttachSampleSink(SignalId id, SampleSinkFn sink);
+  bool DetachSampleSink(uint64_t sink_handle);
+  // Convenience adapters for the classic consumer kinds (the pointee is not
+  // owned and must outlive the attachment).
+  uint64_t AttachTrigger(SignalId id, Trigger* trigger) {
+    return trigger == nullptr ? 0 : AttachSampleSink(id, [trigger](int64_t, double v) {
+      trigger->Feed(v);
+    });
+  }
+  uint64_t AttachAggregate(SignalId id, EventAggregator* aggregate) {
+    return aggregate == nullptr ? 0 : AttachSampleSink(id, [aggregate](int64_t, double v) {
+      aggregate->Push(v);
+    });
+  }
+  // Full-rate history trace: one column per sample, not per poll tick.
+  uint64_t AttachHistoryTrace(SignalId id, Trace* trace) {
+    return trace == nullptr ? 0 : AttachSampleSink(id, [trace](int64_t, double v) {
+      trace->Push(v);
+    });
+  }
+  // Every-sample export in tuple format (render/export.h handles per-tick).
+  uint64_t AttachExport(SignalId id, TupleWriter* writer);
+  // True when `id` has a sink attached, or an every-sample tap covers the
+  // scope: its samples must take the history path at drain time.
+  bool SignalNeedsHistory(SignalId id) const;
+  // Bumped by every sink attach/detach and tap change; routers fold this
+  // into RouteEpoch() like signals_epoch().
+  uint64_t consumers_epoch() const { return consumers_epoch_; }
+  size_t sample_sink_count() const { return total_sinks_; }
 
   // Copies `reference`'s time origin so NowMs() values of the two scopes are
   // directly comparable.  A remote scope session created mid-stream must
@@ -211,6 +282,13 @@ class Scope {
     int64_t samples = 0;        // sampling points taken
     int64_t buffered_routed = 0;
     int64_t buffered_unmatched = 0;
+    // Last-wins coalescing: buffered samples folded away at drain time
+    // because only the newest value per display-only signal per tick is
+    // displayable (each fold's winner still counts in buffered_routed).
+    int64_t samples_coalesced = 0;
+    // Span samples delivered one by one through the history path (an
+    // every-sample consumer, an every-sample tap, or unnamed routing).
+    int64_t samples_retained = 0;
     bool playback_done = false;
   };
   const Counters& counters() const { return counters_; }
@@ -224,6 +302,11 @@ class Scope {
   void TickOnce(int64_t lost = 0);
 
  private:
+  struct SampleSink {
+    uint64_t handle = 0;
+    SampleSinkFn fn;
+  };
+
   struct SignalState {
     SignalId id = 0;
     SignalSpec spec;
@@ -234,7 +317,12 @@ class Scope {
     bool has_value = false;
     // Sample-and-hold state for BUFFER signals between drains.
     double buffered_hold = 0.0;
+    int64_t buffered_hold_time_ms = 0;  // producer stamp of the held sample
     bool buffered_primed = false;
+    // Every-sample sinks attached to this signal.  Stored per signal so the
+    // history path dispatches in O(sinks on this signal), not O(all sinks
+    // on the scope); non-empty = the signal needs the full history path.
+    std::vector<SampleSink> sinks;
   };
 
   bool OnPollTick(const TimeoutTick& tick);
@@ -242,7 +330,16 @@ class Scope {
   bool SamplePlayback(int64_t lost);
   void RouteBuffered(const std::vector<Sample>& samples);
   void DrainIngestSpans(int64_t now_ms);
+  // Span-level last-wins fold: one hold write per live display-only route
+  // (O(live routes)), plus a per-sample history walk only when some live
+  // route needs it.  Requires a whole-block, fully displayable span.
+  void DrainSpanCoalesced(const IngestSpan& span);
   void RouteSpanSample(const IngestSpan& span, const Sample& sample);
+  void DispatchSinks(const SignalState& state, int64_t time_ms, double value);
+  // True when an every-sample tap makes every signal a history signal.
+  bool TapNeedsHistory() const {
+    return buffered_tap_ != nullptr && tap_mode_ == TapMode::kEverySample;
+  }
   // False for samples the name shim delivered out-of-band (slot id 0);
   // otherwise sets *key to this scope's SampleKey for the sample.
   static bool TranslateSpanKey(const IngestSpan& span, const Sample& sample, SampleKey* key);
@@ -273,12 +370,22 @@ class Scope {
   int next_color_ = 0;
 
   BufferedTapFn buffered_tap_;
+  TapMode tap_mode_ = TapMode::kEverySample;
+
+  // Every-sample consumers (stored per signal in SignalState::sinks);
+  // epoch bumps on attach/detach/tap changes.
+  size_t total_sinks_ = 0;
+  uint64_t next_sink_handle_ = 1;
+  uint64_t consumers_epoch_ = 0;
 
   // Reused per-tick drain scratch (no steady-state allocation).
   std::vector<Sample> drain_scratch_;
   std::vector<IngestSpan> span_scratch_;
   // Re-sorting scratch for spans whose producer stamps ran backwards.
   std::vector<Sample> span_sort_scratch_;
+  // Ring-path last-wins fold for display-only signals (dense by signal
+  // index; generation-stamped, reused every tick).
+  LastWinsTable ring_lastwins_;
 
   AcquisitionMode mode_ = AcquisitionMode::kPolling;
   int64_t period_ms_ = 50;  // the paper's example default

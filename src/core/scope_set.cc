@@ -31,6 +31,21 @@ Scope* ScopeSet::FindScope(std::string_view name) {
   return it == name_index_.end() ? nullptr : it->second;
 }
 
+Scope::Counters ScopeSet::TotalCounters() const {
+  Scope::Counters total;
+  for (const auto& s : scopes_) {
+    const Scope::Counters& c = s->counters();
+    total.ticks += c.ticks;
+    total.lost_ticks += c.lost_ticks;
+    total.samples += c.samples;
+    total.buffered_routed += c.buffered_routed;
+    total.buffered_unmatched += c.buffered_unmatched;
+    total.samples_coalesced += c.samples_coalesced;
+    total.samples_retained += c.samples_retained;
+  }
+  return total;
+}
+
 std::vector<Scope*> ScopeSet::scopes() {
   std::vector<Scope*> out;
   out.reserve(scopes_.size());

@@ -40,6 +40,11 @@ class ScopeSet {
   std::vector<Scope*> scopes();
   size_t size() const { return scopes_.size(); }
 
+  // Sum of every member scope's counters (loop thread): the application-wide
+  // view of drain work — e.g. samples_coalesced vs samples_retained across
+  // all display targets (docs/perf.md, drain coalescing).
+  Scope::Counters TotalCounters() const;
+
   MainLoop* loop() const { return loop_; }
   ParamRegistry& params() { return params_; }
   const ParamRegistry& params() const { return params_; }

@@ -1,5 +1,6 @@
 #include "net/control_client.h"
 
+#include <algorithm>
 #include <charconv>
 
 namespace gscope {
@@ -17,6 +18,10 @@ ControlClient::~ControlClient() { Close(); }
 
 bool ControlClient::Connect(uint16_t port) {
   Close();
+  // Track what is declared during THIS handshake: those verbs ride the
+  // queued frames (flushed at establishment) and must not be replayed.
+  handshake_subs_.clear();
+  handshake_delay_ = false;
   socket_ = Socket::Connect(port);
   if (!socket_.valid()) {
     state_ = ConnectState::kFailed;
@@ -87,6 +92,30 @@ bool ControlClient::OnConnectReady() {
   writer_.Attach(socket_.fd());  // flushes commands queued pre-connect
   read_watch_ = loop_->AddIoWatch(socket_.fd(), IoCondition::kIn,
                                   [this](int, IoCondition cond) { return OnReadable(cond); });
+  if (options_.auto_resubscribe) {
+    // Session resumption: replay the CURRENT remembered state (so an
+    // Unsubscribe/SetDelay issued mid-handshake is never overridden by a
+    // stale snapshot), skipping verbs already queued during this handshake
+    // — Attach() just flushed those, and a duplicate SUB would draw an ERR.
+    // SendCommand (not Subscribe) so nothing re-records.
+    for (const std::string& pattern : sub_patterns_) {
+      if (std::find(handshake_subs_.begin(), handshake_subs_.end(), pattern) !=
+          handshake_subs_.end()) {
+        continue;
+      }
+      if (SendCommand("SUB", pattern)) {
+        stats_.resumed_commands += 1;
+      }
+    }
+    if (has_delay_ && !handshake_delay_) {
+      char buf[24];
+      auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), delay_ms_);
+      (void)ec;
+      if (SendCommand("DELAY", std::string_view(buf, static_cast<size_t>(p - buf)))) {
+        stats_.resumed_commands += 1;
+      }
+    }
+  }
   if (on_connect_) {
     on_connect_(true, 0);
   }
@@ -188,18 +217,52 @@ bool ControlClient::SendCommand(std::string_view verb, std::string_view arg) {
   return true;
 }
 
-bool ControlClient::Subscribe(std::string_view glob) { return SendCommand("SUB", glob); }
+bool ControlClient::Subscribe(std::string_view glob) {
+  // Remember the pattern even when the send fails (e.g. disconnected):
+  // declared intent is what a reconnect replays.
+  if (std::find(sub_patterns_.begin(), sub_patterns_.end(), glob) == sub_patterns_.end()) {
+    sub_patterns_.emplace_back(glob);
+  }
+  bool sent = SendCommand("SUB", glob);
+  if (sent && state_ == ConnectState::kConnecting) {
+    handshake_subs_.emplace_back(glob);  // already queued; replay must skip it
+  }
+  return sent;
+}
 
-bool ControlClient::Unsubscribe(std::string_view glob) { return SendCommand("UNSUB", glob); }
+bool ControlClient::Unsubscribe(std::string_view glob) {
+  auto it = std::find(sub_patterns_.begin(), sub_patterns_.end(), glob);
+  if (it != sub_patterns_.end()) {
+    sub_patterns_.erase(it);
+  }
+  return SendCommand("UNSUB", glob);
+}
 
 bool ControlClient::SetDelay(int64_t delay_ms) {
+  if (delay_ms >= 0) {
+    has_delay_ = true;
+    delay_ms_ = delay_ms;
+  }
   char buf[24];
   auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), delay_ms);
   (void)ec;
-  return SendCommand("DELAY", std::string_view(buf, static_cast<size_t>(p - buf)));
+  bool sent = SendCommand("DELAY", std::string_view(buf, static_cast<size_t>(p - buf)));
+  if (sent && delay_ms >= 0 && state_ == ConnectState::kConnecting) {
+    handshake_delay_ = true;  // the queued DELAY frame already carries it
+  }
+  return sent;
 }
 
 bool ControlClient::RequestList() { return SendCommand("LIST", {}); }
+
+bool ControlClient::RequestStats() { return SendCommand("STATS", {}); }
+
+void ControlClient::ForgetSession() {
+  sub_patterns_.clear();
+  handshake_subs_.clear();
+  has_delay_ = false;
+  handshake_delay_ = false;
+}
 
 bool ControlClient::Send(int64_t time_ms, double value, std::string_view name) {
   if (state_ != ConnectState::kConnected && state_ != ConnectState::kConnecting) {

@@ -19,7 +19,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/tuple.h"
 #include "net/line_framer.h"
@@ -45,6 +47,14 @@ struct ControlClientOptions {
   // backpressure out of kernel buffering into the bounded backlog above,
   // where the overflow policy (and its counters) can see it.
   int sndbuf_bytes = 0;
+  // Session resumption: the client remembers its subscription pattern set
+  // and delay, and replays them (SUB per pattern, then DELAY) on every
+  // connect establishment — a server restart or flaky link costs only the
+  // in-flight tuples, not the subscription state.  The replay reflects the
+  // remembered state at establishment time (an Unsubscribe issued while the
+  // handshake is in flight is honored, not overridden); verbs queued during
+  // the handshake ride their own frames and are not replayed twice.
+  bool auto_resubscribe = true;
 };
 
 class ControlClient {
@@ -68,6 +78,9 @@ class ControlClient {
     int64_t parse_errors = 0;
     int64_t bytes_received = 0;
     int64_t connect_failures = 0;
+    // SUB/DELAY commands replayed by session resumption (auto_resubscribe);
+    // also counted in commands_sent.
+    int64_t resumed_commands = 0;
   };
 
   using TupleFn = std::function<void(const TupleView& tuple)>;
@@ -92,11 +105,23 @@ class ControlClient {
 
   // Control verbs; each returns false if the frame could not be queued
   // (disconnected or backlog full).  Replies arrive asynchronously through
-  // the reply callback.
+  // the reply callback.  Subscribe/Unsubscribe/SetDelay also update the
+  // remembered session state (even while disconnected — declared intent is
+  // replayed at the next establishment when auto_resubscribe is on).
   bool Subscribe(std::string_view glob);
   bool Unsubscribe(std::string_view glob);
   bool SetDelay(int64_t delay_ms);
   bool RequestList();
+  // Asks for the server's counter line (`OK STATS key value ...`); the
+  // reply arrives through the reply callback like any OK line.
+  bool RequestStats();
+
+  // The remembered subscription state that a reconnect would replay.
+  const std::vector<std::string>& remembered_patterns() const { return sub_patterns_; }
+  bool has_remembered_delay() const { return has_delay_; }
+  int64_t remembered_delay_ms() const { return delay_ms_; }
+  // Drops the remembered state (nothing replayed until re-declared).
+  void ForgetSession();
 
   // Pushes one tuple upstream on the same connection.
   bool Send(int64_t time_ms, double value, std::string_view name);
@@ -162,6 +187,16 @@ class ControlClient {
   // Writer-side abandonments that were pre-connect discards (already in
   // frames_dropped); subtracted in stats().
   int64_t preconnect_discards_ = 0;
+  // Remembered session state (survives Close/Disconnect by design).
+  // Establishment replays the CURRENT remembered state so verbs issued
+  // while the handshake is in flight are never overridden by a stale
+  // snapshot; the handshake_* trackers mark what already rides the queued
+  // frames (flushed first by Attach) so the replay does not duplicate it.
+  std::vector<std::string> sub_patterns_;
+  bool has_delay_ = false;
+  int64_t delay_ms_ = 0;
+  std::vector<std::string> handshake_subs_;
+  bool handshake_delay_ = false;
   TupleFn on_tuple_;
   ReplyFn on_reply_;
   ConnectFn on_connect_;

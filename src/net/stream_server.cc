@@ -187,7 +187,8 @@ void StreamServer::HandleControlLine(int client_key, Client& client, std::string
   std::string_view rest = line;
   std::string_view verb = NextToken(rest);
 
-  if (verb != "SUB" && verb != "UNSUB" && verb != "DELAY" && verb != "LIST") {
+  if (verb != "SUB" && verb != "UNSUB" && verb != "DELAY" && verb != "LIST" &&
+      verb != "STATS") {
     // Unknown verb: counted like any other malformed line so a garbage
     // producer cannot hide behind the control grammar; an existing session
     // additionally gets an ERR reply.
@@ -209,7 +210,7 @@ void StreamServer::HandleControlLine(int client_key, Client& client, std::string
   // writer; a malformed first command is only counted.)
   std::string reject;
   int64_t delay_ms = -1;
-  if (!excess.empty() || (verb == "LIST" && !arg.empty())) {
+  if (!excess.empty() || ((verb == "LIST" || verb == "STATS") && !arg.empty())) {
     reject.append("ERR ").append(verb).append(" trailing-junk");
   } else if ((verb == "SUB" || verb == "UNSUB") && arg.empty()) {
     reject.append("ERR ").append(verb).append(" missing-pattern");
@@ -244,6 +245,25 @@ void StreamServer::HandleControlLine(int client_key, Client& client, std::string
   } else if (verb == "DELAY") {
     session.scope->SetDelayMs(delay_ms);
     reply.append("OK DELAY ").append(arg);
+  } else if (verb == "STATS") {
+    // One reply line of space-separated key/value pairs (docs/protocol.md):
+    // ingest health plus the drain-coalescing counters summed over every
+    // display target the router feeds (local scopes and remote sessions).
+    int64_t coalesced = 0;
+    int64_t retained = 0;
+    for (const Scope* s : router_.scopes()) {
+      coalesced += s->counters().samples_coalesced;
+      retained += s->counters().samples_retained;
+    }
+    reply.append("OK STATS tuples ").append(std::to_string(stats_.tuples));
+    reply.append(" parse_errors ").append(std::to_string(stats_.parse_errors));
+    reply.append(" dropped_late ").append(std::to_string(stats_.dropped_late));
+    reply.append(" echo_dropped ").append(std::to_string(stats_.echo_dropped));
+    reply.append(" echo_evicted ").append(std::to_string(stats_.echo_evicted));
+    reply.append(" excluded_route_slots ")
+        .append(std::to_string(router_.excluded_route_slots()));
+    reply.append(" samples_coalesced ").append(std::to_string(coalesced));
+    reply.append(" samples_retained ").append(std::to_string(retained));
   } else {  // LIST
     // The count goes FIRST: if the egress backlog drops some of the INFO
     // frames (whole-frame policy), the client can still tell the listing
@@ -289,6 +309,11 @@ StreamServer::ControlSession& StreamServer::EnsureSession(int client_key, Client
   // Egress: every sample routed to the session scope is re-serialized down
   // the connection; overload discards whole tuples only, victim per the
   // configured policy (drop-oldest evictions surface as echo_evicted).
+  // Session scopes are pure display-only consumers EXCEPT for this tap: the
+  // echo contract is per-sample, so the tap registers as kEverySample and
+  // the route table keeps the session's slots on the history path (a future
+  // decimated-echo mode would switch to TapMode::kCoalesced and get the
+  // full last-wins fold for free).
   scope->SetBufferedTap([this, writer](std::string_view name, int64_t time_ms, double value) {
     int64_t evicted_before = writer->stats().frames_evicted;
     AppendTuple(writer->BeginFrame(), time_ms, value, name);
@@ -298,7 +323,7 @@ StreamServer::ControlSession& StreamServer::EnsureSession(int client_key, Client
       stats_.echo_dropped += 1;
     }
     stats_.echo_evicted += writer->stats().frames_evicted - evicted_before;
-  });
+  }, TapMode::kEverySample);
   // A dead egress fd means the connection is gone; drop the client from a
   // fresh stack frame (the writer that saw the error is inside the session
   // being destroyed).  The weak token keeps the deferred closure from

@@ -80,6 +80,29 @@ TEST_F(CApiTest, BufferSignalPush) {
   EXPECT_DOUBLE_EQ(out, 42.0);
 }
 
+TEST_F(CApiTest, DrainCountersExposeCoalescing) {
+  int sig = gscope_signal_buffer(ctx_, "burst", 0, 100);
+  ASSERT_GT(sig, 0);
+  ASSERT_EQ(gscope_set_polling_mode(ctx_, 10), 0);
+  ASSERT_EQ(gscope_start_polling(ctx_), 0);
+  int64_t now = gscope_now_ms(ctx_);
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_EQ(gscope_push_id(ctx_, sig, now + 1, static_cast<double>(i)), 1);
+  }
+  gscope_run_for_ms(ctx_, 50);
+  double out = 0;
+  ASSERT_EQ(gscope_value(ctx_, sig, &out), 0);
+  EXPECT_DOUBLE_EQ(out, 24.0);  // sample-and-hold: last value per tick
+  gscope_drain_stats stats;
+  ASSERT_EQ(gscope_drain_counters(ctx_, &stats), 0);
+  EXPECT_EQ(stats.buffered_routed, 25);
+  EXPECT_EQ(stats.samples_coalesced, 24);
+  EXPECT_EQ(stats.samples_retained, 0);
+  EXPECT_GT(stats.ticks, 0);
+  EXPECT_LT(gscope_drain_counters(ctx_, nullptr), 0);
+  EXPECT_LT(gscope_drain_counters(nullptr, &stats), 0);
+}
+
 TEST_F(CApiTest, LateBufferPushDropped) {
   ASSERT_GT(gscope_signal_buffer(ctx_, "s", 0, 100), 0);
   ASSERT_EQ(gscope_set_delay_ms(ctx_, 10), 0);

@@ -470,9 +470,9 @@ TEST_F(ControlChannelTest, EgressDropOldestEvictsStaleEchoKeepsNewest) {
 }
 
 TEST_F(ControlChannelTest, ReconnectAfterServerRestartResumesSubscription) {
-  // Groundwork for session resumption: a server restart must surface as a
-  // disconnect on the control client, and a fresh connect + re-SUB on the
-  // same port must resume tuple flow.
+  // Session resumption: a server restart surfaces as a disconnect on the
+  // control client, and a plain re-Connect replays the remembered pattern
+  // set and delay — no manual re-SUB required.
   StreamServer server(&loop_, &scope_);
   ASSERT_TRUE(server.Listen(0));
   uint16_t port = server.port();
@@ -484,7 +484,9 @@ TEST_F(ControlChannelTest, ReconnectAfterServerRestartResumesSubscription) {
   ASSERT_TRUE(viewer.Connect(port));
   ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
   viewer.Subscribe("rc_*");
-  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 1; }));
+  viewer.SetDelay(100);
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 2; }));
+  EXPECT_EQ(viewer.stats().resumed_commands, 0);  // nothing remembered yet
 
   StreamClient producer(&loop_);
   ASSERT_TRUE(producer.Connect(port));
@@ -502,11 +504,17 @@ TEST_F(ControlChannelTest, ReconnectAfterServerRestartResumesSubscription) {
   ASSERT_TRUE(server.Listen(port));
   EXPECT_EQ(server.control_session_count(), 0u);  // the old session died
 
-  // Reconnect and re-subscribe; flow must resume on the same port.
+  // The client still remembers its session state across the disconnect.
+  ASSERT_EQ(viewer.remembered_patterns().size(), 1u);
+  EXPECT_EQ(viewer.remembered_patterns()[0], "rc_*");
+  EXPECT_TRUE(viewer.has_remembered_delay());
+  EXPECT_EQ(viewer.remembered_delay_ms(), 100);
+
+  // Reconnect only: SUB rc_* and DELAY 100 are replayed automatically.
   ASSERT_TRUE(viewer.Connect(port));
   ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
-  viewer.Subscribe("rc_*");
-  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 2; }));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 4; }));
+  EXPECT_EQ(viewer.stats().resumed_commands, 2);  // SUB + DELAY
 
   ASSERT_TRUE(producer.Connect(port));
   ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
@@ -518,6 +526,184 @@ TEST_F(ControlChannelTest, ReconnectAfterServerRestartResumesSubscription) {
   // Counters accumulate across the restart: one session per SUB round.
   EXPECT_EQ(server.stats().sessions_opened, 2);
   EXPECT_EQ(server.control_session_count(), 1u);
+  EXPECT_EQ(viewer.stats().replies_err, 0);  // replay never duplicates
+}
+
+TEST_F(ControlChannelTest, UnsubscribeAndForgetTrimResumedState) {
+  // The remembered set tracks intent: UNSUB removes a pattern from what a
+  // reconnect would replay, ForgetSession drops everything, and
+  // auto_resubscribe = false opts out entirely.
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  uint16_t port = server.port();
+  scope_.StartPolling();
+
+  ControlClient viewer(&loop_);
+  ASSERT_TRUE(viewer.Connect(port));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  viewer.Subscribe("a_*");
+  viewer.Subscribe("b_*");
+  viewer.Unsubscribe("a_*");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 3; }));
+  ASSERT_EQ(viewer.remembered_patterns().size(), 1u);
+  EXPECT_EQ(viewer.remembered_patterns()[0], "b_*");
+
+  server.Close();
+  ASSERT_TRUE(RunUntil([&]() { return viewer.state() == ConnectState::kDisconnected; }));
+  ASSERT_TRUE(server.Listen(port));
+  ASSERT_TRUE(viewer.Connect(port));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().resumed_commands >= 1; }));
+  EXPECT_EQ(viewer.stats().resumed_commands, 1);  // only b_*
+
+  viewer.ForgetSession();
+  EXPECT_TRUE(viewer.remembered_patterns().empty());
+  EXPECT_FALSE(viewer.has_remembered_delay());
+
+  // Opt-out client: a reconnect replays nothing.
+  ControlClient manual(&loop_, {.auto_resubscribe = false});
+  ASSERT_TRUE(manual.Connect(port));
+  ASSERT_TRUE(RunUntil([&]() { return manual.connected(); }));
+  manual.Subscribe("m_*");
+  ASSERT_TRUE(RunUntil([&]() { return manual.stats().replies_ok >= 1; }));
+  server.Close();
+  ASSERT_TRUE(RunUntil([&]() { return manual.state() == ConnectState::kDisconnected; }));
+  ASSERT_TRUE(server.Listen(port));
+  ASSERT_TRUE(manual.Connect(port));
+  ASSERT_TRUE(RunUntil([&]() { return manual.connected(); }));
+  loop_.RunForMs(20);
+  EXPECT_EQ(manual.stats().resumed_commands, 0);
+}
+
+TEST_F(ControlChannelTest, UnsubscribeDuringHandshakeIsNotOverriddenByReplay) {
+  // An UNSUB issued while the reconnect handshake is in flight must win:
+  // the resume replay reflects the remembered state at establishment time,
+  // never a stale snapshot re-adding the pattern behind the caller's back.
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  uint16_t port = server.port();
+  scope_.StartPolling();
+
+  ControlClient viewer(&loop_);
+  Sink sink;
+  sink.Wire(viewer);
+  ASSERT_TRUE(viewer.Connect(port));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  viewer.Subscribe("hs_*");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 1; }));
+
+  server.Close();
+  ASSERT_TRUE(RunUntil([&]() { return viewer.state() == ConnectState::kDisconnected; }));
+  ASSERT_TRUE(server.Listen(port));
+
+  // Reconnect, then unsubscribe BEFORE the handshake completes: the queued
+  // UNSUB rides its own frame; the replay must not re-add hs_*.
+  ASSERT_TRUE(viewer.Connect(port));
+  ASSERT_EQ(viewer.state(), ConnectState::kConnecting);
+  viewer.Unsubscribe("hs_*");
+  EXPECT_TRUE(viewer.remembered_patterns().empty());
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  loop_.RunForMs(20);
+  EXPECT_EQ(viewer.stats().resumed_commands, 0);
+
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(port));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  for (int i = 0; i < 20; ++i) {
+    producer.Send(scope_.NowMs(), 7.0, "hs_metric");
+    loop_.RunForMs(2);
+  }
+  EXPECT_FALSE(sink.SawValue(7.0));  // the server session is NOT subscribed
+
+  // A pattern subscribed during the handshake is sent once, not twice.
+  server.Close();
+  ASSERT_TRUE(RunUntil([&]() { return viewer.state() == ConnectState::kDisconnected; }));
+  ASSERT_TRUE(server.Listen(port));
+  ASSERT_TRUE(viewer.Connect(port));
+  ASSERT_EQ(viewer.state(), ConnectState::kConnecting);
+  viewer.Subscribe("hs2_*");  // queued behind the handshake
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 2; }));
+  loop_.RunForMs(20);
+  EXPECT_EQ(viewer.stats().resumed_commands, 0);  // rode its own frame
+  // Exactly one ERR in the whole scenario: the queued UNSUB landing on the
+  // fresh session (unknown-pattern, benign).  No duplicate-SUB ERR ever.
+  EXPECT_EQ(viewer.stats().replies_err, 1);
+}
+
+TEST_F(ControlChannelTest, StatsVerbReturnsCounterLine) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  ControlClient viewer(&loop_);
+  Sink sink;
+  sink.Wire(viewer);
+  ASSERT_TRUE(viewer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  viewer.Subscribe("st_*");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 1; }));
+
+  // Some ingest traffic: a parse error, matched tuples (every-sample echo
+  // keeps the session's slots on the history path), and display-scope
+  // coalescing on the unfiltered display target.
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  {
+    // One malformed tuple line (digit-leading so it cannot read as a verb).
+    Socket garbage = Socket::Connect(server.port());
+    ASSERT_TRUE(garbage.valid());
+    const std::string bad = "12 not-a-value\n";
+    garbage.Write(bad.data(), bad.size());
+    ASSERT_TRUE(RunUntil([&]() { return server.stats().parse_errors >= 1; }));
+  }
+  ASSERT_TRUE(RunUntil([&]() {
+    producer.Send(scope_.NowMs(), 5.0, "st_metric");
+    producer.Send(scope_.NowMs(), 6.0, "st_metric");
+    loop_.RunForMs(2);
+    return sink.SawValue(6.0);
+  }));
+
+  viewer.RequestStats();
+  std::string stats_line;
+  ASSERT_TRUE(RunUntil([&]() {
+    for (const std::string& reply : sink.replies) {
+      if (reply.rfind("OK STATS ", 0) == 0) {
+        stats_line = reply;
+        return true;
+      }
+    }
+    return false;
+  }));
+  // One line of space-separated key/value pairs (docs/protocol.md).
+  EXPECT_NE(stats_line.find(" parse_errors 1"), std::string::npos) << stats_line;
+  EXPECT_NE(stats_line.find(" echo_evicted 0"), std::string::npos) << stats_line;
+  EXPECT_NE(stats_line.find(" excluded_route_slots "), std::string::npos) << stats_line;
+  EXPECT_NE(stats_line.find(" samples_coalesced "), std::string::npos) << stats_line;
+  EXPECT_NE(stats_line.find(" samples_retained "), std::string::npos) << stats_line;
+  // The session scope echoes per sample (retained); the display scope has
+  // no every-sample consumer, so its samples coalesce.
+  int64_t retained = 0;
+  size_t pos = stats_line.find(" samples_retained ");
+  ASSERT_NE(pos, std::string::npos);
+  retained = std::stoll(stats_line.substr(pos + sizeof(" samples_retained ") - 1));
+  EXPECT_GE(retained, 2);
+
+  // Grammar: STATS takes no argument.
+  Socket raw = Socket::Connect(server.port());
+  ASSERT_TRUE(raw.valid());
+  const std::string wire = "SUB raw_*\nSTATS junk\n";
+  raw.Write(wire.data(), wire.size());
+  std::string received;
+  ASSERT_TRUE(RunUntil([&]() {
+    char buf[1024];
+    IoResult r = raw.Read(buf, sizeof(buf));
+    if (r.status == IoResult::Status::kOk) {
+      received.append(buf, r.bytes);
+    }
+    return received.find("ERR STATS trailing-junk\n") != std::string::npos;
+  }));
 }
 
 TEST_F(ControlChannelTest, ControlOnlyServerNeedsNoLocalScope) {

@@ -380,8 +380,51 @@ TEST_F(ScopeIngestTest, MultiScopeSteadyStateFanoutDoesNotAllocate) {
   int64_t after = g_heap_allocs.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0) << "steady-state multi-scope fan-out must not allocate";
   for (auto& scope : scopes) {
+    // All samples attributed; with no every-sample consumer attached the
+    // drain folded each 256-sample span to one hold write (255 coalesced).
     EXPECT_EQ(scope->counters().buffered_routed, 25 * 256);
+    EXPECT_EQ(scope->counters().samples_coalesced, 25 * 255);
+    EXPECT_EQ(scope->counters().samples_retained, 0);
   }
+}
+
+TEST_F(ScopeIngestTest, SteadyStateCoalescedHistoryMixDoesNotAllocate) {
+  // The coalesced drain with a history signal in the same span: the fold
+  // handles the display-only route, the per-sample walk feeds the sink, and
+  // neither allocates in steady state.
+  IngestRouter router;
+  Scope sink_scope(&loop_, ScopeOptions{.name = "mix", .width = 64});
+  sink_scope.SetPollingMode(10);
+  sink_scope.StartPolling();
+  ASSERT_TRUE(router.AddScope(&sink_scope));
+  SignalId hist = sink_scope.FindOrAddBufferSignal("hist");
+  int64_t seen = 0;
+  int64_t* seen_ptr = &seen;  // pointer capture: fits std::function's SBO
+  ASSERT_NE(sink_scope.AttachSampleSink(hist, [seen_ptr](int64_t, double) { ++*seen_ptr; }),
+            0u);
+  auto round = [&]() {
+    int64_t now = sink_scope.NowMs();
+    for (int i = 0; i < 128; ++i) {
+      router.Append("hist", now, static_cast<double>(i));
+      router.Append("disp", now, static_cast<double>(i));
+    }
+    router.Flush();
+    clock_.AdvanceMs(5);
+    sink_scope.TickOnce();
+  };
+  for (int warm = 0; warm < 5; ++warm) {
+    round();
+  }
+
+  int64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (int r = 0; r < 20; ++r) {
+    round();
+  }
+  int64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0) << "steady-state coalesced drain must not allocate";
+  EXPECT_EQ(seen, 25 * 128);
+  EXPECT_EQ(sink_scope.counters().samples_retained, 25 * 128);
+  EXPECT_EQ(sink_scope.counters().samples_coalesced, 25 * 127);
 }
 
 TEST_F(ScopeIngestTest, SteadyStateBatchPathDoesNotAllocate) {

@@ -22,7 +22,9 @@ TEST(SampleHoldTest, HoldsBetweenEvents) {
 }
 
 TEST(SampleHoldTest, CountsUpdatesAndReads) {
-  SampleAndHold sh;
+  // Read counting is opt-in: the default SampleAndHold pays one relaxed
+  // load per poll, CountedSampleAndHold adds the reads_ fetch_add.
+  CountedSampleAndHold sh;
   sh.Update(1.0);
   sh.Update(2.0);
   sh.Read();
@@ -32,11 +34,23 @@ TEST(SampleHoldTest, CountsUpdatesAndReads) {
   EXPECT_EQ(sh.reads(), 3);
 }
 
+TEST(SampleHoldTest, DefaultReadCountingCompiledOut) {
+  SampleAndHold sh;
+  sh.Update(1.0);
+  sh.Read();
+  sh.Read();
+  EXPECT_EQ(sh.updates(), 1);
+  EXPECT_EQ(sh.reads(), 0);  // not counted, not a missed read
+  // The uncounted variant carries no read-counter storage at all.
+  static_assert(sizeof(SampleAndHold) < sizeof(CountedSampleAndHold),
+                "opt-out must drop the counter's cache-line tax");
+}
+
 TEST(SampleHoldTest, DetectsMissedEvents) {
   // The paper's caveat: "This approach requires knowing the shortest period
   // of back-to-back event arrival."  If updates outpace reads, the counters
   // reveal the loss.
-  SampleAndHold sh;
+  CountedSampleAndHold sh;
   for (int i = 0; i < 10; ++i) {
     sh.Update(i);
   }

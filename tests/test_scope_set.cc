@@ -73,6 +73,35 @@ TEST(ScopeSetTest, SharedControlParams) {
   EXPECT_EQ(elephants, 16);
 }
 
+TEST(ScopeSetTest, TotalCountersSumAcrossScopes) {
+  // The application-wide drain view: coalesced vs retained summed over
+  // every member scope (docs/perf.md, drain coalescing).
+  SimClock clock;
+  MainLoop loop(&clock);
+  ScopeSet set(&loop);
+  Scope* a = set.CreateScope({.name = "a"});
+  Scope* b = set.CreateScope({.name = "b"});
+  SignalId ida = a->AddSignal({.name = "sa", .source = BufferSource{}});
+  SignalId idb = b->AddSignal({.name = "sb", .source = BufferSource{}});
+  a->SetPollingMode(10);
+  b->SetPollingMode(10);
+  a->StartPolling();
+  b->StartPolling();
+  int64_t now = a->NowMs();
+  for (int i = 0; i < 10; ++i) {
+    a->PushBuffered(ida, now + 1, static_cast<double>(i));
+    b->PushBuffered(idb, now + 1, static_cast<double>(i));
+  }
+  clock.AdvanceMs(5);
+  a->TickOnce();
+  b->TickOnce();
+  Scope::Counters total = set.TotalCounters();
+  EXPECT_EQ(total.ticks, a->counters().ticks + b->counters().ticks);
+  EXPECT_EQ(total.buffered_routed, 20);
+  EXPECT_EQ(total.samples_coalesced, 18);  // 9 folded away per scope
+  EXPECT_EQ(total.samples_retained, 0);
+}
+
 TEST(ScopeSetTest, ScopesListed) {
   SimClock clock;
   MainLoop loop(&clock);
