@@ -64,12 +64,19 @@ cmake -B "$asan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   > /dev/null
 cmake --build "$asan_dir" -j --target \
   test_socket test_stream test_datagram_server test_control_channel \
-  test_signal_filter example_remote_control
+  test_signal_filter test_framing_fuzz test_reliability example_remote_control
 "$asan_dir/test_socket"
 "$asan_dir/test_stream"
 "$asan_dir/test_datagram_server"
 "$asan_dir/test_control_channel"
 "$asan_dir/test_signal_filter"
+
+echo "--- ASan+UBSan fault matrix: framing fuzz + self-healing transport ---"
+# The fault injector mangles every syscall boundary (1-byte reads, partial
+# writes, EINTR storms, mid-frame kills) while the sanitizers watch the
+# reassembly buffers: exactly where a torn-frame overread would hide.
+"$asan_dir/test_framing_fuzz"
+"$asan_dir/test_reliability"
 
 echo "--- control-channel smoke (ASan+UBSan): subscribe, push, assert echo ---"
 # example_remote_control exits non-zero unless both subscribers received
@@ -85,7 +92,7 @@ cmake -B "$tsan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 # harness reads scope state cross-thread by design (the paper's sampled-
 # variable model) and is expected to trip the sanitizer.
 cmake --build "$tsan_dir" -j --target test_ingest_router test_ingest_fast_path \
-  test_drain_coalescing test_stress_multiproducer
+  test_drain_coalescing test_stress_multiproducer test_reliability
 "$tsan_dir/test_ingest_router"
 "$tsan_dir/test_ingest_fast_path"
 
@@ -100,8 +107,24 @@ echo "--- TSan: multi-producer backpressure stress (thread-mode policies) ---"
 "$tsan_dir/test_stress_multiproducer" \
   --gtest_filter='StressMultiProducer.Drop*:StressMultiProducer.Block*'
 
+echo "--- TSan: fault matrix over producer/viewer threads ---"
+# Only the matrix test runs under TSan: it is the one that mixes the
+# process-global fault shim with producer threads, viewer loop threads and
+# server restarts.  The timing-shaped reliability tests (backoff ladders,
+# liveness deadlines) are excluded - the sanitizer's slowdown turns their
+# real-time schedules into noise, and ASan above already runs them all.
+"$tsan_dir/test_reliability" \
+  --gtest_filter='ReliabilityMatrixTest.FaultMatrixHoldsDeliveryInvariants'
+
 echo "--- soak: mixed schedules, all policies (Release, < 10 s) ---"
 GSCOPE_STRESS_SOAK=3 "$build_dir/test_stress_multiproducer" \
   --gtest_filter='StressMultiProducer.Soak*'
+
+echo "--- soak: reconnect under faults (Release, < 10 s) ---"
+# Short-read faults + repeated server restarts; every producer must
+# reconnect and every viewer must resume its session, with the delivery
+# invariants intact.
+GSCOPE_STRESS_SOAK=1 "$build_dir/test_reliability" \
+  --gtest_filter='ReliabilityMatrixTest.ReconnectSoak'
 
 echo "check.sh: OK"

@@ -22,6 +22,12 @@ struct gscope_ctx {
   int64_t block_deadline_ms = 5;
   size_t queue_max_buffer = 1 << 20;
   int sndbuf_bytes = 0;
+  // Self-healing transport knobs, staged the same way (the ControlClient
+  // takes them at construction, so they must be set before the first
+  // gscope_connect).
+  gscope::ReconnectOptions reconnect;
+  int64_t ping_interval_ms = 0;
+  int64_t idle_timeout_ms = 0;
 };
 
 namespace {
@@ -197,6 +203,9 @@ int gscope_connect(gscope_ctx* ctx, uint16_t port) {
     options.block_deadline_ms = ctx->block_deadline_ms;
     options.max_buffer = ctx->queue_max_buffer;
     options.sndbuf_bytes = ctx->sndbuf_bytes;
+    options.reconnect = ctx->reconnect;
+    options.ping_interval_ms = ctx->ping_interval_ms;
+    options.idle_timeout_ms = ctx->idle_timeout_ms;
     ctx->control = std::make_unique<gscope::ControlClient>(ctx->loop.get(), options);
     gscope::Scope* scope = ctx->scope.get();
     // Remote tuples are re-stamped on arrival: the server already applied
@@ -293,6 +302,58 @@ int gscope_client_stats(gscope_ctx* ctx, gscope_queue_stats* out) {
   out->pending_bytes = static_cast<int64_t>(ctx->control->pending_bytes());
   out->tuples_received = s.tuples_received;
   out->parse_errors = s.parse_errors;
+  return 0;
+}
+
+int gscope_set_reconnect(gscope_ctx* ctx, int enabled, int64_t initial_backoff_ms,
+                         int64_t max_backoff_ms) {
+  if (!Valid(ctx) || initial_backoff_ms <= 0 || max_backoff_ms < initial_backoff_ms) {
+    return kErrBadArg;
+  }
+  if (ctx->control != nullptr) {
+    return kErrFailed;  // the connection object already exists
+  }
+  ctx->reconnect.enabled = enabled != 0;
+  ctx->reconnect.initial_backoff_ms = initial_backoff_ms;
+  ctx->reconnect.max_backoff_ms = max_backoff_ms;
+  return 0;
+}
+
+int gscope_set_liveness(gscope_ctx* ctx, int64_t ping_interval_ms, int64_t idle_timeout_ms) {
+  if (!Valid(ctx) || ping_interval_ms < 0 || idle_timeout_ms < 0) {
+    return kErrBadArg;
+  }
+  if (ctx->control != nullptr) {
+    return kErrFailed;
+  }
+  ctx->ping_interval_ms = ping_interval_ms;
+  ctx->idle_timeout_ms = idle_timeout_ms;
+  return 0;
+}
+
+int gscope_connection_stats(gscope_ctx* ctx, gscope_conn_stats* out) {
+  if (!Valid(ctx) || out == nullptr) {
+    return kErrBadArg;
+  }
+  *out = gscope_conn_stats{};
+  out->last_rtt_ms = -1;
+  if (ctx->control == nullptr) {
+    return 0;
+  }
+  const gscope::ControlClient::Stats& s = ctx->control->stats();
+  out->state = static_cast<int>(ctx->control->state());
+  out->last_error = ctx->control->last_error();
+  out->has_time_offset = ctx->control->has_time_offset() ? 1 : 0;
+  out->connect_attempts = s.connect_attempts;
+  out->reconnects = s.reconnects;
+  out->connect_failures = s.connect_failures;
+  out->pings_sent = s.pings_sent;
+  out->pongs_received = s.pongs_received;
+  out->liveness_timeouts = s.liveness_timeouts;
+  out->resumed_commands = s.resumed_commands;
+  out->policy_switches = s.policy_switches;
+  out->time_offset_ms = ctx->control->time_offset_ms();
+  out->last_rtt_ms = ctx->control->last_rtt_ms();
   return 0;
 }
 

@@ -130,6 +130,52 @@ typedef struct gscope_queue_stats {
  * either way; negative only on bad arguments). */
 int gscope_client_stats(gscope_ctx* ctx, gscope_queue_stats* out);
 
+/* -- self-healing transport (docs/protocol.md, "Liveness and recovery") ----- */
+
+/* Enables automatic reconnect with capped exponential backoff and jitter:
+ * a lost or refused connection retries with delays growing from
+ * `initial_backoff_ms` up to `max_backoff_ms`, and the session (subscriptions
+ * + delay) is replayed on every re-establishment.  Must be called BEFORE the
+ * first gscope_connect (the connection object is created there); later calls
+ * fail.  `enabled` = 0 restores the fail-fast default. */
+int gscope_set_reconnect(gscope_ctx* ctx, int enabled, int64_t initial_backoff_ms,
+                         int64_t max_backoff_ms);
+
+/* Liveness for the remote connection: with ping_interval_ms > 0 the client
+ * PINGs whenever the link has been send-idle that long; with
+ * idle_timeout_ms > 0 a link that delivered nothing for that long is torn
+ * down (and reconnected, if enabled).  Pair them, interval well under the
+ * timeout.  Must be called BEFORE the first gscope_connect. */
+int gscope_set_liveness(gscope_ctx* ctx, int64_t ping_interval_ms, int64_t idle_timeout_ms);
+
+/* Connection state values (gscope_conn_stats.state). */
+#define GSCOPE_CONN_DISCONNECTED 0
+#define GSCOPE_CONN_CONNECTING 1
+#define GSCOPE_CONN_CONNECTED 2
+#define GSCOPE_CONN_FAILED 3
+#define GSCOPE_CONN_BACKOFF 4 /* reconnect timer armed */
+
+/* Health of the remote connection's state machine. */
+typedef struct gscope_conn_stats {
+  int state;                  /* GSCOPE_CONN_* */
+  int last_error;             /* errno of the last failed connect, 0 if none */
+  int has_time_offset;        /* 1 once a TIME sync completed                */
+  int64_t connect_attempts;   /* every TCP connect started (incl. retries)   */
+  int64_t reconnects;         /* re-establishments after the first           */
+  int64_t connect_failures;   /* attempts that did not establish             */
+  int64_t pings_sent;         /* liveness probes sent                        */
+  int64_t pongs_received;     /* probe echoes received                       */
+  int64_t liveness_timeouts;  /* links declared dead by the idle timeout     */
+  int64_t resumed_commands;   /* SUB/DELAY replayed by session resumption    */
+  int64_t policy_switches;    /* adaptive overflow-policy transitions        */
+  int64_t time_offset_ms;     /* server_scope_ms - local_ms (TIME sync)      */
+  int64_t last_rtt_ms;        /* last PING/TIME round-trip, -1 before any    */
+} gscope_conn_stats;
+
+/* Fills *out; zeroes it (state = GSCOPE_CONN_DISCONNECTED, last_rtt_ms = -1)
+ * if no connection was ever attempted.  Negative only on bad arguments. */
+int gscope_connection_stats(gscope_ctx* ctx, gscope_conn_stats* out);
+
 /* -- drain counters (docs/perf.md, "drain coalescing") ---------------------- */
 
 /* Cumulative drain/routing counters of the embedded scope.  The coalescing

@@ -5,41 +5,77 @@
 
 namespace gscope {
 
+namespace {
+
+// Parses a non-negative integer argument after `prefix` ("PONG 123",
+// "OK TIME 456").  Returns false when absent or malformed.
+bool ParseIntArg(std::string_view line, std::string_view prefix, int64_t* out) {
+  if (line.size() <= prefix.size() || line.rfind(prefix, 0) != 0 ||
+      line[prefix.size()] != ' ') {
+    return false;
+  }
+  std::string_view arg = line.substr(prefix.size() + 1);
+  auto [p, ec] = std::from_chars(arg.data(), arg.data() + arg.size(), *out);
+  return ec == std::errc{} && p == arg.data() + arg.size();
+}
+
+}  // namespace
+
 ControlClient::ControlClient(MainLoop* loop, ControlClientOptions options)
     : loop_(loop),
       options_(options),
       writer_(loop, options.max_buffer),
-      framer_(options.max_line_bytes) {
+      framer_(options.max_line_bytes),
+      jitter_rng_(options.reconnect.seed) {
   writer_.SetPolicy(options.overflow_policy, MillisToNanos(options.block_deadline_ms));
+  writer_.SetAdaptive(options.adaptive);
   writer_.SetErrorCallback([this]() { Disconnect(); });
 }
 
 ControlClient::~ControlClient() { Close(); }
 
+int64_t ControlClient::LocalNowMs() const {
+  return loop_->clock()->NowNs() / kNanosPerMilli;
+}
+
+void ControlClient::SetState(ConnectState state) {
+  if (state_ == state) {
+    return;
+  }
+  state_ = state;
+  if (on_state_) {
+    on_state_(state);
+  }
+}
+
 bool ControlClient::Connect(uint16_t port) {
   Close();
+  port_ = port;
+  cur_backoff_ms_ = std::max<int64_t>(1, options_.reconnect.initial_backoff_ms);
+  failed_attempts_ = 0;
+  return StartConnect();
+}
+
+bool ControlClient::StartConnect() {
   // Track what is declared during THIS handshake: those verbs ride the
   // queued frames (flushed at establishment) and must not be replayed.
   handshake_subs_.clear();
   handshake_delay_ = false;
-  socket_ = Socket::Connect(port);
+  stats_.connect_attempts += 1;
+  socket_ = Socket::Connect(port_);
   if (!socket_.valid()) {
-    state_ = ConnectState::kFailed;
-    stats_.connect_failures += 1;
-    return false;
+    return FailAttempt(0);
   }
   if (options_.sndbuf_bytes > 0) {
     socket_.SetSendBufferBytes(options_.sndbuf_bytes);
   }
-  state_ = ConnectState::kConnecting;
+  SetState(ConnectState::kConnecting);
   connect_watch_ =
       loop_->AddIoWatch(socket_.fd(), IoCondition::kOut | IoCondition::kErr,
                         [this](int, IoCondition) { return OnConnectReady(); });
   if (connect_watch_ == 0) {
     socket_.Close();
-    state_ = ConnectState::kFailed;
-    stats_.connect_failures += 1;
-    return false;
+    return FailAttempt(0);
   }
   return true;
 }
@@ -53,6 +89,14 @@ void ControlClient::Close() {
     loop_->Remove(read_watch_);
     read_watch_ = 0;
   }
+  if (retry_timer_ != 0) {
+    loop_->Remove(retry_timer_);
+    retry_timer_ = 0;
+  }
+  if (liveness_timer_ != 0) {
+    loop_->Remove(liveness_timer_);
+    liveness_timer_ = 0;
+  }
   size_t discarded = writer_.Reset();
   if (state_ == ConnectState::kConnecting) {
     // Frames queued behind an unresolved handshake resolve to dropped (they
@@ -63,17 +107,50 @@ void ControlClient::Close() {
   }
   framer_.Reset();
   socket_.Close();
-  state_ = ConnectState::kDisconnected;
+  SetState(ConnectState::kDisconnected);
   preconnect_frames_ = 0;
+  time_req_sent_ms_ = -1;
+}
+
+bool ControlClient::FailAttempt(int error) {
+  last_error_ = error;
+  stats_.connect_failures += 1;
+  failed_attempts_ += 1;
+  const ReconnectOptions& r = options_.reconnect;
+  if (r.enabled && (r.max_attempts == 0 || failed_attempts_ < r.max_attempts)) {
+    EnterBackoff();
+    return true;
+  }
+  SetState(ConnectState::kFailed);
+  return false;
+}
+
+void ControlClient::EnterBackoff() {
+  int64_t delay = cur_backoff_ms_;
+  if (options_.reconnect.jitter_frac > 0) {
+    std::uniform_real_distribution<double> jitter(0.0, options_.reconnect.jitter_frac);
+    delay += static_cast<int64_t>(jitter(jitter_rng_) * static_cast<double>(cur_backoff_ms_));
+  }
+  delay = std::max<int64_t>(1, delay);
+  last_backoff_ms_ = delay;
+  cur_backoff_ms_ = std::min<int64_t>(
+      std::max<int64_t>(1, options_.reconnect.max_backoff_ms),
+      static_cast<int64_t>(static_cast<double>(cur_backoff_ms_) *
+                           std::max(1.0, options_.reconnect.multiplier)));
+  retry_timer_ = loop_->AddTimeoutMs(delay, std::function<bool()>([this]() {
+                                       retry_timer_ = 0;
+                                       StartConnect();
+                                       return false;
+                                     }));
+  // Announce the state only after the delay is armed and published:
+  // observers of the kBackoff edge read a consistent last_backoff_ms().
+  SetState(ConnectState::kBackoff);
 }
 
 bool ControlClient::OnConnectReady() {
   connect_watch_ = 0;
   int error = socket_.PendingError();
   if (error != 0) {
-    last_error_ = error;
-    state_ = ConnectState::kFailed;
-    stats_.connect_failures += 1;
     // Frames queued behind the handshake never left the process: they
     // resolve to dropped, so commands_sent/tuples_pushed vs frames_dropped
     // reconcile for the caller; the Reset()-side abandonment is backed out
@@ -82,13 +159,22 @@ bool ControlClient::OnConnectReady() {
     preconnect_frames_ = 0;
     preconnect_discards_ += static_cast<int64_t>(writer_.Reset());
     socket_.Close();
+    FailAttempt(error);
     if (on_connect_) {
       on_connect_(false, error);
     }
     return false;
   }
-  state_ = ConnectState::kConnected;
+  SetState(ConnectState::kConnected);
+  failed_attempts_ = 0;
+  cur_backoff_ms_ = std::max<int64_t>(1, options_.reconnect.initial_backoff_ms);
+  establishments_ += 1;
+  if (establishments_ > 1) {
+    stats_.reconnects += 1;
+  }
   preconnect_frames_ = 0;
+  last_rx_ns_ = loop_->clock()->NowNs();
+  last_tx_ns_ = last_rx_ns_;
   writer_.Attach(socket_.fd());  // flushes commands queued pre-connect
   read_watch_ = loop_->AddIoWatch(socket_.fd(), IoCondition::kIn,
                                   [this](int, IoCondition cond) { return OnReadable(cond); });
@@ -116,10 +202,49 @@ bool ControlClient::OnConnectReady() {
       }
     }
   }
+  if (options_.sync_time_on_connect) {
+    RequestTime();
+  }
+  if (options_.ping_interval_ms > 0 || options_.idle_timeout_ms > 0) {
+    int64_t period = 0;
+    if (options_.ping_interval_ms > 0) {
+      period = options_.ping_interval_ms;
+    }
+    if (options_.idle_timeout_ms > 0) {
+      // Check often enough that a dead link is declared within ~1.25x the
+      // configured timeout even without pings.
+      int64_t check = std::max<int64_t>(1, options_.idle_timeout_ms / 4);
+      period = period == 0 ? check : std::min(period, check);
+    }
+    liveness_timer_ = loop_->AddTimeoutMs(
+        period, std::function<bool()>([this]() { return OnLivenessTick(); }));
+  }
   if (on_connect_) {
     on_connect_(true, 0);
   }
   return false;  // one-shot
+}
+
+bool ControlClient::OnLivenessTick() {
+  if (state_ != ConnectState::kConnected) {
+    return true;  // mid-teardown tick; Disconnect removes this timer
+  }
+  Nanos now = loop_->clock()->NowNs();
+  if (options_.idle_timeout_ms > 0 &&
+      now - last_rx_ns_ >= MillisToNanos(options_.idle_timeout_ms)) {
+    // Nothing received for the whole window (pings included, when enabled):
+    // the peer is gone even if TCP has not noticed.  Tear down; reconnect
+    // takes over when enabled.
+    stats_.liveness_timeouts += 1;
+    liveness_timer_ = 0;  // self-removal via return false below
+    Disconnect();
+    return false;
+  }
+  if (options_.ping_interval_ms > 0 &&
+      now - last_tx_ns_ >= MillisToNanos(options_.ping_interval_ms)) {
+    Ping();
+  }
+  return true;
 }
 
 void ControlClient::Disconnect() {
@@ -127,14 +252,26 @@ void ControlClient::Disconnect() {
     loop_->Remove(read_watch_);
     read_watch_ = 0;
   }
+  if (liveness_timer_ != 0) {
+    loop_->Remove(liveness_timer_);
+    liveness_timer_ = 0;
+  }
   writer_.Reset();
   framer_.Reset();
   socket_.Close();
-  state_ = ConnectState::kDisconnected;
+  time_req_sent_ms_ = -1;
+  const ReconnectOptions& r = options_.reconnect;
+  if (r.enabled && port_ != 0 &&
+      (r.max_attempts == 0 || failed_attempts_ < r.max_attempts)) {
+    EnterBackoff();
+    return;
+  }
+  SetState(ConnectState::kDisconnected);
 }
 
 bool ControlClient::OnReadable(IoCondition cond) {
   if (Has(cond, IoCondition::kErr)) {
+    read_watch_ = 0;
     Disconnect();
     return false;
   }
@@ -143,6 +280,7 @@ bool ControlClient::OnReadable(IoCondition cond) {
     IoResult r = socket_.Read(buf, sizeof(buf));
     if (r.status == IoResult::Status::kOk) {
       stats_.bytes_received += static_cast<int64_t>(r.bytes);
+      last_rx_ns_ = loop_->clock()->NowNs();
       framer_.Consume(buf, r.bytes, &stats_.parse_errors,
                       [this](std::string_view line) { HandleLine(line); });
       continue;
@@ -168,10 +306,31 @@ void ControlClient::HandleLine(std::string_view line) {
   if ((c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z')) {
     if (line.rfind("OK", 0) == 0) {
       stats_.replies_ok += 1;
+      int64_t server_ms = 0;
+      if (time_req_sent_ms_ >= 0 && ParseIntArg(line, "OK TIME", &server_ms)) {
+        // Midpoint estimate: the server stamped its scope time somewhere in
+        // the round trip; assume halfway.  Good to ~RTT/2, which on the
+        // links gscope targets is far finer than the late-drop delay.
+        int64_t now = LocalNowMs();
+        int64_t rtt = now - time_req_sent_ms_;
+        last_rtt_ms_ = rtt;
+        time_offset_ms_ = server_ms + rtt / 2 - now;
+        has_time_offset_ = true;
+        stats_.time_syncs += 1;
+        time_req_sent_ms_ = -1;
+      }
     } else if (line.rfind("ERR", 0) == 0) {
       stats_.replies_err += 1;
     } else if (line.rfind("INFO", 0) == 0) {
       stats_.replies_info += 1;
+    } else if (line.rfind("PONG", 0) == 0) {
+      stats_.pongs_received += 1;
+      int64_t token = 0;
+      if (ParseIntArg(line, "PONG", &token)) {
+        last_rtt_ms_ = LocalNowMs() - token;  // token = our clock at send
+      }
+    } else if (line.rfind("NOTICE", 0) == 0) {
+      stats_.notices += 1;
     } else {
       stats_.parse_errors += 1;
       return;
@@ -214,6 +373,7 @@ bool ControlClient::SendCommand(std::string_view verb, std::string_view arg) {
     preconnect_frames_ += 1;
   }
   stats_.commands_sent += 1;
+  last_tx_ns_ = loop_->clock()->NowNs();
   return true;
 }
 
@@ -257,6 +417,32 @@ bool ControlClient::RequestList() { return SendCommand("LIST", {}); }
 
 bool ControlClient::RequestStats() { return SendCommand("STATS", {}); }
 
+bool ControlClient::Ping() {
+  char buf[24];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), LocalNowMs());
+  (void)ec;
+  bool sent = SendCommand("PING", std::string_view(buf, static_cast<size_t>(p - buf)));
+  if (sent) {
+    stats_.pings_sent += 1;
+  }
+  return sent;
+}
+
+bool ControlClient::RequestTime() {
+  bool sent = SendCommand("TIME", {});
+  if (sent) {
+    time_req_sent_ms_ = LocalNowMs();
+  }
+  return sent;
+}
+
+int64_t ControlClient::ServerNowMs() const {
+  if (!has_time_offset_) {
+    return 0;
+  }
+  return LocalNowMs() + time_offset_ms_;
+}
+
 void ControlClient::ForgetSession() {
   sub_patterns_.clear();
   handshake_subs_.clear();
@@ -278,6 +464,7 @@ bool ControlClient::Send(int64_t time_ms, double value, std::string_view name) {
     preconnect_frames_ += 1;
   }
   stats_.tuples_pushed += 1;
+  last_tx_ns_ = loop_->clock()->NowNs();
   return true;
 }
 

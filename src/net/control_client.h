@@ -55,6 +55,23 @@ struct ControlClientOptions {
   // handshake is in flight is honored, not overridden); verbs queued during
   // the handshake ride their own frames and are not replayed twice.
   bool auto_resubscribe = true;
+  // Automatic reconnect (see net/stream_client.h).  With auto_resubscribe
+  // this closes the self-healing loop: lost link -> backoff -> reconnect ->
+  // session replayed, no caller involvement.
+  ReconnectOptions reconnect;
+  // Adaptive overflow handling for the outgoing backlog.
+  FramedWriter::AdaptiveOptions adaptive;
+  // Liveness (docs/protocol.md, PING/PONG): with ping_interval_ms > 0 the
+  // client PINGs whenever the link has been send-idle that long; with
+  // idle_timeout_ms > 0 a link that delivered nothing for that long is
+  // declared dead (liveness_timeouts) and torn down — reconnect, when
+  // enabled, takes over.  Pair them (interval well under the timeout): the
+  // pings provoke the PONG traffic that proves liveness.
+  int64_t ping_interval_ms = 0;
+  int64_t idle_timeout_ms = 0;
+  // Issue a TIME request on every establishment, so time_offset_ms() is
+  // populated without a manual RequestTime().
+  bool sync_time_on_connect = false;
 };
 
 class ControlClient {
@@ -81,11 +98,20 @@ class ControlClient {
     // SUB/DELAY commands replayed by session resumption (auto_resubscribe);
     // also counted in commands_sent.
     int64_t resumed_commands = 0;
+    int64_t connect_attempts = 0;   // every TCP connect started (incl. retries)
+    int64_t reconnects = 0;         // successful re-establishments after the first
+    int64_t pings_sent = 0;
+    int64_t pongs_received = 0;
+    int64_t notices = 0;            // NOTICE lines (server degradation events)
+    int64_t liveness_timeouts = 0;  // links declared dead by idle_timeout_ms
+    int64_t time_syncs = 0;         // completed TIME round-trips
+    int64_t policy_switches = 0;    // adaptive overflow-policy transitions
   };
 
   using TupleFn = std::function<void(const TupleView& tuple)>;
   using ReplyFn = std::function<void(std::string_view line)>;
   using ConnectFn = std::function<void(bool ok, int error)>;
+  using StateFn = std::function<void(ConnectState state)>;
 
   explicit ControlClient(MainLoop* loop, ControlClientOptions options = {});
   ~ControlClient();
@@ -115,6 +141,26 @@ class ControlClient {
   // Asks for the server's counter line (`OK STATS key value ...`); the
   // reply arrives through the reply callback like any OK line.
   bool RequestStats();
+  // Sends one PING (token = local ms clock); the PONG echo feeds
+  // pongs_received / last_rtt_ms().  The liveness timer calls this
+  // automatically when ping_interval_ms is set.
+  bool Ping();
+  // Asks for the server's scope time (`OK TIME <ms>`).  When the reply
+  // lands, time_offset_ms() maps the local ms clock onto the server's scope
+  // clock (RTT/2 midpoint estimate), so stamps can be made honest across
+  // hosts without synchronized clocks.
+  bool RequestTime();
+
+  bool has_time_offset() const { return has_time_offset_; }
+  // server_scope_time_ms ~= local_clock_ms + time_offset_ms().
+  int64_t time_offset_ms() const { return time_offset_ms_; }
+  // The server's scope time right now, per the last TIME sync (0 before
+  // any sync completed).
+  int64_t ServerNowMs() const;
+  // RTT of the last completed PING or TIME round-trip, ms (-1 before any).
+  int64_t last_rtt_ms() const { return last_rtt_ms_; }
+  // The delay the most recent backoff armed (ms).
+  int64_t last_backoff_ms() const { return last_backoff_ms_; }
 
   // The remembered subscription state that a reconnect would replay.
   const std::vector<std::string>& remembered_patterns() const { return sub_patterns_; }
@@ -146,9 +192,12 @@ class ControlClient {
   // Received matched tuples.  The view borrows the read buffer: copy what
   // must outlive the callback.
   void SetTupleCallback(TupleFn fn) { on_tuple_ = std::move(fn); }
-  // OK / ERR / INFO lines, verbatim.
+  // OK / ERR / INFO / PONG / NOTICE lines, verbatim.
   void SetReplyCallback(ReplyFn fn) { on_reply_ = std::move(fn); }
   void SetConnectCallback(ConnectFn fn) { on_connect_ = std::move(fn); }
+  // Every state transition, including those inside reconnect cycles; tests
+  // observe kConnected/kBackoff edges here instead of sleeping.
+  void SetStateCallback(StateFn fn) { on_state_ = std::move(fn); }
 
   const Stats& stats() const {
     // Writer-side counters are folded in lazily: drains happen async.
@@ -162,15 +211,24 @@ class ControlClient {
     stats_.bytes_dropped = w.bytes_dropped;
     stats_.block_time_ns = w.block_time_ns;
     stats_.backlog_high_water = static_cast<int64_t>(w.high_water_bytes);
+    stats_.policy_switches = w.policy_switches;
     return stats_;
   }
 
  private:
+  bool StartConnect();
   bool OnConnectReady();
   bool OnReadable(IoCondition cond);
   void HandleLine(std::string_view line);
   bool SendCommand(std::string_view verb, std::string_view arg);
+  // Tears the live connection down, then enters backoff (reconnect enabled)
+  // or settles in kDisconnected.
   void Disconnect();
+  bool FailAttempt(int error);
+  void EnterBackoff();
+  void SetState(ConnectState state);
+  bool OnLivenessTick();
+  int64_t LocalNowMs() const;
 
   MainLoop* loop_;
   ControlClientOptions options_;
@@ -179,8 +237,22 @@ class ControlClient {
   LineFramer framer_;
   SourceId connect_watch_ = 0;
   SourceId read_watch_ = 0;
+  SourceId retry_timer_ = 0;
+  SourceId liveness_timer_ = 0;
   ConnectState state_ = ConnectState::kDisconnected;
   int last_error_ = 0;
+  uint16_t port_ = 0;
+  int64_t cur_backoff_ms_ = 0;
+  int64_t last_backoff_ms_ = 0;
+  int failed_attempts_ = 0;  // consecutive, since the last establishment
+  int64_t establishments_ = 0;
+  std::mt19937 jitter_rng_;
+  Nanos last_rx_ns_ = 0;  // last byte received (liveness idle tracking)
+  Nanos last_tx_ns_ = 0;  // last frame committed (ping pacing)
+  int64_t time_req_sent_ms_ = -1;  // local ms when the pending TIME left
+  bool has_time_offset_ = false;
+  int64_t time_offset_ms_ = 0;
+  int64_t last_rtt_ms_ = -1;
   // Frames committed while kConnecting; folded into frames_dropped if the
   // handshake fails (they never left the process).
   int64_t preconnect_frames_ = 0;
@@ -200,6 +272,7 @@ class ControlClient {
   TupleFn on_tuple_;
   ReplyFn on_reply_;
   ConnectFn on_connect_;
+  StateFn on_state_;
   mutable Stats stats_;
 };
 

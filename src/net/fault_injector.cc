@@ -1,0 +1,168 @@
+#include "net/fault_injector.h"
+
+#include <atomic>
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <time.h>
+
+namespace gscope {
+
+namespace {
+// The installed injector.  Relaxed is enough: installation happens-before
+// the faulted calls via the thread start / loop wakeup that begins a test
+// run, and a stale nullptr read merely skips injection for one call.
+std::atomic<FaultInjector*> g_installed{nullptr};
+}  // namespace
+
+FaultInjector::~FaultInjector() {
+  // Uninstall if the dying injector is still the installed one, so a test
+  // that forgets the scoped guard cannot leave a dangling global.
+  FaultInjector* self = this;
+  g_installed.compare_exchange_strong(self, nullptr,
+                                      std::memory_order_relaxed);
+}
+
+void FaultInjector::AddRule(const FaultRule& rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(rule);
+  if (rules_.back().clamp == 0) rules_.back().clamp = 1;
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+}
+
+FaultRule FaultInjector::ShortReads(size_t max_bytes, int count) {
+  FaultRule r;
+  r.op = FaultOp::kRead;
+  r.action = FaultRule::Action::kShortRead;
+  r.clamp = max_bytes;
+  r.count = count;
+  return r;
+}
+
+FaultRule FaultInjector::PartialWrites(size_t max_bytes, int count) {
+  FaultRule r;
+  r.op = FaultOp::kWrite;
+  r.action = FaultRule::Action::kPartialWrite;
+  r.clamp = max_bytes;
+  r.count = count;
+  return r;
+}
+
+FaultRule FaultInjector::ErrnoStorm(FaultOp op, int err, int count,
+                                    int skip) {
+  FaultRule r;
+  r.op = op;
+  r.action = FaultRule::Action::kErrno;
+  r.err = err;
+  r.count = count;
+  r.skip = skip;
+  return r;
+}
+
+FaultRule FaultInjector::KillConnection(FaultOp op, int skip) {
+  FaultRule r;
+  r.op = op;
+  r.action = FaultRule::Action::kKill;
+  r.skip = skip;
+  r.count = 1;
+  return r;
+}
+
+FaultRule FaultInjector::Latency(FaultOp op, Nanos delay_ns, int count) {
+  FaultRule r;
+  r.op = op;
+  r.action = FaultRule::Action::kDelay;
+  r.delay_ns = delay_ns;
+  r.count = count;
+  return r;
+}
+
+FaultDecision FaultInjector::Intercept(FaultOp op, int fd, size_t len) {
+  FaultDecision d;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.intercepted_calls++;
+  for (FaultRule& rule : rules_) {
+    if (rule.op != op) continue;
+    if (rule.fd != -1 && rule.fd != fd) continue;
+    if (rule.count == 0) continue;  // exhausted
+    if (rule.skip > 0) {
+      rule.skip--;
+      continue;
+    }
+    if (rule.probability < 1.0) {
+      std::uniform_real_distribution<double> coin(0.0, 1.0);
+      if (coin(rng_) >= rule.probability) continue;
+    }
+    if (rule.count > 0) rule.count--;
+    stats_.faults_injected++;
+    switch (rule.action) {
+      case FaultRule::Action::kErrno:
+        stats_.errnos_injected++;
+        d.fail = true;
+        d.err = rule.err;
+        return d;
+      case FaultRule::Action::kShortRead:
+        stats_.short_reads++;
+        if (len > rule.clamp) d.max_len = rule.clamp;
+        return d;
+      case FaultRule::Action::kPartialWrite:
+        stats_.partial_writes++;
+        if (len > rule.clamp) d.max_len = rule.clamp;
+        return d;
+      case FaultRule::Action::kKill:
+        stats_.kills++;
+        d.kill = true;
+        d.fail = true;
+        d.err = ECONNRESET;
+        return d;
+      case FaultRule::Action::kDelay:
+        stats_.delays++;
+        d.delay_ns = rule.delay_ns;
+        return d;
+    }
+  }
+  return d;
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FaultInjector::Install(FaultInjector* injector) {
+  g_installed.store(injector, std::memory_order_relaxed);
+}
+
+FaultInjector* FaultInjector::installed() {
+  return g_installed.load(std::memory_order_relaxed);
+}
+
+bool FaultInjector::Shim(FaultOp op, int fd, size_t* len) {
+  FaultInjector* fi = installed();
+  if (fi == nullptr) {
+    return false;
+  }
+  FaultDecision d = fi->Intercept(op, fd, len != nullptr ? *len : 0);
+  if (d.delay_ns > 0) {
+    timespec ts{static_cast<time_t>(d.delay_ns / kNanosPerSecond),
+                static_cast<long>(d.delay_ns % kNanosPerSecond)};
+    nanosleep(&ts, nullptr);
+  }
+  if (d.kill && fd >= 0) {
+    shutdown(fd, SHUT_RDWR);
+  }
+  if (d.fail) {
+    errno = d.err;
+    return true;
+  }
+  if (len != nullptr && d.max_len < *len) {
+    *len = d.max_len > 0 ? d.max_len : 1;
+  }
+  return false;
+}
+
+}  // namespace gscope

@@ -1,0 +1,158 @@
+// Deterministic fault injection at the Socket / FramedWriter syscall
+// boundary.
+//
+// "Faults in Linux" (PAPERS.md) makes the case bluntly: error-handling code
+// that is never executed is where defects concentrate.  gscope's transport
+// has many such paths - short reads, partial writes, EAGAIN storms, EINTR
+// mid-call, peers resetting mid-frame - that a loopback test on a healthy
+// kernel will essentially never take.  This shim lets a test *script* them:
+//
+//   FaultInjector fi(/*seed=*/42);
+//   fi.AddRule(FaultInjector::ShortReads(1));              // 1-byte reads
+//   fi.AddRule(FaultInjector::ErrnoStorm(FaultOp::kWrite, EINTR, 5));
+//   FaultInjector::ScopedInstall guard(&fi);
+//   ... run the client/server under test ...
+//
+// Every Socket::Read/Write/Connect/Accept/ReadDatagram call (and every
+// FramedWriter drain write) first consults the installed injector, which
+// walks its rule list in order and applies the first armed rule matching
+// the (operation, fd) pair.  Rules fire a scripted number of times after a
+// scripted number of matching calls, optionally behind a seeded coin - so a
+// schedule is reproducible from (seed, rules) alone, with no wall-clock or
+// entropy nondeterminism.
+//
+// When no injector is installed the cost is one relaxed atomic load per
+// call; production binaries never pay for the machinery they don't use.
+// Intercept() itself takes a mutex: the stress harness drives sockets from
+// producer threads, and a test-only shim prefers correctness to speed.
+#ifndef GSCOPE_NET_FAULT_INJECTOR_H_
+#define GSCOPE_NET_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <vector>
+
+#include "runtime/clock.h"
+
+namespace gscope {
+
+// The intercepted operations, one per syscall family the net layer makes.
+enum class FaultOp : uint8_t {
+  kRead = 0,      // Socket::Read
+  kWrite,         // Socket::Write and FramedWriter drains
+  kConnect,       // Socket::Connect's connect(2)
+  kAccept,        // Socket::Accept's accept(2)
+  kRecvDatagram,  // Socket::ReadDatagram's recvmsg(2)
+};
+
+// One scripted fault.  Rules are consulted in insertion order; the first
+// armed rule matching (op, fd) decides the call.
+struct FaultRule {
+  enum class Action : uint8_t {
+    kErrno,         // fail the call with `err` (EINTR, EAGAIN, ECONNRESET...)
+    kShortRead,     // clamp a read's buffer to `clamp` bytes
+    kPartialWrite,  // clamp a write's length to `clamp` bytes
+    kKill,          // shutdown(2) the fd mid-call: the peer sees a mid-frame
+                    // EOF/reset, the caller gets ECONNRESET
+    kDelay,         // sleep `delay_ns` of real time, then let the call run
+  };
+
+  FaultOp op = FaultOp::kRead;
+  Action action = Action::kErrno;
+  int err = 0;           // kErrno: the errno to fail with
+  size_t clamp = 1;      // kShortRead/kPartialWrite: max bytes (floor 1 -
+                         // a zero-byte read would fabricate an EOF)
+  Nanos delay_ns = 0;    // kDelay: injected latency
+  int fd = -1;           // only this fd (-1 = any)
+  int skip = 0;          // matching calls to let through before arming
+  int count = -1;        // firings before the rule exhausts (-1 = forever)
+  double probability = 1.0;  // seeded coin per armed matching call
+};
+
+// What the shim should do for one call.  Applied by the caller (the shim
+// owns the actual syscalls; the injector only decides).
+struct FaultDecision {
+  bool fail = false;  // fail with errno `err` without issuing the syscall
+  int err = 0;
+  size_t max_len = static_cast<size_t>(-1);  // clamp read/write length
+  bool kill = false;                          // shutdown(fd) first
+  Nanos delay_ns = 0;                         // sleep first
+};
+
+class FaultInjector {
+ public:
+  struct Stats {
+    int64_t intercepted_calls = 0;  // calls that consulted the rule list
+    int64_t faults_injected = 0;    // calls a rule actually altered
+    int64_t errnos_injected = 0;
+    int64_t short_reads = 0;
+    int64_t partial_writes = 0;
+    int64_t kills = 0;
+    int64_t delays = 0;
+  };
+
+  explicit FaultInjector(uint32_t seed = 1) : rng_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+  ~FaultInjector();
+
+  // Appends one rule (thread-safe).  Rules keep per-rule skip/count state;
+  // re-adding a rule rearms it.
+  void AddRule(const FaultRule& rule);
+  void Clear();
+
+  // Common schedules, named for what they simulate.
+  static FaultRule ShortReads(size_t max_bytes, int count = -1);
+  static FaultRule PartialWrites(size_t max_bytes, int count = -1);
+  // `count` consecutive failures with `err`, after `skip` healthy calls.
+  // With EINTR this is the "signal storm" mode (every syscall interrupted);
+  // with EAGAIN it simulates a kernel that keeps reporting full buffers.
+  static FaultRule ErrnoStorm(FaultOp op, int err, int count, int skip = 0);
+  // Kills the connection under the Nth matching call (mid-frame when the
+  // caller is mid-backlog): shutdown(2), then ECONNRESET to the caller.
+  static FaultRule KillConnection(FaultOp op, int skip = 0);
+  static FaultRule Latency(FaultOp op, Nanos delay_ns, int count = -1);
+
+  // Decides one call.  `len` is the caller's buffer length (0 for connect/
+  // accept).  Thread-safe; deterministic given the seed and call sequence.
+  FaultDecision Intercept(FaultOp op, int fd, size_t len);
+
+  Stats stats() const;
+
+  // -- process-global installation ------------------------------------------
+  // The Socket/FramedWriter shims consult the installed injector.  One
+  // injector at a time; nullptr uninstalls.  Tests use the scoped guard so
+  // an assertion failure cannot leak faults into the next test.
+  static void Install(FaultInjector* injector);
+  static FaultInjector* installed();
+
+  class ScopedInstall {
+   public:
+    explicit ScopedInstall(FaultInjector* injector) { Install(injector); }
+    ~ScopedInstall() { Install(nullptr); }
+    ScopedInstall(const ScopedInstall&) = delete;
+    ScopedInstall& operator=(const ScopedInstall&) = delete;
+  };
+
+  // The shim the net/runtime syscall sites call.  Consults the installed
+  // injector (if any) for one call on `fd`.  Returns true when the call must
+  // fail immediately, with errno already set; otherwise *len (when given) may
+  // have been clamped to force a short read or partial write.  Kill decisions
+  // shut the socket down first so the peer observes a mid-frame close, then
+  // surface ECONNRESET to the caller.  One relaxed atomic load when no
+  // injector is installed.
+  static bool Shim(FaultOp op, int fd, size_t* len);
+
+ private:
+  mutable std::mutex mu_;
+  std::mt19937 rng_;
+  std::vector<FaultRule> rules_;  // skip/count mutated in place as they fire
+  Stats stats_;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_NET_FAULT_INJECTOR_H_

@@ -6,10 +6,13 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cstring>
 #include <utility>
+
+#include "net/fault_injector.h"
 
 namespace gscope {
 namespace {
@@ -88,8 +91,16 @@ Socket Socket::Connect(uint16_t port) {
     return Socket{};
   }
   sockaddr_in addr = LoopbackAddr(port);
-  int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  if (rc != 0 && errno != EINPROGRESS) {
+  int rc;
+  if (FaultInjector::Shim(FaultOp::kConnect, fd, nullptr)) {
+    rc = -1;
+  } else {
+    rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  }
+  // EINTR on a non-blocking connect means the attempt continues
+  // asynchronously (POSIX); retrying connect() here would yield EALREADY.
+  // Treat it exactly like EINPROGRESS: resolve via writability + SO_ERROR.
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
     close(fd);
     return Socket{};
   }
@@ -124,8 +135,24 @@ Socket Socket::Accept() {
   if (!valid()) {
     return Socket{};
   }
-  int fd = accept(fd_, nullptr, nullptr);
-  if (fd < 0) {
+  int fd;
+  while (true) {
+    if (FaultInjector::Shim(FaultOp::kAccept, fd_, nullptr)) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Socket{};
+    }
+    fd = accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      break;
+    }
+    // EINTR: interrupted before a connection was taken - retry.
+    // ECONNABORTED: the queued peer already gave up; take the next pending
+    // connection instead of reporting "none pending" to the accept loop.
+    if (errno == EINTR || errno == ECONNABORTED) {
+      continue;
+    }
     return Socket{};
   }
   if (!SetNonBlocking(fd)) {
@@ -185,7 +212,19 @@ Socket::DatagramResult Socket::ReadDatagram(void* buf, size_t len) {
   msg.msg_iovlen = 1;
   msg.msg_control = control;
   msg.msg_controllen = sizeof(control);
-  ssize_t n = recvmsg(fd_, &msg, 0);
+  ssize_t n;
+  while (true) {
+    size_t eff_len = len;
+    if (FaultInjector::Shim(FaultOp::kRecvDatagram, fd_, &eff_len)) {
+      n = -1;
+    } else {
+      iov.iov_len = eff_len;  // a clamped length surfaces as MSG_TRUNC
+      n = recvmsg(fd_, &msg, 0);
+    }
+    if (n >= 0 || errno != EINTR) {
+      break;
+    }
+  }
   if (n < 0) {
     result.status = (errno == EAGAIN || errno == EWOULDBLOCK) ? IoResult::Status::kWouldBlock
                                                               : IoResult::Status::kError;
@@ -211,36 +250,60 @@ IoResult Socket::Read(void* buf, size_t len) {
   if (!valid()) {
     return IoResult{IoResult::Status::kError, 0};
   }
-  ssize_t n = read(fd_, buf, len);
-  if (n > 0) {
-    return IoResult{IoResult::Status::kOk, static_cast<size_t>(n)};
+  while (true) {
+    size_t eff_len = len;
+    ssize_t n;
+    if (FaultInjector::Shim(FaultOp::kRead, fd_, &eff_len)) {
+      n = -1;
+    } else {
+      n = read(fd_, buf, eff_len);
+    }
+    if (n > 0) {
+      return IoResult{IoResult::Status::kOk, static_cast<size_t>(n)};
+    }
+    if (n == 0) {
+      return IoResult{IoResult::Status::kEof, 0};
+    }
+    if (errno == EINTR) {
+      // Interrupted before any data arrived: retry - a signal must not be
+      // observable as an I/O error on the monitoring channel.
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoResult{IoResult::Status::kWouldBlock, 0};
+    }
+    return IoResult{IoResult::Status::kError, 0};
   }
-  if (n == 0) {
-    return IoResult{IoResult::Status::kEof, 0};
-  }
-  if (errno == EAGAIN || errno == EWOULDBLOCK) {
-    return IoResult{IoResult::Status::kWouldBlock, 0};
-  }
-  return IoResult{IoResult::Status::kError, 0};
 }
 
 IoResult Socket::Write(const void* buf, size_t len) {
   if (!valid()) {
     return IoResult{IoResult::Status::kError, 0};
   }
-  // MSG_NOSIGNAL: a reset peer yields EPIPE (kError) instead of a
-  // process-killing SIGPIPE.
-  ssize_t n = send(fd_, buf, len, MSG_NOSIGNAL);
-  if (n < 0 && errno == ENOTSOCK) {
-    n = write(fd_, buf, len);
+  while (true) {
+    size_t eff_len = len;
+    ssize_t n;
+    if (FaultInjector::Shim(FaultOp::kWrite, fd_, &eff_len)) {
+      n = -1;
+    } else {
+      // MSG_NOSIGNAL: a reset peer yields EPIPE (kError) instead of a
+      // process-killing SIGPIPE.
+      n = send(fd_, buf, eff_len, MSG_NOSIGNAL);
+      if (n < 0 && errno == ENOTSOCK) {
+        n = write(fd_, buf, eff_len);
+      }
+    }
+    if (n >= 0) {
+      return IoResult{IoResult::Status::kOk, static_cast<size_t>(n)};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoResult{IoResult::Status::kWouldBlock, 0};
+    }
+    return IoResult{IoResult::Status::kError, 0};
   }
-  if (n >= 0) {
-    return IoResult{IoResult::Status::kOk, static_cast<size_t>(n)};
-  }
-  if (errno == EAGAIN || errno == EWOULDBLOCK) {
-    return IoResult{IoResult::Status::kWouldBlock, 0};
-  }
-  return IoResult{IoResult::Status::kError, 0};
 }
 
 }  // namespace gscope

@@ -1,32 +1,58 @@
 #include "net/stream_client.h"
 
+#include <algorithm>
+
 namespace gscope {
 
 StreamClient::StreamClient(MainLoop* loop, Options options)
-    : loop_(loop), options_(options), writer_(loop, options.max_buffer) {
+    : loop_(loop),
+      options_(options),
+      writer_(loop, options.max_buffer),
+      jitter_rng_(options.reconnect.seed) {
   writer_.SetPolicy(options.overflow_policy, MillisToNanos(options.block_deadline_ms));
+  writer_.SetAdaptive(options.adaptive);
   // A hard write error after establishment means the connection is gone; the
   // writer has already dropped the backlog and detached.
   writer_.SetErrorCallback([this]() {
     socket_.Close();
-    state_ = ConnectState::kDisconnected;
+    if (read_watch_ != 0) {
+      loop_->Remove(read_watch_);
+      read_watch_ = 0;
+    }
+    HandleConnectionDeath();
   });
 }
 
 StreamClient::~StreamClient() { Close(); }
 
+void StreamClient::SetState(ConnectState state) {
+  if (state_ == state) {
+    return;
+  }
+  state_ = state;
+  if (on_state_) {
+    on_state_(state);
+  }
+}
+
 bool StreamClient::Connect(uint16_t port) {
   Close();
-  socket_ = Socket::Connect(port);
+  port_ = port;
+  cur_backoff_ms_ = std::max<int64_t>(1, options_.reconnect.initial_backoff_ms);
+  failed_attempts_ = 0;
+  return StartConnect();
+}
+
+bool StreamClient::StartConnect() {
+  stats_.connect_attempts += 1;
+  socket_ = Socket::Connect(port_);
   if (!socket_.valid()) {
-    state_ = ConnectState::kFailed;
-    stats_.connect_failures += 1;
-    return false;
+    return FailAttempt(0);
   }
   if (options_.sndbuf_bytes > 0) {
     socket_.SetSendBufferBytes(options_.sndbuf_bytes);
   }
-  state_ = ConnectState::kConnecting;
+  SetState(ConnectState::kConnecting);
   // The handshake outcome is signalled by the first writability event; the
   // FramedWriter attaches only after SO_ERROR confirms establishment, so a
   // refused connect never looks like a drained backlog.
@@ -35,9 +61,7 @@ bool StreamClient::Connect(uint16_t port) {
       [this](int, IoCondition cond) { return OnConnectReady(cond); });
   if (connect_watch_ == 0) {
     socket_.Close();
-    state_ = ConnectState::kFailed;
-    stats_.connect_failures += 1;
-    return false;
+    return FailAttempt(0);
   }
   return true;
 }
@@ -46,6 +70,14 @@ void StreamClient::Close() {
   if (connect_watch_ != 0) {
     loop_->Remove(connect_watch_);
     connect_watch_ = 0;
+  }
+  if (read_watch_ != 0) {
+    loop_->Remove(read_watch_);
+    read_watch_ = 0;
+  }
+  if (retry_timer_ != 0) {
+    loop_->Remove(retry_timer_);
+    retry_timer_ = 0;
   }
   size_t discarded = writer_.Reset();
   if (state_ == ConnectState::kConnecting) {
@@ -56,7 +88,7 @@ void StreamClient::Close() {
     preconnect_discards_ += static_cast<int64_t>(discarded);
   }
   socket_.Close();
-  state_ = ConnectState::kDisconnected;
+  SetState(ConnectState::kDisconnected);
   preconnect_tuples_ = 0;
 }
 
@@ -71,9 +103,6 @@ bool StreamClient::OnConnectReady(IoCondition) {
 
 void StreamClient::ResolveConnect(int error) {
   if (error != 0) {
-    last_error_ = error;
-    state_ = ConnectState::kFailed;
-    stats_.connect_failures += 1;
     stats_.tuples_dropped += preconnect_tuples_;
     preconnect_tuples_ = 0;
     // Already counted dropped above: back the Reset()-side abandonment out
@@ -81,18 +110,96 @@ void StreamClient::ResolveConnect(int error) {
     // abandoned too would double-book the loss).
     preconnect_discards_ += static_cast<int64_t>(writer_.Reset());
     socket_.Close();
+    FailAttempt(error);
     if (on_connect_) {
       on_connect_(false, error);
     }
     return;
   }
-  state_ = ConnectState::kConnected;
+  SetState(ConnectState::kConnected);
+  failed_attempts_ = 0;
+  cur_backoff_ms_ = std::max<int64_t>(1, options_.reconnect.initial_backoff_ms);
+  establishments_ += 1;
+  if (establishments_ > 1) {
+    stats_.reconnects += 1;
+  }
   stats_.tuples_sent += preconnect_tuples_;
   preconnect_tuples_ = 0;
   writer_.Attach(socket_.fd());  // flushes anything queued pre-connect
+  // A pure producer never expects data back, so the read watch exists to
+  // notice the server going away promptly (EOF/reset arrives as readable)
+  // instead of on the next failed write.
+  read_watch_ =
+      loop_->AddIoWatch(socket_.fd(), IoCondition::kIn | IoCondition::kHup | IoCondition::kErr,
+                        [this](int, IoCondition) { return OnSocketReadable(); });
   if (on_connect_) {
     on_connect_(true, 0);
   }
+}
+
+bool StreamClient::OnSocketReadable() {
+  char buf[256];
+  while (true) {
+    IoResult r = socket_.Read(buf, sizeof(buf));
+    if (r.status == IoResult::Status::kOk) {
+      stats_.bytes_discarded += static_cast<int64_t>(r.bytes);
+      continue;
+    }
+    if (r.status == IoResult::Status::kWouldBlock) {
+      return true;
+    }
+    break;  // EOF or hard error: the connection is gone
+  }
+  read_watch_ = 0;
+  writer_.Reset();  // unsent frames are lost with the connection (abandoned)
+  socket_.Close();
+  HandleConnectionDeath();
+  return false;
+}
+
+void StreamClient::HandleConnectionDeath() {
+  const ReconnectOptions& r = options_.reconnect;
+  if (r.enabled && port_ != 0 &&
+      (r.max_attempts == 0 || failed_attempts_ < r.max_attempts)) {
+    EnterBackoff();
+    return;
+  }
+  SetState(ConnectState::kDisconnected);
+}
+
+bool StreamClient::FailAttempt(int error) {
+  last_error_ = error;
+  stats_.connect_failures += 1;
+  failed_attempts_ += 1;
+  const ReconnectOptions& r = options_.reconnect;
+  if (r.enabled && (r.max_attempts == 0 || failed_attempts_ < r.max_attempts)) {
+    EnterBackoff();
+    return true;
+  }
+  SetState(ConnectState::kFailed);
+  return false;
+}
+
+void StreamClient::EnterBackoff() {
+  int64_t delay = cur_backoff_ms_;
+  if (options_.reconnect.jitter_frac > 0) {
+    std::uniform_real_distribution<double> jitter(0.0, options_.reconnect.jitter_frac);
+    delay += static_cast<int64_t>(jitter(jitter_rng_) * static_cast<double>(cur_backoff_ms_));
+  }
+  delay = std::max<int64_t>(1, delay);
+  last_backoff_ms_ = delay;
+  cur_backoff_ms_ = std::min<int64_t>(
+      std::max<int64_t>(1, options_.reconnect.max_backoff_ms),
+      static_cast<int64_t>(static_cast<double>(cur_backoff_ms_) *
+                           std::max(1.0, options_.reconnect.multiplier)));
+  retry_timer_ = loop_->AddTimeoutMs(delay, std::function<bool()>([this]() {
+                                       retry_timer_ = 0;
+                                       StartConnect();
+                                       return false;
+                                     }));
+  // Announce the state only after the delay is armed and published:
+  // observers of the kBackoff edge read a consistent last_backoff_ms().
+  SetState(ConnectState::kBackoff);
 }
 
 bool StreamClient::SendTuple(const Tuple& tuple) {
@@ -101,6 +208,9 @@ bool StreamClient::SendTuple(const Tuple& tuple) {
 
 bool StreamClient::Send(int64_t time_ms, double value, std::string_view name) {
   if (state_ != ConnectState::kConnected && state_ != ConnectState::kConnecting) {
+    // Includes kBackoff: data produced while the link is down is disposable
+    // (the paper's stance); it is counted dropped rather than queued
+    // unboundedly against a server that may never come back.
     stats_.tuples_dropped += 1;
     return false;
   }

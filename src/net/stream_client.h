@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <random>
 #include <string_view>
 
 #include "core/tuple.h"
@@ -34,7 +35,26 @@ enum class ConnectState : uint8_t {
   kDisconnected,  // never connected, or an established connection ended
   kConnecting,    // non-blocking connect in flight
   kConnected,     // handshake completed (SO_ERROR was 0)
-  kFailed,        // connect failed (last_error() holds the errno)
+  kFailed,        // connect failed for good (last_error() holds the errno)
+  kBackoff,       // connection lost/refused; a reconnect timer is armed
+};
+
+// Automatic reconnect with capped exponential backoff.  Disabled by default:
+// a failed/lost connection then resolves to kFailed/kDisconnected exactly as
+// before.  When enabled, every lost or refused connection arms a one-shot
+// retry timer (state kBackoff) whose delay doubles up to the cap, plus a
+// deterministic jitter drawn from `seed` - concurrent clients spread out,
+// yet a fixed seed replays the exact schedule in tests.
+struct ReconnectOptions {
+  bool enabled = false;
+  int64_t initial_backoff_ms = 10;
+  int64_t max_backoff_ms = 1000;
+  double multiplier = 2.0;
+  double jitter_frac = 0.1;  // each delay stretched by up to this fraction
+  uint32_t seed = 1;
+  // Consecutive failed attempts before giving up (state kFailed);
+  // 0 = retry forever.  Resets on every successful establishment.
+  int max_attempts = 0;
 };
 
 class StreamClient {
@@ -52,6 +72,10 @@ class StreamClient {
     // moves backpressure from kernel buffering into this client's backlog,
     // where the overflow policy (and its counters) can see it.
     int sndbuf_bytes = 0;
+    // Self-healing knobs: automatic reconnect, and adaptive overflow
+    // handling for the output backlog (see FramedWriter::AdaptiveOptions).
+    ReconnectOptions reconnect;
+    FramedWriter::AdaptiveOptions adaptive;
   };
 
   struct Stats {
@@ -70,11 +94,21 @@ class StreamClient {
     int64_t block_time_ns = 0;       // kBlockWithDeadline waits
     int64_t backlog_high_water = 0;  // max unsent backlog bytes observed
     int64_t connect_failures = 0;
+    int64_t connect_attempts = 0;    // every TCP connect started (incl. retries)
+    int64_t reconnects = 0;          // successful re-establishments after the first
+    int64_t policy_switches = 0;     // adaptive overflow-policy transitions
+    int64_t bytes_discarded = 0;     // inbound bytes read and ignored (the
+                                     // read watch only exists to detect EOF)
   };
 
-  // Invoked once per Connect() when the handshake resolves: ok = true with
-  // error 0, or ok = false with the SO_ERROR errno value.
+  // Invoked each time a connect attempt resolves (with reconnect enabled
+  // that can be many times per Connect() call): ok = true with error 0, or
+  // ok = false with the SO_ERROR errno value.
   using ConnectFn = std::function<void(bool ok, int error)>;
+  // Invoked on every state transition, including those inside reconnect
+  // cycles.  Tests observe kConnected/kBackoff edges here instead of
+  // sleeping.
+  using StateFn = std::function<void(ConnectState state)>;
 
   // `loop` is not owned.
   StreamClient(MainLoop* loop, Options options);
@@ -93,8 +127,11 @@ class StreamClient {
   void Close();
 
   void SetConnectCallback(ConnectFn fn) { on_connect_ = std::move(fn); }
+  void SetStateCallback(StateFn fn) { on_state_ = std::move(fn); }
 
   ConnectState state() const { return state_; }
+  // The delay the most recent backoff armed (ms); for tests and diagnostics.
+  int64_t last_backoff_ms() const { return last_backoff_ms_; }
   // True only once the handshake has actually completed - never while the
   // connect is still in flight or after it failed.
   bool connected() const { return state_ == ConnectState::kConnected; }
@@ -129,20 +166,39 @@ class StreamClient {
     stats_.bytes_dropped = w.bytes_dropped;
     stats_.block_time_ns = w.block_time_ns;
     stats_.backlog_high_water = static_cast<int64_t>(w.high_water_bytes);
+    stats_.policy_switches = w.policy_switches;
     return stats_;
   }
 
  private:
+  bool StartConnect();
   bool OnConnectReady(IoCondition cond);
   void ResolveConnect(int error);
+  bool OnSocketReadable();
+  // A previously-established connection died (read EOF/error or a hard
+  // write error).  Enters backoff or settles in kDisconnected.
+  void HandleConnectionDeath();
+  // A connect attempt failed.  Arms the backoff timer when retries remain,
+  // else settles in kFailed.  Returns true if a retry was armed.
+  bool FailAttempt(int error);
+  void EnterBackoff();
+  void SetState(ConnectState state);
 
   MainLoop* loop_;
   Options options_;
   Socket socket_;
   FramedWriter writer_;
   SourceId connect_watch_ = 0;
+  SourceId read_watch_ = 0;
+  SourceId retry_timer_ = 0;
   ConnectState state_ = ConnectState::kDisconnected;
   int last_error_ = 0;
+  uint16_t port_ = 0;
+  int64_t cur_backoff_ms_ = 0;
+  int64_t last_backoff_ms_ = 0;
+  int failed_attempts_ = 0;    // consecutive, since the last establishment
+  int64_t establishments_ = 0;
+  std::mt19937 jitter_rng_;
   // Tuples committed while state_ == kConnecting; folded into tuples_sent
   // or tuples_dropped when the handshake resolves.
   int64_t preconnect_tuples_ = 0;
@@ -150,6 +206,7 @@ class StreamClient {
   // (already accounted as tuples_dropped); subtracted in stats().
   int64_t preconnect_discards_ = 0;
   ConnectFn on_connect_;
+  StateFn on_state_;
   mutable Stats stats_;
 };
 

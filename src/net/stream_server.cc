@@ -1,7 +1,9 @@
 #include "net/stream_server.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstring>
+#include <vector>
 
 #include "core/tuple.h"
 
@@ -59,13 +61,35 @@ bool StreamServer::Listen(uint16_t port) {
   }
   accept_watch_ = loop_->AddIoWatch(listener_.fd(), IoCondition::kIn,
                                     [this](int, IoCondition) { return OnAcceptReady(); });
-  return accept_watch_ != 0;
+  if (accept_watch_ == 0) {
+    return false;
+  }
+  // Maintenance sweep: idle-client reaping and/or echo-tap degradation.  The
+  // period is half the shortest enabled window, so a deadline is observed at
+  // most 1.5x late.
+  int64_t window = 0;
+  if (options_.idle_timeout_ms > 0) {
+    window = options_.idle_timeout_ms;
+  }
+  if (options_.degrade_stalled_ms > 0 &&
+      (window == 0 || options_.degrade_stalled_ms < window)) {
+    window = options_.degrade_stalled_ms;
+  }
+  if (window > 0) {
+    sweep_timer_ = loop_->AddTimeoutMs(std::max<int64_t>(1, window / 2),
+                                       std::function<bool()>([this]() { return Sweep(); }));
+  }
+  return true;
 }
 
 void StreamServer::Close() {
   if (accept_watch_ != 0) {
     loop_->Remove(accept_watch_);
     accept_watch_ = 0;
+  }
+  if (sweep_timer_ != 0) {
+    loop_->Remove(sweep_timer_);
+    sweep_timer_ = 0;
   }
   listener_.Close();
   for (auto& [key, client] : clients_) {
@@ -104,6 +128,7 @@ bool StreamServer::OnAcceptReady() {
     }
     auto client = std::make_unique<Client>(options_.max_line_bytes);
     client->socket = std::move(conn);
+    client->last_activity_ns = loop_->clock()->NowNs();
     int key = next_client_key_++;
     int fd = client->socket.fd();
     client->watch = loop_->AddIoWatch(
@@ -134,6 +159,7 @@ bool StreamServer::OnClientReady(int client_key, IoCondition cond) {
     IoResult r = client.socket.Read(buf, sizeof(buf));
     if (r.status == IoResult::Status::kOk) {
       stats_.bytes += static_cast<int64_t>(r.bytes);
+      client.last_activity_ns = loop_->clock()->NowNs();
       ProcessData(client_key, client, buf, r.bytes);
       if (clients_.count(client_key) == 0) {
         return false;  // a control failure dropped the client mid-chunk
@@ -188,7 +214,7 @@ void StreamServer::HandleControlLine(int client_key, Client& client, std::string
   std::string_view verb = NextToken(rest);
 
   if (verb != "SUB" && verb != "UNSUB" && verb != "DELAY" && verb != "LIST" &&
-      verb != "STATS") {
+      verb != "STATS" && verb != "PING" && verb != "TIME") {
     // Unknown verb: counted like any other malformed line so a garbage
     // producer cannot hide behind the control grammar; an existing session
     // additionally gets an ERR reply.
@@ -210,7 +236,10 @@ void StreamServer::HandleControlLine(int client_key, Client& client, std::string
   // writer; a malformed first command is only counted.)
   std::string reject;
   int64_t delay_ms = -1;
-  if (!excess.empty() || ((verb == "LIST" || verb == "STATS") && !arg.empty())) {
+  if (!excess.empty() ||
+      ((verb == "LIST" || verb == "STATS" || verb == "TIME") && !arg.empty())) {
+    // PING is the one verb with an optional argument: an opaque token echoed
+    // back verbatim (clients stamp it with their send time for RTT).
     reject.append("ERR ").append(verb).append(" trailing-junk");
   } else if ((verb == "SUB" || verb == "UNSUB") && arg.empty()) {
     reject.append("ERR ").append(verb).append(" missing-pattern");
@@ -245,6 +274,21 @@ void StreamServer::HandleControlLine(int client_key, Client& client, std::string
   } else if (verb == "DELAY") {
     session.scope->SetDelayMs(delay_ms);
     reply.append("OK DELAY ").append(arg);
+  } else if (verb == "PING") {
+    // Liveness probe.  Like every other verb it creates a session on first
+    // use: the PONG needs the session's egress writer to travel back.
+    stats_.pings_received += 1;
+    reply.append("PONG");
+    if (!arg.empty()) {
+      reply.push_back(' ');
+      reply.append(arg);
+    }
+  } else if (verb == "TIME") {
+    // The server's scope time, on the shared display axis (AdoptTimeBase):
+    // clients estimate clock offset from this plus the observed RTT, so a
+    // cross-host late-drop delay is judged against honest timestamps.
+    stats_.time_requests += 1;
+    reply.append("OK TIME ").append(std::to_string(session.scope->NowMs()));
   } else if (verb == "STATS") {
     // One reply line of space-separated key/value pairs (docs/protocol.md):
     // ingest health plus the drain-coalescing counters summed over every
@@ -264,6 +308,20 @@ void StreamServer::HandleControlLine(int client_key, Client& client, std::string
         .append(std::to_string(router_.excluded_route_slots()));
     reply.append(" samples_coalesced ").append(std::to_string(coalesced));
     reply.append(" samples_retained ").append(std::to_string(retained));
+    // Robustness counters (appended: the key table is extend-only, clients
+    // scan for keys they know and skip the rest).
+    int64_t policy_switches = stats_.policy_switches;  // retired sessions
+    for (const auto& [k, c] : clients_) {
+      if (c->session != nullptr) {
+        policy_switches += c->session->writer.stats().policy_switches;
+      }
+    }
+    reply.append(" pings_received ").append(std::to_string(stats_.pings_received));
+    reply.append(" taps_downgraded ").append(std::to_string(stats_.taps_downgraded));
+    reply.append(" taps_restored ").append(std::to_string(stats_.taps_restored));
+    reply.append(" clients_idle_dropped ")
+        .append(std::to_string(stats_.clients_idle_dropped));
+    reply.append(" policy_switches ").append(std::to_string(policy_switches));
   } else {  // LIST
     // The count goes FIRST: if the egress backlog drops some of the INFO
     // frames (whole-frame policy), the client can still tell the listing
@@ -292,12 +350,14 @@ StreamServer::ControlSession& StreamServer::EnsureSession(int client_key, Client
     return *client.session;
   }
   auto session = std::make_unique<ControlSession>(loop_, options_.control_max_buffer);
+  if (options_.control_sndbuf_bytes > 0) {
+    client.socket.SetSendBufferBytes(options_.control_sndbuf_bytes);
+  }
   session->scope = std::make_unique<Scope>(
       loop_, ScopeOptions{.name = "control-" + std::to_string(client_key),
                           .width = options_.control_scope_width,
                           .height = options_.control_scope_height});
   Scope* scope = session->scope.get();
-  FramedWriter* writer = &session->writer;
   scope->SetPollingMode(options_.control_poll_period_ms);
   // Judge producer timestamps on the server's existing display axis: a
   // session created mid-stream must not restart scope time at zero.
@@ -311,19 +371,11 @@ StreamServer::ControlSession& StreamServer::EnsureSession(int client_key, Client
   // configured policy (drop-oldest evictions surface as echo_evicted).
   // Session scopes are pure display-only consumers EXCEPT for this tap: the
   // echo contract is per-sample, so the tap registers as kEverySample and
-  // the route table keeps the session's slots on the history path (a future
-  // decimated-echo mode would switch to TapMode::kCoalesced and get the
-  // full last-wins fold for free).
-  scope->SetBufferedTap([this, writer](std::string_view name, int64_t time_ms, double value) {
-    int64_t evicted_before = writer->stats().frames_evicted;
-    AppendTuple(writer->BeginFrame(), time_ms, value, name);
-    if (writer->CommitFrame()) {
-      stats_.tuples_echoed += 1;
-    } else {
-      stats_.echo_dropped += 1;
-    }
-    stats_.echo_evicted += writer->stats().frames_evicted - evicted_before;
-  }, TapMode::kEverySample);
+  // the route table keeps the session's slots on the history path.  A
+  // session pinned at its egress cap for degrade_stalled_ms is downgraded
+  // to TapMode::kCoalesced by Sweep() - the full last-wins fold for free -
+  // and restored once the backlog drains calm.
+  InstallEchoTap(*session, TapMode::kEverySample);
   // A dead egress fd means the connection is gone; drop the client from a
   // fresh stack frame (the writer that saw the error is inside the session
   // being destroyed).  The weak token keeps the deferred closure from
@@ -355,6 +407,93 @@ void StreamServer::Reply(ControlSession& session, std::string_view line) {
   stats_.echo_evicted += session.writer.stats().frames_evicted - evicted_before;
 }
 
+void StreamServer::InstallEchoTap(ControlSession& session, TapMode mode) {
+  FramedWriter* writer = &session.writer;
+  session.tap_mode = mode;
+  session.scope->SetBufferedTap(
+      [this, writer](std::string_view name, int64_t time_ms, double value) {
+        int64_t evicted_before = writer->stats().frames_evicted;
+        AppendTuple(writer->BeginFrame(), time_ms, value, name);
+        if (writer->CommitFrame()) {
+          stats_.tuples_echoed += 1;
+        } else {
+          stats_.echo_dropped += 1;
+        }
+        stats_.echo_evicted += writer->stats().frames_evicted - evicted_before;
+      },
+      mode);
+}
+
+bool StreamServer::Sweep() {
+  Nanos now = loop_->clock()->NowNs();
+
+  if (options_.idle_timeout_ms > 0) {
+    Nanos cutoff = MillisToNanos(options_.idle_timeout_ms);
+    std::vector<int> idle;  // collect first: DropClient mutates clients_
+    for (const auto& [key, client] : clients_) {
+      if (now - client->last_activity_ns >= cutoff) {
+        idle.push_back(key);
+      }
+    }
+    for (int key : idle) {
+      stats_.clients_idle_dropped += 1;
+      DropClient(key);
+    }
+  }
+
+  if (options_.degrade_stalled_ms > 0) {
+    Nanos window = MillisToNanos(options_.degrade_stalled_ms);
+    for (auto& [key, client] : clients_) {
+      ControlSession* s = client->session.get();
+      if (s == nullptr) {
+        continue;
+      }
+      const FramedWriter::Stats& w = s->writer.stats();
+      int64_t loss = w.frames_dropped + w.frames_evicted;
+      // "Pinned" = the backlog is holding at least half its cap, or frames
+      // were lost since the last sweep - either way the subscriber is not
+      // keeping up with the per-sample echo.
+      bool pinned = s->writer.pending_bytes() * 2 >= options_.control_max_buffer ||
+                    loss != s->last_loss_frames;
+      // "Calm" = backlog nearly drained AND no loss for a whole window.
+      bool calm = s->writer.pending_bytes() * 8 <= options_.control_max_buffer &&
+                  loss == s->last_loss_frames;
+      s->last_loss_frames = loss;
+
+      if (s->tap_mode == TapMode::kEverySample) {
+        s->calm_since_ns = -1;
+        if (!pinned) {
+          s->stalled_since_ns = -1;
+        } else if (s->stalled_since_ns < 0) {
+          s->stalled_since_ns = now;
+        } else if (now - s->stalled_since_ns >= window) {
+          // Degrade instead of evicting: the subscriber keeps the freshest
+          // value of every signal at display granularity.  The NOTICE rides
+          // the same (pinned) writer, so delivery is best-effort - the
+          // taps_downgraded counter is the authoritative record.
+          InstallEchoTap(*s, TapMode::kCoalesced);
+          stats_.taps_downgraded += 1;
+          Reply(*s, "NOTICE DEGRADE coalesced");
+          s->stalled_since_ns = -1;
+        }
+      } else {
+        s->stalled_since_ns = -1;
+        if (!calm) {
+          s->calm_since_ns = -1;
+        } else if (s->calm_since_ns < 0) {
+          s->calm_since_ns = now;
+        } else if (now - s->calm_since_ns >= window) {
+          InstallEchoTap(*s, TapMode::kEverySample);
+          stats_.taps_restored += 1;
+          Reply(*s, "NOTICE RESTORE every-sample");
+          s->calm_since_ns = -1;
+        }
+      }
+    }
+  }
+  return true;
+}
+
 void StreamServer::DropClient(int client_key) {
   auto it = clients_.find(client_key);
   if (it == clients_.end()) {
@@ -367,6 +506,9 @@ void StreamServer::DropClient(int client_key) {
     // Unregister the session scope (epoch bump: routes re-snapshot) before
     // its storage goes away with the client entry.
     router_.RemoveScope(it->second->session->scope.get());
+    // The retired writer's adaptive transitions fold into the server total
+    // so STATS stays monotone across disconnects.
+    stats_.policy_switches += it->second->session->writer.stats().policy_switches;
   }
   clients_.erase(it);
   stats_.disconnections += 1;

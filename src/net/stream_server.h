@@ -17,7 +17,8 @@
 // strictly single-threaded server.
 //
 // Control channel: a client line starting with a letter is a control verb
-// (SUB / UNSUB / DELAY / LIST).  The first recognized verb turns the
+// (SUB / UNSUB / DELAY / LIST / STATS / PING / TIME).  The first recognized
+// verb turns the
 // connection into a *remote scope session*: the server creates a dedicated
 // Scope, registers it with the IngestRouter under the session's
 // SignalFilter — so the route table excludes non-subscribed signals at
@@ -82,6 +83,11 @@ struct StreamServerOptions {
   size_t control_max_buffer = 1 << 20;
   OverflowPolicy control_overflow_policy = OverflowPolicy::kDropNewest;
   int64_t control_block_deadline_ms = 0;
+  // SO_SNDBUF for a session's egress socket, 0 = kernel default.  Small
+  // values surface a slow subscriber in the session writer's backlog - where
+  // the overflow policy and the degradation sweep can see it - instead of in
+  // kernel buffering.
+  int control_sndbuf_bytes = 0;
   // SO_RCVBUF applied to every accepted connection, 0 = kernel default.  A
   // small value makes a deliberately slow/paused server exert backpressure
   // on producers quickly (stress harnesses) instead of hiding behind kernel
@@ -94,6 +100,18 @@ struct StreamServerOptions {
   // should the operator want a server-side view of a session).
   int control_scope_width = 128;
   int control_scope_height = 64;
+  // Liveness: drop a client that has sent nothing (tuples, verbs or PINGs)
+  // for this long.  0 = never; the pre-robustness behaviour.  Clients that
+  // enable their own ping_interval_ms stay alive through idle periods.
+  int64_t idle_timeout_ms = 0;
+  // Graceful degradation: when a session's egress backlog stays pinned (at
+  // or above half the cap, or losing frames) for this long, its echo tap is
+  // downgraded to TapMode::kCoalesced - the subscriber keeps seeing the
+  // freshest value of every signal instead of being evicted - and a
+  // "NOTICE DEGRADE coalesced" reply is sent.  Once the backlog drains calm
+  // for the same window the per-sample tap is restored ("NOTICE RESTORE
+  // every-sample").  0 = never degrade.
+  int64_t degrade_stalled_ms = 0;
 };
 
 class StreamServer {
@@ -118,6 +136,15 @@ class StreamServer {
     int64_t tuples_echoed = 0;     // tuples streamed back to subscribers
     int64_t echo_dropped = 0;      // egress overflow: newest frame dropped
     int64_t echo_evicted = 0;      // egress overflow: oldest frames evicted
+    // Liveness and degradation (all 0 unless the matching option is on).
+    int64_t pings_received = 0;      // PING verbs answered with PONG
+    int64_t time_requests = 0;       // TIME verbs answered with OK TIME
+    int64_t taps_downgraded = 0;     // echo taps switched to kCoalesced
+    int64_t taps_restored = 0;       // echo taps switched back to kEverySample
+    int64_t clients_idle_dropped = 0;  // clients dropped by idle_timeout_ms
+    // Adaptive overflow-policy transitions across session writers (live sum
+    // plus sessions already retired; see DropClient).
+    int64_t policy_switches = 0;
   };
 
   // Observes every successfully parsed ingest tuple line, before routing and
@@ -161,6 +188,11 @@ class StreamServer {
     SignalFilter filter;          // registered with the router; epoch-coupled
     std::unique_ptr<Scope> scope; // the session's display target
     FramedWriter writer;          // server -> client egress (replies + tuples)
+    // Degradation sweep state (loop clock; see Sweep()).
+    TapMode tap_mode = TapMode::kEverySample;
+    Nanos stalled_since_ns = -1;  // first sweep that saw the backlog pinned
+    Nanos calm_since_ns = -1;     // first sweep that saw it calm again
+    int64_t last_loss_frames = 0; // writer drops+evictions at the last sweep
   };
 
   struct Client {
@@ -169,6 +201,7 @@ class StreamServer {
     SourceId watch = 0;
     LineFramer framer;
     std::unique_ptr<ControlSession> session;
+    Nanos last_activity_ns = 0;   // loop clock at the last byte received
   };
 
   bool OnAcceptReady();
@@ -178,6 +211,11 @@ class StreamServer {
   void HandleControlLine(int client_key, Client& client, std::string_view line);
   ControlSession& EnsureSession(int client_key, Client& client);
   void Reply(ControlSession& session, std::string_view line);
+  // (Re)installs the session scope's echo tap in `mode`; records the mode.
+  void InstallEchoTap(ControlSession& session, TapMode mode);
+  // Maintenance sweep (idle_timeout_ms / degrade_stalled_ms): drops idle
+  // clients and downgrades/restores pinned sessions' echo taps.
+  bool Sweep();
   // Hands the chunk's shared batch to every scope (one O(1) span each).
   void FlushIngest();
   void DropClient(int client_key);
@@ -188,6 +226,7 @@ class StreamServer {
 
   Socket listener_;
   SourceId accept_watch_ = 0;
+  SourceId sweep_timer_ = 0;
   uint16_t port_ = 0;
 
   std::map<int, std::unique_ptr<Client>> clients_;

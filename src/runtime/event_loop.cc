@@ -336,6 +336,9 @@ void MainLoop::Invoke(std::function<void()> fn) {
 }
 
 bool MainLoop::Iterate(bool may_block) {
+  if (pre_iterate_hook_) {
+    pre_iterate_hook_();
+  }
   bool dispatched = DrainInvokeQueue();
 
   Nanos now = clock_->NowNs();

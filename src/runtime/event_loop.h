@@ -121,6 +121,17 @@ class MainLoop {
   // (Section 4.3's GTK-lock discipline).  Thread-safe.
   void Invoke(std::function<void()> fn);
 
+  // -- Diagnostics ----------------------------------------------------------
+
+  // Installs a hook that runs at the top of every Iterate(), before timers
+  // and poll.  This is the fault-injection / tracing seam: a test can flip
+  // FaultInjector rules, kill fds, or record iteration counts on exact loop
+  // boundaries instead of guessing with sleeps.  One hook at a time; pass
+  // nullptr to clear.  Not for production logic.
+  void SetPreIterateHook(std::function<void()> hook) {
+    pre_iterate_hook_ = std::move(hook);
+  }
+
   // Number of sources currently installed (for tests/diagnostics).
   size_t source_count() const;
 
@@ -149,6 +160,9 @@ class MainLoop {
 
   mutable std::mutex invoke_mu_;
   std::vector<std::function<void()>> invoke_queue_;
+
+  // Loop-thread only; runs first in every Iterate().
+  std::function<void()> pre_iterate_hook_;
 
   // Self-pipe used to interrupt poll(2) from Invoke().
   int wake_pipe_[2] = {-1, -1};

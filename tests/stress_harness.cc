@@ -12,6 +12,7 @@
 
 #include "bindings/gscope_c.h"
 #include "core/scope.h"
+#include "net/control_client.h"
 #include "net/stream_client.h"
 #include "net/stream_server.h"
 #include "runtime/clock.h"
@@ -42,6 +43,12 @@ void ProducerThread(const Options& opt, int idx, uint16_t port, SimClock* sim,
   copt.overflow_policy = opt.policy;
   copt.block_deadline_ms = opt.block_deadline_ms;
   copt.sndbuf_bytes = opt.sndbuf_bytes;
+  if (opt.auto_reconnect) {
+    copt.reconnect.enabled = true;
+    copt.reconnect.initial_backoff_ms = 2;
+    copt.reconnect.max_backoff_ms = 50;
+    copt.reconnect.seed = opt.seed * 7919u + static_cast<uint32_t>(idx);
+  }
   StreamClient client(&loop, copt);
   std::string name = ProducerName(opt, idx);
   std::mt19937 rng(opt.seed * 1000003u + static_cast<uint32_t>(idx));
@@ -67,17 +74,44 @@ void ProducerThread(const Options& opt, int idx, uint16_t port, SimClock* sim,
     return false;
   };
 
-  if (connect_retry()) {
+  // With auto_reconnect the client's own state machine owns retries: one
+  // Connect() call, then drive the loop until it lands (the backoff caps at
+  // 50 ms, so a mid-restart server is found quickly).
+  auto wait_established = [&]() -> bool {
+    Nanos deadline = RealNowNs() + MillisToNanos(2000);
+    while (!client.connected() && RealNowNs() < deadline) {
+      loop.RunForMs(1);
+    }
+    return client.connected();
+  };
+  bool up = opt.auto_reconnect ? (client.Connect(port), wait_established())
+                               : connect_retry();
+
+  if (up) {
     out->connected_ok = true;
     int64_t quota = opt.tuples_per_producer;
     int64_t seq = 0;
+    Nanos down_since = -1;
     while (seq < quota) {
       if (!client.connected()) {
+        if (opt.auto_reconnect) {
+          // Production pauses while the link is down; the armed backoff
+          // timer reconnects without any help from this loop.  The real-time
+          // guard only trips if the server never comes back.
+          if (down_since < 0) {
+            down_since = RealNowNs();
+          } else if (RealNowNs() - down_since > MillisToNanos(10000)) {
+            break;
+          }
+          loop.RunForMs(1);
+          continue;
+        }
         out->reconnects += 1;
         if (!connect_retry()) {
           break;
         }
       }
+      down_since = -1;
       int burst = 1 + static_cast<int>(rng() % static_cast<uint32_t>(opt.burst));
       for (int i = 0; i < burst && seq < quota; ++i) {
         out->attempted += 1;
@@ -112,7 +146,42 @@ void ProducerThread(const Options& opt, int idx, uint16_t port, SimClock* sim,
   out->bytes_dropped = s.bytes_dropped;
   out->block_time_ns = s.block_time_ns;
   out->high_water = s.backlog_high_water;
+  if (opt.auto_reconnect) {
+    out->reconnects = static_cast<int>(s.reconnects);
+  }
   running->fetch_sub(1, std::memory_order_release);
+}
+
+// -- flapping subscribers (ControlClient on its own loop thread) -------------
+
+void ViewerThread(const Options& opt, int idx, uint16_t port, ViewerReport* out,
+                  std::atomic<bool>* stop) {
+  MainLoop loop;
+  ControlClientOptions copt;
+  copt.reconnect.enabled = true;
+  copt.reconnect.initial_backoff_ms = 2;
+  copt.reconnect.max_backoff_ms = 50;
+  copt.reconnect.seed = opt.seed * 104729u + static_cast<uint32_t>(idx);
+  copt.ping_interval_ms = opt.viewer_ping_interval_ms;
+  copt.idle_timeout_ms = opt.viewer_idle_timeout_ms;
+  ControlClient viewer(&loop, copt);
+  viewer.SetTupleCallback([out](const TupleView&) { out->tuples_received += 1; });
+  // Declared before connecting, so the pattern rides the resumption replay
+  // on every establishment (resumed_commands == establishments).
+  viewer.Subscribe("p*");
+  viewer.Connect(port);
+  while (!stop->load(std::memory_order_acquire)) {
+    loop.RunForMs(1);
+    out->connected_ok |= viewer.connected();
+  }
+  viewer.Close();
+  const ControlClient::Stats& s = viewer.stats();
+  out->reconnects = s.reconnects;
+  out->resumed_commands = s.resumed_commands;
+  out->notices = s.notices;
+  out->liveness_timeouts = s.liveness_timeouts;
+  out->pings_sent = s.pings_sent;
+  out->pongs_received = s.pongs_received;
 }
 
 // -- forked producers (C bindings only) --------------------------------------
@@ -225,6 +294,9 @@ std::string Result::CheckDeliveryExact() const {
   if (restarts > 0) {
     return "";  // a torn-down connection loses kernel-buffered bytes
   }
+  if (fault_stats.kills > 0) {
+    return "";  // a mid-frame shutdown can discard kernel-buffered bytes
+  }
   int64_t client_bytes = 0;
   for (size_t i = 0; i < producers.size(); ++i) {
     const ProducerReport& p = producers[i];
@@ -237,7 +309,9 @@ std::string Result::CheckDeliveryExact() const {
     }
     client_bytes += p.bytes_sent;
   }
-  if (client_bytes != server_bytes) {
+  // Viewer connections add control-verb bytes to the server's read count,
+  // so the wire-level identity only binds producer-only rigs.
+  if (viewers.empty() && client_bytes != server_bytes) {
     return "bytes written by clients (" + std::to_string(client_bytes) +
            ") != bytes read by server (" + std::to_string(server_bytes) + ")";
   }
@@ -322,6 +396,22 @@ Result RunStress(const Options& opt) {
     result.setup_error = "restart steps are not supported in process mode";
     return result;
   }
+  if (opt.use_processes && opt.viewers > 0) {
+    result.setup_error = "viewers are threads; they cannot mix with forked producers";
+    return result;
+  }
+  result.viewers.resize(static_cast<size_t>(std::max(0, opt.viewers)));
+
+  // Install the scripted fault schedule for the whole run (server included).
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<FaultInjector::ScopedInstall> injector_guard;
+  if (!opt.faults.empty()) {
+    injector = std::make_unique<FaultInjector>(opt.fault_seed);
+    for (const FaultRule& rule : opt.faults) {
+      injector->AddRule(rule);
+    }
+    injector_guard = std::make_unique<FaultInjector::ScopedInstall>(injector.get());
+  }
 
   MainLoop server_loop;  // real clock: socket readiness is real
   Scope display(&server_loop, ScopeOptions{.name = "stress-display", .width = 64});
@@ -388,6 +478,14 @@ Result RunStress(const Options& opt) {
     }
     sim.AdvanceMs(step.ms);
   };
+
+  std::atomic<bool> viewers_stop{false};
+  std::vector<std::thread> viewer_threads;
+  viewer_threads.reserve(result.viewers.size());
+  for (int i = 0; i < opt.viewers; ++i) {
+    viewer_threads.emplace_back(ViewerThread, std::cref(opt), i, port,
+                                &result.viewers[static_cast<size_t>(i)], &viewers_stop);
+  }
 
   if (!opt.use_processes) {
     std::atomic<int> running{opt.producers};
@@ -458,20 +556,36 @@ Result RunStress(const Options& opt) {
     }
   }
 
-  // Settle: drain until every connection wound down and the count is stable.
+  // Settle: drain until every producer connection wound down and the count
+  // is stable.  Viewers are still connected clients at this point, so the
+  // floor is their count, not zero.
+  size_t floor = result.viewers.size();
   Nanos deadline = RealNowNs() + MillisToNanos(opt.settle_ms);
   int64_t last_tuples = -1;
   while (RealNowNs() < deadline) {
     server_loop.RunForMs(10);
-    if (server.client_count() == 0 && server.stats().tuples == last_tuples) {
+    if (server.client_count() <= floor && server.stats().tuples == last_tuples) {
       break;
     }
     last_tuples = server.stats().tuples;
   }
 
+  if (!viewer_threads.empty()) {
+    // One more drain so in-flight echoes reach the viewers, then stop them.
+    server_loop.RunForMs(50);
+    viewers_stop.store(true, std::memory_order_release);
+    for (std::thread& t : viewer_threads) {
+      t.join();
+    }
+    server_loop.RunForMs(10);  // observe their disconnects
+  }
+
   result.server_tuples = server.stats().tuples;
   result.server_parse_errors = server.stats().parse_errors;
   result.server_bytes = server.stats().bytes;
+  if (injector != nullptr) {
+    result.fault_stats = injector->stats();
+  }
   result.ran = true;
   return result;
 }

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fault_injector.h"
 #include "runtime/framed_writer.h"
 
 namespace gscope {
@@ -73,6 +74,23 @@ struct Options {
   // children inherit the listener fd, which would confound the re-listen.
   bool use_processes = false;
   int settle_ms = 5000;  // cap on the final drain
+  // Scripted syscall faults installed process-wide for the run's duration
+  // (short reads, partial writes, errno storms, mid-frame kills - see
+  // net/fault_injector.h).  They hit every socket in the rig, server side
+  // included; the invariants must hold regardless.
+  std::vector<FaultRule> faults;
+  uint32_t fault_seed = 1;
+  // Producers use StreamClient's reconnect state machine (capped backoff +
+  // session-independent resume) instead of the harness's manual
+  // connect-retry loop; production pauses while the link is down.
+  bool auto_reconnect = false;
+  // Flapping subscribers: ControlClients on their own loop threads that
+  // SUB "p*" with reconnect + session resumption enabled, so every server
+  // restart exercises the full self-healing loop (backoff -> reconnect ->
+  // replay).  Requires !use_processes (threads must not mix with fork).
+  int viewers = 0;
+  int64_t viewer_ping_interval_ms = 0;  // 0 = no liveness probing
+  int64_t viewer_idle_timeout_ms = 0;
 };
 
 struct ProducerReport {
@@ -90,16 +108,33 @@ struct ProducerReport {
   bool connected_ok = false;  // producer established at least once
 };
 
+struct ViewerReport {
+  int64_t tuples_received = 0;
+  int64_t reconnects = 0;        // re-establishments after the first
+  // SUB replays on establishment.  The viewer subscribes before connecting,
+  // so the single pattern is replayed on EVERY establishment:
+  // resumed_commands == reconnects + 1 when the viewer ever connected.
+  int64_t resumed_commands = 0;
+  int64_t notices = 0;           // server degradation NOTICEs observed
+  int64_t liveness_timeouts = 0;
+  int64_t pings_sent = 0;
+  int64_t pongs_received = 0;
+  bool connected_ok = false;
+};
+
 struct Result {
   bool ran = false;  // the rig itself completed (server up, producers ran)
   std::string setup_error;
   std::vector<ProducerReport> producers;
+  std::vector<ViewerReport> viewers;
   // Per producer, the values the server actually parsed, in arrival order.
   std::vector<std::vector<int64_t>> received;
   int64_t server_tuples = 0;
   int64_t server_parse_errors = 0;
   int64_t server_bytes = 0;
   int restarts = 0;
+  // What the fault schedule actually did (zeros when Options::faults empty).
+  FaultInjector::Stats fault_stats;
 
   int64_t TotalAttempted() const;
   int64_t TotalDelivered() const;

@@ -571,7 +571,11 @@ TEST_F(ControlChannelTest, UnsubscribeAndForgetTrimResumedState) {
   ASSERT_TRUE(server.Listen(port));
   ASSERT_TRUE(manual.Connect(port));
   ASSERT_TRUE(RunUntil([&]() { return manual.connected(); }));
-  loop_.RunForMs(20);
+  // Positive barrier instead of a blind wait: PING rides the same ordered
+  // stream as any replay would, so a PONG proves the server has consumed
+  // everything the establishment sent - and nothing was replayed.
+  manual.Ping();
+  ASSERT_TRUE(RunUntil([&]() { return manual.stats().pongs_received >= 1; }));
   EXPECT_EQ(manual.stats().resumed_commands, 0);
 }
 
@@ -603,7 +607,10 @@ TEST_F(ControlChannelTest, UnsubscribeDuringHandshakeIsNotOverriddenByReplay) {
   viewer.Unsubscribe("hs_*");
   EXPECT_TRUE(viewer.remembered_patterns().empty());
   ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
-  loop_.RunForMs(20);
+  // PONG round-trip as the ordering barrier: any replayed SUB would have
+  // been counted (and replied to) before the PING the server just answered.
+  viewer.Ping();
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().pongs_received >= 1; }));
   EXPECT_EQ(viewer.stats().resumed_commands, 0);
 
   StreamClient producer(&loop_);
@@ -624,7 +631,8 @@ TEST_F(ControlChannelTest, UnsubscribeDuringHandshakeIsNotOverriddenByReplay) {
   viewer.Subscribe("hs2_*");  // queued behind the handshake
   ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
   ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 2; }));
-  loop_.RunForMs(20);
+  viewer.Ping();
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().pongs_received >= 2; }));
   EXPECT_EQ(viewer.stats().resumed_commands, 0);  // rode its own frame
   // Exactly one ERR in the whole scenario: the queued UNSUB landing on the
   // fresh session (unknown-pattern, benign).  No duplicate-SUB ERR ever.

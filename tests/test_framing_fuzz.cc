@@ -11,12 +11,20 @@
 // confined to the lines it touches, with exact error accounting.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/scope.h"
 #include "core/tuple.h"
+#include "net/control_client.h"
+#include "net/fault_injector.h"
 #include "net/line_framer.h"
+#include "net/stream_server.h"
+#include "runtime/event_loop.h"
 
 namespace gscope {
 namespace {
@@ -220,6 +228,135 @@ TEST(FramingFuzz, ParseTupleViewTotalityOnMutatedLines) {
     EXPECT_TRUE(chunked == whole);
     // Every line is accounted exactly once: parsed, bad, or ignorable.
     EXPECT_LE(whole.tuples.size() + static_cast<size_t>(whole.bad), 400u);
+  }
+}
+
+TEST(FramingFuzz, FaultShimChunkScheduleIsInvariant) {
+  // The chunk sizes a ShortReads fault schedule would impose at the Socket
+  // boundary (seeded, probabilistic) must not change what the framer
+  // delivers.  The schedule is derived from the injector itself, so this is
+  // byte-exactly the read pattern a faulted socket would see.
+  for (uint32_t seed : {11u, 22u, 33u}) {
+    std::mt19937 rng(seed);
+    std::string stream = Mutate(rng, SerializeCorpus(rng, 250, nullptr));
+
+    FaultInjector fi(seed);
+    FaultRule rule = FaultInjector::ShortReads(3);
+    rule.probability = 0.7;  // mix clamped and full reads
+    fi.AddRule(rule);
+    std::vector<size_t> sizes;
+    for (int i = 0; i < 97; ++i) {
+      constexpr size_t kReadLen = 16;
+      FaultDecision d = fi.Intercept(FaultOp::kRead, 7, kReadLen);
+      sizes.push_back(std::min(d.max_len, kReadLen));
+    }
+    EXPECT_GT(fi.stats().short_reads, 0);
+
+    ParseOutcome whole = RunFramer(stream, {stream.size()});
+    ParseOutcome shimmed = RunFramer(stream, sizes);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    EXPECT_TRUE(shimmed == whole);
+  }
+}
+
+// One observed control-channel session: the demuxed reply and tuple
+// sequences in arrival order, plus the error accounting.
+struct SessionTrace {
+  std::vector<std::string> replies;
+  std::vector<std::pair<std::string, double>> tuples;
+  int64_t client_parse_errors = 0;
+  int64_t server_parse_errors = 0;
+  bool completed = false;
+};
+
+// Loopback control session (subscribe + push + echo) with or without the
+// fault shim installed.  Returns everything the client observed.
+SessionTrace RunControlSession(bool faulted, int tuple_count) {
+  MainLoop loop;
+  Scope scope(&loop, {.name = "fz", .width = 64});
+  scope.SetPollingMode(1);
+
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<FaultInjector::ScopedInstall> guard;
+  if (faulted) {
+    injector = std::make_unique<FaultInjector>(99);
+    injector->AddRule(FaultInjector::ShortReads(1));
+    injector->AddRule(FaultInjector::PartialWrites(2));
+    guard = std::make_unique<FaultInjector::ScopedInstall>(injector.get());
+  }
+
+  StreamServerOptions sopt;
+  sopt.control_poll_period_ms = 1;
+  StreamServer server(&loop, &scope, sopt);
+  SessionTrace trace;
+  if (!server.Listen(0)) {
+    return trace;
+  }
+  scope.StartPolling();  // anchor the timebase the session scope adopts
+
+  ControlClient viewer(&loop);
+  viewer.SetReplyCallback(
+      [&](std::string_view line) { trace.replies.emplace_back(line); });
+  viewer.SetTupleCallback([&](const TupleView& t) {
+    trace.tuples.emplace_back(std::string(t.name), t.value);
+  });
+
+  auto run_until = [&](const std::function<bool()>& pred, int max_ms) {
+    for (int i = 0; i < max_ms; ++i) {
+      if (pred()) {
+        return true;
+      }
+      loop.RunForMs(1);
+    }
+    return pred();
+  };
+
+  if (!viewer.Connect(server.port()) ||
+      !run_until([&]() { return viewer.connected(); }, 2000)) {
+    return trace;
+  }
+  viewer.Subscribe("fz_*");
+  viewer.SetDelay(50);  // display delay >> fault-slowed transit time
+  if (!run_until([&]() { return viewer.stats().replies_ok >= 2; }, 2000)) {
+    return trace;
+  }
+  for (int i = 0; i < tuple_count; ++i) {
+    viewer.Send(scope.NowMs(), static_cast<double>(i) * 0.5 - 7.25, "fz_sig");
+    loop.RunForMs(1);
+  }
+  trace.completed = run_until(
+      [&]() { return trace.tuples.size() >= static_cast<size_t>(tuple_count); }, 5000);
+  trace.client_parse_errors = viewer.stats().parse_errors;
+  trace.server_parse_errors = server.stats().parse_errors;
+  if (faulted) {
+    // The schedule really mangled the wire: every read clamped to one byte.
+    EXPECT_GT(injector->stats().short_reads, 0);
+    EXPECT_GT(injector->stats().partial_writes, 0);
+  }
+  return trace;
+}
+
+TEST(FramingFuzz, ControlClientDemuxInvariantUnderFaultShim) {
+  // The full bidirectional demux (replies by leading letter, tuples
+  // otherwise) through real sockets: a run whose every read is 1 byte and
+  // every write at most 2 must observe EXACTLY the sequences a friendly
+  // run observes - same replies in order, same echoed tuples in order,
+  // zero parse errors on both ends.
+  constexpr int kTuples = 40;
+  SessionTrace friendly = RunControlSession(/*faulted=*/false, kTuples);
+  SessionTrace faulted = RunControlSession(/*faulted=*/true, kTuples);
+
+  ASSERT_TRUE(friendly.completed);
+  ASSERT_TRUE(faulted.completed);
+  EXPECT_EQ(friendly.client_parse_errors, 0);
+  EXPECT_EQ(faulted.client_parse_errors, 0);
+  EXPECT_EQ(friendly.server_parse_errors, 0);
+  EXPECT_EQ(faulted.server_parse_errors, 0);
+  EXPECT_EQ(faulted.replies, friendly.replies);
+  ASSERT_EQ(faulted.tuples.size(), friendly.tuples.size());
+  for (size_t i = 0; i < friendly.tuples.size(); ++i) {
+    EXPECT_EQ(faulted.tuples[i].first, friendly.tuples[i].first) << "tuple " << i;
+    EXPECT_EQ(faulted.tuples[i].second, friendly.tuples[i].second) << "tuple " << i;
   }
 }
 

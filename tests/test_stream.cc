@@ -104,7 +104,9 @@ TEST_F(StreamTest, LateTuplesDroppedByDelayPolicy) {
   scope_.SetDelayMs(10);
   scope_.StartPolling();
   ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
-  loop_.RunForMs(100);
+  // Observe the scope clock off zero (not a blind wait): the stale stamp
+  // below must be unambiguously behind NowMs() - delay.
+  ASSERT_TRUE(RunUntil([&]() { return scope_.NowMs() >= 20; }));
 
   // A tuple stamped far in the past misses its display deadline.
   client.SendTuple({scope_.NowMs() - 500, 9.0, "late"});
@@ -149,10 +151,12 @@ TEST_F(StreamTest, PartialLinesReassembled) {
   std::string part1 = "12";
   std::string part2 = "3 7.5 spl";
   std::string part3 = "it\n";
+  // Wait until the server has CONSUMED each fragment before sending the
+  // next, so the split genuinely lands across separate reads.
   raw.Write(part1.data(), part1.size());
-  loop_.RunForMs(5);
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().bytes >= 2; }));
   raw.Write(part2.data(), part2.size());
-  loop_.RunForMs(5);
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().bytes >= 11; }));
   raw.Write(part3.data(), part3.size());
   ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 1; }));
   EXPECT_NE(scope_.FindSignal("split"), 0);
@@ -344,7 +348,9 @@ TEST_F(StreamTest, ServerCloseStopsAccepting) {
   server.Close();
   StreamClient client(&loop_);
   client.Connect(port);
-  loop_.RunForMs(50);
+  // The refused connect is the positive marker; no blind settling wait.
+  ASSERT_TRUE(RunUntil([&]() { return client.state() == ConnectState::kFailed; }));
+  EXPECT_GE(client.stats().connect_failures, 1);
   EXPECT_EQ(server.client_count(), 0u);
 }
 
@@ -378,7 +384,10 @@ TEST_F(StreamTest, OverlongLineCappedAndResynchronized) {
   const std::string junk(4096, 'x');
   for (int i = 0; i < 3; ++i) {
     raw.Write(junk.data(), junk.size());
-    loop_.RunForMs(5);
+    // Observe the server draining this chunk so the cap is crossed across
+    // distinct reads, not in one buffered gulp.
+    ASSERT_TRUE(RunUntil(
+        [&]() { return server.stats().bytes >= (i + 1) * 4096; }));
   }
   ASSERT_TRUE(RunUntil([&]() { return server.stats().parse_errors >= 1; }));
   EXPECT_EQ(server.stats().parse_errors, 1);  // one error for the whole line
@@ -426,10 +435,10 @@ TEST_F(StreamTest, ExactMaxLineBytesSplitAcrossReadsParses) {
   std::string padded_name = line.substr(4);
   line.push_back('\n');
 
-  // Split mid-name across two writes with a pause so the server sees two
-  // reads.
+  // Split mid-name across two writes; observe the first fragment consumed
+  // so the server provably sees two reads.
   raw.Write(line.data(), 40);
-  loop_.RunForMs(5);
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().bytes >= 40; }));
   raw.Write(line.data() + 40, line.size() - 40);
   ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 1; }));
   EXPECT_EQ(server.stats().parse_errors, 0);
@@ -441,8 +450,9 @@ TEST_F(StreamTest, ExactMaxLineBytesSplitAcrossReadsParses) {
   crlf += "\r\n";
   ASSERT_EQ(crlf.size(), 65u);  // 64 framed bytes + '\n'
   std::string crlf_name = crlf.substr(4, crlf.size() - 6);
+  const int64_t seen = server.stats().bytes;
   raw.Write(crlf.data(), 30);
-  loop_.RunForMs(5);
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().bytes >= seen + 30; }));
   raw.Write(crlf.data() + 30, crlf.size() - 30);
   ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 2; }));
   EXPECT_EQ(server.stats().parse_errors, 0);
@@ -462,7 +472,7 @@ TEST_F(StreamTest, MaxLineBytesPlusOneIsExactlyOneErrorAndResyncs) {
   line.append(65 - line.size(), 'c');
   line.push_back('\n');
   raw.Write(line.data(), 40);
-  loop_.RunForMs(5);
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().bytes >= 40; }));
   raw.Write(line.data() + 40, line.size() - 40);
   ASSERT_TRUE(RunUntil([&]() { return server.stats().parse_errors >= 1; }));
   EXPECT_EQ(server.stats().parse_errors, 1);
@@ -478,8 +488,9 @@ TEST_F(StreamTest, MaxLineBytesPlusOneIsExactlyOneErrorAndResyncs) {
   std::string crlf = "7 8 ";
   crlf.append(64 - crlf.size(), 'd');
   crlf += "\r\n";
+  const int64_t seen = server.stats().bytes;
   raw.Write(crlf.data(), 30);
-  loop_.RunForMs(5);
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().bytes >= seen + 30; }));
   raw.Write(crlf.data() + 30, crlf.size() - 30);
   ASSERT_TRUE(RunUntil([&]() { return server.stats().parse_errors >= 2; }));
   EXPECT_EQ(server.stats().parse_errors, 2);
