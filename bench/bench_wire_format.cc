@@ -1,0 +1,196 @@
+// Wire-format sweep: per-tuple ingest cost of text lines vs the negotiated
+// binary frames (docs/protocol.md, "Wire format v2"), across client counts
+// and frame sizes.  Interleaved best-of-3: each (format, clients, frame)
+// cell runs three times round-robin with its text twin, so thermal or
+// neighbour drift hits both formats alike and the headline ratio compares
+// like with like.  Emits one JSON document on stdout
+// (scripts/check.sh: ./bench_wire_format > BENCH_wire.json).
+//
+// The per-run metric is tuples per CPU-second (CLOCK_PROCESS_CPUTIME_ID):
+// the loop busy-polls, so wall time mostly measures the neighbours.
+#include <ctime>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gscope.h"
+
+namespace {
+
+double ProcessCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+struct RunConfig {
+  gscope::WireFormat wire = gscope::WireFormat::kText;
+  int clients = 1;
+  size_t frame_samples = 128;  // binary only; ignored for text
+  int tuples_per_client = 100'000;
+};
+
+struct RunResult {
+  bool ok = false;
+  int64_t tuples_received = 0;
+  int64_t frames_rx = 0;
+  int64_t server_bytes = 0;
+  double cpu_seconds = 0.0;
+  double seconds = 0.0;
+  double tuples_per_cpu_sec() const {
+    return cpu_seconds > 0 ? tuples_received / cpu_seconds : 0;
+  }
+};
+
+RunResult RunOnce(const RunConfig& cfg) {
+  gscope::MainLoop loop;
+  gscope::Scope scope(&loop, {.name = "sink", .width = 256});
+  scope.SetPollingMode(5);
+  scope.SetDelayMs(50);
+
+  gscope::StreamServer server(&loop, &scope);
+  if (!server.Listen(0)) {
+    return {};
+  }
+  scope.StartPolling();
+
+  std::vector<std::unique_ptr<gscope::StreamClient>> conns;
+  for (int i = 0; i < cfg.clients; ++i) {
+    gscope::StreamClient::Options copt;
+    copt.max_buffer = 16u << 20;
+    copt.wire_format = cfg.wire;
+    copt.frame_samples = cfg.frame_samples;
+    conns.push_back(std::make_unique<gscope::StreamClient>(&loop, copt));
+    if (!conns.back()->Connect(server.port())) {
+      return {};
+    }
+  }
+
+  gscope::SteadyClock clock;
+  // Establish (and for binary, negotiate) before the measured window: the
+  // sweep compares steady-state per-tuple cost, not handshakes.
+  gscope::Nanos setup_deadline = clock.NowNs() + gscope::MillisToNanos(5'000);
+  while (clock.NowNs() < setup_deadline) {
+    bool ready = true;
+    for (const auto& conn : conns) {
+      ready = ready && conn->connected() &&
+              (cfg.wire == gscope::WireFormat::kText || conn->wire_binary());
+    }
+    if (ready) {
+      break;
+    }
+    loop.Iterate(false);
+  }
+
+  double cpu_start = ProcessCpuSeconds();
+  gscope::Nanos start = clock.NowNs();
+
+  // Realistic tuples: instrumented programs export descriptive signal names
+  // and full-precision doubles, which is exactly where text encode/parse
+  // spends its CPU.  Binary interns the name once and ships 8 raw bytes.
+  constexpr int kBatch = 1024;
+  std::vector<std::string> names;
+  for (int c = 0; c < cfg.clients; ++c) {
+    names.push_back("bench_conn" + std::to_string(c) + "_tcp_cwnd_bytes_smoothed");
+  }
+  int sent_rounds = 0;
+  loop.AddIdle([&]() {
+    if (sent_rounds >= cfg.tuples_per_client) {
+      return false;
+    }
+    int batch = std::min(kBatch, cfg.tuples_per_client - sent_rounds);
+    int64_t now = scope.NowMs();
+    for (int c = 0; c < cfg.clients; ++c) {
+      for (int b = 0; b < batch; ++b) {
+        double value = (sent_rounds + b) * 1.0009765625 + 0.1234567890123;
+        conns[static_cast<size_t>(c)]->Send(now, value, names[static_cast<size_t>(c)]);
+      }
+    }
+    sent_rounds += batch;
+    return true;
+  });
+
+  const int64_t expected = static_cast<int64_t>(cfg.clients) * cfg.tuples_per_client;
+  gscope::Nanos deadline = clock.NowNs() + gscope::MillisToNanos(20'000);
+  while (clock.NowNs() < deadline) {
+    loop.Iterate(false);
+    if (sent_rounds >= cfg.tuples_per_client && server.stats().tuples >= expected) {
+      break;
+    }
+  }
+
+  RunResult result;
+  result.ok = server.stats().tuples >= expected;
+  result.tuples_received = server.stats().tuples;
+  result.frames_rx = server.stats().frames_rx;
+  result.server_bytes = server.stats().bytes;
+  result.seconds = gscope::NanosToSeconds(clock.NowNs() - start);
+  result.cpu_seconds = ProcessCpuSeconds() - cpu_start;
+  return result;
+}
+
+const char* WireName(gscope::WireFormat wire) {
+  return wire == gscope::WireFormat::kBinary ? "binary" : "text";
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRepeats = 3;
+  struct Cell {
+    RunConfig cfg;
+    RunResult best;  // highest tuples/cpu-sec of the repeats
+  };
+  std::vector<Cell> cells;
+  // Long enough runs (hundreds of ms of CPU each) that scheduler noise
+  // cannot dominate a cell; the interleaving handles the slower drift.
+  constexpr int kTuplesTotal = 600'000;
+  for (int clients : {1, 2, 4}) {
+    cells.push_back({{gscope::WireFormat::kText, clients, 128, kTuplesTotal / clients}, {}});
+    for (size_t frame : {size_t{16}, size_t{128}, size_t{512}}) {
+      cells.push_back({{gscope::WireFormat::kBinary, clients, frame, kTuplesTotal / clients}, {}});
+    }
+  }
+
+  // Interleaved repeats: pass 1 of every cell, then pass 2, then pass 3 -
+  // never three hot runs of one format back to back.
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    for (Cell& cell : cells) {
+      RunResult r = RunOnce(cell.cfg);
+      std::fprintf(stderr, "rep %d %s clients=%d frame=%zu: %.0f tuples/cpu-sec%s\n", rep,
+                   WireName(cell.cfg.wire), cell.cfg.clients, cell.cfg.frame_samples,
+                   r.tuples_per_cpu_sec(), r.ok ? "" : " (INCOMPLETE)");
+      if (r.ok && r.tuples_per_cpu_sec() > cell.best.tuples_per_cpu_sec()) {
+        cell.best = r;
+      }
+    }
+  }
+
+  double text_1c = 0.0;
+  double binary_1c = 0.0;
+  std::printf("{\n  \"bench\": \"wire_format\",\n  \"metric\": \"tuples_per_cpu_sec\",\n");
+  std::printf("  \"repeats\": %d,\n  \"policy\": \"interleaved best-of-%d\",\n  \"runs\": [\n",
+              kRepeats, kRepeats);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    std::printf("    {\"wire\": \"%s\", \"clients\": %d, \"frame_samples\": %zu, "
+                "\"tuples\": %lld, \"frames_rx\": %lld, \"wire_bytes\": %lld, "
+                "\"cpu_seconds\": %.4f, \"tuples_per_cpu_sec\": %.0f}%s\n",
+                WireName(cell.cfg.wire), cell.cfg.clients, cell.cfg.frame_samples,
+                static_cast<long long>(cell.best.tuples_received),
+                static_cast<long long>(cell.best.frames_rx),
+                static_cast<long long>(cell.best.server_bytes), cell.best.cpu_seconds,
+                cell.best.tuples_per_cpu_sec(), i + 1 < cells.size() ? "," : "");
+    if (cell.cfg.clients == 1) {
+      if (cell.cfg.wire == gscope::WireFormat::kText) {
+        text_1c = cell.best.tuples_per_cpu_sec();
+      } else if (cell.best.tuples_per_cpu_sec() > binary_1c) {
+        binary_1c = cell.best.tuples_per_cpu_sec();
+      }
+    }
+  }
+  std::printf("  ],\n  \"speedup_1_client_best_binary_vs_text\": %.2f\n}\n",
+              text_1c > 0 ? binary_1c / text_1c : 0.0);
+  return 0;
+}

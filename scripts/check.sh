@@ -74,7 +74,10 @@ cmake --build "$asan_dir" -j --target \
 echo "--- ASan+UBSan fault matrix: framing fuzz + self-healing transport ---"
 # The fault injector mangles every syscall boundary (1-byte reads, partial
 # writes, EINTR storms, mid-frame kills) while the sanitizers watch the
-# reassembly buffers: exactly where a torn-frame overread would hide.
+# reassembly buffers: exactly where a torn-frame overread would hide.  The
+# matrix includes the binary-wire column (negotiated frames under the same
+# faults), and test_framing_fuzz's corpus covers binary chunking, corrupted
+# CRCs, truncated-frame resync and the text->HELLO->binary transition.
 "$asan_dir/test_framing_fuzz"
 "$asan_dir/test_reliability"
 
@@ -110,7 +113,7 @@ echo "--- TSan: multi-producer backpressure stress (thread-mode policies) ---"
 echo "--- TSan: fault matrix over producer/viewer threads ---"
 # Only the matrix test runs under TSan: it is the one that mixes the
 # process-global fault shim with producer threads, viewer loop threads and
-# server restarts.  The timing-shaped reliability tests (backoff ladders,
+# server restarts (text and binary-wire rows alike).  The timing-shaped reliability tests (backoff ladders,
 # liveness deadlines) are excluded - the sanitizer's slowdown turns their
 # real-time schedules into noise, and ASan above already runs them all.
 "$tsan_dir/test_reliability" \

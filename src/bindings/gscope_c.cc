@@ -28,6 +28,7 @@ struct gscope_ctx {
   gscope::ReconnectOptions reconnect;
   int64_t ping_interval_ms = 0;
   int64_t idle_timeout_ms = 0;
+  gscope::WireFormat wire_format = gscope::WireFormat::kText;
 };
 
 namespace {
@@ -206,6 +207,7 @@ int gscope_connect(gscope_ctx* ctx, uint16_t port) {
     options.reconnect = ctx->reconnect;
     options.ping_interval_ms = ctx->ping_interval_ms;
     options.idle_timeout_ms = ctx->idle_timeout_ms;
+    options.wire_format = ctx->wire_format;
     ctx->control = std::make_unique<gscope::ControlClient>(ctx->loop.get(), options);
     gscope::Scope* scope = ctx->scope.get();
     // Remote tuples are re-stamped on arrival: the server already applied
@@ -267,6 +269,17 @@ int gscope_set_queue_policy(gscope_ctx* ctx, int policy, int64_t block_deadline_
   if (ctx->control != nullptr) {
     ctx->control->SetQueuePolicy(ctx->queue_policy, block_deadline_ms);
   }
+  return 0;
+}
+
+int gscope_set_wire_format(gscope_ctx* ctx, int wire_format) {
+  if (!Valid(ctx) || wire_format < GSCOPE_WIRE_TEXT || wire_format > GSCOPE_WIRE_BINARY) {
+    return kErrBadArg;
+  }
+  if (ctx->control != nullptr) {
+    return kErrFailed;  // the connection object already exists
+  }
+  ctx->wire_format = static_cast<gscope::WireFormat>(wire_format);
   return 0;
 }
 

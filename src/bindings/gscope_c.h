@@ -103,6 +103,18 @@ int gscope_send(gscope_ctx* ctx, int64_t time_ms, double value, const char* name
  * `block_deadline_ms` bounds each GSCOPE_QUEUE_BLOCK wait. */
 int gscope_set_queue_policy(gscope_ctx* ctx, int policy, int64_t block_deadline_ms);
 
+/* Wire formats for the upstream connection (docs/protocol.md, "Wire
+ * format v2").  Binary negotiates HELLO BIN 1 after every establishment and
+ * falls back to text when the server declines, so it is safe against any
+ * server. */
+#define GSCOPE_WIRE_TEXT 0   /* newline-delimited tuple lines (default) */
+#define GSCOPE_WIRE_BINARY 1 /* negotiated length-prefixed binary frames */
+
+/* Selects the wire format used for gscope_send tuples.  Must be called
+ * BEFORE the first gscope_connect (the connection object is created there);
+ * later calls fail. */
+int gscope_set_wire_format(gscope_ctx* ctx, int wire_format);
+
 /* Caps the upstream backlog at `max_buffer_bytes` (applies immediately) and
  * requests an SO_SNDBUF of `sndbuf_bytes` for the NEXT gscope_connect (0 =
  * kernel default).  Small values surface backpressure in the queue-policy

@@ -289,6 +289,39 @@ void IngestRouter::Append(std::string_view name, int64_t time_ms, double value) 
   block_->Append(time_ms, value, route);
 }
 
+bool IngestRouter::ResolveRoute(std::string_view name, uint32_t* route) {
+  if (name.empty()) {
+    return false;  // the unnamed form has no route; use Append("")
+  }
+  EnsureBatch();
+  if (!epoch_valid_) {
+    SyncRoutes();  // ResolveNewRoute mutates the staged table: sync first
+  }
+  auto it = name_to_route_.find(name);
+  if (it != name_to_route_.end()) {
+    *route = it->second;
+    return true;
+  }
+  return ResolveNewRoute(name, route);
+}
+
+void IngestRouter::AppendRoute(uint32_t route, int64_t time_ms, double value) {
+  EnsureBatch();
+  if (!epoch_valid_) {
+    SyncRoutes();
+  }
+  if (route_unresolved_[route] != 0) {
+    if (options_.auto_create_signals && !scopes_.empty()) {
+      ReResolveRoute(route);
+    }
+    if (route_unresolved_[route] != 0) {
+      ShimPushUnresolved(route, time_ms, value);
+      block_->has_unresolved = true;
+    }
+  }
+  block_->Append(time_ms, value, route);
+}
+
 void IngestRouter::AppendTupleLine(std::string_view line, int64_t* tuples,
                                    int64_t* parse_errors) {
   std::optional<TupleView> tuple = ParseTupleView(line);

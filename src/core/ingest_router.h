@@ -91,6 +91,19 @@ class IngestRouter {
   // between transports.
   void AppendTupleLine(std::string_view line, int64_t* tuples, int64_t* parse_errors);
 
+  // Batch ingest for the binary wire path (net/frame_codec.h): ResolveRoute
+  // interns `name` once - when a connection binds a dictionary id - and
+  // returns a stable route index; AppendRoute then ingests each sample of
+  // that id without touching the name at all.  Returns false when no route
+  // can be created (nothing accepted the name anywhere: the unbounded-name
+  // protection with auto-create off) - callers fall back to Append per
+  // sample, which handles the shim paths.
+  bool ResolveRoute(std::string_view name, uint32_t* route);
+  // Appends one sample on a route previously returned by ResolveRoute on
+  // this router (route indexes are stable for the router's lifetime).
+  // Steady state is O(1): one unresolved-flag test plus the block append.
+  void AppendRoute(uint32_t route, int64_t time_ms, double value);
+
   struct FlushStats {
     // Samples rejected as late across all scopes (span-level and shim-level).
     int64_t dropped_late = 0;

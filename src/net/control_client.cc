@@ -32,7 +32,22 @@ ControlClient::ControlClient(MainLoop* loop, ControlClientOptions options)
   writer_.SetErrorCallback([this]() { Disconnect(); });
 }
 
-ControlClient::~ControlClient() { Close(); }
+ControlClient::~ControlClient() {
+  self_alias_.reset();  // invalidate deferred flush closures before teardown
+  Close();
+}
+
+// Decoder callbacks for the server's framed egress.
+struct ControlClient::RxHandler {
+  ControlClient* client;
+  void OnDictEntry(uint32_t id, std::string_view name) {
+    client->BindRxName(id, name);
+  }
+  void OnSampleBatch(int64_t base_time_ms, const char* records, size_t n) {
+    client->DeliverRecords(base_time_ms, records, n);
+  }
+  void OnTextLine(std::string_view line) { client->HandleLine(line); }
+};
 
 int64_t ControlClient::LocalNowMs() const {
   return loop_->clock()->NowNs() / kNanosPerMilli;
@@ -105,7 +120,11 @@ void ControlClient::Close() {
     stats_.frames_dropped += static_cast<int64_t>(discarded);
     preconnect_discards_ += static_cast<int64_t>(discarded);
   }
+  DropStagedWire();
   framer_.Reset();
+  decoder_.Reset();
+  rx_names_.clear();
+  wire_ = WireState::kTextOnly;
   socket_.Close();
   SetState(ConnectState::kDisconnected);
   preconnect_frames_ = 0;
@@ -178,6 +197,19 @@ bool ControlClient::OnConnectReady() {
   writer_.Attach(socket_.fd());  // flushes commands queued pre-connect
   read_watch_ = loop_->AddIoWatch(socket_.fd(), IoCondition::kIn,
                                   [this](int, IoCondition cond) { return OnReadable(cond); });
+  if (options_.wire_format == WireFormat::kBinary) {
+    // Renegotiate on EVERY establishment, ahead of the session replay (the
+    // SUBs that follow still travel as text; the server parses text until
+    // our first binary frame).  Counted in commands_sent like any verb, but
+    // never in resumed_commands - it is negotiation, not session state.
+    wire_ = WireState::kHelloSent;
+    decoder_.Reset();
+    rx_names_.clear();
+    encoder_.ResetDict();
+    SendCommand("HELLO", "BIN 1");
+  } else {
+    wire_ = WireState::kTextOnly;
+  }
   if (options_.auto_resubscribe) {
     // Session resumption: replay the CURRENT remembered state (so an
     // Unsubscribe/SetDelay issued mid-handshake is never overridden by a
@@ -256,8 +288,12 @@ void ControlClient::Disconnect() {
     loop_->Remove(liveness_timer_);
     liveness_timer_ = 0;
   }
+  DropStagedWire();
   writer_.Reset();
   framer_.Reset();
+  decoder_.Reset();
+  rx_names_.clear();
+  wire_ = WireState::kTextOnly;
   socket_.Close();
   time_req_sent_ms_ = -1;
   const ReconnectOptions& r = options_.reconnect;
@@ -281,17 +317,70 @@ bool ControlClient::OnReadable(IoCondition cond) {
     if (r.status == IoResult::Status::kOk) {
       stats_.bytes_received += static_cast<int64_t>(r.bytes);
       last_rx_ns_ = loop_->clock()->NowNs();
-      framer_.Consume(buf, r.bytes, &stats_.parse_errors,
-                      [this](std::string_view line) { HandleLine(line); });
+      const char* p = buf;
+      size_t n = r.bytes;
+      while (n > 0) {
+        if (wire_ == WireState::kBinary) {
+          RxHandler handler{this};
+          decoder_.Consume(p, n, handler);
+          stats_.parse_errors += decoder_.Take().crc_errors;
+          n = 0;
+          break;
+        }
+        // The "OK HELLO BIN 1" line is the exact flip point: everything the
+        // server sends after it is framed, so the line parser must stop
+        // there and hand the chunk's remainder to the decoder.
+        size_t used = framer_.ConsumeStoppable(
+            p, n, &stats_.parse_errors, [this](std::string_view line) {
+              WireState before = wire_;
+              HandleLine(line);
+              return wire_ == before;
+            });
+        p += used;
+        n -= used;
+      }
       continue;
     }
     if (r.status == IoResult::Status::kWouldBlock) {
       return true;
     }
-    framer_.FlushTail([this](std::string_view line) { HandleLine(line); });
+    if (wire_ == WireState::kBinary) {
+      decoder_.Finish();  // a torn partially-buffered frame counts once
+      stats_.parse_errors += decoder_.Take().crc_errors;
+    } else {
+      framer_.FlushTail([this](std::string_view line) { HandleLine(line); });
+    }
     read_watch_ = 0;  // returning false removes this watch
     Disconnect();
     return false;
+  }
+}
+
+void ControlClient::BindRxName(uint32_t id, std::string_view name) {
+  if (rx_names_.size() < id) {
+    rx_names_.resize(id);
+  }
+  rx_names_[id - 1].assign(name);
+}
+
+void ControlClient::DeliverRecords(int64_t base_time_ms, const char* records,
+                                   size_t n) {
+  for (size_t i = 0; i < n; ++i, records += wire::kSampleRecordBytes) {
+    uint32_t id = wire::LoadU32(records);
+    int64_t time_ms = base_time_ms + wire::LoadI32(records + 4);
+    double value = wire::LoadF64(records + 8);
+    std::string_view name;
+    if (id != 0) {
+      if (id > rx_names_.size()) {
+        stats_.parse_errors += 1;  // frame did not declare the id
+        continue;
+      }
+      name = rx_names_[id - 1];
+    }
+    stats_.tuples_received += 1;
+    if (on_tuple_) {
+      on_tuple_(TupleView{time_ms, value, name});
+    }
   }
 }
 
@@ -306,6 +395,9 @@ void ControlClient::HandleLine(std::string_view line) {
   if ((c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z')) {
     if (line.rfind("OK", 0) == 0) {
       stats_.replies_ok += 1;
+      if (wire_ == WireState::kHelloSent && line.rfind("OK HELLO BIN 1", 0) == 0) {
+        wire_ = WireState::kBinary;  // both directions framed from here
+      }
       int64_t server_ms = 0;
       if (time_req_sent_ms_ >= 0 && ParseIntArg(line, "OK TIME", &server_ms)) {
         // Midpoint estimate: the server stamped its scope time somewhere in
@@ -321,6 +413,9 @@ void ControlClient::HandleLine(std::string_view line) {
       }
     } else if (line.rfind("ERR", 0) == 0) {
       stats_.replies_err += 1;
+      if (wire_ == WireState::kHelloSent && line.rfind("ERR HELLO", 0) == 0) {
+        wire_ = WireState::kTextOnly;  // declined: text for good
+      }
     } else if (line.rfind("INFO", 0) == 0) {
       stats_.replies_info += 1;
     } else if (line.rfind("PONG", 0) == 0) {
@@ -358,13 +453,29 @@ bool ControlClient::SendCommand(std::string_view verb, std::string_view arg) {
     stats_.frames_dropped += 1;
     return false;
   }
-  std::string& buf = writer_.BeginFrame();
-  buf.append(verb);
-  if (!arg.empty()) {
-    buf.push_back(' ');
-    buf.append(arg);
+  if (wire_ == WireState::kBinary && !encoder_.empty()) {
+    FlushWire();  // staged pushed tuples precede the verb on the wire
   }
-  buf.push_back('\n');
+  std::string& buf = writer_.BeginFrame();
+  if (wire_ == WireState::kBinary) {
+    size_t mark = buf.size();
+    buf.append(verb);
+    if (!arg.empty()) {
+      buf.push_back(' ');
+      buf.append(arg);
+    }
+    std::string_view line(buf.data() + mark, buf.size() - mark);
+    std::string text(line);  // verbs are cold-path; one scratch copy is fine
+    buf.resize(mark);
+    wire::WireEncoder::EmitTextLineFrame(buf, text);
+  } else {
+    buf.append(verb);
+    if (!arg.empty()) {
+      buf.push_back(' ');
+      buf.append(arg);
+    }
+    buf.push_back('\n');
+  }
   if (!writer_.CommitFrame()) {
     stats_.frames_dropped += 1;
     return false;
@@ -455,6 +566,26 @@ bool ControlClient::Send(int64_t time_ms, double value, std::string_view name) {
     stats_.frames_dropped += 1;
     return false;
   }
+  if (wire_ == WireState::kBinary) {
+    // Stage into the open sample frame; commit/accounting happens at the
+    // flush (inline at a frame's worth, else deferred one loop iteration).
+    wire::StageResult r = encoder_.Add(name, time_ms, value);
+    if (r == wire::StageResult::kFrameFull) {
+      FlushWire();
+      r = encoder_.Add(name, time_ms, value);
+    }
+    if (r != wire::StageResult::kStaged) {
+      stats_.frames_dropped += 1;
+      return false;
+    }
+    if (encoder_.staged_samples() >= options_.frame_samples) {
+      FlushWire();
+    } else {
+      ScheduleWireFlush();
+    }
+    last_tx_ns_ = loop_->clock()->NowNs();
+    return true;
+  }
   AppendTuple(writer_.BeginFrame(), time_ms, value, name);
   if (!writer_.CommitFrame()) {
     stats_.frames_dropped += 1;
@@ -466,6 +597,44 @@ bool ControlClient::Send(int64_t time_ms, double value, std::string_view name) {
   stats_.tuples_pushed += 1;
   last_tx_ns_ = loop_->clock()->NowNs();
   return true;
+}
+
+void ControlClient::FlushWire() {
+  size_t n = encoder_.staged_samples();
+  if (n == 0) {
+    return;
+  }
+  if (state_ != ConnectState::kConnected || wire_ != WireState::kBinary) {
+    DropStagedWire();  // the connection died between staging and the flush
+    return;
+  }
+  std::string& buf = writer_.BeginFrame();
+  encoder_.EmitFrame(buf);
+  if (!writer_.CommitFrame(static_cast<uint32_t>(n))) {
+    stats_.frames_dropped += 1;
+    return;
+  }
+  stats_.tuples_pushed += static_cast<int64_t>(n);
+}
+
+void ControlClient::ScheduleWireFlush() {
+  if (wire_flush_pending_) {
+    return;
+  }
+  wire_flush_pending_ = true;
+  std::weak_ptr<ControlClient> weak_self = self_alias_;
+  loop_->Invoke([weak_self]() {
+    if (std::shared_ptr<ControlClient> client = weak_self.lock()) {
+      client->wire_flush_pending_ = false;
+      client->FlushWire();
+    }
+  });
+}
+
+void ControlClient::DropStagedWire() {
+  if (encoder_.ClearStaged() > 0) {
+    stats_.frames_dropped += 1;  // the open frame's worth of pushed tuples
+  }
 }
 
 }  // namespace gscope

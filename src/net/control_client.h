@@ -19,11 +19,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/tuple.h"
+#include "net/frame_codec.h"
 #include "net/line_framer.h"
 #include "net/socket.h"
 #include "net/stream_client.h"  // ConnectState
@@ -72,6 +74,17 @@ struct ControlClientOptions {
   // Issue a TIME request on every establishment, so time_offset_ms() is
   // populated without a manual RequestTime().
   bool sync_time_on_connect = false;
+  // Wire format (docs/protocol.md "Binary wire protocol").  kBinary sends
+  // HELLO BIN 1 on every establishment - BEFORE the session replay, so a
+  // reconnect renegotiates automatically - and, once acknowledged, both
+  // directions switch to length-prefixed frames: pushed tuples batch into
+  // sample frames, verbs/replies ride text frames, and echoed tuples arrive
+  // as decoded sample batches.  Declined or unanswered HELLOs leave the
+  // connection in text, so the option is safe against any server.
+  WireFormat wire_format = WireFormat::kText;
+  // Binary only: samples staged per pushed frame before sealing (anything
+  // staged still flushes at the end of the loop iteration).
+  size_t frame_samples = 128;
 };
 
 class ControlClient {
@@ -186,8 +199,11 @@ class ControlClient {
     options_.sndbuf_bytes = sndbuf_bytes;
   }
 
-  // Unsent bytes currently queued toward the server.
-  size_t pending_bytes() const { return writer_.pending_bytes(); }
+  // Unsent bytes currently queued toward the server (binary: staged-but-
+  // unsealed samples included).
+  size_t pending_bytes() const { return writer_.pending_bytes() + encoder_.staged_bytes(); }
+  // True once HELLO BIN was acknowledged on the current connection.
+  bool wire_binary() const { return wire_ == WireState::kBinary; }
 
   // Received matched tuples.  The view borrows the read buffer: copy what
   // must outlive the callback.
@@ -216,11 +232,26 @@ class ControlClient {
   }
 
  private:
+  // Wire negotiation state (ControlClientOptions::wire_format == kBinary).
+  // One state covers both directions: the server's "OK HELLO BIN 1" line is
+  // the exact point where its egress turns framed, so rx flips mid-chunk on
+  // that line and tx flips with it.
+  enum class WireState : uint8_t { kTextOnly, kHelloSent, kBinary };
+
+  struct RxHandler;  // decoder callbacks -> HandleLine / tuple delivery
+
   bool StartConnect();
   bool OnConnectReady();
   bool OnReadable(IoCondition cond);
   void HandleLine(std::string_view line);
   bool SendCommand(std::string_view verb, std::string_view arg);
+  // Seals staged pushed samples into one wire frame in the output backlog.
+  void FlushWire();
+  void ScheduleWireFlush();
+  void DropStagedWire();
+  // Installs one rx dictionary binding / delivers one decoded sample batch.
+  void BindRxName(uint32_t id, std::string_view name);
+  void DeliverRecords(int64_t base_time_ms, const char* records, size_t n);
   // Tears the live connection down, then enters backoff (reconnect enabled)
   // or settles in kDisconnected.
   void Disconnect();
@@ -274,6 +305,15 @@ class ControlClient {
   ConnectFn on_connect_;
   StateFn on_state_;
   mutable Stats stats_;
+  // Binary wire state.
+  WireState wire_ = WireState::kTextOnly;
+  wire::WireEncoder encoder_;
+  wire::FrameDecoder decoder_;
+  std::vector<std::string> rx_names_;  // echo dictionary, by id - 1
+  bool wire_flush_pending_ = false;
+  // Liveness token for the deferred flush closure (declared LAST: destroyed
+  // first, so a queued flush never touches a dead client).
+  std::shared_ptr<ControlClient> self_alias_{this, [](ControlClient*) {}};
 };
 
 }  // namespace gscope

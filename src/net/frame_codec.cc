@@ -1,0 +1,250 @@
+#include "net/frame_codec.h"
+
+#include <climits>
+
+namespace gscope {
+namespace wire {
+namespace {
+
+// Slicing-by-8 CRC32C tables, generated at compile time (reflected
+// Castagnoli polynomial 0x82F63B78).
+struct CrcTables {
+  uint32_t t[8][256];
+};
+
+constexpr CrcTables MakeTables() {
+  CrcTables tb{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ (0x82F63B78u & (0u - (crc & 1u)));
+    }
+    tb.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    for (int k = 1; k < 8; ++k) {
+      tb.t[k][i] = (tb.t[k - 1][i] >> 8) ^ tb.t[0][tb.t[k - 1][i] & 0xFFu];
+    }
+  }
+  return tb;
+}
+
+constexpr CrcTables kCrc = MakeTables();
+
+uint32_t Crc32cSw(uint32_t crc, const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~crc;
+  while (len >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = kCrc.t[7][lo & 0xFFu] ^ kCrc.t[6][(lo >> 8) & 0xFFu] ^
+        kCrc.t[5][(lo >> 16) & 0xFFu] ^ kCrc.t[4][lo >> 24] ^
+        kCrc.t[3][hi & 0xFFu] ^ kCrc.t[2][(hi >> 8) & 0xFFu] ^
+        kCrc.t[1][(hi >> 16) & 0xFFu] ^ kCrc.t[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    c = (c >> 8) ^ kCrc.t[0][(c ^ *p++) & 0xFFu];
+  }
+  return ~c;
+}
+
+#if defined(__x86_64__)
+[[gnu::target("sse4.2")]]
+uint32_t Crc32cHw(uint32_t crc, const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t c = ~crc;
+  while (len >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    c = __builtin_ia32_crc32di(c, v);
+    p += 8;
+    len -= 8;
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  while (len >= 4) {
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    c32 = __builtin_ia32_crc32si(c32, v);
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) {
+    c32 = __builtin_ia32_crc32qi(c32, *p++);
+  }
+  return ~c32;
+}
+#endif
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, const void* data, size_t len) {
+#if defined(__x86_64__)
+  static const bool hw = __builtin_cpu_supports("sse4.2") != 0;
+  if (hw) {
+    return Crc32cHw(crc, data, len);
+  }
+#endif
+  return Crc32cSw(crc, data, len);
+}
+
+StageResult WireEncoder::AddSlow(std::string_view name, int64_t time_ms,
+                                 double value) {
+  if (name.size() > kMaxNameBytes) {
+    return StageResult::kRejected;
+  }
+  if (!has_base_) {
+    base_time_ms_ = time_ms;
+    has_base_ = true;
+  }
+  int64_t delta = time_ms - base_time_ms_;
+  if ((delta < INT32_MIN || delta > INT32_MAX) && staged_ != 0) {
+    return StageResult::kFrameFull;  // seal; the next frame rebases
+  }
+  uint32_t id = 0;
+  bool declare = false;
+  size_t add_bytes = kSampleRecordBytes;
+  if (!name.empty()) {
+    // Producers send long runs of one signal; a last-name memo turns the
+    // steady state into one memcmp instead of a hash-map probe.
+    if (memo_id_ != 0 && name == memo_name_) {
+      id = memo_id_;
+    } else {
+      auto it = ids_.find(name);
+      if (it == ids_.end()) {
+        if (next_id_ > kMaxDictId) {
+          // Id space exhausted: restart the dictionary.  Safe only between
+          // frames (a mid-frame restart could bind one id to two names in
+          // the same dict section), and sound at all because every frame
+          // declares its own bindings - the server just rebinds.
+          if (staged_ != 0) {
+            return StageResult::kFrameFull;
+          }
+          ids_.clear();
+          declared_epoch_.clear();
+          next_id_ = 1;
+          memo_id_ = 0;
+        }
+        it = ids_.emplace(std::string(name), next_id_++).first;
+        declared_epoch_.push_back(0);
+      }
+      id = it->second;
+      memo_name_.assign(name.data(), name.size());  // capacity reused after warmup
+      memo_id_ = id;
+    }
+    declare = declared_epoch_[id - 1] != frame_epoch_;
+    if (declare) {
+      add_bytes += kDictRecordBytes + name.size();
+    }
+  }
+  if (4 + dict_buf_.size() + rec_buf_.size() + add_bytes > kMaxPayloadBytes &&
+      staged_ != 0) {
+    return StageResult::kFrameFull;
+  }
+  if (declare) {
+    AppendU32(dict_buf_, id);
+    AppendU32(dict_buf_, static_cast<uint32_t>(name.size()));
+    dict_buf_.append(name.data(), name.size());
+    dict_count_ += 1;
+    declared_epoch_[id - 1] = frame_epoch_;
+  }
+  char rec[kSampleRecordBytes];
+  const int32_t delta32 = static_cast<int32_t>(delta);
+  std::memcpy(rec, &id, sizeof(id));
+  std::memcpy(rec + 4, &delta32, sizeof(delta32));
+  std::memcpy(rec + 8, &value, sizeof(value));
+  rec_buf_.append(rec, sizeof(rec));
+  staged_ += 1;
+  return StageResult::kStaged;
+}
+
+size_t WireEncoder::EmitFrame(std::string& out) {
+  if (staged_ == 0) {
+    return 0;
+  }
+  char cnt[4];
+  std::memcpy(cnt, &dict_count_, sizeof(cnt));
+  uint32_t crc = Crc32c(0, cnt, sizeof(cnt));
+  crc = Crc32c(crc, dict_buf_.data(), dict_buf_.size());
+  crc = Crc32c(crc, rec_buf_.data(), rec_buf_.size());
+  uint32_t payload_len =
+      static_cast<uint32_t>(4 + dict_buf_.size() + rec_buf_.size());
+  out.push_back(static_cast<char>(kMagic0));
+  out.push_back(static_cast<char>(kMagic1));
+  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(kFrameSamples));
+  AppendU32(out, payload_len);
+  AppendU32(out, crc);
+  AppendI64(out, base_time_ms_);
+  out.append(cnt, sizeof(cnt));
+  out += dict_buf_;
+  out += rec_buf_;
+  size_t n = staged_;
+  dict_buf_.clear();
+  rec_buf_.clear();
+  dict_count_ = 0;
+  staged_ = 0;
+  has_base_ = false;
+  frame_epoch_ += 1;
+  if (frame_epoch_ == 0) {  // wrap: stale declared marks could falsely match
+    declared_epoch_.assign(declared_epoch_.size(), 0);
+    frame_epoch_ = 1;
+  }
+  return n;
+}
+
+size_t WireEncoder::ClearStaged() {
+  size_t n = staged_;
+  dict_buf_.clear();
+  rec_buf_.clear();
+  dict_count_ = 0;
+  staged_ = 0;
+  has_base_ = false;
+  frame_epoch_ += 1;
+  if (frame_epoch_ == 0) {
+    declared_epoch_.assign(declared_epoch_.size(), 0);
+    frame_epoch_ = 1;
+  }
+  return n;
+}
+
+void WireEncoder::ResetDict() {
+  ClearStaged();
+  ids_.clear();
+  declared_epoch_.clear();
+  next_id_ = 1;
+  memo_id_ = 0;
+}
+
+void WireEncoder::EmitTextFrame(std::string& out, std::string_view text) {
+  out.push_back(static_cast<char>(kMagic0));
+  out.push_back(static_cast<char>(kMagic1));
+  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(kFrameText));
+  AppendU32(out, static_cast<uint32_t>(text.size()));
+  AppendU32(out, Crc32c(0, text.data(), text.size()));
+  AppendI64(out, 0);
+  out.append(text.data(), text.size());
+}
+
+void WireEncoder::EmitTextLineFrame(std::string& out, std::string_view line) {
+  const char nl = '\n';
+  uint32_t crc = Crc32c(0, line.data(), line.size());
+  crc = Crc32c(crc, &nl, 1);
+  out.push_back(static_cast<char>(kMagic0));
+  out.push_back(static_cast<char>(kMagic1));
+  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(kFrameText));
+  AppendU32(out, static_cast<uint32_t>(line.size() + 1));
+  AppendU32(out, crc);
+  AppendI64(out, 0);
+  out.append(line.data(), line.size());
+  out.push_back(nl);
+}
+
+}  // namespace wire
+}  // namespace gscope

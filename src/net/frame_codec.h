@@ -1,0 +1,407 @@
+// Binary wire protocol v2: length-prefixed, CRC32C-checksummed frames of
+// fixed-width POD samples, negotiated per connection via `HELLO BIN 1` on
+// the existing tuple port (text remains the default; see docs/protocol.md).
+//
+// Frame layout (all integers little-endian, header 20 bytes):
+//
+//   off  size  field
+//   0    1     magic0 = 0xBF
+//   1    1     magic1 = 0x47 ('G')
+//   2    1     version = 1
+//   3    1     type: 1 = samples, 2 = text
+//   4    4     payload_len (u32, <= kMaxPayloadBytes)
+//   8    4     crc32c of the payload
+//   12   8     base_time_ms (i64; 0 for text frames)
+//
+// SAMPLES payload:
+//   u32 dict_count
+//   dict_count x { u32 id, u32 name_len, name bytes }   (id in [1, kMaxDictId])
+//   N x { u32 id, i32 delta_ms, f64 value }             (16 bytes per sample)
+//
+// Every samples frame declares the (id -> name) bindings it uses in its own
+// dict section, so frames are self-contained: overflow policies may evict
+// whole frames, connections may resume after a kill, and the stream resyncs
+// by magic scan, all without a separate dictionary handshake that could
+// desynchronize.  A binding is tiny (declared once per frame per distinct
+// name) and the server interns it once per connection, so steady-state
+// per-sample cost stays a bounded memcpy + id lookup.
+//
+// TEXT payload: complete newline-terminated protocol lines (used to carry
+// control verbs and replies over an upgraded connection).
+//
+// Timestamps ride as i64 base + i32 per-sample delta; the encoder seals a
+// frame early when a delta would overflow.
+#ifndef GSCOPE_NET_FRAME_CODEC_H_
+#define GSCOPE_NET_FRAME_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/string_index.h"
+
+namespace gscope {
+
+// Upload wire format selected by client options: text tuple lines (the
+// default, always understood) or binary frames negotiated via HELLO BIN 1.
+// Negotiation failure is never fatal - the connection simply stays text.
+enum class WireFormat : uint8_t { kText = 0, kBinary = 1 };
+
+namespace wire {
+
+constexpr uint8_t kMagic0 = 0xBF;
+constexpr uint8_t kMagic1 = 0x47;
+constexpr uint8_t kVersion = 1;
+constexpr uint8_t kFrameSamples = 1;
+constexpr uint8_t kFrameText = 2;
+
+constexpr size_t kHeaderBytes = 20;
+constexpr size_t kSampleRecordBytes = 16;
+constexpr size_t kDictRecordBytes = 8;  // fixed part, before the name bytes
+constexpr size_t kMaxPayloadBytes = 64 * 1024;
+constexpr size_t kMaxNameBytes = 4096;
+constexpr uint32_t kMaxDictId = 65535;
+
+// Chainable CRC32C (Castagnoli, reflected 0x82F63B78); start with crc = 0.
+// Hardware SSE4.2 when the CPU has it, slicing-by-8 tables otherwise.
+uint32_t Crc32c(uint32_t crc, const void* data, size_t len);
+
+inline uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline int32_t LoadI32(const char* p) {
+  int32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline int64_t LoadI64(const char* p) {
+  int64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline double LoadF64(const char* p) {
+  double v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline void AppendU32(std::string& out, uint32_t v) {
+  char b[sizeof(v)];
+  std::memcpy(b, &v, sizeof(v));
+  out.append(b, sizeof(v));
+}
+inline void AppendI32(std::string& out, int32_t v) {
+  char b[sizeof(v)];
+  std::memcpy(b, &v, sizeof(v));
+  out.append(b, sizeof(v));
+}
+inline void AppendI64(std::string& out, int64_t v) {
+  char b[sizeof(v)];
+  std::memcpy(b, &v, sizeof(v));
+  out.append(b, sizeof(v));
+}
+inline void AppendF64(std::string& out, double v) {
+  char b[sizeof(v)];
+  std::memcpy(b, &v, sizeof(v));
+  out.append(b, sizeof(v));
+}
+
+enum class StageResult : uint8_t {
+  kStaged,     // the sample joined the open frame
+  kFrameFull,  // seal the frame (EmitFrame) and stage again
+  kRejected,   // unencodable (name over kMaxNameBytes): count it dropped
+};
+
+// Per-connection encoder: stages samples into one open frame, interning
+// signal names to dense ids and declaring each binding once per frame.
+// All staging buffers are reused across frames, so the steady state (every
+// name already interned) allocates nothing.
+class WireEncoder {
+ public:
+  // Inline fast path: the previous sample's signal, already declared in the
+  // open frame, delta in range, payload not near the cap - one memcmp and
+  // one 16-byte append.  Everything else (new names, dict declarations,
+  // frame sealing decisions) takes the out-of-line slow path.
+  StageResult Add(std::string_view name, int64_t time_ms, double value) {
+    if (memo_id_ != 0 && has_base_ && name == memo_name_ &&
+        declared_epoch_[memo_id_ - 1] == frame_epoch_) {
+      const int64_t delta = time_ms - base_time_ms_;
+      if (delta >= INT32_MIN && delta <= INT32_MAX &&
+          4 + dict_buf_.size() + rec_buf_.size() + kSampleRecordBytes <=
+              kMaxPayloadBytes) {
+        char rec[kSampleRecordBytes];
+        const int32_t delta32 = static_cast<int32_t>(delta);
+        std::memcpy(rec, &memo_id_, sizeof(memo_id_));
+        std::memcpy(rec + 4, &delta32, sizeof(delta32));
+        std::memcpy(rec + 8, &value, sizeof(value));
+        rec_buf_.append(rec, sizeof(rec));
+        staged_ += 1;
+        return StageResult::kStaged;
+      }
+    }
+    return AddSlow(name, time_ms, value);
+  }
+
+  bool empty() const { return staged_ == 0; }
+  size_t staged_samples() const { return staged_; }
+  // Bytes EmitFrame would append right now (0 when nothing is staged).
+  size_t staged_bytes() const {
+    return staged_ == 0 ? 0
+                        : kHeaderBytes + 4 + dict_buf_.size() + rec_buf_.size();
+  }
+
+  // Appends one complete SAMPLES frame to `out` and clears the staging
+  // area.  Returns the number of samples in the frame (0 = nothing staged,
+  // nothing appended).
+  size_t EmitFrame(std::string& out);
+
+  // Drops staged samples without emitting (connection death); keeps the
+  // interned dictionary.  Returns how many samples were discarded.
+  size_t ClearStaged();
+
+  // New connection: ids renegotiate from 1 and nothing is considered
+  // declared.  Also clears any staged samples.
+  void ResetDict();
+
+  // Appends one complete TEXT frame carrying `text` (which must consist of
+  // newline-terminated lines).
+  static void EmitTextFrame(std::string& out, std::string_view text);
+
+  // Appends one complete TEXT frame carrying `line` + '\n' without building
+  // the terminated string first (the reply hot path: zero scratch copies).
+  static void EmitTextLineFrame(std::string& out, std::string_view line);
+
+ private:
+  StageResult AddSlow(std::string_view name, int64_t time_ms, double value);
+
+  StringKeyedMap<uint32_t> ids_;
+  std::vector<uint32_t> declared_epoch_;  // by id - 1; == frame_epoch_ when
+                                          // declared in the open frame
+  // Last-name memo: producers send long runs of one signal, so most Add
+  // calls resolve the id with a memcmp instead of a hash probe.
+  std::string memo_name_;
+  uint32_t memo_id_ = 0;
+  uint32_t next_id_ = 1;
+  uint32_t frame_epoch_ = 1;
+  std::string dict_buf_;
+  std::string rec_buf_;
+  uint32_t dict_count_ = 0;
+  size_t staged_ = 0;
+  int64_t base_time_ms_ = 0;
+  bool has_base_ = false;
+};
+
+// Incremental frame decoder: feed arbitrary chunks, get whole validated
+// frames out.  Corruption (bad magic, bad header field, bad CRC, malformed
+// payload) counts exactly one crc_error per loss-of-sync, then the decoder
+// scans silently for the next frame that validates end-to-end.  A whole
+// frame inside one chunk decodes in place; only split frames touch the
+// side buffer (bounded by kHeaderBytes + kMaxPayloadBytes).
+//
+// Handler shape (duck-typed):
+//   void OnDictEntry(uint32_t id, std::string_view name);
+//   void OnSampleBatch(int64_t base_time_ms, const char* records, size_t n);
+//   void OnTextLine(std::string_view line);   // no trailing newline
+// Dict entries of a frame are delivered before its sample batch; handlers
+// run only for frames that validated in full.
+class FrameDecoder {
+ public:
+  struct Stats {
+    int64_t frames_rx = 0;
+    int64_t crc_errors = 0;  // one per loss-of-sync (corruption or tear)
+  };
+
+  template <typename H>
+  void Consume(const char* data, size_t len, H&& h) {
+    while (len > 0) {
+      if (!buf_.empty()) {
+        size_t take = len < needed_ ? len : needed_;
+        buf_.append(data, take);
+        data += take;
+        len -= take;
+        size_t used = Scan(buf_.data(), buf_.size(), h);
+        if (used > 0) {
+          buf_.erase(0, used);
+        }
+        if (buf_.empty()) {
+          continue;  // the rest of the chunk decodes in place
+        }
+        needed_ = NeededBytes();
+        continue;
+      }
+      size_t used = Scan(data, len, h);
+      if (used < len) {
+        buf_.assign(data + used, len - used);
+        needed_ = NeededBytes();
+      }
+      return;
+    }
+  }
+
+  // EOF: a partially-buffered frame was torn mid-stream (counts one
+  // crc_error, like text counts a parse error for a torn tail line).
+  void Finish() {
+    if (!buf_.empty()) {
+      NoteDesync();
+      buf_.clear();
+    }
+  }
+
+  const Stats& stats() const { return stats_; }
+
+  // Returns the counters and zeroes them (callers fold them into their own
+  // aggregate stats after each Consume).
+  Stats Take() {
+    Stats out = stats_;
+    stats_ = Stats{};
+    return out;
+  }
+
+  void Reset() {
+    buf_.clear();
+    synced_ = true;
+    stats_ = Stats{};
+  }
+
+ private:
+  void NoteDesync() {
+    if (synced_) {
+      stats_.crc_errors += 1;
+      synced_ = false;
+    }
+  }
+
+  // How many more bytes the buffered candidate needs before Scan can make
+  // progress.  Scan leaves buf_ holding either a lone possible-magic byte,
+  // an incomplete header with a valid magic pair, or a validated header
+  // awaiting its payload - so the header fields it reads here are sane.
+  size_t NeededBytes() const {
+    if (buf_.size() < kHeaderBytes) {
+      return kHeaderBytes - buf_.size();
+    }
+    size_t total = kHeaderBytes + LoadU32(buf_.data() + 4);
+    return total - buf_.size();
+  }
+
+  // Decodes whole frames from [p, p+n); returns bytes consumed.  The
+  // unconsumed suffix (if any) is an incomplete frame candidate.
+  template <typename H>
+  size_t Scan(const char* p, size_t n, H&& h) {
+    size_t pos = 0;
+    while (true) {
+      // Align to the next possible frame start.
+      while (true) {
+        if (pos >= n) {
+          return n;
+        }
+        if (pos + 1 >= n) {
+          if (static_cast<uint8_t>(p[pos]) == kMagic0) {
+            return pos;  // maybe a split magic pair: keep the byte
+          }
+          NoteDesync();
+          return n;
+        }
+        if (static_cast<uint8_t>(p[pos]) == kMagic0 &&
+            static_cast<uint8_t>(p[pos + 1]) == kMagic1) {
+          break;
+        }
+        NoteDesync();
+        ++pos;
+      }
+      if (n - pos < kHeaderBytes) {
+        return pos;  // incomplete header: keep
+      }
+      uint8_t version = static_cast<uint8_t>(p[pos + 2]);
+      uint8_t type = static_cast<uint8_t>(p[pos + 3]);
+      uint32_t payload_len = LoadU32(p + pos + 4);
+      if (version != kVersion || (type != kFrameSamples && type != kFrameText) ||
+          payload_len > kMaxPayloadBytes) {
+        NoteDesync();
+        pos += 2;  // rescan past this magic pair
+        continue;
+      }
+      if (n - pos - kHeaderBytes < payload_len) {
+        return pos;  // incomplete payload: keep
+      }
+      const char* payload = p + pos + kHeaderBytes;
+      if (Crc32c(0, payload, payload_len) != LoadU32(p + pos + 8) ||
+          !Dispatch(type, LoadI64(p + pos + 12), payload, payload_len, h)) {
+        NoteDesync();
+        pos += 2;
+        continue;
+      }
+      synced_ = true;
+      stats_.frames_rx += 1;
+      pos += kHeaderBytes + payload_len;
+    }
+  }
+
+  // Validates the payload structure in full, then runs the handler.
+  // Returns false (frame rejected, no handler calls made) on any
+  // structural violation.
+  template <typename H>
+  bool Dispatch(uint8_t type, int64_t base_time_ms, const char* payload,
+                size_t len, H&& h) {
+    if (type == kFrameText) {
+      size_t start = 0;
+      while (start < len) {
+        const char* nl = static_cast<const char*>(
+            std::memchr(payload + start, '\n', len - start));
+        if (nl == nullptr) {
+          break;  // encoder never emits a partial tail line; ignore one
+        }
+        h.OnTextLine(std::string_view(payload + start,
+                                      static_cast<size_t>(nl - payload) - start));
+        start = static_cast<size_t>(nl - payload) + 1;
+      }
+      return true;
+    }
+    if (len < 4) {
+      return false;
+    }
+    uint32_t dict_count = LoadU32(payload);
+    size_t off = 4;
+    for (uint32_t i = 0; i < dict_count; ++i) {
+      if (len - off < kDictRecordBytes) {
+        return false;
+      }
+      uint32_t id = LoadU32(payload + off);
+      uint32_t name_len = LoadU32(payload + off + 4);
+      if (id == 0 || id > kMaxDictId || name_len > kMaxNameBytes ||
+          len - off - kDictRecordBytes < name_len) {
+        return false;
+      }
+      off += kDictRecordBytes + name_len;
+    }
+    size_t rec_bytes = len - off;
+    if (rec_bytes % kSampleRecordBytes != 0) {
+      return false;
+    }
+    size_t doff = 4;
+    for (uint32_t i = 0; i < dict_count; ++i) {
+      uint32_t id = LoadU32(payload + doff);
+      uint32_t name_len = LoadU32(payload + doff + 4);
+      h.OnDictEntry(id, std::string_view(payload + doff + kDictRecordBytes,
+                                         name_len));
+      doff += kDictRecordBytes + name_len;
+    }
+    if (rec_bytes > 0) {
+      h.OnSampleBatch(base_time_ms, payload + off,
+                      rec_bytes / kSampleRecordBytes);
+    }
+    return true;
+  }
+
+  std::string buf_;
+  size_t needed_ = 0;
+  bool synced_ = true;
+  Stats stats_;
+};
+
+}  // namespace wire
+}  // namespace gscope
+
+#endif  // GSCOPE_NET_FRAME_CODEC_H_

@@ -68,6 +68,57 @@ class LineFramer {
     }
   }
 
+  // Like Consume, but fn returns bool: false stops framing after that line
+  // and the call returns how many bytes of the chunk were consumed (through
+  // that line's '\n').  The caller hands the unconsumed remainder to another
+  // decoder - this is how a connection switches framing mid-chunk after a
+  // protocol upgrade line (docs/protocol.md, HELLO).  With fn always
+  // returning true this is exactly Consume.
+  template <typename Fn>
+  size_t ConsumeStoppable(const char* data, size_t len, int64_t* overlong_lines,
+                          Fn&& fn) {
+    size_t pos = 0;
+    while (pos < len) {
+      const char* nl = static_cast<const char*>(std::memchr(data + pos, '\n', len - pos));
+      if (nl == nullptr) {
+        size_t tail = len - pos;
+        if (discarding_) {
+          return len;
+        }
+        if (buffer_.size() + tail > max_line_bytes_) {
+          *overlong_lines += 1;
+          buffer_.clear();
+          discarding_ = true;
+          return len;
+        }
+        buffer_.append(data + pos, tail);
+        return len;
+      }
+      size_t line_end = static_cast<size_t>(nl - data);
+      bool keep_going = true;
+      if (discarding_) {
+        discarding_ = false;
+      } else if (!buffer_.empty()) {
+        if (buffer_.size() + (line_end - pos) > max_line_bytes_) {
+          *overlong_lines += 1;
+        } else {
+          buffer_.append(data + pos, line_end - pos);
+          keep_going = fn(std::string_view(buffer_));
+        }
+        buffer_.clear();
+      } else if (line_end - pos > max_line_bytes_) {
+        *overlong_lines += 1;
+      } else {
+        keep_going = fn(std::string_view(data + pos, line_end - pos));
+      }
+      pos = line_end + 1;
+      if (!keep_going) {
+        return pos;
+      }
+    }
+    return len;
+  }
+
   // EOF: delivers a final unterminated line, if any.
   template <typename Fn>
   void FlushTail(Fn&& fn) {

@@ -19,11 +19,15 @@ StreamClient::StreamClient(MainLoop* loop, Options options)
       loop_->Remove(read_watch_);
       read_watch_ = 0;
     }
+    DropStagedWire();
     HandleConnectionDeath();
   });
 }
 
-StreamClient::~StreamClient() { Close(); }
+StreamClient::~StreamClient() {
+  self_alias_.reset();  // invalidate deferred flush closures before teardown
+  Close();
+}
 
 void StreamClient::SetState(ConnectState state) {
   if (state_ == state) {
@@ -79,6 +83,7 @@ void StreamClient::Close() {
     loop_->Remove(retry_timer_);
     retry_timer_ = 0;
   }
+  DropStagedWire();
   size_t discarded = writer_.Reset();
   if (state_ == ConnectState::kConnecting) {
     // Frames queued behind an unresolved handshake never counted as sent;
@@ -90,6 +95,8 @@ void StreamClient::Close() {
   socket_.Close();
   SetState(ConnectState::kDisconnected);
   preconnect_tuples_ = 0;
+  wire_ = WireState::kTextOnly;
+  hello_rx_.Reset();
 }
 
 bool StreamClient::OnConnectReady(IoCondition) {
@@ -126,6 +133,21 @@ void StreamClient::ResolveConnect(int error) {
   stats_.tuples_sent += preconnect_tuples_;
   preconnect_tuples_ = 0;
   writer_.Attach(socket_.fd());  // flushes anything queued pre-connect
+  if (options_.wire_format == WireFormat::kBinary) {
+    // Negotiate on EVERY establishment: a reconnect renegotiates HELLO (and
+    // the dictionary rides inside each frame, so nothing else needs replay).
+    // The line travels behind any pre-connect text tuples already queued;
+    // sends stay text until the acknowledgment arrives.  Weight 0: the
+    // HELLO frame carries no tuples, so evicting/abandoning it never
+    // perturbs the tuple accounting.
+    wire_ = WireState::kHelloSent;
+    hello_rx_.Reset();
+    encoder_.ResetDict();
+    writer_.BeginFrame().append("HELLO BIN 1\n");
+    writer_.CommitFrame(0);
+  } else {
+    wire_ = WireState::kTextOnly;
+  }
   // A pure producer never expects data back, so the read watch exists to
   // notice the server going away promptly (EOF/reset arrives as readable)
   // instead of on the next failed write.
@@ -143,6 +165,19 @@ bool StreamClient::OnSocketReadable() {
     IoResult r = socket_.Read(buf, sizeof(buf));
     if (r.status == IoResult::Status::kOk) {
       stats_.bytes_discarded += static_cast<int64_t>(r.bytes);
+      if (wire_ == WireState::kHelloSent) {
+        // The only reply a producer awaits: the HELLO verdict.  Anything
+        // after it (there is nothing today) is discarded as before.
+        hello_rx_.ConsumeStoppable(
+            buf, r.bytes, &hello_rx_overlong_, [this](std::string_view line) {
+              if (line.rfind("OK HELLO BIN 1", 0) == 0) {
+                wire_ = WireState::kBinary;
+              } else if (line.rfind("ERR HELLO", 0) == 0) {
+                wire_ = WireState::kTextOnly;  // declined: stay text for good
+              }
+              return wire_ == WireState::kHelloSent;
+            });
+      }
       continue;
     }
     if (r.status == IoResult::Status::kWouldBlock) {
@@ -151,6 +186,7 @@ bool StreamClient::OnSocketReadable() {
     break;  // EOF or hard error: the connection is gone
   }
   read_watch_ = 0;
+  DropStagedWire();
   writer_.Reset();  // unsent frames are lost with the connection (abandoned)
   socket_.Close();
   HandleConnectionDeath();
@@ -158,6 +194,7 @@ bool StreamClient::OnSocketReadable() {
 }
 
 void StreamClient::HandleConnectionDeath() {
+  wire_ = WireState::kTextOnly;  // a future connection renegotiates
   const ReconnectOptions& r = options_.reconnect;
   if (r.enabled && port_ != 0 &&
       (r.max_attempts == 0 || failed_attempts_ < r.max_attempts)) {
@@ -214,6 +251,11 @@ bool StreamClient::Send(int64_t time_ms, double value, std::string_view name) {
     stats_.tuples_dropped += 1;
     return false;
   }
+  if (wire_ == WireState::kBinary) {
+    // kBinary implies kConnected: the flip happens only after the server's
+    // acknowledgment arrives on an established connection.
+    return SendBinary(time_ms, value, name);
+  }
   // Format in place at the end of the output backlog (its capacity is reused
   // across drains, so steady-state sends do not allocate); the writer rolls
   // the whole frame back if it would overflow the cap.
@@ -228,6 +270,65 @@ bool StreamClient::Send(int64_t time_ms, double value, std::string_view name) {
     preconnect_tuples_ += 1;
   }
   return true;
+}
+
+bool StreamClient::SendBinary(int64_t time_ms, double value, std::string_view name) {
+  wire::StageResult r = encoder_.Add(name, time_ms, value);
+  if (r == wire::StageResult::kFrameFull) {
+    FlushWire();
+    r = encoder_.Add(name, time_ms, value);
+  }
+  if (r != wire::StageResult::kStaged) {
+    stats_.tuples_dropped += 1;
+    return false;
+  }
+  if (encoder_.staged_samples() >= options_.frame_samples) {
+    // The frame's worth accumulated: seal inline.  The sample is staged
+    // either way; a full backlog surfaces in tuples_dropped, not here.
+    FlushWire();
+  } else {
+    ScheduleWireFlush();
+  }
+  return true;
+}
+
+bool StreamClient::FlushWire() {
+  size_t n = encoder_.staged_samples();
+  if (n == 0) {
+    return true;
+  }
+  if (state_ != ConnectState::kConnected || wire_ != WireState::kBinary) {
+    // The connection died between staging and the deferred flush; a fresh
+    // connection must not receive frames negotiated on the old one.
+    DropStagedWire();
+    return false;
+  }
+  std::string& buf = writer_.BeginFrame();
+  encoder_.EmitFrame(buf);
+  if (!writer_.CommitFrame(static_cast<uint32_t>(n))) {
+    stats_.tuples_dropped += static_cast<int64_t>(n);
+    return false;
+  }
+  stats_.tuples_sent += static_cast<int64_t>(n);
+  return true;
+}
+
+void StreamClient::ScheduleWireFlush() {
+  if (wire_flush_pending_) {
+    return;
+  }
+  wire_flush_pending_ = true;
+  std::weak_ptr<StreamClient> weak_self = self_alias_;
+  loop_->Invoke([weak_self]() {
+    if (std::shared_ptr<StreamClient> client = weak_self.lock()) {
+      client->wire_flush_pending_ = false;
+      client->FlushWire();
+    }
+  });
+}
+
+void StreamClient::DropStagedWire() {
+  stats_.tuples_dropped += static_cast<int64_t>(encoder_.ClearStaged());
 }
 
 }  // namespace gscope

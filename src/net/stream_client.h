@@ -21,10 +21,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <random>
 #include <string_view>
 
 #include "core/tuple.h"
+#include "net/frame_codec.h"
+#include "net/line_framer.h"
 #include "net/socket.h"
 #include "runtime/event_loop.h"
 #include "runtime/framed_writer.h"
@@ -76,6 +79,16 @@ class StreamClient {
     // handling for the output backlog (see FramedWriter::AdaptiveOptions).
     ReconnectOptions reconnect;
     FramedWriter::AdaptiveOptions adaptive;
+    // Upload format.  kBinary sends HELLO BIN 1 after every establishment
+    // and switches to length-prefixed binary frames once the server
+    // acknowledges; until then (and whenever the server declines) tuples
+    // travel as text, so the option is safe against any server.
+    WireFormat wire_format = WireFormat::kText;
+    // Binary only: samples staged per frame before it is sealed into the
+    // output backlog.  Larger frames amortize the header/dict bytes;
+    // anything staged is flushed at the end of the loop iteration anyway,
+    // so latency stays bounded.
+    size_t frame_samples = 128;
   };
 
   struct Stats {
@@ -152,17 +165,24 @@ class StreamClient {
   }
   OverflowPolicy queue_policy() const { return writer_.policy(); }
 
-  // Unsent bytes currently queued.
-  size_t pending_bytes() const { return writer_.pending_bytes(); }
+  // Unsent bytes currently queued (binary: staged-but-unsealed samples
+  // included, so "drain until empty" loops cover the open frame too).
+  size_t pending_bytes() const { return writer_.pending_bytes() + encoder_.staged_bytes(); }
+  // True once HELLO BIN was acknowledged on the current connection.
+  bool wire_binary() const { return wire_ == WireState::kBinary; }
   const Stats& stats() const {
-    // Writer-side counters are folded in lazily: drains happen async.
+    // Writer-side counters are folded in lazily: drains happen async.  The
+    // units_* mirrors keep the mapping tuple-exact when binary frames carry
+    // many tuples each (they equal the frame counters for text).
     const FramedWriter::Stats& w = writer_.stats();
     stats_.bytes_sent = w.bytes_written;
-    stats_.tuples_evicted = w.frames_evicted;
+    stats_.tuples_evicted = w.units_evicted;
     // Pre-connect frames discarded by a failed/aborted handshake are
     // already in tuples_dropped; they never counted as sent, so they are
-    // backed out of the abandoned mapping.
-    stats_.tuples_abandoned = w.frames_abandoned - preconnect_discards_;
+    // backed out of the abandoned mapping.  (Binary frames commit only on
+    // an ESTABLISHED connection, so pre-connect discards are all weight-1
+    // text frames and the subtraction stays unit-exact.)
+    stats_.tuples_abandoned = w.units_abandoned - preconnect_discards_;
     stats_.bytes_dropped = w.bytes_dropped;
     stats_.block_time_ns = w.block_time_ns;
     stats_.backlog_high_water = static_cast<int64_t>(w.high_water_bytes);
@@ -171,10 +191,24 @@ class StreamClient {
   }
 
  private:
+  // Upload-side wire negotiation state (Options::wire_format == kBinary).
+  enum class WireState : uint8_t {
+    kTextOnly,   // text for the connection's lifetime (default, or declined)
+    kHelloSent,  // HELLO BIN 1 committed; replies parsed for the verdict
+    kBinary,     // acknowledged: sends stage into binary frames
+  };
+
   bool StartConnect();
   bool OnConnectReady(IoCondition cond);
   void ResolveConnect(int error);
   bool OnSocketReadable();
+  bool SendBinary(int64_t time_ms, double value, std::string_view name);
+  // Seals the staged samples into one wire frame in the output backlog.
+  bool FlushWire();
+  void ScheduleWireFlush();
+  // Connection death/teardown: staged-but-unsealed samples are lost; they
+  // never counted as sent, so they fold into tuples_dropped.
+  void DropStagedWire();
   // A previously-established connection died (read EOF/error or a hard
   // write error).  Enters backoff or settles in kDisconnected.
   void HandleConnectionDeath();
@@ -208,6 +242,16 @@ class StreamClient {
   ConnectFn on_connect_;
   StateFn on_state_;
   mutable Stats stats_;
+  // Binary wire state.
+  WireState wire_ = WireState::kTextOnly;
+  wire::WireEncoder encoder_;
+  LineFramer hello_rx_{256};     // parses replies while kHelloSent
+  int64_t hello_rx_overlong_ = 0;
+  bool wire_flush_pending_ = false;
+  // Liveness token for the deferred flush closure (declared LAST: reset
+  // first in destruction order, so a queued flush never touches a dead
+  // client).
+  std::shared_ptr<StreamClient> self_alias_{this, [](StreamClient*) {}};
 };
 
 }  // namespace gscope

@@ -28,7 +28,30 @@ std::string_view NextToken(std::string_view& s) {
   return token;
 }
 
+// Echo samples staged per binary session before sealing a wire frame.  Kept
+// well under a poll period's worth for typical rates so subscriber latency
+// stays bounded by the deferred flush (one loop iteration) either way.
+constexpr size_t kEgressFrameSamples = 128;
+
 }  // namespace
+
+// Decoder callbacks for one client's inbound binary stream.  A plain struct
+// of pointers: the decoder template inlines through it, and nested types see
+// StreamServer's private members.
+struct StreamServer::FrameHandler {
+  StreamServer* server;
+  int client_key;
+  Client* client;
+  void OnDictEntry(uint32_t id, std::string_view name) {
+    server->BindDict(*client, id, name);
+  }
+  void OnSampleBatch(int64_t base_time_ms, const char* records, size_t n) {
+    server->IngestRecords(*client, base_time_ms, records, n);
+  }
+  void OnTextLine(std::string_view line) {
+    server->HandleLine(client_key, *client, line);
+  }
+};
 
 StreamServer::StreamServer(MainLoop* loop, Scope* scope, StreamServerOptions options)
     : loop_(loop),
@@ -126,7 +149,8 @@ bool StreamServer::OnAcceptReady() {
     if (options_.client_rcvbuf_bytes > 0) {
       conn.SetRecvBufferBytes(options_.client_rcvbuf_bytes);
     }
-    auto client = std::make_unique<Client>(options_.max_line_bytes);
+    auto client =
+        std::make_unique<Client>(loop_, options_.max_line_bytes, options_.control_max_buffer);
     client->socket = std::move(conn);
     client->last_activity_ns = loop_->clock()->NowNs();
     int key = next_client_key_++;
@@ -136,6 +160,21 @@ bool StreamServer::OnAcceptReady() {
     if (client->watch == 0) {
       continue;
     }
+    // Egress is armed on every connection (the HELLO reply must travel before
+    // any session exists).  Overload discards whole frames only, victim per
+    // the configured policy; a dead egress fd drops the client from a fresh
+    // stack frame, gated by the weak token against a destroyed server.
+    client->writer.SetPolicy(options_.control_overflow_policy,
+                             MillisToNanos(options_.control_block_deadline_ms));
+    std::weak_ptr<StreamServer> weak_self = self_alias_;
+    client->writer.SetErrorCallback([this, key, weak_self]() {
+      loop_->Invoke([key, weak_self]() {
+        if (std::shared_ptr<StreamServer> server = weak_self.lock()) {
+          server->DropClient(key);
+        }
+      });
+    });
+    client->writer.Attach(fd);
     clients_[key] = std::move(client);
     stats_.connections += 1;
   }
@@ -169,9 +208,18 @@ bool StreamServer::OnClientReady(int client_key, IoCondition cond) {
     if (r.status == IoResult::Status::kWouldBlock) {
       return true;
     }
-    // EOF or error: flush any final unterminated line, then drop.
-    client.framer.FlushTail(
-        [&](std::string_view line) { HandleLine(client_key, client, line); });
+    // EOF or error: flush any final unterminated line (text), or account a
+    // torn partially-buffered frame (binary: the mid-frame-kill signal the
+    // reliability contract counts), then drop.
+    if (client.wire == WireMode::kBinary) {
+      if (client.decoder != nullptr) {
+        client.decoder->Finish();
+        FoldDecoderStats(*client.decoder);
+      }
+    } else {
+      client.framer.FlushTail(
+          [&](std::string_view line) { HandleLine(client_key, client, line); });
+    }
     FlushIngest();
     DropClient(client_key);
     return false;
@@ -179,9 +227,73 @@ bool StreamServer::OnClientReady(int client_key, IoCondition cond) {
 }
 
 void StreamServer::ProcessData(int client_key, Client& client, const char* data, size_t len) {
-  client.framer.Consume(data, len, &stats_.parse_errors,
-                        [&](std::string_view line) { HandleLine(client_key, client, line); });
+  const char* p = data;
+  size_t n = len;
+  while (n > 0) {
+    switch (client.wire) {
+      case WireMode::kText: {
+        // Stoppable: a HELLO line mid-chunk flips the mode and the remainder
+        // of the chunk must be handled under the new one.
+        size_t used = client.framer.ConsumeStoppable(
+            p, n, &stats_.parse_errors, [&](std::string_view line) {
+              HandleLine(client_key, client, line);
+              return client.wire == WireMode::kText;
+            });
+        p += used;
+        n -= used;
+        break;
+      }
+      case WireMode::kBinaryPending: {
+        // Text lines still parse; the first frame magic AT A LINE BOUNDARY
+        // (chunk start with no line in progress, or right after a newline)
+        // flips the connection to framed-binary for good.
+        size_t flip = n;
+        if (!client.framer.mid_line() &&
+            static_cast<uint8_t>(p[0]) == wire::kMagic0) {
+          flip = 0;
+        } else {
+          for (const char* q = p;;) {
+            const char* nl = static_cast<const char*>(
+                std::memchr(q, '\n', static_cast<size_t>(p + n - q)));
+            if (nl == nullptr || nl + 1 >= p + n) {
+              break;
+            }
+            q = nl + 1;
+            if (static_cast<uint8_t>(*q) == wire::kMagic0) {
+              flip = static_cast<size_t>(q - p);
+              break;
+            }
+          }
+        }
+        if (flip > 0) {
+          client.framer.Consume(p, flip, &stats_.parse_errors,
+                                [&](std::string_view line) {
+                                  HandleLine(client_key, client, line);
+                                });
+        }
+        if (flip < n) {
+          client.wire = WireMode::kBinary;
+        }
+        p += flip;
+        n -= flip;
+        break;
+      }
+      case WireMode::kBinary: {
+        FrameHandler handler{this, client_key, &client};
+        client.decoder->Consume(p, n, handler);
+        FoldDecoderStats(*client.decoder);
+        n = 0;
+        break;
+      }
+    }
+  }
   FlushIngest();
+}
+
+void StreamServer::FoldDecoderStats(wire::FrameDecoder& decoder) {
+  wire::FrameDecoder::Stats s = decoder.Take();
+  stats_.frames_rx += s.frames_rx;
+  stats_.frames_crc_errors += s.crc_errors;
 }
 
 void StreamServer::FlushIngest() {
@@ -213,6 +325,15 @@ void StreamServer::HandleControlLine(int client_key, Client& client, std::string
   std::string_view rest = line;
   std::string_view verb = NextToken(rest);
 
+  if (verb == "HELLO") {
+    // Wire-format negotiation (docs/protocol.md "Binary wire protocol").
+    // Handled before the whitelist's argument-shape validation and WITHOUT
+    // creating a session: a producer upgrading its upload format must not
+    // cost a scope, a poll timer, and a router slot.
+    HandleHello(client, rest);
+    return;
+  }
+
   if (verb != "SUB" && verb != "UNSUB" && verb != "DELAY" && verb != "LIST" &&
       verb != "STATS" && verb != "PING" && verb != "TIME") {
     // Unknown verb: counted like any other malformed line so a garbage
@@ -221,7 +342,7 @@ void StreamServer::HandleControlLine(int client_key, Client& client, std::string
     stats_.parse_errors += 1;
     if (client.session != nullptr) {
       stats_.control_errors += 1;
-      Reply(*client.session, "ERR unknown-verb");
+      Reply(client, "ERR unknown-verb");
     }
     return;
   }
@@ -252,7 +373,7 @@ void StreamServer::HandleControlLine(int client_key, Client& client, std::string
   if (!reject.empty()) {
     stats_.control_errors += 1;
     if (client.session != nullptr) {
-      Reply(*client.session, reject);
+      Reply(client, reject);
     }
     return;
   }
@@ -310,11 +431,9 @@ void StreamServer::HandleControlLine(int client_key, Client& client, std::string
     reply.append(" samples_retained ").append(std::to_string(retained));
     // Robustness counters (appended: the key table is extend-only, clients
     // scan for keys they know and skip the rest).
-    int64_t policy_switches = stats_.policy_switches;  // retired sessions
+    int64_t policy_switches = stats_.policy_switches;  // retired clients
     for (const auto& [k, c] : clients_) {
-      if (c->session != nullptr) {
-        policy_switches += c->session->writer.stats().policy_switches;
-      }
+      policy_switches += c->writer.stats().policy_switches;
     }
     reply.append(" pings_received ").append(std::to_string(stats_.pings_received));
     reply.append(" taps_downgraded ").append(std::to_string(stats_.taps_downgraded));
@@ -322,6 +441,14 @@ void StreamServer::HandleControlLine(int client_key, Client& client, std::string
     reply.append(" clients_idle_dropped ")
         .append(std::to_string(stats_.clients_idle_dropped));
     reply.append(" policy_switches ").append(std::to_string(policy_switches));
+    // Binary wire protocol (appended; wire_format is the REQUESTING
+    // connection's inbound mode: 0 = text, 1 = negotiated binary).
+    reply.append(" frames_rx ").append(std::to_string(stats_.frames_rx));
+    reply.append(" frames_crc_errors ")
+        .append(std::to_string(stats_.frames_crc_errors));
+    reply.append(" dict_entries ").append(std::to_string(stats_.dict_entries));
+    reply.append(" wire_format ")
+        .append(client.wire == WireMode::kText ? "0" : "1");
   } else {  // LIST
     // The count goes FIRST: if the egress backlog drops some of the INFO
     // frames (whole-frame policy), the client can still tell the listing
@@ -330,11 +457,11 @@ void StreamServer::HandleControlLine(int client_key, Client& client, std::string
         .append(std::to_string(session.filter.pattern_count()))
         .append(" DELAY ")
         .append(std::to_string(session.scope->delay_ms()));
-    Reply(session, reply);
+    Reply(client, reply);
     for (const std::string& pattern : session.filter.patterns()) {
       std::string info;
       info.append("INFO SUB ").append(pattern);
-      Reply(session, info);
+      Reply(client, info);
     }
     return;
   }
@@ -342,14 +469,36 @@ void StreamServer::HandleControlLine(int client_key, Client& client, std::string
   if (reply.compare(0, 3, "ERR") == 0) {
     stats_.control_errors += 1;
   }
-  Reply(session, reply);
+  Reply(client, reply);
+}
+
+void StreamServer::HandleHello(Client& client, std::string_view rest) {
+  stats_.control_commands += 1;
+  std::string_view proto = NextToken(rest);
+  std::string_view version = NextToken(rest);
+  std::string_view excess = NextToken(rest);
+  if (proto != "BIN" || version != "1" || !excess.empty() ||
+      client.wire != WireMode::kText) {
+    // Unsupported protocol/version (or a repeated HELLO): the connection
+    // STAYS text - negotiation failure is never fatal, the client just keeps
+    // the format it already has.
+    stats_.control_errors += 1;
+    Reply(client, "ERR HELLO unsupported-version");
+    return;
+  }
+  // The acknowledgment travels as a text line (the client flips its parser
+  // only after reading it); everything after it is framed.
+  Reply(client, "OK HELLO BIN 1");
+  client.wire = WireMode::kBinaryPending;
+  client.decoder = std::make_unique<wire::FrameDecoder>();
+  client.binary_egress = true;
 }
 
 StreamServer::ControlSession& StreamServer::EnsureSession(int client_key, Client& client) {
   if (client.session != nullptr) {
     return *client.session;
   }
-  auto session = std::make_unique<ControlSession>(loop_, options_.control_max_buffer);
+  auto session = std::make_unique<ControlSession>();
   if (options_.control_sndbuf_bytes > 0) {
     client.socket.SetSendBufferBytes(options_.control_sndbuf_bytes);
   }
@@ -364,64 +513,186 @@ StreamServer::ControlSession& StreamServer::EnsureSession(int client_key, Client
   if (!router_.scopes().empty()) {
     scope->AdoptTimeBase(*router_.scopes().front());
   }
-  session->writer.SetPolicy(options_.control_overflow_policy,
-                            MillisToNanos(options_.control_block_deadline_ms));
-  // Egress: every sample routed to the session scope is re-serialized down
-  // the connection; overload discards whole tuples only, victim per the
-  // configured policy (drop-oldest evictions surface as echo_evicted).
-  // Session scopes are pure display-only consumers EXCEPT for this tap: the
-  // echo contract is per-sample, so the tap registers as kEverySample and
-  // the route table keeps the session's slots on the history path.  A
-  // session pinned at its egress cap for degrade_stalled_ms is downgraded
-  // to TapMode::kCoalesced by Sweep() - the full last-wins fold for free -
-  // and restored once the backlog drains calm.
-  InstallEchoTap(*session, TapMode::kEverySample);
-  // A dead egress fd means the connection is gone; drop the client from a
-  // fresh stack frame (the writer that saw the error is inside the session
-  // being destroyed).  The weak token keeps the deferred closure from
-  // touching a server destroyed before the invoke queue drains.
-  std::weak_ptr<StreamServer> weak_self = self_alias_;
-  session->writer.SetErrorCallback([this, client_key, weak_self]() {
-    loop_->Invoke([client_key, weak_self]() {
-      if (std::shared_ptr<StreamServer> server = weak_self.lock()) {
-        server->DropClient(client_key);
-      }
-    });
-  });
-  session->writer.Attach(client.socket.fd());
-  scope->StartPolling();
-  router_.AddScope(scope, &session->filter);
-  stats_.sessions_opened += 1;
   client.session = std::move(session);
+  // Egress: every sample routed to the session scope is re-serialized down
+  // the connection (through the client's writer, armed at accept); overload
+  // discards whole tuples only, victim per the configured policy
+  // (drop-oldest evictions surface as echo_evicted).  Session scopes are
+  // pure display-only consumers EXCEPT for this tap: the echo contract is
+  // per-sample, so the tap registers as kEverySample and the route table
+  // keeps the session's slots on the history path.  A session pinned at its
+  // egress cap for degrade_stalled_ms is downgraded to TapMode::kCoalesced
+  // by Sweep() - the full last-wins fold for free - and restored once the
+  // backlog drains calm.
+  InstallEchoTap(client_key, client, TapMode::kEverySample);
+  scope->StartPolling();
+  router_.AddScope(scope, &client.session->filter);
+  stats_.sessions_opened += 1;
   return *client.session;
 }
 
-void StreamServer::Reply(ControlSession& session, std::string_view line) {
-  int64_t evicted_before = session.writer.stats().frames_evicted;
-  std::string& buf = session.writer.BeginFrame();
-  buf.append(line);
-  buf.push_back('\n');
-  if (!session.writer.CommitFrame()) {
+void StreamServer::Reply(Client& client, std::string_view line) {
+  if (client.binary_egress && !client.egress_enc.empty()) {
+    // Staged echo samples precede the reply on the wire (ordering).
+    FlushEgress(client);
+  }
+  int64_t evicted_before = client.writer.stats().units_evicted;
+  std::string& buf = client.writer.BeginFrame();
+  uint32_t weight = 1;
+  if (client.binary_egress) {
+    wire::WireEncoder::EmitTextLineFrame(buf, line);
+    weight = 0;  // replies carry no tuples; evicting one costs no samples
+  } else {
+    buf.append(line);
+    buf.push_back('\n');
+  }
+  if (!client.writer.CommitFrame(weight)) {
     stats_.echo_dropped += 1;
   }
-  stats_.echo_evicted += session.writer.stats().frames_evicted - evicted_before;
+  stats_.echo_evicted += client.writer.stats().units_evicted - evicted_before;
 }
 
-void StreamServer::InstallEchoTap(ControlSession& session, TapMode mode) {
-  FramedWriter* writer = &session.writer;
-  session.tap_mode = mode;
-  session.scope->SetBufferedTap(
-      [this, writer](std::string_view name, int64_t time_ms, double value) {
-        int64_t evicted_before = writer->stats().frames_evicted;
-        AppendTuple(writer->BeginFrame(), time_ms, value, name);
-        if (writer->CommitFrame()) {
-          stats_.tuples_echoed += 1;
-        } else {
-          stats_.echo_dropped += 1;
+void StreamServer::InstallEchoTap(int client_key, Client& client, TapMode mode) {
+  client.session->tap_mode = mode;
+  if (!client.binary_egress) {
+    FramedWriter* writer = &client.writer;
+    client.session->scope->SetBufferedTap(
+        [this, writer](std::string_view name, int64_t time_ms, double value) {
+          int64_t evicted_before = writer->stats().units_evicted;
+          AppendTuple(writer->BeginFrame(), time_ms, value, name);
+          if (writer->CommitFrame()) {
+            stats_.tuples_echoed += 1;
+          } else {
+            stats_.echo_dropped += 1;
+          }
+          stats_.echo_evicted += writer->stats().units_evicted - evicted_before;
+        },
+        mode);
+    return;
+  }
+  // Binary session: samples stage into the connection's wire encoder and
+  // seal into multi-tuple frames - either when a frame's worth accumulates
+  // or on the deferred flush at the end of the loop iteration, so a trickle
+  // is never stranded.  (The Client object is stable: owned by unique_ptr
+  // in clients_, and the tap dies with the session scope before it does.)
+  Client* cp = &client;
+  client.session->scope->SetBufferedTap(
+      [this, client_key, cp](std::string_view name, int64_t time_ms, double value) {
+        wire::StageResult r = cp->egress_enc.Add(name, time_ms, value);
+        if (r == wire::StageResult::kFrameFull) {
+          FlushEgress(*cp);
+          r = cp->egress_enc.Add(name, time_ms, value);
         }
-        stats_.echo_evicted += writer->stats().frames_evicted - evicted_before;
+        if (r != wire::StageResult::kStaged) {
+          stats_.echo_dropped += 1;
+          return;
+        }
+        if (cp->egress_enc.staged_samples() >= kEgressFrameSamples) {
+          FlushEgress(*cp);
+          return;
+        }
+        ScheduleEgressFlush(client_key, *cp);
       },
       mode);
+}
+
+void StreamServer::FlushEgress(Client& client) {
+  size_t n = client.egress_enc.staged_samples();
+  if (n == 0) {
+    return;
+  }
+  int64_t evicted_before = client.writer.stats().units_evicted;
+  std::string& buf = client.writer.BeginFrame();
+  client.egress_enc.EmitFrame(buf);
+  if (client.writer.CommitFrame(static_cast<uint32_t>(n))) {
+    stats_.tuples_echoed += static_cast<int64_t>(n);
+  } else {
+    stats_.echo_dropped += static_cast<int64_t>(n);
+  }
+  stats_.echo_evicted += client.writer.stats().units_evicted - evicted_before;
+}
+
+void StreamServer::ScheduleEgressFlush(int client_key, Client& client) {
+  if (client.egress_flush_pending) {
+    return;
+  }
+  client.egress_flush_pending = true;
+  std::weak_ptr<StreamServer> weak_self = self_alias_;
+  loop_->Invoke([client_key, weak_self]() {
+    std::shared_ptr<StreamServer> server = weak_self.lock();
+    if (server == nullptr) {
+      return;
+    }
+    auto it = server->clients_.find(client_key);
+    if (it == server->clients_.end()) {
+      return;
+    }
+    it->second->egress_flush_pending = false;
+    server->FlushEgress(*it->second);
+  });
+}
+
+void StreamServer::BindDict(Client& client, uint32_t id, std::string_view name) {
+  // The decoder validated id's range and the name's length; resize is
+  // bounded by kMaxDictId.
+  if (client.dict.size() < id) {
+    client.dict.resize(id);
+  }
+  DictEntry& entry = client.dict[id - 1];
+  if (entry.bound && entry.name == name) {
+    return;  // steady state: every frame redeclares its bindings, a no-op
+  }
+  entry.name.assign(name);
+  entry.bound = true;
+  uint32_t route = 0;
+  entry.has_route = router_.ResolveRoute(entry.name, &route);
+  entry.route = route;
+  stats_.dict_entries += 1;
+}
+
+void StreamServer::IngestRecords(Client& client, int64_t base_time_ms,
+                                 const char* records, size_t n) {
+  // Streams repeat ids in runs (a producer emits a burst per signal): the
+  // dict entry is looked up once per run, not per sample.
+  uint32_t run_id = 0;
+  bool run_valid = false;
+  const DictEntry* entry = nullptr;
+  for (size_t i = 0; i < n; ++i, records += wire::kSampleRecordBytes) {
+    uint32_t id = wire::LoadU32(records);
+    int64_t time_ms = base_time_ms + wire::LoadI32(records + 4);
+    double value = wire::LoadF64(records + 8);
+    if (id == 0) {
+      // Unnamed two-field form: the single-signal shim path.
+      stats_.tuples += 1;
+      if (ingest_tap_) {
+        ingest_tap_(TupleView{time_ms, value, {}});
+      }
+      router_.Append({}, time_ms, value);
+      continue;
+    }
+    if (!run_valid || id != run_id) {
+      run_id = id;
+      run_valid = true;
+      entry = id <= client.dict.size() && client.dict[id - 1].bound
+                  ? &client.dict[id - 1]
+                  : nullptr;
+    }
+    if (entry == nullptr) {
+      // Unknown id: the frame's dict section did not declare it (producer
+      // bug); counted like any other malformed tuple.
+      stats_.parse_errors += 1;
+      continue;
+    }
+    stats_.tuples += 1;
+    if (ingest_tap_) {
+      ingest_tap_(TupleView{time_ms, value, entry->name});
+    }
+    if (entry->has_route) {
+      router_.AppendRoute(entry->route, time_ms, value);
+    } else {
+      router_.Append(entry->name, time_ms, value);
+    }
+  }
 }
 
 bool StreamServer::Sweep() {
@@ -448,15 +719,16 @@ bool StreamServer::Sweep() {
       if (s == nullptr) {
         continue;
       }
-      const FramedWriter::Stats& w = s->writer.stats();
+      FramedWriter& writer = client->writer;
+      const FramedWriter::Stats& w = writer.stats();
       int64_t loss = w.frames_dropped + w.frames_evicted;
       // "Pinned" = the backlog is holding at least half its cap, or frames
       // were lost since the last sweep - either way the subscriber is not
       // keeping up with the per-sample echo.
-      bool pinned = s->writer.pending_bytes() * 2 >= options_.control_max_buffer ||
+      bool pinned = writer.pending_bytes() * 2 >= options_.control_max_buffer ||
                     loss != s->last_loss_frames;
       // "Calm" = backlog nearly drained AND no loss for a whole window.
-      bool calm = s->writer.pending_bytes() * 8 <= options_.control_max_buffer &&
+      bool calm = writer.pending_bytes() * 8 <= options_.control_max_buffer &&
                   loss == s->last_loss_frames;
       s->last_loss_frames = loss;
 
@@ -471,9 +743,9 @@ bool StreamServer::Sweep() {
           // value of every signal at display granularity.  The NOTICE rides
           // the same (pinned) writer, so delivery is best-effort - the
           // taps_downgraded counter is the authoritative record.
-          InstallEchoTap(*s, TapMode::kCoalesced);
+          InstallEchoTap(key, *client, TapMode::kCoalesced);
           stats_.taps_downgraded += 1;
-          Reply(*s, "NOTICE DEGRADE coalesced");
+          Reply(*client, "NOTICE DEGRADE coalesced");
           s->stalled_since_ns = -1;
         }
       } else {
@@ -483,9 +755,9 @@ bool StreamServer::Sweep() {
         } else if (s->calm_since_ns < 0) {
           s->calm_since_ns = now;
         } else if (now - s->calm_since_ns >= window) {
-          InstallEchoTap(*s, TapMode::kEverySample);
+          InstallEchoTap(key, *client, TapMode::kEverySample);
           stats_.taps_restored += 1;
-          Reply(*s, "NOTICE RESTORE every-sample");
+          Reply(*client, "NOTICE RESTORE every-sample");
           s->calm_since_ns = -1;
         }
       }
@@ -506,10 +778,10 @@ void StreamServer::DropClient(int client_key) {
     // Unregister the session scope (epoch bump: routes re-snapshot) before
     // its storage goes away with the client entry.
     router_.RemoveScope(it->second->session->scope.get());
-    // The retired writer's adaptive transitions fold into the server total
-    // so STATS stays monotone across disconnects.
-    stats_.policy_switches += it->second->session->writer.stats().policy_switches;
   }
+  // The retired writer's adaptive transitions fold into the server total
+  // so STATS stays monotone across disconnects.
+  stats_.policy_switches += it->second->writer.stats().policy_switches;
   clients_.erase(it);
   stats_.disconnections += 1;
 }

@@ -44,10 +44,13 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
 #include "core/ingest_router.h"
 #include "core/scope.h"
 #include "core/tuple.h"
 #include "core/signal_filter.h"
+#include "net/frame_codec.h"
 #include "net/line_framer.h"
 #include "net/socket.h"
 #include "runtime/event_loop.h"
@@ -145,6 +148,10 @@ class StreamServer {
     // Adaptive overflow-policy transitions across session writers (live sum
     // plus sessions already retired; see DropClient).
     int64_t policy_switches = 0;
+    // Binary wire protocol v2 (docs/protocol.md "Binary wire protocol").
+    int64_t frames_rx = 0;          // binary frames accepted (CRC-verified)
+    int64_t frames_crc_errors = 0;  // loss-of-sync events (bad CRC/header/torn)
+    int64_t dict_entries = 0;       // dictionary bindings installed/changed
   };
 
   // Observes every successfully parsed ingest tuple line, before routing and
@@ -183,11 +190,11 @@ class StreamServer {
 
  private:
   // One remote scope session: the server-side half of a control connection.
+  // The egress FramedWriter lives on the Client (every connection can carry
+  // replies - e.g. the HELLO negotiation - before it becomes a session).
   struct ControlSession {
-    ControlSession(MainLoop* loop, size_t max_buffer) : writer(loop, max_buffer) {}
     SignalFilter filter;          // registered with the router; epoch-coupled
     std::unique_ptr<Scope> scope; // the session's display target
-    FramedWriter writer;          // server -> client egress (replies + tuples)
     // Degradation sweep state (loop clock; see Sweep()).
     TapMode tap_mode = TapMode::kEverySample;
     Nanos stalled_since_ns = -1;  // first sweep that saw the backlog pinned
@@ -195,24 +202,63 @@ class StreamServer {
     int64_t last_loss_frames = 0; // writer drops+evictions at the last sweep
   };
 
+  // Inbound wire format of one connection (docs/protocol.md).  Text is the
+  // default forever; HELLO BIN upgrades one way.  kBinaryPending covers the
+  // window between "OK HELLO" and the client's first binary frame: text
+  // lines still parse, and the first frame magic at a line boundary flips
+  // the connection to kBinary.
+  enum class WireMode : uint8_t { kText, kBinaryPending, kBinary };
+
+  // One dictionary binding of a binary connection: id -> interned name and
+  // (when resolvable) the server-wide route index, so steady-state ingest
+  // never touches the name bytes.
+  struct DictEntry {
+    std::string name;
+    uint32_t route = 0;
+    bool has_route = false;
+    bool bound = false;
+  };
+
   struct Client {
-    explicit Client(size_t max_line_bytes) : framer(max_line_bytes) {}
+    Client(MainLoop* loop, size_t max_line_bytes, size_t max_buffer)
+        : framer(max_line_bytes), writer(loop, max_buffer) {}
     Socket socket;
     SourceId watch = 0;
     LineFramer framer;
+    FramedWriter writer;          // server -> client egress (replies + tuples)
     std::unique_ptr<ControlSession> session;
     Nanos last_activity_ns = 0;   // loop clock at the last byte received
+    // Binary wire protocol v2 state.
+    WireMode wire = WireMode::kText;
+    std::unique_ptr<wire::FrameDecoder> decoder;  // created at HELLO accept
+    std::vector<DictEntry> dict;  // by id - 1 (per-connection namespace)
+    bool binary_egress = false;   // replies/echo leave as binary frames
+    wire::WireEncoder egress_enc; // staged echo samples (binary sessions)
+    bool egress_flush_pending = false;  // a deferred FlushEgress is queued
   };
+
+  struct FrameHandler;  // decoder callbacks -> BindDict/IngestRecords/HandleLine
 
   bool OnAcceptReady();
   bool OnClientReady(int client_key, IoCondition cond);
   void ProcessData(int client_key, Client& client, const char* data, size_t len);
   void HandleLine(int client_key, Client& client, std::string_view line);
   void HandleControlLine(int client_key, Client& client, std::string_view line);
+  // HELLO negotiation (before the verb whitelist: no session is created).
+  void HandleHello(Client& client, std::string_view rest);
   ControlSession& EnsureSession(int client_key, Client& client);
-  void Reply(ControlSession& session, std::string_view line);
+  void Reply(Client& client, std::string_view line);
+  // Installs/updates one dictionary binding of a binary connection.
+  void BindDict(Client& client, uint32_t id, std::string_view name);
+  // Ingests a decoded sample batch (`n` records of kSampleRecordBytes).
+  void IngestRecords(Client& client, int64_t base_time_ms, const char* records, size_t n);
+  // Seals the staged echo samples of a binary session into one wire frame.
+  void FlushEgress(Client& client);
+  void ScheduleEgressFlush(int client_key, Client& client);
+  // Folds a decoder's counters into stats_ (frames_rx / frames_crc_errors).
+  void FoldDecoderStats(wire::FrameDecoder& decoder);
   // (Re)installs the session scope's echo tap in `mode`; records the mode.
-  void InstallEchoTap(ControlSession& session, TapMode mode);
+  void InstallEchoTap(int client_key, Client& client, TapMode mode);
   // Maintenance sweep (idle_timeout_ms / degrade_stalled_ms): drops idle
   // clients and downgrades/restores pinned sessions' echo taps.
   bool Sweep();

@@ -155,19 +155,23 @@ size_t FramedWriter::Reset() {
   PruneSentFrames();
   // Committed-but-unsent bytes are lost with their frames; the open frame's
   // uncommitted tail is the caller's rollback, not a loss to account here.
-  size_t abandoned = frame_starts_.size();
+  size_t abandoned_units = 0;
+  for (const FrameRec& frame : frame_starts_) {
+    abandoned_units += frame.weight;
+  }
   size_t end = committed_end();
   if (end > offset_) {
     stats_.bytes_dropped += static_cast<int64_t>(end - offset_);
   }
-  stats_.frames_abandoned += static_cast<int64_t>(abandoned);
+  stats_.frames_abandoned += static_cast<int64_t>(frame_starts_.size());
+  stats_.units_abandoned += static_cast<int64_t>(abandoned_units);
   buffer_.clear();
   offset_ = 0;
   frame_open_ = false;
   frame_start_ = 0;
   frame_starts_.clear();
   head_partial_ = false;
-  return abandoned;
+  return abandoned_units;
 }
 
 std::string& FramedWriter::BeginFrame() {
@@ -176,7 +180,7 @@ std::string& FramedWriter::BeginFrame() {
   return buffer_;
 }
 
-bool FramedWriter::CommitFrame() {
+bool FramedWriter::CommitFrame(uint32_t weight) {
   if (!frame_open_) {
     return false;
   }
@@ -198,6 +202,7 @@ bool FramedWriter::CommitFrame() {
         // as dropped (counted here, while Reset - which accounts only the
         // committed region - still sees it as open and excludes its bytes).
         stats_.frames_dropped += 1;
+        stats_.units_dropped += weight;
         stats_.bytes_dropped += static_cast<int64_t>(frame_len);
         Reset();
         if (on_error_) {
@@ -213,15 +218,17 @@ bool FramedWriter::CommitFrame() {
       buffer_.resize(frame_start_);
       frame_open_ = false;
       stats_.frames_dropped += 1;
+      stats_.units_dropped += weight;
       stats_.bytes_dropped += static_cast<int64_t>(frame_len);
       return false;
     }
   } else {
     NoteBacklogLevel();
   }
-  frame_starts_.push_back(frame_start_);
+  frame_starts_.push_back(FrameRec{frame_start_, weight});
   frame_open_ = false;
   stats_.frames_committed += 1;
+  stats_.units_committed += weight;
   stats_.high_water_bytes = std::max(stats_.high_water_bytes, pending_bytes());
   if (fd_ >= 0) {
     EnsureWatch();
@@ -238,7 +245,7 @@ void FramedWriter::RollbackFrame() {
 
 void FramedWriter::PruneSentFrames() {
   while (!frame_starts_.empty()) {
-    size_t end = frame_starts_.size() > 1 ? frame_starts_[1] : committed_end();
+    size_t end = frame_starts_.size() > 1 ? frame_starts_[1].start : committed_end();
     if (end <= offset_) {
       frame_starts_.pop_front();
       head_partial_ = false;  // the partially-sent frame completed
@@ -248,7 +255,7 @@ void FramedWriter::PruneSentFrames() {
   }
   if (frame_starts_.empty()) {
     head_partial_ = false;
-  } else if (frame_starts_.front() < offset_) {
+  } else if (frame_starts_.front().start < offset_) {
     // Never cleared here: after the EAGAIN compaction the head's remainder
     // sits at offset 0 and this comparison goes blind, but the frame is
     // still mid-flight until it fully drains (pop above).
@@ -268,8 +275,10 @@ void FramedWriter::EvictOldestUntilFits() {
     if (idx >= frame_starts_.size()) {
       return;  // nothing evictable; CommitFrame falls back to drop-newest
     }
-    size_t start = frame_starts_[idx];
-    size_t end = idx + 1 < frame_starts_.size() ? frame_starts_[idx + 1] : committed_end();
+    size_t start = frame_starts_[idx].start;
+    uint32_t weight = frame_starts_[idx].weight;
+    size_t end =
+        idx + 1 < frame_starts_.size() ? frame_starts_[idx + 1].start : committed_end();
     size_t len = end - start;
     if (idx == 0 && start == offset_) {
       // The victim sits exactly at the drain point (after a prune the read
@@ -283,11 +292,12 @@ void FramedWriter::EvictOldestUntilFits() {
       buffer_.erase(start, len);
       frame_starts_.erase(frame_starts_.begin() + static_cast<ptrdiff_t>(idx));
       for (size_t i = idx; i < frame_starts_.size(); ++i) {
-        frame_starts_[i] -= len;
+        frame_starts_[i].start -= len;
       }
       frame_start_ -= len;
     }
     stats_.frames_evicted += 1;
+    stats_.units_evicted += weight;
     stats_.bytes_dropped += static_cast<int64_t>(len);
   }
   // A fully-stalled peer never reaches OnWritable's compaction; reclaim the
@@ -390,8 +400,8 @@ void FramedWriter::CompactConsumedPrefix() {
   // frame is open.
   if (offset_ >= 4096 && offset_ * 2 >= buffer_.size()) {
     buffer_.erase(0, offset_);
-    for (size_t& start : frame_starts_) {
-      start = start > offset_ ? start - offset_ : 0;
+    for (FrameRec& frame : frame_starts_) {
+      frame.start = frame.start > offset_ ? frame.start - offset_ : 0;
     }
     frame_start_ = frame_start_ > offset_ ? frame_start_ - offset_ : 0;
     offset_ = 0;

@@ -66,6 +66,17 @@ class FramedWriter {
     // bytes_written and pending_bytes() this balances byte-for-byte against
     // everything ever committed (plus rolled-back newest frames).
     int64_t bytes_dropped = 0;
+    // Weighted mirrors of the frame counters.  A frame commits with a
+    // weight (CommitFrame's argument, default 1): the number of payload
+    // units - tuples - it carries.  Binary wire frames batch many tuples
+    // per frame, and these counters are what keep tuple-exact accounting
+    // (delivered == sent - evicted - abandoned) alive when the eviction
+    // unit is a multi-tuple frame.  For weight-1 frames they equal the
+    // frame counters.
+    int64_t units_committed = 0;
+    int64_t units_dropped = 0;
+    int64_t units_evicted = 0;
+    int64_t units_abandoned = 0;
     int64_t block_time_ns = 0;     // time spent waiting (kBlockWithDeadline)
     size_t high_water_bytes = 0;   // max unsent backlog ever observed
     int64_t policy_switches = 0;   // adaptive degrade + recover transitions
@@ -146,8 +157,10 @@ class FramedWriter {
   // Seals the open frame.  If the unsent backlog (including this frame)
   // would exceed max_buffer, the overflow policy runs; when it cannot make
   // room the frame is removed again - whole - and false is returned.  On
-  // success schedules the writability watch.
-  bool CommitFrame();
+  // success schedules the writability watch.  `weight` is the number of
+  // payload units (tuples) the frame carries, echoed into the units_*
+  // stats when the frame is committed / dropped / evicted / abandoned.
+  bool CommitFrame(uint32_t weight = 1);
   // Discards the open frame (error paths).
   void RollbackFrame();
 
@@ -155,8 +168,9 @@ class FramedWriter {
   size_t pending_bytes() const { return buffer_.size() - offset_; }
   const Stats& stats() const { return stats_; }
 
-  // Drops backlog and detaches.  Returns the number of committed-but-unsent
-  // whole frames discarded, counted into frames_abandoned (partial head
+  // Drops backlog and detaches.  Returns the total WEIGHT of the
+  // committed-but-unsent frames discarded (== their count for weight-1
+  // frames), counted into frames_abandoned / units_abandoned (partial head
   // bytes of a frame the kernel already consumed count toward the frame
   // they belong to; an open uncommitted frame is not counted).
   size_t Reset();
@@ -210,11 +224,16 @@ class FramedWriter {
   size_t offset_ = 0;       // bytes already handed to the kernel
   size_t frame_start_ = 0;  // BeginFrame position; npos-like 0 when closed
   bool frame_open_ = false;
-  // Start offsets (into buffer_) of committed frames not yet fully sent,
-  // oldest first.  Frame i ends where frame i+1 starts; the last committed
-  // frame ends at committed_end().  This is what lets kDropOldest evict on
-  // exact frame boundaries and Reset() count whole frames.
-  std::deque<size_t> frame_starts_;
+  // Committed frames not yet fully sent, oldest first: start offset into
+  // buffer_ plus the commit weight (tuple count).  Frame i ends where frame
+  // i+1 starts; the last committed frame ends at committed_end().  This is
+  // what lets kDropOldest evict on exact frame boundaries and Reset() count
+  // whole frames with tuple-exact weights.
+  struct FrameRec {
+    size_t start;
+    uint32_t weight;
+  };
+  std::deque<FrameRec> frame_starts_;
   // The head frame has bytes the kernel already consumed.  Tracked as state
   // (not derived from offsets): the EAGAIN compaction erases the consumed
   // prefix, after which the head frame's remainder starts at offset 0 and

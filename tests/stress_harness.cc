@@ -49,6 +49,16 @@ void ProducerThread(const Options& opt, int idx, uint16_t port, SimClock* sim,
     copt.reconnect.max_backoff_ms = 50;
     copt.reconnect.seed = opt.seed * 7919u + static_cast<uint32_t>(idx);
   }
+  bool binary = opt.wire == Options::Wire::kBinary ||
+                (opt.wire == Options::Wire::kMixed && idx % 2 == 1);
+  if (binary) {
+    copt.wire_format = WireFormat::kBinary;
+    // Small frames: the bounded backlogs in these rigs are a few KiB, so a
+    // 128-sample frame would be most of the cap and the overflow policies
+    // would never see intermediate states.
+    copt.frame_samples = 16;
+  }
+  out->wire_binary = binary;
   StreamClient client(&loop, copt);
   std::string name = ProducerName(opt, idx);
   std::mt19937 rng(opt.seed * 1000003u + static_cast<uint32_t>(idx));
@@ -115,7 +125,8 @@ void ProducerThread(const Options& opt, int idx, uint16_t port, SimClock* sim,
       int burst = 1 + static_cast<int>(rng() % static_cast<uint32_t>(opt.burst));
       for (int i = 0; i < burst && seq < quota; ++i) {
         out->attempted += 1;
-        int64_t stamp = sim->NowNs() / kNanosPerMilli;
+        int64_t stamp =
+            sim->NowNs() / kNanosPerMilli + static_cast<int64_t>(idx) * opt.producer_skew_ms;
         if (client.Send(stamp, static_cast<double>(seq), name)) {
           out->last_sent_value = seq;
         }
@@ -340,6 +351,9 @@ std::string Result::CheckNewestPreserved() const {
     if (p.last_sent_value < 0) {
       continue;  // nothing was ever committed
     }
+    if (p.wire_binary && p.dropped > 0) {
+      continue;  // a dropped frame may have carried the newest staged value
+    }
     if (received[i].empty()) {
       return "producer " + std::to_string(i) + ": committed up to " +
              std::to_string(p.last_sent_value) + " but nothing was delivered";
@@ -381,6 +395,7 @@ Result RunStress(const Options& opt) {
   Result result;
   result.producers.resize(static_cast<size_t>(opt.producers));
   result.received.resize(static_cast<size_t>(opt.producers));
+  result.received_times.resize(static_cast<size_t>(opt.producers));
 
   bool has_drain = false;
   bool has_restart = false;
@@ -398,6 +413,10 @@ Result RunStress(const Options& opt) {
   }
   if (opt.use_processes && opt.viewers > 0) {
     result.setup_error = "viewers are threads; they cannot mix with forked producers";
+    return result;
+  }
+  if (opt.use_processes && opt.wire != Options::Wire::kText) {
+    result.setup_error = "binary wire requires thread producers";
     return result;
   }
   result.viewers.resize(static_cast<size_t>(std::max(0, opt.viewers)));
@@ -450,6 +469,7 @@ Result RunStress(const Options& opt) {
     if (any_digit && idx >= 0 && idx < opt.producers) {
       result.received[static_cast<size_t>(idx)].push_back(
           static_cast<int64_t>(std::llround(tuple.value)));
+      result.received_times[static_cast<size_t>(idx)].push_back(tuple.time_ms);
     }
   });
 
@@ -583,6 +603,8 @@ Result RunStress(const Options& opt) {
   result.server_tuples = server.stats().tuples;
   result.server_parse_errors = server.stats().parse_errors;
   result.server_bytes = server.stats().bytes;
+  result.server_frames_rx = server.stats().frames_rx;
+  result.server_frames_crc_errors = server.stats().frames_crc_errors;
   if (injector != nullptr) {
     result.fault_stats = injector->stats();
   }

@@ -91,6 +91,19 @@ struct Options {
   int viewers = 0;
   int64_t viewer_ping_interval_ms = 0;  // 0 = no liveness probing
   int64_t viewer_idle_timeout_ms = 0;
+  // Wire format for the in-process producers: text lines, binary frames
+  // (HELLO BIN 1 negotiated on every establishment, docs/protocol.md "Wire
+  // format v2"), or a mixed fleet where odd producer indices go binary -
+  // both formats interleave on one server and every invariant must hold
+  // regardless.  Thread producers only; process mode stays text.
+  enum class Wire { kText, kBinary, kMixed };
+  Wire wire = Wire::kText;
+  // Per-producer clock skew: producer k stamps tuples with
+  // sim_now + k * producer_skew_ms.  Received timestamps (Result::
+  // received_times) must reconstruct each producer's absolute stamps
+  // exactly, proving the binary frames' delta-encoded timestamps compose
+  // with arbitrarily disagreeing producer clocks.
+  int64_t producer_skew_ms = 0;
 };
 
 struct ProducerReport {
@@ -106,6 +119,7 @@ struct ProducerReport {
   int64_t last_sent_value = -1;  // last sequence number that was committed
   int reconnects = 0;
   bool connected_ok = false;  // producer established at least once
+  bool wire_binary = false;   // producer ran with Options::Wire binary
 };
 
 struct ViewerReport {
@@ -129,9 +143,17 @@ struct Result {
   std::vector<ViewerReport> viewers;
   // Per producer, the values the server actually parsed, in arrival order.
   std::vector<std::vector<int64_t>> received;
+  // Parallel to `received`: the timestamps (ms) the server parsed for each
+  // value, for the clock-skew reconstruction checks.
+  std::vector<std::vector<int64_t>> received_times;
   int64_t server_tuples = 0;
   int64_t server_parse_errors = 0;
   int64_t server_bytes = 0;
+  // Binary-wire counters (zeros for all-text fleets): frames decoded, and
+  // loss-of-sync events.  The matrix invariant is crc_errors <= kills - only
+  // a mid-frame teardown may tear a frame, never a drop decision.
+  int64_t server_frames_rx = 0;
+  int64_t server_frames_crc_errors = 0;
   int restarts = 0;
   // What the fault schedule actually did (zeros when Options::faults empty).
   FaultInjector::Stats fault_stats;
@@ -150,7 +172,9 @@ struct Result {
   std::string CheckDeliveryExact() const;
   // Delivered sequences strictly increasing per producer.
   std::string CheckSequencesMonotone() const;
-  // Drop-oldest, no restarts: the newest committed value survived.
+  // Drop-oldest, no restarts: the newest committed value survived.  Binary
+  // producers that dropped anything are skipped: they commit whole frames,
+  // so the newest staged value may have ridden a dropped frame.
   std::string CheckNewestPreserved() const;
   // block_time <= attempts x deadline (with slop for clock granularity).
   std::string CheckBlockDeadline(int64_t deadline_ms) const;

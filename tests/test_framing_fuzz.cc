@@ -22,7 +22,9 @@
 #include "core/tuple.h"
 #include "net/control_client.h"
 #include "net/fault_injector.h"
+#include "net/frame_codec.h"
 #include "net/line_framer.h"
+#include "net/socket.h"
 #include "net/stream_server.h"
 #include "runtime/event_loop.h"
 
@@ -358,6 +360,303 @@ TEST(FramingFuzz, ControlClientDemuxInvariantUnderFaultShim) {
     EXPECT_EQ(faulted.tuples[i].first, friendly.tuples[i].first) << "tuple " << i;
     EXPECT_EQ(faulted.tuples[i].second, friendly.tuples[i].second) << "tuple " << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Binary wire (frame_codec.h): the same chunking-invariance and resync
+// properties, at the frame layer.  One decode's full observable output:
+// dict entries, samples (with reconstructed absolute timestamps), text
+// lines, and the decoder's own accounting.
+// ---------------------------------------------------------------------------
+
+struct WireSample {
+  uint32_t id = 0;
+  int64_t time_ms = 0;
+  double value = 0.0;
+
+  bool operator==(const WireSample& other) const = default;
+};
+
+struct DecodeOutcome {
+  std::vector<std::pair<uint32_t, std::string>> dict;  // arrival order
+  std::vector<WireSample> samples;
+  std::vector<std::string> text;
+  int64_t frames_rx = 0;
+  int64_t crc_errors = 0;
+
+  bool operator==(const DecodeOutcome& other) const = default;
+};
+
+struct CollectingHandler {
+  DecodeOutcome* out;
+  void OnDictEntry(uint32_t id, std::string_view name) {
+    out->dict.emplace_back(id, std::string(name));
+  }
+  void OnSampleBatch(int64_t base_time_ms, const char* records, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      const char* rec = records + i * wire::kSampleRecordBytes;
+      out->samples.push_back({wire::LoadU32(rec),
+                              base_time_ms + wire::LoadI32(rec + 4),
+                              wire::LoadF64(rec + 8)});
+    }
+  }
+  void OnTextLine(std::string_view line) { out->text.emplace_back(line); }
+};
+
+// Feeds `stream` through a FrameDecoder in the given chunk sizes (cycled),
+// with Finish() at EOF, exactly the way StreamServer's read loop does.
+DecodeOutcome RunDecoder(const std::string& stream, const std::vector<size_t>& chunk_sizes) {
+  wire::FrameDecoder decoder;
+  DecodeOutcome out;
+  CollectingHandler handler{&out};
+  size_t pos = 0;
+  size_t chunk_i = 0;
+  while (pos < stream.size()) {
+    size_t n = std::min(chunk_sizes[chunk_i++ % chunk_sizes.size()], stream.size() - pos);
+    n = std::max<size_t>(n, 1);
+    decoder.Consume(stream.data() + pos, n, handler);
+    pos += n;
+  }
+  decoder.Finish();
+  out.frames_rx = decoder.stats().frames_rx;
+  out.crc_errors = decoder.stats().crc_errors;
+  return out;
+}
+
+// A deterministic mixed stream: samples frames (random sizes, names from a
+// small pool so dict reuse and re-declaration both occur) interleaved with
+// text frames.  Appends every staged sample to `originals` keyed by name.
+std::string BuildBinaryCorpus(std::mt19937& rng, int frames,
+                              std::vector<std::pair<std::string, WireSample>>* originals) {
+  wire::WireEncoder enc;
+  std::string stream;
+  const std::vector<std::string> pool = {"fz_a", "fz_b", "fz_long_name_c", "fz_d"};
+  int64_t t = 1000;
+  for (int f = 0; f < frames; ++f) {
+    if (rng() % 5 == 0) {
+      wire::WireEncoder::EmitTextLineFrame(stream, "OK PING " + std::to_string(f));
+      continue;
+    }
+    size_t count = 1 + rng() % 20;
+    for (size_t i = 0; i < count; ++i) {
+      const std::string& name = pool[rng() % pool.size()];
+      t += static_cast<int64_t>(rng() % 50);
+      double v = RandomValue(rng);
+      EXPECT_EQ(enc.Add(name, t, v), wire::StageResult::kStaged);
+      if (originals != nullptr) {
+        originals->push_back({name, {0, t, v}});
+      }
+    }
+    EXPECT_EQ(enc.EmitFrame(stream), count);
+  }
+  return stream;
+}
+
+TEST(FramingFuzz, BinaryChunkingInvarianceOnCleanStreams) {
+  for (uint32_t seed : {1u, 2u, 3u, 5u, 8u, 13u}) {
+    std::mt19937 rng(seed);
+    std::vector<std::pair<std::string, WireSample>> originals;
+    std::string stream = BuildBinaryCorpus(rng, 40, &originals);
+
+    DecodeOutcome whole = RunDecoder(stream, {stream.size()});
+    DecodeOutcome bytewise = RunDecoder(stream, {1});
+    DecodeOutcome random_chunks = RunDecoder(stream, RandomChunkSizes(rng, 37));
+
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    EXPECT_EQ(whole.crc_errors, 0);
+    EXPECT_GT(whole.frames_rx, 0);
+    ASSERT_EQ(whole.samples.size(), originals.size());
+    // Absolute timestamps and values reconstruct bit-exact, and every
+    // sample's id maps to the right name through the frame's own dict.
+    // Ids never rebind within a connection, so the union of all dict
+    // entries gives the id -> name map for every sample.
+    std::vector<std::string> id_names(wire::kMaxDictId + 1);
+    for (const auto& [id, name] : whole.dict) {
+      id_names[id] = name;
+    }
+    size_t sample_i = 0;
+    for (const auto& [name, expect] : originals) {
+      const WireSample& got = whole.samples[sample_i++];
+      EXPECT_EQ(got.time_ms, expect.time_ms);
+      EXPECT_EQ(got.value, expect.value);
+      EXPECT_EQ(id_names[got.id], name);
+    }
+    EXPECT_TRUE(bytewise == whole);
+    EXPECT_TRUE(random_chunks == whole);
+  }
+}
+
+TEST(FramingFuzz, BinaryCorruptedCrcCountsOnceAndResyncs) {
+  // Three frames with tame payload bytes (no accidental magic pairs); a
+  // corrupted byte in the middle frame must cost exactly one crc_error and
+  // exactly that frame's samples, at EVERY chunking.
+  wire::WireEncoder enc;
+  std::string a, b, c;
+  enc.Add("crc_one", 100, 1.0);
+  enc.EmitFrame(a);
+  enc.Add("crc_two", 200, 2.0);
+  enc.Add("crc_two", 201, 2.5);
+  enc.EmitFrame(b);
+  enc.Add("crc_one", 300, 3.0);
+  enc.EmitFrame(c);
+  b[wire::kHeaderBytes + 9] ^= 0x01;  // a payload byte: CRC now mismatches
+  const std::string stream = a + b + c;
+
+  for (size_t chunk : {size_t{1}, size_t{3}, size_t{7}, stream.size()}) {
+    DecodeOutcome out = RunDecoder(stream, {chunk});
+    SCOPED_TRACE("chunk " + std::to_string(chunk));
+    EXPECT_EQ(out.crc_errors, 1);
+    EXPECT_EQ(out.frames_rx, 2);
+    ASSERT_EQ(out.samples.size(), 2u);  // frame b's two samples are gone
+    EXPECT_EQ(out.samples[0].time_ms, 100);
+    EXPECT_EQ(out.samples[1].time_ms, 300);
+    EXPECT_EQ(out.samples[1].value, 3.0);
+  }
+}
+
+TEST(FramingFuzz, BinaryTruncatedFrameResyncsOnNextMagic) {
+  // A frame torn mid-payload (the bytes a killed connection would leave)
+  // followed by intact frames: the decoder must lose ONLY the torn frame,
+  // count one loss-of-sync, and decode everything after it - at every
+  // chunking.
+  wire::WireEncoder enc;
+  std::string a, torn, c, d;
+  enc.Add("trunc_a", 10, 0.5);
+  enc.EmitFrame(a);
+  for (int i = 0; i < 8; ++i) {
+    enc.Add("trunc_b", 20 + i, static_cast<double>(i));
+  }
+  enc.EmitFrame(torn);
+  enc.Add("trunc_c", 40, 4.0);
+  enc.EmitFrame(c);
+  enc.Add("trunc_d", 50, 5.0);
+  enc.EmitFrame(d);
+  torn.resize(torn.size() / 2);  // mid-payload cut
+  const std::string stream = a + torn + c + d;
+
+  for (size_t chunk : {size_t{1}, size_t{5}, size_t{13}, stream.size()}) {
+    DecodeOutcome out = RunDecoder(stream, {chunk});
+    SCOPED_TRACE("chunk " + std::to_string(chunk));
+    EXPECT_EQ(out.crc_errors, 1);  // one loss-of-sync, silent rescan after
+    EXPECT_EQ(out.frames_rx, 3);
+    ASSERT_EQ(out.samples.size(), 3u);
+    EXPECT_EQ(out.samples[0].time_ms, 10);
+    EXPECT_EQ(out.samples[1].time_ms, 40);
+    EXPECT_EQ(out.samples[2].time_ms, 50);
+  }
+}
+
+TEST(FramingFuzz, BinaryGarbageBetweenFramesIsConfined) {
+  // Random garbage spliced BETWEEN frames: each splice costs at most one
+  // loss-of-sync and zero decoded frames; the frames around it all survive.
+  for (uint32_t seed : {41u, 42u, 43u}) {
+    std::mt19937 rng(seed);
+    wire::WireEncoder enc;
+    std::vector<std::string> frames;
+    for (int f = 0; f < 6; ++f) {
+      std::string frame;
+      enc.Add("gb_sig", 100 + f, static_cast<double>(f));
+      enc.EmitFrame(frame);
+      frames.push_back(std::move(frame));
+    }
+    std::string stream;
+    int splices = 0;
+    for (const std::string& frame : frames) {
+      stream += frame;
+      if (rng() % 2 == 0) {
+        size_t len = 1 + rng() % 24;
+        for (size_t i = 0; i < len; ++i) {
+          stream.push_back(static_cast<char>(rng() % 256));
+        }
+        ++splices;
+      }
+    }
+    // Close with a clean frame so trailing garbage cannot eat the tail.
+    std::string last;
+    enc.Add("gb_sig", 900, 9.0);
+    enc.EmitFrame(last);
+    stream += last;
+
+    DecodeOutcome whole = RunDecoder(stream, {stream.size()});
+    DecodeOutcome bytewise = RunDecoder(stream, {1});
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    EXPECT_EQ(whole.frames_rx, 7);
+    ASSERT_EQ(whole.samples.size(), 7u);
+    EXPECT_LE(whole.crc_errors, splices);
+    EXPECT_TRUE(bytewise == whole);
+  }
+}
+
+TEST(FramingFuzz, TextHelloBinaryTransitionOnRawSocket) {
+  // The live negotiation boundary, through a real server: text tuples, then
+  // HELLO BIN 1 (split across writes), then binary frames dribbled a few
+  // bytes at a time.  Every sample on both sides of the switch must count,
+  // with zero parse or CRC errors.
+  MainLoop loop;
+  Scope scope(&loop, {.name = "fzb", .width = 64});
+  scope.SetPollingMode(1);
+  StreamServer server(&loop, &scope);
+  ASSERT_TRUE(server.Listen(0));
+  scope.StartPolling();
+
+  Socket raw = Socket::Connect(server.port());
+  ASSERT_TRUE(raw.valid());
+  auto run_until = [&](const std::function<bool()>& pred, int max_ms = 2000) {
+    for (int i = 0; i < max_ms; ++i) {
+      if (pred()) {
+        return true;
+      }
+      loop.RunForMs(1);
+    }
+    return pred();
+  };
+  ASSERT_TRUE(run_until([&]() { return server.client_count() == 1; }));
+
+  // Writes everything, dribbling `chunk` bytes per loop turn so the server
+  // sees the same torn boundaries a congested sender would produce.
+  auto write_all = [&](const std::string& data, size_t chunk) {
+    size_t pos = 0;
+    return run_until([&]() {
+      while (pos < data.size()) {
+        IoResult r = raw.Write(data.data() + pos, std::min(chunk, data.size() - pos));
+        if (!r.ok() || r.bytes == 0) {
+          return false;
+        }
+        pos += r.bytes;
+        loop.RunForMs(1);
+      }
+      return true;
+    });
+  };
+
+  ASSERT_TRUE(write_all("71 7.5 fzb_text\n", 4));
+  ASSERT_TRUE(run_until([&]() { return server.stats().tuples >= 1; }));
+  EXPECT_EQ(server.stats().frames_rx, 0);
+
+  ASSERT_TRUE(write_all("HELLO BIN 1\n", 3));  // torn mid-verb
+  std::string reply;
+  char buf[256];
+  ASSERT_TRUE(run_until([&]() {
+    IoResult r = raw.Read(buf, sizeof(buf));
+    if (r.ok()) {
+      reply.append(buf, r.bytes);
+    }
+    return reply.find('\n') != std::string::npos;
+  }));
+  EXPECT_NE(reply.find("OK HELLO BIN 1"), std::string::npos) << reply;
+
+  wire::WireEncoder enc;
+  std::string frames;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(enc.Add("fzb_bin", 100 + i, i * 1.5), wire::StageResult::kStaged);
+    ASSERT_GT(enc.EmitFrame(frames), 0u);
+  }
+  ASSERT_TRUE(write_all(frames, 3));
+  ASSERT_TRUE(run_until([&]() { return server.stats().tuples >= 6; }));
+  EXPECT_EQ(server.stats().frames_rx, 5);
+  EXPECT_EQ(server.stats().frames_crc_errors, 0);
+  EXPECT_EQ(server.stats().parse_errors, 0);
+  EXPECT_EQ(server.stats().dict_entries, 1);  // interned once across frames
 }
 
 }  // namespace

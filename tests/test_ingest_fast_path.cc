@@ -10,6 +10,7 @@
 #include "core/ingest_router.h"
 #include "core/sample_buffer.h"
 #include "core/scope.h"
+#include "net/frame_codec.h"
 #include "runtime/clock.h"
 
 // Global allocation counter for the steady-state zero-allocation assertions.
@@ -450,6 +451,58 @@ TEST_F(ScopeIngestTest, SteadyStateBatchPathDoesNotAllocate) {
   }
   int64_t after = g_heap_allocs.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0) << "steady-state batch ingest must not allocate";
+}
+
+// ---- Binary wire codec steady state -----------------------------------------
+
+TEST(WireCodecFastPathTest, SteadyStateEncodeDecodeDoesNotAllocate) {
+  // The binary upload path's per-tuple cost claim rests on both ends reusing
+  // their buffers: once every name is interned (encoder) and the side buffer
+  // has grown to a frame (decoder), a continuous stream of stage -> emit ->
+  // consume cycles - including frames split across reads - must not touch
+  // the heap.
+  wire::WireEncoder encoder;
+  wire::FrameDecoder decoder;
+  struct CountingHandler {
+    int64_t samples = 0;
+    int64_t dict = 0;
+    void OnDictEntry(uint32_t, std::string_view) { ++dict; }
+    void OnSampleBatch(int64_t, const char*, size_t n) { samples += n; }
+    void OnTextLine(std::string_view) {}
+  };
+  CountingHandler handler;
+  std::string out;
+  auto round = [&]() {
+    out.clear();
+    for (int i = 0; i < 256; ++i) {
+      const char* name = (i & 1) != 0 ? "wire_hot_a" : "wire_hot_b";
+      if (encoder.Add(name, 1000 + i, i * 0.5) != wire::StageResult::kStaged) {
+        ADD_FAILURE() << "unexpected stage result";
+      }
+      if (encoder.staged_samples() >= 128) {
+        encoder.EmitFrame(out);
+      }
+    }
+    encoder.EmitFrame(out);
+    // Split every frame across two reads so the decoder's buffered path
+    // (assign + erase) stays on the measured fast path too.
+    size_t half = out.size() / 2;
+    decoder.Consume(out.data(), half, handler);
+    decoder.Consume(out.data() + half, out.size() - half, handler);
+  };
+  for (int warm = 0; warm < 5; ++warm) {
+    round();
+  }
+
+  int64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (int r = 0; r < 20; ++r) {
+    round();
+  }
+  int64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0) << "steady-state wire encode/decode must not allocate";
+  EXPECT_EQ(handler.samples, 25 * 256);
+  EXPECT_EQ(decoder.stats().crc_errors, 0);
+  EXPECT_EQ(decoder.stats().frames_rx, 25 * 2);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <string>
@@ -352,6 +353,104 @@ TEST_F(ReliabilityTest, ControlClientResumesSessionAcrossServerRestart) {
   }));
 }
 
+TEST_F(ReliabilityTest, BinaryViewerRenegotiatesAcrossServerRestart) {
+  // The wire format is per connection, not per session: a reconnect must
+  // renegotiate HELLO BIN 1 on its own, BEFORE the session replay, so the
+  // replayed subscription lands on an already-framed connection.
+  auto server = std::make_unique<StreamServer>(&loop_, &scope_);
+  ASSERT_TRUE(server->Listen(0));
+  scope_.StartPolling();  // live scope clock: session scopes copy its origin,
+                          // so NowMs() stamps land inside the delivery window
+  const uint16_t port = server->port();
+
+  ControlClientOptions vopt;
+  vopt.reconnect.enabled = true;
+  vopt.reconnect.initial_backoff_ms = 2;
+  vopt.reconnect.max_backoff_ms = 20;
+  vopt.wire_format = WireFormat::kBinary;
+  ControlClient viewer(&loop_, vopt);
+  int64_t tuples_seen = 0;
+  int64_t last_time = -1;
+  double last_value = 0.0;
+  viewer.SetTupleCallback([&](const TupleView& t) {
+    ++tuples_seen;
+    last_time = t.time_ms;
+    last_value = t.value;
+  });
+  ASSERT_TRUE(viewer.Connect(port));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.wire_binary(); }));
+  ASSERT_TRUE(viewer.Subscribe("rel_*"));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 1; }));
+  EXPECT_EQ(viewer.stats().resumed_commands, 0);
+
+  server->Close();
+  server = std::make_unique<StreamServer>(&loop_, &scope_);
+  ASSERT_TRUE(RunUntil([&]() { return server->Listen(port); }));
+
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().reconnects >= 1; }));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.wire_binary(); }));
+  EXPECT_EQ(viewer.stats().resumed_commands, 1);  // the SUB, exactly once
+
+  // Binary tuples flow end to end post-restart: a framed producer's sample
+  // crosses the server and reaches the renegotiated viewer bit-exact.  The
+  // stamps must sit inside the session's delivery window (late samples are
+  // dropped, future ones held), so each attempt stamps the scope's own now.
+  StreamClient::Options popt;
+  popt.wire_format = WireFormat::kBinary;
+  StreamClient producer(&loop_, popt);
+  ASSERT_TRUE(producer.Connect(port));
+  ASSERT_TRUE(RunUntil([&]() { return producer.wire_binary(); }));
+  std::vector<int64_t> stamps;
+  ASSERT_TRUE(RunUntil([&]() {
+    const int64_t stamp = static_cast<int64_t>(scope_.NowMs());
+    stamps.push_back(stamp);
+    producer.Send(stamp, 4.25, "rel_bin");
+    loop_.RunForMs(2);
+    return tuples_seen >= 1;
+  }));
+  EXPECT_NE(std::find(stamps.begin(), stamps.end(), last_time), stamps.end())
+      << "echoed time " << last_time << " was never sent";
+  EXPECT_EQ(last_value, 4.25);
+  EXPECT_GT(server->stats().frames_rx, 0);
+  EXPECT_EQ(server->stats().frames_crc_errors, 0);
+}
+
+TEST_F(ReliabilityTest, UnsupportedHelloStaysTextAndKeepsParsing) {
+  // Negotiation failure is not an error state: the server answers ERR and
+  // the connection continues as plain text, byte-identical to a client that
+  // never tried.
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  Socket raw = Socket::Connect(server.port());
+  ASSERT_TRUE(raw.valid());
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+
+  const std::string hello = "HELLO BIN 99\n";
+  ASSERT_TRUE(RunUntil([&]() {
+    IoResult r = raw.Write(hello.data(), hello.size());
+    return r.ok() && r.bytes == hello.size();
+  }));
+  std::string reply;
+  char buf[256];
+  ASSERT_TRUE(RunUntil([&]() {
+    IoResult r = raw.Read(buf, sizeof(buf));
+    if (r.ok()) {
+      reply.append(buf, r.bytes);
+    }
+    return reply.find('\n') != std::string::npos;
+  }));
+  EXPECT_NE(reply.find("ERR HELLO"), std::string::npos) << reply;
+
+  const std::string line = "123 4.5 neg_sig\n";
+  ASSERT_TRUE(RunUntil([&]() {
+    IoResult r = raw.Write(line.data(), line.size());
+    return r.ok() && r.bytes == line.size();
+  }));
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 1; }));
+  EXPECT_EQ(server.stats().parse_errors, 0);
+  EXPECT_EQ(server.stats().frames_rx, 0);  // never left text
+}
+
 // ---------------------------------------------------------------------------
 // Liveness: PING/PONG, idle timeouts, TIME sync
 // ---------------------------------------------------------------------------
@@ -453,6 +552,99 @@ TEST_F(ReliabilityTest, StatsVerbReportsRobustnessCounters) {
   EXPECT_NE(stats_line.find("pings_received 1"), std::string::npos) << stats_line;
   EXPECT_NE(stats_line.find("taps_downgraded 0"), std::string::npos) << stats_line;
   EXPECT_NE(stats_line.find("policy_switches 0"), std::string::npos) << stats_line;
+  // The wire-format keys are append-only additions to the same line; a text
+  // viewer reports wire_format 0.
+  EXPECT_NE(stats_line.find("frames_rx 0"), std::string::npos) << stats_line;
+  EXPECT_NE(stats_line.find("frames_crc_errors 0"), std::string::npos) << stats_line;
+  EXPECT_NE(stats_line.find("dict_entries 0"), std::string::npos) << stats_line;
+  EXPECT_NE(stats_line.find("wire_format 0"), std::string::npos) << stats_line;
+}
+
+TEST_F(ReliabilityTest, StatsVerbReportsBinaryWireCounters) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  ControlClientOptions vopt;
+  vopt.wire_format = WireFormat::kBinary;
+  vopt.frame_samples = 4;
+  ControlClient viewer(&loop_, vopt);
+  std::string stats_line;
+  viewer.SetReplyCallback([&](std::string_view line) {
+    if (line.find("STATS") != std::string_view::npos) {
+      stats_line = std::string(line);
+    }
+  });
+  ASSERT_TRUE(viewer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.wire_binary(); }));
+  // Push a few tuples upstream so sample frames (and a dictionary binding)
+  // actually crossed the wire before the scrape.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(viewer.Send(scope_.NowMs(), i, "wire_sig"));
+  }
+  ASSERT_TRUE(RunUntil([&]() { return server.stats().tuples >= 8; }));
+  ASSERT_TRUE(viewer.RequestStats());
+  ASSERT_TRUE(RunUntil([&]() { return !stats_line.empty(); }));
+  EXPECT_EQ(stats_line.find("frames_rx 0"), std::string::npos) << stats_line;
+  EXPECT_NE(stats_line.find("frames_crc_errors 0"), std::string::npos) << stats_line;
+  EXPECT_NE(stats_line.find("dict_entries 1"), std::string::npos) << stats_line;
+  EXPECT_NE(stats_line.find("wire_format 1"), std::string::npos) << stats_line;
+  EXPECT_EQ(server.stats().parse_errors, 0);
+}
+
+TEST_F(ReliabilityTest, TimeSyncComposesWithBinaryWire) {
+  // Two independent time mechanisms must not interfere: frame timestamps
+  // (i64 base + i32 deltas) reconstruct the PRODUCER's stamps bit-exact on
+  // the server, while the viewer's TIME sync separately maps its local clock
+  // onto the server scope.  The producer backdates every stamp by a fixed
+  // lag - different from every live clock in the rig, but inside the
+  // viewer's widened delay window so the echo actually delivers.  (Decades-
+  // scale skew is covered by the stress harness's clock-skew run, which
+  // observes ingest server-side with no delivery window in the way.)
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+  loop_.RunForMs(150);  // move scope time off zero so backdated stamps are positive
+
+  ControlClientOptions vopt;
+  vopt.sync_time_on_connect = true;
+  vopt.wire_format = WireFormat::kBinary;
+  ControlClient viewer(&loop_, vopt);
+  std::vector<int64_t> echoed_times;
+  viewer.SetTupleCallback([&](const TupleView& t) { echoed_times.push_back(t.time_ms); });
+  ASSERT_TRUE(viewer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.wire_binary() && viewer.has_time_offset(); }));
+  ASSERT_TRUE(viewer.Subscribe("tsync_*"));
+  ASSERT_TRUE(viewer.SetDelay(2000));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 2; }));
+
+  StreamClient::Options popt;
+  popt.wire_format = WireFormat::kBinary;
+  popt.frame_samples = 4;
+  StreamClient producer(&loop_, popt);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.wire_binary(); }));
+
+  const int64_t kLagMs = 100;  // the producer's clock runs 100 ms behind
+  std::vector<int64_t> sent_stamps;
+  ASSERT_TRUE(RunUntil([&]() {
+    const int64_t stamp = static_cast<int64_t>(scope_.NowMs()) - kLagMs;
+    sent_stamps.push_back(stamp);
+    producer.Send(stamp, static_cast<double>(sent_stamps.size()), "tsync_sig");
+    loop_.RunForMs(2);
+    return static_cast<int64_t>(echoed_times.size()) >= 8;
+  }));
+  // Every echoed timestamp is one the producer actually stamped: the frame's
+  // base + delta reconstruction introduced zero error.
+  for (size_t i = 0; i < echoed_times.size(); ++i) {
+    EXPECT_NE(std::find(sent_stamps.begin(), sent_stamps.end(), echoed_times[i]),
+              sent_stamps.end())
+        << "echo " << i << " time " << echoed_times[i];
+  }
+  // The TIME offset still maps the viewer's local clock onto the server
+  // scope; the producer's skewed stamps never contaminated it.
+  int64_t diff = viewer.ServerNowMs() - static_cast<int64_t>(scope_.NowMs());
+  EXPECT_LE(std::abs(diff), 100) << "offset " << viewer.time_offset_ms();
+  EXPECT_EQ(server.stats().frames_crc_errors, 0);
+  EXPECT_EQ(server.stats().parse_errors, 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -642,6 +834,7 @@ TEST(ReliabilityMatrixTest, FaultMatrixHoldsDeliveryInvariants) {
     std::vector<FaultRule> faults;
     bool restart;
     int viewers;
+    Options::Wire wire = Options::Wire::kText;
   };
   FaultRule eintr_read = FaultInjector::ErrnoStorm(FaultOp::kRead, EINTR, -1);
   eintr_read.probability = 0.2;
@@ -659,6 +852,19 @@ TEST(ReliabilityMatrixTest, FaultMatrixHoldsDeliveryInvariants) {
        {FaultInjector::ShortReads(1), FaultInjector::PartialWrites(2)}, false, 0},
       {"kill_restart", OverflowPolicy::kDropNewest,
        {FaultInjector::KillConnection(FaultOp::kWrite, /*skip=*/50)}, true, 1},
+      // The binary-wire column: the same fault schedules against negotiated
+      // framed connections (docs/protocol.md "Wire format v2").  Length
+      // prefixes + CRCs must make every invariant hold byte-for-byte, and a
+      // loss of sync is only ever caused by a mid-frame teardown.
+      {"bin_short_reads", OverflowPolicy::kDropOldest,
+       {FaultInjector::ShortReads(2)}, false, 0, Options::Wire::kBinary},
+      {"bin_partial_writes", OverflowPolicy::kDropNewest,
+       {FaultInjector::PartialWrites(3)}, false, 0, Options::Wire::kBinary},
+      {"bin_eintr_storm", OverflowPolicy::kDropOldest,
+       {eintr_read, eintr_write}, false, 0, Options::Wire::kBinary},
+      {"mixed_kill_restart", OverflowPolicy::kDropNewest,
+       {FaultInjector::KillConnection(FaultOp::kWrite, /*skip=*/50)}, true, 1,
+       Options::Wire::kMixed},
   };
 
   for (const Case& c : cases) {
@@ -676,6 +882,7 @@ TEST(ReliabilityMatrixTest, FaultMatrixHoldsDeliveryInvariants) {
     opt.auto_reconnect = true;
     opt.viewers = c.viewers;
     opt.viewer_ping_interval_ms = c.viewers > 0 ? 5 : 0;
+    opt.wire = c.wire;
     if (c.restart) {
       opt.schedule = {{ScheduleStep::Kind::kDrain, 10},
                       {ScheduleStep::Kind::kRestart, 8},
@@ -697,6 +904,13 @@ TEST(ReliabilityMatrixTest, FaultMatrixHoldsDeliveryInvariants) {
     EXPECT_EQ(r.CheckSendAccounting(), "");
     EXPECT_EQ(r.CheckSequencesMonotone(), "");
     EXPECT_EQ(r.CheckDeliveryExact(), "");
+    // Binary framing never loses sync except to a mid-frame teardown: the
+    // CRC + length prefix contain each kill to exactly one resync event.
+    EXPECT_LE(r.server_frames_crc_errors, r.fault_stats.kills);
+    if (c.wire != Options::Wire::kText && r.fault_stats.kills == 0) {
+      EXPECT_EQ(r.server_frames_crc_errors, 0);
+      EXPECT_GT(r.server_frames_rx, 0);
+    }
     if (c.policy == OverflowPolicy::kBlockWithDeadline) {
       EXPECT_EQ(r.CheckBlockDeadline(opt.block_deadline_ms), "");
     }

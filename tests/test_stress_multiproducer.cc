@@ -149,6 +149,75 @@ TEST(StressMultiProducer, ForkedProcessProducersThroughCBindings) {
   EXPECT_EQ(result.CheckNewestPreserved(), "");
 }
 
+TEST(StressMultiProducer, MixedWireFleetExactAccountingUnderPauses) {
+  // Odd producers negotiate the binary wire (docs/protocol.md, "Wire format
+  // v2"); even ones stay text.  Both formats interleave on one overloaded
+  // server and the accounting stays tuple-exact: binary frames commit whole
+  // (weight = samples carried), so delivered == sent - evicted - abandoned
+  // holds per producer whatever mix of formats the drops landed on.
+  Options opt;
+  opt.producers = 4;
+  opt.tuples_per_producer = 12000;
+  opt.payload_pad = 48;
+  opt.policy = OverflowPolicy::kDropNewest;
+  opt.schedule = PauseHeavySchedule();
+  opt.seed = 31;
+  opt.wire = Options::Wire::kMixed;
+  Result result = RunStress(opt);
+  ExpectCommonInvariants(result);
+  EXPECT_EQ(result.CheckDeliveryExact(), "");
+  ASSERT_EQ(result.producers.size(), 4u);
+  EXPECT_FALSE(result.producers[0].wire_binary);
+  EXPECT_TRUE(result.producers[1].wire_binary);
+  EXPECT_FALSE(result.producers[2].wire_binary);
+  EXPECT_TRUE(result.producers[3].wire_binary);
+  for (const auto& p : result.producers) {
+    EXPECT_LE(p.high_water, static_cast<int64_t>(opt.client_buffer));
+  }
+  // Every producer delivered something; the overload bit somewhere.
+  for (size_t i = 0; i < result.received.size(); ++i) {
+    EXPECT_GT(result.received[i].size(), 0u) << "producer " << i;
+  }
+  int64_t dropped = 0;
+  for (const auto& p : result.producers) {
+    dropped += p.dropped;
+  }
+  EXPECT_GT(dropped, 0);
+}
+
+TEST(StressMultiProducer, ClockSkewedProducersReconstructExactTimestamps) {
+  // Producer k stamps its tuples k x 10^9 ms (~31 years) apart from its
+  // neighbors.  Binary frames carry one i64 base plus i32 per-sample deltas;
+  // the reconstruction on the server must be bit-exact, so every received
+  // timestamp maps back to its producer's clock with zero error even though
+  // the producers' clocks disagree by decades.
+  Options opt;
+  opt.producers = 4;
+  opt.tuples_per_producer = 3000;
+  opt.policy = OverflowPolicy::kDropOldest;
+  opt.schedule = {{Kind::kDrain, 10}};
+  opt.seed = 32;
+  opt.wire = Options::Wire::kMixed;  // text producers prove parity
+  opt.producer_skew_ms = 1000000000;  // 10^9
+  Result result = RunStress(opt);
+  ExpectCommonInvariants(result);
+  EXPECT_EQ(result.CheckDeliveryExact(), "");
+  ASSERT_EQ(result.received_times.size(), result.received.size());
+  for (size_t i = 0; i < result.received_times.size(); ++i) {
+    const int64_t skew = static_cast<int64_t>(i) * opt.producer_skew_ms;
+    ASSERT_EQ(result.received_times[i].size(), result.received[i].size());
+    for (int64_t t : result.received_times[i]) {
+      // Undo the skew: what remains is the producer's local sim time, which
+      // a run this short keeps far below one skew step.  Any encode error
+      // (wrong base, delta rounding) lands outside this window.
+      int64_t local = t - skew;
+      ASSERT_GE(local, 0) << "producer " << i;
+      ASSERT_LT(local, opt.producer_skew_ms / 2) << "producer " << i;
+    }
+    EXPECT_GT(result.received_times[i].size(), 0u) << "producer " << i;
+  }
+}
+
 TEST(StressMultiProducer, SoakMixedSchedulesAllPolicies) {
   // Short by default; scripts/check.sh raises GSCOPE_STRESS_SOAK for a
   // longer (still < 10 s) soak pass.
