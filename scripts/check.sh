@@ -95,7 +95,8 @@ cmake -B "$tsan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 # harness reads scope state cross-thread by design (the paper's sampled-
 # variable model) and is expected to trip the sanitizer.
 cmake --build "$tsan_dir" -j --target test_ingest_router test_ingest_fast_path \
-  test_drain_coalescing test_stress_multiproducer test_reliability
+  test_drain_coalescing test_stress_multiproducer test_reliability \
+  test_loop_sharding test_tenant_isolation
 "$tsan_dir/test_ingest_router"
 "$tsan_dir/test_ingest_fast_path"
 
@@ -118,6 +119,21 @@ echo "--- TSan: fault matrix over producer/viewer threads ---"
 # real-time schedules into noise, and ASan above already runs them all.
 "$tsan_dir/test_reliability" \
   --gtest_filter='ReliabilityMatrixTest.FaultMatrixHoldsDeliveryInvariants'
+
+echo "--- TSan: sharded per-core loops (accept spread, cross-loop routing, tenants) ---"
+# The loops > 1 configuration is where worker loop threads touch the shared
+# route tables, the relaxed client counters and the hand-off acceptor; the
+# sharded fault matrix re-runs the fault x policy schedules with
+# server_loops = 4 on top.  loops = 1 coverage rides the regular suites.
+"$tsan_dir/test_loop_sharding"
+"$tsan_dir/test_tenant_isolation"
+"$tsan_dir/test_reliability" \
+  --gtest_filter='ReliabilityMatrixTest.ShardedLoopsFaultMatrixHoldsInvariants'
+
+echo "--- bench smoke: scale-out fan-out (1k subscribers, loops 1 vs 4) ---"
+# Reduced tuple count: the smoke proves both shard mechanisms accept and
+# echo at 1k sessions, not the speedup (that is BENCH_control.json's job).
+"$build_dir/bench_control_fanout" --scale 1000 20000
 
 echo "--- soak: mixed schedules, all policies (Release, < 10 s) ---"
 GSCOPE_STRESS_SOAK=3 "$build_dir/test_stress_multiproducer" \

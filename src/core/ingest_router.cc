@@ -33,6 +33,7 @@ IngestRouter::IngestRouter(IngestRouterOptions options)
 IngestRouter::~IngestRouter() = default;
 
 bool IngestRouter::AddScope(Scope* scope, const SignalFilter* filter) {
+  std::unique_lock<std::mutex> lock = LockRoutes();
   if (scope == nullptr || scope_index_.count(scope) != 0) {
     return false;
   }
@@ -51,6 +52,7 @@ bool IngestRouter::AddScope(Scope* scope, const SignalFilter* filter) {
 }
 
 bool IngestRouter::RemoveScope(Scope* scope) {
+  std::unique_lock<std::mutex> lock = LockRoutes();
   auto it = scope_index_.find(scope);
   if (it == scope_index_.end()) {
     return false;
@@ -75,6 +77,18 @@ bool IngestRouter::RemoveScope(Scope* scope) {
   }
   epoch_valid_ = false;
   return true;
+}
+
+Scope* IngestRouter::FirstScope() const {
+  std::unique_lock<std::mutex> lock = LockRoutes();
+  return scopes_.empty() ? nullptr : scopes_.front();
+}
+
+void IngestRouter::ForEachScope(const std::function<void(Scope*)>& fn) const {
+  std::unique_lock<std::mutex> lock = LockRoutes();
+  for (Scope* scope : scopes_) {
+    fn(scope);
+  }
 }
 
 uint64_t IngestRouter::RouteEpoch() const {
@@ -250,6 +264,11 @@ void IngestRouter::ShimPushAll(std::string_view name, int64_t time_ms, double va
 }
 
 void IngestRouter::Append(std::string_view name, int64_t time_ms, double value) {
+  std::unique_lock<std::mutex> lock = LockRoutes();
+  AppendLocked(name, time_ms, value);
+}
+
+void IngestRouter::AppendLocked(std::string_view name, int64_t time_ms, double value) {
   EnsureBatch();
   if (!epoch_valid_) {
     SyncRoutes();  // scope list changed mid-batch: re-snapshot before routing
@@ -290,6 +309,7 @@ void IngestRouter::Append(std::string_view name, int64_t time_ms, double value) 
 }
 
 bool IngestRouter::ResolveRoute(std::string_view name, uint32_t* route) {
+  std::unique_lock<std::mutex> lock = LockRoutes();
   if (name.empty()) {
     return false;  // the unnamed form has no route; use Append("")
   }
@@ -306,6 +326,7 @@ bool IngestRouter::ResolveRoute(std::string_view name, uint32_t* route) {
 }
 
 void IngestRouter::AppendRoute(uint32_t route, int64_t time_ms, double value) {
+  std::unique_lock<std::mutex> lock = LockRoutes();
   EnsureBatch();
   if (!epoch_valid_) {
     SyncRoutes();
@@ -322,8 +343,8 @@ void IngestRouter::AppendRoute(uint32_t route, int64_t time_ms, double value) {
   block_->Append(time_ms, value, route);
 }
 
-void IngestRouter::AppendTupleLine(std::string_view line, int64_t* tuples,
-                                   int64_t* parse_errors) {
+void IngestRouter::AppendTupleLine(std::string_view line, std::string_view ns,
+                                   int64_t* tuples, int64_t* parse_errors) {
   std::optional<TupleView> tuple = ParseTupleView(line);
   if (!tuple.has_value()) {
     if (!IsIgnorableLine(line)) {
@@ -331,8 +352,25 @@ void IngestRouter::AppendTupleLine(std::string_view line, int64_t* tuples,
     }
     return;
   }
+  // The reserved separator never crosses the wire inside a name: rejecting
+  // it here (the shared text entry point for both transports) is what keeps
+  // "<ns>\x1f..." names mintable only by authenticated prefixing below.
+  if (tuple->name.find(kNamespaceSep) != std::string_view::npos) {
+    *parse_errors += 1;
+    return;
+  }
+  std::unique_lock<std::mutex> lock = LockRoutes();
   *tuples += 1;
-  Append(tuple->name, tuple->time_ms, tuple->value);
+  if (ns.empty() || tuple->name.empty()) {
+    AppendLocked(tuple->name, tuple->time_ms, tuple->value);
+    return;
+  }
+  ns_scratch_.clear();
+  ns_scratch_.reserve(ns.size() + 1 + tuple->name.size());
+  ns_scratch_.append(ns);
+  ns_scratch_.push_back(kNamespaceSep);
+  ns_scratch_.append(tuple->name);
+  AppendLocked(ns_scratch_, tuple->time_ms, tuple->value);
 }
 
 void IngestRouter::FanoutShard(size_t shard) {
@@ -349,6 +387,7 @@ void IngestRouter::FanoutShard(size_t shard) {
 }
 
 IngestRouter::FlushStats IngestRouter::Flush() {
+  std::unique_lock<std::mutex> lock = LockRoutes();
   FlushStats out;
   out.dropped_late = shim_dropped_late_;
   shim_dropped_late_ = 0;

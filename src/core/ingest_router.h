@@ -19,11 +19,24 @@
 // Threading: Append/Flush/AddScope/RemoveScope run on the loop thread.  The
 // fan-out shards call Scope::PushIngestSpan, which is thread-safe; the
 // scopes' drains stay on the loop thread (the paper's GTK-lock discipline).
+//
+// Concurrent mode (SetConcurrent): with the net layer sharding sessions
+// across per-core loops, any shard may ingest, resolve, flush, or register
+// scopes.  One internal mutex then serializes every public entry point.
+// Off (the default, and the loops=1 server configuration) nothing locks —
+// the single-loop hot path is unchanged.  Callers own two obligations:
+// (1) scopes registered from other loops are put in Scope concurrent mode
+// first, so table builds can touch their signal tables; (2) route-affecting
+// state the router reads but does not own — subscription filters, scope
+// taps/sinks — is only mutated under LockRoutes(), so a rebuild never reads
+// a filter mid-change.
 #ifndef GSCOPE_CORE_INGEST_ROUTER_H_
 #define GSCOPE_CORE_INGEST_ROUTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -75,9 +88,39 @@ class IngestRouter {
   bool AddScope(Scope* scope) { return AddScope(scope, nullptr); }
   bool AddScope(Scope* scope, const SignalFilter* filter);
   bool RemoveScope(Scope* scope);
-  bool HasScope(Scope* scope) const { return scope_index_.count(scope) != 0; }
-  size_t scope_count() const { return scopes_.size(); }
+  bool HasScope(Scope* scope) const {
+    std::unique_lock<std::mutex> lock = LockRoutes();
+    return scope_index_.count(scope) != 0;
+  }
+  size_t scope_count() const {
+    std::unique_lock<std::mutex> lock = LockRoutes();
+    return scopes_.size();
+  }
+  // Single-loop use only: the reference is unguarded.  Sharded callers use
+  // FirstScope()/ForEachScope() instead.
   const std::vector<Scope*>& scopes() const { return scopes_; }
+
+  // -- Concurrent mode -------------------------------------------------------
+
+  // Enables the internal serialization described in the header comment.
+  // Flip before the router is shared between loops; the flag itself is not
+  // synchronized.
+  void SetConcurrent(bool on) { concurrent_ = on; }
+  bool concurrent() const { return concurrent_; }
+  // The external bracket for mutations of caller-owned route inputs (filter
+  // patterns/namespace, scope taps).  Unlocked dummy when not concurrent.
+  // Do not call router entry points while holding it (non-recursive).
+  std::unique_lock<std::mutex> LockRoutes() const {
+    return concurrent_ ? std::unique_lock<std::mutex>(mu_)
+                       : std::unique_lock<std::mutex>();
+  }
+  // The scope in slot 0 (the first registered, until a removal shuffles
+  // slots), null when none: the sharded server's time-base reference.
+  // Safe from any loop.
+  Scope* FirstScope() const;
+  // Visits every registered scope under the lock.  `fn` must not re-enter
+  // the router.  Safe from any loop.
+  void ForEachScope(const std::function<void(Scope*)>& fn) const;
 
   // Appends one parsed tuple to the current batch, resolving `name` through
   // the routing table (empty name = the two-field single-signal form).
@@ -89,7 +132,17 @@ class IngestRouter {
   // Bumps the caller's tuple counter on success and its parse-error counter
   // on malformed (non-ignorable) lines, so the accounting cannot diverge
   // between transports.
-  void AppendTupleLine(std::string_view line, int64_t* tuples, int64_t* parse_errors);
+  //
+  // A producer-supplied name containing the reserved namespace separator
+  // (core/signal_filter.h) is a parse error at every trust level: no wire
+  // peer can mint a name inside someone else's namespace.  The namespaced
+  // overload prefixes the parsed name with "<ns>\x1f" before routing — the
+  // authenticated-tenant ingest path (docs/protocol.md, AUTH).
+  void AppendTupleLine(std::string_view line, int64_t* tuples, int64_t* parse_errors) {
+    AppendTupleLine(line, std::string_view(), tuples, parse_errors);
+  }
+  void AppendTupleLine(std::string_view line, std::string_view ns, int64_t* tuples,
+                       int64_t* parse_errors);
 
   // Batch ingest for the binary wire path (net/frame_codec.h): ResolveRoute
   // interns `name` once - when a connection binds a dictionary id - and
@@ -112,19 +165,37 @@ class IngestRouter {
   // fan-out pool, and starts a fresh batch.  Blocks until all shards finish.
   FlushStats Flush();
 
-  // Diagnostics / tests.
-  size_t route_count() const { return route_names_.size(); }
-  uint64_t route_epoch() const { return RouteEpoch(); }
-  size_t pending_batch_samples() const { return block_ ? block_->samples.size() : 0; }
+  // Diagnostics / tests (locked like the entry points, so STATS handlers on
+  // any shard may read them).
+  size_t route_count() const {
+    std::unique_lock<std::mutex> lock = LockRoutes();
+    return route_names_.size();
+  }
+  uint64_t route_epoch() const {
+    std::unique_lock<std::mutex> lock = LockRoutes();
+    return RouteEpoch();
+  }
+  size_t pending_batch_samples() const {
+    std::unique_lock<std::mutex> lock = LockRoutes();
+    return block_ ? block_->samples.size() : 0;
+  }
   size_t fanout_worker_count() const { return pool_.worker_count(); }
   // Route x scope-slot entries the current staged table excludes because the
   // slot's subscription filter does not match the route's name.  This is the
   // observable proof that filtering happened at route-build time: samples of
   // an excluded signal never cost the filtered scope anything per sample.
-  size_t excluded_route_slots() const { return excluded_slots_; }
-  size_t filtered_scope_count() const { return filtered_scopes_; }
+  size_t excluded_route_slots() const {
+    std::unique_lock<std::mutex> lock = LockRoutes();
+    return excluded_slots_;
+  }
+  size_t filtered_scope_count() const {
+    std::unique_lock<std::mutex> lock = LockRoutes();
+    return filtered_scopes_;
+  }
 
  private:
+  // Append's body, callers already holding mu_ (or not concurrent).
+  void AppendLocked(std::string_view name, int64_t time_ms, double value);
   uint64_t RouteEpoch() const;
   // True when slot `s` must not receive signal `name` (filtered, no match).
   bool SlotExcludes(size_t s, std::string_view name) const;
@@ -139,6 +210,11 @@ class IngestRouter {
   void FanoutShard(size_t shard);
 
   IngestRouterOptions options_;
+
+  // Concurrent-mode gate (see the header comment).  mu_ is only ever locked
+  // when concurrent_ is set; single-loop routers never touch it.
+  bool concurrent_ = false;
+  mutable std::mutex mu_;
 
   std::vector<Scope*> scopes_;
   // Parallel to scopes_: the slot's subscription filter, null = receive all.
@@ -181,6 +257,9 @@ class IngestRouter {
   std::string memo_name_;
   uint32_t memo_route_ = 0;
   bool memo_valid_ = false;
+  // Reused "<ns>\x1f<name>" assembly buffer for the namespaced text-ingest
+  // path: steady state allocates nothing once grown.
+  std::string ns_scratch_;
 
   // Batch state.
   std::vector<std::shared_ptr<IngestBlock>> block_pool_;

@@ -53,6 +53,9 @@ SignalId Scope::AddSignal(const SignalSpec& spec) {
   SignalId id = next_signal_id_++;
   state.id = id;
   {
+    // tick_mu_ first: in concurrent mode the owner loop's tick walks
+    // signals_ without name_mu_, and the push_back below may reallocate.
+    std::unique_lock<std::mutex> tick_lock = MaybeTickLock();
     std::unique_lock<std::shared_mutex> lock(name_mu_);
     signals_.push_back(std::move(state));
     if (id_to_index_.size() <= static_cast<size_t>(id)) {
@@ -60,12 +63,13 @@ SignalId Scope::AddSignal(const SignalSpec& spec) {
     }
     id_to_index_[static_cast<size_t>(id)] = static_cast<uint32_t>(signals_.size());
     name_index_.emplace(spec.name, id);
-    ++signals_epoch_;
+    signals_epoch_.fetch_add(1, std::memory_order_relaxed);
   }
   return id;
 }
 
 bool Scope::RemoveSignal(SignalId id) {
+  std::unique_lock<std::mutex> tick_lock = MaybeTickLock();
   SignalState* state = Find(id);
   if (state == nullptr) {
     return false;
@@ -74,7 +78,7 @@ bool Scope::RemoveSignal(SignalId id) {
     // Sinks die with their signal; the consumer epoch moves so routers
     // rebuild their needs_history bits.
     total_sinks_ -= state->sinks.size();
-    ++consumers_epoch_;
+    consumers_epoch_.fetch_add(1, std::memory_order_relaxed);
   }
   std::unique_lock<std::shared_mutex> lock(name_mu_);
   size_t index = static_cast<size_t>(state - signals_.data());
@@ -84,7 +88,7 @@ bool Scope::RemoveSignal(SignalId id) {
   for (size_t i = index; i < signals_.size(); ++i) {
     id_to_index_[static_cast<size_t>(signals_[i].id)] = static_cast<uint32_t>(i + 1);
   }
-  ++signals_epoch_;
+  signals_epoch_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -205,12 +209,14 @@ std::optional<int64_t> Scope::LatestBufferedTime(SignalId id) const {
 }
 
 void Scope::SetBufferedTap(BufferedTapFn tap, TapMode mode) {
+  std::unique_lock<std::mutex> tick_lock = MaybeTickLock();
   buffered_tap_ = std::move(tap);
   tap_mode_ = mode;
-  ++consumers_epoch_;
+  consumers_epoch_.fetch_add(1, std::memory_order_relaxed);
 }
 
 uint64_t Scope::AttachSampleSink(SignalId id, SampleSinkFn sink) {
+  std::unique_lock<std::mutex> tick_lock = MaybeTickLock();
   SignalState* s = Find(id);
   if (s == nullptr || sink == nullptr) {
     return 0;
@@ -218,13 +224,14 @@ uint64_t Scope::AttachSampleSink(SignalId id, SampleSinkFn sink) {
   uint64_t handle = next_sink_handle_++;
   s->sinks.push_back(SampleSink{handle, std::move(sink)});
   total_sinks_ += 1;
-  ++consumers_epoch_;
+  consumers_epoch_.fetch_add(1, std::memory_order_relaxed);
   return handle;
 }
 
 bool Scope::DetachSampleSink(uint64_t sink_handle) {
   // Detach is rare (topology churn, not the drain path): a scan over the
   // per-signal sink lists keeps dispatch O(sinks on the signal).
+  std::unique_lock<std::mutex> tick_lock = MaybeTickLock();
   for (SignalState& state : signals_) {
     for (size_t i = 0; i < state.sinks.size(); ++i) {
       if (state.sinks[i].handle != sink_handle) {
@@ -232,7 +239,7 @@ bool Scope::DetachSampleSink(uint64_t sink_handle) {
       }
       state.sinks.erase(state.sinks.begin() + static_cast<ptrdiff_t>(i));
       total_sinks_ -= 1;
-      ++consumers_epoch_;
+      consumers_epoch_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -253,6 +260,10 @@ uint64_t Scope::AttachExport(SignalId id, TupleWriter* writer) {
 }
 
 bool Scope::SignalNeedsHistory(SignalId id) const {
+  // Called by routers on other loops at table-build time (under the
+  // router's own lock); the tick lock keeps the read of signals_ and the
+  // sink lists coherent against this loop's tick and consumer mutators.
+  std::unique_lock<std::mutex> tick_lock = MaybeTickLock();
   const SignalState* s = Find(id);
   if (s == nullptr) {
     return false;
@@ -506,6 +517,7 @@ void Scope::TickOnce(int64_t lost) {
 }
 
 bool Scope::OnPollTick(const TimeoutTick& tick) {
+  std::unique_lock<std::mutex> tick_lock = MaybeTickLock();
   counters_.ticks += 1;
   counters_.lost_ticks += tick.lost;
 

@@ -27,12 +27,25 @@
 // Threading: all Scope methods must run on the loop thread, except
 // PushBuffered which is thread-safe (this is the paper's GTK-lock
 // discipline; cross-thread calls go through MainLoop::Invoke).
+//
+// Concurrent mode (SetConcurrent): when the net layer shards sessions
+// across per-core loops, an IngestRouter running on another loop must read
+// this scope's signal table while building route snapshots (FindSignal /
+// FindOrAddBufferSignal / SignalNeedsHistory) — and auto-creation mutates
+// it.  Concurrent mode gates those table-build entry points, the signal-set
+// mutators, the consumer mutators and the poll tick behind one internal
+// mutex so the owner loop's tick never walks a reallocating signal vector.
+// Off (the default) nothing locks and behaviour is byte-identical; on, the
+// tick pays one uncontended lock per tick, never per sample.  Consumer
+// mutators (AttachSampleSink and friends) must then not be called from
+// inside a tick callback (a sink or tap body) — that would self-deadlock.
 #ifndef GSCOPE_CORE_SCOPE_H_
 #define GSCOPE_CORE_SCOPE_H_
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -101,6 +114,12 @@ class Scope {
   int height() const { return options_.height; }
   MainLoop* loop() const { return loop_; }
 
+  // Enables the cross-loop table-build locking described in the header
+  // comment.  Call before the scope is visible to another thread; the flag
+  // itself is not synchronized.
+  void SetConcurrent(bool on) { concurrent_ = on; }
+  bool concurrent() const { return concurrent_; }
+
   // -- Signals (gtk_scope_signal_new / dynamic addition and removal) -------
 
   // Adds a signal; returns its id (0 on invalid spec, e.g. duplicate name).
@@ -114,8 +133,9 @@ class Scope {
   std::vector<SignalId> SignalIds() const;
   size_t signal_count() const { return signals_.size(); }
   // Bumped on every AddSignal/RemoveSignal; lets callers (e.g. the stream
-  // server's per-client name->id caches) cheaply detect staleness.
-  uint64_t signals_epoch() const { return signals_epoch_; }
+  // server's per-client name->id caches) cheaply detect staleness.  Relaxed
+  // atomic: routers on other loops poll it when building route snapshots.
+  uint64_t signals_epoch() const { return signals_epoch_.load(std::memory_order_relaxed); }
 
   // -- Per-signal parameters (Figure 2 window) ------------------------------
 
@@ -258,8 +278,9 @@ class Scope {
   // scope: its samples must take the history path at drain time.
   bool SignalNeedsHistory(SignalId id) const;
   // Bumped by every sink attach/detach and tap change; routers fold this
-  // into RouteEpoch() like signals_epoch().
-  uint64_t consumers_epoch() const { return consumers_epoch_; }
+  // into RouteEpoch() like signals_epoch().  Relaxed atomic for the same
+  // cross-loop reason as signals_epoch().
+  uint64_t consumers_epoch() const { return consumers_epoch_.load(std::memory_order_relaxed); }
   size_t sample_sink_count() const { return total_sinks_; }
 
   // Copies `reference`'s time origin so NowMs() values of the two scopes are
@@ -365,9 +386,19 @@ class Scope {
   StringKeyedMap<uint64_t> pending_names_;
   std::vector<std::string> pending_names_rev_;
   mutable std::shared_mutex name_mu_;
-  uint64_t signals_epoch_ = 0;
+  std::atomic<uint64_t> signals_epoch_{0};
   SignalId next_signal_id_ = 1;
   int next_color_ = 0;
+
+  // Concurrent mode (SetConcurrent): serializes the poll tick against
+  // cross-loop table builds.  Ordering: tick_mu_ before name_mu_ (AddSignal
+  // takes both); nothing takes them in the other order.
+  mutable std::mutex tick_mu_;
+  bool concurrent_ = false;
+  std::unique_lock<std::mutex> MaybeTickLock() const {
+    return concurrent_ ? std::unique_lock<std::mutex>(tick_mu_)
+                       : std::unique_lock<std::mutex>();
+  }
 
   BufferedTapFn buffered_tap_;
   TapMode tap_mode_ = TapMode::kEverySample;
@@ -376,7 +407,7 @@ class Scope {
   // epoch bumps on attach/detach/tap changes.
   size_t total_sinks_ = 0;
   uint64_t next_sink_handle_ = 1;
-  uint64_t consumers_epoch_ = 0;
+  std::atomic<uint64_t> consumers_epoch_{0};
 
   // Reused per-tick drain scratch (no steady-state allocation).
   std::vector<Sample> drain_scratch_;

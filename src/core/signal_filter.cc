@@ -49,7 +49,31 @@ bool SignalFilter::Remove(std::string_view glob) {
   return true;
 }
 
+void SignalFilter::SetNamespace(std::string_view ns) {
+  if (namespace_ == ns) {
+    return;
+  }
+  namespace_.assign(ns);
+  ++epoch_;
+}
+
 bool SignalFilter::Matches(std::string_view name) const {
+  if (namespace_.empty()) {
+    // Default namespace: tenant-owned names are never candidates, so an
+    // anonymous "*" cannot subscribe across the namespace boundary.
+    if (name.find(kNamespaceSep) != std::string_view::npos) {
+      return false;
+    }
+  } else {
+    // Tenant namespace: the name must carry this tenant's prefix and the
+    // globs see only the remainder.
+    if (name.size() <= namespace_.size() + 1 ||
+        name.compare(0, namespace_.size(), namespace_) != 0 ||
+        name[namespace_.size()] != kNamespaceSep) {
+      return false;
+    }
+    name.remove_prefix(namespace_.size() + 1);
+  }
   for (const std::string& pattern : patterns_) {
     if (GlobMatch(pattern, name)) {
       return true;

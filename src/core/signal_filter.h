@@ -27,10 +27,38 @@ namespace gscope {
 // O(pattern + text) for the typical prefix/suffix globs.
 bool GlobMatch(std::string_view pattern, std::string_view text);
 
+// Reserved namespace separator.  An authenticated tenant's signals are
+// stored as "<namespace>\x1f<name>"; the separator is a control character
+// that the wire front-ends reject inside producer-supplied names, so no
+// producer can mint a name that lands inside someone else's namespace.
+inline constexpr char kNamespaceSep = '\x1f';
+
+// Joins a namespace and a bare signal name into the stored form.  Empty
+// namespace = the bare name unchanged (the anonymous/default tenant).
+inline std::string NamespacedName(std::string_view ns, std::string_view name) {
+  if (ns.empty()) {
+    return std::string(name);
+  }
+  std::string full;
+  full.reserve(ns.size() + 1 + name.size());
+  full.append(ns);
+  full.push_back(kNamespaceSep);
+  full.append(name);
+  return full;
+}
+
 // An any-of set of glob patterns.  Empty set matches nothing: a session that
 // has not subscribed receives no signals (subscribe-to-receive, the
 // publish/subscribe split of the streaming-telemetry collectors in
 // PAPERS.md).
+//
+// Multi-tenant scoping: a filter carries a namespace (default empty).  With
+// a namespace set, only names inside that namespace are candidates and the
+// glob applies to the REMAINDER after the "<ns>\x1f" prefix - "SUB *" for
+// tenant acme matches every acme signal and nothing else.  With the default
+// namespace, names that belong to any tenant (contain the separator) never
+// match, whatever the glob: one tenant's glob can never cross into
+// another's signals, and anonymous sessions cannot see tenants at all.
 class SignalFilter {
  public:
   // False (and no epoch bump) if the pattern is already present or empty.
@@ -40,16 +68,23 @@ class SignalFilter {
 
   bool Matches(std::string_view name) const;
 
+  // Re-scopes the filter to `ns` (AUTH).  Patterns are kept - they now
+  // evaluate inside the new namespace.  Bumps the epoch (a no-op set to the
+  // current namespace does not).
+  void SetNamespace(std::string_view ns);
+  const std::string& ns() const { return namespace_; }
+
   const std::vector<std::string>& patterns() const { return patterns_; }
   size_t pattern_count() const { return patterns_.size(); }
   bool empty() const { return patterns_.empty(); }
 
-  // Bumped on every successful Add/Remove; summed into the router's
-  // RouteEpoch so pattern changes invalidate route snapshots.
+  // Bumped on every successful Add/Remove/SetNamespace; summed into the
+  // router's RouteEpoch so pattern changes invalidate route snapshots.
   uint64_t epoch() const { return epoch_; }
 
  private:
   std::vector<std::string> patterns_;
+  std::string namespace_;
   uint64_t epoch_ = 0;
 };
 

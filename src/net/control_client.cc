@@ -76,6 +76,7 @@ bool ControlClient::StartConnect() {
   // queued frames (flushed at establishment) and must not be replayed.
   handshake_subs_.clear();
   handshake_delay_ = false;
+  handshake_auth_ = false;
   stats_.connect_attempts += 1;
   socket_ = Socket::Connect(port_);
   if (!socket_.valid()) {
@@ -215,7 +216,14 @@ bool ControlClient::OnConnectReady() {
     // Unsubscribe/SetDelay issued mid-handshake is never overridden by a
     // stale snapshot), skipping verbs already queued during this handshake
     // — Attach() just flushed those, and a duplicate SUB would draw an ERR.
-    // SendCommand (not Subscribe) so nothing re-records.
+    // SendCommand (not Subscribe) so nothing re-records.  AUTH goes first:
+    // the server scopes the session's filter at SUB time from the tenant
+    // identity, so replayed SUBs must land inside the namespace.
+    if (has_auth_ && !handshake_auth_) {
+      if (SendCommand("AUTH", auth_token_)) {
+        stats_.resumed_commands += 1;
+      }
+    }
     for (const std::string& pattern : sub_patterns_) {
       if (std::find(handshake_subs_.begin(), handshake_subs_.end(), pattern) !=
           handshake_subs_.end()) {
@@ -501,6 +509,19 @@ bool ControlClient::Subscribe(std::string_view glob) {
   return sent;
 }
 
+bool ControlClient::Auth(std::string_view token) {
+  // Like Subscribe: remember the declared identity even when the send fails,
+  // so the next establishment replays it (ahead of the SUB replay - tenant
+  // scoping must exist before subscriptions re-land).
+  has_auth_ = true;
+  auth_token_.assign(token.data(), token.size());
+  bool sent = SendCommand("AUTH", token);
+  if (sent && state_ == ConnectState::kConnecting) {
+    handshake_auth_ = true;  // the queued AUTH frame already carries it
+  }
+  return sent;
+}
+
 bool ControlClient::Unsubscribe(std::string_view glob) {
   auto it = std::find(sub_patterns_.begin(), sub_patterns_.end(), glob);
   if (it != sub_patterns_.end()) {
@@ -559,6 +580,9 @@ void ControlClient::ForgetSession() {
   handshake_subs_.clear();
   has_delay_ = false;
   handshake_delay_ = false;
+  has_auth_ = false;
+  auth_token_.clear();
+  handshake_auth_ = false;
 }
 
 bool ControlClient::Send(int64_t time_ms, double value, std::string_view name) {

@@ -150,6 +150,11 @@ class ControlClient {
   bool Subscribe(std::string_view glob);
   bool Unsubscribe(std::string_view glob);
   bool SetDelay(int64_t delay_ms);
+  // Establishes a tenant identity (`AUTH <token>`).  The token is remembered
+  // and replayed on every re-establishment BEFORE the subscription replay,
+  // so resumed SUBs land inside the tenant namespace; a rejected token
+  // (`ERR AUTH ...`) leaves the session anonymous but otherwise usable.
+  bool Auth(std::string_view token);
   bool RequestList();
   // Asks for the server's counter line (`OK STATS key value ...`); the
   // reply arrives through the reply callback like any OK line.
@@ -179,6 +184,7 @@ class ControlClient {
   const std::vector<std::string>& remembered_patterns() const { return sub_patterns_; }
   bool has_remembered_delay() const { return has_delay_; }
   int64_t remembered_delay_ms() const { return delay_ms_; }
+  bool has_remembered_auth() const { return has_auth_; }
   // Drops the remembered state (nothing replayed until re-declared).
   void ForgetSession();
 
@@ -298,8 +304,11 @@ class ControlClient {
   std::vector<std::string> sub_patterns_;
   bool has_delay_ = false;
   int64_t delay_ms_ = 0;
+  bool has_auth_ = false;
+  std::string auth_token_;
   std::vector<std::string> handshake_subs_;
   bool handshake_delay_ = false;
+  bool handshake_auth_ = false;
   TupleFn on_tuple_;
   ReplyFn on_reply_;
   ConnectFn on_connect_;

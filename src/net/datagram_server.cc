@@ -9,12 +9,21 @@ DatagramServer::DatagramServer(MainLoop* loop, Scope* scope, DatagramServerOptio
       options_(options),
       router_({.auto_create_signals = options.auto_create_signals,
                .fanout_shards = options.fanout_shards,
-               .worker_threads = options.fanout_workers}) {
+               .worker_threads = options.fanout_workers}),
+      pool_(loop, options.loops) {
   if (options_.max_datagram_bytes == 0) {
     options_.max_datagram_bytes = 65536;
   }
   if (options_.max_datagrams_per_wakeup == 0) {
     options_.max_datagrams_per_wakeup = 1;
+  }
+  options_.loops = pool_.size();  // clamped to >= 1
+  router_.SetConcurrent(pool_.size() > 1);
+  shards_.reserve(pool_.size());
+  for (size_t i = 0; i < pool_.size(); ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->loop = pool_.loop(i);
+    shards_.push_back(std::move(shard));
   }
   if (scope != nullptr) {
     router_.AddScope(scope);
@@ -29,32 +38,85 @@ bool DatagramServer::RemoveScope(Scope* scope) { return router_.RemoveScope(scop
 
 bool DatagramServer::Listen(uint16_t port) {
   Close();
-  socket_ = Socket::BindDatagram(port, &port_);
-  if (!socket_.valid()) {
+  const size_t loops = pool_.size();
+  reuse_port_active_ = false;
+  if (loops > 1 && Socket::ReusePortSupported()) {
+    // Socket per loop, same port: the kernel spreads datagrams by source
+    // address, so one producer's stream stays ordered on one loop.
+    Socket first = Socket::BindDatagram(port, &port_, /*reuse_port=*/true);
+    bool bound = first.valid();
+    if (bound) {
+      shards_[0]->socket = std::move(first);
+      for (size_t i = 1; i < loops && bound; ++i) {
+        shards_[i]->socket = Socket::BindDatagram(port_, nullptr, /*reuse_port=*/true);
+        bound = shards_[i]->socket.valid();
+      }
+    }
+    if (bound) {
+      reuse_port_active_ = true;
+    } else {
+      // The probe can pass yet the concrete bind fail: fall back to the
+      // single-socket single-loop receive path (UDP has no hand-off
+      // equivalent - there is no accepted connection to migrate).
+      for (auto& shard : shards_) {
+        shard->socket.Close();
+      }
+      port_ = 0;
+    }
+  }
+  if (!reuse_port_active_) {
+    shards_[0]->socket = Socket::BindDatagram(port, &port_);
+    if (!shards_[0]->socket.valid()) {
+      return false;
+    }
+  }
+  if (reuse_port_active_) {
+    pool_.Start();
+  }
+  const size_t active = reuse_port_active_ ? loops : 1;
+  bool ok = true;
+  for (size_t i = 0; i < active; ++i) {
+    Shard* shard = shards_[i].get();
+    pool_.InvokeSync(i, [this, shard, &ok]() {
+      shard->last_kernel_drop_counter = 0;  // fresh socket, fresh counter
+      shard->recv_buf.resize(options_.max_datagram_bytes);
+      shard->watch = shard->loop->AddIoWatch(
+          shard->socket.fd(), IoCondition::kIn,
+          [this, shard](int, IoCondition) { return OnReadable(*shard); });
+      if (shard->watch == 0) {
+        ok = false;
+      }
+    });
+  }
+  if (!ok) {
+    Close();
     return false;
   }
-  last_kernel_drop_counter_ = 0;  // fresh socket, fresh kernel counter
-  recv_buf_.resize(options_.max_datagram_bytes);
-  watch_ = loop_->AddIoWatch(socket_.fd(), IoCondition::kIn,
-                             [this](int, IoCondition) { return OnReadable(); });
-  return watch_ != 0;
+  return true;
 }
 
 void DatagramServer::Close() {
-  if (watch_ != 0) {
-    loop_->Remove(watch_);
-    watch_ = 0;
+  for (size_t i = 0; i < pool_.size(); ++i) {
+    Shard* shard = shards_[i].get();
+    pool_.InvokeSync(i, [shard]() {
+      if (shard->watch != 0) {
+        shard->loop->Remove(shard->watch);
+        shard->watch = 0;
+      }
+      shard->socket.Close();
+    });
   }
-  socket_.Close();
+  pool_.Stop();
   port_ = 0;
 }
 
-bool DatagramServer::OnReadable() {
+bool DatagramServer::OnReadable(Shard& shard) {
   // Drain the burst (bounded, so a flood cannot starve the loop), then
   // flush once: every datagram in this readable round shares one parsed
   // block and one span hand-off per scope.  Leftovers re-trigger the watch.
   for (size_t i = 0; i < options_.max_datagrams_per_wakeup; ++i) {
-    Socket::DatagramResult r = socket_.ReadDatagram(recv_buf_.data(), recv_buf_.size());
+    Socket::DatagramResult r =
+        shard.socket.ReadDatagram(shard.recv_buf.data(), shard.recv_buf.size());
     if (r.status == IoResult::Status::kWouldBlock) {
       break;
     }
@@ -73,14 +135,14 @@ bool DatagramServer::OnReadable() {
       // the baseline: treating an absent counter as 0 would wrap the delta
       // and march stats_.kernel_drops backwards or double-count on rebind.
       stats_.kernel_drops +=
-          static_cast<int64_t>(r.kernel_drops - last_kernel_drop_counter_);
-      last_kernel_drop_counter_ = r.kernel_drops;
+          static_cast<int64_t>(r.kernel_drops - shard.last_kernel_drop_counter);
+      shard.last_kernel_drop_counter = r.kernel_drops;
     }
     if (r.truncated) {
       stats_.truncated_datagrams += 1;
       continue;  // the cut line cannot be trusted; UDP cannot resync
     }
-    HandleDatagram(recv_buf_.data(), r.bytes);
+    HandleDatagram(shard.recv_buf.data(), r.bytes);
   }
   IngestRouter::FlushStats flushed = router_.Flush();
   stats_.dropped_late += flushed.dropped_late;
@@ -105,7 +167,11 @@ void DatagramServer::HandleDatagram(const char* data, size_t len) {
 }
 
 void DatagramServer::HandleLine(std::string_view line) {
-  router_.AppendTupleLine(line, &stats_.tuples, &stats_.parse_errors);
+  int64_t tuples = 0;
+  int64_t parse_errors = 0;
+  router_.AppendTupleLine(line, &tuples, &parse_errors);
+  stats_.tuples += tuples;
+  stats_.parse_errors += parse_errors;
 }
 
 }  // namespace gscope

@@ -58,13 +58,43 @@ void Socket::Close() {
   }
 }
 
-Socket Socket::Listen(uint16_t port, uint16_t* bound_port) {
+bool Socket::SetReusePort() {
+#ifdef SO_REUSEPORT
+  int one = 1;
+  return valid() && setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) == 0;
+#else
+  return false;
+#endif
+}
+
+bool Socket::ReusePortSupported() {
+  // Probed once: create a throwaway socket and try the option.  A platform
+  // that defines SO_REUSEPORT may still refuse it (old kernels, seccomp).
+  static const bool supported = []() {
+    int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      return false;
+    }
+    Socket probe{fd};
+    return probe.SetReusePort();
+  }();
+  return supported;
+}
+
+Socket Socket::Listen(uint16_t port, uint16_t* bound_port, bool reuse_port) {
   int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return Socket{};
   }
   int one = 1;
   setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port) {
+    Socket holder{fd};
+    if (!holder.SetReusePort()) {
+      return Socket{};  // caller probed; failure here means fall back
+    }
+    holder.Release();
+  }
   sockaddr_in addr = LoopbackAddr(port);
   if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
       listen(fd, 16) != 0 || !SetNonBlocking(fd)) {
@@ -162,10 +192,17 @@ Socket Socket::Accept() {
   return Socket{fd};
 }
 
-Socket Socket::BindDatagram(uint16_t port, uint16_t* bound_port) {
+Socket Socket::BindDatagram(uint16_t port, uint16_t* bound_port, bool reuse_port) {
   int fd = socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return Socket{};
+  }
+  if (reuse_port) {
+    Socket holder{fd};
+    if (!holder.SetReusePort()) {
+      return Socket{};
+    }
+    holder.Release();
   }
   sockaddr_in addr = LoopbackAddr(port);
   if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 || !SetNonBlocking(fd)) {

@@ -43,12 +43,26 @@ class Socket {
 
   // Creates a non-blocking listening socket on 127.0.0.1:`port` (0 picks an
   // ephemeral port, reported through `bound_port`).  Invalid on failure.
-  static Socket Listen(uint16_t port, uint16_t* bound_port = nullptr);
+  // With `reuse_port`, SO_REUSEPORT is set before bind: N loops may each
+  // bind their own listener to one port and the kernel load-balances
+  // accepts across them (the sharded server's listener-per-loop mode).
+  static Socket Listen(uint16_t port, uint16_t* bound_port = nullptr,
+                       bool reuse_port = false);
+
+  // Whether this platform honours SO_REUSEPORT (probed once on a throwaway
+  // socket and cached).  Callers that want listener-per-loop sharding probe
+  // first and fall back to single-acceptor hand-off when unavailable.
+  static bool ReusePortSupported();
 
   // Starts a non-blocking connect to 127.0.0.1:`port`.  The connection may
   // still be in progress when this returns; wait for writability, then call
   // PendingError() to learn whether the connect succeeded.
   static Socket Connect(uint16_t port);
+
+  // Marks the socket SO_REUSEPORT (before bind).  False when the option is
+  // unsupported or cannot be set; never fatal - callers degrade to
+  // single-acceptor hand-off.
+  bool SetReusePort();
 
   // Shrinks/grows the kernel send/receive buffer (SO_SNDBUF / SO_RCVBUF).
   // Small values move backpressure out of kernel buffering and into the
@@ -75,8 +89,10 @@ class Socket {
   // Non-blocking datagram socket bound to 127.0.0.1:`port` (0 picks an
   // ephemeral port).  Enables the kernel receive-drop counter (SO_RXQ_OVFL)
   // where available so the server can report datagrams lost to queue
-  // overflow.
-  static Socket BindDatagram(uint16_t port, uint16_t* bound_port = nullptr);
+  // overflow.  With `reuse_port`, SO_REUSEPORT is set before bind so N
+  // loops can share one UDP port (the kernel hashes senders across them).
+  static Socket BindDatagram(uint16_t port, uint16_t* bound_port = nullptr,
+                             bool reuse_port = false);
 
   // Non-blocking datagram socket connected to 127.0.0.1:`port`; Write()
   // then sends one datagram per call.

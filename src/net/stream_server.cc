@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <cstring>
+#include <mutex>
 #include <vector>
 
 #include "core/tuple.h"
@@ -33,6 +34,18 @@ std::string_view NextToken(std::string_view& s) {
 // stays bounded by the deferred flush (one loop iteration) either way.
 constexpr size_t kEgressFrameSamples = 128;
 
+// Tenants see their own bare names: the stored "<ns>\x1f" identity prefix is
+// stripped before a sample is re-serialized down the session.  The prefix is
+// matched, not assumed: right after an AUTH re-scope, samples routed under
+// the previous identity may still drain from the session scope.
+std::string_view StripTenantPrefix(const std::string& ns, std::string_view name) {
+  if (!ns.empty() && name.size() > ns.size() + 1 &&
+      name.compare(0, ns.size(), ns) == 0 && name[ns.size()] == kNamespaceSep) {
+    name.remove_prefix(ns.size() + 1);
+  }
+  return name;
+}
+
 }  // namespace
 
 // Decoder callbacks for one client's inbound binary stream.  A plain struct
@@ -40,6 +53,7 @@ constexpr size_t kEgressFrameSamples = 128;
 // StreamServer's private members.
 struct StreamServer::FrameHandler {
   StreamServer* server;
+  LoopShard* shard;
   int client_key;
   Client* client;
   void OnDictEntry(uint32_t id, std::string_view name) {
@@ -49,7 +63,7 @@ struct StreamServer::FrameHandler {
     server->IngestRecords(*client, base_time_ms, records, n);
   }
   void OnTextLine(std::string_view line) {
-    server->HandleLine(client_key, *client, line);
+    server->HandleLine(*shard, client_key, *client, line);
   }
 };
 
@@ -58,9 +72,21 @@ StreamServer::StreamServer(MainLoop* loop, Scope* scope, StreamServerOptions opt
       options_(options),
       router_({.auto_create_signals = options.auto_create_signals,
                .fanout_shards = options.fanout_shards,
-               .worker_threads = options.fanout_workers}) {
+               .worker_threads = options.fanout_workers}),
+      pool_(loop, options.loops) {
   if (options_.control_poll_period_ms <= 0) {
     options_.control_poll_period_ms = 10;
+  }
+  options_.loops = pool_.size();  // clamped to >= 1
+  // Route tables are built from (and ingest arrives on) any loop once the
+  // server shards; at loops = 1 this leaves the router lock-free.
+  router_.SetConcurrent(pool_.size() > 1);
+  shards_.reserve(pool_.size());
+  for (size_t i = 0; i < pool_.size(); ++i) {
+    auto shard = std::make_unique<LoopShard>();
+    shard->loop = pool_.loop(i);
+    shard->index = i;
+    shards_.push_back(std::move(shard));
   }
   if (scope != nullptr) {
     router_.AddScope(scope);
@@ -78,18 +104,42 @@ StreamServer::~StreamServer() {
 
 bool StreamServer::Listen(uint16_t port) {
   Close();
-  listener_ = Socket::Listen(port, &port_);
-  if (!listener_.valid()) {
-    return false;
+  const size_t loops = pool_.size();
+  pool_.Start();
+  reuse_port_active_ = false;
+  if (loops > 1 && options_.reuse_port && Socket::ReusePortSupported()) {
+    // Listener per loop: the kernel spreads connections, no hand-off hop.
+    Socket first = Socket::Listen(port, &port_, /*reuse_port=*/true);
+    bool bound = first.valid();
+    if (bound) {
+      shards_[0]->listener = std::move(first);
+      for (size_t i = 1; i < loops && bound; ++i) {
+        shards_[i]->listener = Socket::Listen(port_, nullptr, /*reuse_port=*/true);
+        bound = shards_[i]->listener.valid();
+      }
+    }
+    if (bound) {
+      reuse_port_active_ = true;
+    } else {
+      // A platform can pass the capability probe yet refuse the concrete
+      // bind: fall back to the single-acceptor hand-off, don't fail Listen.
+      for (auto& shard : shards_) {
+        shard->listener.Close();
+      }
+      port_ = 0;
+    }
   }
-  accept_watch_ = loop_->AddIoWatch(listener_.fd(), IoCondition::kIn,
-                                    [this](int, IoCondition) { return OnAcceptReady(); });
-  if (accept_watch_ == 0) {
-    return false;
+  if (!reuse_port_active_) {
+    shards_[0]->listener = Socket::Listen(port, &port_);
+    if (!shards_[0]->listener.valid()) {
+      pool_.Stop();
+      return false;
+    }
   }
+
   // Maintenance sweep: idle-client reaping and/or echo-tap degradation.  The
   // period is half the shortest enabled window, so a deadline is observed at
-  // most 1.5x late.
+  // most 1.5x late.  One sweep per shard: each loop reaps its own clients.
   int64_t window = 0;
   if (options_.idle_timeout_ms > 0) {
     window = options_.idle_timeout_ms;
@@ -98,98 +148,193 @@ bool StreamServer::Listen(uint16_t port) {
       (window == 0 || options_.degrade_stalled_ms < window)) {
     window = options_.degrade_stalled_ms;
   }
-  if (window > 0) {
-    sweep_timer_ = loop_->AddTimeoutMs(std::max<int64_t>(1, window / 2),
-                                       std::function<bool()>([this]() { return Sweep(); }));
+
+  bool ok = true;
+  for (size_t i = 0; i < loops; ++i) {
+    LoopShard* shard = shards_[i].get();
+    pool_.InvokeSync(i, [this, shard, window, &ok]() {
+      if (shard->listener.valid()) {
+        shard->accept_watch = shard->loop->AddIoWatch(
+            shard->listener.fd(), IoCondition::kIn,
+            [this, shard](int, IoCondition) { return OnAcceptReady(*shard); });
+        if (shard->accept_watch == 0) {
+          ok = false;
+        }
+      }
+      if (window > 0) {
+        shard->sweep_timer = shard->loop->AddTimeoutMs(
+            std::max<int64_t>(1, window / 2),
+            std::function<bool()>([this, shard]() { return Sweep(*shard); }));
+      }
+    });
+  }
+  if (!ok) {
+    Close();
+    return false;
   }
   return true;
 }
 
 void StreamServer::Close() {
-  if (accept_watch_ != 0) {
-    loop_->Remove(accept_watch_);
-    accept_watch_ = 0;
+  // Graceful drain, shard by shard: each loop removes its own watches and
+  // timers and destroys its own clients (session scopes unregister from the
+  // router first, under the router lock, so no in-flight flush from another
+  // shard can touch a dying scope).
+  for (size_t i = 0; i < pool_.size(); ++i) {
+    LoopShard* shard = shards_[i].get();
+    pool_.InvokeSync(i, [this, shard]() {
+      if (shard->accept_watch != 0) {
+        shard->loop->Remove(shard->accept_watch);
+        shard->accept_watch = 0;
+      }
+      if (shard->sweep_timer != 0) {
+        shard->loop->Remove(shard->sweep_timer);
+        shard->sweep_timer = 0;
+      }
+      shard->listener.Close();
+      for (auto& [key, client] : shard->clients) {
+        if (client->watch != 0) {
+          shard->loop->Remove(client->watch);
+        }
+        if (client->session != nullptr) {
+          // Unregister before the scope is destroyed with the client map.
+          router_.RemoveScope(client->session->scope.get());
+        }
+      }
+      shard->clients.clear();
+      shard->client_count.store(0, std::memory_order_relaxed);
+      shard->session_count.store(0, std::memory_order_relaxed);
+    });
   }
-  if (sweep_timer_ != 0) {
-    loop_->Remove(sweep_timer_);
-    sweep_timer_ = 0;
-  }
-  listener_.Close();
-  for (auto& [key, client] : clients_) {
-    if (client->watch != 0) {
-      loop_->Remove(client->watch);
-    }
-    if (client->session != nullptr) {
-      // Unregister before the scope is destroyed with the client map.
-      router_.RemoveScope(client->session->scope.get());
-    }
-  }
-  clients_.clear();
+  pool_.Stop();
   port_ = 0;
 }
 
-size_t StreamServer::control_session_count() const {
+size_t StreamServer::client_count() const {
   size_t n = 0;
-  for (const auto& [key, client] : clients_) {
-    n += client->session != nullptr ? 1 : 0;
+  for (const auto& shard : shards_) {
+    n += shard->client_count.load(std::memory_order_relaxed);
   }
   return n;
 }
 
-bool StreamServer::OnAcceptReady() {
+size_t StreamServer::shard_client_count(size_t i) const {
+  return i < shards_.size() ? shards_[i]->client_count.load(std::memory_order_relaxed) : 0;
+}
+
+size_t StreamServer::control_session_count() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard->session_count.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+StreamServer::LoopShard* StreamServer::PickShard() {
+  LoopShard* best = shards_[0].get();
+  size_t best_n = best->client_count.load(std::memory_order_relaxed);
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    size_t n = shards_[i]->client_count.load(std::memory_order_relaxed);
+    if (n < best_n) {
+      best = shards_[i].get();
+      best_n = n;
+    }
+  }
+  return best;
+}
+
+bool StreamServer::OnAcceptReady(LoopShard& shard) {
   while (true) {
-    Socket conn = listener_.Accept();
+    Socket conn = shard.listener.Accept();
     if (!conn.valid()) {
       break;
     }
-    if (clients_.size() >= options_.max_clients) {
+    if (client_count() >= options_.max_clients) {
       stats_.refused += 1;
       continue;  // RAII closes the connection
     }
-    if (options_.client_rcvbuf_bytes > 0) {
-      conn.SetRecvBufferBytes(options_.client_rcvbuf_bytes);
-    }
-    auto client =
-        std::make_unique<Client>(loop_, options_.max_line_bytes, options_.control_max_buffer);
-    client->socket = std::move(conn);
-    client->last_activity_ns = loop_->clock()->NowNs();
-    int key = next_client_key_++;
-    int fd = client->socket.fd();
-    client->watch = loop_->AddIoWatch(
-        fd, IoCondition::kIn, [this, key](int, IoCondition cond) { return OnClientReady(key, cond); });
-    if (client->watch == 0) {
+    if (reuse_port_active_ || pool_.size() == 1) {
+      // This shard's own listener accepted: the connection already lives on
+      // the right loop.
+      SetupClient(shard, std::move(conn), /*counted=*/false);
       continue;
     }
-    // Egress is armed on every connection (the HELLO reply must travel before
-    // any session exists).  Overload discards whole frames only, victim per
-    // the configured policy; a dead egress fd drops the client from a fresh
-    // stack frame, gated by the weak token against a destroyed server.
-    client->writer.SetPolicy(options_.control_overflow_policy,
-                             MillisToNanos(options_.control_block_deadline_ms));
+    // Hand-off mode: this is the single acceptor on loop 0.  Land the
+    // connection on the least-loaded loop; the count is charged at dispatch
+    // so an accept burst balances against in-flight hand-offs.
+    LoopShard* target = PickShard();
+    if (target == &shard) {
+      SetupClient(shard, std::move(conn), /*counted=*/false);
+      continue;
+    }
+    target->client_count.fetch_add(1, std::memory_order_relaxed);
     std::weak_ptr<StreamServer> weak_self = self_alias_;
-    client->writer.SetErrorCallback([this, key, weak_self]() {
-      loop_->Invoke([key, weak_self]() {
-        if (std::shared_ptr<StreamServer> server = weak_self.lock()) {
-          server->DropClient(key);
-        }
-      });
+    auto handoff = std::make_shared<Socket>(std::move(conn));
+    target->loop->Invoke([weak_self, target, handoff]() {
+      std::shared_ptr<StreamServer> server = weak_self.lock();
+      if (server == nullptr) {
+        return;  // server gone, and the shard storage with it
+      }
+      server->SetupClient(*target, std::move(*handoff), /*counted=*/true);
     });
-    client->writer.Attach(fd);
-    clients_[key] = std::move(client);
-    stats_.connections += 1;
   }
   return true;
 }
 
-bool StreamServer::OnClientReady(int client_key, IoCondition cond) {
-  auto it = clients_.find(client_key);
-  if (it == clients_.end()) {
+void StreamServer::SetupClient(LoopShard& shard, Socket conn, bool counted) {
+  if (options_.client_rcvbuf_bytes > 0) {
+    conn.SetRecvBufferBytes(options_.client_rcvbuf_bytes);
+  }
+  auto client =
+      std::make_unique<Client>(shard.loop, options_.max_line_bytes, options_.control_max_buffer);
+  client->shard = &shard;
+  client->loop = shard.loop;
+  client->socket = std::move(conn);
+  client->last_activity_ns = shard.loop->clock()->NowNs();
+  int key = next_client_key_.fetch_add(1, std::memory_order_relaxed);
+  int fd = client->socket.fd();
+  LoopShard* sp = &shard;
+  client->watch = shard.loop->AddIoWatch(
+      fd, IoCondition::kIn,
+      [this, sp, key](int, IoCondition cond) { return OnClientReady(*sp, key, cond); });
+  if (client->watch == 0) {
+    if (counted) {
+      shard.client_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  // Egress is armed on every connection (the HELLO reply must travel before
+  // any session exists).  Overload discards whole frames only, victim per
+  // the configured policy; a dead egress fd drops the client from a fresh
+  // stack frame on its own loop, gated by the weak token against a
+  // destroyed server.
+  client->writer.SetPolicy(options_.control_overflow_policy,
+                           MillisToNanos(options_.control_block_deadline_ms));
+  std::weak_ptr<StreamServer> weak_self = self_alias_;
+  client->writer.SetErrorCallback([sp, key, weak_self]() {
+    sp->loop->Invoke([sp, key, weak_self]() {
+      if (std::shared_ptr<StreamServer> server = weak_self.lock()) {
+        server->DropClient(*sp, key);
+      }
+    });
+  });
+  client->writer.Attach(fd);
+  shard.clients[key] = std::move(client);
+  if (!counted) {
+    shard.client_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  stats_.connections += 1;
+}
+
+bool StreamServer::OnClientReady(LoopShard& shard, int client_key, IoCondition cond) {
+  auto it = shard.clients.find(client_key);
+  if (it == shard.clients.end()) {
     return false;
   }
   Client& client = *it->second;
 
   if (Has(cond, IoCondition::kErr)) {
-    DropClient(client_key);
+    DropClient(shard, client_key);
     return false;
   }
 
@@ -198,9 +343,9 @@ bool StreamServer::OnClientReady(int client_key, IoCondition cond) {
     IoResult r = client.socket.Read(buf, sizeof(buf));
     if (r.status == IoResult::Status::kOk) {
       stats_.bytes += static_cast<int64_t>(r.bytes);
-      client.last_activity_ns = loop_->clock()->NowNs();
-      ProcessData(client_key, client, buf, r.bytes);
-      if (clients_.count(client_key) == 0) {
+      client.last_activity_ns = shard.loop->clock()->NowNs();
+      ProcessData(shard, client_key, client, buf, r.bytes);
+      if (shard.clients.count(client_key) == 0) {
         return false;  // a control failure dropped the client mid-chunk
       }
       continue;
@@ -218,15 +363,16 @@ bool StreamServer::OnClientReady(int client_key, IoCondition cond) {
       }
     } else {
       client.framer.FlushTail(
-          [&](std::string_view line) { HandleLine(client_key, client, line); });
+          [&](std::string_view line) { HandleLine(shard, client_key, client, line); });
     }
     FlushIngest();
-    DropClient(client_key);
+    DropClient(shard, client_key);
     return false;
   }
 }
 
-void StreamServer::ProcessData(int client_key, Client& client, const char* data, size_t len) {
+void StreamServer::ProcessData(LoopShard& shard, int client_key, Client& client,
+                               const char* data, size_t len) {
   const char* p = data;
   size_t n = len;
   while (n > 0) {
@@ -234,11 +380,13 @@ void StreamServer::ProcessData(int client_key, Client& client, const char* data,
       case WireMode::kText: {
         // Stoppable: a HELLO line mid-chunk flips the mode and the remainder
         // of the chunk must be handled under the new one.
+        int64_t overlong = 0;
         size_t used = client.framer.ConsumeStoppable(
-            p, n, &stats_.parse_errors, [&](std::string_view line) {
-              HandleLine(client_key, client, line);
+            p, n, &overlong, [&](std::string_view line) {
+              HandleLine(shard, client_key, client, line);
               return client.wire == WireMode::kText;
             });
+        stats_.parse_errors += overlong;
         p += used;
         n -= used;
         break;
@@ -266,10 +414,12 @@ void StreamServer::ProcessData(int client_key, Client& client, const char* data,
           }
         }
         if (flip > 0) {
-          client.framer.Consume(p, flip, &stats_.parse_errors,
+          int64_t overlong = 0;
+          client.framer.Consume(p, flip, &overlong,
                                 [&](std::string_view line) {
-                                  HandleLine(client_key, client, line);
+                                  HandleLine(shard, client_key, client, line);
                                 });
+          stats_.parse_errors += overlong;
         }
         if (flip < n) {
           client.wire = WireMode::kBinary;
@@ -279,7 +429,7 @@ void StreamServer::ProcessData(int client_key, Client& client, const char* data,
         break;
       }
       case WireMode::kBinary: {
-        FrameHandler handler{this, client_key, &client};
+        FrameHandler handler{this, &shard, client_key, &client};
         client.decoder->Consume(p, n, handler);
         FoldDecoderStats(*client.decoder);
         n = 0;
@@ -301,12 +451,13 @@ void StreamServer::FlushIngest() {
   stats_.dropped_late += flushed.dropped_late;
 }
 
-void StreamServer::HandleLine(int client_key, Client& client, std::string_view line) {
+void StreamServer::HandleLine(LoopShard& shard, int client_key, Client& client,
+                              std::string_view line) {
   // Tuple lines start with a timestamp; a leading letter means a control
   // verb (tuple names sit in the third field, so the two grammars cannot
   // collide — docs/protocol.md).
   if (options_.enable_control && !line.empty() && IsAsciiLetter(line.front())) {
-    HandleControlLine(client_key, client, line);
+    HandleControlLine(shard, client_key, client, line);
     return;
   }
   if (ingest_tap_) {
@@ -315,10 +466,15 @@ void StreamServer::HandleLine(int client_key, Client& client, std::string_view l
       ingest_tap_(*tuple);
     }
   }
-  router_.AppendTupleLine(line, &stats_.tuples, &stats_.parse_errors);
+  int64_t tuples = 0;
+  int64_t parse_errors = 0;
+  router_.AppendTupleLine(line, client.ns, &tuples, &parse_errors);
+  stats_.tuples += tuples;
+  stats_.parse_errors += parse_errors;
 }
 
-void StreamServer::HandleControlLine(int client_key, Client& client, std::string_view line) {
+void StreamServer::HandleControlLine(LoopShard& shard, int client_key, Client& client,
+                                     std::string_view line) {
   if (!line.empty() && line.back() == '\r') {
     line.remove_suffix(1);  // CRLF framing
   }
@@ -331,6 +487,12 @@ void StreamServer::HandleControlLine(int client_key, Client& client, std::string
     // creating a session: a producer upgrading its upload format must not
     // cost a scope, a poll timer, and a router slot.
     HandleHello(client, rest);
+    return;
+  }
+  if (verb == "AUTH") {
+    // Tenant entry: like HELLO, before the whitelist and session-free
+    // (authenticating a producer must not cost a scope).
+    HandleAuth(client, rest);
     return;
   }
 
@@ -378,15 +540,38 @@ void StreamServer::HandleControlLine(int client_key, Client& client, std::string
     return;
   }
 
-  ControlSession& session = EnsureSession(client_key, client);
+  ControlSession& session = EnsureSession(shard, client_key, client);
+
+  // Subscription-churn quota: a tenant flapping SUB/UNSUB forces a route
+  // table rebuild per verb; over the window the verb is refused before it
+  // touches the filter.  Deterministic under a SimClock.
+  if ((verb == "SUB" || verb == "UNSUB") && !ChurnAllowed(client)) {
+    stats_.control_errors += 1;
+    stats_.quota_drops += 1;
+    std::string err;
+    err.append("ERR ").append(verb).append(" quota-churn");
+    Reply(client, err);
+    return;
+  }
+
   std::string reply;
   if (verb == "SUB") {
-    if (!session.filter.Add(arg)) {
-      reply.append("ERR SUB duplicate-pattern ").append(arg);
+    if (options_.quota_max_patterns > 0 &&
+        session.filter.pattern_count() >= options_.quota_max_patterns) {
+      stats_.quota_drops += 1;
+      reply.append("ERR SUB quota-patterns ").append(arg);
     } else {
-      reply.append("OK SUB ").append(arg);
+      // Filter mutation under the route lock: a rebuild on another loop
+      // reads the pattern list (no-op lock at loops = 1).
+      std::unique_lock<std::mutex> routes = router_.LockRoutes();
+      if (!session.filter.Add(arg)) {
+        reply.append("ERR SUB duplicate-pattern ").append(arg);
+      } else {
+        reply.append("OK SUB ").append(arg);
+      }
     }
   } else if (verb == "UNSUB") {
+    std::unique_lock<std::mutex> routes = router_.LockRoutes();
     if (!session.filter.Remove(arg)) {
       reply.append("ERR UNSUB unknown-pattern ").append(arg);
     } else {
@@ -412,43 +597,57 @@ void StreamServer::HandleControlLine(int client_key, Client& client, std::string
     reply.append("OK TIME ").append(std::to_string(session.scope->NowMs()));
   } else if (verb == "STATS") {
     // One reply line of space-separated key/value pairs (docs/protocol.md):
-    // ingest health plus the drain-coalescing counters summed over every
-    // display target the router feeds (local scopes and remote sessions).
+    // ingest health plus the drain-coalescing counters summed over the
+    // display targets on THIS connection's loop (identical to the global sum
+    // at loops = 1; per-loop by design when sharded - a session asks about
+    // the loop it shares fate with).
     int64_t coalesced = 0;
     int64_t retained = 0;
-    for (const Scope* s : router_.scopes()) {
+    MainLoop* self_loop = shard.loop;
+    router_.ForEachScope([&](Scope* s) {
+      if (s->loop() != self_loop) {
+        return;
+      }
       coalesced += s->counters().samples_coalesced;
       retained += s->counters().samples_retained;
-    }
-    reply.append("OK STATS tuples ").append(std::to_string(stats_.tuples));
-    reply.append(" parse_errors ").append(std::to_string(stats_.parse_errors));
-    reply.append(" dropped_late ").append(std::to_string(stats_.dropped_late));
-    reply.append(" echo_dropped ").append(std::to_string(stats_.echo_dropped));
-    reply.append(" echo_evicted ").append(std::to_string(stats_.echo_evicted));
+    });
+    reply.append("OK STATS tuples ").append(std::to_string(stats_.tuples.load()));
+    reply.append(" parse_errors ").append(std::to_string(stats_.parse_errors.load()));
+    reply.append(" dropped_late ").append(std::to_string(stats_.dropped_late.load()));
+    reply.append(" echo_dropped ").append(std::to_string(stats_.echo_dropped.load()));
+    reply.append(" echo_evicted ").append(std::to_string(stats_.echo_evicted.load()));
     reply.append(" excluded_route_slots ")
         .append(std::to_string(router_.excluded_route_slots()));
     reply.append(" samples_coalesced ").append(std::to_string(coalesced));
     reply.append(" samples_retained ").append(std::to_string(retained));
     // Robustness counters (appended: the key table is extend-only, clients
-    // scan for keys they know and skip the rest).
-    int64_t policy_switches = stats_.policy_switches;  // retired clients
-    for (const auto& [k, c] : clients_) {
+    // scan for keys they know and skip the rest).  Live writer transitions
+    // fold from this shard's clients only; retired ones are global.
+    int64_t policy_switches = stats_.policy_switches.load();
+    for (const auto& [k, c] : shard.clients) {
       policy_switches += c->writer.stats().policy_switches;
     }
-    reply.append(" pings_received ").append(std::to_string(stats_.pings_received));
-    reply.append(" taps_downgraded ").append(std::to_string(stats_.taps_downgraded));
-    reply.append(" taps_restored ").append(std::to_string(stats_.taps_restored));
+    reply.append(" pings_received ").append(std::to_string(stats_.pings_received.load()));
+    reply.append(" taps_downgraded ").append(std::to_string(stats_.taps_downgraded.load()));
+    reply.append(" taps_restored ").append(std::to_string(stats_.taps_restored.load()));
     reply.append(" clients_idle_dropped ")
-        .append(std::to_string(stats_.clients_idle_dropped));
+        .append(std::to_string(stats_.clients_idle_dropped.load()));
     reply.append(" policy_switches ").append(std::to_string(policy_switches));
     // Binary wire protocol (appended; wire_format is the REQUESTING
     // connection's inbound mode: 0 = text, 1 = negotiated binary).
-    reply.append(" frames_rx ").append(std::to_string(stats_.frames_rx));
+    reply.append(" frames_rx ").append(std::to_string(stats_.frames_rx.load()));
     reply.append(" frames_crc_errors ")
-        .append(std::to_string(stats_.frames_crc_errors));
-    reply.append(" dict_entries ").append(std::to_string(stats_.dict_entries));
+        .append(std::to_string(stats_.frames_crc_errors.load()));
+    reply.append(" dict_entries ").append(std::to_string(stats_.dict_entries.load()));
     reply.append(" wire_format ")
         .append(client.wire == WireMode::kText ? "0" : "1");
+    // Sharding + multi-tenant hardening (appended).  loop_sessions is the
+    // session count of the answering loop.
+    reply.append(" loops ").append(std::to_string(pool_.size()));
+    reply.append(" loop_sessions ")
+        .append(std::to_string(shard.session_count.load(std::memory_order_relaxed)));
+    reply.append(" auth_failures ").append(std::to_string(stats_.auth_failures.load()));
+    reply.append(" quota_drops ").append(std::to_string(stats_.quota_drops.load()));
   } else {  // LIST
     // The count goes FIRST: if the egress backlog drops some of the INFO
     // frames (whole-frame policy), the client can still tell the listing
@@ -494,7 +693,94 @@ void StreamServer::HandleHello(Client& client, std::string_view rest) {
   client.binary_egress = true;
 }
 
-StreamServer::ControlSession& StreamServer::EnsureSession(int client_key, Client& client) {
+void StreamServer::HandleAuth(Client& client, std::string_view rest) {
+  stats_.control_commands += 1;
+  std::string_view token = NextToken(rest);
+  std::string_view excess = NextToken(rest);
+  auto it = options_.auth_tokens.end();
+  if (!token.empty() && excess.empty()) {
+    it = options_.auth_tokens.find(token);
+  }
+  if (it == options_.auth_tokens.end()) {
+    // One failure answer for every shape (missing token, trailing junk,
+    // unknown token): a probe learns nothing about the token table.  The
+    // failure is NOT fatal - the connection stays usable in whatever
+    // namespace it already had.
+    stats_.auth_failures += 1;
+    stats_.control_errors += 1;
+    Reply(client, "ERR AUTH bad-token");
+    return;
+  }
+  client.ns = it->second;
+  // The dictionary bound its routes under the previous identity; unbind so
+  // binary ingest re-resolves under the new one.
+  client.dict.clear();
+  if (client.session != nullptr) {
+    // Re-scoping the registered filter bumps its epoch (route tables
+    // re-snapshot); under the route lock because a rebuild on another loop
+    // reads the namespace.  Spans already queued keep their old table and
+    // drain as the identity they were routed under.
+    std::unique_lock<std::mutex> routes = router_.LockRoutes();
+    client.session->filter.SetNamespace(client.ns);
+  }
+  std::string reply;
+  reply.append("OK AUTH ").append(client.ns);
+  Reply(client, reply);
+}
+
+bool StreamServer::ChurnAllowed(Client& client) {
+  if (options_.quota_sub_churn == 0) {
+    return true;
+  }
+  Nanos now = client.loop->clock()->NowNs();
+  Nanos window = MillisToNanos(std::max<int64_t>(1, options_.quota_churn_window_ms));
+  if (client.churn_window_start_ns < 0 || now - client.churn_window_start_ns >= window) {
+    client.churn_window_start_ns = now;
+    client.churn_count = 0;
+  }
+  if (client.churn_count >= options_.quota_sub_churn) {
+    return false;
+  }
+  client.churn_count += 1;
+  return true;
+}
+
+bool StreamServer::EgressAllowed(Client& client) {
+  int64_t rate = options_.quota_egress_bytes_per_sec;
+  if (rate <= 0) {
+    return true;
+  }
+  Nanos now = client.loop->clock()->NowNs();
+  if (client.egress_refill_ns < 0) {
+    client.egress_refill_ns = now;
+    client.egress_tokens = rate;  // full burst on first use
+  } else if (now > client.egress_refill_ns) {
+    Nanos dt = now - client.egress_refill_ns;
+    client.egress_refill_ns = now;
+    if (dt >= 1'000'000'000) {
+      client.egress_tokens = rate;  // a second idle refills outright
+    } else {
+      // dt < 1e9 bounds the product for any sane rate; double keeps the
+      // intermediate safe for absurd ones.
+      int64_t refill = static_cast<int64_t>(static_cast<double>(dt) * 1e-9 *
+                                            static_cast<double>(rate));
+      client.egress_tokens = std::min<int64_t>(rate, client.egress_tokens + refill);
+    }
+  }
+  return client.egress_tokens > 0;
+}
+
+void StreamServer::ChargeEgress(Client& client, size_t bytes) {
+  if (options_.quota_egress_bytes_per_sec <= 0) {
+    return;
+  }
+  // Deficit bucket: the frame that spends the last token may overdraw; the
+  // refill pays the debt before the next frame passes.
+  client.egress_tokens -= static_cast<int64_t>(bytes);
+}
+
+StreamServer::ControlSession& StreamServer::EnsureSession(LoopShard& shard, int client_key,
+                                                          Client& client) {
   if (client.session != nullptr) {
     return *client.session;
   }
@@ -503,16 +789,23 @@ StreamServer::ControlSession& StreamServer::EnsureSession(int client_key, Client
     client.socket.SetSendBufferBytes(options_.control_sndbuf_bytes);
   }
   session->scope = std::make_unique<Scope>(
-      loop_, ScopeOptions{.name = "control-" + std::to_string(client_key),
-                          .width = options_.control_scope_width,
-                          .height = options_.control_scope_height});
+      shard.loop, ScopeOptions{.name = "control-" + std::to_string(client_key),
+                               .width = options_.control_scope_width,
+                               .height = options_.control_scope_height});
   Scope* scope = session->scope.get();
+  // Sharded servers build route tables from any loop: the scope must gate
+  // its poll tick against them (no-op at loops = 1).
+  scope->SetConcurrent(pool_.size() > 1);
   scope->SetPollingMode(options_.control_poll_period_ms);
   // Judge producer timestamps on the server's existing display axis: a
   // session created mid-stream must not restart scope time at zero.
-  if (!router_.scopes().empty()) {
-    scope->AdoptTimeBase(*router_.scopes().front());
+  if (Scope* reference = router_.FirstScope()) {
+    scope->AdoptTimeBase(*reference);
   }
+  // Tenant scoping before registration (no route lock needed: the filter is
+  // not yet visible to rebuilds): this session only ever matches names
+  // carrying its namespace prefix.
+  session->filter.SetNamespace(client.ns);
   client.session = std::move(session);
   // Egress: every sample routed to the session scope is re-serialized down
   // the connection (through the client's writer, armed at accept); overload
@@ -524,9 +817,10 @@ StreamServer::ControlSession& StreamServer::EnsureSession(int client_key, Client
   // egress cap for degrade_stalled_ms is downgraded to TapMode::kCoalesced
   // by Sweep() - the full last-wins fold for free - and restored once the
   // backlog drains calm.
-  InstallEchoTap(client_key, client, TapMode::kEverySample);
+  InstallEchoTap(shard, client_key, client, TapMode::kEverySample);
   scope->StartPolling();
   router_.AddScope(scope, &client.session->filter);
+  shard.session_count.fetch_add(1, std::memory_order_relaxed);
   stats_.sessions_opened += 1;
   return *client.session;
 }
@@ -536,6 +830,8 @@ void StreamServer::Reply(Client& client, std::string_view line) {
     // Staged echo samples precede the reply on the wire (ordering).
     FlushEgress(client);
   }
+  // Control replies are exempt from the egress quota: protocol liveness
+  // (PONG, ERR, NOTICE) must survive a tenant spending its byte budget.
   int64_t evicted_before = client.writer.stats().units_evicted;
   std::string& buf = client.writer.BeginFrame();
   uint32_t weight = 1;
@@ -552,16 +848,31 @@ void StreamServer::Reply(Client& client, std::string_view line) {
   stats_.echo_evicted += client.writer.stats().units_evicted - evicted_before;
 }
 
-void StreamServer::InstallEchoTap(int client_key, Client& client, TapMode mode) {
+void StreamServer::InstallEchoTap(LoopShard& shard, int client_key, Client& client,
+                                  TapMode mode) {
+  (void)shard;
   client.session->tap_mode = mode;
+  // The Client object is stable (owned by unique_ptr in the shard map, and
+  // the tap dies with the session scope before it does); the tap runs on
+  // the client's own loop at scope drain time.
+  Client* cp = &client;
   if (!client.binary_egress) {
-    FramedWriter* writer = &client.writer;
     client.session->scope->SetBufferedTap(
-        [this, writer](std::string_view name, int64_t time_ms, double value) {
+        [this, cp](std::string_view name, int64_t time_ms, double value) {
+          name = StripTenantPrefix(cp->ns, name);
+          if (!EgressAllowed(*cp)) {
+            stats_.quota_drops += 1;
+            return;
+          }
+          FramedWriter* writer = &cp->writer;
           int64_t evicted_before = writer->stats().units_evicted;
-          AppendTuple(writer->BeginFrame(), time_ms, value, name);
+          std::string& buf = writer->BeginFrame();
+          size_t begin = buf.size();
+          AppendTuple(buf, time_ms, value, name);
+          size_t frame_bytes = buf.size() - begin;
           if (writer->CommitFrame()) {
             stats_.tuples_echoed += 1;
+            ChargeEgress(*cp, frame_bytes);
           } else {
             stats_.echo_dropped += 1;
           }
@@ -573,11 +884,14 @@ void StreamServer::InstallEchoTap(int client_key, Client& client, TapMode mode) 
   // Binary session: samples stage into the connection's wire encoder and
   // seal into multi-tuple frames - either when a frame's worth accumulates
   // or on the deferred flush at the end of the loop iteration, so a trickle
-  // is never stranded.  (The Client object is stable: owned by unique_ptr
-  // in clients_, and the tap dies with the session scope before it does.)
-  Client* cp = &client;
+  // is never stranded.
   client.session->scope->SetBufferedTap(
       [this, client_key, cp](std::string_view name, int64_t time_ms, double value) {
+        name = StripTenantPrefix(cp->ns, name);
+        if (!EgressAllowed(*cp)) {
+          stats_.quota_drops += 1;
+          return;
+        }
         wire::StageResult r = cp->egress_enc.Add(name, time_ms, value);
         if (r == wire::StageResult::kFrameFull) {
           FlushEgress(*cp);
@@ -603,9 +917,12 @@ void StreamServer::FlushEgress(Client& client) {
   }
   int64_t evicted_before = client.writer.stats().units_evicted;
   std::string& buf = client.writer.BeginFrame();
+  size_t begin = buf.size();
   client.egress_enc.EmitFrame(buf);
+  size_t frame_bytes = buf.size() - begin;
   if (client.writer.CommitFrame(static_cast<uint32_t>(n))) {
     stats_.tuples_echoed += static_cast<int64_t>(n);
+    ChargeEgress(client, frame_bytes);
   } else {
     stats_.echo_dropped += static_cast<int64_t>(n);
   }
@@ -618,13 +935,14 @@ void StreamServer::ScheduleEgressFlush(int client_key, Client& client) {
   }
   client.egress_flush_pending = true;
   std::weak_ptr<StreamServer> weak_self = self_alias_;
-  loop_->Invoke([client_key, weak_self]() {
+  LoopShard* shard = client.shard;
+  client.loop->Invoke([client_key, weak_self, shard]() {
     std::shared_ptr<StreamServer> server = weak_self.lock();
     if (server == nullptr) {
       return;
     }
-    auto it = server->clients_.find(client_key);
-    if (it == server->clients_.end()) {
+    auto it = shard->clients.find(client_key);
+    if (it == shard->clients.end()) {
       return;
     }
     it->second->egress_flush_pending = false;
@@ -642,10 +960,19 @@ void StreamServer::BindDict(Client& client, uint32_t id, std::string_view name) 
   if (entry.bound && entry.name == name) {
     return;  // steady state: every frame redeclares its bindings, a no-op
   }
+  if (name.find(kNamespaceSep) != std::string_view::npos) {
+    // The namespace separator is the server's own tenant-identity byte: a
+    // wire name carrying it could impersonate another tenant.  Rejected
+    // like any malformed declaration; the id stays unbound.
+    entry.bound = false;
+    stats_.parse_errors += 1;
+    return;
+  }
   entry.name.assign(name);
+  entry.routed_name = NamespacedName(client.ns, name);
   entry.bound = true;
   uint32_t route = 0;
-  entry.has_route = router_.ResolveRoute(entry.name, &route);
+  entry.has_route = router_.ResolveRoute(entry.routed_name, &route);
   entry.route = route;
   stats_.dict_entries += 1;
 }
@@ -690,31 +1017,31 @@ void StreamServer::IngestRecords(Client& client, int64_t base_time_ms,
     if (entry->has_route) {
       router_.AppendRoute(entry->route, time_ms, value);
     } else {
-      router_.Append(entry->name, time_ms, value);
+      router_.Append(entry->routed_name, time_ms, value);
     }
   }
 }
 
-bool StreamServer::Sweep() {
-  Nanos now = loop_->clock()->NowNs();
+bool StreamServer::Sweep(LoopShard& shard) {
+  Nanos now = shard.loop->clock()->NowNs();
 
   if (options_.idle_timeout_ms > 0) {
     Nanos cutoff = MillisToNanos(options_.idle_timeout_ms);
-    std::vector<int> idle;  // collect first: DropClient mutates clients_
-    for (const auto& [key, client] : clients_) {
+    std::vector<int> idle;  // collect first: DropClient mutates the map
+    for (const auto& [key, client] : shard.clients) {
       if (now - client->last_activity_ns >= cutoff) {
         idle.push_back(key);
       }
     }
     for (int key : idle) {
       stats_.clients_idle_dropped += 1;
-      DropClient(key);
+      DropClient(shard, key);
     }
   }
 
   if (options_.degrade_stalled_ms > 0) {
     Nanos window = MillisToNanos(options_.degrade_stalled_ms);
-    for (auto& [key, client] : clients_) {
+    for (auto& [key, client] : shard.clients) {
       ControlSession* s = client->session.get();
       if (s == nullptr) {
         continue;
@@ -742,8 +1069,12 @@ bool StreamServer::Sweep() {
           // Degrade instead of evicting: the subscriber keeps the freshest
           // value of every signal at display granularity.  The NOTICE rides
           // the same (pinned) writer, so delivery is best-effort - the
-          // taps_downgraded counter is the authoritative record.
-          InstallEchoTap(key, *client, TapMode::kCoalesced);
+          // taps_downgraded counter is the authoritative record.  Tap swap
+          // under the route lock: rebuilds read the tap's history need.
+          {
+            std::unique_lock<std::mutex> routes = router_.LockRoutes();
+            InstallEchoTap(shard, key, *client, TapMode::kCoalesced);
+          }
           stats_.taps_downgraded += 1;
           Reply(*client, "NOTICE DEGRADE coalesced");
           s->stalled_since_ns = -1;
@@ -755,7 +1086,10 @@ bool StreamServer::Sweep() {
         } else if (s->calm_since_ns < 0) {
           s->calm_since_ns = now;
         } else if (now - s->calm_since_ns >= window) {
-          InstallEchoTap(key, *client, TapMode::kEverySample);
+          {
+            std::unique_lock<std::mutex> routes = router_.LockRoutes();
+            InstallEchoTap(shard, key, *client, TapMode::kEverySample);
+          }
           stats_.taps_restored += 1;
           Reply(*client, "NOTICE RESTORE every-sample");
           s->calm_since_ns = -1;
@@ -766,23 +1100,25 @@ bool StreamServer::Sweep() {
   return true;
 }
 
-void StreamServer::DropClient(int client_key) {
-  auto it = clients_.find(client_key);
-  if (it == clients_.end()) {
+void StreamServer::DropClient(LoopShard& shard, int client_key) {
+  auto it = shard.clients.find(client_key);
+  if (it == shard.clients.end()) {
     return;
   }
   if (it->second->watch != 0) {
-    loop_->Remove(it->second->watch);
+    shard.loop->Remove(it->second->watch);
   }
   if (it->second->session != nullptr) {
     // Unregister the session scope (epoch bump: routes re-snapshot) before
     // its storage goes away with the client entry.
     router_.RemoveScope(it->second->session->scope.get());
+    shard.session_count.fetch_sub(1, std::memory_order_relaxed);
   }
   // The retired writer's adaptive transitions fold into the server total
   // so STATS stays monotone across disconnects.
   stats_.policy_switches += it->second->writer.stats().policy_switches;
-  clients_.erase(it);
+  shard.clients.erase(it);
+  shard.client_count.fetch_sub(1, std::memory_order_relaxed);
   stats_.disconnections += 1;
 }
 

@@ -10,24 +10,51 @@
 //
 // I/O driven: a listen watch accepts clients, per-client watches parse
 // newline-delimited lines and push tuples into the display scopes' sample
-// buffers (which apply the delay/late-drop policy).  Parsing and routing
-// stay on the loop thread; with the default fanout_workers = -1 the router
-// may spawn up to fanout_shards-1 persistent fan-out worker threads on a
-// multi-core host (none on a single core) — set fanout_workers = 0 for a
-// strictly single-threaded server.
+// buffers (which apply the delay/late-drop policy).  With the default
+// fanout_workers = -1 the router may spawn up to fanout_shards-1 persistent
+// fan-out worker threads on a multi-core host (none on a single core) — set
+// fanout_workers = 0 for a strictly single-threaded server.
+//
+// Sharded accept (options.loops > 1): accepted connections spread across N
+// per-core event loops (runtime/loop_pool.h).  Each loop owns its clients
+// end to end — fd watch, line framing, control sessions, session scopes,
+// FramedWriter egress, liveness/degradation sweep — so the per-iteration
+// costs that grow with session count (the poll(2) fd set, the timer heap,
+// the sweep walk) divide by N.  Preferred mechanism is one SO_REUSEPORT
+// listener per loop (the kernel spreads connections); when the platform
+// lacks it the primary loop keeps a single acceptor and hands each
+// connection to the least-loaded loop.  Shared state crosses loops at
+// exactly two points, both serialized inside the router when loops > 1:
+// the IngestRouter's route tables (epoch-snapshot rebuilds under its lock)
+// and the scopes' span queues (already thread-safe for the fan-out
+// workers).  Server-wide Stats are relaxed per-field atomics
+// (runtime/relaxed_counter.h).  loops = 1 (the default) takes none of the
+// locks and spawns no threads: byte-identical to the pre-sharding server.
 //
 // Control channel: a client line starting with a letter is a control verb
-// (SUB / UNSUB / DELAY / LIST / STATS / PING / TIME).  The first recognized
-// verb turns the
-// connection into a *remote scope session*: the server creates a dedicated
-// Scope, registers it with the IngestRouter under the session's
-// SignalFilter — so the route table excludes non-subscribed signals at
-// build time, never per sample — and streams every sample routed to that
-// scope back down the same connection in tuple format, through a bounded
-// FramedWriter (whole tuples are dropped on backlog overflow, never partial
-// lines).  Display targets thus attach over the network, with their own
-// glob subscriptions and late-drop delay, without any process-local
-// AddScope call.
+// (AUTH / SUB / UNSUB / DELAY / LIST / STATS / PING / TIME).  The first
+// whitelisted verb turns the connection into a *remote scope session*: the
+// server creates a dedicated Scope, registers it with the IngestRouter
+// under the session's SignalFilter — so the route table excludes
+// non-subscribed signals at build time, never per sample — and streams
+// every sample routed to that scope back down the same connection in tuple
+// format, through a bounded FramedWriter (whole tuples are dropped on
+// backlog overflow, never partial lines).  Display targets thus attach over
+// the network, with their own glob subscriptions and late-drop delay,
+// without any process-local AddScope call.
+//
+// Multi-tenant hardening: "AUTH <token>" (validated against
+// options.auth_tokens) moves the connection into a tenant namespace.  Every
+// tuple the connection ingests afterwards is stored under
+// "<ns>\x1f<name>", and its session filter only ever matches names carrying
+// that prefix — so one tenant's "SUB *" can never observe another tenant's
+// (or the anonymous default's) signals, and vice versa.  The echo tap
+// strips the prefix again: tenants see their own bare names.  Failed AUTH
+// replies "ERR AUTH bad-token" and leaves the connection usable as
+// anonymous.  Per-session quotas (quota_* options) bound what one tenant
+// can cost the server: subscription pattern count, SUB/UNSUB churn rate,
+// and echo egress bytes/sec (control replies are exempt — quota pressure
+// must not make the protocol itself unresponsive).
 //
 // Ingest fast path: complete lines are framed with memchr and parsed in
 // place from the read buffer (no copy except for lines split across reads).
@@ -38,12 +65,13 @@
 #ifndef GSCOPE_NET_STREAM_SERVER_H_
 #define GSCOPE_NET_STREAM_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
-
 #include <vector>
 
 #include "core/ingest_router.h"
@@ -55,6 +83,8 @@
 #include "net/socket.h"
 #include "runtime/event_loop.h"
 #include "runtime/framed_writer.h"
+#include "runtime/loop_pool.h"
+#include "runtime/relaxed_counter.h"
 
 namespace gscope {
 
@@ -62,7 +92,10 @@ struct StreamServerOptions {
   // Create a BUFFER signal on the scope the first time a new tuple name
   // appears (remote signals are not known in advance).
   bool auto_create_signals = true;
-  // Cap on concurrent clients; further connections are refused.
+  // Cap on concurrent clients; further connections are refused.  With
+  // loops > 1 the cap is enforced against a relaxed sum of per-loop counts,
+  // so a simultaneous accept burst across loops may briefly overshoot by at
+  // most loops-1 connections.
   size_t max_clients = 32;
   // Longest accepted line.  A client that exceeds it (e.g. streams garbage
   // with no newlines) has the line counted as one parse error and discarded;
@@ -73,6 +106,26 @@ struct StreamServerOptions {
   // threads (-1 = auto: 0 on a single-core host).
   size_t fanout_shards = 4;
   int fanout_workers = -1;
+  // Accept sharding: per-core event loops owning the accepted connections
+  // (header comment).  1 = the single-loop pre-sharding server; values are
+  // clamped to >= 1.
+  size_t loops = 1;
+  // Prefer one SO_REUSEPORT listener per loop (kernel-spread accepts) when
+  // loops > 1; off — or unsupported at runtime — falls back to a single
+  // acceptor on the primary loop handing connections to the least-loaded
+  // loop.
+  bool reuse_port = true;
+  // Multi-tenant access control: token -> namespace.  Empty = every AUTH
+  // fails and all connections stay in the anonymous default namespace.
+  // (std::less<> keys: token lookup straight from the wire string_view.)
+  std::map<std::string, std::string, std::less<>> auth_tokens;
+  // Per-session quotas, each 0 = unlimited.  Violations reply
+  // deterministically ("ERR SUB quota-patterns", "ERR <verb> quota-churn")
+  // or silently drop echo frames (egress), and count in stats().quota_drops.
+  size_t quota_max_patterns = 0;            // SUB patterns per session
+  size_t quota_sub_churn = 0;               // SUB/UNSUB verbs per window
+  int64_t quota_churn_window_ms = 1000;     // the churn window
+  int64_t quota_egress_bytes_per_sec = 0;   // echo bytes/sec (token bucket)
   // Control channel (docs/protocol.md).  Off = every line is a tuple line,
   // the pre-control behaviour.
   bool enable_control = true;
@@ -81,7 +134,7 @@ struct StreamServerOptions {
   // drop-newest (counted in echo_dropped, the default), or drop-oldest
   // (evict from the backlog head, counted in echo_evicted, so a stalled
   // viewer resumes at the newest data).  kBlockWithDeadline is accepted but
-  // blocks the server loop up to control_block_deadline_ms per frame - only
+  // blocks the owning loop up to control_block_deadline_ms per frame - only
   // sensible for single-viewer embeddings.
   size_t control_max_buffer = 1 << 20;
   OverflowPolicy control_overflow_policy = OverflowPolicy::kDropNewest;
@@ -119,57 +172,69 @@ struct StreamServerOptions {
 
 class StreamServer {
  public:
+  // Server-wide counters.  RelaxedCounter fields: with loops > 1 every loop
+  // thread bumps and any thread reads; each counter is an independent
+  // monotone tally, so relaxed atomics are the whole contract.
   struct Stats {
-    int64_t connections = 0;
-    int64_t disconnections = 0;
-    int64_t refused = 0;
-    int64_t tuples = 0;
-    int64_t parse_errors = 0;
-    int64_t dropped_late = 0;
-    int64_t bytes = 0;
+    RelaxedCounter connections;
+    RelaxedCounter disconnections;
+    RelaxedCounter refused;
+    RelaxedCounter tuples;
+    RelaxedCounter parse_errors;
+    RelaxedCounter dropped_late;
+    RelaxedCounter bytes;
     // Control channel.
-    int64_t control_commands = 0;  // recognized verbs, accepted or rejected
+    RelaxedCounter control_commands;  // recognized verbs, accepted or rejected
     // Rejected control interactions: recognized verbs that failed
     // (malformed arguments - counted even before a session exists, when no
     // ERR reply can be carried - or semantic failures like a duplicate
-    // pattern) plus unknown verbs on an existing session.  Unknown verbs
-    // without a session count only as parse_errors, like any garbage line.
-    int64_t control_errors = 0;
-    int64_t sessions_opened = 0;   // connections that became scope sessions
-    int64_t tuples_echoed = 0;     // tuples streamed back to subscribers
-    int64_t echo_dropped = 0;      // egress overflow: newest frame dropped
-    int64_t echo_evicted = 0;      // egress overflow: oldest frames evicted
+    // pattern or a quota) plus unknown verbs on an existing session.
+    // Unknown verbs without a session count only as parse_errors, like any
+    // garbage line.
+    RelaxedCounter control_errors;
+    RelaxedCounter sessions_opened;   // connections that became scope sessions
+    RelaxedCounter tuples_echoed;     // tuples streamed back to subscribers
+    RelaxedCounter echo_dropped;      // egress overflow: newest frame dropped
+    RelaxedCounter echo_evicted;      // egress overflow: oldest frames evicted
     // Liveness and degradation (all 0 unless the matching option is on).
-    int64_t pings_received = 0;      // PING verbs answered with PONG
-    int64_t time_requests = 0;       // TIME verbs answered with OK TIME
-    int64_t taps_downgraded = 0;     // echo taps switched to kCoalesced
-    int64_t taps_restored = 0;       // echo taps switched back to kEverySample
-    int64_t clients_idle_dropped = 0;  // clients dropped by idle_timeout_ms
+    RelaxedCounter pings_received;      // PING verbs answered with PONG
+    RelaxedCounter time_requests;       // TIME verbs answered with OK TIME
+    RelaxedCounter taps_downgraded;     // echo taps switched to kCoalesced
+    RelaxedCounter taps_restored;       // echo taps switched back to kEverySample
+    RelaxedCounter clients_idle_dropped;  // clients dropped by idle_timeout_ms
     // Adaptive overflow-policy transitions across session writers (live sum
     // plus sessions already retired; see DropClient).
-    int64_t policy_switches = 0;
+    RelaxedCounter policy_switches;
     // Binary wire protocol v2 (docs/protocol.md "Binary wire protocol").
-    int64_t frames_rx = 0;          // binary frames accepted (CRC-verified)
-    int64_t frames_crc_errors = 0;  // loss-of-sync events (bad CRC/header/torn)
-    int64_t dict_entries = 0;       // dictionary bindings installed/changed
+    RelaxedCounter frames_rx;          // binary frames accepted (CRC-verified)
+    RelaxedCounter frames_crc_errors;  // loss-of-sync events (bad CRC/header/torn)
+    RelaxedCounter dict_entries;       // dictionary bindings installed/changed
+    // Multi-tenant hardening.
+    RelaxedCounter auth_failures;      // AUTH verbs with an unknown token
+    RelaxedCounter quota_drops;        // quota rejections + egress quota drops
   };
 
   // Observes every successfully parsed ingest tuple line, before routing and
   // late-drop.  The view borrows the read buffer: copy what must outlive the
   // call.  For harnesses/diagnostics; parsing is repeated for the tap, so
-  // leave it unset on hot production paths.
+  // leave it unset on hot production paths.  Set before Listen(): with
+  // loops > 1 the tap runs on whichever loop owns the producer.
   using IngestTapFn = std::function<void(const TupleView& tuple)>;
   void SetIngestTap(IngestTapFn fn) { ingest_tap_ = std::move(fn); }
 
-  // `loop` and `scope` are not owned and must outlive the server.  `scope`
-  // is the first display target; AddScope attaches more ("displays these
-  // BUFFER signals to one or more scopes").  `scope` may be null for a
+  // `loop` and `scope` are not owned and must outlive the server.  `loop`
+  // is shard 0 (the caller keeps running it); options.loops-1 further loops
+  // get dedicated threads between Listen() and Close().  `scope` is the
+  // first display target; AddScope attaches more ("displays these BUFFER
+  // signals to one or more scopes").  `scope` may be null for a
   // control-only server whose display targets all attach over the wire.
   StreamServer(MainLoop* loop, Scope* scope, StreamServerOptions options = {});
   ~StreamServer();
 
   // Fans incoming tuples out to an additional scope.  O(1); returns false
-  // for null/duplicate scopes.  Scopes must outlive the server.
+  // for null/duplicate scopes.  Scopes must outlive the server.  App scopes
+  // live on the primary loop; with loops > 1 put them in concurrent mode
+  // (Scope::SetConcurrent) before registering.
   bool AddScope(Scope* scope);
   bool RemoveScope(Scope* scope);
   size_t scope_count() const { return router_.scope_count(); }
@@ -177,18 +242,32 @@ class StreamServer {
   StreamServer(const StreamServer&) = delete;
   StreamServer& operator=(const StreamServer&) = delete;
 
-  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting.
+  // Binds 127.0.0.1:`port` (0 = ephemeral), starts the loop pool and begins
+  // accepting.
   bool Listen(uint16_t port);
   uint16_t port() const { return port_; }
+  // Graceful shutdown: every shard drains on its own loop (watches removed,
+  // sessions unregistered, clients destroyed where they live), then the
+  // worker loops stop.  Safe to call from the primary thread only.
   void Close();
 
-  size_t client_count() const { return clients_.size(); }
+  size_t client_count() const;
   // Connected clients currently holding a remote scope session.
   size_t control_session_count() const;
+  // Sharding introspection (tests/benches): loop count, the accept
+  // mechanism in use, and the per-shard client spread.
+  size_t loop_count() const { return pool_.size(); }
+  bool reuse_port_active() const { return reuse_port_active_; }
+  size_t shard_client_count(size_t i) const;
+  // Folds every loop's timer accounting (sum + worst loop): the sharded
+  // "is the server keeping up?" answer.  Primary thread only.
+  TimerStatsAggregate GatherTimerStats() { return pool_.GatherTimerStats(); }
   const Stats& stats() const { return stats_; }
   const IngestRouter& router() const { return router_; }
 
  private:
+  struct LoopShard;
+
   // One remote scope session: the server-side half of a control connection.
   // The egress FramedWriter lives on the Client (every connection can carry
   // replies - e.g. the HELLO negotiation - before it becomes a session).
@@ -211,9 +290,11 @@ class StreamServer {
 
   // One dictionary binding of a binary connection: id -> interned name and
   // (when resolvable) the server-wide route index, so steady-state ingest
-  // never touches the name bytes.
+  // never touches the name bytes.  routed_name carries the tenant prefix
+  // (the stored identity); name stays the bare wire form for echo/tap use.
   struct DictEntry {
     std::string name;
+    std::string routed_name;
     uint32_t route = 0;
     bool has_route = false;
     bool bound = false;
@@ -222,12 +303,24 @@ class StreamServer {
   struct Client {
     Client(MainLoop* loop, size_t max_line_bytes, size_t max_buffer)
         : framer(max_line_bytes), writer(loop, max_buffer) {}
+    LoopShard* shard = nullptr;   // owning shard (stable; see shards_)
+    MainLoop* loop = nullptr;     // == shard->loop; every callback runs here
     Socket socket;
     SourceId watch = 0;
     LineFramer framer;
     FramedWriter writer;          // server -> client egress (replies + tuples)
     std::unique_ptr<ControlSession> session;
     Nanos last_activity_ns = 0;   // loop clock at the last byte received
+    // Tenant namespace ("" = anonymous); set by a successful AUTH.
+    std::string ns;
+    // SUB/UNSUB churn quota window (loop clock).
+    Nanos churn_window_start_ns = -1;
+    size_t churn_count = 0;
+    // Echo egress token bucket (quota_egress_bytes_per_sec); deficit
+    // semantics: a frame that fits the last token may overdraw, the refill
+    // pays the debt.  Burst capacity = one second's worth.
+    int64_t egress_tokens = 0;
+    Nanos egress_refill_ns = -1;
     // Binary wire protocol v2 state.
     WireMode wire = WireMode::kText;
     std::unique_ptr<wire::FrameDecoder> decoder;  // created at HELLO accept
@@ -237,16 +330,46 @@ class StreamServer {
     bool egress_flush_pending = false;  // a deferred FlushEgress is queued
   };
 
+  // One accept shard: everything below is owned by (and only touched from)
+  // `loop`, except the two atomics, which any thread may read.  Shards are
+  // heap-allocated once in the constructor and never move: raw LoopShard*
+  // stays valid in every deferred closure for the server's lifetime.
+  struct LoopShard {
+    MainLoop* loop = nullptr;
+    size_t index = 0;
+    Socket listener;              // reuse-port mode: every shard; else shard 0
+    SourceId accept_watch = 0;
+    SourceId sweep_timer = 0;
+    std::map<int, std::unique_ptr<Client>> clients;
+    std::atomic<size_t> client_count{0};
+    std::atomic<size_t> session_count{0};
+  };
+
   struct FrameHandler;  // decoder callbacks -> BindDict/IngestRecords/HandleLine
 
-  bool OnAcceptReady();
-  bool OnClientReady(int client_key, IoCondition cond);
-  void ProcessData(int client_key, Client& client, const char* data, size_t len);
-  void HandleLine(int client_key, Client& client, std::string_view line);
-  void HandleControlLine(int client_key, Client& client, std::string_view line);
+  bool OnAcceptReady(LoopShard& shard);
+  // Finishes an accepted connection on its owning loop.  `counted` = the
+  // hand-off acceptor already charged shard.client_count (it pre-counts so
+  // a burst balances against in-flight hand-offs).
+  void SetupClient(LoopShard& shard, Socket conn, bool counted);
+  LoopShard* PickShard();
+  bool OnClientReady(LoopShard& shard, int client_key, IoCondition cond);
+  void ProcessData(LoopShard& shard, int client_key, Client& client,
+                   const char* data, size_t len);
+  void HandleLine(LoopShard& shard, int client_key, Client& client,
+                  std::string_view line);
+  void HandleControlLine(LoopShard& shard, int client_key, Client& client,
+                         std::string_view line);
   // HELLO negotiation (before the verb whitelist: no session is created).
   void HandleHello(Client& client, std::string_view rest);
-  ControlSession& EnsureSession(int client_key, Client& client);
+  // AUTH <token>: tenant namespace entry (before the whitelist, like HELLO:
+  // authenticating must not cost a scope).
+  void HandleAuth(Client& client, std::string_view rest);
+  // Quota primitives (docs/protocol.md "Quotas").
+  bool ChurnAllowed(Client& client);
+  bool EgressAllowed(Client& client);
+  void ChargeEgress(Client& client, size_t bytes);
+  ControlSession& EnsureSession(LoopShard& shard, int client_key, Client& client);
   void Reply(Client& client, std::string_view line);
   // Installs/updates one dictionary binding of a binary connection.
   void BindDict(Client& client, uint32_t id, std::string_view name);
@@ -258,29 +381,30 @@ class StreamServer {
   // Folds a decoder's counters into stats_ (frames_rx / frames_crc_errors).
   void FoldDecoderStats(wire::FrameDecoder& decoder);
   // (Re)installs the session scope's echo tap in `mode`; records the mode.
-  void InstallEchoTap(int client_key, Client& client, TapMode mode);
+  // For a registered scope, call under router_.LockRoutes() when loops > 1
+  // (a table rebuild reads the tap's history requirement).
+  void InstallEchoTap(LoopShard& shard, int client_key, Client& client, TapMode mode);
   // Maintenance sweep (idle_timeout_ms / degrade_stalled_ms): drops idle
-  // clients and downgrades/restores pinned sessions' echo taps.
-  bool Sweep();
+  // clients and downgrades/restores pinned sessions' echo taps.  One per
+  // shard, on the shard's loop.
+  bool Sweep(LoopShard& shard);
   // Hands the chunk's shared batch to every scope (one O(1) span each).
   void FlushIngest();
-  void DropClient(int client_key);
+  void DropClient(LoopShard& shard, int client_key);
 
   MainLoop* loop_;
   StreamServerOptions options_;
   IngestRouter router_;
-
-  Socket listener_;
-  SourceId accept_watch_ = 0;
-  SourceId sweep_timer_ = 0;
+  LoopPool pool_;
+  std::vector<std::unique_ptr<LoopShard>> shards_;
+  bool reuse_port_active_ = false;
   uint16_t port_ = 0;
 
-  std::map<int, std::unique_ptr<Client>> clients_;
-  int next_client_key_ = 1;
+  std::atomic<int> next_client_key_{1};
   IngestTapFn ingest_tap_;
   // Liveness token for closures deferred through MainLoop::Invoke (session
-  // egress errors): reset in the destructor, so a queued DropClient cannot
-  // run against a destroyed server.
+  // egress errors, cross-loop hand-offs): reset in the destructor, so a
+  // queued DropClient cannot run against a destroyed server.
   std::shared_ptr<StreamServer> self_alias_{this, [](StreamServer*) {}};
   Stats stats_;
 };

@@ -53,7 +53,21 @@ IoCondition PollEventsToCond(short revents) {
   return cond;
 }
 
+thread_local MainLoop* tls_current_loop = nullptr;
+
+// RAII save/restore so nested Iterate calls (a callback pumping another
+// loop on the same thread) keep Current() truthful.
+struct CurrentLoopScope {
+  MainLoop* saved;
+  explicit CurrentLoopScope(MainLoop* loop) : saved(tls_current_loop) {
+    tls_current_loop = loop;
+  }
+  ~CurrentLoopScope() { tls_current_loop = saved; }
+};
+
 }  // namespace
+
+MainLoop* MainLoop::Current() { return tls_current_loop; }
 
 struct MainLoop::TimeoutSource {
   Nanos period_ns = 0;
@@ -98,6 +112,9 @@ SourceId MainLoop::AddTimeoutNs(Nanos period_ns, TimeoutFn fn) {
   src->deadline_ns = clock_->NowNs() + period_ns;
   src->fn = std::move(fn);
   SourceId id = next_id_++;
+  timer_heap_.push_back({src->deadline_ns, id});
+  std::push_heap(timer_heap_.begin(), timer_heap_.end(), TimerHeapLater{});
+  live_timeouts_ += 1;
   timeouts_[id] = std::move(src);
   return id;
 }
@@ -140,7 +157,11 @@ bool MainLoop::Remove(SourceId id) {
     }
     return true;
   };
-  return mark(timeouts_) || mark(idles_) || mark(io_watches_);
+  if (mark(timeouts_)) {
+    live_timeouts_ -= 1;  // stale heap entries are dropped lazily at pop
+    return true;
+  }
+  return mark(idles_) || mark(io_watches_);
 }
 
 bool MainLoop::SetTimeoutPeriodNs(SourceId id, Nanos period_ns) {
@@ -153,6 +174,8 @@ bool MainLoop::SetTimeoutPeriodNs(SourceId id, Nanos period_ns) {
   }
   it->second->period_ns = period_ns;
   it->second->deadline_ns = clock_->NowNs() + period_ns;
+  timer_heap_.push_back({it->second->deadline_ns, id});
+  std::push_heap(timer_heap_.begin(), timer_heap_.end(), TimerHeapLater{});
   return true;
 }
 
@@ -164,17 +187,54 @@ const TimerStats* MainLoop::StatsFor(SourceId id) const {
   return &it->second->stats;
 }
 
+TimerStats MainLoop::TotalTimerStats() const {
+  TimerStats total;
+  for (const auto& [id, src] : timeouts_) {
+    if (src->removed) {
+      continue;
+    }
+    total.fired += src->stats.fired;
+    total.lost += src->stats.lost;
+    total.total_latency_ns += src->stats.total_latency_ns;
+    total.max_latency_ns = std::max(total.max_latency_ns, src->stats.max_latency_ns);
+  }
+  return total;
+}
+
 size_t MainLoop::source_count() const {
   return timeouts_.size() + idles_.size() + io_watches_.size();
 }
 
+bool MainLoop::TimerEntryCurrent(const TimerHeapEntry& entry) const {
+  auto it = timeouts_.find(entry.id);
+  return it != timeouts_.end() && !it->second->removed &&
+         it->second->deadline_ns == entry.deadline_ns;
+}
+
 bool MainLoop::DispatchTimers(Nanos now, bool* any_pending, Nanos* next_deadline) {
-  std::vector<SourceId> due;
-  for (const auto& [id, src] : timeouts_) {
-    if (!src->removed && src->deadline_ns <= now) {
-      due.push_back(id);
+  // Pop every due entry off the min-heap, skipping stale ones (removed or
+  // rescheduled sources: their live entry, if any, carries the current
+  // deadline).  Dispatch order stays id order - the pre-heap behaviour -
+  // and duplicates (a source rescheduled back to the same deadline) fold
+  // away in the sort+unique.
+  std::vector<SourceId>& due = due_scratch_;
+  due.clear();
+  while (!timer_heap_.empty()) {
+    const TimerHeapEntry& top = timer_heap_.front();
+    if (!TimerEntryCurrent(top)) {
+      std::pop_heap(timer_heap_.begin(), timer_heap_.end(), TimerHeapLater{});
+      timer_heap_.pop_back();
+      continue;
     }
+    if (top.deadline_ns > now) {
+      break;
+    }
+    due.push_back(top.id);
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), TimerHeapLater{});
+    timer_heap_.pop_back();
   }
+  std::sort(due.begin(), due.end());
+  due.erase(std::unique(due.begin(), due.end()), due.end());
 
   bool dispatched = false;
   dispatching_ = true;
@@ -195,7 +255,13 @@ bool MainLoop::DispatchTimers(Nanos now, bool* any_pending, Nanos* next_deadline
     dispatched = true;
     if (!keep && !src->removed) {
       src->removed = true;
+      live_timeouts_ -= 1;
       pending_removals_.push_back(id);
+    } else if (!src->removed) {
+      // Re-arm (the callback may itself have rescheduled; a duplicate entry
+      // is harmless - stale ones validate against the source's deadline).
+      timer_heap_.push_back({src->deadline_ns, id});
+      std::push_heap(timer_heap_.begin(), timer_heap_.end(), TimerHeapLater{});
     }
   }
   dispatching_ = false;
@@ -207,14 +273,12 @@ bool MainLoop::DispatchTimers(Nanos now, bool* any_pending, Nanos* next_deadline
   }
   pending_removals_.clear();
 
-  *next_deadline = kNoDeadline;
-  *any_pending = false;
-  for (const auto& [id, src] : timeouts_) {
-    if (!src->removed) {
-      *any_pending = true;
-      *next_deadline = std::min(*next_deadline, src->deadline_ns);
-    }
+  *any_pending = live_timeouts_ > 0;
+  while (!timer_heap_.empty() && !TimerEntryCurrent(timer_heap_.front())) {
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), TimerHeapLater{});
+    timer_heap_.pop_back();
   }
+  *next_deadline = timer_heap_.empty() ? kNoDeadline : timer_heap_.front().deadline_ns;
   return dispatched;
 }
 
@@ -336,6 +400,7 @@ void MainLoop::Invoke(std::function<void()> fn) {
 }
 
 bool MainLoop::Iterate(bool may_block) {
+  CurrentLoopScope current_scope(this);
   if (pre_iterate_hook_) {
     pre_iterate_hook_();
   }

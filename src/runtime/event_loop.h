@@ -66,6 +66,15 @@ class MainLoop {
 
   Clock* clock() const { return clock_; }
 
+  // The loop currently iterating on this thread (null outside Iterate/Run).
+  // With sharded per-core loops (runtime/loop_pool.h) this is how code that
+  // can run on any loop - e.g. a shared router - learns its loop identity.
+  static MainLoop* Current();
+  // True when the calling thread is inside this loop's Iterate/Run.  Source
+  // mutation (Add*/Remove) is only legal on the owning thread; cross-loop
+  // callers post through Invoke().
+  bool IsLoopThread() const { return Current() == this; }
+
   // -- Sources -------------------------------------------------------------
 
   // Calls `fn` every `period_ns`, first at now + period.  Missed periods are
@@ -96,6 +105,10 @@ class MainLoop {
 
   // Per-source accounting (lost timeouts, dispatch latency).  Null if gone.
   const TimerStats* StatsFor(SourceId id) const;
+
+  // Sum over every installed timeout source (loop thread only).  One loop's
+  // contribution to a sharded server's TimerStatsAggregate.
+  TimerStats TotalTimerStats() const;
 
   // -- Running -------------------------------------------------------------
 
@@ -140,6 +153,24 @@ class MainLoop {
   struct IdleSource;
   struct IoSource;
 
+  // Timer-heap entry: deadlines are dispatched from a min-heap, so one
+  // iteration costs O(due * log timers) instead of a full scan of every
+  // installed source.  With thousands of per-session poll timers on a
+  // sharded server the old O(timers)-per-iteration scan dominated the loop.
+  // Entries are never updated in place: rescheduling pushes a fresh entry
+  // and stale ones (deadline no longer matching the source) are skipped
+  // lazily at pop time.
+  struct TimerHeapEntry {
+    Nanos deadline_ns;
+    SourceId id;
+  };
+  struct TimerHeapLater {
+    bool operator()(const TimerHeapEntry& a, const TimerHeapEntry& b) const {
+      return a.deadline_ns != b.deadline_ns ? a.deadline_ns > b.deadline_ns : a.id > b.id;
+    }
+  };
+
+  bool TimerEntryCurrent(const TimerHeapEntry& entry) const;
   bool DispatchTimers(Nanos now, bool* any_pending, Nanos* next_deadline);
   bool DispatchIdles();
   bool DrainInvokeQueue();
@@ -153,6 +184,13 @@ class MainLoop {
   std::map<SourceId, std::unique_ptr<TimeoutSource>> timeouts_;
   std::map<SourceId, std::unique_ptr<IdleSource>> idles_;
   std::map<SourceId, std::unique_ptr<IoSource>> io_watches_;
+
+  // Min-heap over (deadline, id); may hold stale entries for removed or
+  // rescheduled sources (lazily dropped).  live_timeouts_ counts sources not
+  // yet marked removed, so "any timer pending" needs no map scan either.
+  std::vector<TimerHeapEntry> timer_heap_;
+  size_t live_timeouts_ = 0;
+  std::vector<SourceId> due_scratch_;
 
   // Ids removed while dispatching; applied after the dispatch pass.
   std::vector<SourceId> pending_removals_;

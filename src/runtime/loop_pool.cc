@@ -1,0 +1,72 @@
+#include "runtime/loop_pool.h"
+
+namespace gscope {
+
+LoopPool::LoopPool(MainLoop* primary, size_t loops)
+    : primary_(primary), size_(loops == 0 ? 1 : loops) {
+  workers_.reserve(size_ - 1);
+  for (size_t i = 1; i < size_; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->loop = std::make_unique<MainLoop>(primary_->clock());
+    workers_.push_back(std::move(worker));
+  }
+}
+
+LoopPool::~LoopPool() { Stop(); }
+
+void LoopPool::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  for (auto& worker : workers_) {
+    MainLoop* loop = worker->loop.get();
+    worker->thread = std::thread([loop]() { loop->Run(); });
+  }
+}
+
+void LoopPool::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  for (auto& worker : workers_) {
+    worker->loop->Quit();
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+    }
+  }
+}
+
+void LoopPool::InvokeSync(size_t i, std::function<void()> fn) {
+  if (i == 0 || !running_) {
+    fn();
+    return;
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  loop(i)->Invoke([&]() {
+    fn();
+    // Notify while holding the lock: the waiter cannot leave wait() (and
+    // destroy cv, which lives on its stack) until it reacquires mu, which
+    // happens strictly after this thread has left notify_one and unlocked.
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&]() { return done; });
+}
+
+TimerStatsAggregate LoopPool::GatherTimerStats() {
+  TimerStatsAggregate agg;
+  for (size_t i = 0; i < size_; ++i) {
+    TimerStats s;
+    InvokeSync(i, [&]() { s = loop(i)->TotalTimerStats(); });
+    agg.Fold(s);
+  }
+  return agg;
+}
+
+}  // namespace gscope

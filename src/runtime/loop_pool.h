@@ -1,0 +1,86 @@
+// LoopPool: N per-core event loops behind one primary loop.
+//
+// The 10k-session scale-out (ROADMAP item 2) shards accepted connections
+// across per-core MainLoops: each loop owns its sessions' fd watches, egress
+// writers, poll timers and liveness sweeps, so the per-iteration costs that
+// grow with session count - the poll(2) fd set, the timer heap, the sweep -
+// divide by N instead of serializing on one thread.
+//
+// Loop 0 is the CALLER's loop (not owned, typically the process main loop);
+// loops 1..N-1 each run on a dedicated thread started by Start().  With
+// size() == 1 no thread is ever created and every "post to loop i" resolves
+// to the primary loop: the single-loop configuration is byte-identical to
+// the pre-sharding behaviour.
+//
+// Threading contract:
+//   * loop(i)->Invoke(fn) is the only legal cross-loop entry point; all
+//     other MainLoop methods stay owner-thread-only.
+//   * InvokeSync must NOT be called from a pool loop thread (a worker
+//     waiting on another worker that is itself waiting would deadlock); it
+//     is for the primary/controlling thread - setup, teardown, diagnostics.
+//   * Worker loops share the primary loop's Clock.  SimClock-driven tests
+//     should stick to size() == 1: virtual time advanced concurrently from
+//     N loops has no useful meaning.
+#ifndef GSCOPE_RUNTIME_LOOP_POOL_H_
+#define GSCOPE_RUNTIME_LOOP_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/event_loop.h"
+#include "runtime/timer_stats.h"
+
+namespace gscope {
+
+class LoopPool {
+ public:
+  // `primary` is loop 0; not owned, must outlive the pool.  `loops` is
+  // clamped to >= 1.  Worker loops exist after construction but their
+  // threads only run between Start() and Stop().
+  LoopPool(MainLoop* primary, size_t loops);
+  ~LoopPool();  // Stop()s
+
+  LoopPool(const LoopPool&) = delete;
+  LoopPool& operator=(const LoopPool&) = delete;
+
+  size_t size() const { return size_; }
+  MainLoop* loop(size_t i) { return i == 0 ? primary_ : workers_[i - 1]->loop.get(); }
+  MainLoop* primary() { return primary_; }
+
+  // Spawns the N-1 worker threads (idempotent).  No-op at size() == 1.
+  void Start();
+  // Quits every worker loop and joins its thread (idempotent).  Sources
+  // still installed on a worker loop stay installed - drain them first via
+  // InvokeSync - but stop being dispatched.
+  void Stop();
+  bool running() const { return running_; }
+
+  // Runs `fn` on loop i and waits for it to finish.  On loop 0 (or when the
+  // pool is not running) the call is direct.  Primary/controlling thread
+  // only - never from a pool loop callback (see header comment).
+  void InvokeSync(size_t i, std::function<void()> fn);
+
+  // TotalTimerStats() of every loop, folded in loop order (InvokeSync per
+  // worker loop, so safe while running).  The per-loop breakdown is the
+  // point: one overloaded shard must not hide inside a healthy sum.
+  TimerStatsAggregate GatherTimerStats();
+
+ private:
+  struct Worker {
+    std::unique_ptr<MainLoop> loop;
+    std::thread thread;
+  };
+
+  MainLoop* primary_;
+  size_t size_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool running_ = false;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_RUNTIME_LOOP_POOL_H_

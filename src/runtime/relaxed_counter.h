@@ -1,0 +1,52 @@
+// Relaxed atomic counter with plain-integer ergonomics.
+//
+// The sharded server (runtime/loop_pool.h) mutates its Stats from N loop
+// threads and reads them from any of them (the STATS verb answers on the
+// session's loop; tests read from the primary thread).  Each counter is an
+// independent monotone tally - no cross-counter invariant is read under a
+// single lock - so relaxed per-field atomics are exactly the right contract:
+// TSan-clean, no ordering paid, and `stats.tuples += 1` / `stats.tuples == 5`
+// keep compiling unchanged.  With loops = 1 the only cost versus a plain
+// int64 is an uncontended lock-free add on the owning core.
+#ifndef GSCOPE_RUNTIME_RELAXED_COUNTER_H_
+#define GSCOPE_RUNTIME_RELAXED_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gscope {
+
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(int64_t v) : v_(v) {}  // NOLINT: implicit by design
+
+  // Counters are snapshots, not identities: copying reads the source's
+  // current value (Stats structs are returned by value in a few tests).
+  RelaxedCounter(const RelaxedCounter& other) : v_(other.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    v_.store(other.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  void operator+=(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void operator-=(int64_t d) { v_.fetch_sub(d, std::memory_order_relaxed); }
+  RelaxedCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+
+  int64_t load() const { return v_.load(std::memory_order_relaxed); }
+  operator int64_t() const { return load(); }  // NOLINT: implicit by design
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_RUNTIME_RELAXED_COUNTER_H_

@@ -42,6 +42,42 @@ struct TimerStats {
   }
 };
 
+// Cross-loop aggregation for sharded servers (runtime/loop_pool.h).  With N
+// per-core loops the per-source numbers above stay meaningful per loop, but
+// an operator asking "is the server keeping up?" wants one answer: the sum
+// over every loop plus the worst loop (a single overloaded shard hides
+// inside a healthy sum).  Fold one TimerStats per loop; `total` accumulates
+// and the max_* fields remember which loop contributed the worst loss ratio
+// and the worst max latency.
+struct TimerStatsAggregate {
+  TimerStats total;
+  size_t loops_folded = 0;
+  // Loop index (fold order) with the highest LossRatio / max_latency_ns;
+  // -1 until anything non-zero is folded.
+  int max_loss_loop = -1;
+  double max_loss_ratio = 0.0;
+  int max_latency_loop = -1;
+  Nanos max_latency_ns = 0;
+
+  void Fold(const TimerStats& s) {
+    int loop = static_cast<int>(loops_folded);
+    loops_folded += 1;
+    total.fired += s.fired;
+    total.lost += s.lost;
+    total.total_latency_ns += s.total_latency_ns;
+    total.max_latency_ns = std::max(total.max_latency_ns, s.max_latency_ns);
+    if (s.fired + s.lost > 0 &&
+        (max_loss_loop < 0 || s.LossRatio() > max_loss_ratio)) {
+      max_loss_loop = loop;
+      max_loss_ratio = s.LossRatio();
+    }
+    if (s.fired > 0 && (max_latency_loop < 0 || s.max_latency_ns > max_latency_ns)) {
+      max_latency_loop = loop;
+      max_latency_ns = s.max_latency_ns;
+    }
+  }
+};
+
 // Information handed to a timeout callback on each dispatch.
 struct TimeoutTick {
   // The deadline this dispatch was scheduled for.

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <mutex>
 #include <random>
 #include <thread>
 
@@ -419,6 +420,10 @@ Result RunStress(const Options& opt) {
     result.setup_error = "binary wire requires thread producers";
     return result;
   }
+  if (opt.use_processes && opt.server_loops > 1) {
+    result.setup_error = "sharded server loops are threads; they cannot mix with fork";
+    return result;
+  }
   result.viewers.resize(static_cast<size_t>(std::max(0, opt.viewers)));
 
   // Install the scripted fault schedule for the whole run (server included).
@@ -435,10 +440,14 @@ Result RunStress(const Options& opt) {
   MainLoop server_loop;  // real clock: socket readiness is real
   Scope display(&server_loop, ScopeOptions{.name = "stress-display", .width = 64});
   display.SetPollingMode(5);
+  // Sharded runs build route tables from worker loops while this scope's
+  // tick runs on the primary; gate the tick (no-op at one loop).
+  display.SetConcurrent(opt.server_loops > 1);
   StreamServerOptions sopt;
   sopt.max_clients = 128;
   sopt.fanout_shards = 1;
-  sopt.fanout_workers = 0;  // single-threaded server: fork-safe, TSan-clean
+  sopt.fanout_workers = 0;  // no fan-out workers: fork-safe at one loop
+  sopt.loops = opt.server_loops;
   sopt.client_rcvbuf_bytes = opt.server_rcvbuf_bytes;
   StreamServer server(&server_loop, &display, sopt);
   if (!server.Listen(0)) {
@@ -448,8 +457,11 @@ Result RunStress(const Options& opt) {
   uint16_t port = server.port();
   display.StartPolling();
 
-  // Record every parsed value per producer, in arrival order.
-  server.SetIngestTap([&result, &opt](const TupleView& tuple) {
+  // Record every parsed value per producer, in arrival order.  The mutex
+  // serializes shard loops in sharded runs ("arrival order" then means each
+  // producer's own order: one producer lands on one loop).
+  std::mutex tap_mu;
+  server.SetIngestTap([&result, &opt, &tap_mu](const TupleView& tuple) {
     if (tuple.name.size() < 2 || tuple.name.front() != 'p') {
       return;
     }
@@ -467,6 +479,7 @@ Result RunStress(const Options& opt) {
       any_digit = true;
     }
     if (any_digit && idx >= 0 && idx < opt.producers) {
+      std::lock_guard<std::mutex> lock(tap_mu);
       result.received[static_cast<size_t>(idx)].push_back(
           static_cast<int64_t>(std::llround(tuple.value)));
       result.received_times[static_cast<size_t>(idx)].push_back(tuple.time_ms);

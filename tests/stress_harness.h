@@ -104,6 +104,11 @@ struct Options {
   // exactly, proving the binary frames' delta-encoded timestamps compose
   // with arbitrarily disagreeing producer clocks.
   int64_t producer_skew_ms = 0;
+  // Server accept sharding (StreamServerOptions::loops): > 1 runs the whole
+  // fault x policy matrix against the per-core loop pool - every invariant
+  // must hold with connections spread across loops.  Thread producers only
+  // (the pool's worker threads must not mix with fork).
+  size_t server_loops = 1;
 };
 
 struct ProducerReport {

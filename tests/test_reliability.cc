@@ -933,6 +933,87 @@ TEST(ReliabilityMatrixTest, FaultMatrixHoldsDeliveryInvariants) {
   }
 }
 
+// The fault x policy matrix again, with the server's accepted connections
+// sharded across 4 per-core loops (StreamServerOptions::loops): every
+// delivery invariant must hold with producers spread over worker threads,
+// faults included.  Pause steps only idle the primary loop (worker shards
+// keep draining), so overload is lighter here - the point is correctness
+// of the cross-loop paths, not backpressure depth.  check.sh runs this
+// under TSan.
+TEST(ReliabilityMatrixTest, ShardedLoopsFaultMatrixHoldsInvariants) {
+  using stress::Options;
+  using stress::Result;
+  using stress::ScheduleStep;
+
+  struct Case {
+    const char* name;
+    OverflowPolicy policy;
+    std::vector<FaultRule> faults;
+    bool restart;
+    int viewers;
+    Options::Wire wire = Options::Wire::kText;
+  };
+  const std::vector<Case> cases = {
+      {"sharded_baseline", OverflowPolicy::kDropNewest, {}, false, 2},
+      {"sharded_short_reads", OverflowPolicy::kDropOldest,
+       {FaultInjector::ShortReads(2)}, false, 0},
+      {"sharded_partial_writes", OverflowPolicy::kDropNewest,
+       {FaultInjector::PartialWrites(3)}, false, 0},
+      {"sharded_bin_mixed", OverflowPolicy::kDropOldest,
+       {FaultInjector::ShortReads(2)}, false, 1, Options::Wire::kMixed},
+      {"sharded_restart", OverflowPolicy::kDropNewest, {}, true, 1},
+  };
+
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    Options opt;
+    opt.producers = 4;
+    opt.tuples_per_producer = 300;
+    opt.burst = 32;
+    opt.payload_pad = 8;
+    opt.policy = c.policy;
+    opt.block_deadline_ms = 2;
+    opt.seed = 42;
+    opt.fault_seed = 7;
+    opt.faults = c.faults;
+    opt.auto_reconnect = true;
+    opt.viewers = c.viewers;
+    opt.wire = c.wire;
+    opt.server_loops = 4;
+    if (c.restart) {
+      opt.schedule = {{ScheduleStep::Kind::kDrain, 10},
+                      {ScheduleStep::Kind::kRestart, 8},
+                      {ScheduleStep::Kind::kDrain, 10}};
+    } else {
+      opt.schedule = {{ScheduleStep::Kind::kDrain, 10},
+                      {ScheduleStep::Kind::kPause, 5}};
+    }
+
+    Result r = stress::RunStress(opt);
+    ASSERT_TRUE(r.ran) << r.setup_error;
+    EXPECT_EQ(r.CheckNoTornFrames(), "");
+    EXPECT_EQ(r.CheckSendAccounting(), "");
+    EXPECT_EQ(r.CheckSequencesMonotone(), "");
+    if (!c.restart) {
+      EXPECT_EQ(r.CheckDeliveryExact(), "");
+    }
+    EXPECT_EQ(r.server_frames_crc_errors, 0);
+    if (!c.faults.empty()) {
+      EXPECT_GT(r.fault_stats.faults_injected, 0);
+    }
+    for (const auto& p : r.producers) {
+      EXPECT_TRUE(p.connected_ok);
+    }
+    for (const auto& v : r.viewers) {
+      EXPECT_TRUE(v.connected_ok);
+      EXPECT_EQ(v.resumed_commands, v.reconnects + 1);
+    }
+    if (c.restart) {
+      EXPECT_GE(r.restarts, 1);
+    }
+  }
+}
+
 // Longer reconnect soak for check.sh (GSCOPE_STRESS_SOAK=1); bounded < 10s.
 TEST(ReliabilityMatrixTest, ReconnectSoak) {
   if (std::getenv("GSCOPE_STRESS_SOAK") == nullptr) {

@@ -1,0 +1,319 @@
+// Multi-tenant hardening tests (docs/protocol.md "Multi-tenant"): AUTH
+// moves a connection into a tenant namespace, subscriptions are scoped so
+// "SUB *" never crosses a namespace boundary in either direction, a failed
+// AUTH leaves the session usable as anonymous, quota violations draw
+// deterministic ERR replies, and the remembered AUTH is replayed ahead of
+// the SUB replay across a reconnect.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/scope.h"
+#include "net/control_client.h"
+#include "net/stream_client.h"
+#include "net/stream_server.h"
+#include "runtime/event_loop.h"
+
+namespace gscope {
+namespace {
+
+class TenantIsolationTest : public ::testing::Test {
+ protected:
+  TenantIsolationTest() : scope_(&loop_, {.name = "display", .width = 64}) {
+    scope_.SetPollingMode(5);
+  }
+
+  bool RunUntil(const std::function<bool()>& pred, int max_ms = 2000) {
+    for (int i = 0; i < max_ms; ++i) {
+      if (pred()) {
+        return true;
+      }
+      loop_.RunForMs(1);
+    }
+    return pred();
+  }
+
+  struct Sink {
+    std::vector<std::pair<std::string, double>> tuples;
+    std::vector<std::string> replies;
+    void Wire(ControlClient& client) {
+      client.SetTupleCallback([this](const TupleView& t) {
+        tuples.emplace_back(std::string(t.name), t.value);
+      });
+      client.SetReplyCallback([this](std::string_view line) {
+        replies.emplace_back(line);
+      });
+    }
+    bool SawName(const std::string& n) const {
+      for (const auto& [name, value] : tuples) {
+        if (name == n) {
+          return true;
+        }
+      }
+      return false;
+    }
+    bool SawReply(const std::string& line) const {
+      return std::find(replies.begin(), replies.end(), line) != replies.end();
+    }
+  };
+
+  static StreamServerOptions TenantOptions() {
+    StreamServerOptions opt;
+    opt.auth_tokens = {{"tok-a", "tenantA"}, {"tok-b", "tenantB"}};
+    return opt;
+  }
+
+  MainLoop loop_;  // real clock: sockets need real readiness
+  Scope scope_;
+};
+
+TEST_F(TenantIsolationTest, SubStarIsScopedToTheTenantNamespace) {
+  StreamServer server(&loop_, &scope_, TenantOptions());
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  // Three viewers with the widest possible subscription: tenant A, tenant B,
+  // and anonymous.  Isolation must hold in every direction.
+  ControlClient viewer_a(&loop_), viewer_b(&loop_), viewer_anon(&loop_);
+  Sink sink_a, sink_b, sink_anon;
+  sink_a.Wire(viewer_a);
+  sink_b.Wire(viewer_b);
+  sink_anon.Wire(viewer_anon);
+  ASSERT_TRUE(viewer_a.Connect(server.port()));
+  ASSERT_TRUE(viewer_b.Connect(server.port()));
+  ASSERT_TRUE(viewer_anon.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() {
+    return viewer_a.connected() && viewer_b.connected() && viewer_anon.connected();
+  }));
+
+  viewer_a.Auth("tok-a");
+  viewer_b.Auth("tok-b");
+  ASSERT_TRUE(RunUntil([&]() {
+    return sink_a.SawReply("OK AUTH tenantA") && sink_b.SawReply("OK AUTH tenantB");
+  }));
+
+  viewer_a.Subscribe("*");
+  viewer_b.Subscribe("*");
+  viewer_anon.Subscribe("*");
+  ASSERT_TRUE(RunUntil([&]() {
+    return viewer_a.stats().replies_ok >= 2 && viewer_b.stats().replies_ok >= 2 &&
+           viewer_anon.stats().replies_ok >= 1;
+  }));
+
+  // Producers: one AUTHed into tenant A (a ControlClient pushing tuples on
+  // its authenticated connection), one anonymous StreamClient.
+  ControlClient producer_a(&loop_);
+  ASSERT_TRUE(producer_a.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer_a.connected(); }));
+  producer_a.Auth("tok-a");
+  ASSERT_TRUE(RunUntil([&]() { return producer_a.stats().replies_ok >= 1; }));
+
+  StreamClient producer_anon(&loop_);
+  ASSERT_TRUE(producer_anon.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer_anon.connected(); }));
+
+  ASSERT_TRUE(RunUntil([&]() {
+    producer_a.Send(scope_.NowMs(), 1.0, "sig_a");
+    producer_anon.Send(scope_.NowMs(), 2.0, "sig_anon");
+    loop_.RunForMs(2);
+    return sink_a.SawName("sig_a") && sink_anon.SawName("sig_anon");
+  }));
+
+  // Tenant A sees its own signal under the BARE wire name (the echo tap
+  // strips the namespace prefix) and nothing from outside the namespace.
+  EXPECT_TRUE(sink_a.SawName("sig_a"));
+  EXPECT_FALSE(sink_a.SawName("sig_anon"));
+  // Anonymous sees only anonymous.
+  EXPECT_TRUE(sink_anon.SawName("sig_anon"));
+  EXPECT_FALSE(sink_anon.SawName("sig_a"));
+  // Tenant B's "SUB *" sees neither stream.
+  EXPECT_FALSE(sink_b.SawName("sig_a"));
+  EXPECT_FALSE(sink_b.SawName("sig_anon"));
+  EXPECT_EQ(sink_b.tuples.size(), 0u);
+  // No delivered name leaks the internal "<ns>\x1f<name>" form.
+  for (const auto& [name, value] : sink_a.tuples) {
+    EXPECT_EQ(name.find('\x1f'), std::string::npos) << name;
+  }
+}
+
+TEST_F(TenantIsolationTest, FailedAuthLeavesTheSessionAnonymous) {
+  StreamServer server(&loop_, &scope_, TenantOptions());
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  ControlClient viewer(&loop_);
+  Sink sink;
+  sink.Wire(viewer);
+  ASSERT_TRUE(viewer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+
+  // Every failure shape draws the same reply: a probe learns nothing.
+  viewer.Auth("wrong-token");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_err >= 1; }));
+  EXPECT_TRUE(sink.SawReply("ERR AUTH bad-token"));
+  EXPECT_EQ(server.stats().auth_failures.load(), 1);
+
+  // The connection is still usable as anonymous: subscribe and receive an
+  // anonymous producer's stream.
+  viewer.Subscribe("*");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 1; }));
+
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  ASSERT_TRUE(RunUntil([&]() {
+    producer.Send(scope_.NowMs(), 3.0, "anon_sig");
+    loop_.RunForMs(2);
+    return sink.SawName("anon_sig");
+  }));
+}
+
+TEST_F(TenantIsolationTest, PatternQuotaRepliesDeterministically) {
+  StreamServerOptions opt = TenantOptions();
+  opt.quota_max_patterns = 2;
+  StreamServer server(&loop_, &scope_, opt);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  ControlClient viewer(&loop_);
+  Sink sink;
+  sink.Wire(viewer);
+  ASSERT_TRUE(viewer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+
+  viewer.Subscribe("one_*");
+  viewer.Subscribe("two_*");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 2; }));
+
+  viewer.Subscribe("three_*");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_err >= 1; }));
+  EXPECT_TRUE(sink.SawReply("ERR SUB quota-patterns three_*"));
+  EXPECT_EQ(server.stats().quota_drops.load(), 1);
+
+  // UNSUB frees a slot: the same pattern is admitted afterwards.
+  viewer.Unsubscribe("one_*");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 3; }));
+  viewer.Subscribe("three_*");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 4; }));
+}
+
+TEST_F(TenantIsolationTest, ChurnQuotaRepliesDeterministically) {
+  StreamServerOptions opt = TenantOptions();
+  opt.quota_sub_churn = 2;
+  opt.quota_churn_window_ms = 60 * 1000;  // no refill inside the test
+  StreamServer server(&loop_, &scope_, opt);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  ControlClient viewer(&loop_);
+  Sink sink;
+  sink.Wire(viewer);
+  ASSERT_TRUE(viewer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+
+  viewer.Subscribe("a_*");
+  viewer.Unsubscribe("a_*");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 2; }));
+
+  // Third SUB/UNSUB verb inside the window is refused before it touches the
+  // filter; non-churn verbs stay unthrottled (protocol liveness).
+  viewer.Subscribe("b_*");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_err >= 1; }));
+  EXPECT_TRUE(sink.SawReply("ERR SUB quota-churn"));
+  EXPECT_EQ(server.stats().quota_drops.load(), 1);
+  EXPECT_EQ(viewer.remembered_patterns().size(), 1u);  // b_* remembered client-side only
+
+  viewer.Ping();
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().pongs_received >= 1; }));
+}
+
+TEST_F(TenantIsolationTest, AuthReplaysBeforeSubsAcrossReconnect) {
+  StreamServerOptions opt = TenantOptions();
+  auto server = std::make_unique<StreamServer>(&loop_, &scope_, opt);
+  ASSERT_TRUE(server->Listen(0));
+  const uint16_t port = server->port();
+  scope_.StartPolling();
+
+  ControlClientOptions copt;
+  copt.reconnect.enabled = true;
+  copt.reconnect.initial_backoff_ms = 5;
+  copt.reconnect.max_backoff_ms = 20;
+  ControlClient viewer(&loop_, copt);
+  Sink sink;
+  sink.Wire(viewer);
+  ASSERT_TRUE(viewer.Connect(port));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  viewer.Auth("tok-a");
+  viewer.Subscribe("*");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 2; }));
+  EXPECT_TRUE(viewer.has_remembered_auth());
+
+  // Kill the server; the viewer notices and backs off.
+  server.reset();
+  ASSERT_TRUE(RunUntil([&]() { return !viewer.connected(); }));
+
+  server = std::make_unique<StreamServer>(&loop_, &scope_, opt);
+  ASSERT_TRUE(server->Listen(port));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }, 5000));
+  // AUTH + SUB both replayed, AUTH first.
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().resumed_commands >= 2; }));
+  ASSERT_TRUE(RunUntil([&]() { return sink.SawReply("OK AUTH tenantA"); }));
+
+  // The replayed SUB landed inside the tenant namespace: a fresh tenant-A
+  // producer's stream arrives, an anonymous one's does not.
+  ControlClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(port));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  producer.Auth("tok-a");
+  ASSERT_TRUE(RunUntil([&]() { return producer.stats().replies_ok >= 1; }));
+  StreamClient anon(&loop_);
+  ASSERT_TRUE(anon.Connect(port));
+  ASSERT_TRUE(RunUntil([&]() { return anon.connected(); }));
+
+  ASSERT_TRUE(RunUntil([&]() {
+    producer.Send(scope_.NowMs(), 5.0, "resumed_sig");
+    anon.Send(scope_.NowMs(), 6.0, "anon_sig");
+    loop_.RunForMs(2);
+    return sink.SawName("resumed_sig");
+  }));
+  EXPECT_FALSE(sink.SawName("anon_sig"));
+}
+
+TEST_F(TenantIsolationTest, EgressQuotaDropsAreCounted) {
+  StreamServerOptions opt = TenantOptions();
+  opt.quota_egress_bytes_per_sec = 64;  // a handful of echo frames per second
+  StreamServer server(&loop_, &scope_, opt);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  ControlClient viewer(&loop_);
+  Sink sink;
+  sink.Wire(viewer);
+  ASSERT_TRUE(viewer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  viewer.Subscribe("*");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 1; }));
+
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+
+  // Far more echo bytes than the bucket admits: the excess is dropped at
+  // the tap (silently - egress quota never draws an ERR) and counted.
+  ASSERT_TRUE(RunUntil([&]() {
+    for (int i = 0; i < 50; ++i) {
+      producer.Send(scope_.NowMs(), static_cast<double>(i), "flood_sig");
+    }
+    loop_.RunForMs(2);
+    return server.stats().quota_drops.load() > 0;
+  }));
+  // Control replies are exempt: the protocol stays responsive under quota.
+  viewer.Ping();
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().pongs_received >= 1; }));
+}
+
+}  // namespace
+}  // namespace gscope
