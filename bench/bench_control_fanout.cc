@@ -25,9 +25,18 @@
 // capped at 8k sessions: each needs two fds (client + server side) and the
 // container's RLIMIT_NOFILE hard cap is 20000.
 //
+// Derived-pipeline mode (--derived): 16 overlapping subscribers all attach
+// the same server-side stage (docs/protocol.md "Derived-signal pipelines"),
+// so the whole fleet shares ONE stage group per producer loop and the
+// egress volume is set by the stage, not the raw sample rate.  The sweep
+// compares raw echo, COALESCE, DECIMATE 10 and SPECTRUM 256 against the
+// same ingest volume, reporting subscriber-side egress bytes: DECIMATE 10
+// must cut egress bytes by >= 5x with no raw-path ingest throughput loss.
+//
 // Usage:
 //   bench_control_fanout [total_tuples]          (default 100000)
 //   bench_control_fanout --scale [N1,N2,...]     (default 1000,2000,4000,8000)
+//   bench_control_fanout --derived [total_tuples]
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -167,6 +176,154 @@ RunResult RunControlFanout(int num_subscribers, bool disjoint, int clients,
   result.seconds = gscope::NanosToSeconds(clock.NowNs() - start);
   result.cpu_seconds = ProcessCpuSeconds() - cpu_start;
   return result;
+}
+
+struct DerivedResult {
+  int64_t tuples_received = 0;
+  int64_t tuples_echoed = 0;
+  int64_t tuples_derived = 0;
+  int64_t stage_evals = 0;
+  int64_t echo_received = 0;  // tuples across all subscribers
+  int64_t egress_bytes = 0;   // wire bytes across all subscribers
+  double cpu_seconds = 0.0;
+  double tuples_per_cpu_sec() const {
+    return cpu_seconds > 0 ? tuples_received / cpu_seconds : 0;
+  }
+};
+
+// All `num_subscribers` sessions subscribe '*' with the same delay and the
+// same stage spec (nullptr = raw every-sample echo), so staged modes share
+// one group; `clients` producers stream one signal each.
+DerivedResult RunDerivedFanout(const char* stage, int num_subscribers,
+                               int clients, int tuples_per_client) {
+  gscope::MainLoop loop;
+  gscope::Scope display(&loop, {.name = "display", .width = 128});
+  display.SetPollingMode(5);
+  display.SetDelayMs(50);
+
+  gscope::StreamServer server(&loop, &display);
+  if (!server.Listen(0)) {
+    return {};
+  }
+  display.StartPolling();
+
+  std::vector<std::unique_ptr<gscope::ControlClient>> subs;
+  std::vector<int64_t> echo_counts(static_cast<size_t>(num_subscribers), 0);
+  for (int i = 0; i < num_subscribers; ++i) {
+    subs.push_back(std::make_unique<gscope::ControlClient>(&loop));
+    int64_t* count = &echo_counts[static_cast<size_t>(i)];
+    subs.back()->SetTupleCallback([count](const gscope::TupleView&) { *count += 1; });
+    if (!subs.back()->Connect(server.port())) {
+      return {};
+    }
+  }
+  for (int i = 0; i < 50; ++i) {
+    loop.Iterate(false);
+  }
+  for (int i = 0; i < num_subscribers; ++i) {
+    subs[static_cast<size_t>(i)]->Subscribe("*");
+    subs[static_cast<size_t>(i)]->SetDelay(50);
+    if (stage != nullptr) {
+      subs[static_cast<size_t>(i)]->Stage(stage);
+    }
+  }
+  for (int i = 0; i < 50; ++i) {
+    loop.Iterate(false);
+  }
+
+  std::vector<std::unique_ptr<gscope::StreamClient>> conns;
+  std::vector<std::string> names;
+  for (int c = 0; c < clients; ++c) {
+    conns.push_back(std::make_unique<gscope::StreamClient>(&loop, 16u << 20));
+    if (!conns.back()->Connect(server.port())) {
+      return {};
+    }
+    names.push_back("d_c" + std::to_string(c));
+  }
+
+  gscope::SteadyClock clock;
+  double cpu_start = ProcessCpuSeconds();
+
+  constexpr int kBatch = 128;
+  int sent_rounds = 0;
+  loop.AddIdle([&]() {
+    if (sent_rounds >= tuples_per_client) {
+      return false;
+    }
+    int batch = std::min(kBatch, tuples_per_client - sent_rounds);
+    int64_t now = display.NowMs();
+    for (int c = 0; c < clients; ++c) {
+      for (int b = 0; b < batch; ++b) {
+        conns[static_cast<size_t>(c)]->Send(now, static_cast<double>(b),
+                                            names[static_cast<size_t>(c)]);
+      }
+    }
+    sent_rounds += batch;
+    return true;
+  });
+
+  int64_t total_expected = static_cast<int64_t>(clients) * tuples_per_client;
+  gscope::Nanos deadline = clock.NowNs() + gscope::MillisToNanos(30'000);
+  while (clock.NowNs() < deadline) {
+    loop.Iterate(false);
+    if (sent_rounds >= tuples_per_client &&
+        server.stats().tuples + server.stats().parse_errors >= total_expected) {
+      break;
+    }
+  }
+  loop.RunForMs(300);  // drain display windows + deferred group flushes
+
+  DerivedResult result;
+  result.tuples_received = server.stats().tuples;
+  result.tuples_echoed = server.stats().tuples_echoed;
+  result.tuples_derived = server.stats().tuples_derived;
+  result.stage_evals = server.stats().stage_evals;
+  for (int i = 0; i < num_subscribers; ++i) {
+    result.echo_received += echo_counts[static_cast<size_t>(i)];
+    result.egress_bytes += subs[static_cast<size_t>(i)]->stats().bytes_received;
+  }
+  result.cpu_seconds = ProcessCpuSeconds() - cpu_start;
+  return result;
+}
+
+void RunDerivedSweep(int total) {
+  constexpr int kClients = 4;
+  constexpr int kSubs = 16;
+  struct Mode {
+    const char* label;
+    const char* stage;  // nullptr = raw every-sample echo
+  };
+  const Mode modes[] = {
+      {"raw", nullptr},
+      {"coalesced", "COALESCE"},
+      {"decimate-10", "DECIMATE 10"},
+      {"spectrum-256", "SPECTRUM 256 hann"},
+  };
+  std::printf("Derived pipelines: %d subscribers x '*', %d producers, %d tuples total\n\n",
+              kSubs, kClients, total);
+  std::printf("%-14s %-10s %-16s %-12s %-12s %-14s %-10s\n", "mode", "received",
+              "tuples/cpu-sec", "sub-tuples", "egress-MB", "stage-evals",
+              "vs raw");
+  double raw_bytes = 0.0;
+  for (const Mode& mode : modes) {
+    DerivedResult r = RunDerivedFanout(mode.stage, kSubs, kClients, total / kClients);
+    if (mode.stage == nullptr) {
+      raw_bytes = static_cast<double>(r.egress_bytes);
+    }
+    double ratio = raw_bytes > 0 && r.egress_bytes > 0
+                       ? raw_bytes / static_cast<double>(r.egress_bytes)
+                       : 0.0;
+    std::printf("%-14s %-10lld %-16.0f %-12lld %-12.2f %-14lld %.1fx\n",
+                mode.label, (long long)r.tuples_received, r.tuples_per_cpu_sec(),
+                (long long)r.echo_received,
+                static_cast<double>(r.egress_bytes) / (1024.0 * 1024.0),
+                (long long)r.stage_evals, ratio);
+  }
+  std::printf("\nvs raw = raw-mode egress bytes / this mode's egress bytes; the\n"
+              "staged modes share one stage group across all %d subscribers\n"
+              "(stage-evals counts one evaluation per ingested sample, not per\n"
+              "subscriber), so egress volume is set by the stage alone.\n",
+              kSubs);
 }
 
 // Blocking loopback connect (raw fd; the caller owns it).
@@ -394,9 +551,12 @@ void RunScaleSweep(const std::vector<int>& session_counts, int total) {
 int main(int argc, char** argv) {
   int total = 100'000;
   bool scale = false;
+  bool derived = false;
   std::vector<int> session_counts = {1000, 2000, 4000, 8000};
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--scale") == 0) {
+    if (std::strcmp(argv[i], "--derived") == 0) {
+      derived = true;
+    } else if (std::strcmp(argv[i], "--scale") == 0) {
       scale = true;
       if (i + 1 < argc && argv[i + 1][0] != '-' &&
           std::strchr(argv[i + 1], ',') != nullptr) {
@@ -417,6 +577,10 @@ int main(int argc, char** argv) {
   }
   if (scale) {
     RunScaleSweep(session_counts, total);
+    return 0;
+  }
+  if (derived) {
+    RunDerivedSweep(total);
     return 0;
   }
   constexpr int kClients = 4;

@@ -96,7 +96,7 @@ cmake -B "$tsan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 # variable model) and is expected to trip the sanitizer.
 cmake --build "$tsan_dir" -j --target test_ingest_router test_ingest_fast_path \
   test_drain_coalescing test_stress_multiproducer test_reliability \
-  test_loop_sharding test_tenant_isolation
+  test_loop_sharding test_tenant_isolation test_control_channel
 "$tsan_dir/test_ingest_router"
 "$tsan_dir/test_ingest_fast_path"
 
@@ -130,10 +130,23 @@ echo "--- TSan: sharded per-core loops (accept spread, cross-loop routing, tenan
 "$tsan_dir/test_reliability" \
   --gtest_filter='ReliabilityMatrixTest.ShardedLoopsFaultMatrixHoldsInvariants'
 
+echo "--- TSan: shared stage groups under sharded server loops ---"
+# Six sessions attach the same derived stage with server loops = 4: the
+# per-loop group attach/detach, the shared-group evaluation and the
+# cross-loop STATS fold (CoalesceMirror reads) all race-checked at once.
+"$tsan_dir/test_control_channel" \
+  --gtest_filter='ControlChannelTest.SharedStage*'
+
 echo "--- bench smoke: scale-out fan-out (1k subscribers, loops 1 vs 4) ---"
 # Reduced tuple count: the smoke proves both shard mechanisms accept and
 # echo at 1k sessions, not the speedup (that is BENCH_control.json's job).
 "$build_dir/bench_control_fanout" --scale 1000 20000
+
+echo "--- bench smoke: derived pipelines (reduced tuple count) ---"
+# Proves the shared-stage sweep runs end to end (raw, coalesced,
+# decimate-10, spectrum-256); the egress-cut numbers are
+# BENCH_control.json's job.
+"$build_dir/bench_control_fanout" --derived 4000
 
 echo "--- soak: mixed schedules, all policies (Release, < 10 s) ---"
 GSCOPE_STRESS_SOAK=3 "$build_dir/test_stress_multiproducer" \

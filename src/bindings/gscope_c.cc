@@ -252,6 +252,20 @@ int gscope_set_delay(gscope_ctx* ctx, int64_t delay_ms) {
   return ctx->control->SetDelay(delay_ms) ? 0 : kErrFailed;
 }
 
+int gscope_set_stage(gscope_ctx* ctx, const char* spec) {
+  if (!Valid(ctx) || ctx->control == nullptr || spec == nullptr || spec[0] == '\0') {
+    return kErrBadArg;
+  }
+  return ctx->control->Stage(spec) ? 0 : kErrFailed;
+}
+
+int gscope_clear_stage(gscope_ctx* ctx) {
+  if (!Valid(ctx) || ctx->control == nullptr) {
+    return kErrBadArg;
+  }
+  return ctx->control->ClearStage() ? 0 : kErrFailed;
+}
+
 int gscope_send(gscope_ctx* ctx, int64_t time_ms, double value, const char* name) {
   if (!Valid(ctx) || ctx->control == nullptr || name == nullptr || name[0] == '\0') {
     return kErrBadArg;

@@ -86,6 +86,15 @@ int gscope_unsubscribe(gscope_ctx* ctx, const char* glob);
 /* Sets the remote session's server-side late-drop delay. */
 int gscope_set_delay(gscope_ctx* ctx, int64_t delay_ms);
 
+/* Attaches (or replaces) the remote session's server-side processing stage;
+ * `spec` is the verbatim stage verb line - "COALESCE", "DECIMATE 10",
+ * "EWMA 0.2", "ENVELOPE 100", "SPECTRUM 256 hann" (docs/protocol.md,
+ * "Derived-signal pipelines").  The stage is remembered and replayed on
+ * reconnect like subscriptions.  Returns 0 when the command was queued. */
+int gscope_set_stage(gscope_ctx* ctx, const char* spec);
+/* Detaches the stage (sends RAW) and stops replaying it. */
+int gscope_clear_stage(gscope_ctx* ctx);
+
 /* Pushes one tuple UPSTREAM over the control connection (the producer side
  * of the wire protocol; the server ingests it like any tuple line).
  * Returns 1 if queued, 0 if dropped by the overflow policy, negative on

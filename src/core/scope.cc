@@ -521,18 +521,21 @@ bool Scope::OnPollTick(const TimeoutTick& tick) {
   counters_.ticks += 1;
   counters_.lost_ticks += tick.lost;
 
+  bool more = true;
   if (mode_ == AcquisitionMode::kPlayback) {
-    bool more = SamplePlayback(tick.lost);
+    more = SamplePlayback(tick.lost);
     if (!more) {
       counters_.playback_done = true;
       poll_source_ = 0;   // returning false removes the source
-      return false;
     }
-    return true;
+  } else {
+    SamplePolling(NowMs(), tick.lost);
   }
-
-  SamplePolling(NowMs(), tick.lost);
-  return true;
+  // Publish the drain tallies for cross-loop STATS folds: one relaxed
+  // store per tick keeps the per-sample drain path atomic-free.
+  coalesce_mirror_.samples_coalesced = counters_.samples_coalesced;
+  coalesce_mirror_.samples_retained = counters_.samples_retained;
+  return more;
 }
 
 void Scope::SamplePolling(int64_t now_ms, int64_t lost) {

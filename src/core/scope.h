@@ -63,6 +63,7 @@
 #include "core/tuple_io.h"
 #include "core/value.h"
 #include "runtime/event_loop.h"
+#include "runtime/relaxed_counter.h"
 
 namespace gscope {
 
@@ -313,6 +314,16 @@ class Scope {
     bool playback_done = false;
   };
   const Counters& counters() const { return counters_; }
+
+  // Lock-free mirror of the two drain tallies above, published once per
+  // poll tick - NOT per sample, so the drain hot path stays atomic-free.
+  // A STATS fold running on another loop reads the mirror instead of
+  // counters(); the value lags the live counter by at most one tick.
+  struct CoalesceMirror {
+    RelaxedCounter samples_coalesced;
+    RelaxedCounter samples_retained;
+  };
+  const CoalesceMirror& coalesce_mirror() const { return coalesce_mirror_; }
   const TimerStats* poll_stats() const;
 
   // Milliseconds of scope time since StartPolling (0 when never started).
@@ -441,6 +452,7 @@ class Scope {
 
   TupleWriter recorder_;
   Counters counters_;
+  CoalesceMirror coalesce_mirror_;
 };
 
 }  // namespace gscope

@@ -77,6 +77,7 @@ bool ControlClient::StartConnect() {
   handshake_subs_.clear();
   handshake_delay_ = false;
   handshake_auth_ = false;
+  handshake_stage_ = false;
   stats_.connect_attempts += 1;
   socket_ = Socket::Connect(port_);
   if (!socket_.valid()) {
@@ -238,6 +239,18 @@ bool ControlClient::OnConnectReady() {
       auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), delay_ms_);
       (void)ec;
       if (SendCommand("DELAY", std::string_view(buf, static_cast<size_t>(p - buf)))) {
+        stats_.resumed_commands += 1;
+      }
+    }
+    if (has_stage_ && !handshake_stage_) {
+      // The stage replays LAST: the server keys stage groups on the
+      // session's (namespace, delay, pattern set), all restored above.
+      std::string_view spec = stage_spec_;
+      size_t space = spec.find(' ');
+      std::string_view verb = spec.substr(0, space);
+      std::string_view spec_arg =
+          space == std::string_view::npos ? std::string_view{} : spec.substr(space + 1);
+      if (SendCommand(verb, spec_arg)) {
         stats_.resumed_commands += 1;
       }
     }
@@ -545,6 +558,30 @@ bool ControlClient::SetDelay(int64_t delay_ms) {
   return sent;
 }
 
+bool ControlClient::Stage(std::string_view spec) {
+  // Like Subscribe: remember the declared stage even when the send fails,
+  // so the next establishment replays it (after the SUB/DELAY replay - the
+  // server keys shared stages on the restored subscription set).
+  has_stage_ = true;
+  stage_spec_.assign(spec.data(), spec.size());
+  size_t space = spec.find(' ');
+  std::string_view verb = spec.substr(0, space);
+  std::string_view arg =
+      space == std::string_view::npos ? std::string_view{} : spec.substr(space + 1);
+  bool sent = SendCommand(verb, arg);
+  if (sent && state_ == ConnectState::kConnecting) {
+    handshake_stage_ = true;  // the queued frame already carries it
+  }
+  return sent;
+}
+
+bool ControlClient::ClearStage() {
+  has_stage_ = false;
+  stage_spec_.clear();
+  handshake_stage_ = false;
+  return SendCommand("RAW", {});
+}
+
 bool ControlClient::RequestList() { return SendCommand("LIST", {}); }
 
 bool ControlClient::RequestStats() { return SendCommand("STATS", {}); }
@@ -583,6 +620,9 @@ void ControlClient::ForgetSession() {
   has_auth_ = false;
   auth_token_.clear();
   handshake_auth_ = false;
+  has_stage_ = false;
+  stage_spec_.clear();
+  handshake_stage_ = false;
 }
 
 bool ControlClient::Send(int64_t time_ms, double value, std::string_view name) {

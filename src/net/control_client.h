@@ -155,6 +155,15 @@ class ControlClient {
   // so resumed SUBs land inside the tenant namespace; a rejected token
   // (`ERR AUTH ...`) leaves the session anonymous but otherwise usable.
   bool Auth(std::string_view token);
+  // Attaches (or replaces) the session's server-side processing stage;
+  // `spec` is the verbatim stage verb line - "COALESCE", "DECIMATE 10",
+  // "EWMA 0.2", "ENVELOPE 100", "SPECTRUM 256 hann" (docs/protocol.md,
+  // "Derived-signal pipelines").  Remembered and replayed on reconnect
+  // AFTER the SUB/DELAY replay, so the replayed stage keys against the
+  // restored subscription set.
+  bool Stage(std::string_view spec);
+  // Detaches the stage (sends RAW) and stops replaying it.
+  bool ClearStage();
   bool RequestList();
   // Asks for the server's counter line (`OK STATS key value ...`); the
   // reply arrives through the reply callback like any OK line.
@@ -185,6 +194,8 @@ class ControlClient {
   bool has_remembered_delay() const { return has_delay_; }
   int64_t remembered_delay_ms() const { return delay_ms_; }
   bool has_remembered_auth() const { return has_auth_; }
+  bool has_remembered_stage() const { return has_stage_; }
+  const std::string& remembered_stage() const { return stage_spec_; }
   // Drops the remembered state (nothing replayed until re-declared).
   void ForgetSession();
 
@@ -306,9 +317,12 @@ class ControlClient {
   int64_t delay_ms_ = 0;
   bool has_auth_ = false;
   std::string auth_token_;
+  bool has_stage_ = false;
+  std::string stage_spec_;
   std::vector<std::string> handshake_subs_;
   bool handshake_delay_ = false;
   bool handshake_auth_ = false;
+  bool handshake_stage_ = false;
   TupleFn on_tuple_;
   ReplyFn on_reply_;
   ConnectFn on_connect_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/tuple.h"
+#include "freq/spectrum.h"
 
 namespace gscope {
 namespace {
@@ -201,6 +202,13 @@ void StreamServer::Close() {
           router_.RemoveScope(client->session->scope.get());
         }
       }
+      for (auto& [key, group] : shard->stage_groups) {
+        // Stage-group scopes unregister like session scopes, before their
+        // storage goes away with the map.
+        router_.RemoveScope(group->scope.get());
+        stats_.stages_active -= 1;
+      }
+      shard->stage_groups.clear();
       shard->clients.clear();
       shard->client_count.store(0, std::memory_order_relaxed);
       shard->session_count.store(0, std::memory_order_relaxed);
@@ -292,6 +300,7 @@ void StreamServer::SetupClient(LoopShard& shard, Socket conn, bool counted) {
   client->socket = std::move(conn);
   client->last_activity_ns = shard.loop->clock()->NowNs();
   int key = next_client_key_.fetch_add(1, std::memory_order_relaxed);
+  client->key = key;
   int fd = client->socket.fd();
   LoopShard* sp = &shard;
   client->watch = shard.loop->AddIoWatch(
@@ -496,8 +505,11 @@ void StreamServer::HandleControlLine(LoopShard& shard, int client_key, Client& c
     return;
   }
 
+  const bool stage_verb = verb == "DECIMATE" || verb == "EWMA" ||
+                          verb == "ENVELOPE" || verb == "SPECTRUM";
   if (verb != "SUB" && verb != "UNSUB" && verb != "DELAY" && verb != "LIST" &&
-      verb != "STATS" && verb != "PING" && verb != "TIME") {
+      verb != "STATS" && verb != "PING" && verb != "TIME" &&
+      verb != "COALESCE" && verb != "RAW" && !stage_verb) {
     // Unknown verb: counted like any other malformed line so a garbage
     // producer cannot hide behind the control grammar; an existing session
     // additionally gets an ERR reply.
@@ -512,6 +524,7 @@ void StreamServer::HandleControlLine(LoopShard& shard, int client_key, Client& c
   stats_.control_commands += 1;
   std::string_view arg = NextToken(rest);
   std::string_view excess = NextToken(rest);
+  std::string_view extra = NextToken(rest);
 
   // Validate the argument shape BEFORE creating a session: a structurally
   // malformed command must not cost this connection a scope, a poll timer,
@@ -519,10 +532,14 @@ void StreamServer::HandleControlLine(LoopShard& shard, int client_key, Client& c
   // writer; a malformed first command is only counted.)
   std::string reject;
   int64_t delay_ms = -1;
-  if (!excess.empty() ||
-      ((verb == "LIST" || verb == "STATS" || verb == "TIME") && !arg.empty())) {
+  StageSpec stage;
+  if ((verb == "SPECTRUM" ? !extra.empty() : !excess.empty()) ||
+      ((verb == "LIST" || verb == "STATS" || verb == "TIME" ||
+        verb == "COALESCE" || verb == "RAW") &&
+       !arg.empty())) {
     // PING is the one verb with an optional argument: an opaque token echoed
     // back verbatim (clients stamp it with their send time for RTT).
+    // SPECTRUM is the one verb with two: block size and optional window.
     reject.append("ERR ").append(verb).append(" trailing-junk");
   } else if ((verb == "SUB" || verb == "UNSUB") && arg.empty()) {
     reject.append("ERR ").append(verb).append(" missing-pattern");
@@ -531,6 +548,9 @@ void StreamServer::HandleControlLine(LoopShard& shard, int client_key, Client& c
     if (arg.empty() || ec != std::errc{} || p != arg.data() + arg.size() || delay_ms < 0) {
       reject = "ERR DELAY bad-milliseconds";
     }
+  } else if (stage_verb) {
+    // On failure `reject` carries the verb-specific ERR shape.
+    ParseStageSpec(verb, arg, excess, stage, reject);
   }
   if (!reject.empty()) {
     stats_.control_errors += 1;
@@ -561,25 +581,54 @@ void StreamServer::HandleControlLine(LoopShard& shard, int client_key, Client& c
       stats_.quota_drops += 1;
       reply.append("ERR SUB quota-patterns ").append(arg);
     } else {
-      // Filter mutation under the route lock: a rebuild on another loop
-      // reads the pattern list (no-op lock at loops = 1).
-      std::unique_lock<std::mutex> routes = router_.LockRoutes();
-      if (!session.filter.Add(arg)) {
+      bool added;
+      {
+        // Filter mutation under the route lock: a rebuild on another loop
+        // reads the pattern list (no-op lock at loops = 1).
+        std::unique_lock<std::mutex> routes = router_.LockRoutes();
+        added = session.filter.Add(arg);
+      }
+      if (!added) {
         reply.append("ERR SUB duplicate-pattern ").append(arg);
       } else {
         reply.append("OK SUB ").append(arg);
+        // A staged session re-keys: the pattern set is part of the group
+        // identity (outside the lock - re-keying registers scopes).
+        ReattachStage(shard, client);
       }
     }
   } else if (verb == "UNSUB") {
-    std::unique_lock<std::mutex> routes = router_.LockRoutes();
-    if (!session.filter.Remove(arg)) {
+    bool removed;
+    {
+      std::unique_lock<std::mutex> routes = router_.LockRoutes();
+      removed = session.filter.Remove(arg);
+    }
+    if (!removed) {
       reply.append("ERR UNSUB unknown-pattern ").append(arg);
     } else {
       reply.append("OK UNSUB ").append(arg);
+      ReattachStage(shard, client);
     }
   } else if (verb == "DELAY") {
     session.scope->SetDelayMs(delay_ms);
+    ReattachStage(shard, client);  // the delay is part of the group identity
     reply.append("OK DELAY ").append(arg);
+  } else if (verb == "COALESCE" || verb == "RAW") {
+    // COALESCE flips the session's own echo tap to the last-wins fold (one
+    // winner per signal per tick); RAW restores the per-sample contract.
+    // Either verb first detaches an attached stage.
+    TapMode mode = verb == "COALESCE" ? TapMode::kCoalesced : TapMode::kEverySample;
+    if (session.group != nullptr) {
+      DetachStage(shard, client, mode);
+    } else {
+      // Tap swap under the route lock: rebuilds read the tap's history need.
+      std::unique_lock<std::mutex> routes = router_.LockRoutes();
+      InstallEchoTap(shard, client_key, client, mode);
+    }
+    reply.append("OK ").append(verb);
+  } else if (stage_verb) {
+    AttachStage(shard, client, stage);
+    reply.append("OK ").append(stage.text);
   } else if (verb == "PING") {
     // Liveness probe.  Like every other verb it creates a session on first
     // use: the PONG needs the session's egress writer to travel back.
@@ -597,19 +646,18 @@ void StreamServer::HandleControlLine(LoopShard& shard, int client_key, Client& c
     reply.append("OK TIME ").append(std::to_string(session.scope->NowMs()));
   } else if (verb == "STATS") {
     // One reply line of space-separated key/value pairs (docs/protocol.md):
-    // ingest health plus the drain-coalescing counters summed over the
-    // display targets on THIS connection's loop (identical to the global sum
-    // at loops = 1; per-loop by design when sharded - a session asks about
-    // the loop it shares fate with).
+    // ingest health plus the drain-coalescing counters summed over EVERY
+    // display target on every loop.  The fold reads each scope's per-tick
+    // coalesce mirror (relaxed atomics published at the end of its poll
+    // tick) precisely so it can visit scopes owned by other loops: sharded
+    // STATS answers are global, whichever loop answers (PR 8 shipped them
+    // loop-local - the documented bug this fixes), at most one tick stale
+    // per scope and with zero atomics on the per-sample drain path.
     int64_t coalesced = 0;
     int64_t retained = 0;
-    MainLoop* self_loop = shard.loop;
     router_.ForEachScope([&](Scope* s) {
-      if (s->loop() != self_loop) {
-        return;
-      }
-      coalesced += s->counters().samples_coalesced;
-      retained += s->counters().samples_retained;
+      coalesced += s->coalesce_mirror().samples_coalesced;
+      retained += s->coalesce_mirror().samples_retained;
     });
     reply.append("OK STATS tuples ").append(std::to_string(stats_.tuples.load()));
     reply.append(" parse_errors ").append(std::to_string(stats_.parse_errors.load()));
@@ -648,6 +696,16 @@ void StreamServer::HandleControlLine(LoopShard& shard, int client_key, Client& c
         .append(std::to_string(shard.session_count.load(std::memory_order_relaxed)));
     reply.append(" auth_failures ").append(std::to_string(stats_.auth_failures.load()));
     reply.append(" quota_drops ").append(std::to_string(stats_.quota_drops.load()));
+    // Derived pipelines + per-format egress quota accounting (appended).
+    reply.append(" stage_evals ").append(std::to_string(stats_.stage_evals.load()));
+    reply.append(" tuples_derived ")
+        .append(std::to_string(stats_.tuples_derived.load()));
+    reply.append(" stages_active ")
+        .append(std::to_string(stats_.stages_active.load()));
+    reply.append(" quota_drops_text ")
+        .append(std::to_string(stats_.quota_drops_text.load()));
+    reply.append(" quota_drops_bin ")
+        .append(std::to_string(stats_.quota_drops_bin.load()));
   } else {  // LIST
     // The count goes FIRST: if the egress backlog drops some of the INFO
     // frames (whole-frame policy), the client can still tell the listing
@@ -656,10 +714,25 @@ void StreamServer::HandleControlLine(LoopShard& shard, int client_key, Client& c
         .append(std::to_string(session.filter.pattern_count()))
         .append(" DELAY ")
         .append(std::to_string(session.scope->delay_ms()));
+    // MODE goes LAST: a stage spec contains spaces, so clients parse the
+    // mode as "everything after MODE".  It answers "what is my tap right
+    // now" - a reconnecting client that missed a NOTICE DEGRADE (or wants
+    // to confirm its replayed stage) reads it here.
+    reply.append(" MODE ");
+    if (session.stage.kind != StageSpec::Kind::kNone) {
+      reply.append(session.stage.text);
+    } else if (session.tap_mode == TapMode::kCoalesced) {
+      reply.append("coalesced");
+    } else {
+      reply.append("every-sample");
+    }
     Reply(client, reply);
     for (const std::string& pattern : session.filter.patterns()) {
       std::string info;
       info.append("INFO SUB ").append(pattern);
+      if (session.stage.kind != StageSpec::Kind::kNone) {
+        info.append(" STAGE ").append(session.stage.text);
+      }
       Reply(client, info);
     }
     return;
@@ -716,12 +789,17 @@ void StreamServer::HandleAuth(Client& client, std::string_view rest) {
   // binary ingest re-resolves under the new one.
   client.dict.clear();
   if (client.session != nullptr) {
-    // Re-scoping the registered filter bumps its epoch (route tables
-    // re-snapshot); under the route lock because a rebuild on another loop
-    // reads the namespace.  Spans already queued keep their old table and
-    // drain as the identity they were routed under.
-    std::unique_lock<std::mutex> routes = router_.LockRoutes();
-    client.session->filter.SetNamespace(client.ns);
+    {
+      // Re-scoping the registered filter bumps its epoch (route tables
+      // re-snapshot); under the route lock because a rebuild on another loop
+      // reads the namespace.  Spans already queued keep their old table and
+      // drain as the identity they were routed under.
+      std::unique_lock<std::mutex> routes = router_.LockRoutes();
+      client.session->filter.SetNamespace(client.ns);
+    }
+    // A staged session re-keys: the namespace is part of the group identity
+    // (and the group's own filter must re-scope with it).
+    ReattachStage(*client.shard, client);
   }
   std::string reply;
   reply.append("OK AUTH ").append(client.ns);
@@ -862,6 +940,7 @@ void StreamServer::InstallEchoTap(LoopShard& shard, int client_key, Client& clie
           name = StripTenantPrefix(cp->ns, name);
           if (!EgressAllowed(*cp)) {
             stats_.quota_drops += 1;
+            stats_.quota_drops_text += 1;
             return;
           }
           FramedWriter* writer = &cp->writer;
@@ -884,14 +963,12 @@ void StreamServer::InstallEchoTap(LoopShard& shard, int client_key, Client& clie
   // Binary session: samples stage into the connection's wire encoder and
   // seal into multi-tuple frames - either when a frame's worth accumulates
   // or on the deferred flush at the end of the loop iteration, so a trickle
-  // is never stranded.
+  // is never stranded.  The egress quota is applied at FlushEgress, per
+  // sealed frame at its actual wire size - not here per sample at a text
+  // estimate - so binary subscribers are charged what actually leaves.
   client.session->scope->SetBufferedTap(
       [this, client_key, cp](std::string_view name, int64_t time_ms, double value) {
         name = StripTenantPrefix(cp->ns, name);
-        if (!EgressAllowed(*cp)) {
-          stats_.quota_drops += 1;
-          return;
-        }
         wire::StageResult r = cp->egress_enc.Add(name, time_ms, value);
         if (r == wire::StageResult::kFrameFull) {
           FlushEgress(*cp);
@@ -915,14 +992,22 @@ void StreamServer::FlushEgress(Client& client) {
   if (n == 0) {
     return;
   }
+  // Seal outside the writer, then quota-gate the WHOLE frame at its actual
+  // wire size: a refused frame is discarded in one piece (quota_drops keeps
+  // the per-tuple tally, quota_drops_bin counts the frame).
+  client.egress_scratch.clear();
+  client.egress_enc.EmitFrame(client.egress_scratch);
+  if (!EgressAllowed(client)) {
+    stats_.quota_drops += static_cast<int64_t>(n);
+    stats_.quota_drops_bin += 1;
+    return;
+  }
   int64_t evicted_before = client.writer.stats().units_evicted;
   std::string& buf = client.writer.BeginFrame();
-  size_t begin = buf.size();
-  client.egress_enc.EmitFrame(buf);
-  size_t frame_bytes = buf.size() - begin;
+  buf.append(client.egress_scratch);
   if (client.writer.CommitFrame(static_cast<uint32_t>(n))) {
     stats_.tuples_echoed += static_cast<int64_t>(n);
-    ChargeEgress(client, frame_bytes);
+    ChargeEgress(client, client.egress_scratch.size());
   } else {
     stats_.echo_dropped += static_cast<int64_t>(n);
   }
@@ -1022,6 +1107,378 @@ void StreamServer::IngestRecords(Client& client, int64_t base_time_ms,
   }
 }
 
+// -- Derived-signal pipelines (docs/protocol.md "Derived-signal pipelines") --
+
+bool StreamServer::ParseStageSpec(std::string_view verb, std::string_view arg,
+                                  std::string_view arg2, StageSpec& spec,
+                                  std::string& err) {
+  auto parse_int = [](std::string_view s, int64_t& out) {
+    auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+    return !s.empty() && ec == std::errc{} && p == s.data() + s.size();
+  };
+  if (verb == "DECIMATE") {
+    spec.kind = StageSpec::Kind::kDecimate;
+    if (!parse_int(arg, spec.factor) || spec.factor < 1) {
+      err = "ERR DECIMATE bad-factor";
+      return false;
+    }
+    spec.text.append("DECIMATE ").append(std::to_string(spec.factor));
+    return true;
+  }
+  if (verb == "EWMA") {
+    spec.kind = StageSpec::Kind::kEwma;
+    auto [p, ec] = std::from_chars(arg.data(), arg.data() + arg.size(), spec.alpha);
+    if (arg.empty() || ec != std::errc{} || p != arg.data() + arg.size() ||
+        !(spec.alpha > 0.0) || spec.alpha > 1.0) {
+      err = "ERR EWMA bad-alpha";
+      return false;
+    }
+    // Canonical shortest form: "EWMA .5" and "EWMA 0.50" key the same group.
+    char buf[32];
+    auto r = std::to_chars(buf, buf + sizeof(buf), spec.alpha);
+    spec.text.append("EWMA ").append(buf, static_cast<size_t>(r.ptr - buf));
+    return true;
+  }
+  if (verb == "ENVELOPE") {
+    spec.kind = StageSpec::Kind::kEnvelope;
+    if (!parse_int(arg, spec.window_ms) || spec.window_ms < 1) {
+      err = "ERR ENVELOPE bad-window";
+      return false;
+    }
+    spec.text.append("ENVELOPE ").append(std::to_string(spec.window_ms));
+    return true;
+  }
+  // SPECTRUM n [window]
+  spec.kind = StageSpec::Kind::kSpectrum;
+  if (!parse_int(arg, spec.factor) || spec.factor < 2 || spec.factor > 65536) {
+    err = "ERR SPECTRUM bad-size";
+    return false;
+  }
+  std::string_view window = arg2.empty() ? std::string_view("hann") : arg2;
+  if (window == "rect" || window == "rectangular") {
+    spec.window = WindowKind::kRectangular;
+    window = "rect";
+  } else if (window == "hann") {
+    spec.window = WindowKind::kHann;
+  } else if (window == "hamming") {
+    spec.window = WindowKind::kHamming;
+  } else if (window == "blackman") {
+    spec.window = WindowKind::kBlackman;
+  } else {
+    err = "ERR SPECTRUM bad-window";
+    return false;
+  }
+  spec.text.append("SPECTRUM ")
+      .append(std::to_string(spec.factor))
+      .append(" ")
+      .append(window);
+  return true;
+}
+
+std::string StreamServer::StageKey(std::string_view ns, int64_t delay_ms,
+                                   const SignalFilter& filter,
+                                   std::string_view spec) {
+  // The namespace separator cannot appear in a pattern, a namespace or a
+  // spec (BindDict and the text grammar both reject it), so the join is
+  // unambiguous.  Patterns sorted: subscription order must not split groups.
+  std::vector<std::string> patterns = filter.patterns();
+  std::sort(patterns.begin(), patterns.end());
+  std::string key;
+  key.append(ns);
+  key.push_back(kNamespaceSep);
+  key.append(std::to_string(delay_ms));
+  key.push_back(kNamespaceSep);
+  key.append(spec);
+  for (const std::string& pattern : patterns) {
+    key.push_back(kNamespaceSep);
+    key.append(pattern);
+  }
+  return key;
+}
+
+void StreamServer::AttachStage(LoopShard& shard, Client& client,
+                               const StageSpec& spec) {
+  ControlSession& session = *client.session;
+  std::string key =
+      StageKey(client.ns, session.scope->delay_ms(), session.filter, spec.text);
+  if (session.group != nullptr && session.group->key == key) {
+    session.stage = spec;  // same group (e.g. a replayed verb): nothing moves
+    return;
+  }
+  if (session.group != nullptr) {
+    LeaveGroup(shard, client);
+  } else {
+    // The session's own scope goes dormant while staged: the group's scope
+    // is the one the router feeds, and the member count is what keeps the
+    // shared evaluation honest.
+    router_.RemoveScope(session.scope.get());
+  }
+  session.stage = spec;
+  auto it = shard.stage_groups.find(key);
+  if (it == shard.stage_groups.end()) {
+    auto group = std::make_unique<StageGroup>();
+    StageGroup* g = group.get();
+    g->key = key;
+    g->ns = client.ns;
+    g->spec = session.stage;
+    g->shard = &shard;
+    for (const std::string& pattern : session.filter.patterns()) {
+      g->filter.Add(pattern);
+    }
+    g->filter.SetNamespace(client.ns);
+    int id = next_stage_id_.fetch_add(1, std::memory_order_relaxed);
+    g->scope = std::make_unique<Scope>(
+        shard.loop, ScopeOptions{.name = "stage-" + std::to_string(id),
+                                 .width = options_.control_scope_width,
+                                 .height = options_.control_scope_height});
+    Scope* scope = g->scope.get();
+    scope->SetConcurrent(pool_.size() > 1);
+    scope->SetPollingMode(options_.control_poll_period_ms);
+    // Same time axis and late-drop window as the sessions it serves.
+    scope->AdoptTimeBase(*session.scope);
+    scope->SetDelayMs(session.scope->delay_ms());
+    // The evaluation tap: every routed sample evaluates the stage ONCE,
+    // however many members ride the group (stats_.stage_evals is the
+    // share-once proof the tests assert on).
+    scope->SetBufferedTap(
+        [this, g](std::string_view name, int64_t time_ms, double value) {
+          EvaluateStage(*g, name, time_ms, value);
+        },
+        TapMode::kEverySample);
+    scope->StartPolling();
+    router_.AddScope(scope, &g->filter);
+    stats_.stages_active += 1;
+    it = shard.stage_groups.emplace(std::move(key), std::move(group)).first;
+  }
+  session.group = it->second.get();
+  it->second->members.push_back(&client);
+}
+
+void StreamServer::ReattachStage(LoopShard& shard, Client& client) {
+  if (client.session == nullptr ||
+      client.session->stage.kind == StageSpec::Kind::kNone) {
+    return;
+  }
+  AttachStage(shard, client, client.session->stage);
+}
+
+void StreamServer::DetachStage(LoopShard& shard, Client& client, TapMode mode) {
+  LeaveGroup(shard, client);
+  client.session->stage = StageSpec{};
+  // Restore the session's own scope: tap first (the scope is unregistered,
+  // so no rebuild can read it mid-swap), then re-register.
+  InstallEchoTap(shard, client.key, client, mode);
+  router_.AddScope(client.session->scope.get(), &client.session->filter);
+}
+
+void StreamServer::LeaveGroup(LoopShard& shard, Client& client) {
+  StageGroup* g = client.session->group;
+  client.session->group = nullptr;
+  auto member = std::find(g->members.begin(), g->members.end(), &client);
+  if (member != g->members.end()) {
+    g->members.erase(member);
+  }
+  if (!g->members.empty()) {
+    return;
+  }
+  // Last member out: the group dies (epoch bump: routes re-snapshot).  A
+  // queued deferred flush finds the key gone and no-ops.
+  router_.RemoveScope(g->scope.get());
+  stats_.stages_active -= 1;
+  shard.stage_groups.erase(g->key);
+}
+
+void StreamServer::EvaluateStage(StageGroup& g, std::string_view name,
+                                 int64_t time_ms, double value) {
+  stats_.stage_evals += 1;
+  // Members share the group's namespace (part of the key): strip once.
+  name = StripTenantPrefix(g.ns, name);
+  auto it = g.signals.find(name);
+  if (it == g.signals.end()) {
+    it = g.signals.try_emplace(std::string(name)).first;
+  }
+  StageGroup::SignalState& st = it->second;
+  switch (g.spec.kind) {
+    case StageSpec::Kind::kDecimate:
+      // The first sample of a signal emits, then every factor-th after it:
+      // a subscriber sees data immediately at 1/n the rate.
+      if (st.count++ % g.spec.factor == 0) {
+        EmitDerived(g, name, time_ms, value);
+      }
+      return;
+    case StageSpec::Kind::kEwma:
+      st.ewma = st.has_ewma
+                    ? g.spec.alpha * value + (1.0 - g.spec.alpha) * st.ewma
+                    : value;
+      st.has_ewma = true;
+      EmitDerived(g, name, time_ms, st.ewma);
+      return;
+    case StageSpec::Kind::kEnvelope: {
+      if (st.has_window && time_ms - st.window_start_ms >= g.spec.window_ms) {
+        // Close the window: one <name>.min and one <name>.max tuple,
+        // stamped at the window's end.
+        int64_t end_ms = st.window_start_ms + g.spec.window_ms;
+        st.scratch_name.assign(name);
+        size_t base = st.scratch_name.size();
+        st.scratch_name.append(".min");
+        EmitDerived(g, st.scratch_name, end_ms, st.env.LowAt(0));
+        st.scratch_name.resize(base);
+        st.scratch_name.append(".max");
+        EmitDerived(g, st.scratch_name, end_ms, st.env.HighAt(0));
+        st.env.Reset();
+        st.has_window = false;
+      }
+      if (!st.has_window) {
+        st.has_window = true;
+        st.window_start_ms = time_ms;
+      }
+      // A width-1 envelope is a running min/max fold over the open window.
+      st.one[0] = value;
+      st.env.AddSweep(st.one);
+      return;
+    }
+    case StageSpec::Kind::kSpectrum: {
+      if (st.block.empty()) {
+        st.block_start_ms = time_ms;
+      }
+      st.block.push_back(value);
+      st.last_ms = time_ms;
+      if (st.block.size() < static_cast<size_t>(g.spec.factor)) {
+        return;
+      }
+      // Sample rate from the block's own timestamps (producers own the
+      // clock); degenerate spacing falls back to 1 kHz.
+      double rate_hz = 1000.0;
+      if (st.last_ms > st.block_start_ms) {
+        rate_hz = static_cast<double>(st.block.size() - 1) * 1000.0 /
+                  static_cast<double>(st.last_ms - st.block_start_ms);
+      }
+      Spectrum spectrum =
+          ComputeSpectrum(st.block, rate_hz, {.window = g.spec.window});
+      st.block.clear();
+      // Bins stream as synthetic signals <name>.bin0 .. <name>.binN/2, all
+      // stamped at the block's last sample.
+      for (size_t bin = 0; bin < spectrum.power_db.size(); ++bin) {
+        st.scratch_name.assign(name);
+        st.scratch_name.append(".bin");
+        st.scratch_name.append(std::to_string(bin));
+        EmitDerived(g, st.scratch_name, st.last_ms, spectrum.power_db[bin]);
+      }
+      return;
+    }
+    case StageSpec::Kind::kNone:
+      return;
+  }
+}
+
+void StreamServer::EmitDerived(StageGroup& g, std::string_view name,
+                               int64_t time_ms, double value) {
+  bool any_text = false;
+  bool any_binary = false;
+  for (Client* member : g.members) {
+    (member->binary_egress ? any_binary : any_text) = true;
+  }
+  if (any_text) {
+    // Formatted ONCE; every text member commits the same bytes.
+    g.text_scratch.clear();
+    AppendTuple(g.text_scratch, time_ms, value, name);
+    for (Client* member : g.members) {
+      if (member->binary_egress) {
+        continue;
+      }
+      if (!EgressAllowed(*member)) {
+        stats_.quota_drops += 1;
+        stats_.quota_drops_text += 1;
+        continue;
+      }
+      FramedWriter& writer = member->writer;
+      int64_t evicted_before = writer.stats().units_evicted;
+      std::string& buf = writer.BeginFrame();
+      buf.append(g.text_scratch);
+      if (writer.CommitFrame()) {
+        stats_.tuples_echoed += 1;
+        stats_.tuples_derived += 1;
+        ChargeEgress(*member, g.text_scratch.size());
+      } else {
+        stats_.echo_dropped += 1;
+      }
+      stats_.echo_evicted += writer.stats().units_evicted - evicted_before;
+    }
+  }
+  if (any_binary) {
+    // Frame-relay: staged once into the group's encoder; the sealed frame
+    // broadcasts byte-identical to every binary member (SAMPLES frames are
+    // self-contained - per-frame dictionaries - so sharing is sound).
+    wire::StageResult r = g.enc.Add(name, time_ms, value);
+    if (r == wire::StageResult::kFrameFull) {
+      FlushGroupEgress(g);
+      r = g.enc.Add(name, time_ms, value);
+    }
+    if (r != wire::StageResult::kStaged) {
+      stats_.echo_dropped += 1;
+      return;
+    }
+    if (g.enc.staged_samples() >= kEgressFrameSamples) {
+      FlushGroupEgress(g);
+    } else {
+      ScheduleGroupFlush(g);
+    }
+  }
+}
+
+void StreamServer::FlushGroupEgress(StageGroup& g) {
+  size_t n = g.enc.staged_samples();
+  if (n == 0) {
+    return;
+  }
+  g.frame_scratch.clear();
+  g.enc.EmitFrame(g.frame_scratch);
+  for (Client* member : g.members) {
+    if (!member->binary_egress) {
+      continue;
+    }
+    if (!EgressAllowed(*member)) {
+      stats_.quota_drops += static_cast<int64_t>(n);
+      stats_.quota_drops_bin += 1;
+      continue;
+    }
+    FramedWriter& writer = member->writer;
+    int64_t evicted_before = writer.stats().units_evicted;
+    std::string& buf = writer.BeginFrame();
+    buf.append(g.frame_scratch);
+    if (writer.CommitFrame(static_cast<uint32_t>(n))) {
+      stats_.tuples_echoed += static_cast<int64_t>(n);
+      stats_.tuples_derived += static_cast<int64_t>(n);
+      ChargeEgress(*member, g.frame_scratch.size());
+    } else {
+      stats_.echo_dropped += static_cast<int64_t>(n);
+    }
+    stats_.echo_evicted += writer.stats().units_evicted - evicted_before;
+  }
+}
+
+void StreamServer::ScheduleGroupFlush(StageGroup& g) {
+  if (g.flush_pending) {
+    return;
+  }
+  g.flush_pending = true;
+  std::weak_ptr<StreamServer> weak_self = self_alias_;
+  LoopShard* shard = g.shard;
+  // Looked up by key at fire time: the group may have died in between.
+  shard->loop->Invoke([weak_self, shard, key = g.key]() {
+    std::shared_ptr<StreamServer> server = weak_self.lock();
+    if (server == nullptr) {
+      return;
+    }
+    auto it = shard->stage_groups.find(key);
+    if (it == shard->stage_groups.end()) {
+      return;
+    }
+    it->second->flush_pending = false;
+    server->FlushGroupEgress(*it->second);
+  });
+}
+
 bool StreamServer::Sweep(LoopShard& shard) {
   Nanos now = shard.loop->clock()->NowNs();
 
@@ -1044,6 +1501,12 @@ bool StreamServer::Sweep(LoopShard& shard) {
     for (auto& [key, client] : shard.clients) {
       ControlSession* s = client->session.get();
       if (s == nullptr) {
+        continue;
+      }
+      if (s->group != nullptr) {
+        // Staged sessions are not degraded: their own tap is dormant, and
+        // the stage already bounds the rate by design - a member that still
+        // cannot keep up sheds whole frames via its writer policy.
         continue;
       }
       FramedWriter& writer = client->writer;
@@ -1109,6 +1572,12 @@ void StreamServer::DropClient(LoopShard& shard, int client_key) {
     shard.loop->Remove(it->second->watch);
   }
   if (it->second->session != nullptr) {
+    if (it->second->session->group != nullptr) {
+      // Leave the shared stage first (possibly tearing the group down); the
+      // session's own scope is unregistered while staged, so the
+      // RemoveScope below is then a no-op.
+      LeaveGroup(shard, *it->second);
+    }
     // Unregister the session scope (epoch bump: routes re-snapshot) before
     // its storage goes away with the client entry.
     router_.RemoveScope(it->second->session->scope.get());

@@ -74,10 +74,12 @@
 #include <string_view>
 #include <vector>
 
+#include "core/envelope.h"
 #include "core/ingest_router.h"
 #include "core/scope.h"
 #include "core/tuple.h"
 #include "core/signal_filter.h"
+#include "freq/window.h"
 #include "net/frame_codec.h"
 #include "net/line_framer.h"
 #include "net/socket.h"
@@ -212,6 +214,18 @@ class StreamServer {
     // Multi-tenant hardening.
     RelaxedCounter auth_failures;      // AUTH verbs with an unknown token
     RelaxedCounter quota_drops;        // quota rejections + egress quota drops
+    // Derived-signal pipelines (docs/protocol.md "Derived-signal
+    // pipelines").  stage_evals counts stage evaluations, once per input
+    // sample per stage group - N identical subscriptions sharing a group
+    // add 1, not N, per sample (the share-once proof tests assert on it).
+    RelaxedCounter stage_evals;
+    RelaxedCounter tuples_derived;     // derived tuples delivered to members
+    RelaxedCounter stages_active;      // live stage groups (gauge)
+    // Egress quota drops split by wire format: text counts dropped tuple
+    // lines, binary counts dropped SAMPLES frames (each worth many tuples;
+    // the per-tuple tally stays in quota_drops).
+    RelaxedCounter quota_drops_text;
+    RelaxedCounter quota_drops_bin;
   };
 
   // Observes every successfully parsed ingest tuple line, before routing and
@@ -267,6 +281,22 @@ class StreamServer {
 
  private:
   struct LoopShard;
+  struct Client;
+  struct StageGroup;
+
+  // One parsed server-side processing stage (docs/protocol.md
+  // "Derived-signal pipelines").  `text` is the canonical spec - numbers
+  // re-rendered shortest-form, the SPECTRUM window always spelled out - so
+  // equal stages key equal regardless of how the client wrote them.
+  struct StageSpec {
+    enum class Kind : uint8_t { kNone, kDecimate, kEwma, kEnvelope, kSpectrum };
+    Kind kind = Kind::kNone;
+    int64_t factor = 0;       // DECIMATE n / SPECTRUM block size
+    double alpha = 0.0;       // EWMA smoothing factor, (0, 1]
+    int64_t window_ms = 0;    // ENVELOPE window
+    WindowKind window = WindowKind::kHann;  // SPECTRUM taper
+    std::string text;         // canonical spec, e.g. "DECIMATE 10"
+  };
 
   // One remote scope session: the server-side half of a control connection.
   // The egress FramedWriter lives on the Client (every connection can carry
@@ -279,6 +309,11 @@ class StreamServer {
     Nanos stalled_since_ns = -1;  // first sweep that saw the backlog pinned
     Nanos calm_since_ns = -1;     // first sweep that saw it calm again
     int64_t last_loss_frames = 0; // writer drops+evictions at the last sweep
+    // Attached processing stage (kind == kNone when raw).  While staged the
+    // session's own scope is unregistered from the router and `group`
+    // points at the shared stage the session rides.
+    StageSpec stage;
+    StageGroup* group = nullptr;
   };
 
   // Inbound wire format of one connection (docs/protocol.md).  Text is the
@@ -304,6 +339,7 @@ class StreamServer {
     Client(MainLoop* loop, size_t max_line_bytes, size_t max_buffer)
         : framer(max_line_bytes), writer(loop, max_buffer) {}
     LoopShard* shard = nullptr;   // owning shard (stable; see shards_)
+    int key = 0;                  // this client's key in shard->clients
     MainLoop* loop = nullptr;     // == shard->loop; every callback runs here
     Socket socket;
     SourceId watch = 0;
@@ -328,6 +364,46 @@ class StreamServer {
     bool binary_egress = false;   // replies/echo leave as binary frames
     wire::WireEncoder egress_enc; // staged echo samples (binary sessions)
     bool egress_flush_pending = false;  // a deferred FlushEgress is queued
+    std::string egress_scratch;   // one sealed egress frame (quota-gated whole)
+  };
+
+  // One shared processing stage: every session on this shard whose
+  // (namespace, delay, pattern set, stage spec) tuple matches `key` rides
+  // this group.  The group owns its own router-registered Scope; the
+  // every-sample tap evaluates the stage once per input sample and fans the
+  // derived tuples out to every member - N identical subscriptions cost one
+  // evaluation (stats_.stage_evals) and N deliveries (stats_.tuples_derived).
+  // Owned by (and only touched from) the shard's loop.
+  struct StageGroup {
+    std::string key;
+    std::string ns;               // members' shared tenant namespace
+    StageSpec spec;
+    SignalFilter filter;          // copy of the members' pattern set
+    std::unique_ptr<Scope> scope; // router-registered evaluation tap
+    LoopShard* shard = nullptr;
+    std::vector<Client*> members; // stable Client pointers (see clients map)
+    // Per-signal stage state, keyed by the bare (prefix-stripped) name.
+    struct SignalState {
+      int64_t count = 0;              // DECIMATE position
+      bool has_ewma = false;
+      double ewma = 0.0;
+      Envelope env{1};                // width-1 envelope = running min/max
+      bool has_window = false;        // ENVELOPE window open
+      int64_t window_start_ms = 0;
+      std::vector<double> one = {0.0};  // reusable 1-sample sweep
+      std::vector<double> block;      // SPECTRUM accumulation
+      int64_t block_start_ms = 0;
+      int64_t last_ms = 0;
+      std::string scratch_name;       // derived-name assembly buffer
+    };
+    std::map<std::string, SignalState, std::less<>> signals;
+    // Frame-relay egress: derived samples staged once, the sealed SAMPLES
+    // frame broadcast byte-identical to every binary member (per-frame
+    // dictionaries make frames self-contained).
+    wire::WireEncoder enc;
+    bool flush_pending = false;     // a deferred FlushGroupEgress is queued
+    std::string text_scratch;       // one formatted tuple line
+    std::string frame_scratch;      // one sealed SAMPLES frame
   };
 
   // One accept shard: everything below is owned by (and only touched from)
@@ -341,6 +417,10 @@ class StreamServer {
     SourceId accept_watch = 0;
     SourceId sweep_timer = 0;
     std::map<int, std::unique_ptr<Client>> clients;
+    // Shared stage groups, keyed by StageKey(ns, delay, patterns, spec).
+    // Per shard: members always share the owning loop, so evaluation and
+    // fan-out never cross threads.
+    std::map<std::string, std::unique_ptr<StageGroup>, std::less<>> stage_groups;
     std::atomic<size_t> client_count{0};
     std::atomic<size_t> session_count{0};
   };
@@ -384,6 +464,39 @@ class StreamServer {
   // For a registered scope, call under router_.LockRoutes() when loops > 1
   // (a table rebuild reads the tap's history requirement).
   void InstallEchoTap(LoopShard& shard, int client_key, Client& client, TapMode mode);
+  // Derived-signal pipelines (docs/protocol.md "Derived-signal pipelines").
+  // ParseStageSpec fills `spec` from a stage verb + argument tokens; on
+  // failure returns false and fills `err` with the ERR reply body.
+  static bool ParseStageSpec(std::string_view verb, std::string_view arg,
+                             std::string_view arg2, StageSpec& spec,
+                             std::string& err);
+  // The group identity: namespace, session delay, sorted pattern set and
+  // canonical spec text, joined so equal subscriptions share one group.
+  static std::string StageKey(std::string_view ns, int64_t delay_ms,
+                              const SignalFilter& filter, std::string_view spec);
+  // Moves the session into the group matching (its current filter/delay/ns,
+  // `spec`), creating the group on first use; the session's own scope is
+  // unregistered while staged.  No-op when already in the right group.
+  void AttachStage(LoopShard& shard, Client& client, const StageSpec& spec);
+  // Re-keys a staged session after its filter/delay/namespace changed.
+  void ReattachStage(LoopShard& shard, Client& client);
+  // Leaves the stage group (destroying it when it empties) and restores the
+  // session's own scope + echo tap in `mode`.
+  void DetachStage(LoopShard& shard, Client& client, TapMode mode);
+  // Removes the client from its group; tears the group down when empty.
+  void LeaveGroup(LoopShard& shard, Client& client);
+  // The group scope's every-sample tap: evaluates the stage once and fans
+  // derived tuples out to every member.
+  void EvaluateStage(StageGroup& group, std::string_view name, int64_t time_ms,
+                     double value);
+  // Delivers one derived tuple: text members get the line formatted once;
+  // binary members share the group's staged SAMPLES frame.
+  void EmitDerived(StageGroup& group, std::string_view name, int64_t time_ms,
+                   double value);
+  // Seals the group's staged samples into one frame and broadcasts the
+  // identical bytes to every binary member (per-member quota gated).
+  void FlushGroupEgress(StageGroup& group);
+  void ScheduleGroupFlush(StageGroup& group);
   // Maintenance sweep (idle_timeout_ms / degrade_stalled_ms): drops idle
   // clients and downgrades/restores pinned sessions' echo taps.  One per
   // shard, on the shard's loop.
@@ -401,6 +514,7 @@ class StreamServer {
   uint16_t port_ = 0;
 
   std::atomic<int> next_client_key_{1};
+  std::atomic<int> next_stage_id_{1};
   IngestTapFn ingest_tap_;
   // Liveness token for closures deferred through MainLoop::Invoke (session
   // egress errors, cross-loop hand-offs): reset in the destructor, so a

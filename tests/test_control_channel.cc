@@ -4,11 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/scope.h"
+#include "freq/spectrum.h"
 #include "net/control_client.h"
 #include "net/stream_client.h"
 #include "net/stream_server.h"
@@ -248,7 +252,7 @@ TEST_F(ControlChannelTest, ListAndErrorReplies) {
 
   bool saw_list = false, saw_info = false;
   for (const std::string& reply : sink.replies) {
-    saw_list = saw_list || reply == "OK LIST 1 DELAY 250";
+    saw_list = saw_list || reply == "OK LIST 1 DELAY 250 MODE every-sample";
     saw_info = saw_info || reply == "INFO SUB tcp_*";
   }
   EXPECT_TRUE(saw_info);
@@ -741,6 +745,458 @@ TEST_F(ControlChannelTest, ControlOnlyServerNeedsNoLocalScope) {
     loop_.RunForMs(2);
     return sink.SawValue(11.0);
   }));
+}
+
+// ---------------------------------------------------------------------------
+// Derived-signal pipelines (docs/protocol.md "Derived-signal pipelines").
+// ---------------------------------------------------------------------------
+
+TEST_F(ControlChannelTest, DecimateEmitsEveryNthExactly) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  ControlClient viewer(&loop_);
+  Sink sink;
+  sink.Wire(viewer);
+  ASSERT_TRUE(viewer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  viewer.Subscribe("dec_*");
+  viewer.SetDelay(100);
+  viewer.Stage("DECIMATE 3");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 3; }));
+  EXPECT_EQ(server.stats().stages_active, 1);
+
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  for (int i = 1; i <= 9; ++i) {
+    producer.Send(scope_.NowMs(), static_cast<double>(i), "dec_x");
+  }
+  ASSERT_TRUE(RunUntil([&]() { return sink.tuples.size() >= 3; }));
+  loop_.RunForMs(150);  // settle: no stragglers may trail in
+  ASSERT_EQ(sink.tuples.size(), 3u);
+  // The first sample of a signal always emits; then every factor-th.
+  EXPECT_EQ(sink.tuples[0].first, "dec_x");
+  EXPECT_EQ(sink.tuples[0].second, 1.0);
+  EXPECT_EQ(sink.tuples[1].second, 4.0);
+  EXPECT_EQ(sink.tuples[2].second, 7.0);
+  EXPECT_EQ(server.stats().stage_evals, 9);
+  EXPECT_EQ(server.stats().tuples_derived, 3);
+}
+
+TEST_F(ControlChannelTest, EwmaSmoothsWithExactValues) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  ControlClient viewer(&loop_);
+  Sink sink;
+  sink.Wire(viewer);
+  ASSERT_TRUE(viewer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  viewer.Subscribe("ew_*");
+  viewer.SetDelay(100);
+  viewer.Stage("EWMA 0.5");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 3; }));
+
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  producer.Send(scope_.NowMs(), 1.0, "ew_x");
+  producer.Send(scope_.NowMs(), 2.0, "ew_x");
+  producer.Send(scope_.NowMs(), 3.0, "ew_x");
+  ASSERT_TRUE(RunUntil([&]() { return sink.tuples.size() >= 3; }));
+  ASSERT_EQ(sink.tuples.size(), 3u);
+  // alpha = 0.5 over 1, 2, 3: exact dyadic arithmetic, and the text wire
+  // round-trips doubles exactly (shortest-form to_chars both ways).
+  EXPECT_EQ(sink.tuples[0].second, 1.0);
+  EXPECT_EQ(sink.tuples[1].second, 1.5);
+  EXPECT_EQ(sink.tuples[2].second, 2.25);
+}
+
+TEST_F(ControlChannelTest, EnvelopeEmitsWindowMinMax) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+  loop_.RunForMs(20);  // move scope time off zero
+
+  ControlClient viewer(&loop_);
+  Sink sink;
+  sink.Wire(viewer);
+  ASSERT_TRUE(viewer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  viewer.Subscribe("env_*");
+  viewer.SetDelay(150);
+  viewer.Stage("ENVELOPE 50");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 3; }));
+
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  const int64_t base = scope_.NowMs();
+  producer.Send(base, 5.0, "env_x");
+  producer.Send(base + 5, -1.0, "env_x");
+  producer.Send(base + 10, 9.0, "env_x");
+  producer.Send(base + 60, 2.0, "env_x");  // closes the window
+  ASSERT_TRUE(RunUntil([&]() { return sink.tuples.size() >= 2; }));
+  loop_.RunForMs(100);  // the sample that closed the window starts a new,
+                        // never-closed one: nothing further may arrive
+  ASSERT_EQ(sink.tuples.size(), 2u);
+  std::map<std::string, double> got(sink.tuples.begin(), sink.tuples.end());
+  ASSERT_TRUE(got.count("env_x.min"));
+  ASSERT_TRUE(got.count("env_x.max"));
+  EXPECT_EQ(got["env_x.min"], -1.0);
+  EXPECT_EQ(got["env_x.max"], 9.0);
+}
+
+TEST_F(ControlChannelTest, SpectrumStreamsBinsMatchingFixture) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+  loop_.RunForMs(300);  // history for back-dated stamps
+
+  ControlClient viewer(&loop_);
+  Sink sink;
+  sink.Wire(viewer);
+  ASSERT_TRUE(viewer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  viewer.Subscribe("tone*");
+  viewer.SetDelay(400);
+  viewer.Stage("SPECTRUM 256 hann");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 3; }));
+
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  // A 125 Hz tone sampled at 1 kHz (1 ms stamp spacing): the derived rate
+  // is exactly (256-1)*1000/255 = 1000 Hz, so bin_hz = 1000/256 and the
+  // tone lands dead on bin 32.
+  const int64_t base = scope_.NowMs();
+  std::vector<double> block(256);
+  for (int i = 0; i < 256; ++i) {
+    block[static_cast<size_t>(i)] =
+        std::sin(2.0 * M_PI * 125.0 * static_cast<double>(i) / 1000.0);
+    producer.Send(base - 255 + i, block[static_cast<size_t>(i)], "tone");
+  }
+  ASSERT_TRUE(RunUntil([&]() { return sink.tuples.size() >= 129; }, 4000));
+  ASSERT_EQ(sink.tuples.size(), 129u);  // bins 0..N/2 inclusive
+
+  // The streamed bins must match the library fixture on the same block.
+  Spectrum expect = ComputeSpectrum(block, 1000.0, {.window = WindowKind::kHann});
+  ASSERT_EQ(expect.power_db.size(), 129u);
+  std::map<std::string, double> got(sink.tuples.begin(), sink.tuples.end());
+  ASSERT_EQ(got.size(), 129u);
+  for (size_t k = 0; k < expect.power_db.size(); ++k) {
+    const std::string name = "tone.bin" + std::to_string(k);
+    ASSERT_TRUE(got.count(name)) << name;
+    EXPECT_DOUBLE_EQ(got[name], expect.power_db[k]) << name;
+  }
+  EXPECT_EQ(expect.PeakBin(), 32u);
+}
+
+TEST_F(ControlChannelTest, IdenticalSubscriptionsShareOneStageEvaluation) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  ControlClient a(&loop_), b(&loop_), c(&loop_);
+  Sink sa, sb, sc;
+  sa.Wire(a);
+  sb.Wire(b);
+  sc.Wire(c);
+  for (ControlClient* v : {&a, &b, &c}) {
+    ASSERT_TRUE(v->Connect(server.port()));
+  }
+  ASSERT_TRUE(RunUntil(
+      [&]() { return a.connected() && b.connected() && c.connected(); }));
+  for (ControlClient* v : {&a, &b, &c}) {
+    v->Subscribe("sh_*");
+    v->SetDelay(80);
+    v->Stage("DECIMATE 2");
+  }
+  ASSERT_TRUE(RunUntil([&]() {
+    return a.stats().replies_ok >= 3 && b.stats().replies_ok >= 3 &&
+           c.stats().replies_ok >= 3;
+  }));
+  // Three identical subscriptions share ONE server-side stage group.
+  EXPECT_EQ(server.stats().stages_active, 1);
+
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  for (int i = 1; i <= 10; ++i) {
+    producer.Send(scope_.NowMs(), static_cast<double>(i), "sh_sig");
+  }
+  ASSERT_TRUE(RunUntil([&]() {
+    return sa.tuples.size() >= 5 && sb.tuples.size() >= 5 &&
+           sc.tuples.size() >= 5;
+  }));
+  // The share-once proof: each sample evaluated ONCE, not once per viewer…
+  EXPECT_EQ(server.stats().stage_evals, 10);
+  // …then the 5 derived tuples fanned out to 3 echoes each.
+  EXPECT_EQ(server.stats().tuples_derived, 15);
+  for (Sink* s : {&sa, &sb, &sc}) {
+    ASSERT_EQ(s->tuples.size(), 5u);
+    EXPECT_EQ(s->tuples[0].second, 1.0);
+    EXPECT_EQ(s->tuples[4].second, 9.0);
+  }
+
+  // LIST reports the attached stage as the session's tap mode.
+  a.RequestList();
+  ASSERT_TRUE(RunUntil([&]() {
+    return std::find(sa.replies.begin(), sa.replies.end(),
+                     "OK LIST 1 DELAY 80 MODE DECIMATE 2") != sa.replies.end();
+  }));
+  EXPECT_TRUE(std::find(sa.replies.begin(), sa.replies.end(),
+                        "INFO SUB sh_* STAGE DECIMATE 2") != sa.replies.end());
+
+  // One member detaching back to raw leaves the group alive for the others.
+  c.ClearStage();
+  ASSERT_TRUE(RunUntil([&]() { return c.stats().replies_ok >= 4; }));
+  EXPECT_EQ(server.stats().stages_active, 1);
+  producer.Send(scope_.NowMs(), 11.0, "sh_sig");
+  producer.Send(scope_.NowMs(), 12.0, "sh_sig");
+  ASSERT_TRUE(RunUntil([&]() {
+    return sc.SawValue(12.0) && sa.SawValue(11.0) && sb.SawValue(11.0);
+  }));
+  // The raw session sees every sample again; staged peers stay decimated.
+  EXPECT_TRUE(sc.SawValue(11.0));
+  EXPECT_FALSE(sa.SawValue(12.0));
+  EXPECT_FALSE(sb.SawValue(12.0));
+}
+
+TEST_F(ControlChannelTest, SharedStageAcrossShardedLoops) {
+  // The TSan target: per-loop stage groups under sharded accepts.  Sessions
+  // spread across 4 loops; each loop that hosts members builds its own
+  // group, so evaluation count is bounded by loops x samples while every
+  // viewer still receives the exact decimated stream.
+  scope_.SetConcurrent(true);
+  StreamServer server(&loop_, &scope_, {.loops = 4});
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  constexpr int kViewers = 6;
+  constexpr int kSamples = 40;
+  std::vector<std::unique_ptr<ControlClient>> viewers;
+  std::vector<Sink> sinks(kViewers);
+  for (int i = 0; i < kViewers; ++i) {
+    viewers.push_back(std::make_unique<ControlClient>(&loop_));
+    sinks[static_cast<size_t>(i)].Wire(*viewers.back());
+    ASSERT_TRUE(viewers.back()->Connect(server.port()));
+  }
+  ASSERT_TRUE(RunUntil(
+      [&]() {
+        return std::all_of(viewers.begin(), viewers.end(),
+                           [](const auto& v) { return v->connected(); });
+      },
+      8000));
+  for (auto& v : viewers) {
+    v->Subscribe("shard_*");
+    v->SetDelay(80);
+    v->Stage("DECIMATE 2");
+  }
+  ASSERT_TRUE(RunUntil(
+      [&]() {
+        return std::all_of(viewers.begin(), viewers.end(), [](const auto& v) {
+          return v->stats().replies_ok >= 3;
+        });
+      },
+      8000));
+  EXPECT_GE(server.stats().stages_active, 1);
+  EXPECT_LE(server.stats().stages_active, 4);
+
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  for (int i = 1; i <= kSamples; ++i) {
+    producer.Send(scope_.NowMs(), static_cast<double>(i), "shard_sig");
+  }
+  ASSERT_TRUE(RunUntil(
+      [&]() {
+        return std::all_of(sinks.begin(), sinks.end(), [](const Sink& s) {
+          return s.tuples.size() >= kSamples / 2;
+        });
+      },
+      8000));
+  for (const Sink& s : sinks) {
+    ASSERT_EQ(s.tuples.size(), static_cast<size_t>(kSamples / 2));
+    for (int k = 0; k < kSamples / 2; ++k) {
+      EXPECT_EQ(s.tuples[static_cast<size_t>(k)].second,
+                static_cast<double>(2 * k + 1));
+    }
+  }
+  // Shard-local sharing: between 1x (all sessions on one loop) and 4x.
+  EXPECT_GE(server.stats().stage_evals, kSamples);
+  EXPECT_LE(server.stats().stage_evals, 4 * kSamples);
+}
+
+TEST_F(ControlChannelTest, StageRespectsNamespaceAndEgressQuota) {
+  StreamServerOptions opts;
+  opts.auth_tokens = {{"tok-a", "tenant-a"}};
+  opts.quota_egress_bytes_per_sec = 64;
+  StreamServer server(&loop_, &scope_, opts);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  ControlClient viewer(&loop_);
+  Sink sink;
+  sink.Wire(viewer);
+  ASSERT_TRUE(viewer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  viewer.Auth("tok-a");
+  viewer.Subscribe("q_*");
+  viewer.SetDelay(50);
+  viewer.Stage("EWMA 1");  // alpha = 1: identity pass-through
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 4; }));
+
+  ControlClient tenant_producer(&loop_);
+  ASSERT_TRUE(tenant_producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return tenant_producer.connected(); }));
+  tenant_producer.Auth("tok-a");
+  ASSERT_TRUE(RunUntil([&]() { return tenant_producer.stats().replies_ok >= 1; }));
+
+  StreamClient outsider(&loop_);
+  ASSERT_TRUE(outsider.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return outsider.connected(); }));
+
+  // The anonymous producer's same-prefixed signal must never enter the
+  // tenant's derived stream; the flood must trip the egress token bucket.
+  outsider.Send(scope_.NowMs(), 99.0, "q_secret");
+  for (int i = 1; i <= 200; ++i) {
+    tenant_producer.Send(scope_.NowMs(), 1000.0 + i, "q_x");
+  }
+  ASSERT_TRUE(RunUntil([&]() {
+    return sink.SawName("q_x") && server.stats().quota_drops_text >= 1;
+  }));
+  EXPECT_FALSE(sink.SawValue(99.0));
+  EXPECT_FALSE(sink.SawName("q_secret"));
+  EXPECT_GE(server.stats().quota_drops, 1);
+}
+
+TEST_F(ControlChannelTest, ReconnectReplaysAttachedStage) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  uint16_t port = server.port();
+  scope_.StartPolling();
+
+  ControlClient viewer(&loop_);
+  Sink sink;
+  sink.Wire(viewer);
+  ASSERT_TRUE(viewer.Connect(port));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  viewer.Subscribe("rs_*");
+  viewer.SetDelay(60);
+  viewer.Stage("EWMA 0.5");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 3; }));
+  EXPECT_TRUE(viewer.has_remembered_stage());
+  EXPECT_EQ(viewer.remembered_stage(), "EWMA 0.5");
+
+  server.Close();
+  ASSERT_TRUE(RunUntil(
+      [&]() { return viewer.state() == ConnectState::kDisconnected; }));
+  ASSERT_TRUE(server.Listen(port));
+
+  // Reconnect only: SUB, DELAY and the stage are replayed automatically,
+  // the stage LAST so it keys against the restored pattern set and delay.
+  ASSERT_TRUE(viewer.Connect(port));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 6; }));
+  EXPECT_EQ(viewer.stats().resumed_commands, 3);  // SUB + DELAY + EWMA
+  EXPECT_EQ(server.stats().stages_active, 1);
+  EXPECT_EQ(viewer.stats().replies_err, 0);
+
+  viewer.RequestList();
+  ASSERT_TRUE(RunUntil([&]() {
+    return std::find(sink.replies.begin(), sink.replies.end(),
+                     "OK LIST 1 DELAY 60 MODE EWMA 0.5") != sink.replies.end();
+  }));
+
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(port));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  producer.Send(scope_.NowMs(), 1.0, "rs_x");
+  producer.Send(scope_.NowMs(), 2.0, "rs_x");
+  ASSERT_TRUE(RunUntil([&]() { return sink.tuples.size() >= 2; }));
+  EXPECT_EQ(sink.tuples[0].second, 1.0);
+  EXPECT_EQ(sink.tuples[1].second, 1.5);
+}
+
+TEST_F(ControlChannelTest, CoalesceAndRawSwitchListMode) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  ControlClient viewer(&loop_);
+  Sink sink;
+  sink.Wire(viewer);
+  ASSERT_TRUE(viewer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  viewer.Subscribe("c_*");
+  viewer.SetDelay(100);
+  viewer.Stage("COALESCE");
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 3; }));
+  // COALESCE is a tap-mode switch, not a derived stage: no group exists.
+  EXPECT_EQ(server.stats().stages_active, 0);
+
+  viewer.RequestList();
+  ASSERT_TRUE(RunUntil([&]() {
+    return std::find(sink.replies.begin(), sink.replies.end(),
+                     "OK LIST 1 DELAY 100 MODE coalesced") != sink.replies.end();
+  }));
+
+  viewer.ClearStage();  // sends RAW
+  ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 4; }));
+  viewer.RequestList();
+  ASSERT_TRUE(RunUntil([&]() {
+    return std::find(sink.replies.begin(), sink.replies.end(),
+                     "OK LIST 1 DELAY 100 MODE every-sample") !=
+           sink.replies.end();
+  }));
+}
+
+TEST_F(ControlChannelTest, StageGrammarErrShapes) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  Socket raw = Socket::Connect(server.port());
+  ASSERT_TRUE(raw.valid());
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+
+  const std::string wire =
+      "SUB g_*\n"
+      "DECIMATE 0\n"
+      "DECIMATE x\n"
+      "EWMA 2\n"
+      "EWMA abc\n"
+      "ENVELOPE 0\n"
+      "SPECTRUM 1\n"
+      "SPECTRUM 8 bogus\n"
+      "SPECTRUM 8 hann extra\n"
+      "COALESCE junk\n"
+      "DECIMATE 3 junk\n";
+  raw.Write(wire.data(), wire.size());
+
+  std::string received;
+  ASSERT_TRUE(RunUntil([&]() {
+    char buf[2048];
+    IoResult r = raw.Read(buf, sizeof(buf));
+    if (r.status == IoResult::Status::kOk) {
+      received.append(buf, r.bytes);
+    }
+    return received.find("OK SUB g_*\n") != std::string::npos &&
+           received.find("ERR DECIMATE bad-factor\n") != std::string::npos &&
+           received.find("ERR EWMA bad-alpha\n") != std::string::npos &&
+           received.find("ERR ENVELOPE bad-window\n") != std::string::npos &&
+           received.find("ERR SPECTRUM bad-size\n") != std::string::npos &&
+           received.find("ERR SPECTRUM bad-window\n") != std::string::npos &&
+           received.find("ERR SPECTRUM trailing-junk\n") != std::string::npos &&
+           received.find("ERR COALESCE trailing-junk\n") != std::string::npos &&
+           received.find("ERR DECIMATE trailing-junk\n") != std::string::npos;
+  }));
+  // Every malformed spec was rejected before touching the session's tap:
+  // no stage group was ever created, and the session survived.
+  EXPECT_EQ(server.stats().stages_active, 0);
+  EXPECT_EQ(server.control_session_count(), 1u);
 }
 
 }  // namespace

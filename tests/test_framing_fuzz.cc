@@ -25,6 +25,7 @@
 #include "net/frame_codec.h"
 #include "net/line_framer.h"
 #include "net/socket.h"
+#include "net/stream_client.h"
 #include "net/stream_server.h"
 #include "runtime/event_loop.h"
 
@@ -657,6 +658,106 @@ TEST(FramingFuzz, TextHelloBinaryTransitionOnRawSocket) {
   EXPECT_EQ(server.stats().frames_crc_errors, 0);
   EXPECT_EQ(server.stats().parse_errors, 0);
   EXPECT_EQ(server.stats().dict_entries, 1);  // interned once across frames
+}
+
+TEST(FramingFuzz, DerivedFrameRelayEgressChunkingInvariance) {
+  // Frame-relay egress for derived pipelines: a binary-negotiated subscriber
+  // with a DECIMATE stage receives its derived tuples as SAMPLES frames.
+  // The captured egress byte stream must decode to the same observation -
+  // same dict entries, same bit-exact samples, same text reply lines, same
+  // frame/CRC tallies - under every read chunking.
+  MainLoop loop;
+  Scope scope(&loop, {.name = "fzd", .width = 64});
+  scope.SetPollingMode(1);
+  StreamServer server(&loop, &scope);
+  ASSERT_TRUE(server.Listen(0));
+  scope.StartPolling();
+
+  Socket raw = Socket::Connect(server.port());
+  ASSERT_TRUE(raw.valid());
+  std::string egress;
+  auto pump = [&](const std::function<bool()>& pred, int max_ms = 3000) {
+    for (int i = 0; i < max_ms; ++i) {
+      char buf[4096];
+      IoResult r = raw.Read(buf, sizeof(buf));
+      if (r.ok() && r.bytes > 0) {
+        egress.append(buf, r.bytes);
+      }
+      if (pred()) {
+        return true;
+      }
+      loop.RunForMs(1);
+    }
+    return pred();
+  };
+  ASSERT_TRUE(pump([&]() { return server.client_count() == 1; }));
+
+  // The HELLO reply is the last plain-text line; every later byte is framed.
+  const std::string hello = "HELLO BIN 1\n";
+  raw.Write(hello.data(), hello.size());
+  const std::string hello_ok = "OK HELLO BIN 1\n";
+  ASSERT_TRUE(
+      pump([&]() { return egress.find(hello_ok) != std::string::npos; }));
+
+  const std::string setup = "SUB fz_*\nDELAY 50\nDECIMATE 2\n";
+  raw.Write(setup.data(), setup.size());
+  ASSERT_TRUE(pump([&]() { return server.stats().stages_active >= 1; }));
+
+  StreamClient producer(&loop);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(pump([&]() { return producer.connected(); }));
+  for (int i = 1; i <= 20; ++i) {
+    producer.Send(scope.NowMs(), static_cast<double>(i), "fz_sig");
+  }
+
+  // Drain until the whole-stream decode shows all 10 derived samples (the
+  // even-indexed half was decimated away server-side).
+  auto framed = [&]() {
+    return egress.substr(egress.find(hello_ok) + hello_ok.size());
+  };
+  ASSERT_TRUE(pump([&]() {
+    std::string stream = framed();
+    if (stream.empty()) {
+      return false;
+    }
+    DecodeOutcome out = RunDecoder(stream, {stream.size()});
+    return out.crc_errors == 0 && out.samples.size() >= 10;
+  }));
+  // Settle: nothing further may arrive (exactly 10 derived tuples exist).
+  ASSERT_TRUE(pump([&]() { return true; }, 100));
+
+  const std::string stream = framed();
+  DecodeOutcome whole = RunDecoder(stream, {stream.size()});
+  ASSERT_EQ(whole.crc_errors, 0);
+  ASSERT_EQ(whole.samples.size(), 10u);
+  std::vector<std::string> id_names(wire::kMaxDictId + 1);
+  for (const auto& [id, name] : whole.dict) {
+    id_names[id] = name;
+  }
+  for (int k = 0; k < 10; ++k) {
+    const WireSample& got = whole.samples[static_cast<size_t>(k)];
+    EXPECT_EQ(got.value, static_cast<double>(2 * k + 1));
+    EXPECT_EQ(id_names[got.id], "fz_sig");
+  }
+  // The control replies rode the same stream as text-line frames.
+  int ok_replies = 0;
+  for (const std::string& line : whole.text) {
+    if (line.find("OK ") != std::string::npos) {
+      ++ok_replies;
+    }
+  }
+  EXPECT_GE(ok_replies, 3);  // OK SUB, OK DELAY, OK DECIMATE 2
+
+  // Chunking invariance of the captured relay stream.
+  DecodeOutcome bytewise = RunDecoder(stream, {1});
+  EXPECT_TRUE(bytewise == whole);
+  std::mt19937 rng(42);
+  for (int round = 0; round < 6; ++round) {
+    DecodeOutcome chunked =
+        RunDecoder(stream, RandomChunkSizes(rng, 23 + static_cast<size_t>(round)));
+    SCOPED_TRACE("round " + std::to_string(round));
+    EXPECT_TRUE(chunked == whole);
+  }
 }
 
 }  // namespace
