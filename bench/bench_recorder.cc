@@ -1,0 +1,353 @@
+// Flight-recorder measurement (ROADMAP item 3 acceptance): (1) raw ExtentLog
+// append throughput — the zero-allocation staged-column path, auto-sealing
+// 64 KiB extents as they fill; (2) capture-while-serving — the same
+// display-scope drain workload as bench_drain run with and without a Recorder
+// registered on the router, interleaved in one process (the BENCH_drain
+// methodology), where the acceptance bar is a <= 5% throughput delta; and
+// (3) Open()-time recovery cost against a torn log as the ring grows, since
+// recovery scans and CRC-validates every slot.
+//
+// Usage: bench_recorder [tuples_per_config] [rounds]
+//   (defaults 200000 and 3; smoke runs pass less)
+#include <ctime>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <cinttypes>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "gscope.h"
+
+namespace {
+
+double ProcessCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+double ThreadCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+double MonotonicSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+std::string BenchPath(const char* tag) {
+  return "/tmp/gscope_bench_recorder_" + std::string(tag) + "_" +
+         std::to_string(getpid()) + ".log";
+}
+
+constexpr int kSignals = 8;
+
+// ---- part 1: raw append throughput ----------------------------------------
+
+double RunRawAppend(int num_signals, int64_t tuples) {
+  const std::string path = BenchPath("raw");
+  std::remove(path.c_str());
+  gscope::ExtentLog log({.extent_bytes = 64 * 1024, .max_extents = 64});
+  if (!log.Open(path)) {
+    std::fprintf(stderr, "FAIL: raw append log open\n");
+    std::exit(1);
+  }
+  std::vector<std::string> names;
+  for (int s = 0; s < num_signals; ++s) {
+    names.push_back("raw" + std::to_string(s));
+  }
+  // Warm-up: intern every name, grow the column and seal scratches.
+  for (int s = 0; s < num_signals; ++s) {
+    log.Append(names[s], 0, 0.0);
+  }
+  log.SealNow();
+
+  double cpu_start = ProcessCpuSeconds();
+  int64_t t = 1;
+  for (int64_t i = 0; i < tuples; ++i) {
+    log.Append(names[i % num_signals], t, static_cast<double>(i));
+    if (i % num_signals == num_signals - 1) {
+      ++t;
+    }
+  }
+  log.SealNow();
+  double cpu = ProcessCpuSeconds() - cpu_start;
+
+  const auto& st = log.stats();
+  if (st.appends != tuples + num_signals || log.degraded()) {
+    std::fprintf(stderr, "FAIL: raw append lost records (%" PRId64 "/%" PRId64 ")\n",
+                 st.appends, tuples + num_signals);
+    std::exit(1);
+  }
+  log.Close();
+  std::remove(path.c_str());
+  return cpu > 0 ? static_cast<double>(tuples) / cpu : 0;
+}
+
+// ---- part 2: capture while serving ----------------------------------------
+
+struct CaptureRunResult {
+  int64_t tuples = 0;
+  double cpu_seconds = 0.0;
+  double tuples_per_cpu_sec() const { return cpu_seconds > 0 ? tuples / cpu_seconds : 0; }
+};
+
+// The bench_drain serving workload — `num_scopes` coalescing display scopes
+// fed `batch` samples per signal per 5 ms SimClock tick through one inline
+// router — with an optional Recorder registered as one more router target.
+// What the serving side pays for capture is the router's span enqueue into
+// the recorder scope (the recorder's own drain/extent/pwrite work runs off
+// the serving loops in production), so the measured window per tick is
+// exactly the serving work: push + Flush + serving-scope drains.  The
+// recorder is driven in external-loop mode on this same thread and its scope
+// is ticked BETWEEN measured windows — deterministic single-thread
+// interleaving, because a <= 5% bar is far below the noise floor of
+// cross-thread pacing (idle-paced A/B arms measure DVFS wake-up states, and
+// spin-paced arms measure scheduler migration, not capture cost).  Ticking
+// the recorder every tick also bounds its span queue to the displayability
+// window, preserving the router's block-pool reuse exactly as a production
+// (real-time, own-thread) recorder does.
+CaptureRunResult RunCapture(int num_scopes, int batch, int ticks, bool record) {
+  gscope::SimClock clock;
+  gscope::MainLoop loop(&clock);
+  gscope::IngestRouter router({.fanout_shards = 1, .worker_threads = 0});
+
+  std::vector<std::unique_ptr<gscope::Scope>> scopes;
+  for (int i = 0; i < num_scopes; ++i) {
+    scopes.push_back(std::make_unique<gscope::Scope>(
+        &loop, gscope::ScopeOptions{.name = "sink" + std::to_string(i), .width = 128}));
+    scopes.back()->SetPollingMode(5);
+    scopes.back()->StartPolling();
+    router.AddScope(scopes.back().get());
+  }
+
+  const std::string path = BenchPath("capture");
+  std::remove(path.c_str());
+  gscope::Recorder recorder({.log = {.extent_bytes = 64 * 1024, .max_extents = 64},
+                             .poll_period_ms = 5,
+                             .loop = &loop});
+  if (record) {
+    if (!recorder.Start(path)) {
+      std::fprintf(stderr, "FAIL: recorder start\n");
+      std::exit(1);
+    }
+    // Process the queued InstallOnLoop so the capture scope starts polling
+    // (its clock epoch must be live before samples arrive).
+    loop.RunForMs(1);
+    router.AddScope(recorder.scope());
+  }
+
+  std::vector<std::string> names;
+  for (int s = 0; s < kSignals; ++s) {
+    names.push_back("sig" + std::to_string(s));
+  }
+
+  // Warm-up: build routes, pool blocks, intern recorder names.
+  for (int warm = 0; warm < 3; ++warm) {
+    int64_t now = scopes[0]->NowMs();
+    for (const std::string& name : names) {
+      for (int b = 0; b < batch; ++b) {
+        router.Append(name, now, static_cast<double>(b));
+      }
+    }
+    router.Flush();
+    clock.AdvanceMs(5);
+    for (auto& scope : scopes) {
+      scope->TickOnce();
+    }
+    if (record) {
+      recorder.scope()->TickOnce();
+    }
+  }
+
+  double cpu = 0;
+  for (int t = 0; t < ticks; ++t) {
+    double cpu_start = ThreadCpuSeconds();
+    int64_t now = scopes[0]->NowMs();
+    for (const std::string& name : names) {
+      for (int b = 0; b < batch; ++b) {
+        router.Append(name, now, static_cast<double>(b));
+      }
+    }
+    router.Flush();
+    clock.AdvanceMs(5);
+    for (auto& scope : scopes) {
+      scope->TickOnce();
+    }
+    cpu += ThreadCpuSeconds() - cpu_start;
+    if (record) {
+      recorder.scope()->TickOnce();
+    }
+  }
+  CaptureRunResult result;
+  result.cpu_seconds = cpu;
+  result.tuples = static_cast<int64_t>(ticks) * kSignals * batch;
+
+  // Sanity: serving unharmed, and the recorder captured every routed sample
+  // (warm-up included) without degrading.  The displayability window means
+  // the last few ticks are still queued — advance the sim past them first.
+  for (auto& scope : scopes) {
+    for (const std::string& name : names) {
+      gscope::SignalId id = scope->FindSignal(name);
+      double v = scope->LatestValue(id).value_or(-1);
+      if (v != static_cast<double>(batch - 1)) {
+        std::fprintf(stderr, "FAIL: %s last value %.1f != %d\n", name.c_str(), v,
+                     batch - 1);
+        std::exit(1);
+      }
+    }
+  }
+  if (record) {
+    int64_t expect = static_cast<int64_t>(ticks + 3) * kSignals * batch;
+    for (int drain = 0; drain < 200; ++drain) {
+      clock.AdvanceMs(5);
+      // External-loop FlushNow runs inline: drain + seal + stats publish.
+      recorder.FlushNow();
+      if (recorder.stats().samples_captured.load() >= expect) {
+        break;
+      }
+    }
+    int64_t captured = recorder.stats().samples_captured.load();
+    if (captured != expect || recorder.stats().degraded.load() != 0) {
+      std::fprintf(stderr,
+                   "FAIL: capture lost samples (%" PRId64 "/%" PRId64 ", degraded %" PRId64
+                   ")\n",
+                   captured, expect, recorder.stats().degraded.load());
+      std::exit(1);
+    }
+    router.RemoveScope(recorder.scope());
+    recorder.Stop();
+  }
+  std::remove(path.c_str());
+  return result;
+}
+
+// ---- part 3: recovery time ------------------------------------------------
+
+// Builds a log of `extents` sealed 4 KiB extents plus a torn garbage tail,
+// then measures ExtentLog::Open() — the scan-validate-truncate pass.
+double RunRecovery(int extents, int* recovered) {
+  const std::string path = BenchPath("recover");
+  std::remove(path.c_str());
+  constexpr size_t kExtentBytes = 4096;
+  {
+    gscope::ExtentLog log({.extent_bytes = kExtentBytes,
+                           .max_extents = static_cast<size_t>(extents)});
+    if (!log.Open(path)) {
+      std::fprintf(stderr, "FAIL: recovery log open\n");
+      std::exit(1);
+    }
+    int64_t t = 0;
+    while (log.stats().extents_sealed < extents) {
+      log.Append("a", t, 1.0);
+      log.Append("b", t, 2.0);
+      ++t;
+    }
+    log.Close();
+  }
+  // Torn tail: half a slot of garbage past the last sealed extent.
+  {
+    FILE* f = std::fopen(path.c_str(), "ab");
+    if (f == nullptr) {
+      std::fprintf(stderr, "FAIL: recovery tail append\n");
+      std::exit(1);
+    }
+    std::string garbage(kExtentBytes / 2, '\x5a');
+    std::fwrite(garbage.data(), 1, garbage.size(), f);
+    std::fclose(f);
+  }
+  double wall_start = MonotonicSeconds();
+  gscope::ExtentLog log({.extent_bytes = kExtentBytes,
+                         .max_extents = static_cast<size_t>(extents)});
+  if (!log.Open(path)) {
+    std::fprintf(stderr, "FAIL: recovery reopen\n");
+    std::exit(1);
+  }
+  double wall = MonotonicSeconds() - wall_start;
+  const auto& st = log.stats();
+  if (st.extents_recovered != extents || st.extents_truncated != 1) {
+    std::fprintf(stderr, "FAIL: recovery found %" PRId64 "/%d extents\n",
+                 st.extents_recovered, extents);
+    std::exit(1);
+  }
+  *recovered = static_cast<int>(st.extents_recovered);
+  log.Close();
+  std::remove(path.c_str());
+  return wall * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int total = 200'000;
+  int rounds = 3;
+  if (argc > 1) {
+    total = std::atoi(argv[1]);
+    if (total <= 0) {
+      total = 200'000;
+    }
+  }
+  if (argc > 2) {
+    rounds = std::max(1, std::atoi(argv[2]));
+  }
+
+  std::printf("Flight recorder: %d tuples per config, best of %d interleaved rounds\n\n",
+              total, rounds);
+
+  std::printf("raw ExtentLog append (64 KiB extents, auto-seal)\n");
+  std::printf("%-9s %-16s\n", "signals", "tuples/cpu-s");
+  for (int num_signals : {1, 8, 64}) {
+    double best = 0;
+    for (int r = 0; r < rounds; ++r) {
+      best = std::max(best, RunRawAppend(num_signals, total));
+    }
+    std::printf("%-9d %-16.0f\n", num_signals, best);
+  }
+
+  std::printf("\ncapture while serving (%d signals, batch/tick varies)\n", kSignals);
+  std::printf("%-7s %-6s %-14s %-14s %-9s\n", "scopes", "batch", "serve/cpu-s",
+              "+rec/cpu-s", "ratio");
+  double worst_ratio = 1.0;
+  for (int num_scopes : {4, 16}) {
+    for (int batch : {64, 256}) {
+      int ticks = std::max(3, total / (kSignals * batch));
+      double best_serve = 0, best_record = 0;
+      for (int r = 0; r < rounds; ++r) {
+        best_serve = std::max(
+            best_serve, RunCapture(num_scopes, batch, ticks, false).tuples_per_cpu_sec());
+        best_record = std::max(
+            best_record, RunCapture(num_scopes, batch, ticks, true).tuples_per_cpu_sec());
+      }
+      double ratio = best_serve > 0 ? best_record / best_serve : 0;
+      worst_ratio = std::min(worst_ratio, ratio);
+      std::printf("%-7d %-6d %-14.0f %-14.0f %-9.3f\n", num_scopes, batch, best_serve,
+                  best_record, ratio);
+    }
+  }
+
+  std::printf("\nrecovery (4 KiB extents, torn half-slot tail)\n");
+  std::printf("%-9s %-12s %-12s\n", "extents", "open-ms", "recovered");
+  for (int extents : {64, 512, 2048}) {
+    double best = 1e9;
+    int recovered = 0;
+    for (int r = 0; r < rounds; ++r) {
+      best = std::min(best, RunRecovery(extents, &recovered));
+    }
+    std::printf("%-9d %-12.3f %-12d\n", extents, best, recovered);
+  }
+
+  std::printf("\nacceptance: capture-while-serving worst ratio %.3f (bar: >= 0.95 —\n"
+              "the recorder's every-sample tap must not disable drain coalescing\n"
+              "for the serving scopes; its own cost rides the recorder scope).\n",
+              worst_ratio);
+  return 0;
+}

@@ -34,6 +34,12 @@ echo "--- bench smoke: drain coalescing (reduced tuple count, 1 round) ---"
 # the self-check is the point of the smoke, the numbers are not.
 "$build_dir/bench_drain" 5000 1
 
+echo "--- bench smoke: flight recorder (reduced tuple count, 1 round) ---"
+# Exits non-zero if the raw append path loses a record, capture-while-serving
+# misses a routed sample (or degrades), or recovery finds the wrong extent
+# count; the self-checks are the point, the numbers are BENCH_recorder.json's.
+"$build_dir/bench_recorder" 5000 1 > /dev/null
+
 # Every other bench target gets a ~1s smoke: it must start and not crash.
 # Long-running experiment mains are cut off by timeout (exit 124 = alive).
 echo "--- bench smoke: all remaining targets (~1s each) ---"
@@ -41,7 +47,7 @@ for bench in "$build_dir"/bench_*; do
   [ -x "$bench" ] || continue
   name="$(basename "$bench")"
   case "$name" in
-    bench_tuple_codec|bench_net_stream|bench_fanout|bench_backpressure|bench_drain) continue ;;
+    bench_tuple_codec|bench_net_stream|bench_fanout|bench_backpressure|bench_drain|bench_recorder) continue ;;
   esac
   args=()
   case "$name" in
@@ -64,7 +70,8 @@ cmake -B "$asan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   > /dev/null
 cmake --build "$asan_dir" -j --target \
   test_socket test_stream test_datagram_server test_control_channel \
-  test_signal_filter test_framing_fuzz test_reliability example_remote_control
+  test_signal_filter test_framing_fuzz test_reliability test_record \
+  example_remote_control
 "$asan_dir/test_socket"
 "$asan_dir/test_stream"
 "$asan_dir/test_datagram_server"
@@ -80,6 +87,15 @@ echo "--- ASan+UBSan fault matrix: framing fuzz + self-healing transport ---"
 # CRCs, truncated-frame resync and the text->HELLO->binary transition.
 "$asan_dir/test_framing_fuzz"
 "$asan_dir/test_reliability"
+
+echo "--- ASan+UBSan crash-recovery matrix: flight recorder (file-fault x fsync-policy) ---"
+# The file-op fault shim tears seals mid-pwrite, storms EIO/ENOSPC and fails
+# fsyncs across every fsync policy while the sanitizers watch the extent
+# scratch, the recovery scan and the torn-tail ftruncate: exactly where a
+# short-slot overread or a stale-column reuse would hide.  The seeded fuzz
+# re-runs the byte-identical-recovery invariant under ASan on top.
+"$asan_dir/test_record" \
+  --gtest_filter='ExtentLogTest.FaultMatrixRecoveryInvariant:ExtentLogTest.TornTailRecoveryFuzz:ExtentLogTest.DiskFull*:ExtentLogTest.FsyncFailureIsCountedNeverFatal:ExtentLogTest.NonEnospcSealFailureDropsExtentNotCapture'
 
 echo "--- control-channel smoke (ASan+UBSan): subscribe, push, assert echo ---"
 # example_remote_control exits non-zero unless both subscribers received
@@ -158,5 +174,12 @@ echo "--- soak: reconnect under faults (Release, < 10 s) ---"
 # invariants intact.
 GSCOPE_STRESS_SOAK=1 "$build_dir/test_reliability" \
   --gtest_filter='ReliabilityMatrixTest.ReconnectSoak'
+
+echo "--- soak: flight recorder disk-full rotation (Release, < 10 s) ---"
+# 200 phases rotating healthy / ENOSPC-forever / probabilistic-EIO /
+# partial-write fault regimes: the log must degrade to coalesced capture,
+# re-seal on recovery, and end every phase readable and time-sorted.
+GSCOPE_STRESS_SOAK=1 "$build_dir/test_record" \
+  --gtest_filter='RecorderSoakTest.*'
 
 echo "check.sh: OK"

@@ -266,6 +266,34 @@ int gscope_clear_stage(gscope_ctx* ctx) {
   return ctx->control->ClearStage() ? 0 : kErrFailed;
 }
 
+int gscope_record(gscope_ctx* ctx, const char* path) {
+  if (!Valid(ctx) || ctx->control == nullptr || path == nullptr || path[0] == '\0') {
+    return kErrBadArg;
+  }
+  return ctx->control->Record(path) ? 0 : kErrFailed;
+}
+
+int gscope_record_stop(gscope_ctx* ctx) {
+  if (!Valid(ctx) || ctx->control == nullptr) {
+    return kErrBadArg;
+  }
+  return ctx->control->StopRecord() ? 0 : kErrFailed;
+}
+
+int gscope_replay(gscope_ctx* ctx, int64_t t0_ms, int64_t t1_ms, double speed) {
+  if (!Valid(ctx) || ctx->control == nullptr || t1_ms < t0_ms) {
+    return kErrBadArg;
+  }
+  return ctx->control->Replay(t0_ms, t1_ms, speed) ? 0 : kErrFailed;
+}
+
+int gscope_request_stages(gscope_ctx* ctx) {
+  if (!Valid(ctx) || ctx->control == nullptr) {
+    return kErrBadArg;
+  }
+  return ctx->control->RequestStages() ? 0 : kErrFailed;
+}
+
 int gscope_send(gscope_ctx* ctx, int64_t time_ms, double value, const char* name) {
   if (!Valid(ctx) || ctx->control == nullptr || name == nullptr || name[0] == '\0') {
     return kErrBadArg;

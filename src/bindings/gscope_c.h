@@ -95,6 +95,20 @@ int gscope_set_stage(gscope_ctx* ctx, const char* spec);
 /* Detaches the stage (sends RAW) and stops replaying it. */
 int gscope_clear_stage(gscope_ctx* ctx);
 
+/* Flight recorder (docs/protocol.md, "Flight recorder").  gscope_record
+ * starts a server-side crash-safe capture into an extent log at `path` (a
+ * path on the SERVER's filesystem; anonymous sessions only) and
+ * gscope_record_stop seals and stops it.  gscope_replay streams recorded
+ * window [t0_ms, t1_ms] back through this session's subscriptions - speed
+ * <= 0 bursts the whole window, speed > 0 paces recorded time at that
+ * multiple of real time.  gscope_request_stages asks for the server's stage
+ * catalog (LIST STAGES).  All return 0 when the command was queued;
+ * replies arrive asynchronously. */
+int gscope_record(gscope_ctx* ctx, const char* path);
+int gscope_record_stop(gscope_ctx* ctx);
+int gscope_replay(gscope_ctx* ctx, int64_t t0_ms, int64_t t1_ms, double speed);
+int gscope_request_stages(gscope_ctx* ctx);
+
 /* Pushes one tuple UPSTREAM over the control connection (the producer side
  * of the wire protocol; the server ingests it like any tuple line).
  * Returns 1 if queued, 0 if dropped by the overflow policy, negative on

@@ -111,10 +111,16 @@ bool IngestRouter::SlotExcludes(size_t s, std::string_view name) const {
 std::shared_ptr<IngestBlock> IngestRouter::AcquireBlock() {
   for (const std::shared_ptr<IngestBlock>& pooled : block_pool_) {
     // use_count 1 = only the pool holds it: every span that referenced it
-    // has been drained, so the sample storage can be reused in place.
+    // has been drained, so the sample storage can be reused in place.  The
+    // count is stable once it reaches 1 (consumers can only clone refs they
+    // still hold), but use_count() itself is a relaxed load with no
+    // ordering; copying the shared_ptr is an acquiring RMW on the same
+    // counter, which synchronizes with every consumer's release-decrement
+    // so their last reads happen-before the storage is reused.
     if (pooled.use_count() == 1) {
-      pooled->Clear();
-      return pooled;
+      std::shared_ptr<IngestBlock> acquired = pooled;
+      acquired->Clear();
+      return acquired;
     }
   }
   auto fresh = std::make_shared<IngestBlock>();

@@ -53,4 +53,9 @@
 #include "net/stream_client.h"
 #include "net/stream_server.h"
 
+// Crash-safe flight recorder and time-travel replay.
+#include "record/extent_log.h"
+#include "record/recorder.h"
+#include "record/replayer.h"
+
 #endif  // GSCOPE_GSCOPE_H_

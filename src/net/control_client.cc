@@ -584,7 +584,31 @@ bool ControlClient::ClearStage() {
 
 bool ControlClient::RequestList() { return SendCommand("LIST", {}); }
 
+bool ControlClient::RequestStages() { return SendCommand("LIST", "STAGES"); }
+
 bool ControlClient::RequestStats() { return SendCommand("STATS", {}); }
+
+bool ControlClient::Record(std::string_view path) {
+  if (path.empty()) {
+    return false;
+  }
+  return SendCommand("RECORD", path);
+}
+
+bool ControlClient::StopRecord() { return SendCommand("RECORD", "OFF"); }
+
+bool ControlClient::Replay(int64_t t0, int64_t t1, double speed) {
+  std::string arg;
+  arg.append(std::to_string(t0)).push_back(' ');
+  arg.append(std::to_string(t1));
+  if (speed > 0.0) {
+    char buf[32];
+    auto r = std::to_chars(buf, buf + sizeof(buf), speed);
+    arg.push_back(' ');
+    arg.append(buf, static_cast<size_t>(r.ptr - buf));
+  }
+  return SendCommand("REPLAY", arg);
+}
 
 bool ControlClient::Ping() {
   char buf[24];

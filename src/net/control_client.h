@@ -165,9 +165,22 @@ class ControlClient {
   // Detaches the stage (sends RAW) and stops replaying it.
   bool ClearStage();
   bool RequestList();
+  // Asks for the server's stage catalog (`OK STAGES <n> ACTIVE <m>` plus
+  // one INFO STAGE line per spec grammar).
+  bool RequestStages();
   // Asks for the server's counter line (`OK STATS key value ...`); the
   // reply arrives through the reply callback like any OK line.
   bool RequestStats();
+  // Flight recorder (docs/protocol.md "Flight recorder").  Record starts a
+  // server-side capture into an extent log at `path` (server filesystem;
+  // anonymous sessions only); StopRecord seals and stops it.  Replay
+  // streams recorded window [t0, t1] back through this session's filter -
+  // speed <= 0 bursts the whole window, speed > 0 paces recorded time at
+  // that multiple of real time.  Not remembered for reconnect: a replay is
+  // a one-shot query, not session state.
+  bool Record(std::string_view path);
+  bool StopRecord();
+  bool Replay(int64_t t0, int64_t t1, double speed = 0.0);
   // Sends one PING (token = local ms clock); the PONG echo feeds
   // pongs_received / last_rtt_ms().  The liveness timer calls this
   // automatically when ping_interval_ms is set.

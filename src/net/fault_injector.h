@@ -38,13 +38,21 @@
 
 namespace gscope {
 
-// The intercepted operations, one per syscall family the net layer makes.
+// The intercepted operations, one per syscall family the net layer makes,
+// plus the flight recorder's file-I/O boundary (src/record/extent_log.cc):
+// error handling around open/pwrite/fsync is exactly the never-executed-on-
+// a-healthy-box code the Linux fault study warns about, so the recorder's
+// recovery paths must be reachable deterministically from (seed, rules) too.
 enum class FaultOp : uint8_t {
   kRead = 0,      // Socket::Read
   kWrite,         // Socket::Write and FramedWriter drains
   kConnect,       // Socket::Connect's connect(2)
   kAccept,        // Socket::Accept's accept(2)
   kRecvDatagram,  // Socket::ReadDatagram's recvmsg(2)
+  kFileOpen,      // ExtentLog's open(2)
+  kFileWrite,     // ExtentLog's pwrite(2) (kPartialWrite clamps it short)
+  kFileSync,      // ExtentLog's fsync(2)
+  kFileTruncate,  // ExtentLog recovery's ftruncate(2)
 };
 
 // One scripted fault.  Rules are consulted in insertion order; the first

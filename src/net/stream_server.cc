@@ -35,6 +35,11 @@ std::string_view NextToken(std::string_view& s) {
 // stays bounded by the deferred flush (one loop iteration) either way.
 constexpr size_t kEgressFrameSamples = 128;
 
+// Pacing granularity of a speed > 0 REPLAY (docs/protocol.md "Flight
+// recorder"): recorded time is re-evaluated against the loop clock this
+// often, so emission bursts are at most one tick's worth.
+constexpr int64_t kReplayTickMs = 5;
+
 // Tenants see their own bare names: the stored "<ns>\x1f" identity prefix is
 // stripped before a sample is re-serialized down the session.  The prefix is
 // matched, not assumed: right after an AUTH re-scope, samples routed under
@@ -99,8 +104,18 @@ bool StreamServer::AddScope(Scope* scope) { return router_.AddScope(scope); }
 bool StreamServer::RemoveScope(Scope* scope) { return router_.RemoveScope(scope); }
 
 StreamServer::~StreamServer() {
-  self_alias_.reset();  // invalidate deferred closures before teardown
+  {
+    // Invalidate deferred closures before teardown.  Loop threads may still
+    // be copying the token (WeakSelf) until Close() joins them.
+    std::lock_guard<std::mutex> lock(self_alias_mu_);
+    self_alias_.reset();
+  }
   Close();
+}
+
+std::weak_ptr<StreamServer> StreamServer::WeakSelf() {
+  std::lock_guard<std::mutex> lock(self_alias_mu_);
+  return self_alias_;
 }
 
 bool StreamServer::Listen(uint16_t port) {
@@ -197,6 +212,7 @@ void StreamServer::Close() {
         if (client->watch != 0) {
           shard->loop->Remove(client->watch);
         }
+        CancelReplay(*shard, *client);
         if (client->session != nullptr) {
           // Unregister before the scope is destroyed with the client map.
           router_.RemoveScope(client->session->scope.get());
@@ -213,6 +229,17 @@ void StreamServer::Close() {
       shard->client_count.store(0, std::memory_order_relaxed);
       shard->session_count.store(0, std::memory_order_relaxed);
     });
+  }
+  {
+    // A recording never outlives its server: seal and stop the capture
+    // (the recorder's own thread joins here) before the loops wind down.
+    std::lock_guard<std::mutex> lock(record_mu_);
+    if (recorder_ != nullptr) {
+      router_.RemoveScope(recorder_->scope());
+      recorder_->Stop();
+      FoldRecorderLocked();
+      recorder_.reset();
+    }
   }
   pool_.Stop();
   port_ = 0;
@@ -276,7 +303,7 @@ bool StreamServer::OnAcceptReady(LoopShard& shard) {
       continue;
     }
     target->client_count.fetch_add(1, std::memory_order_relaxed);
-    std::weak_ptr<StreamServer> weak_self = self_alias_;
+    std::weak_ptr<StreamServer> weak_self = WeakSelf();
     auto handoff = std::make_shared<Socket>(std::move(conn));
     target->loop->Invoke([weak_self, target, handoff]() {
       std::shared_ptr<StreamServer> server = weak_self.lock();
@@ -319,7 +346,7 @@ void StreamServer::SetupClient(LoopShard& shard, Socket conn, bool counted) {
   // destroyed server.
   client->writer.SetPolicy(options_.control_overflow_policy,
                            MillisToNanos(options_.control_block_deadline_ms));
-  std::weak_ptr<StreamServer> weak_self = self_alias_;
+  std::weak_ptr<StreamServer> weak_self = WeakSelf();
   client->writer.SetErrorCallback([sp, key, weak_self]() {
     sp->loop->Invoke([sp, key, weak_self]() {
       if (std::shared_ptr<StreamServer> server = weak_self.lock()) {
@@ -509,7 +536,8 @@ void StreamServer::HandleControlLine(LoopShard& shard, int client_key, Client& c
                           verb == "ENVELOPE" || verb == "SPECTRUM";
   if (verb != "SUB" && verb != "UNSUB" && verb != "DELAY" && verb != "LIST" &&
       verb != "STATS" && verb != "PING" && verb != "TIME" &&
-      verb != "COALESCE" && verb != "RAW" && !stage_verb) {
+      verb != "COALESCE" && verb != "RAW" && verb != "RECORD" &&
+      verb != "REPLAY" && !stage_verb) {
     // Unknown verb: counted like any other malformed line so a garbage
     // producer cannot hide behind the control grammar; an existing session
     // additionally gets an ERR reply.
@@ -525,6 +553,7 @@ void StreamServer::HandleControlLine(LoopShard& shard, int client_key, Client& c
   std::string_view arg = NextToken(rest);
   std::string_view excess = NextToken(rest);
   std::string_view extra = NextToken(rest);
+  std::string_view extra2 = NextToken(rest);
 
   // Validate the argument shape BEFORE creating a session: a structurally
   // malformed command must not cost this connection a scope, a poll timer,
@@ -532,17 +561,44 @@ void StreamServer::HandleControlLine(LoopShard& shard, int client_key, Client& c
   // writer; a malformed first command is only counted.)
   std::string reject;
   int64_t delay_ms = -1;
+  int64_t replay_t0 = 0;
+  int64_t replay_t1 = 0;
+  double replay_speed = 0.0;
   StageSpec stage;
-  if ((verb == "SPECTRUM" ? !extra.empty() : !excess.empty()) ||
-      ((verb == "LIST" || verb == "STATS" || verb == "TIME" ||
-        verb == "COALESCE" || verb == "RAW") &&
-       !arg.empty())) {
+  if ((verb == "REPLAY"     ? !extra2.empty()
+       : verb == "SPECTRUM" ? !extra.empty()
+                            : !excess.empty()) ||
+      ((verb == "STATS" || verb == "TIME" || verb == "COALESCE" ||
+        verb == "RAW") &&
+       !arg.empty()) ||
+      (verb == "LIST" && !arg.empty() && arg != "STAGES")) {
     // PING is the one verb with an optional argument: an opaque token echoed
     // back verbatim (clients stamp it with their send time for RTT).
-    // SPECTRUM is the one verb with two: block size and optional window.
+    // SPECTRUM has two (block size and optional window), REPLAY three
+    // (window bounds and optional speed), LIST one optional literal
+    // ("STAGES": the stage catalog).
     reject.append("ERR ").append(verb).append(" trailing-junk");
   } else if ((verb == "SUB" || verb == "UNSUB") && arg.empty()) {
     reject.append("ERR ").append(verb).append(" missing-pattern");
+  } else if (verb == "RECORD" && arg.empty()) {
+    reject = "ERR RECORD missing-path";
+  } else if (verb == "REPLAY") {
+    // REPLAY <t0-ms> <t1-ms> [speed]; speed 0 (the default) = burst.
+    auto parse_i64 = [](std::string_view s, int64_t& out) {
+      auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+      return !s.empty() && ec == std::errc{} && p == s.data() + s.size();
+    };
+    if (!parse_i64(arg, replay_t0) || !parse_i64(excess, replay_t1) ||
+        replay_t1 < replay_t0) {
+      reject = "ERR REPLAY bad-window";
+    } else if (!extra.empty()) {
+      auto [p, ec] =
+          std::from_chars(extra.data(), extra.data() + extra.size(), replay_speed);
+      if (ec != std::errc{} || p != extra.data() + extra.size() ||
+          replay_speed < 0.0) {
+        reject = "ERR REPLAY bad-speed";
+      }
+    }
   } else if (verb == "DELAY") {
     auto [p, ec] = std::from_chars(arg.data(), arg.data() + arg.size(), delay_ms);
     if (arg.empty() || ec != std::errc{} || p != arg.data() + arg.size() || delay_ms < 0) {
@@ -629,6 +685,21 @@ void StreamServer::HandleControlLine(LoopShard& shard, int client_key, Client& c
   } else if (stage_verb) {
     AttachStage(shard, client, stage);
     reply.append("OK ").append(stage.text);
+  } else if (verb == "RECORD") {
+    if (!client.ns.empty()) {
+      // Recording captures EVERY tenant's signals: it is a server-operator
+      // action, refused from inside a tenant namespace.
+      reply.append("ERR RECORD not-authorized");
+    } else {
+      HandleRecord(arg, reply);
+    }
+  } else if (verb == "REPLAY") {
+    // Open to tenants: the session filter gates the replayed window exactly
+    // like live routing, so time travel cannot cross namespaces.  Sends its
+    // own replies: OK + the (possibly paced) window + the DONE marker, or
+    // an ERR.
+    HandleReplay(shard, client_key, client, replay_t0, replay_t1, replay_speed);
+    return;
   } else if (verb == "PING") {
     // Liveness probe.  Like every other verb it creates a session on first
     // use: the PONG needs the session's egress writer to travel back.
@@ -706,7 +777,52 @@ void StreamServer::HandleControlLine(LoopShard& shard, int client_key, Client& c
         .append(std::to_string(stats_.quota_drops_text.load()));
     reply.append(" quota_drops_bin ")
         .append(std::to_string(stats_.quota_drops_bin.load()));
-  } else {  // LIST
+    // Flight recorder (appended; docs/protocol.md "Flight recorder").
+    // Retired tallies plus the live recorder's per-tick mirror, so the keys
+    // stay monotone across RECORD OFF / RECORD cycles.
+    {
+      std::lock_guard<std::mutex> record_lock(record_mu_);
+      int64_t sealed = record_retired_.extents_sealed;
+      int64_t recovered = record_retired_.extents_recovered;
+      int64_t dropped = record_retired_.extents_dropped;
+      int64_t cap_bytes = record_retired_.capture_bytes;
+      int64_t captured = record_retired_.samples_captured;
+      int64_t degraded = 0;
+      FsyncPolicy policy = options_.record_fsync_policy;
+      if (recorder_ != nullptr) {
+        const Recorder::Stats& r = recorder_->stats();
+        sealed += r.extents_sealed.load();
+        recovered += r.extents_recovered.load();
+        dropped += r.extents_dropped.load();
+        cap_bytes += r.capture_bytes.load();
+        captured += r.samples_captured.load();
+        degraded = r.degraded.load();
+        policy = recorder_->fsync_policy();
+      }
+      reply.append(" recording ").append(recorder_ != nullptr ? "1" : "0");
+      reply.append(" extents_sealed ").append(std::to_string(sealed));
+      reply.append(" extents_recovered ").append(std::to_string(recovered));
+      reply.append(" extents_dropped ").append(std::to_string(dropped));
+      reply.append(" capture_bytes ").append(std::to_string(cap_bytes));
+      reply.append(" samples_captured ").append(std::to_string(captured));
+      reply.append(" capture_degraded ").append(std::to_string(degraded));
+      reply.append(" fsync_policy ")
+          .append(std::to_string(static_cast<int>(policy)));
+    }
+  } else {  // LIST / LIST STAGES
+    if (arg == "STAGES") {
+      // Stage catalog: every spec grammar a session could attach, plus the
+      // live shared-group count server-wide.  The count goes first for the
+      // same reason as LIST's.
+      reply.append("OK STAGES 4 ACTIVE ")
+          .append(std::to_string(stats_.stages_active.load()));
+      Reply(client, reply);
+      Reply(client, "INFO STAGE DECIMATE <n>");
+      Reply(client, "INFO STAGE EWMA <alpha>");
+      Reply(client, "INFO STAGE ENVELOPE <window-ms>");
+      Reply(client, "INFO STAGE SPECTRUM <n> [window]");
+      return;
+    }
     // The count goes FIRST: if the egress backlog drops some of the INFO
     // frames (whole-frame policy), the client can still tell the listing
     // was incomplete.
@@ -742,6 +858,212 @@ void StreamServer::HandleControlLine(LoopShard& shard, int client_key, Client& c
     stats_.control_errors += 1;
   }
   Reply(client, reply);
+}
+
+void StreamServer::HandleRecord(std::string_view arg, std::string& reply) {
+  std::lock_guard<std::mutex> lock(record_mu_);
+  if (arg == "OFF") {
+    if (recorder_ == nullptr) {
+      reply.append("ERR RECORD not-recording");
+      return;
+    }
+    // Unregister before Stop: the final drain must not race new spans.
+    router_.RemoveScope(recorder_->scope());
+    recorder_->Stop();
+    FoldRecorderLocked();
+    recorder_.reset();
+    // record_path_ survives: the sealed log stays replayable.
+    reply.append("OK RECORD OFF");
+    return;
+  }
+  if (recorder_ != nullptr) {
+    reply.append("ERR RECORD already-recording");
+    return;
+  }
+  RecorderOptions ropts;
+  ropts.log.extent_bytes = options_.record_extent_bytes;
+  ropts.log.max_extents = options_.record_max_extents;
+  ropts.log.fsync_policy = options_.record_fsync_policy;
+  ropts.log.fsync_interval_ms = options_.record_fsync_interval_ms;
+  ropts.poll_period_ms = options_.record_poll_period_ms;
+  auto recorder = std::make_unique<Recorder>(std::move(ropts));
+  if (!recorder->Start(std::string(arg))) {
+    reply.append("ERR RECORD open-failed");
+    return;
+  }
+  // Unfiltered registration: the flight recorder captures everything the
+  // router sees, every tenant included (stored names keep their prefixes).
+  router_.AddScope(recorder->scope());
+  record_path_.assign(arg);
+  recorder_ = std::move(recorder);
+  reply.append("OK RECORD ").append(arg);
+}
+
+void StreamServer::HandleReplay(LoopShard& shard, int client_key, Client& client,
+                                int64_t t0, int64_t t1, double speed) {
+  ControlSession& session = *client.session;
+  auto fail = [&](std::string_view body) {
+    stats_.control_errors += 1;
+    std::string err;
+    err.append("ERR REPLAY ").append(body);
+    Reply(client, err);
+  };
+  if (session.replay != nullptr) {
+    fail("busy");
+    return;
+  }
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(record_mu_);
+    if (recorder_ != nullptr) {
+      // Seal the staged extent so the window is durable up to "now"; the
+      // reader only ever sees CRC-sealed extents.
+      recorder_->FlushNow();
+    }
+    path = record_path_;
+  }
+  if (path.empty()) {
+    fail("no-recording");
+    return;
+  }
+  ExtentReader reader;
+  if (!reader.Open(path)) {
+    fail("open-failed");
+    return;
+  }
+  std::vector<ReplayRecord> window;
+  reader.ReadWindow(t0, t1, &window);
+  auto job = std::make_unique<ReplayJob>();
+  job->names.assign(reader.names().begin(), reader.names().end());
+  // The session filter gates the replay exactly like live routing: stored
+  // names carry tenant prefixes and a tenant's filter only matches its own,
+  // so time travel cannot cross namespaces.
+  job->records.reserve(window.size());
+  for (const ReplayRecord& r : window) {
+    if (!session.filter.Matches(job->names[r.name])) {
+      continue;
+    }
+    job->records.push_back(r);
+    if (job->records.size() >= options_.replay_max_samples) {
+      break;  // bounded: one verb cannot buffer an unbounded window
+    }
+  }
+  std::string ok;
+  ok.append("OK REPLAY ").append(std::to_string(job->records.size()));
+  Reply(client, ok);
+  if (speed <= 0.0 || job->records.empty()) {
+    // Burst: the whole window leaves between the OK and the DONE marker.
+    for (const ReplayRecord& r : job->records) {
+      EmitReplayTuple(client, job->names[r.name], r.time_ms, r.value);
+      job->emitted += 1;
+    }
+    std::string done;
+    done.append("INFO REPLAY DONE ").append(std::to_string(job->emitted));
+    Reply(client, done);
+    return;
+  }
+  job->t0 = t0;
+  job->speed = speed;
+  job->start_ns = shard.loop->clock()->NowNs();
+  session.replay = std::move(job);
+  LoopShard* shard_ptr = &shard;
+  session.replay->timer = shard.loop->AddTimeoutMs(
+      kReplayTickMs,
+      [this, shard_ptr, client_key]() { return ReplayTick(*shard_ptr, client_key); });
+}
+
+bool StreamServer::ReplayTick(LoopShard& shard, int client_key) {
+  auto it = shard.clients.find(client_key);
+  if (it == shard.clients.end()) {
+    return false;  // unreachable: the timer dies with the client
+  }
+  Client& client = *it->second;
+  if (client.session == nullptr || client.session->replay == nullptr) {
+    return false;
+  }
+  ReplayJob& job = *client.session->replay;
+  // Recorded time advances at speed x the loop clock (SimClock-exact).
+  const Nanos elapsed = shard.loop->clock()->NowNs() - job.start_ns;
+  const int64_t advanced_ms =
+      static_cast<int64_t>(static_cast<double>(elapsed) / 1e6 * job.speed);
+  const int64_t virtual_now = job.t0 + advanced_ms;
+  while (job.next < job.records.size() &&
+         job.records[job.next].time_ms <= virtual_now) {
+    const ReplayRecord& r = job.records[job.next];
+    EmitReplayTuple(client, job.names[r.name], r.time_ms, r.value);
+    job.emitted += 1;
+    job.next += 1;
+  }
+  if (job.next >= job.records.size()) {
+    std::string done;
+    done.append("INFO REPLAY DONE ").append(std::to_string(job.emitted));
+    job.timer = 0;
+    client.session->replay.reset();  // before Reply: REPLAY re-arms allowed
+    Reply(client, done);
+    return false;
+  }
+  return true;
+}
+
+void StreamServer::EmitReplayTuple(Client& client, std::string_view stored_name,
+                                   int64_t time_ms, double value) {
+  // Mirrors the echo tap exactly: prefix strip, egress quota, then a text
+  // tuple line or a staged binary SAMPLES frame - a replayed sample is
+  // indistinguishable from a live one on the wire.
+  std::string_view name = StripTenantPrefix(client.ns, stored_name);
+  if (!client.binary_egress) {
+    if (!EgressAllowed(client)) {
+      stats_.quota_drops += 1;
+      stats_.quota_drops_text += 1;
+      return;
+    }
+    int64_t evicted_before = client.writer.stats().units_evicted;
+    std::string& buf = client.writer.BeginFrame();
+    size_t begin = buf.size();
+    AppendTuple(buf, time_ms, value, name);
+    size_t frame_bytes = buf.size() - begin;
+    if (client.writer.CommitFrame()) {
+      stats_.tuples_echoed += 1;
+      ChargeEgress(client, frame_bytes);
+    } else {
+      stats_.echo_dropped += 1;
+    }
+    stats_.echo_evicted += client.writer.stats().units_evicted - evicted_before;
+    return;
+  }
+  wire::StageResult r = client.egress_enc.Add(name, time_ms, value);
+  if (r == wire::StageResult::kFrameFull) {
+    FlushEgress(client);
+    r = client.egress_enc.Add(name, time_ms, value);
+  }
+  if (r != wire::StageResult::kStaged) {
+    stats_.echo_dropped += 1;
+    return;
+  }
+  if (client.egress_enc.staged_samples() >= kEgressFrameSamples) {
+    FlushEgress(client);
+    return;
+  }
+  ScheduleEgressFlush(client.key, client);
+}
+
+void StreamServer::CancelReplay(LoopShard& shard, Client& client) {
+  if (client.session == nullptr || client.session->replay == nullptr) {
+    return;
+  }
+  if (client.session->replay->timer != 0) {
+    shard.loop->Remove(client.session->replay->timer);
+  }
+  client.session->replay.reset();
+}
+
+void StreamServer::FoldRecorderLocked() {
+  const Recorder::Stats& r = recorder_->stats();
+  record_retired_.samples_captured += r.samples_captured.load();
+  record_retired_.extents_sealed += r.extents_sealed.load();
+  record_retired_.extents_recovered += r.extents_recovered.load();
+  record_retired_.extents_dropped += r.extents_dropped.load();
+  record_retired_.capture_bytes += r.capture_bytes.load();
 }
 
 void StreamServer::HandleHello(Client& client, std::string_view rest) {
@@ -1019,7 +1341,7 @@ void StreamServer::ScheduleEgressFlush(int client_key, Client& client) {
     return;
   }
   client.egress_flush_pending = true;
-  std::weak_ptr<StreamServer> weak_self = self_alias_;
+  std::weak_ptr<StreamServer> weak_self = WeakSelf();
   LoopShard* shard = client.shard;
   client.loop->Invoke([client_key, weak_self, shard]() {
     std::shared_ptr<StreamServer> server = weak_self.lock();
@@ -1462,7 +1784,7 @@ void StreamServer::ScheduleGroupFlush(StageGroup& g) {
     return;
   }
   g.flush_pending = true;
-  std::weak_ptr<StreamServer> weak_self = self_alias_;
+  std::weak_ptr<StreamServer> weak_self = WeakSelf();
   LoopShard* shard = g.shard;
   // Looked up by key at fire time: the group may have died in between.
   shard->loop->Invoke([weak_self, shard, key = g.key]() {
@@ -1571,6 +1893,9 @@ void StreamServer::DropClient(LoopShard& shard, int client_key) {
   if (it->second->watch != 0) {
     shard.loop->Remove(it->second->watch);
   }
+  // An in-flight paced replay dies with its client (timer first: it must
+  // not fire against the erased entry).
+  CancelReplay(shard, *it->second);
   if (it->second->session != nullptr) {
     if (it->second->session->group != nullptr) {
       // Leave the shared stage first (possibly tearing the group down); the

@@ -70,6 +70,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -83,6 +84,7 @@
 #include "net/frame_codec.h"
 #include "net/line_framer.h"
 #include "net/socket.h"
+#include "record/recorder.h"
 #include "runtime/event_loop.h"
 #include "runtime/framed_writer.h"
 #include "runtime/loop_pool.h"
@@ -170,6 +172,20 @@ struct StreamServerOptions {
   // for the same window the per-sample tap is restored ("NOTICE RESTORE
   // every-sample").  0 = never degrade.
   int64_t degrade_stalled_ms = 0;
+  // Flight recorder (docs/protocol.md "Flight recorder").  RECORD <path>
+  // starts a crash-safe columnar capture of every routed sample into an
+  // extent log at <path> (record/extent_log.h geometry below); REPLAY
+  // streams a window back through the session filter.  RECORD is an
+  // operator action restricted to anonymous (non-tenant) sessions; REPLAY
+  // is open to tenants (the filter keeps time travel inside the namespace).
+  size_t record_extent_bytes = 64 * 1024;
+  size_t record_max_extents = 256;
+  FsyncPolicy record_fsync_policy = FsyncPolicy::kNone;
+  int64_t record_fsync_interval_ms = 1000;
+  int64_t record_poll_period_ms = 10;
+  // Hard cap on the records one REPLAY verb may buffer (the window is read
+  // into memory before emission); excess records past the cap are cut.
+  size_t replay_max_samples = 1 << 20;
 };
 
 class StreamServer {
@@ -298,6 +314,22 @@ class StreamServer {
     std::string text;         // canonical spec, e.g. "DECIMATE 10"
   };
 
+  // One paced time-travel replay (REPLAY with speed > 0): the filtered
+  // window is buffered up front and a shard-loop timer emits records as
+  // recorded time advances at `speed` x the loop clock - deterministic
+  // under a SimClock.  Owned by the session; the timer is cancelled with
+  // the client (DropClient / Close).
+  struct ReplayJob {
+    std::vector<ReplayRecord> records;  // filtered, time-ordered window
+    std::vector<std::string> names;     // record name ids -> stored names
+    size_t next = 0;
+    int64_t t0 = 0;
+    double speed = 1.0;
+    Nanos start_ns = 0;
+    SourceId timer = 0;
+    int64_t emitted = 0;
+  };
+
   // One remote scope session: the server-side half of a control connection.
   // The egress FramedWriter lives on the Client (every connection can carry
   // replies - e.g. the HELLO negotiation - before it becomes a session).
@@ -314,6 +346,8 @@ class StreamServer {
     // points at the shared stage the session rides.
     StageSpec stage;
     StageGroup* group = nullptr;
+    // In-flight paced replay (null when none).
+    std::unique_ptr<ReplayJob> replay;
   };
 
   // Inbound wire format of one connection (docs/protocol.md).  Text is the
@@ -497,6 +531,23 @@ class StreamServer {
   // identical bytes to every binary member (per-member quota gated).
   void FlushGroupEgress(StageGroup& group);
   void ScheduleGroupFlush(StageGroup& group);
+  // Flight recorder (docs/protocol.md "Flight recorder").  HandleRecord
+  // resolves RECORD <path> / RECORD OFF into `reply`; HandleReplay sends its
+  // own replies (OK + the window + INFO REPLAY DONE, or an ERR).
+  void HandleRecord(std::string_view arg, std::string& reply);
+  void HandleReplay(LoopShard& shard, int client_key, Client& client,
+                    int64_t t0, int64_t t1, double speed);
+  // Paced-replay timer body: emits records due at the current virtual time;
+  // false (removing the timer) after the DONE marker.
+  bool ReplayTick(LoopShard& shard, int client_key);
+  // Re-serializes one recorded sample down the session, exactly like the
+  // echo tap (prefix strip, egress quota, text line or staged binary frame).
+  void EmitReplayTuple(Client& client, std::string_view stored_name,
+                       int64_t time_ms, double value);
+  void CancelReplay(LoopShard& shard, Client& client);
+  // Folds the live recorder's counters into record_retired_ before it is
+  // destroyed (record_mu_ held), so STATS stays monotone across RECORD OFF.
+  void FoldRecorderLocked();
   // Maintenance sweep (idle_timeout_ms / degrade_stalled_ms): drops idle
   // clients and downgrades/restores pinned sessions' echo taps.  One per
   // shard, on the shard's loop.
@@ -504,6 +555,12 @@ class StreamServer {
   // Hands the chunk's shared batch to every scope (one O(1) span each).
   void FlushIngest();
   void DropClient(LoopShard& shard, int client_key);
+  // Snapshot of the liveness token for deferred closures.  Loop threads take
+  // this while the owner thread may be resetting self_alias_ in the
+  // destructor, and shared_ptr is not safe for a concurrent read and write
+  // of the same object - hence the lock (cold path: connection setup and
+  // flush scheduling only).
+  std::weak_ptr<StreamServer> WeakSelf();
 
   MainLoop* loop_;
   StreamServerOptions options_;
@@ -516,9 +573,27 @@ class StreamServer {
   std::atomic<int> next_client_key_{1};
   std::atomic<int> next_stage_id_{1};
   IngestTapFn ingest_tap_;
+  // Flight recorder: one capture per server, started/stopped by RECORD
+  // verbs that may arrive on any shard loop - hence the mutex (cold path;
+  // the capture itself runs on the recorder's own thread).  record_path_
+  // survives RECORD OFF so a stopped recording stays replayable.
+  std::mutex record_mu_;
+  std::unique_ptr<Recorder> recorder_;
+  std::string record_path_;
+  // Counters of recorders already retired (STATS monotonicity).
+  struct RecordTallies {
+    int64_t samples_captured = 0;
+    int64_t extents_sealed = 0;
+    int64_t extents_recovered = 0;
+    int64_t extents_dropped = 0;
+    int64_t capture_bytes = 0;
+  };
+  RecordTallies record_retired_;
   // Liveness token for closures deferred through MainLoop::Invoke (session
   // egress errors, cross-loop hand-offs): reset in the destructor, so a
-  // queued DropClient cannot run against a destroyed server.
+  // queued DropClient cannot run against a destroyed server.  Guarded by
+  // self_alias_mu_; read via WeakSelf().
+  std::mutex self_alias_mu_;
   std::shared_ptr<StreamServer> self_alias_{this, [](StreamServer*) {}};
   Stats stats_;
 };

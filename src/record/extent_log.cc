@@ -1,0 +1,757 @@
+#include "record/extent_log.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "net/fault_injector.h"
+#include "net/frame_codec.h"
+
+namespace gscope {
+
+using wire::AppendI32;
+using wire::AppendU32;
+using wire::Crc32c;
+using wire::LoadF64;
+using wire::LoadI32;
+using wire::LoadI64;
+using wire::LoadU32;
+
+namespace {
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// pread that survives EINTR and short reads; returns bytes read (< len only
+// at EOF), -1 on error.
+ssize_t ReadAt(int fd, int64_t offset, char* buf, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::pread(fd, buf + got, len - got, offset + static_cast<int64_t>(got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) break;  // EOF
+    got += static_cast<size_t>(n);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+struct SlotHeader {
+  uint32_t payload_len = 0;
+  uint32_t crc = 0;
+  uint64_t seq = 0;
+  int64_t base_time_ms = 0;
+};
+
+// Validates the fixed fields of a slot header (not the payload CRC).
+bool ParseSlotHeader(const char* h, size_t extent_bytes, SlotHeader* out) {
+  if (static_cast<uint8_t>(h[0]) != record::kExtentMagic0 ||
+      static_cast<uint8_t>(h[1]) != record::kExtentMagic1 ||
+      static_cast<uint8_t>(h[2]) != record::kVersion) {
+    return false;
+  }
+  out->payload_len = LoadU32(h + 4);
+  out->crc = LoadU32(h + 8);
+  out->seq = LoadU64(h + 12);
+  out->base_time_ms = LoadI64(h + 20);
+  return out->seq != 0 &&
+         out->payload_len <= extent_bytes - record::kExtentHeaderBytes;
+}
+
+// Shared superblock scan used by writer recovery and the reader.  Returns
+// false when the superblock is absent or invalid; *fresh distinguishes "file
+// too short to ever have held one" (safe to re-init) from "present but
+// corrupt" (refuse).
+bool ReadSuperblock(int fd, size_t* extent_bytes, size_t* max_extents,
+                    bool* fresh) {
+  char super[record::kSuperBytes];
+  ssize_t n = ReadAt(fd, 0, super, sizeof(super));
+  if (n < static_cast<ssize_t>(sizeof(super))) {
+    *fresh = true;
+    return false;
+  }
+  *fresh = false;
+  if (static_cast<uint8_t>(super[0]) != record::kSuperMagic0 ||
+      static_cast<uint8_t>(super[1]) != record::kSuperMagic1 ||
+      static_cast<uint8_t>(super[2]) != record::kVersion ||
+      Crc32c(0, super, 12) != LoadU32(super + 12)) {
+    return false;
+  }
+  *extent_bytes = LoadU32(super + 4);
+  *max_extents = LoadU32(super + 8);
+  return *extent_bytes >= record::kMinExtentBytes && *max_extents >= 1;
+}
+
+// Validates one slot end-to-end (header + payload CRC + payload structure).
+// `data` holds the whole slot.  Fills *hdr on success.
+bool ValidateSlot(const char* data, size_t extent_bytes, SlotHeader* hdr) {
+  if (!ParseSlotHeader(data, extent_bytes, hdr)) {
+    return false;
+  }
+  const char* payload = data + record::kExtentHeaderBytes;
+  if (Crc32c(0, payload, hdr->payload_len) != hdr->crc) {
+    return false;
+  }
+  // Structural walk, mirroring FrameDecoder::Dispatch: a CRC-valid payload
+  // assembled by this code always passes, but recovery must never trust
+  // disk bytes enough to index out of bounds.
+  size_t len = hdr->payload_len;
+  if (len < 8) return false;
+  uint32_t dict_count = LoadU32(payload);
+  uint32_t block_count = LoadU32(payload + 4);
+  size_t off = 8;
+  for (uint32_t i = 0; i < dict_count; ++i) {
+    if (len - off < record::kDictFixedBytes) return false;
+    uint32_t name_len = LoadU32(payload + off + 4);
+    if (name_len > wire::kMaxNameBytes ||
+        len - off - record::kDictFixedBytes < name_len) {
+      return false;
+    }
+    off += record::kDictFixedBytes + name_len;
+  }
+  if ((len - off) / record::kBlockIndexBytes < block_count) return false;
+  size_t rec_area = off + block_count * record::kBlockIndexBytes;
+  size_t rec_bytes = len - rec_area;
+  if (rec_bytes % record::kRecordBytes != 0) return false;
+  size_t claimed = 0;
+  for (uint32_t i = 0; i < block_count; ++i) {
+    const char* idx = payload + off + i * record::kBlockIndexBytes;
+    uint32_t count = LoadU32(idx + 4);
+    uint32_t rec_off = LoadU32(idx + 8);
+    if (rec_off != claimed) return false;  // blocks are dense and in order
+    claimed += static_cast<size_t>(count) * record::kRecordBytes;
+  }
+  return claimed == rec_bytes;
+}
+
+}  // namespace
+
+ExtentLog::ExtentLog(ExtentLogOptions options) : options_(options) {
+  if (options_.extent_bytes < record::kMinExtentBytes) {
+    options_.extent_bytes = record::kMinExtentBytes;
+  }
+  if (options_.max_extents < 1) {
+    options_.max_extents = 1;
+  }
+  ring_cap_ = static_cast<uint32_t>(options_.max_extents);
+}
+
+ExtentLog::~ExtentLog() { Close(); }
+
+bool ExtentLog::WriteAt(int64_t offset, const char* data, size_t len,
+                        bool* enospc) {
+  if (enospc != nullptr) *enospc = false;
+  size_t done = 0;
+  while (done < len) {
+    size_t want = len - done;
+    if (FaultInjector::Shim(FaultOp::kFileWrite, fd_, &want)) {
+      if (errno == EINTR) continue;
+      if (enospc != nullptr && errno == ENOSPC) *enospc = true;
+      return false;
+    }
+    ssize_t n = ::pwrite(fd_, data + done, want,
+                         offset + static_cast<int64_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (enospc != nullptr && errno == ENOSPC) *enospc = true;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  stats_.capture_bytes += static_cast<int64_t>(len);
+  dirty_ = true;
+  return true;
+}
+
+bool ExtentLog::Fsync() {
+  size_t zero = 0;
+  if (FaultInjector::Shim(FaultOp::kFileSync, fd_, &zero) || ::fsync(fd_) != 0) {
+    stats_.fsync_failures += 1;
+    return false;
+  }
+  stats_.fsyncs += 1;
+  dirty_ = false;
+  return true;
+}
+
+bool ExtentLog::Open(const std::string& path) {
+  Close();
+  size_t zero = 0;
+  if (FaultInjector::Shim(FaultOp::kFileOpen, -1, &zero)) {
+    return false;
+  }
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    return false;
+  }
+  path_ = path;
+
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0) {
+    Close();
+    return false;
+  }
+  size_t file_extent_bytes = options_.extent_bytes;
+  size_t file_max_extents = options_.max_extents;
+  bool fresh = st.st_size == 0;
+  if (!fresh) {
+    bool short_file = false;
+    if (!ReadSuperblock(fd_, &file_extent_bytes, &file_max_extents, &short_file)) {
+      if (!short_file) {
+        // A real superblock that does not validate: refuse rather than
+        // clobber what might be someone else's file.
+        Close();
+        return false;
+      }
+      // Shorter than a superblock: a crash mid-creation.  Re-init.
+      fresh = true;
+    }
+  }
+  options_.extent_bytes = file_extent_bytes;
+  options_.max_extents = file_max_extents;
+  ring_cap_ = static_cast<uint32_t>(options_.max_extents);
+
+  if (fresh) {
+    std::string super;
+    super.push_back(static_cast<char>(record::kSuperMagic0));
+    super.push_back(static_cast<char>(record::kSuperMagic1));
+    super.push_back(static_cast<char>(record::kVersion));
+    super.push_back(0);
+    AppendU32(super, static_cast<uint32_t>(options_.extent_bytes));
+    AppendU32(super, static_cast<uint32_t>(options_.max_extents));
+    AppendU32(super, Crc32c(0, super.data(), super.size()));
+    size_t dlen = 0;
+    if (FaultInjector::Shim(FaultOp::kFileTruncate, fd_, &dlen) ||
+        ::ftruncate(fd_, 0) != 0 ||
+        !WriteAt(0, super.data(), super.size(), nullptr)) {
+      Close();
+      return false;
+    }
+    physical_slots_ = 0;
+    next_seq_ = 1;
+    next_slot_ = 0;
+    ResetStage();
+    return true;
+  }
+
+  // -- Recovery: scan every slot, keep the valid ones, truncate the torn
+  // physical tail exactly once, and resume after the highest seq.
+  const int64_t super_end = static_cast<int64_t>(record::kSuperBytes);
+  const int64_t data_bytes = st.st_size - super_end;
+  const size_t eb = options_.extent_bytes;
+  // Slots with at least one byte present (a torn tail extends the count).
+  size_t touched_slots = static_cast<size_t>((data_bytes + static_cast<int64_t>(eb) - 1) /
+                                             static_cast<int64_t>(eb));
+  std::string slot_buf;
+  uint64_t max_seq = 0;
+  uint32_t max_seq_slot = 0;
+  std::vector<bool> valid(touched_slots, false);
+  for (size_t i = 0; i < touched_slots; ++i) {
+    slot_buf.assign(eb, '\0');
+    int64_t off = super_end + static_cast<int64_t>(i * eb);
+    ssize_t got = ReadAt(fd_, off, slot_buf.data(), eb);
+    SlotHeader hdr;
+    if (got == static_cast<ssize_t>(eb) && ValidateSlot(slot_buf.data(), eb, &hdr)) {
+      valid[i] = true;
+      stats_.extents_recovered += 1;
+      if (hdr.seq > max_seq) {
+        max_seq = hdr.seq;
+        max_seq_slot = static_cast<uint32_t>(i);
+      }
+    }
+  }
+  // Truncate exactly the torn physical tail: everything past the last valid
+  // slot in the trailing run of invalid slots.  (An invalid slot followed by
+  // a valid one is a mid-ring overwrite tear: left in place, skipped by
+  // readers, and overwritten by the next seal.)
+  size_t keep_slots = touched_slots;
+  while (keep_slots > 0 && !valid[keep_slots - 1]) {
+    --keep_slots;
+  }
+  int64_t keep_end = super_end + static_cast<int64_t>(keep_slots * eb);
+  if (keep_end < st.st_size) {
+    size_t dlen = 0;
+    if (FaultInjector::Shim(FaultOp::kFileTruncate, fd_, &dlen) ||
+        ::ftruncate(fd_, keep_end) != 0) {
+      // Could not trim the tear; the torn bytes stay but every reader
+      // CRC-skips them, so this is a cosmetic failure.
+    } else {
+      stats_.extents_truncated += 1;
+    }
+  }
+  physical_slots_ = static_cast<uint32_t>(keep_slots);
+  if (max_seq == 0) {
+    next_seq_ = 1;
+    next_slot_ = 0;
+  } else {
+    next_seq_ = max_seq + 1;
+    next_slot_ = max_seq_slot + 1;
+    if (next_slot_ >= ring_cap_) next_slot_ = 0;
+  }
+  ResetStage();
+  return true;
+}
+
+void ExtentLog::Close() {
+  if (fd_ < 0) {
+    return;
+  }
+  SealNow();
+  if (options_.fsync_policy != FsyncPolicy::kNone && dirty_) {
+    Fsync();
+  }
+  ::close(fd_);
+  fd_ = -1;
+  path_.clear();
+  ResetStage();
+  ids_.clear();
+  names_.clear();
+  cols_.clear();
+  memo_name_.clear();
+  memo_id_ = 0;
+  degraded_ = false;
+  next_seq_ = 1;
+  next_slot_ = 0;
+  physical_slots_ = 0;
+  ring_cap_ = static_cast<uint32_t>(options_.max_extents);
+}
+
+void ExtentLog::ResetStage() {
+  // Columns are reset lazily through the epoch; the vectors keep capacity.
+  used_ids_.clear();
+  extent_epoch_ += 1;
+  staged_payload_bytes_ = 8;  // dict_count + block_count
+  staged_records_ = 0;
+  has_base_ = false;
+  base_time_ms_ = 0;
+}
+
+bool ExtentLog::Append(std::string_view name, int64_t time_ms, double value) {
+  if (fd_ < 0) {
+    return false;
+  }
+  // Resolve the id: last-name memo, then the interned index (allocates only
+  // for a never-seen name).
+  uint32_t id;
+  if (memo_id_ != 0 && name == memo_name_) {
+    id = memo_id_;
+  } else {
+    auto it = ids_.find(name);
+    if (it != ids_.end()) {
+      id = it->second;
+    } else {
+      id = static_cast<uint32_t>(names_.size()) + 1;
+      names_.emplace_back(name);
+      ids_.emplace(names_.back(), id);
+      cols_.emplace_back();
+    }
+    memo_name_.assign(name.data(), name.size());
+    memo_id_ = id;
+  }
+
+  if (!has_base_) {
+    has_base_ = true;
+    base_time_ms_ = time_ms;
+  }
+  int64_t delta = time_ms - base_time_ms_;
+  if (delta < INT32_MIN || delta > INT32_MAX) {
+    // The delta no longer fits the 16-byte record: seal and re-base, exactly
+    // like WireEncoder seals a frame early.
+    SealNow();
+    has_base_ = true;
+    base_time_ms_ = time_ms;
+    delta = 0;
+  }
+  const int32_t delta32 = static_cast<int32_t>(delta);
+
+  Column& col = cols_[id - 1];
+  const bool first_use = col.epoch != extent_epoch_;
+  if (degraded_) {
+    // Coalesced capture: disk full, keep only the newest record per signal
+    // in memory until a seal succeeds.  Never crash, never block ingest.
+    if (first_use) {
+      col.epoch = extent_epoch_;
+      col.recs.clear();
+      col.count = 0;
+      col.min_delta = delta32;
+      col.max_delta = delta32;
+      used_ids_.push_back(id);
+      staged_payload_bytes_ += record::kDictFixedBytes + names_[id - 1].size() +
+                               record::kBlockIndexBytes;
+    }
+    char rec[record::kRecordBytes];
+    std::memcpy(rec, &id, sizeof(id));
+    std::memcpy(rec + 4, &delta32, sizeof(delta32));
+    std::memcpy(rec + 8, &value, sizeof(value));
+    if (col.count == 0) {
+      col.recs.append(rec, sizeof(rec));
+      col.count = 1;
+      staged_payload_bytes_ += record::kRecordBytes;
+      staged_records_ += 1;
+    } else {
+      col.recs.replace(col.recs.size() - record::kRecordBytes,
+                       record::kRecordBytes, rec, sizeof(rec));
+      stats_.samples_coalesced += 1;
+    }
+    col.min_delta = std::min(col.min_delta, delta32);
+    col.max_delta = std::max(col.max_delta, delta32);
+    stats_.appends += 1;
+    return true;
+  }
+
+  // Would this record (plus its column's dict + index entries on first use)
+  // overflow the extent?  Seal first, then stage into the fresh extent.
+  size_t grow = record::kRecordBytes;
+  if (first_use) {
+    grow += record::kDictFixedBytes + names_[id - 1].size() +
+            record::kBlockIndexBytes;
+  }
+  const size_t capacity = options_.extent_bytes - record::kExtentHeaderBytes;
+  if (staged_payload_bytes_ + grow > capacity && staged_records_ > 0) {
+    SealNow();
+    if (!has_base_) {
+      has_base_ = true;
+      base_time_ms_ = time_ms;
+    }
+    delta = time_ms - base_time_ms_;
+    return Append(name, time_ms, value);  // restage against the new extent
+  }
+
+  Column& c = cols_[id - 1];
+  if (c.epoch != extent_epoch_) {
+    c.epoch = extent_epoch_;
+    c.recs.clear();
+    c.count = 0;
+    c.min_delta = delta32;
+    c.max_delta = delta32;
+    used_ids_.push_back(id);
+    staged_payload_bytes_ += record::kDictFixedBytes + names_[id - 1].size() +
+                             record::kBlockIndexBytes;
+  }
+  char rec[record::kRecordBytes];
+  std::memcpy(rec, &id, sizeof(id));
+  std::memcpy(rec + 4, &delta32, sizeof(delta32));
+  std::memcpy(rec + 8, &value, sizeof(value));
+  c.recs.append(rec, sizeof(rec));
+  c.count += 1;
+  c.min_delta = std::min(c.min_delta, delta32);
+  c.max_delta = std::max(c.max_delta, delta32);
+  staged_payload_bytes_ += record::kRecordBytes;
+  staged_records_ += 1;
+  stats_.appends += 1;
+  return true;
+}
+
+void ExtentLog::BuildSealBuffer() {
+  seal_buf_.clear();
+  // Header placeholder; filled after the payload CRC is known.
+  seal_buf_.append(record::kExtentHeaderBytes, '\0');
+  AppendU32(seal_buf_, static_cast<uint32_t>(used_ids_.size()));  // dict_count
+  AppendU32(seal_buf_, static_cast<uint32_t>(used_ids_.size()));  // block_count
+  for (uint32_t id : used_ids_) {
+    AppendU32(seal_buf_, id);
+    const std::string& name = names_[id - 1];
+    AppendU32(seal_buf_, static_cast<uint32_t>(name.size()));
+    seal_buf_.append(name);
+  }
+  uint32_t rec_off = 0;
+  for (uint32_t id : used_ids_) {
+    const Column& col = cols_[id - 1];
+    AppendU32(seal_buf_, id);
+    AppendU32(seal_buf_, col.count);
+    AppendU32(seal_buf_, rec_off);
+    AppendI32(seal_buf_, col.min_delta);
+    AppendI32(seal_buf_, col.max_delta);
+    rec_off += col.count * static_cast<uint32_t>(record::kRecordBytes);
+  }
+  for (uint32_t id : used_ids_) {
+    seal_buf_.append(cols_[id - 1].recs);
+  }
+  const size_t payload_len = seal_buf_.size() - record::kExtentHeaderBytes;
+  const uint32_t crc =
+      Crc32c(0, seal_buf_.data() + record::kExtentHeaderBytes, payload_len);
+  char* h = seal_buf_.data();
+  h[0] = static_cast<char>(record::kExtentMagic0);
+  h[1] = static_cast<char>(record::kExtentMagic1);
+  h[2] = static_cast<char>(record::kVersion);
+  h[3] = 0;
+  uint32_t plen32 = static_cast<uint32_t>(payload_len);
+  std::memcpy(h + 4, &plen32, sizeof(plen32));
+  std::memcpy(h + 8, &crc, sizeof(crc));
+  std::memcpy(h + 12, &next_seq_, sizeof(next_seq_));
+  std::memcpy(h + 20, &base_time_ms_, sizeof(base_time_ms_));
+  std::memset(h + 28, 0, 4);
+  // Pad to the full slot: extents are physically fixed-size, so the file is
+  // always superblock + n*extent_bytes and a short final slot can only mean
+  // a torn write.  The scratch retains extent_bytes capacity across seals.
+  seal_buf_.resize(options_.extent_bytes, '\0');
+}
+
+bool ExtentLog::WrapEarly() {
+  if (physical_slots_ == 0) {
+    return false;  // not even one slot exists: nowhere to wrap into
+  }
+  // Shrink the ring to what physically fits; the next write lands on the
+  // oldest live slot (slots filled 0..physical-1 in seq order pre-wrap).
+  ring_cap_ = physical_slots_;
+  next_slot_ = next_slot_ % ring_cap_;
+  stats_.extents_dropped += 1;
+  return true;
+}
+
+void ExtentLog::EnterDegraded() {
+  if (!degraded_) {
+    degraded_ = true;
+    stats_.degraded_entered += 1;
+  }
+}
+
+bool ExtentLog::SealNow() {
+  if (fd_ < 0 || staged_records_ == 0) {
+    return true;
+  }
+  BuildSealBuffer();
+  const int64_t offset =
+      static_cast<int64_t>(record::kSuperBytes) +
+      static_cast<int64_t>(next_slot_) * static_cast<int64_t>(options_.extent_bytes);
+  const bool extending = next_slot_ >= physical_slots_;
+  bool enospc = false;
+  bool ok = WriteAt(offset, seal_buf_.data(), seal_buf_.size(), &enospc);
+  if (!ok && enospc && extending && WrapEarly()) {
+    // Disk full while growing the file: drop the oldest extent (its slot is
+    // overwritten) and retry once in place.
+    const int64_t retry_off =
+        static_cast<int64_t>(record::kSuperBytes) +
+        static_cast<int64_t>(next_slot_) * static_cast<int64_t>(options_.extent_bytes);
+    ok = WriteAt(retry_off, seal_buf_.data(), seal_buf_.size(), &enospc);
+  }
+  if (!ok) {
+    stats_.seal_failures += 1;
+    if (enospc) {
+      // Nothing writable at all: downgrade to coalesced capture.  The staged
+      // extent stays staged (already last-wins once degraded) and the next
+      // SealNow retries.
+      EnterDegraded();
+      return false;
+    }
+    // Non-ENOSPC write failure (errno storm, EIO): drop this extent's data
+    // rather than wedging capture behind a dead disk.
+    stats_.extents_dropped += 1;
+    ResetStage();
+    return false;
+  }
+  if (extending) {
+    physical_slots_ = next_slot_ + 1;
+  }
+  next_slot_ += 1;
+  if (next_slot_ >= ring_cap_) next_slot_ = 0;
+  next_seq_ += 1;
+  stats_.extents_sealed += 1;
+  if (degraded_) {
+    degraded_ = false;  // the disk accepts writes again: full capture resumes
+  }
+  ResetStage();
+  if (options_.fsync_policy == FsyncPolicy::kExtent) {
+    Fsync();
+  }
+  return true;
+}
+
+void ExtentLog::MaybeFsync(int64_t now_ms) {
+  if (fd_ < 0 || options_.fsync_policy != FsyncPolicy::kInterval || !dirty_) {
+    return;
+  }
+  if (!fsync_clock_primed_) {
+    fsync_clock_primed_ = true;
+    last_fsync_ms_ = now_ms;
+    return;
+  }
+  if (now_ms - last_fsync_ms_ >= options_.fsync_interval_ms) {
+    last_fsync_ms_ = now_ms;
+    Fsync();
+  }
+}
+
+// -- ExtentReader -------------------------------------------------------------
+
+bool ExtentReader::Open(const std::string& path) {
+  extents_.clear();
+  names_.clear();
+  name_index_.clear();
+  torn_slots_ = 0;
+  min_time_ms_ = 0;
+  max_time_ms_ = 0;
+
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return false;
+  }
+  path_ = path;
+  size_t max_extents = 0;
+  bool fresh = false;
+  if (!ReadSuperblock(fd, &extent_bytes_, &max_extents, &fresh)) {
+    ::close(fd);
+    return false;
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const int64_t data_bytes = st.st_size - static_cast<int64_t>(record::kSuperBytes);
+  slot_count_ = data_bytes <= 0
+                    ? 0
+                    : static_cast<size_t>((data_bytes + static_cast<int64_t>(extent_bytes_) - 1) /
+                                          static_cast<int64_t>(extent_bytes_));
+  std::string buf;
+  bool have_time = false;
+  for (size_t i = 0; i < slot_count_; ++i) {
+    buf.assign(extent_bytes_, '\0');
+    ssize_t got = ReadAt(fd, static_cast<int64_t>(record::kSuperBytes + i * extent_bytes_),
+                         buf.data(), extent_bytes_);
+    SlotHeader hdr;
+    if (got != static_cast<ssize_t>(extent_bytes_) ||
+        !ValidateSlot(buf.data(), extent_bytes_, &hdr)) {
+      torn_slots_ += 1;
+      continue;
+    }
+    const char* payload = buf.data() + record::kExtentHeaderBytes;
+    uint32_t dict_count = LoadU32(payload);
+    uint32_t block_count = LoadU32(payload + 4);
+    size_t off = 8;
+    for (uint32_t d = 0; d < dict_count; ++d) {
+      off += record::kDictFixedBytes + LoadU32(payload + off + 4);
+    }
+    ExtentInfo info;
+    info.seq = hdr.seq;
+    info.slot = static_cast<uint32_t>(i);
+    bool first = true;
+    for (uint32_t b = 0; b < block_count; ++b) {
+      const char* idx = payload + off + b * record::kBlockIndexBytes;
+      uint32_t count = LoadU32(idx + 4);
+      int64_t lo = hdr.base_time_ms + LoadI32(idx + 12);
+      int64_t hi = hdr.base_time_ms + LoadI32(idx + 16);
+      info.records += count;
+      if (first) {
+        info.min_time_ms = lo;
+        info.max_time_ms = hi;
+        first = false;
+      } else {
+        info.min_time_ms = std::min(info.min_time_ms, lo);
+        info.max_time_ms = std::max(info.max_time_ms, hi);
+      }
+    }
+    if (block_count > 0) {
+      if (!have_time) {
+        min_time_ms_ = info.min_time_ms;
+        max_time_ms_ = info.max_time_ms;
+        have_time = true;
+      } else {
+        min_time_ms_ = std::min(min_time_ms_, info.min_time_ms);
+        max_time_ms_ = std::max(max_time_ms_, info.max_time_ms);
+      }
+    }
+    extents_.push_back(info);
+  }
+  ::close(fd);
+  std::sort(extents_.begin(), extents_.end(),
+            [](const ExtentInfo& a, const ExtentInfo& b) { return a.seq < b.seq; });
+  return true;
+}
+
+bool ExtentReader::LoadExtent(uint32_t slot, std::string* buf) const {
+  int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return false;
+  }
+  buf->assign(extent_bytes_, '\0');
+  ssize_t got = ReadAt(fd, static_cast<int64_t>(record::kSuperBytes + slot * extent_bytes_),
+                       buf->data(), extent_bytes_);
+  ::close(fd);
+  return got == static_cast<ssize_t>(extent_bytes_);
+}
+
+bool ExtentReader::ReadWindow(int64_t t0, int64_t t1,
+                              std::vector<ReplayRecord>* out) {
+  const size_t base = out->size();
+  std::string buf;
+  std::vector<uint32_t> local_to_global;  // extent-local id -> names_ index
+  for (const ExtentInfo& info : extents_) {
+    if (info.records == 0 || info.max_time_ms < t0 || info.min_time_ms > t1) {
+      continue;
+    }
+    if (!LoadExtent(info.slot, &buf)) {
+      return false;
+    }
+    SlotHeader hdr;
+    if (!ValidateSlot(buf.data(), extent_bytes_, &hdr)) {
+      continue;  // overwritten since Open(): treat like a torn slot
+    }
+    const char* payload = buf.data() + record::kExtentHeaderBytes;
+    uint32_t dict_count = LoadU32(payload);
+    uint32_t block_count = LoadU32(payload + 4);
+    size_t off = 8;
+    local_to_global.clear();
+    for (uint32_t d = 0; d < dict_count; ++d) {
+      uint32_t id = LoadU32(payload + off);
+      uint32_t name_len = LoadU32(payload + off + 4);
+      std::string_view name(payload + off + record::kDictFixedBytes, name_len);
+      uint32_t global;
+      auto it = name_index_.find(name);
+      if (it != name_index_.end()) {
+        global = it->second;
+      } else {
+        global = static_cast<uint32_t>(names_.size());
+        names_.emplace_back(name);
+        name_index_.emplace(names_.back(), global);
+      }
+      if (id >= local_to_global.size() + 1) {
+        local_to_global.resize(id, UINT32_MAX);
+      }
+      local_to_global[id - 1] = global;
+      off += record::kDictFixedBytes + name_len;
+    }
+    const char* rec_area = payload + off + block_count * record::kBlockIndexBytes;
+    for (uint32_t b = 0; b < block_count; ++b) {
+      const char* idx = payload + off + b * record::kBlockIndexBytes;
+      uint32_t id = LoadU32(idx);
+      uint32_t count = LoadU32(idx + 4);
+      uint32_t rec_off = LoadU32(idx + 8);
+      int64_t lo = hdr.base_time_ms + LoadI32(idx + 12);
+      int64_t hi = hdr.base_time_ms + LoadI32(idx + 16);
+      if (hi < t0 || lo > t1 || id == 0 || id > local_to_global.size() ||
+          local_to_global[id - 1] == UINT32_MAX) {
+        continue;
+      }
+      uint32_t global = local_to_global[id - 1];
+      for (uint32_t r = 0; r < count; ++r) {
+        const char* rec = rec_area + rec_off + r * record::kRecordBytes;
+        int64_t t = hdr.base_time_ms + LoadI32(rec + 4);
+        if (t < t0 || t > t1) {
+          continue;
+        }
+        ReplayRecord rr;
+        rr.time_ms = t;
+        rr.value = LoadF64(rec + 8);
+        rr.name = global;
+        out->push_back(rr);
+      }
+    }
+  }
+  std::stable_sort(out->begin() + static_cast<ptrdiff_t>(base), out->end(),
+                   [](const ReplayRecord& a, const ReplayRecord& b) {
+                     return a.time_ms < b.time_ms;
+                   });
+  return true;
+}
+
+}  // namespace gscope

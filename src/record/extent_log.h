@@ -1,0 +1,279 @@
+// Crash-safe columnar flight-recorder log (ROADMAP item 3).
+//
+// gscope shows live signals; production debugging needs "what happened at
+// 04:13" — and a recorder is only useful if the file survives the very crash
+// it exists to explain.  ExtentLog appends samples to a single on-disk file
+// organized as a ring of fixed-size extents, modeled on DataSeries'
+// extent-structured logs (PAPERS.md): each extent is a self-contained,
+// CRC32C-sealed unit holding per-signal column blocks with a (signal,
+// time-range) index, so a replayer can skip whole extents — and whole
+// columns — that cannot intersect a query window.
+//
+// File layout (all integers little-endian):
+//
+//   superblock (16 bytes, written once at creation):
+//     0  1  magic0 = 0xEF        8  4  max_extents (u32)
+//     1  1  magic1 = 0x53 'S'   12  4  crc32c of bytes [0,12)
+//     2  1  version = 1
+//     3  1  pad = 0
+//     4  4  extent_bytes (u32)
+//
+//   extent slot i at offset 16 + i*extent_bytes; slot header (32 bytes):
+//     0  1  magic0 = 0xEF       8   4  crc32c of the payload
+//     1  1  magic1 = 0x47 'G'   12  8  seq (u64, from 1, never reused)
+//     2  1  version = 1         20  8  base_time_ms (i64)
+//     3  1  flags = 0           28  4  reserved = 0
+//     4  4  payload_len (u32)
+//
+//   extent payload:
+//     u32 dict_count, u32 block_count
+//     dict_count  x { u32 id, u32 name_len, name bytes }   (PR 7 dict shape)
+//     block_count x { u32 id, u32 count, u32 offset,       (column index;
+//                     i32 min_delta_ms, i32 max_delta_ms }  offset into the
+//                                                           record area)
+//     record area: per block, count x { u32 id, i32 delta_ms, f64 value }
+//                                                           (16-byte records)
+//
+// Extents are self-contained exactly like PR 7's wire frames: every signal
+// id used in an extent is (re)declared in that extent's dict, so recovery
+// never depends on earlier extents having survived.  Records reuse the wire
+// protocol's 16-byte {id, delta, value} shape — the id is redundant inside a
+// column but keeps the record layout identical across disk and wire.
+//
+// Crash safety:
+//   * An extent is sealed by a single contiguous pwrite of header+payload
+//     whose header carries the payload CRC and a monotone seq — the commit
+//     point.  A crash mid-write leaves a slot whose CRC cannot validate:
+//     that slot IS the torn tail, and it is the only thing a crash can lose.
+//   * Open() runs recovery: scan every slot, validate CRCs, adopt the
+//     highest valid seq, and ftruncate exactly the torn physical tail (a
+//     torn slot in the middle of the ring — an in-place overwrite that
+//     tore — is not truncated; it is simply the next write target, which is
+//     also the oldest position).  Sealed extents are never touched.
+//   * Retention is a ring: extent seq s lives in slot s % max_extents, so a
+//     full ring overwrites the oldest extent in place.
+//   * Disk full degrades, never crashes and never blocks ingest: first the
+//     ring wraps early (drop-oldest: the oldest sealed extent's slot is
+//     reused, counted in extents_dropped), and if even that write fails the
+//     log enters coalesced capture — only the newest record per signal is
+//     retained in memory, counted per fold — until a later seal succeeds.
+//   * The fsync policy knob trades durability for throughput: kNone (page
+//     cache only), kExtent (fsync after every sealed extent), kInterval
+//     (fsync at most once per fsync_interval_ms, driven by the owner's
+//     clock).  fsync failure is counted, never fatal.
+//
+// Every file operation consults net/fault_injector.h (FaultOp::kFile*), so
+// each recovery path above is deterministically reachable from (seed, rules).
+//
+// Steady-state Append() allocates nothing: names intern once (first
+// occurrence only), column buffers and the seal scratch retain capacity
+// across extents, and the slot write is one pwrite from the scratch.
+//
+// Threading: single-owner.  All methods must be called from one thread at a
+// time (the Recorder's loop); ExtentReader instances are independent and may
+// read a file an ExtentLog is still appending to (a slot being overwritten
+// mid-read fails its CRC and is skipped, like any torn extent).
+#ifndef GSCOPE_RECORD_EXTENT_LOG_H_
+#define GSCOPE_RECORD_EXTENT_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/string_index.h"
+
+namespace gscope {
+
+enum class FsyncPolicy : uint8_t { kNone = 0, kExtent = 1, kInterval = 2 };
+
+namespace record {
+constexpr uint8_t kSuperMagic0 = 0xEF;
+constexpr uint8_t kSuperMagic1 = 0x53;
+constexpr uint8_t kExtentMagic0 = 0xEF;
+constexpr uint8_t kExtentMagic1 = 0x47;
+constexpr uint8_t kVersion = 1;
+constexpr size_t kSuperBytes = 16;
+constexpr size_t kExtentHeaderBytes = 32;
+constexpr size_t kRecordBytes = 16;      // {u32 id, i32 delta_ms, f64 value}
+constexpr size_t kDictFixedBytes = 8;    // {u32 id, u32 name_len} + name
+constexpr size_t kBlockIndexBytes = 20;  // {id, count, offset, min, max}
+constexpr size_t kMinExtentBytes = 256;
+}  // namespace record
+
+struct ExtentLogOptions {
+  // Slot size, header included.  Values below kMinExtentBytes are clamped.
+  size_t extent_bytes = 64 * 1024;
+  // Ring retention cap: at most this many extents on disk; older extents
+  // are overwritten in place.  Clamped to >= 1.
+  size_t max_extents = 256;
+  FsyncPolicy fsync_policy = FsyncPolicy::kNone;
+  // kInterval: minimum ms between fsyncs (the owner drives MaybeFsync with
+  // its clock).
+  int64_t fsync_interval_ms = 1000;
+};
+
+class ExtentLog {
+ public:
+  // Plain tallies: the log is single-owner; the Recorder mirrors these into
+  // relaxed atomics once per tick for cross-thread readers.
+  struct Stats {
+    int64_t appends = 0;            // records accepted (coalesced included)
+    int64_t extents_sealed = 0;     // slots committed with a valid CRC
+    int64_t extents_recovered = 0;  // valid extents found by Open()
+    int64_t extents_truncated = 0;  // torn physical tails ftruncated by Open()
+    int64_t extents_dropped = 0;    // sealed extents lost to disk-full wrap
+                                    // or staged extents abandoned unsealable
+    int64_t capture_bytes = 0;      // bytes pwritten (super + extents)
+    int64_t seal_failures = 0;      // seal attempts that could not commit
+    int64_t fsyncs = 0;
+    int64_t fsync_failures = 0;
+    int64_t degraded_entered = 0;   // transitions into coalesced capture
+    int64_t samples_coalesced = 0;  // records folded away while degraded
+  };
+
+  explicit ExtentLog(ExtentLogOptions options = {});
+  ~ExtentLog();
+
+  ExtentLog(const ExtentLog&) = delete;
+  ExtentLog& operator=(const ExtentLog&) = delete;
+
+  // Opens `path` for appending, creating it when absent, and runs recovery
+  // on what exists (header comment).  False on open/superblock failure; a
+  // pre-existing file whose superblock does not validate is refused, never
+  // clobbered.  The superblock's geometry wins over `options` for an
+  // existing file.
+  bool Open(const std::string& path);
+  bool is_open() const { return fd_ >= 0; }
+  // Seals the staged extent (if any) and closes the file.
+  void Close();
+
+  // Appends one sample.  Zero allocations once `name` has been seen.
+  // Returns false only when closed.  Never blocks beyond the file write
+  // itself; disk-full degrades per the header comment.
+  bool Append(std::string_view name, int64_t time_ms, double value);
+
+  // Seals the staged extent now (no-op when nothing is staged).  While
+  // degraded this doubles as the disk-full retry: success leaves degraded
+  // capture.  Returns false when a non-empty stage could not be committed.
+  bool SealNow();
+
+  // kInterval fsync pacing; the owner calls this with its clock's ms time.
+  void MaybeFsync(int64_t now_ms);
+
+  // True while in coalesced (disk-full) capture.
+  bool degraded() const { return degraded_; }
+
+  const Stats& stats() const { return stats_; }
+  const std::string& path() const { return path_; }
+  const ExtentLogOptions& options() const { return options_; }
+  // Staged (unsealed) records in the open extent.
+  size_t staged_records() const { return staged_records_; }
+  uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  struct Column {
+    std::string recs;        // count x kRecordBytes, capacity retained
+    uint32_t count = 0;
+    int32_t min_delta = 0;
+    int32_t max_delta = 0;
+    uint64_t epoch = 0;      // == extent_epoch_ when live in the open extent
+  };
+
+  bool WriteAt(int64_t offset, const char* data, size_t len, bool* enospc);
+  bool Fsync();
+  void ResetStage();
+  // Assembles the staged extent into seal_buf_ (header + payload).
+  void BuildSealBuffer();
+  // Points next_slot_ at the oldest live slot after a failed extend
+  // (disk-full drop-oldest).
+  bool WrapEarly();
+  void EnterDegraded();
+
+  ExtentLogOptions options_;
+  std::string path_;
+  int fd_ = -1;
+
+  // Name interning (allocates only on first occurrence of a name).
+  StringKeyedMap<uint32_t> ids_;
+  std::vector<std::string> names_;  // by id - 1
+  std::string memo_name_;           // last-name memo (WireEncoder pattern)
+  uint32_t memo_id_ = 0;
+
+  // Staged (open) extent.
+  std::vector<Column> cols_;        // by id - 1; capacity retained
+  std::vector<uint32_t> used_ids_;  // ids live in the open extent, in order
+  uint64_t extent_epoch_ = 1;
+  size_t staged_payload_bytes_ = 0;  // payload size if sealed now
+  size_t staged_records_ = 0;
+  int64_t base_time_ms_ = 0;
+  bool has_base_ = false;
+
+  // Ring state.
+  uint64_t next_seq_ = 1;
+  uint32_t next_slot_ = 0;
+  uint32_t physical_slots_ = 0;  // slots currently present in the file
+  uint32_t ring_cap_ = 1;        // may shrink below max_extents on disk full
+
+  bool degraded_ = false;
+  bool dirty_ = false;           // unsynced writes (kInterval pacing)
+  int64_t last_fsync_ms_ = 0;
+  bool fsync_clock_primed_ = false;
+
+  std::string seal_buf_;  // header + payload assembly scratch (reused)
+  Stats stats_;
+};
+
+// One decoded sample from a recorded window; `name` indexes
+// ExtentReader::names() (interned across extents).
+struct ReplayRecord {
+  int64_t time_ms = 0;
+  double value = 0.0;
+  uint32_t name = 0;
+};
+
+// Read-only view of an ExtentLog file: scans and validates every slot at
+// Open (without mutating the file — no truncation), then serves time-window
+// queries using the per-extent and per-block time-range indexes.
+class ExtentReader {
+ public:
+  struct ExtentInfo {
+    uint64_t seq = 0;
+    uint32_t slot = 0;
+    int64_t min_time_ms = 0;
+    int64_t max_time_ms = 0;
+    uint32_t records = 0;
+  };
+
+  bool Open(const std::string& path);
+  // Valid extents, ascending seq.
+  const std::vector<ExtentInfo>& extents() const { return extents_; }
+  // Slots that failed validation (torn tail / mid-overwrite tears).
+  int64_t torn_slots() const { return torn_slots_; }
+  const std::vector<std::string>& names() const { return names_; }
+  // Earliest/latest recorded timestamps (0/0 when empty).
+  int64_t min_time_ms() const { return min_time_ms_; }
+  int64_t max_time_ms() const { return max_time_ms_; }
+
+  // Appends every record with t0 <= time_ms <= t1 to `out`, sorted by
+  // time_ms (stable: extent seq, then column order, then record order break
+  // ties).  Returns false on I/O failure mid-read.
+  bool ReadWindow(int64_t t0, int64_t t1, std::vector<ReplayRecord>* out);
+
+ private:
+  bool LoadExtent(uint32_t slot, std::string* buf) const;
+
+  std::string path_;
+  size_t extent_bytes_ = 0;
+  size_t slot_count_ = 0;
+  std::vector<ExtentInfo> extents_;
+  int64_t torn_slots_ = 0;
+  StringKeyedMap<uint32_t> name_index_;
+  std::vector<std::string> names_;
+  int64_t min_time_ms_ = 0;
+  int64_t max_time_ms_ = 0;
+};
+
+}  // namespace gscope
+
+#endif  // GSCOPE_RECORD_EXTENT_LOG_H_

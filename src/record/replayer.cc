@@ -1,0 +1,80 @@
+#include "record/replayer.h"
+
+#include <utility>
+
+namespace gscope {
+
+bool Replayer::Load(const std::string& path) {
+  return reader_.Open(path);
+}
+
+bool Replayer::Start(MainLoop* loop, int64_t t0, int64_t t1, double speed,
+                     EmitFn emit, DoneFn done) {
+  if (active() || loop == nullptr || !emit) {
+    return false;
+  }
+  window_.clear();
+  if (!reader_.ReadWindow(t0, t1, &window_)) {
+    return false;
+  }
+  next_ = 0;
+  emitted_ = 0;
+  t0_ = t0;
+  t1_ = t1;
+  speed_ = speed;
+  emit_ = std::move(emit);
+  done_ = std::move(done);
+  loop_ = loop;
+
+  if (speed_ <= 0.0) {
+    EmitUpTo(t1_);
+    if (done_) {
+      done_(emitted_);
+    }
+    emit_ = nullptr;
+    done_ = nullptr;
+    return true;
+  }
+  start_ns_ = loop_->clock()->NowNs();
+  timer_ = loop_->AddTimeoutMs(kTickMs, [this]() { return OnTick(); });
+  return true;
+}
+
+void Replayer::EmitUpTo(int64_t virtual_time_ms) {
+  const std::vector<std::string>& names = reader_.names();
+  while (next_ < window_.size() && window_[next_].time_ms <= virtual_time_ms) {
+    const ReplayRecord& r = window_[next_];
+    emit_(names[r.name], r.time_ms, r.value);
+    emitted_ += 1;
+    next_ += 1;
+  }
+}
+
+bool Replayer::OnTick() {
+  const Nanos elapsed = loop_->clock()->NowNs() - start_ns_;
+  const int64_t advanced_ms =
+      static_cast<int64_t>(static_cast<double>(elapsed) / 1e6 * speed_);
+  EmitUpTo(t0_ + advanced_ms);
+  if (next_ >= window_.size()) {
+    timer_ = 0;
+    DoneFn done = std::move(done_);
+    done_ = nullptr;
+    emit_ = nullptr;
+    if (done) {
+      done(emitted_);
+    }
+    return false;  // remove the source
+  }
+  return true;
+}
+
+void Replayer::Cancel() {
+  if (timer_ != 0) {
+    loop_->Remove(timer_);
+    timer_ = 0;
+    emit_ = nullptr;
+    done_ = nullptr;
+  }
+}
+
+}  // namespace gscope

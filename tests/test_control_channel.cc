@@ -3,8 +3,11 @@
 // connection, and route-table-level exclusion of non-subscribed signals.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <memory>
@@ -1197,6 +1200,224 @@ TEST_F(ControlChannelTest, StageGrammarErrShapes) {
   // no stage group was ever created, and the session survived.
   EXPECT_EQ(server.stats().stages_active, 0);
   EXPECT_EQ(server.control_session_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder (docs/protocol.md "Flight recorder").
+// ---------------------------------------------------------------------------
+
+namespace {
+std::string RecordTempPath(const std::string& tag) {
+  std::string path = ::testing::TempDir();
+  if (!path.empty() && path.back() != '/') {
+    path.push_back('/');
+  }
+  path.append("gscope_ctl_").append(tag).append("_");
+  path.append(std::to_string(::getpid())).append(".log");
+  std::remove(path.c_str());
+  return path;
+}
+
+// Value of a space-separated `key value` pair in a STATS line, -1 if absent.
+int64_t StatsValue(const std::string& line, const std::string& key) {
+  size_t pos = line.find(" " + key + " ");
+  if (pos == std::string::npos) {
+    return -1;
+  }
+  return std::stoll(line.substr(pos + key.size() + 2));
+}
+}  // namespace
+
+TEST_F(ControlChannelTest, RecordReplayRoundTripOverWire) {
+  const std::string path = RecordTempPath("roundtrip");
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  scope_.StartPolling();
+
+  ControlClient viewer(&loop_);
+  Sink sink;
+  sink.Wire(viewer);
+  ASSERT_TRUE(viewer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  viewer.Subscribe("fr_*");
+  ASSERT_TRUE(viewer.Record(path));
+  ASSERT_TRUE(RunUntil([&]() {
+    for (const std::string& reply : sink.replies) {
+      if (reply.rfind("OK RECORD " + path, 0) == 0) {
+        return true;
+      }
+    }
+    return false;
+  }));
+
+  StreamClient producer(&loop_);
+  ASSERT_TRUE(producer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return producer.connected(); }));
+  for (int i = 1; i <= 20; ++i) {
+    producer.Send(scope_.NowMs(), 100.0 + i, "fr_sig");
+  }
+  ASSERT_TRUE(RunUntil([&]() { return sink.SawValue(120.0); }));
+
+  // Poll STATS until the recorder (on its own thread and time axis) has
+  // drained the whole burst; this also pins the live-recording key shapes.
+  std::string stats_line;
+  ASSERT_TRUE(RunUntil([&]() {
+    viewer.RequestStats();
+    loop_.RunForMs(2);
+    for (auto it = sink.replies.rbegin(); it != sink.replies.rend(); ++it) {
+      if (it->rfind("OK STATS ", 0) == 0) {
+        stats_line = *it;
+        return StatsValue(stats_line, "recording") == 1 &&
+               StatsValue(stats_line, "samples_captured") >= 20;
+      }
+    }
+    return false;
+  }));
+  EXPECT_GE(StatsValue(stats_line, "extents_sealed"), 0);
+  EXPECT_EQ(StatsValue(stats_line, "capture_degraded"), 0);
+  EXPECT_EQ(StatsValue(stats_line, "fsync_policy"), 0);
+
+  ASSERT_TRUE(viewer.StopRecord());
+  ASSERT_TRUE(RunUntil([&]() {
+    for (const std::string& reply : sink.replies) {
+      if (reply == "OK RECORD OFF") {
+        return true;
+      }
+    }
+    return false;
+  }));
+
+  // The retired tallies survive RECORD OFF (STATS keys stay monotone).
+  ASSERT_TRUE(RunUntil([&]() {
+    viewer.RequestStats();
+    loop_.RunForMs(2);
+    for (auto it = sink.replies.rbegin(); it != sink.replies.rend(); ++it) {
+      if (it->rfind("OK STATS ", 0) == 0) {
+        stats_line = *it;
+        return StatsValue(stats_line, "recording") == 0;
+      }
+    }
+    return false;
+  }));
+  EXPECT_GE(StatsValue(stats_line, "samples_captured"), 20);
+  EXPECT_GE(StatsValue(stats_line, "extents_sealed"), 1);
+  EXPECT_GT(StatsValue(stats_line, "capture_bytes"), 0);
+  EXPECT_EQ(StatsValue(stats_line, "extents_dropped"), 0);
+
+  // Time travel: a burst REPLAY streams the recorded window back between
+  // "OK REPLAY n" and "INFO REPLAY DONE n", through the normal echo path.
+  const size_t tuples_before = sink.tuples.size();
+  ASSERT_TRUE(viewer.Replay(0, 1'000'000'000));
+  int64_t announced = -1;
+  int64_t done = -1;
+  ASSERT_TRUE(RunUntil([&]() {
+    for (const std::string& reply : sink.replies) {
+      if (reply.rfind("OK REPLAY ", 0) == 0) {
+        announced = std::stoll(reply.substr(sizeof("OK REPLAY ") - 1));
+      } else if (reply.rfind("INFO REPLAY DONE ", 0) == 0) {
+        done = std::stoll(reply.substr(sizeof("INFO REPLAY DONE ") - 1));
+      }
+    }
+    return done >= 0 && sink.tuples.size() >= tuples_before + 20;
+  }));
+  EXPECT_GE(announced, 20);
+  EXPECT_EQ(done, announced);
+  // The replayed stream carries the recorded names and values verbatim.
+  int replayed_last = 0;
+  for (size_t i = tuples_before; i < sink.tuples.size(); ++i) {
+    EXPECT_EQ(sink.tuples[i].first, "fr_sig");
+    if (sink.tuples[i].second == 120.0) {
+      ++replayed_last;
+    }
+  }
+  EXPECT_GE(replayed_last, 1);
+  std::remove(path.c_str());
+}
+
+TEST_F(ControlChannelTest, ListStagesReturnsCatalog) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+
+  ControlClient viewer(&loop_);
+  Sink sink;
+  sink.Wire(viewer);
+  ASSERT_TRUE(viewer.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return viewer.connected(); }));
+  ASSERT_TRUE(viewer.RequestStages());
+  ASSERT_TRUE(RunUntil([&]() {
+    bool ok = false, dec = false, ewma = false, env = false, spec = false;
+    for (const std::string& reply : sink.replies) {
+      ok |= reply == "OK STAGES 4 ACTIVE 0";
+      dec |= reply == "INFO STAGE DECIMATE <n>";
+      ewma |= reply == "INFO STAGE EWMA <alpha>";
+      env |= reply == "INFO STAGE ENVELOPE <window-ms>";
+      spec |= reply == "INFO STAGE SPECTRUM <n> [window]";
+    }
+    return ok && dec && ewma && env && spec;
+  }));
+}
+
+TEST_F(ControlChannelTest, RecordReplayErrShapes) {
+  StreamServer server(&loop_, &scope_);
+  ASSERT_TRUE(server.Listen(0));
+  Socket raw = Socket::Connect(server.port());
+  ASSERT_TRUE(raw.valid());
+  ASSERT_TRUE(RunUntil([&]() { return server.client_count() == 1; }));
+
+  const std::string wire =
+      "SUB e_*\n"
+      "RECORD\n"
+      "RECORD OFF\n"
+      "REPLAY 5 1\n"
+      "REPLAY a b\n"
+      "REPLAY 0 10 -2\n"
+      "REPLAY 0 10 1 junk\n"
+      "REPLAY 0 10\n";
+  raw.Write(wire.data(), wire.size());
+
+  std::string received;
+  ASSERT_TRUE(RunUntil([&]() {
+    char buf[2048];
+    IoResult r = raw.Read(buf, sizeof(buf));
+    if (r.status == IoResult::Status::kOk) {
+      received.append(buf, r.bytes);
+    }
+    return received.find("OK SUB e_*\n") != std::string::npos &&
+           received.find("ERR RECORD missing-path\n") != std::string::npos &&
+           received.find("ERR RECORD not-recording\n") != std::string::npos &&
+           received.find("ERR REPLAY bad-window\n") != std::string::npos &&
+           received.find("ERR REPLAY bad-speed\n") != std::string::npos &&
+           received.find("ERR REPLAY trailing-junk\n") != std::string::npos &&
+           received.find("ERR REPLAY no-recording\n") != std::string::npos;
+  })) << received;
+  // Nothing was recorded and the session survived every rejection.
+  EXPECT_EQ(server.control_session_count(), 1u);
+}
+
+TEST_F(ControlChannelTest, RecordIsOperatorOnly) {
+  // RECORD captures every tenant's signals into one server-side file, so a
+  // namespaced session must not be able to start or stop it.
+  StreamServerOptions opts;
+  opts.auth_tokens = {{"tok-a", "tenant-a"}};
+  StreamServer server(&loop_, &scope_, opts);
+  ASSERT_TRUE(server.Listen(0));
+
+  ControlClient tenant(&loop_);
+  Sink sink;
+  sink.Wire(tenant);
+  ASSERT_TRUE(tenant.Connect(server.port()));
+  ASSERT_TRUE(RunUntil([&]() { return tenant.connected(); }));
+  tenant.Auth("tok-a");
+  ASSERT_TRUE(RunUntil([&]() { return tenant.stats().replies_ok >= 1; }));
+  ASSERT_TRUE(tenant.Record(RecordTempPath("tenant")));
+  ASSERT_TRUE(RunUntil([&]() {
+    for (const std::string& reply : sink.replies) {
+      if (reply == "ERR RECORD not-authorized") {
+        return true;
+      }
+    }
+    return false;
+  }));
 }
 
 }  // namespace

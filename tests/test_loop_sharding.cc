@@ -163,8 +163,17 @@ TEST_F(LoopShardingTest, RouteEpochsPropagateAcrossLoops) {
   // stop arriving.
   viewer.Unsubscribe("cross_*");
   ASSERT_TRUE(RunUntil([&]() { return viewer.stats().replies_ok >= 2; }));
-  loop_.RunForMs(50);  // drain anything routed under the old epoch
+  // Drain anything routed under the old epoch until a full quiet window
+  // passes: a fixed wait flakes under sanitizer slowdown, where pre-UNSUB
+  // tuples can still be in the delayed echo path after 50 ms.
   int64_t seen = viewer_tuples;
+  for (int spins = 0; spins < 40; ++spins) {
+    loop_.RunForMs(50);
+    if (viewer_tuples == seen) {
+      break;
+    }
+    seen = viewer_tuples;
+  }
   for (int i = 0; i < 20; ++i) {
     producer.Send(scope_.NowMs(), 43.0, "cross_loop_sig");
     loop_.RunForMs(2);
